@@ -1,0 +1,191 @@
+// E11 -- Microbenchmarks of the gateway engine stages (paper Fig. 4):
+// link-spec parsing, message encode/decode, the receive path (timed
+// automaton + dissect + store + transfer rule), the construct path, and
+// raw repository / automaton operation costs. google-benchmark binary.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.hpp"
+#include "core/repository.hpp"
+#include "spec/linkspec_xml.hpp"
+#include "ta/interpreter.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+spec::MessageSpec wide_message(int elements, int fields_per_element) {
+  spec::MessageSpec ms{"wide"};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{7}});
+  ms.add_element(std::move(key));
+  for (int e = 0; e < elements; ++e) {
+    spec::ElementSpec es;
+    es.name = "e" + std::to_string(e);
+    es.convertible = true;
+    for (int f = 0; f < fields_per_element; ++f) {
+      es.fields.push_back(
+          spec::FieldSpec{"f" + std::to_string(f), spec::FieldType::kInt32, 0, std::nullopt});
+    }
+    ms.add_element(std::move(es));
+  }
+  return ms;
+}
+
+void BM_EncodeMessage(benchmark::State& state) {
+  const spec::MessageSpec ms = wide_message(static_cast<int>(state.range(0)), 4);
+  const spec::MessageInstance inst = spec::make_instance(ms);
+  for (auto _ : state) {
+    auto bytes = spec::encode(ms, inst);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ms.wire_size()));
+}
+BENCHMARK(BM_EncodeMessage)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_DecodeMessage(benchmark::State& state) {
+  const spec::MessageSpec ms = wide_message(static_cast<int>(state.range(0)), 4);
+  const auto bytes = spec::encode(ms, spec::make_instance(ms)).value();
+  for (auto _ : state) {
+    auto inst = spec::decode(ms, bytes);
+    benchmark::DoNotOptimize(inst);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ms.wire_size()));
+}
+BENCHMARK(BM_DecodeMessage)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_IdentifyByKey(benchmark::State& state) {
+  spec::LinkSpec link{"das"};
+  for (int m = 0; m < state.range(0); ++m)
+    link.add_message(state_message("m" + std::to_string(m), "e" + std::to_string(m), m + 1));
+  const auto bytes =
+      spec::encode(*link.message("m0"), spec::make_instance(*link.message("m0"))).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(link.identify(bytes));
+  }
+}
+BENCHMARK(BM_IdentifyByKey)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_ParseLinkSpecXml(benchmark::State& state) {
+  spec::LinkSpec link{"das"};
+  link.add_message(wide_message(4, 4));
+  link.add_automaton(ta::make_interarrival_receive("r", "wide", 4_ms, 100_ms));
+  link.add_port(input_port("wide", spec::InfoSemantics::kEvent,
+                           spec::ControlParadigm::kEventTriggered, Duration::zero(), 4_ms,
+                           100_ms));
+  const std::string xml = spec::write_link_spec_xml(link);
+  for (auto _ : state) {
+    auto parsed = spec::parse_link_spec_xml(xml);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_ParseLinkSpecXml);
+
+/// Fully wired gateway: receive path = TA check + dissect + store (+ ET
+/// construct on the other side).
+std::unique_ptr<core::VirtualGateway> make_gateway(int elements) {
+  spec::LinkSpec link_a{"dasA"};
+  spec::MessageSpec in = wide_message(elements, 4);
+  in.set_name("msgIn");
+  link_a.add_message(std::move(in));
+  link_a.add_port(input_port("msgIn", spec::InfoSemantics::kState,
+                             spec::ControlParadigm::kTimeTriggered, 10_ms, 1_ns,
+                             Duration::seconds(3600)));
+  spec::LinkSpec link_b{"dasB"};
+  spec::MessageSpec out = wide_message(elements, 4);
+  out.set_name("msgOut");
+  link_b.add_message(std::move(out));
+  link_b.add_port(output_port("msgOut", spec::InfoSemantics::kState,
+                              spec::ControlParadigm::kEventTriggered, Duration::zero()));
+  core::GatewayConfig config;
+  config.default_d_acc = Duration::seconds(3600);
+  auto gateway = std::make_unique<core::VirtualGateway>("micro", std::move(link_a),
+                                                        std::move(link_b), config);
+  gateway->finalize();
+  gateway->link_b().set_emitter("msgOut", [](const spec::MessageInstance&) {});
+  return gateway;
+}
+
+void BM_GatewayReceiveAndForward(benchmark::State& state) {
+  auto gateway = make_gateway(static_cast<int>(state.range(0)));
+  const spec::MessageSpec& ms = *gateway->link_a().spec().message("msgIn");
+  spec::MessageInstance inst = spec::make_instance(ms);
+  Instant now = Instant::origin();
+  for (auto _ : state) {
+    now += 10_ms;
+    gateway->on_input(0, inst, now);  // includes the event-driven ET forward
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GatewayReceiveAndForward)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_RepositoryStoreFetchState(benchmark::State& state) {
+  core::Repository repo;
+  repo.declare(core::ElementDecl{"s", spec::InfoSemantics::kState, 1_s, 4});
+  core::ElementInstance inst;
+  inst.set_field("value", ta::Value{1});
+  inst.set_field("t", ta::Value{Instant::origin()});
+  Instant now = Instant::origin();
+  for (auto _ : state) {
+    now += 1_ms;
+    repo.store("s", inst, now);
+    benchmark::DoNotOptimize(repo.fetch("s", now));
+  }
+}
+BENCHMARK(BM_RepositoryStoreFetchState);
+
+void BM_RepositoryStoreFetchEvent(benchmark::State& state) {
+  core::Repository repo;
+  repo.declare(core::ElementDecl{"e", spec::InfoSemantics::kEvent, 1_s, 64});
+  core::ElementInstance inst;
+  inst.set_field("value", ta::Value{1});
+  Instant now = Instant::origin();
+  for (auto _ : state) {
+    now += 1_ms;
+    repo.store("e", inst, now);
+    benchmark::DoNotOptimize(repo.fetch("e", now));
+  }
+}
+BENCHMARK(BM_RepositoryStoreFetchEvent);
+
+void BM_AutomatonReceiveStep(benchmark::State& state) {
+  const ta::AutomatonSpec spec = ta::make_interarrival_receive("r", "m", 4_ms, 1_s);
+  ta::Interpreter interp{spec};
+  Instant now = Instant::origin();
+  interp.restart(now);
+  for (auto _ : state) {
+    now += 10_ms;
+    benchmark::DoNotOptimize(interp.on_receive("m", now));
+  }
+}
+BENCHMARK(BM_AutomatonReceiveStep);
+
+void BM_GuardEvaluation(benchmark::State& state) {
+  const ta::ExprPtr guard =
+      ta::parse_expression("n == 0 || (x >= 4000000 && x <= 100000000)").value();
+  class Env final : public ta::Environment {
+   public:
+    ta::Value get(const std::string& name) const override {
+      return name == "n" ? ta::Value{1} : ta::Value{Duration::milliseconds(10)};
+    }
+    void set(const std::string&, const ta::Value&) override {}
+    ta::Value call(const std::string&, const std::vector<ta::Value>&) override { return {}; }
+  } env;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guard->evaluate(env));
+  }
+}
+BENCHMARK(BM_GuardEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

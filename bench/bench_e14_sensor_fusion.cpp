@@ -1,0 +1,89 @@
+// E14 -- Exploiting redundancy for reliability (paper Section I): with
+// gateways, "redundancy can be exploited to improve the reliability of
+// the sensory information."
+//
+// Three redundant wheel-speed sources measure the same entity: one local
+// sensor plus two replicas imported from another DAS through a virtual
+// gateway. Each source independently suffers value faults (rate swept)
+// and transient dropouts. We compare the error rate of (a) trusting a
+// single sensor, against (b) median fusion over all three -- and also
+// measure availability (instants where no usable value exists).
+#include "common.hpp"
+#include "services/fusion.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+constexpr int kSamples = 50000;
+constexpr double kTrue = 1000.0;
+
+struct Outcome {
+  double single_error_rate = 0.0;
+  double fused_error_rate = 0.0;
+  double fused_unavailable_rate = 0.0;
+};
+
+Outcome run(double fault_rate, double dropout_rate, std::uint64_t seed) {
+  services::SensorFusion fusion{services::SensorFusion::Strategy::kMedian, 3, 30_ms};
+  Rng rng{seed};
+
+  std::uint64_t single_bad = 0;
+  std::uint64_t fused_bad = 0;
+  std::uint64_t fused_missing = 0;
+
+  Instant t = Instant::origin();
+  for (int i = 0; i < kSamples; ++i) {
+    t += 10_ms;
+    double single_value = kTrue;
+    for (std::size_t source = 0; source < 3; ++source) {
+      if (rng.bernoulli(dropout_rate)) continue;  // source silent this cycle
+      double value = kTrue;
+      if (rng.bernoulli(fault_rate)) value = kTrue + rng.uniform(-500.0, 500.0);
+      if (source == 0) single_value = value;
+      fusion.offer(source, ta::Value{value}, t);
+    }
+    if (std::abs(single_value - kTrue) > 1.0) ++single_bad;
+    const auto fused = fusion.fused(t + 1_ms);
+    if (!fused) {
+      ++fused_missing;
+    } else if (std::abs(fused->as_real() - kTrue) > 1.0) {
+      ++fused_bad;
+    }
+  }
+
+  Outcome outcome;
+  outcome.single_error_rate = static_cast<double>(single_bad) / kSamples;
+  outcome.fused_error_rate = static_cast<double>(fused_bad) / kSamples;
+  outcome.fused_unavailable_rate = static_cast<double>(fused_missing) / kSamples;
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E14  redundancy exploitation: median fusion of gateway-imported sensors",
+        "fusing one local and two imported replicas masks independent value "
+        "faults that a single sensor passes straight to the application");
+
+  row("%-11s %-9s %14s %14s %14s", "faultrate", "dropout", "single err", "fused err",
+      "fused unavail");
+  for (const double fault_rate : {0.001, 0.01, 0.05, 0.1}) {
+    for (const double dropout : {0.0, 0.05}) {
+      const Outcome o = run(fault_rate, dropout, 11);
+      row("%-11.3f %-9.2f %13.4f%% %13.4f%% %13.4f%%", fault_rate, dropout,
+          100.0 * o.single_error_rate, 100.0 * o.fused_error_rate,
+          100.0 * o.fused_unavailable_rate);
+    }
+  }
+  row("");
+  row("expected shape: a single sensor's error rate equals the fault rate; the");
+  row("median over three independent sources needs >= 2 simultaneous faults, so");
+  row("its error rate drops to roughly the fault rate squared (orders of");
+  row("magnitude better), at unchanged availability.");
+  return 0;
+}

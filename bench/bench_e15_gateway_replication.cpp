@@ -1,0 +1,145 @@
+// E15 -- Gateway replication: spare components and redundancy management
+// in the integrated architecture (paper Section I: integrated systems
+// "overcome limitations for spare components and redundancy management";
+// Section II-E: a time-triggered system supports replica determinism,
+// "essential for establishing fault-tolerance through active
+// redundancy").
+//
+// The wheel-speed import of E3 runs with 1 or 2 replica gateways on
+// different components; the hosting component of one replica crashes
+// mid-run. We measure the availability of the imported image in DAS B
+// (fraction of 10ms cycles with a fresh value) and the outage duration.
+#include <memory>
+
+#include "common.hpp"
+#include "core/gateway_job.hpp"
+#include "core/wiring.hpp"
+#include "fault/plan.hpp"
+#include "platform/cluster.hpp"
+#include "vn/tt_vn.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+constexpr Duration kRun = 4_s;
+constexpr Instant kCrashAt = Instant::origin() + 1_s;
+
+struct Outcome {
+  double availability = 0.0;  // fraction of cycles with a fresh import
+  double outage_ms = 0.0;     // longest gap between imports
+};
+
+Outcome run(int replicas, bool crash_one) {
+  platform::ClusterConfig config;
+  config.nodes = 4;
+  config.allocations = {
+      {1, "dasA", 32, {0}},
+      {2, "dasB", 32, {1, 2}},
+  };
+  platform::Cluster cluster{config};
+
+  vn::TtVirtualNetwork vn_a{"vn-a", 1};
+  vn_a.register_message(state_message("msgA", "speed", 1));
+  vn::TtVirtualNetwork vn_b{"vn-b", 2};
+
+  std::vector<std::unique_ptr<core::VirtualGateway>> gateways;
+  for (int r = 0; r < replicas; ++r) {
+    const tt::NodeId host = static_cast<tt::NodeId>(1 + r);
+    spec::LinkSpec la{"dasA"};
+    la.add_message(state_message("msgA", "speed", 1));
+    la.add_port(input_port("msgA", spec::InfoSemantics::kState,
+                           spec::ControlParadigm::kTimeTriggered, 10_ms, 1_us,
+                           Duration::seconds(3600)));
+    spec::LinkSpec lb{"dasB"};
+    lb.add_message(state_message("msgB", "speed", 2));
+    lb.add_port(output_port("msgB", spec::InfoSemantics::kState,
+                            spec::ControlParadigm::kTimeTriggered, 10_ms));
+    auto gw = std::make_unique<core::VirtualGateway>("replica" + std::to_string(r),
+                                                     std::move(la), std::move(lb));
+    gw->finalize();
+    core::wire_tt_link(*gw, 0, vn_a, cluster.controller(host), {});
+    core::wire_tt_link(*gw, 1, vn_b, cluster.controller(host),
+                       {{"msgB", cluster.vn_slots(2, host)}});
+    cluster.component(host)
+        .add_partition("gw", "architecture", 0_ms, 1_ms)
+        .add_job(std::make_unique<core::GatewayJob>(*gw));
+    gateways.push_back(std::move(gw));
+  }
+
+  // Producer on node 0.
+  platform::Partition& p0 = cluster.component(0).add_partition("prod", "dasA", 1_ms, 1_ms);
+  platform::FunctionJob& producer =
+      p0.add_function_job("producer", [&vn_a](platform::FunctionJob& self, Instant now) {
+        self.ports()[0]->deposit(
+            state_instance(*vn_a.message_spec("msgA"),
+                           static_cast<std::int64_t>(self.activations()), now),
+            now);
+      });
+  vn_a.attach_sender(cluster.controller(0), producer.add_port(output_port(
+                         "msgA", spec::InfoSemantics::kState,
+                         spec::ControlParadigm::kTimeTriggered, 10_ms)),
+                     cluster.vn_slots(1, 0));
+
+  // Consumer on node 3: freshness sampled every 10ms cycle.
+  vn::Port consumer{input_port("msgB", spec::InfoSemantics::kState,
+                               spec::ControlParadigm::kTimeTriggered, 10_ms)};
+  vn_b.attach_receiver(cluster.controller(3), consumer);
+  std::optional<Instant> last_import;
+  Duration worst_gap = Duration::zero();
+  std::uint64_t fresh_cycles = 0;
+  std::uint64_t cycles = 0;
+  consumer.set_notify([&](vn::Port& port) {
+    const Instant now = cluster.simulator().now();
+    if (last_import) worst_gap = std::max(worst_gap, now - *last_import);
+    last_import = now;
+    port.read();
+  });
+  platform::Partition& p3 = cluster.component(3).add_partition("mon", "dasB", 2_ms, 1_ms);
+  p3.add_function_job("monitor", [&](platform::FunctionJob&, Instant) {
+    ++cycles;
+    const Instant now = cluster.simulator().now();
+    if (last_import && now - *last_import <= 25_ms) ++fresh_cycles;
+  });
+
+  if (crash_one) {
+    fault::FaultPlan plan{cluster.simulator()};
+    plan.crash(cluster.controller(1), kCrashAt);  // replica 0's host
+  }
+
+  cluster.start();
+  cluster.run_for(kRun);
+  if (last_import)
+    worst_gap = std::max(worst_gap, cluster.simulator().now() - *last_import);
+
+  Outcome outcome;
+  outcome.availability = cycles ? static_cast<double>(fresh_cycles) / static_cast<double>(cycles)
+                                : 0.0;
+  outcome.outage_ms = worst_gap.as_ms();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E15  active gateway redundancy: replica gateways on spare components",
+        "a second gateway replica on another shared component removes the "
+        "gateway as a single point of failure for cross-DAS imports");
+
+  row("%-10s %-12s %14s %14s", "replicas", "crash", "availability", "worst gap[ms]");
+  for (const int replicas : {1, 2}) {
+    for (const bool crash : {false, true}) {
+      const Outcome o = run(replicas, crash);
+      row("%-10d %-12s %13.2f%% %14.1f", replicas, crash ? "t=1s" : "none",
+          100.0 * o.availability, o.outage_ms);
+    }
+  }
+  row("");
+  row("expected shape: without a crash both configurations import every cycle.");
+  row("With the crash, the single-gateway system loses the import for the rest");
+  row("of the run (~75%% unavailability here); the replicated system keeps a");
+  row("fresh image in every cycle at the cost of one extra VN-B slot.");
+  return 0;
+}

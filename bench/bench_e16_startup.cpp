@@ -1,0 +1,141 @@
+// E16 -- Cluster cold start and (re)integration. The time-triggered base
+// architecture the paper builds on must establish its global time base
+// before any virtual network or gateway can operate. We measure the
+// time from power-on (all nodes listening, clocks offset by up to half
+// a round) until the cluster is fully operational: every node
+// transmitting in its slots, zero guardian blocks, precision within the
+// sync bound -- as a function of cluster size and of the listen-timeout
+// stagger. A late joiner (powered on after 1s) measures reintegration.
+#include <memory>
+
+#include "common.hpp"
+#include "tt/controller.hpp"
+#include "services/clock_sync.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+struct Outcome {
+  double all_integrated_ms = 0.0;  // instant the last node left integration
+  double all_sending_ms = 0.0;     // instant every node has sent >= 1 frame
+  std::uint64_t guardian_blocks = 0;
+  double final_precision_us = 0.0;
+};
+
+Outcome run(std::size_t nodes, Duration stagger, std::uint64_t seed) {
+  sim::Simulator sim;
+  // The cluster free-runs on the elected master's base; the central
+  // guardian's windows are anchored to the nominal timeline, so allow
+  // for the residual mean-crystal drift over the 3s run (see DESIGN.md
+  // faithfulness notes).
+  tt::BusConfig bus_config;
+  bus_config.guardian_tolerance = Duration::microseconds(500);
+  tt::TtBus bus{sim, tt::make_uniform_schedule(10_ms, nodes, 1, 16), bus_config};
+  Rng rng{seed};
+
+  std::vector<std::unique_ptr<tt::Controller>> controllers;
+  std::vector<std::unique_ptr<services::ClockSync>> syncs;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const Duration offset = Duration::microseconds(rng.uniform_int(-5000, 5000));
+    const double drift = rng.uniform(-50.0, 50.0);
+    controllers.push_back(std::make_unique<tt::Controller>(
+        sim, bus, static_cast<tt::NodeId>(i), sim::DriftingClock{drift, offset}));
+    syncs.push_back(std::make_unique<services::ClockSync>(*controllers.back()));
+    controllers.back()->start_integration(20_ms + stagger * static_cast<std::int64_t>(i));
+  }
+
+  Outcome outcome;
+  // Poll integration state each millisecond (measurement only).
+  std::function<void()> poll = [&] {
+    const double now_ms = sim.now().as_ms();
+    bool all_integrated = true;
+    bool all_sending = true;
+    for (const auto& c : controllers) {
+      if (c->integrating()) all_integrated = false;
+      if (c->frames_sent() == 0) all_sending = false;
+    }
+    if (all_integrated && outcome.all_integrated_ms == 0.0) outcome.all_integrated_ms = now_ms;
+    if (all_sending && outcome.all_sending_ms == 0.0) outcome.all_sending_ms = now_ms;
+    if (sim.now() < Instant::origin() + 3_s) sim.schedule_after(1_ms, poll);
+  };
+  sim.schedule_after(1_ms, poll);
+  sim.run_until(Instant::origin() + 3_s);
+
+  outcome.guardian_blocks = bus.frames_blocked();
+  Duration lo = Duration::max();
+  Duration hi = -Duration::max();
+  for (const auto& c : controllers) {
+    const Duration off = c->clock().read(sim.now()) - sim.now();
+    lo = std::min(lo, off);
+    hi = std::max(hi, off);
+  }
+  outcome.final_precision_us = (hi - lo).as_us();
+  return outcome;
+}
+
+double reintegration_ms(std::uint64_t seed) {
+  sim::Simulator sim;
+  tt::TtBus bus{sim, tt::make_uniform_schedule(10_ms, 4, 1, 16)};
+  Rng rng{seed};
+  std::vector<std::unique_ptr<tt::Controller>> controllers;
+  for (std::size_t i = 0; i < 4; ++i) {
+    // Nodes 0..2 form the running, synchronized cluster; node 3 powers
+    // on later with an arbitrary clock offset.
+    const Duration offset =
+        i == 3 ? Duration::microseconds(rng.uniform_int(-5000, 5000)) : Duration::zero();
+    controllers.push_back(std::make_unique<tt::Controller>(
+        sim, bus, static_cast<tt::NodeId>(i), sim::DriftingClock{0.0, offset}));
+  }
+  for (std::size_t i = 0; i < 3; ++i) controllers[i]->start();
+  // Node 3 powers on at t=1s.
+  sim.schedule_at(Instant::origin() + 1_s,
+                  [&] { controllers[3]->start_integration(200_ms); });
+  Instant joined = Instant::max();
+  std::function<void()> watch = [&] {
+    if (!controllers[3]->integrating() && controllers[3]->frames_sent() > 0 &&
+        joined == Instant::max())
+      joined = sim.now();
+    if (sim.now() < Instant::origin() + 2_s) sim.schedule_after(1_ms, watch);
+  };
+  sim.schedule_at(Instant::origin() + 1_s, watch);
+  sim.run_until(Instant::origin() + 2_s);
+  return (joined - (Instant::origin() + 1_s)).as_ms();
+}
+
+}  // namespace
+
+int main() {
+  title("E16  cold start and reintegration of the time-triggered base",
+        "the cluster establishes its global time base from silence (staggered "
+        "cold-start masters) and late joiners integrate within ~a round");
+
+  row("%-7s %-13s %16s %14s %10s %16s", "nodes", "stagger[ms]", "integrated[ms]",
+      "sending[ms]", "blocked", "precision[us]");
+  for (const std::size_t nodes : {2u, 4u, 8u}) {
+    for (const auto stagger_ms : {20, 50}) {
+      const Outcome o = run(nodes, Duration::milliseconds(stagger_ms), 5);
+      row("%-7zu %-13d %16.1f %14.1f %10llu %16.2f", nodes, stagger_ms, o.all_integrated_ms,
+          o.all_sending_ms, static_cast<unsigned long long>(o.guardian_blocks),
+          o.final_precision_us);
+    }
+  }
+  row("");
+  row("late-joiner reintegration (3 running nodes, node 4 powers on at t=1s):");
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    row("  seed %llu: operational %.1f ms after power-on",
+        static_cast<unsigned long long>(seed), reintegration_ms(seed));
+  }
+  row("");
+  row("expected shape: every listener adopts the first master frame, so full");
+  row("integration lands one listen-timeout (+1 slot) after power-on regardless");
+  row("of stagger or cluster size, with zero guardian blocks; a late joiner is");
+  row("operational within ~2 rounds. Precision: sub-us once >= 3 nodes give the");
+  row("fault-tolerant average its 2k+1 readings (a 2-node cluster cannot");
+  row("resynchronize with k=1 and free-runs on its initial agreement).");
+  return 0;
+}

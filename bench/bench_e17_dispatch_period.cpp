@@ -1,0 +1,152 @@
+// E17 -- Ablation of the gateway service period (DESIGN.md: the hidden
+// gateway is dispatched periodically from its partition).
+//
+// Forwarding latency itself is governed by the VN schedules and, for
+// event-triggered outputs, by the event-driven path inside on_input --
+// *not* by the dispatch period. What the dispatch period does govern is
+// everything only the periodic service performs:
+//   (a) draining pull-mode input ports, and
+//   (b) detecting tmax silence violations (timed-automaton timeouts).
+// Both should cost half a dispatch period on average and one period in
+// the worst case, while the activation count scales as 1/period -- the
+// basis for choosing the gateway partition's budget.
+#include "common.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+struct Outcome {
+  double pull_mean_ms = 0.0;
+  double pull_max_ms = 0.0;
+  double timeout_mean_ms = 0.0;
+  double timeout_max_ms = 0.0;
+  std::uint64_t dispatches_per_s = 0;
+};
+
+std::unique_ptr<core::VirtualGateway> make_gateway(bool pull_input) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "image", 1));
+  spec::PortSpec in = input_port("msgA", spec::InfoSemantics::kEvent,
+                                 spec::ControlParadigm::kEventTriggered, Duration::zero(),
+                                 Duration::zero(), 50_ms, 32);
+  if (pull_input) in.interaction = spec::Interaction::kPull;
+  link_a.add_port(in);
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "image", 2));
+  link_b.add_port(output_port("msgB", spec::InfoSemantics::kEvent,
+                              spec::ControlParadigm::kEventTriggered, Duration::zero(), 32));
+  core::GatewayConfig config;
+  config.restart_delay = 1_ms;  // resume quickly after each deliberate timeout
+  auto gw = std::make_unique<core::VirtualGateway>("e17", std::move(link_a), std::move(link_b),
+                                                   config);
+  gw->finalize();
+  gw->link_b().set_emitter("msgB", [](const spec::MessageInstance&) {});
+  return gw;
+}
+
+Outcome run(Duration dispatch_period, std::uint64_t seed) {
+  Outcome outcome;
+  Rng rng{seed};
+
+  // (a) Pull-port drain latency: deposits at random phases; measure
+  // deposit -> admission.
+  {
+    auto gw = make_gateway(/*pull_input=*/true);
+    const spec::MessageSpec& ms = *gw->link_a().spec().message("msgA");
+    sim::Simulator sim;
+    RunningStats drain;
+    Instant t = Instant::origin();
+    std::uint64_t admitted_before = 0;
+    Instant deposited_at;
+    for (int i = 0; i < 500; ++i) {
+      t += 10_ms + Duration::microseconds(rng.uniform_int(0, 9999));
+      sim.schedule_at(t, [&, i] {
+        deposited_at = sim.now();
+        gw->link_a().port("msgA")->deposit(state_instance(ms, i, sim.now()), sim.now());
+      });
+    }
+    for (Instant tick = Instant::origin(); tick <= t + 50_ms; tick += dispatch_period) {
+      sim.schedule_at(tick, [&] {
+        const std::uint64_t before = gw->stats().messages_in;
+        gw->dispatch(sim.now());
+        if (gw->stats().messages_in > before) drain.add(sim.now() - deposited_at);
+        admitted_before = gw->stats().messages_in;
+      });
+    }
+    sim.run_until(t + 60_ms);
+    (void)admitted_before;
+    outcome.pull_mean_ms = drain.mean() / 1e6;
+    outcome.pull_max_ms = drain.max() / 1e6;
+  }
+
+  // (b) Timeout-detection latency: traffic stops; the tmax=50ms timeout
+  // becomes true at last_arrival+50ms and is discovered at the next
+  // dispatch poll.
+  {
+    auto gw = make_gateway(/*pull_input=*/false);
+    const spec::MessageSpec& ms = *gw->link_a().spec().message("msgA");
+    sim::Simulator sim;
+    RunningStats detect;
+    Instant t = Instant::origin();
+    std::uint64_t errors_seen = 0;
+    Instant violation_due;
+    for (int burst = 0; burst < 100; ++burst) {
+      // Two paced messages, then silence > tmax.
+      t += Duration::microseconds(rng.uniform_int(0, 9999));
+      const Instant first = t;
+      sim.schedule_at(first, [&gw, &ms, &sim] {
+        gw->on_input(0, state_instance(ms, 0, sim.now()), sim.now());
+      });
+      sim.schedule_at(first + 10_ms, [&gw, &ms, &sim, &violation_due] {
+        gw->on_input(0, state_instance(ms, 1, sim.now()), sim.now());
+        violation_due = sim.now() + 50_ms;
+      });
+      t = first + 120_ms;  // leaves ~60ms of violated silence
+    }
+    for (Instant tick = Instant::origin(); tick <= t; tick += dispatch_period) {
+      sim.schedule_at(tick, [&] {
+        gw->dispatch(sim.now());
+        if (gw->stats().automaton_errors > errors_seen) {
+          errors_seen = gw->stats().automaton_errors;
+          detect.add(sim.now() - violation_due);
+        }
+      });
+    }
+    sim.run_until(t + 10_ms);
+    outcome.timeout_mean_ms = detect.mean() / 1e6;
+    outcome.timeout_max_ms = detect.max() / 1e6;
+  }
+
+  outcome.dispatches_per_s = static_cast<std::uint64_t>(1_s / dispatch_period);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E17  gateway service period: pull latency, timeout detection, cost",
+        "halving the gateway's dispatch period halves pull-drain and "
+        "silence-detection latency but doubles the partition's activations");
+
+  row("%-14s %11s %11s %12s %12s %13s", "dispatch[ms]", "pull avg", "pull max",
+      "detect avg", "detect max", "dispatch/s");
+  for (const auto period_us : {130, 510, 970, 1990, 4930, 9710}) {
+    const Outcome o = run(Duration::microseconds(period_us), 3);
+    row("%-14.2f %9.3fms %9.3fms %10.3fms %10.3fms %13llu", period_us / 1000.0, o.pull_mean_ms,
+        o.pull_max_ms, o.timeout_mean_ms, o.timeout_max_ms,
+        static_cast<unsigned long long>(o.dispatches_per_s));
+  }
+  row("");
+  row("expected shape: both latencies average half a dispatch period (max one");
+  row("period), while the activation rate scales as 1/period. Push-mode inputs");
+  row("and event-triggered outputs are dispatch-independent (they ride the");
+  row("event-driven path), so a modest service period is sufficient unless");
+  row("pull ports or tight error-detection deadlines are in play.");
+  return 0;
+}

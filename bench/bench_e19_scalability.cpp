@@ -1,0 +1,150 @@
+// E19 -- Scalability of the integrated architecture: "The DECOS
+// architecture divides the overall system into a set of
+// nearly-independent distributed application subsystems, which share the
+// node computers and the physical network" (abstract). As DAS pairs --
+// each with its own pair of virtual networks and its own hidden gateway
+// -- are packed onto a fixed 8-node cluster, the simulated system must
+// keep every gateway forwarding at full rate; we also report the
+// simulator's wall-clock cost per simulated second (the practical limit
+// for laptop-scale studies with this reproduction).
+#include <chrono>
+#include <memory>
+
+#include "common.hpp"
+#include "core/gateway_job.hpp"
+#include "core/wiring.hpp"
+#include "platform/cluster.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+constexpr Duration kRun = 5_s;
+constexpr std::size_t kNodes = 8;
+
+struct Outcome {
+  std::uint64_t forwarded_total = 0;
+  double forwarded_per_gateway = 0.0;
+  double schedule_rate = 0.0;  // messages per gateway the TDMA schedule allows
+  double wall_ms_per_sim_s = 0.0;
+  std::uint64_t sim_events = 0;
+};
+
+Outcome run(std::size_t das_pairs) {
+  platform::ClusterConfig config;
+  config.nodes = kNodes;
+  // Each DAS pair k gets a TT VN (producer node k%8) and an ET VN
+  // (gateway host node (k+1)%8).
+  for (std::size_t k = 0; k < das_pairs; ++k) {
+    const auto producer = static_cast<tt::NodeId>(k % kNodes);
+    const auto host = static_cast<tt::NodeId>((k + 1) % kNodes);
+    config.allocations.push_back(
+        {static_cast<tt::VnId>(1 + 2 * k), "dasA" + std::to_string(k), 32, {producer}});
+    config.allocations.push_back(
+        {static_cast<tt::VnId>(2 + 2 * k), "dasB" + std::to_string(k), 32, {host}});
+  }
+  config.round_length = Duration::milliseconds(10) * static_cast<std::int64_t>(
+                            std::max<std::size_t>(1, das_pairs / 4));
+  platform::Cluster cluster{config};
+
+  std::vector<std::unique_ptr<vn::TtVirtualNetwork>> tt_vns;
+  std::vector<std::unique_ptr<vn::EtVirtualNetwork>> et_vns;
+  std::vector<std::unique_ptr<core::VirtualGateway>> gateways;
+  std::vector<platform::Partition*> partitions(kNodes, nullptr);
+
+  for (std::size_t k = 0; k < das_pairs; ++k) {
+    const auto producer = static_cast<tt::NodeId>(k % kNodes);
+    const auto host = static_cast<tt::NodeId>((k + 1) % kNodes);
+    const auto vn_a_id = static_cast<tt::VnId>(1 + 2 * k);
+    const auto vn_b_id = static_cast<tt::VnId>(2 + 2 * k);
+
+    tt_vns.push_back(std::make_unique<vn::TtVirtualNetwork>("tt" + std::to_string(k), vn_a_id));
+    auto& vn_a = *tt_vns.back();
+    vn_a.register_message(state_message("msgA" + std::to_string(k), "img", 1));
+    et_vns.push_back(std::make_unique<vn::EtVirtualNetwork>("et" + std::to_string(k), vn_b_id));
+    auto& vn_b = *et_vns.back();
+
+    spec::LinkSpec link_a{"dasA" + std::to_string(k)};
+    link_a.add_message(state_message("msgA" + std::to_string(k), "img", 1));
+    link_a.add_port(input_port("msgA" + std::to_string(k), spec::InfoSemantics::kState,
+                               spec::ControlParadigm::kTimeTriggered, config.round_length, 1_us,
+                               Duration::seconds(3600)));
+    spec::LinkSpec link_b{"dasB" + std::to_string(k)};
+    link_b.add_message(state_message("msgB" + std::to_string(k), "img", 2));
+    link_b.add_port(output_port("msgB" + std::to_string(k), spec::InfoSemantics::kState,
+                                spec::ControlParadigm::kEventTriggered, Duration::zero()));
+    gateways.push_back(std::make_unique<core::VirtualGateway>("gw" + std::to_string(k),
+                                                              std::move(link_a),
+                                                              std::move(link_b)));
+    auto& gw = *gateways.back();
+    gw.finalize();
+    core::wire_tt_link(gw, 0, vn_a, cluster.controller(host), {});
+    core::wire_et_link(gw, 1, vn_b, cluster.controller(host), cluster.vn_slots(vn_b_id, host));
+    if (partitions[host] == nullptr) {
+      partitions[host] = &cluster.component(host).add_partition(
+          "gw", "architecture", 0_ms, 2_ms);
+    }
+    partitions[host]->add_job(std::make_unique<core::GatewayJob>(gw));
+
+    // Producer job for this DAS pair.
+    platform::Partition& pp = cluster.component(producer).add_partition(
+        "p" + std::to_string(k), "dasA" + std::to_string(k),
+        3_ms + Duration::microseconds(static_cast<std::int64_t>(k) * 300), 200_us);
+    platform::FunctionJob& job = pp.add_function_job(
+        "prod" + std::to_string(k), [&vn_a, k](platform::FunctionJob& self, Instant now) {
+          self.ports()[0]->deposit(
+              state_instance(*vn_a.message_spec("msgA" + std::to_string(k)),
+                             static_cast<std::int64_t>(self.activations()), now),
+              now);
+        });
+    job.set_execution_time(10_us);
+    vn_a.attach_sender(cluster.controller(producer), job.add_port(output_port(
+                           "msgA" + std::to_string(k), spec::InfoSemantics::kState,
+                           spec::ControlParadigm::kTimeTriggered, config.round_length)),
+                       cluster.vn_slots(vn_a_id, producer));
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  cluster.start();
+  cluster.run_for(kRun);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  Outcome outcome;
+  for (const auto& gw : gateways) outcome.forwarded_total += gw->stats().messages_constructed;
+  outcome.forwarded_per_gateway =
+      static_cast<double>(outcome.forwarded_total) / static_cast<double>(das_pairs);
+  outcome.wall_ms_per_sim_s =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count() /
+      kRun.as_seconds();
+  outcome.sim_events = cluster.simulator().dispatched();
+  outcome.schedule_rate = static_cast<double>(kRun / config.round_length);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E19  packing DAS pairs onto a fixed 8-node cluster",
+        "every added DAS pair (2 VNs + 1 hidden gateway) keeps forwarding at "
+        "full rate; cost grows linearly with the number of integrated subsystems");
+
+  row("%-10s %12s %14s %12s %14s %16s", "DAS pairs", "forwarded", "fwd/gateway",
+      "sched rate", "sim events", "wall ms/sim s");
+  for (const std::size_t pairs : {1u, 2u, 4u, 8u, 16u}) {
+    const Outcome o = run(pairs);
+    row("%-10zu %12llu %14.0f %12.0f %14llu %16.1f", pairs,
+        static_cast<unsigned long long>(o.forwarded_total), o.forwarded_per_gateway,
+        o.schedule_rate, static_cast<unsigned long long>(o.sim_events), o.wall_ms_per_sim_s);
+  }
+  row("");
+  row("expected shape: every gateway forwards at exactly its schedule rate");
+  row("(fwd/gateway == sched rate; the round stretches as more slots are packed");
+  row("in, which is the deliberate bandwidth-partitioning trade-off), no DAS");
+  row("disturbs another, and simulator cost stays modest: integration cost is");
+  row("additive, not combinatorial.");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E1 -- Error containment: "gateways perform error detection to control
+// the forwarding of information and prevent the propagation of timing
+// message failures" (paper Sections III-B.3, IV).
+//
+// A sender in DAS A emits an event message with nominal 10ms
+// interarrival; a fraction of gaps are deliberate violations (500us
+// early bursts). The gateway's timed automaton enforces the (tmin=4ms,
+// tmax=100ms) port specification, with the paper's error-handling hook
+// (service restart after 20ms). We sweep the fault rate and compare
+// gateway filtering ON vs OFF (ablation): how many ground-truth-faulty
+// instances cross into DAS B, and the minimum interarrival observed on
+// the DAS-B side (a direct measure of the temporal guarantee exported).
+#include <vector>
+
+#include "common.hpp"
+#include "fault/message_faults.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t sent = 0;
+  std::uint64_t ground_truth_faults = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t crossed_faulty = 0;  // ground-truth-faulty instances in DAS B
+  double min_output_gap_ms = 0.0;
+};
+
+Outcome run(double early_rate, bool filtering, std::uint64_t seed) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "payload", 1));
+  link_a.add_port(input_port("msgA", spec::InfoSemantics::kEvent,
+                             spec::ControlParadigm::kEventTriggered, Duration::zero(), 4_ms,
+                             100_ms, 64));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "payload", 2));
+  link_b.add_port(output_port("msgB", spec::InfoSemantics::kEvent,
+                              spec::ControlParadigm::kEventTriggered, Duration::zero(), 64));
+
+  core::GatewayConfig config;
+  config.temporal_filtering = filtering;
+  config.restart_delay = 20_ms;
+  config.default_queue_capacity = 64;
+  core::VirtualGateway gateway{"e1", std::move(link_a), std::move(link_b), config};
+  gateway.finalize();
+
+  // Track what reaches DAS B: instance values mark ground-truth faults.
+  Outcome outcome;
+  std::optional<Instant> last_output;
+  Duration min_gap = Duration::max();
+  gateway.link_b().set_emitter("msgB", [&](const spec::MessageInstance& inst) {
+    if (inst.elements()[1].fields[0].as_int() == 1) ++outcome.crossed_faulty;
+    const Instant now = inst.send_time();
+    if (last_output) min_gap = std::min(min_gap, now - *last_output);
+    last_output = now;
+  });
+
+  fault::TimingFaultProfile profile;
+  profile.nominal_interarrival = 10_ms;
+  profile.jitter = 500_us;
+  profile.early_rate = early_rate;
+  profile.early_gap = 500_us;
+
+  Rng rng{seed};
+  sim::Simulator sim;
+  Instant t = Instant::origin();
+  const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
+  for (int i = 0; i < 20000; ++i) {
+    bool is_fault = false;
+    t += profile.next_gap(rng, is_fault);
+    if (is_fault) ++outcome.ground_truth_faults;
+    ++outcome.sent;
+    sim.schedule_at(t, [&gateway, &ms, &sim, is_fault] {
+      gateway.on_input(0, state_instance(ms, is_fault ? 1 : 0, sim.now()), sim.now());
+    });
+  }
+  // Dispatch tick (drains automaton polls and the ET output).
+  for (Instant tick = Instant::origin(); tick <= t; tick += 1_ms) {
+    sim.schedule_at(tick, [&gateway, &sim] { gateway.dispatch(sim.now()); });
+  }
+  sim.run_until(t + 10_ms);
+
+  outcome.admitted = gateway.stats().messages_admitted;
+  outcome.blocked = gateway.stats().blocked_temporal;
+  outcome.min_output_gap_ms = min_gap == Duration::max() ? 0.0 : min_gap.as_ms();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E1  error containment at the gateway (timing message failures)",
+        "the gateway blocks timing failures of DAS A from propagating into DAS B");
+
+  row("%-10s %-9s %8s %8s %8s %8s %10s %12s", "filtering", "faultrate", "sent", "faults",
+      "admitted", "blocked", "crossed", "minGap[ms]");
+  for (const double rate : {0.0, 0.02, 0.05, 0.1, 0.2, 0.5}) {
+    for (const bool filtering : {true, false}) {
+      const Outcome o = run(rate, filtering, 42);
+      row("%-10s %-9.2f %8llu %8llu %8llu %8llu %10llu %12.3f", filtering ? "on" : "off(abl)",
+          rate, static_cast<unsigned long long>(o.sent),
+          static_cast<unsigned long long>(o.ground_truth_faults),
+          static_cast<unsigned long long>(o.admitted),
+          static_cast<unsigned long long>(o.blocked),
+          static_cast<unsigned long long>(o.crossed_faulty), o.min_output_gap_ms);
+    }
+  }
+  row("");
+  row("expected shape: with filtering ON, 'crossed' stays near zero and the");
+  row("minimum DAS-B interarrival stays >= tmin (4ms); with filtering OFF every");
+  row("fault crosses and sub-millisecond gaps appear in DAS B.");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// E3 -- Resource reduction through integration (paper Section I):
+// "integrated systems promise massive cost savings through the reduction
+// of resource duplication ... the redundant sensors can be eliminated in
+// one of the DASes leading to reduced resource consumption and hardware
+// cost."
+//
+// We build the ABS + navigation system twice and count physical
+// resources and measured traffic:
+//   federated : each DAS has its own nodes, its own physical network and
+//               its own odometry sensors (the navigation duplicates the
+//               wheel-speed sensors).
+//   integrated: the DASes share one cluster; the navigation imports the
+//               wheel speeds through a virtual gateway (no extra sensors,
+//               no second physical network).
+#include "common.hpp"
+#include "core/gateway_job.hpp"
+#include "core/wiring.hpp"
+#include "platform/cluster.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+constexpr Duration kRun = 2_s;
+
+struct Inventory {
+  int nodes = 0;
+  int physical_networks = 0;
+  int wheel_sensors = 0;
+  int gateway_partitions = 0;
+  std::uint64_t frames = 0;  // measured physical frames over kRun
+};
+
+/// Federated: ABS cluster (2 nodes) and navigation cluster (2 nodes),
+/// each with its own bus; navigation has its own wheel sensors.
+Inventory run_federated() {
+  Inventory inv;
+  inv.nodes = 4;
+  inv.physical_networks = 2;
+  inv.wheel_sensors = 4 + 4;  // ABS set + duplicated navigation set
+  inv.gateway_partitions = 0;
+
+  for (int cluster_index = 0; cluster_index < 2; ++cluster_index) {
+    platform::ClusterConfig config;
+    config.nodes = 2;
+    config.allocations = {{1, cluster_index == 0 ? "abs" : "navigation", 32, {0}}};
+    platform::Cluster cluster{config};
+
+    vn::TtVirtualNetwork vn{"vn", 1};
+    vn.register_message(state_message("msgwheels", "wheels", 100));
+    platform::Partition& p =
+        cluster.component(0).add_partition("sense", config.allocations[0].das, 1_ms, 1_ms);
+    platform::FunctionJob& job =
+        p.add_function_job("sensors", [&vn](platform::FunctionJob& self, Instant now) {
+          self.ports()[0]->deposit(
+              state_instance(*vn.message_spec("msgwheels"), 1234, now), now);
+        });
+    vn.attach_sender(cluster.controller(0), job.add_port(output_port(
+                         "msgwheels", spec::InfoSemantics::kState,
+                         spec::ControlParadigm::kTimeTriggered, 10_ms)),
+                     cluster.vn_slots(1, 0));
+    cluster.start();
+    cluster.run_for(kRun);
+    inv.frames += cluster.bus().frames_delivered();
+  }
+  return inv;
+}
+
+/// Integrated: one 3-node cluster, two VNs, one gateway partition.
+Inventory run_integrated() {
+  Inventory inv;
+  inv.nodes = 3;  // ABS node, navigation node, shared gateway host
+  inv.physical_networks = 1;
+  inv.wheel_sensors = 4;  // single ABS set, shared
+  inv.gateway_partitions = 1;
+
+  platform::ClusterConfig config;
+  config.nodes = 3;
+  config.allocations = {{1, "abs", 32, {0}}, {2, "navigation", 32, {1, 2}}};
+  platform::Cluster cluster{config};
+
+  vn::TtVirtualNetwork abs_vn{"abs-vn", 1};
+  abs_vn.register_message(state_message("msgwheels", "wheels", 100));
+  vn::EtVirtualNetwork nav_vn{"nav-vn", 2};
+
+  spec::LinkSpec link_a{"abs"};
+  link_a.add_message(state_message("msgwheels", "wheels", 100));
+  link_a.add_port(input_port("msgwheels", spec::InfoSemantics::kState,
+                             spec::ControlParadigm::kTimeTriggered, 10_ms));
+  spec::LinkSpec link_b{"navigation"};
+  link_b.add_message(state_message("msgodometry", "wheels", 200));
+  link_b.add_port(output_port("msgodometry", spec::InfoSemantics::kState,
+                              spec::ControlParadigm::kEventTriggered, Duration::zero()));
+  core::VirtualGateway gateway{"share", std::move(link_a), std::move(link_b)};
+  gateway.finalize();
+  core::wire_tt_link(gateway, 0, abs_vn, cluster.controller(2), {});
+  core::wire_et_link(gateway, 1, nav_vn, cluster.controller(2), cluster.vn_slots(2, 2));
+  cluster.component(2)
+      .add_partition("gateway", "architecture", 0_ms, 1_ms)
+      .add_job(std::make_unique<core::GatewayJob>(gateway));
+
+  platform::Partition& p = cluster.component(0).add_partition("sense", "abs", 1_ms, 1_ms);
+  platform::FunctionJob& job =
+      p.add_function_job("sensors", [&abs_vn](platform::FunctionJob& self, Instant now) {
+        self.ports()[0]->deposit(
+            state_instance(*abs_vn.message_spec("msgwheels"), 1234, now), now);
+      });
+  abs_vn.attach_sender(cluster.controller(0), job.add_port(output_port(
+                           "msgwheels", spec::InfoSemantics::kState,
+                           spec::ControlParadigm::kTimeTriggered, 10_ms)),
+                       cluster.vn_slots(1, 0));
+
+  cluster.start();
+  cluster.run_for(kRun);
+  inv.frames = cluster.bus().frames_delivered();
+  return inv;
+}
+
+}  // namespace
+
+int main() {
+  title("E3  federated vs integrated resource inventory (ABS + navigation)",
+        "sharing nodes/network and importing sensor data through a gateway cuts "
+        "hardware without losing the sensor stream");
+
+  const Inventory fed = run_federated();
+  const Inventory integ = run_integrated();
+
+  row("%-26s %12s %12s", "resource", "federated", "integrated");
+  row("%-26s %12d %12d", "node computers", fed.nodes, integ.nodes);
+  row("%-26s %12d %12d", "physical networks", fed.physical_networks, integ.physical_networks);
+  row("%-26s %12d %12d", "wheel-speed sensors", fed.wheel_sensors, integ.wheel_sensors);
+  row("%-26s %12d %12d", "gateway partitions", fed.gateway_partitions, integ.gateway_partitions);
+  row("%-26s %12llu %12llu", "frames delivered (2s)",
+      static_cast<unsigned long long>(fed.frames), static_cast<unsigned long long>(integ.frames));
+  row("");
+  row("expected shape: the integrated system needs fewer nodes, one physical");
+  row("network and half the sensors, at the cost of one gateway partition and");
+  row("the gateway's share of bus frames.");
+  return integ.nodes < fed.nodes && integ.wheel_sensors < fed.wheel_sensors ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// E4 -- Temporal accuracy (paper Eq. (1)/(2), Fig. 5): "The purpose of
+// t_update and d_acc is to ensure that only temporally accurate real-time
+// images are forwarded by the gateway."
+//
+// A state element is refreshed with period U and the gateway's TT output
+// tries to forward it with period 5ms. We sweep the accuracy interval
+// d_acc against U and measure (a) the fraction of forwarding attempts
+// that succeed, (b) the stale constructions the ablation configuration
+// (accuracy checked at store time only, DESIGN.md decision 4) lets
+// through, and (c) the horizon(m) distribution at the forwarding
+// instants.
+#include "common.hpp"
+#include "sim/simulator.hpp"
+#include "util/statistics.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+constexpr Duration kDispatch = 5_ms;
+constexpr Duration kRun = 20_s;
+
+struct Outcome {
+  std::uint64_t attempts = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t stale_forwarded = 0;  // forwarded although inaccurate (ablation)
+  double mean_horizon_ms = 0.0;
+};
+
+Outcome run(Duration update_period, Duration d_acc, bool check_at_construction) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "image", 1));
+  link_a.add_port(input_port("msgA", spec::InfoSemantics::kState,
+                             spec::ControlParadigm::kTimeTriggered, update_period, 1_us,
+                             Duration::seconds(3600)));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "image", 2));
+  link_b.add_port(output_port("msgB", spec::InfoSemantics::kState,
+                              spec::ControlParadigm::kTimeTriggered, kDispatch));
+
+  core::GatewayConfig config;
+  config.default_d_acc = d_acc;
+  config.accuracy_check_at_store = !check_at_construction;
+  core::VirtualGateway gateway{"e4", std::move(link_a), std::move(link_b), config};
+  gateway.finalize();
+
+  Outcome outcome;
+  RunningStats horizon_stats;
+  gateway.link_b().set_emitter("msgB", [&](const spec::MessageInstance&) { ++outcome.forwarded; });
+
+  sim::Simulator sim;
+  Instant last_update = Instant::origin() - 1_s;
+  const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
+  for (Instant t = Instant::origin(); t < Instant::origin() + kRun; t += update_period) {
+    sim.schedule_at(t, [&gateway, &ms, &sim, &last_update] {
+      gateway.on_input(0, state_instance(ms, 7, sim.now()), sim.now());
+      last_update = sim.now();
+    });
+  }
+  for (Instant t = Instant::origin(); t < Instant::origin() + kRun; t += kDispatch) {
+    sim.schedule_at(t, [&] {
+      ++outcome.attempts;
+      const std::uint64_t before = outcome.forwarded;
+      gateway.dispatch(sim.now());
+      if (outcome.forwarded > before) {
+        horizon_stats.add(gateway.horizon(1, "msgB", sim.now()).as_ms());
+        const bool accurate = sim.now() < last_update + d_acc;
+        if (!accurate) ++outcome.stale_forwarded;
+      }
+    });
+  }
+  sim.run_until(Instant::origin() + kRun);
+  outcome.mean_horizon_ms = horizon_stats.mean();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E4  temporal accuracy filtering (Eq. (1)) and horizon (Eq. (2))",
+        "only temporally accurate state images leave the gateway; checking at "
+        "construction time (not store time) is what guarantees it");
+
+  row("%-9s %-9s %-14s %9s %9s %8s %9s %12s", "U[ms]", "dacc[ms]", "check", "attempts",
+      "forwarded", "fwd%", "stale", "horizon[ms]");
+  for (const auto update_ms : {2, 10, 20, 50}) {
+    for (const auto dacc_ms : {5, 15, 40, 100}) {
+      for (const bool at_construction : {true, false}) {
+        const Outcome o = run(Duration::milliseconds(update_ms),
+                              Duration::milliseconds(dacc_ms), at_construction);
+        row("%-9d %-9d %-14s %9llu %9llu %7.1f%% %9llu %12.2f", update_ms, dacc_ms,
+            at_construction ? "construction" : "store(abl)",
+            static_cast<unsigned long long>(o.attempts),
+            static_cast<unsigned long long>(o.forwarded),
+            100.0 * static_cast<double>(o.forwarded) / static_cast<double>(o.attempts),
+            static_cast<unsigned long long>(o.stale_forwarded), o.mean_horizon_ms);
+      }
+    }
+  }
+  row("");
+  row("expected shape: with the construction-time check, stale==0 always and the");
+  row("forwarded fraction collapses once d_acc < U (the image expires between");
+  row("updates). The store-time ablation forwards at full rate but leaks stale");
+  row("images exactly in those d_acc < U configurations.");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E5 -- Event-queue sizing (paper Section IV, Fig. 5): "a message buffer
+// is a queue that can hold a statically defined number of message
+// instances to accommodate for temporary intervals of time with
+// imbalances of message interarrival and service times. The
+// determination of the queue sizes is derived from the relationships
+// between message interarrival and service times, e.g., as expressed via
+// a probabilistic model."
+//
+// Arrivals are Poisson with mean interarrival 10ms; the gateway's TT
+// output serves one instance per period S (a deterministic server). We
+// sweep the queue capacity K and the utilization rho = S/10ms, measure
+// the overflow (loss) probability, and print the M/M/1/K closed form as
+// the probabilistic reference model (an upper-bound approximation for
+// the M/D/1/K system simulated here).
+#include <cmath>
+
+#include "common.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+constexpr Duration kMeanInterarrival = 10_ms;
+constexpr int kArrivals = 60000;
+
+double mm1k_loss(double rho, std::size_t k) {
+  // Blocking probability of M/M/1/K (K = waiting room incl. service).
+  if (std::abs(rho - 1.0) < 1e-9) return 1.0 / static_cast<double>(k + 1);
+  const double num = (1.0 - rho) * std::pow(rho, static_cast<double>(k));
+  const double den = 1.0 - std::pow(rho, static_cast<double>(k + 1));
+  return num / den;
+}
+
+double run(double rho, std::size_t capacity, std::uint64_t seed) {
+  const auto service = Duration::nanoseconds(
+      static_cast<std::int64_t>(rho * static_cast<double>(kMeanInterarrival.ns())));
+
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "burst", 1));
+  link_a.add_port(input_port("msgA", spec::InfoSemantics::kEvent,
+                             spec::ControlParadigm::kEventTriggered, Duration::zero(),
+                             Duration::zero(), Duration::max(), capacity + 8));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "burst", 2));
+  link_b.add_port(output_port("msgB", spec::InfoSemantics::kEvent,
+                              spec::ControlParadigm::kTimeTriggered, service, capacity + 8));
+
+  core::GatewayConfig config;
+  config.default_queue_capacity = capacity;
+  core::VirtualGateway gateway{"e5", std::move(link_a), std::move(link_b), config};
+  gateway.finalize();
+
+  Rng rng{seed};
+  sim::Simulator sim;
+  Instant t = Instant::origin();
+  const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
+  for (int i = 0; i < kArrivals; ++i) {
+    t += rng.exponential_duration(kMeanInterarrival);
+    sim.schedule_at(t, [&gateway, &ms, &sim] {
+      gateway.on_input(0, state_instance(ms, 1, sim.now()), sim.now());
+    });
+  }
+  // Service ticks: one construction opportunity per service period.
+  for (Instant tick = Instant::origin(); tick <= t; tick += service) {
+    sim.schedule_at(tick, [&gateway, &sim] { gateway.dispatch(sim.now()); });
+  }
+  sim.run_until(t + 1_s);
+
+  return static_cast<double>(gateway.stats().element_overflows) /
+         static_cast<double>(kArrivals);
+}
+
+}  // namespace
+
+int main() {
+  title("E5  repository event-queue sizing vs the probabilistic model",
+        "bounded queues sized from the interarrival/service-time model give a "
+        "predictable, small loss probability");
+
+  row("%-6s %-4s %12s %14s", "rho", "K", "measured", "M/M/1/K ref");
+  for (const double rho : {0.5, 0.8, 0.9, 0.95}) {
+    for (const std::size_t capacity : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const double measured = run(rho, capacity, 7);
+      row("%-6.2f %-4zu %11.4f%% %13.4f%%", rho, capacity, 100.0 * measured,
+          100.0 * mm1k_loss(rho, capacity));
+    }
+  }
+  row("");
+  row("expected shape: loss falls geometrically with K and rises with rho; the");
+  row("measured (deterministic-server) loss sits at or below the M/M/1/K");
+  row("reference, so sizing queues from the probabilistic model is safe.");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// E7 -- Encapsulation / temporal independence of virtual networks
+// (paper Sections I, II-A): "a virtual network exhibits specified
+// temporal properties, which are independent from the communication
+// activities in other virtual networks", and strong fault isolation
+// (core service C3) keeps even a babbling node inside its bandwidth
+// partition.
+//
+// VN B carries a 10ms periodic observer message whose delivery count and
+// latency jitter we measure, while VN A's offered load sweeps from idle
+// to saturation and finally to a babbling-idiot sender. The sweep runs
+// twice: with the bus guardian enabled (the architecture's containment)
+// and disabled (ablation).
+#include "common.hpp"
+#include "fault/plan.hpp"
+#include "platform/cluster.hpp"
+#include "util/statistics.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+constexpr Duration kRun = 5_s;
+
+struct Outcome {
+  std::uint64_t expected = 0;
+  std::uint64_t delivered = 0;
+  double jitter_us = 0.0;
+  std::uint64_t guardian_blocks = 0;
+  std::uint64_t collisions = 0;
+};
+
+/// load: VN A messages offered per round (0..4 = its slot budget; above
+/// that the pending queue saturates). babble: inject a babbling idiot.
+Outcome run(int load_per_round, bool babble, bool guardian) {
+  platform::ClusterConfig config;
+  config.nodes = 3;
+  config.round_length = 10_ms;
+  config.allocations = {
+      {1, "dasA", 32, {0, 0, 0, 0}},  // VN A: 4 slots/round on node 0
+      {2, "dasB", 32, {1}},           // VN B: 1 slot/round on node 1
+  };
+  config.bus.guardian_enabled = guardian;
+  platform::Cluster cluster{config};
+
+  vn::EtVirtualNetwork vn_a{"vn-a", 1, 256};
+  vn_a.register_message(state_message("msgA", "chatter", 1));
+  vn_a.attach_node(cluster.controller(0), cluster.vn_slots(1, 0));
+
+  vn::TtVirtualNetwork vn_b{"vn-b", 2};
+  vn_b.register_message(state_message("msgB", "observer", 2));
+
+  // VN B producer on node 1.
+  platform::Partition& p1 = cluster.component(1).add_partition("obs", "dasB", 1_ms, 1_ms);
+  platform::FunctionJob& observer =
+      p1.add_function_job("observer", [&vn_b](platform::FunctionJob& self, Instant now) {
+        self.ports()[0]->deposit(state_instance(*vn_b.message_spec("msgB"), 1, now), now);
+      });
+  vn_b.attach_sender(cluster.controller(1), observer.add_port(output_port(
+                         "msgB", spec::InfoSemantics::kState,
+                         spec::ControlParadigm::kTimeTriggered, 10_ms)),
+                     cluster.vn_slots(2, 1));
+
+  // VN B consumer on node 2: record interarrival jitter.
+  vn::Port consumer{input_port("msgB", spec::InfoSemantics::kState,
+                               spec::ControlParadigm::kTimeTriggered, 10_ms)};
+  vn_b.attach_receiver(cluster.controller(2), consumer);
+  SampleSet interarrivals;
+  std::uint64_t delivered = 0;
+  std::optional<Instant> last;
+  consumer.set_notify([&](vn::Port& port) {
+    ++delivered;
+    if (last) interarrivals.add(cluster.simulator().now() - *last);
+    last = cluster.simulator().now();
+    port.read();
+  });
+
+  // VN A load generator on node 0.
+  if (load_per_round > 0) {
+    platform::Partition& p0 = cluster.component(0).add_partition("chat", "dasA", 2_ms, 1_ms);
+    p0.add_function_job("chatter", [&vn_a, &cluster, load_per_round](platform::FunctionJob&,
+                                                                     Instant now) {
+      for (int i = 0; i < load_per_round; ++i) {
+        vn_a.send(cluster.controller(0),
+                  state_instance(*vn_a.message_spec("msgA"), i, now));
+      }
+    });
+  }
+  fault::FaultPlan plan{cluster.simulator()};
+  if (babble) {
+    // The babbler sprays a frame every 50us for 2s (a ~4% duty cycle on
+    // the medium), claiming VN B's slot.
+    const auto vn_b_slots = cluster.vn_slots(2, 1);
+    plan.babble(cluster.controller(0), Instant::origin() + 1_s, vn_b_slots[0], 2,
+                40000, 50_us);
+  }
+
+  cluster.start();
+  cluster.run_for(kRun);
+
+  Outcome outcome;
+  outcome.expected = static_cast<std::uint64_t>(kRun / 10_ms);
+  outcome.delivered = delivered;
+  outcome.jitter_us = interarrivals.spread() / 1e3;
+  outcome.guardian_blocks = cluster.bus().frames_blocked();
+  outcome.collisions = cluster.bus().collisions();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E7  temporal independence of virtual networks under cross-DAS load",
+        "VN B's delivery rate and jitter are unaffected by VN A's load; the bus "
+        "guardian contains even a babbling idiot to its own slots");
+
+  row("%-9s %-14s %-8s %10s %10s %12s %9s %10s", "guardian", "VN-A load", "babble",
+      "expected", "delivered", "jitter[us]", "blocked", "collisions");
+  for (const bool guardian : {true, false}) {
+    for (const int load : {0, 2, 4, 16}) {
+      for (const bool babble : {false, true}) {
+        if (!babble && !guardian) continue;  // uninteresting ablation cells
+        const Outcome o = run(load, babble, guardian);
+        row("%-9s %-14d %-8s %10llu %10llu %12.2f %9llu %10llu", guardian ? "on" : "off(abl)",
+            load, babble ? "yes" : "no", static_cast<unsigned long long>(o.expected),
+            static_cast<unsigned long long>(o.delivered), o.jitter_us,
+            static_cast<unsigned long long>(o.guardian_blocks),
+            static_cast<unsigned long long>(o.collisions));
+      }
+    }
+  }
+  row("");
+  row("expected shape: with the guardian on, VN B delivers every instance with");
+  row("microsecond jitter regardless of VN A's load or babbling (the babble is");
+  row("fully blocked). With the guardian off, the babbler collides with VN B's");
+  row("slot and deliveries are lost.");
+  return 0;
+}

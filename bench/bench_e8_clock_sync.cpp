@@ -1,0 +1,95 @@
+// E8 -- Core service C2: fault-tolerant clock synchronization (paper
+// Section II-C). The global time base that everything above (TDMA
+// guardian windows, TT virtual networks, gateway temporal checks)
+// depends on must hold under crystal drift and a bounded number of
+// arbitrarily faulty clocks.
+//
+// Sweep: drift magnitude, resynchronization period, and the presence of
+// one Byzantine-fast clock; measure the achieved cluster precision (max
+// pairwise clock offset, sampled every round after warm-up) against the
+// theoretical drift contribution 2*rho*R_int.
+#include <memory>
+
+#include "common.hpp"
+#include "platform/cluster.hpp"
+#include "util/statistics.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+struct Outcome {
+  double mean_precision_us = 0.0;
+  double max_precision_us = 0.0;
+  double theory_us = 0.0;  // 2 * rho * resync interval (drift term only)
+};
+
+Outcome run(double drift_ppm, std::uint64_t resync_rounds, bool byzantine) {
+  platform::ClusterConfig config;
+  config.nodes = 5;
+  config.round_length = 10_ms;
+  config.clock_sync.resync_rounds = resync_rounds;
+  config.clock_sync.discard_extremes = 1;
+  config.enable_membership = false;
+  // Symmetric drifts plus optionally one wildly fast clock (node 4).
+  config.drift_ppm = {drift_ppm, -drift_ppm, drift_ppm / 2, -drift_ppm / 2,
+                      byzantine ? 5000.0 : 0.0};
+  // Widen the guardian so even large test drifts don't silence nodes --
+  // this experiment isolates the sync service itself.
+  config.bus.guardian_tolerance = 10_ms;
+  platform::Cluster cluster{config};
+
+  RunningStats precision;
+  // Sample precision over the correct nodes (0..3) at every round end.
+  cluster.controller(0).add_round_listener([&](std::uint64_t round) {
+    if (round < 50) return;  // warm-up
+    Duration lo = Duration::max();
+    Duration hi = -Duration::max();
+    const Instant now = cluster.simulator().now();
+    for (std::size_t i = 0; i < 4; ++i) {
+      const Duration offset = cluster.controller(i).clock().read(now) - now;
+      lo = std::min(lo, offset);
+      hi = std::max(hi, offset);
+    }
+    precision.add(hi - lo);
+  });
+
+  cluster.start();
+  cluster.run_for(5_s);
+
+  Outcome outcome;
+  outcome.mean_precision_us = precision.mean() / 1e3;
+  outcome.max_precision_us = precision.max() / 1e3;
+  outcome.theory_us = 2.0 * drift_ppm * 1e-6 *
+                      static_cast<double>(resync_rounds) * 10e3;  // in us
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E8  fault-tolerant clock synchronization precision",
+        "the fault-tolerant average holds the cluster precision near the "
+        "2*rho*R_int drift bound, even with one Byzantine clock among five");
+
+  row("%-10s %-8s %-10s %12s %12s %12s", "drift[ppm]", "resync", "byzantine", "mean[us]",
+      "max[us]", "theory[us]");
+  for (const double drift : {10.0, 50.0, 100.0, 500.0, 1000.0}) {
+    for (const std::uint64_t resync : {1ull, 5ull, 10ull}) {
+      for (const bool byzantine : {false, true}) {
+        const Outcome o = run(drift, resync, byzantine);
+        row("%-10.0f %-8llu %-10s %12.2f %12.2f %12.2f", drift,
+            static_cast<unsigned long long>(resync), byzantine ? "yes" : "no",
+            o.mean_precision_us, o.max_precision_us, o.theory_us);
+      }
+    }
+  }
+  row("");
+  row("expected shape: precision grows linearly with drift rate and with the");
+  row("resynchronization interval, tracking the 2*rho*R_int theory line; the");
+  row("Byzantine column stays close to the fault-free one (k=1 extreme readings");
+  row("are discarded by the fault-tolerant average).");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E9 -- Core service C4: consistent diagnosis of failing nodes (paper
+// Section II-C). Crash faults are injected at random instants; we
+// measure the detection latency (rounds from the crash to the membership
+// verdict) on every surviving node and check that all survivors agree.
+#include <memory>
+
+#include "common.hpp"
+#include "fault/plan.hpp"
+#include "platform/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+struct Outcome {
+  RunningStats latency_rounds;
+  int consistent_trials = 0;
+  int trials = 0;
+};
+
+Outcome run(std::size_t cluster_size, std::uint64_t silence_threshold, double omission_rate,
+            int trials, std::uint64_t seed) {
+  Outcome outcome;
+  Rng rng{seed};
+  for (int trial = 0; trial < trials; ++trial) {
+    platform::ClusterConfig config;
+    config.nodes = cluster_size;
+    config.round_length = 10_ms;
+    config.membership_silence_threshold = silence_threshold;
+    platform::Cluster cluster{config};
+
+    const auto victim = static_cast<tt::NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cluster_size) - 1));
+    const Instant crash_at = Instant::origin() + Duration::microseconds(rng.uniform_int(
+                                                     100000, 300000));  // 100..300ms
+    const auto crash_round =
+        static_cast<std::uint64_t>((crash_at - Instant::origin()) / config.round_length);
+
+    if (omission_rate > 0.0) {
+      // Background noise: every node drops a fraction of its sends.
+      for (std::size_t i = 0; i < cluster_size; ++i) {
+        if (i != victim)
+          cluster.controller(i).set_send_omission_rate(omission_rate, seed + i);
+      }
+    }
+
+    fault::FaultPlan plan{cluster.simulator()};
+    plan.crash(cluster.controller(victim), crash_at);
+
+    std::vector<std::int64_t> detected_round(cluster_size, -1);
+    for (std::size_t i = 0; i < cluster_size; ++i) {
+      if (i == victim) continue;
+      cluster.membership(i)->add_change_listener(
+          [&detected_round, i, victim](tt::NodeId node, bool alive, std::uint64_t round) {
+            if (node == victim && !alive && detected_round[i] < 0)
+              detected_round[i] = static_cast<std::int64_t>(round);
+          });
+    }
+
+    cluster.start();
+    cluster.run_for(800_ms);
+
+    bool consistent = true;
+    const std::vector<bool>* reference = nullptr;
+    for (std::size_t i = 0; i < cluster_size; ++i) {
+      if (i == victim) continue;
+      if (detected_round[i] >= 0) {
+        outcome.latency_rounds.add(static_cast<double>(detected_round[i]) -
+                                   static_cast<double>(crash_round));
+      } else {
+        consistent = false;  // someone missed the crash entirely
+      }
+      const auto& vec = cluster.membership(i)->vector();
+      if (reference == nullptr) {
+        reference = &vec;
+      } else if (vec != *reference) {
+        consistent = false;
+      }
+    }
+    ++outcome.trials;
+    if (consistent) ++outcome.consistent_trials;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  title("E9  membership: crash detection latency and consistency",
+        "every correct node diagnoses a crashed component within the silence "
+        "threshold, and all correct nodes agree on the membership vector");
+
+  row("%-7s %-10s %-10s %8s %10s %10s %12s", "nodes", "threshold", "omission", "trials",
+      "lat.avg", "lat.max", "consistent");
+  for (const std::size_t nodes : {4u, 8u}) {
+    for (const std::uint64_t threshold : {1ull, 3ull}) {
+      for (const double omission : {0.0, 0.05}) {
+        Outcome o = run(nodes, threshold, omission, 20, 1234);
+        row("%-7zu %-10llu %-10.2f %8d %10.2f %10.2f %9d/%d", nodes,
+            static_cast<unsigned long long>(threshold), omission, o.trials,
+            o.latency_rounds.mean(), o.latency_rounds.max(), o.consistent_trials, o.trials);
+      }
+    }
+  }
+  row("");
+  row("expected shape: detection latency ~= the silence threshold (in rounds),");
+  row("independent of cluster size; consistency holds in every trial on the");
+  row("broadcast bus. Send omissions add sporadic false suspicions but do not");
+  row("break agreement (all nodes observe the same frames).");
+  return 0;
+}

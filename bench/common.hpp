@@ -1,0 +1,89 @@
+// Shared scaffolding for the experiment harnesses (E1-E12, DESIGN.md
+// section 3): canonical message specs, gateway rig construction, and
+// table printing. Each bench binary regenerates one experiment and
+// prints the rows recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/virtual_gateway.hpp"
+#include "spec/link_spec.hpp"
+#include "spec/message.hpp"
+
+namespace decos::bench {
+
+inline void title(const char* experiment, const char* claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("claim: %s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// One-element state message (key id + `element` with value/timestamp).
+inline spec::MessageSpec state_message(const std::string& message_name,
+                                       const std::string& element_name, int id) {
+  spec::MessageSpec ms{message_name};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{id}});
+  ms.add_element(std::move(key));
+  spec::ElementSpec payload;
+  payload.name = element_name;
+  payload.convertible = true;
+  payload.fields.push_back(spec::FieldSpec{"value", spec::FieldType::kInt32, 0, std::nullopt});
+  payload.fields.push_back(spec::FieldSpec{"t", spec::FieldType::kTimestamp, 0, std::nullopt});
+  ms.add_element(std::move(payload));
+  return ms;
+}
+
+inline spec::MessageInstance state_instance(const spec::MessageSpec& ms, std::int64_t value,
+                                            Instant t) {
+  spec::MessageInstance inst = spec::make_instance(ms);
+  inst.elements()[1].fields[0] = ta::Value{value};
+  inst.elements()[1].fields[1] = ta::Value{t};
+  inst.set_send_time(t);
+  return inst;
+}
+
+inline spec::PortSpec input_port(const std::string& message, spec::InfoSemantics semantics,
+                                 spec::ControlParadigm paradigm, Duration period_or_zero,
+                                 Duration tmin = Duration::zero(),
+                                 Duration tmax = Duration::max(), std::size_t queue = 16) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = semantics;
+  ps.paradigm = paradigm;
+  ps.period = period_or_zero;
+  ps.min_interarrival = tmin;
+  ps.max_interarrival = tmax;
+  ps.queue_capacity = queue;
+  return ps;
+}
+
+inline spec::PortSpec output_port(const std::string& message, spec::InfoSemantics semantics,
+                                  spec::ControlParadigm paradigm, Duration period_or_zero,
+                                  std::size_t queue = 16) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = semantics;
+  ps.paradigm = paradigm;
+  ps.period = period_or_zero;
+  ps.queue_capacity = queue;
+  return ps;
+}
+
+}  // namespace decos::bench

@@ -1,0 +1,45 @@
+#include "core/diagnosis.hpp"
+
+#include <algorithm>
+
+namespace decos::core {
+
+std::string ClusterHealth::summary() const {
+  if (all_green()) return "all green";
+  std::string out;
+  if (!failed_nodes.empty()) {
+    out += "failed nodes:";
+    for (const tt::NodeId node : failed_nodes) out += " " + std::to_string(node);
+  }
+  if (!misbehaving_dases.empty()) {
+    if (!out.empty()) out += "; ";
+    out += "temporal violations from:";
+    for (const auto& das : misbehaving_dases) out += " " + das;
+  }
+  out += " (" + std::to_string(contained_messages) + " messages contained)";
+  return out;
+}
+
+ClusterHealth DiagnosisService::report() const {
+  ClusterHealth health;
+  const std::vector<bool>& alive = membership_->vector();
+  for (tt::NodeId node = 0; node < alive.size(); ++node) {
+    if (!alive[node]) health.failed_nodes.push_back(node);
+  }
+  for (const VirtualGateway* gateway : gateways_) {
+    for (const int side : {0, 1}) {
+      if (gateway->link_health(side) == VirtualGateway::LinkHealth::kError) {
+        const std::string& das = gateway->link(side).spec().das();
+        if (std::find(health.misbehaving_dases.begin(), health.misbehaving_dases.end(), das) ==
+            health.misbehaving_dases.end())
+          health.misbehaving_dases.push_back(das);
+      }
+    }
+    const auto& stats = gateway->stats();
+    health.contained_messages +=
+        stats.blocked_temporal + stats.blocked_value + stats.blocked_unknown;
+  }
+  return health;
+}
+
+}  // namespace decos::core

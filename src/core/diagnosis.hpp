@@ -1,0 +1,46 @@
+// Cluster-level diagnosis: the consistent-diagnosis core service (C4)
+// tells *which components* failed; the gateways' timed automata tell
+// *which DASes* violate their temporal specifications (paper Section IV:
+// the error state "gives the gateway the ability to perform error
+// handling"). This service aggregates both into one queryable health
+// report -- the hook an integrated system's maintenance function (or a
+// degradation-aware application) consumes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/virtual_gateway.hpp"
+#include "services/membership.hpp"
+
+namespace decos::core {
+
+/// Health report over the whole cluster at one instant.
+struct ClusterHealth {
+  std::vector<tt::NodeId> failed_nodes;          // per membership (C4)
+  std::vector<std::string> misbehaving_dases;    // per gateway automata
+  std::uint64_t contained_messages = 0;          // blocked at gateways so far
+
+  bool all_green() const { return failed_nodes.empty() && misbehaving_dases.empty(); }
+  std::string summary() const;
+};
+
+/// Aggregates one membership view plus any number of gateways.
+class DiagnosisService {
+ public:
+  /// `membership`: the local membership instance whose view this service
+  /// trusts (all correct nodes agree, so any one will do).
+  explicit DiagnosisService(const services::Membership& membership) : membership_{&membership} {}
+
+  /// Register a gateway; the DAS names are taken from its link specs.
+  void watch(const VirtualGateway& gateway) { gateways_.push_back(&gateway); }
+
+  ClusterHealth report() const;
+
+ private:
+  const services::Membership* membership_;
+  std::vector<const VirtualGateway*> gateways_;
+};
+
+}  // namespace decos::core

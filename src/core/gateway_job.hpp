@@ -1,0 +1,33 @@
+// Hosting a hidden gateway on the platform (paper Section IV intro +
+// Section III: "A hidden gateway performs the interconnection of virtual
+// networks at the architecture level").
+//
+// The gateway runs as an architecture-level activity inside a dedicated
+// partition of a component -- transparent to application jobs, which see
+// only the messages that appear on their own virtual network. GatewayJob
+// adapts a VirtualGateway to the partition scheduler: every activation
+// performs one dispatch() (pull-input drain, timeout polls, TT output
+// construction).
+#pragma once
+
+#include "core/virtual_gateway.hpp"
+#include "platform/job.hpp"
+
+namespace decos::core {
+
+class GatewayJob final : public platform::Job {
+ public:
+  /// The job is created in a dedicated architecture-level DAS so that no
+  /// application partition can host it by accident.
+  GatewayJob(VirtualGateway& gateway, std::string das = "architecture")
+      : platform::Job{"gateway:" + gateway.name(), std::move(das)}, gateway_{gateway} {}
+
+  void step(Instant now) override { gateway_.dispatch(now); }
+
+  VirtualGateway& gateway() { return gateway_; }
+
+ private:
+  VirtualGateway& gateway_;
+};
+
+}  // namespace decos::core

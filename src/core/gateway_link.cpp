@@ -1,0 +1,45 @@
+#include "core/gateway_link.hpp"
+
+namespace decos::core {
+
+GatewayLink::GatewayLink(int side, spec::LinkSpec link_spec)
+    : side_{side}, link_spec_{std::move(link_spec)} {
+  link_spec_.validate().check();
+}
+
+void GatewayLink::add_rename(const std::string& link_element, const std::string& repo_element) {
+  rename_to_repo_[link_element] = repo_element;
+  rename_to_link_[repo_element] = link_element;
+}
+
+const std::string& GatewayLink::repo_name(const std::string& link_element) const {
+  const auto it = rename_to_repo_.find(link_element);
+  return it == rename_to_repo_.end() ? link_element : it->second;
+}
+
+const std::string& GatewayLink::link_name(const std::string& repo_element) const {
+  const auto it = rename_to_link_.find(repo_element);
+  return it == rename_to_link_.end() ? repo_element : it->second;
+}
+
+vn::Port* GatewayLink::port(const std::string& message_name) {
+  const auto it = port_by_message_.find(message_name);
+  return it == port_by_message_.end() ? nullptr : it->second;
+}
+
+void GatewayLink::set_emitter(const std::string& message_name,
+                              std::function<void(const spec::MessageInstance&)> emitter) {
+  emitters_[message_name] = std::move(emitter);
+}
+
+ta::Interpreter* GatewayLink::recv_interpreter(const std::string& message_name) {
+  const auto it = recv_by_message_.find(message_name);
+  return it == recv_by_message_.end() ? nullptr : it->second;
+}
+
+ta::Interpreter* GatewayLink::send_interpreter(const std::string& message_name) {
+  const auto it = send_by_message_.find(message_name);
+  return it == send_by_message_.end() ? nullptr : it->second;
+}
+
+}  // namespace decos::core

@@ -1,0 +1,86 @@
+// One side of a virtual gateway (paper Fig. 4, left/right halves).
+//
+// A GatewayLink owns the runtime ports towards one virtual network, the
+// timed-automaton interpreters animating the link specification's
+// temporal part, and the element renaming table that resolves incoherent
+// naming between the link's namespace and the gateway repository.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spec/link_spec.hpp"
+#include "spec/message.hpp"
+#include "ta/interpreter.hpp"
+#include "vn/port.hpp"
+
+namespace decos::core {
+
+class VirtualGateway;
+
+class GatewayLink {
+ public:
+  /// `side` is 0 (link A) or 1 (link B); used in diagnostics.
+  GatewayLink(int side, spec::LinkSpec link_spec);
+
+  GatewayLink(const GatewayLink&) = delete;
+  GatewayLink& operator=(const GatewayLink&) = delete;
+
+  int side() const { return side_; }
+  const spec::LinkSpec& spec() const { return link_spec_; }
+
+  // -- element renaming (Section III-A.1) ----------------------------------
+  /// Map a link-namespace element name to its repository (canonical)
+  /// name. Unmapped names pass through unchanged.
+  void add_rename(const std::string& link_element, const std::string& repo_element);
+  const std::string& repo_name(const std::string& link_element) const;
+  /// Inverse lookup used at construction time.
+  const std::string& link_name(const std::string& repo_element) const;
+
+  // -- runtime ports ---------------------------------------------------
+  /// Created by VirtualGateway::finalize() from the link spec's port
+  /// specifications. Input ports receive from the VN; output ports hold
+  /// constructed messages for the VN to transmit.
+  vn::Port* port(const std::string& message_name);
+  const std::vector<std::unique_ptr<vn::Port>>& ports() const { return ports_; }
+
+  /// Per-message emit override: used when the VN side needs an active
+  /// push (event-triggered VNs). Default: deposit into the output port.
+  void set_emitter(const std::string& message_name,
+                   std::function<void(const spec::MessageInstance&)> emitter);
+
+  // -- interpreters ------------------------------------------------------
+  /// Interpreter animating the automaton that governs receptions /
+  /// transmissions of `message_name`, or nullptr if none.
+  ta::Interpreter* recv_interpreter(const std::string& message_name);
+  ta::Interpreter* send_interpreter(const std::string& message_name);
+  /// All interpreters, keyed by automaton name.
+  const std::map<std::string, std::unique_ptr<ta::Interpreter>>& interpreters() const {
+    return interpreters_;
+  }
+
+ private:
+  friend class VirtualGateway;
+
+  int side_;
+  spec::LinkSpec link_spec_;
+  std::map<std::string, std::string> rename_to_repo_;
+  std::map<std::string, std::string> rename_to_link_;
+  std::vector<std::unique_ptr<vn::Port>> ports_;
+  std::map<std::string, vn::Port*> port_by_message_;
+  // Automata synthesized from port specs when the link spec supplies no
+  // hand-written automaton for a message (unique_ptr: pointer stability).
+  std::vector<std::unique_ptr<ta::AutomatonSpec>> synthesized_;
+  std::map<std::string, std::unique_ptr<ta::Interpreter>> interpreters_;  // by automaton
+  std::map<std::string, ta::Interpreter*> recv_by_message_;
+  std::map<std::string, ta::Interpreter*> send_by_message_;
+  std::map<std::string, std::function<void(const spec::MessageInstance&)>> emitters_;
+  // Error-state bookkeeping for auto-restart, keyed by automaton name.
+  std::map<std::string, Instant> error_since_;
+};
+
+}  // namespace decos::core

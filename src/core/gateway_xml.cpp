@@ -1,0 +1,151 @@
+#include "core/gateway_xml.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "spec/linkspec_xml.hpp"
+#include "ta/expr.hpp"
+#include "xml/xml.hpp"
+
+namespace decos::core {
+namespace {
+
+
+Result<std::size_t> parse_size_attr(const std::string& text, const char* what) {
+  if (text.empty())
+    return Result<std::size_t>::failure(std::string{"empty "} + what + " attribute");
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0)
+    return Result<std::size_t>::failure(std::string{"bad "} + what + " attribute '" + text + "'");
+  return static_cast<std::size_t>(value);
+}
+
+Result<Duration> parse_duration(const std::string& text) {
+  auto expr = ta::parse_expression(text);
+  if (!expr.ok()) return expr.error();
+  // Literal-only: evaluate against an environment that rejects names.
+  class NoEnv final : public ta::Environment {
+   public:
+    ta::Value get(const std::string& name) const override {
+      throw SpecError("identifier '" + name + "' not allowed here");
+    }
+    void set(const std::string&, const ta::Value&) override { throw SpecError("no assignment"); }
+    ta::Value call(const std::string& name, const std::vector<ta::Value>&) override {
+      throw SpecError("no call of '" + name + "'");
+    }
+  } env;
+  try {
+    return expr.value()->evaluate(env).as_duration();
+  } catch (const SpecError& e) {
+    return Result<Duration>::failure(std::string{"bad duration '"} + text + "': " + e.what());
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<VirtualGateway>> parse_gateway_xml(std::string_view xml_text) {
+  using R = Result<std::unique_ptr<VirtualGateway>>;
+  auto doc = xml::parse(xml_text);
+  if (!doc.ok()) return doc.error();
+  const xml::Element& root = *doc.value().root;
+  if (root.name() != "gatewayspec")
+    return R::failure("expected <gatewayspec> root, got <" + root.name() + ">");
+
+  const std::string name = root.attribute_or("name", "gateway");
+
+  GatewayConfig config;
+  if (const xml::Element* ce = root.child("config"); ce != nullptr) {
+    if (ce->has_attribute("dispatch")) {
+      auto d = parse_duration(ce->attribute("dispatch"));
+      if (!d.ok()) return d.error();
+      config.dispatch_period = d.value();
+    }
+    if (ce->has_attribute("restart")) {
+      auto d = parse_duration(ce->attribute("restart"));
+      if (!d.ok()) return d.error();
+      config.restart_delay = d.value();
+    }
+    if (ce->has_attribute("dacc")) {
+      auto d = parse_duration(ce->attribute("dacc"));
+      if (!d.ok()) return d.error();
+      config.default_d_acc = d.value();
+    }
+    if (ce->has_attribute("queue")) {
+      auto parsed = parse_size_attr(ce->attribute("queue"), "queue");
+      if (!parsed.ok()) return parsed.error();
+      config.default_queue_capacity = parsed.value();
+    }
+    if (ce->has_attribute("filtering"))
+      config.temporal_filtering = ce->attribute("filtering") != "off";
+    if (ce->has_attribute("pull"))
+      config.pull_only_on_request = ce->attribute("pull") == "on-request";
+  }
+
+  const auto link_elements = root.children_named("linkspec");
+  if (link_elements.size() != 2)
+    return R::failure("a <gatewayspec> needs exactly 2 <linkspec> children, found " +
+                      std::to_string(link_elements.size()));
+
+  // Re-serialize each child so the linkspec parser sees a standalone doc.
+  auto link_a = spec::parse_link_spec_xml(xml::write(*link_elements[0]));
+  if (!link_a.ok()) return Error{"link 0: " + link_a.error().message};
+  auto link_b = spec::parse_link_spec_xml(xml::write(*link_elements[1]));
+  if (!link_b.ok()) return Error{"link 1: " + link_b.error().message};
+
+  auto gateway = std::make_unique<VirtualGateway>(name, std::move(link_a.value()),
+                                                  std::move(link_b.value()), config);
+
+  for (const xml::Element* re : root.children_named("rename")) {
+    const std::string side = re->attribute("side");
+    if (side != "0" && side != "1")
+      return R::failure("<rename> needs side=\"0\" or \"1\"");
+    const std::string from = re->attribute("from");
+    const std::string to = re->attribute("to");
+    if (from.empty() || to.empty()) return R::failure("<rename> needs from= and to=");
+    gateway->link(side == "0" ? 0 : 1).add_rename(from, to);
+  }
+
+  for (const xml::Element* ee : root.children_named("element")) {
+    const std::string element_name = ee->attribute("name");
+    if (element_name.empty()) return R::failure("<element> needs a name");
+    const std::string semantics_text = ee->attribute_or("semantics", "state");
+    spec::InfoSemantics semantics;
+    if (semantics_text == "state") semantics = spec::InfoSemantics::kState;
+    else if (semantics_text == "event") semantics = spec::InfoSemantics::kEvent;
+    else return R::failure("<element name=\"" + element_name + "\">: bad semantics");
+    Duration d_acc = config.default_d_acc;
+    if (ee->has_attribute("dacc")) {
+      auto d = parse_duration(ee->attribute("dacc"));
+      if (!d.ok()) return d.error();
+      d_acc = d.value();
+    }
+    std::size_t queue = config.default_queue_capacity;
+    if (ee->has_attribute("queue")) {
+      auto parsed = parse_size_attr(ee->attribute("queue"), "queue");
+      if (!parsed.ok()) return parsed.error();
+      queue = parsed.value();
+    }
+    gateway->set_element_config(element_name, semantics, d_acc, queue);
+  }
+
+  try {
+    gateway->finalize();
+  } catch (const SpecError& e) {
+    return R::failure(std::string{"gateway '"} + name + "' rejected: " + e.what());
+  }
+  return gateway;
+}
+
+Result<std::unique_ptr<VirtualGateway>> load_gateway_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in)
+    return Result<std::unique_ptr<VirtualGateway>>::failure("cannot open gateway spec '" + path +
+                                                            "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_gateway_xml(buffer.str());
+}
+
+}  // namespace decos::core

@@ -1,0 +1,34 @@
+// Whole-gateway XML configuration.
+//
+// The paper parameterizes the generic gateway service with "a message
+// description based on timed automata" per link (Fig. 6). Deploying a
+// gateway additionally needs the glue that Section IV describes in
+// prose: the element renaming tables (Section III-A.1) and the
+// repository meta data (d_acc, queue capacities; Section IV-A). This
+// module bundles all of it into one deployable artifact:
+//
+//   <gatewayspec name="wheel-share">
+//     <config dispatch="1ms" restart="50ms" dacc="50ms" queue="16"/>
+//     <linkspec> ... side 0 (Fig. 6 format) ... </linkspec>
+//     <linkspec> ... side 1 ... </linkspec>
+//     <rename side="1" from="speedinfo" to="wheelspeed"/>
+//     <element name="wheelspeed" semantics="state" dacc="40ms"/>
+//   </gatewayspec>
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/virtual_gateway.hpp"
+#include "util/result.hpp"
+
+namespace decos::core {
+
+/// Parse a <gatewayspec> document and build the (finalized) gateway.
+Result<std::unique_ptr<VirtualGateway>> parse_gateway_xml(std::string_view xml_text);
+
+/// Load a gateway from a file on disk.
+Result<std::unique_ptr<VirtualGateway>> load_gateway_file(const std::string& path);
+
+}  // namespace decos::core

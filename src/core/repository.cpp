@@ -1,0 +1,124 @@
+#include "core/repository.hpp"
+
+#include "util/result.hpp"
+
+namespace decos::core {
+
+void Repository::declare(const ElementDecl& decl) {
+  const auto it = entries_.find(decl.name);
+  if (it != entries_.end()) {
+    if (it->second.decl.semantics != decl.semantics)
+      throw SpecError("convertible element '" + decl.name +
+                      "' declared with conflicting semantics");
+    return;
+  }
+  Entry e;
+  e.decl = decl;
+  entries_.emplace(decl.name, std::move(e));
+}
+
+Repository::Entry& Repository::entry(const std::string& name) {
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw SpecError("convertible element '" + name + "' is not declared in the repository");
+  return it->second;
+}
+
+const Repository::Entry& Repository::entry(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw SpecError("convertible element '" + name + "' is not declared in the repository");
+  return it->second;
+}
+
+const ElementDecl& Repository::decl_of(const std::string& name) const { return entry(name).decl; }
+
+bool Repository::store(const std::string& name, ElementInstance instance, Instant now) {
+  Entry& e = entry(name);
+  e.b_req = false;  // the request has been satisfied
+  ++e.version;
+  ++stores_;
+  if (e.decl.semantics == spec::InfoSemantics::kState) {
+    instance.observed_at = now;
+    e.state_value = std::move(instance);
+    e.t_update = now;
+    return true;
+  }
+  if (e.queue.size() >= e.decl.queue_capacity) {
+    ++overflows_;
+    return false;
+  }
+  instance.observed_at = now;
+  e.queue.push_back(std::move(instance));
+  return true;
+}
+
+bool Repository::temporally_accurate(const std::string& name, Instant now) const {
+  const Entry& e = entry(name);
+  if (e.decl.semantics != spec::InfoSemantics::kState) return true;
+  if (!e.state_value) return false;
+  return now < e.t_update + e.decl.d_acc;
+}
+
+bool Repository::available(const std::string& name, Instant now) const {
+  const Entry& e = entry(name);
+  if (e.decl.semantics == spec::InfoSemantics::kState)
+    return e.state_value.has_value() && temporally_accurate(name, now);
+  return !e.queue.empty();
+}
+
+std::optional<ElementInstance> Repository::fetch(const std::string& name, Instant now,
+                                                 bool ignore_accuracy) {
+  Entry& e = entry(name);
+  if (e.decl.semantics == spec::InfoSemantics::kState) {
+    if (!e.state_value) return std::nullopt;
+    if (!ignore_accuracy && !temporally_accurate(name, now)) {
+      ++stale_refused_;
+      return std::nullopt;
+    }
+    return e.state_value;  // non-consuming copy
+  }
+  if (e.queue.empty()) return std::nullopt;
+  ElementInstance instance = std::move(e.queue.front());
+  e.queue.pop_front();
+  return instance;
+}
+
+const ElementInstance* Repository::peek(const std::string& name) const {
+  const Entry& e = entry(name);
+  if (e.decl.semantics == spec::InfoSemantics::kState)
+    return e.state_value ? &*e.state_value : nullptr;
+  return e.queue.empty() ? nullptr : &e.queue.front();
+}
+
+Duration Repository::horizon(std::span<const std::string> elements, Instant now) const {
+  Duration h = Duration::max();
+  for (const auto& name : elements) {
+    const Entry& e = entry(name);
+    if (e.decl.semantics != spec::InfoSemantics::kState) continue;
+    const Duration remaining = (e.t_update + e.decl.d_acc) - now;
+    if (remaining < h) h = remaining;
+  }
+  return h;
+}
+
+void Repository::set_request(const std::string& name, bool requested) {
+  entry(name).b_req = requested;
+}
+
+bool Repository::requested(const std::string& name) const { return entry(name).b_req; }
+
+std::uint64_t Repository::version(const std::string& name) const { return entry(name).version; }
+
+std::size_t Repository::queue_depth(const std::string& name) const {
+  return entry(name).queue.size();
+}
+
+std::vector<std::string> Repository::element_names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace decos::core

@@ -1,0 +1,144 @@
+// The gateway repository: a real-time database of convertible elements
+// (paper Section IV-A, Fig. 5).
+//
+// Convertible elements with state semantics are stored in state variables
+// (update in place) together with two meta attributes: the static
+// temporal accuracy interval d_acc and the dynamic instant of the most
+// recent update t_update. A stored real-time image is *temporally
+// accurate* at t_now iff t_now < t_update + d_acc.
+//
+//   NOTE on Eq. (1): the paper's transcription prints the accuracy
+//   condition as t_update + d_acc < t_now, which would make an image
+//   accurate only after its interval elapsed -- contradicting both the
+//   surrounding prose and Eq. (2) (horizon = min(t_update + d_acc -
+//   t_now), positive while accurate). We implement the evidently intended
+//   direction; see DESIGN.md "Faithfulness notes".
+//
+// Convertible elements with event semantics are stored in bounded queues
+// and consumed exactly once, regardless of temporal accuracy, to keep
+// sender/receiver state synchronization intact.
+//
+// Every element additionally carries the boolean request variable b_req
+// by which one gateway side can request instances from the other
+// (event-triggered interaction, Section IV-A).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spec/port_spec.hpp"
+#include "ta/value.hpp"
+#include "util/time.hpp"
+
+namespace decos::core {
+
+/// One stored instance of a convertible element: field values by name
+/// (name-addressed so the two links may order or subset fields
+/// differently -- syntactic property transformation).
+struct ElementInstance {
+  std::vector<std::pair<std::string, ta::Value>> fields;
+  Instant observed_at;
+
+  const ta::Value* field(const std::string& name) const {
+    for (const auto& [k, v] : fields)
+      if (k == name) return &v;
+    return nullptr;
+  }
+  void set_field(const std::string& name, ta::Value value) {
+    for (auto& [k, v] : fields) {
+      if (k == name) {
+        v = std::move(value);
+        return;
+      }
+    }
+    fields.emplace_back(name, std::move(value));
+  }
+};
+
+/// Declaration of one convertible element in the repository.
+struct ElementDecl {
+  std::string name;  // repository (canonical) name
+  spec::InfoSemantics semantics = spec::InfoSemantics::kState;
+  Duration d_acc = Duration::milliseconds(50);  // state elements only
+  std::size_t queue_capacity = 16;              // event elements only
+};
+
+class Repository {
+ public:
+  /// Declare an element. Re-declaration with identical semantics is a
+  /// no-op; conflicting semantics is a configuration error.
+  void declare(const ElementDecl& decl);
+  bool is_declared(const std::string& name) const { return entries_.count(name) != 0; }
+  const ElementDecl& decl_of(const std::string& name) const;
+
+  /// Store an instance. State: overwrite in place, t_update := now.
+  /// Event: enqueue; a full queue drops the *new* instance and counts an
+  /// overflow. Storing clears the element's request variable.
+  /// Returns false on overflow.
+  bool store(const std::string& name, ElementInstance instance, Instant now);
+
+  /// Availability for message construction (the m! guard): state
+  /// elements must hold a temporally accurate image; event elements a
+  /// non-empty queue.
+  bool available(const std::string& name, Instant now) const;
+
+  /// Fetch for construction. State: non-consuming copy if accurate (or
+  /// regardless of accuracy when `ignore_accuracy`). Event: pop the
+  /// oldest instance (exactly-once).
+  std::optional<ElementInstance> fetch(const std::string& name, Instant now,
+                                       bool ignore_accuracy = false);
+
+  /// Non-consuming read of the current state value / queue head.
+  const ElementInstance* peek(const std::string& name) const;
+
+  /// Eq. (1), corrected direction: t_now < t_update + d_acc.
+  bool temporally_accurate(const std::string& name, Instant now) const;
+
+  /// Eq. (2): remaining accuracy interval over a set of elements,
+  ///   horizon = min over elements of (t_update + d_acc - t_now).
+  /// Event elements do not constrain the horizon. Elements with state
+  /// semantics but no stored image yield a negative horizon.
+  Duration horizon(std::span<const std::string> elements, Instant now) const;
+
+  // -- request variables ----------------------------------------------------
+  void set_request(const std::string& name, bool requested = true);
+  bool requested(const std::string& name) const;
+
+  /// Monotone store counter per element (0 = never stored). Lets the
+  /// gateway detect fresh information for event-triggered emission.
+  std::uint64_t version(const std::string& name) const;
+
+  std::size_t queue_depth(const std::string& name) const;
+
+  // -- counters ---------------------------------------------------------
+  std::uint64_t stores() const { return stores_; }
+  std::uint64_t overflows() const { return overflows_; }
+  std::uint64_t stale_fetches_refused() const { return stale_refused_; }
+  std::size_t element_count() const { return entries_.size(); }
+  std::vector<std::string> element_names() const;
+
+ private:
+  struct Entry {
+    ElementDecl decl;
+    std::optional<ElementInstance> state_value;
+    Instant t_update = Instant::origin() - Duration::seconds(1000);  // "never"
+    std::deque<ElementInstance> queue;
+    bool b_req = false;
+    std::uint64_t version = 0;
+  };
+
+  Entry& entry(const std::string& name);
+  const Entry& entry(const std::string& name) const;
+
+  std::unordered_map<std::string, Entry> entries_;
+  std::uint64_t stores_ = 0;
+  std::uint64_t overflows_ = 0;
+  mutable std::uint64_t stale_refused_ = 0;
+};
+
+}  // namespace decos::core

@@ -1,0 +1,606 @@
+#include "core/virtual_gateway.hpp"
+
+#include <algorithm>
+
+namespace decos::core {
+
+// ---------------------------------------------------------------------------
+// Transfer-semantics evaluation environment: identifiers resolve first to
+// the derived element's current fields, then to the source instance's
+// fields, then to the link parameters.
+// ---------------------------------------------------------------------------
+class VirtualGateway::ConversionEnv final : public ta::Environment {
+ public:
+  ConversionEnv(ElementInstance& target, const ElementInstance& source,
+                const spec::LinkSpec& link_spec, Instant now)
+      : target_{target}, source_{source}, link_spec_{link_spec}, now_{now} {}
+
+  ta::Value get(const std::string& name) const override {
+    if (name == "t_now" || name == "tnow") return ta::Value{now_};
+    if (const ta::Value* v = target_.field(name); v != nullptr) return *v;
+    if (const ta::Value* v = source_.field(name); v != nullptr) return *v;
+    if (link_spec_.has_parameter(name)) return link_spec_.parameter(name);
+    throw SpecError("transfer semantics: unknown identifier '" + name + "'");
+  }
+
+  void set(const std::string& name, const ta::Value& value) override {
+    target_.set_field(name, value);
+  }
+
+  ta::Value call(const std::string& fn, const std::vector<ta::Value>& args) override {
+    if (fn == "min" && args.size() == 2)
+      return args[0].as_real() <= args[1].as_real() ? args[0] : args[1];
+    if (fn == "max" && args.size() == 2)
+      return args[0].as_real() >= args[1].as_real() ? args[0] : args[1];
+    if (fn == "abs" && args.size() == 1) {
+      if (args[0].is_real())
+        return ta::Value{args[0].as_real() < 0 ? -args[0].as_real() : args[0].as_real()};
+      return ta::Value{args[0].as_int() < 0 ? -args[0].as_int() : args[0].as_int()};
+    }
+    throw SpecError("transfer semantics: unknown function '" + fn + "'");
+  }
+
+ private:
+  ElementInstance& target_;
+  const ElementInstance& source_;
+  const spec::LinkSpec& link_spec_;
+  Instant now_;
+};
+
+// ---------------------------------------------------------------------------
+// Value-domain filter environment: identifiers resolve to the fields of
+// the arriving instance (searched across its elements, declaration
+// order), then to the link parameters.
+// ---------------------------------------------------------------------------
+namespace {
+class FilterEnv final : public ta::Environment {
+ public:
+  FilterEnv(const spec::MessageSpec& message_spec, const spec::MessageInstance& instance,
+            const spec::LinkSpec& link_spec, Instant now)
+      : message_spec_{message_spec}, instance_{instance}, link_spec_{link_spec}, now_{now} {}
+
+  ta::Value get(const std::string& name) const override {
+    if (name == "t_now" || name == "tnow") return ta::Value{now_};
+    for (std::size_t ei = 0; ei < message_spec_.elements().size(); ++ei) {
+      const spec::ElementSpec& es = message_spec_.elements()[ei];
+      for (std::size_t fi = 0; fi < es.fields.size(); ++fi) {
+        if (es.fields[fi].name != name) continue;
+        if (ei < instance_.elements().size() && fi < instance_.elements()[ei].fields.size())
+          return instance_.elements()[ei].fields[fi];
+      }
+    }
+    if (link_spec_.has_parameter(name)) return link_spec_.parameter(name);
+    throw SpecError("value filter: unknown identifier '" + name + "'");
+  }
+  void set(const std::string&, const ta::Value&) override {
+    throw SpecError("value filters cannot assign");
+  }
+  ta::Value call(const std::string& fn, const std::vector<ta::Value>& args) override {
+    if (fn == "abs" && args.size() == 1) {
+      if (args[0].is_real())
+        return ta::Value{args[0].as_real() < 0 ? -args[0].as_real() : args[0].as_real()};
+      return ta::Value{args[0].as_int() < 0 ? -args[0].as_int() : args[0].as_int()};
+    }
+    throw SpecError("value filter: unknown function '" + fn + "'");
+  }
+
+ private:
+  const spec::MessageSpec& message_spec_;
+  const spec::MessageInstance& instance_;
+  const spec::LinkSpec& link_spec_;
+  Instant now_;
+};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+std::string GatewayStats::summary() const {
+  char buf[320];
+  std::snprintf(buf, sizeof buf,
+                "in=%llu admitted=%llu forwarded=%llu blocked(temporal=%llu value=%llu "
+                "unknown=%llu) stored=%llu overflows=%llu conversions=%llu held=%llu "
+                "failed=%llu errors=%llu restarts=%llu",
+                static_cast<unsigned long long>(messages_in),
+                static_cast<unsigned long long>(messages_admitted),
+                static_cast<unsigned long long>(messages_constructed),
+                static_cast<unsigned long long>(blocked_temporal),
+                static_cast<unsigned long long>(blocked_value),
+                static_cast<unsigned long long>(blocked_unknown),
+                static_cast<unsigned long long>(elements_stored),
+                static_cast<unsigned long long>(element_overflows),
+                static_cast<unsigned long long>(conversions),
+                static_cast<unsigned long long>(construction_held),
+                static_cast<unsigned long long>(construction_failed),
+                static_cast<unsigned long long>(automaton_errors),
+                static_cast<unsigned long long>(restarts));
+  return buf;
+}
+
+VirtualGateway::VirtualGateway(std::string name, spec::LinkSpec link_a, spec::LinkSpec link_b,
+                               GatewayConfig config)
+    : name_{std::move(name)},
+      config_{config},
+      link_a_{0, std::move(link_a)},
+      link_b_{1, std::move(link_b)} {}
+
+void VirtualGateway::set_element_config(const std::string& repo_element,
+                                        spec::InfoSemantics semantics, Duration d_acc,
+                                        std::size_t queue_capacity) {
+  if (finalized_) throw SpecError("set_element_config after finalize()");
+  element_overrides_[repo_element] =
+      ElementDecl{repo_element, semantics, d_acc, queue_capacity};
+}
+
+std::vector<std::string> VirtualGateway::required_elements(
+    const GatewayLink& link, const spec::MessageSpec& message) const {
+  std::vector<std::string> out;
+  for (const auto* es : message.convertible_elements()) out.push_back(link.repo_name(es->name));
+  return out;
+}
+
+void VirtualGateway::finalize() {
+  if (finalized_) throw SpecError("gateway '" + name_ + "' finalized twice");
+  finalized_ = true;
+
+  const auto declare_element = [this](const std::string& repo_element,
+                                      spec::InfoSemantics semantics) {
+    const auto it = element_overrides_.find(repo_element);
+    if (it != element_overrides_.end()) {
+      repository_.declare(it->second);
+      return;
+    }
+    ElementDecl decl;
+    decl.name = repo_element;
+    decl.semantics = semantics;
+    decl.d_acc = config_.default_d_acc;
+    decl.queue_capacity = config_.default_queue_capacity;
+    repository_.declare(decl);
+  };
+
+  // An element's information semantics are set by the side that
+  // *produces* it (input ports and transfer rules); output ports only
+  // contribute a fallback declaration when nobody produces the element.
+  std::vector<std::pair<std::string, spec::InfoSemantics>> output_fallbacks;
+
+  for (GatewayLink* link : {&link_a_, &link_b_}) {
+    // 1. Ports + repository declarations for incoming convertible elements.
+    for (const spec::PortSpec& port_spec : link->spec().ports()) {
+      const spec::MessageSpec* ms = link->spec().message(port_spec.message);
+      link->ports_.push_back(std::make_unique<vn::Port>(port_spec));
+      vn::Port* port = link->ports_.back().get();
+      link->port_by_message_[port_spec.message] = port;
+
+      for (const auto* es : ms->convertible_elements()) {
+        if (port_spec.direction == spec::DataDirection::kInput) {
+          declare_element(link->repo_name(es->name), port_spec.semantics);
+        } else {
+          output_fallbacks.emplace_back(link->repo_name(es->name), port_spec.semantics);
+        }
+      }
+
+      if (port_spec.direction == spec::DataDirection::kInput &&
+          port_spec.interaction == spec::Interaction::kPush) {
+        const int side = link->side();
+        port->set_notify([this, side](vn::Port& p) {
+          // Deposit just happened; its instant is the port's last update.
+          const Instant now = p.last_update().value_or(Instant::origin());
+          if (auto instance = p.read()) on_input(side, *instance, now);
+        });
+      }
+    }
+
+    // 2. Transfer-rule targets.
+    for (const spec::TransferRule& rule : link->spec().transfer_rules()) {
+      spec::InfoSemantics semantics = spec::InfoSemantics::kState;
+      for (const auto& f : rule.fields)
+        if (f.semantics == "event") semantics = spec::InfoSemantics::kEvent;
+      declare_element(link->repo_name(rule.target), semantics);
+      rules_by_source_.emplace(link->repo_name(rule.source), &rule);
+    }
+  }
+  for (const auto& [name, semantics] : output_fallbacks) {
+    if (!repository_.is_declared(name)) declare_element(name, semantics);
+  }
+
+  // Selective redirection (paper Section III-B.1): the repository only
+  // retains elements that some outgoing message is constructed from.
+  // Elements consumed solely by transfer rules are converted in flight;
+  // everything else is discarded at dissection.
+  for (GatewayLink* link : {&link_a_, &link_b_}) {
+    for (const spec::PortSpec& port_spec : link->spec().ports()) {
+      if (port_spec.direction != spec::DataDirection::kOutput) continue;
+      const spec::MessageSpec* ms = link->spec().message(port_spec.message);
+      for (const auto& name : required_elements(*link, *ms)) needed_elements_.insert(name);
+    }
+  }
+
+  // 3. Interpreters: hand-written automata from the link specs first...
+  for (GatewayLink* link : {&link_a_, &link_b_}) {
+    GatewayLink& l = *link;
+    const auto hook_up = [this, &l](const ta::AutomatonSpec& automaton) {
+      ta::InterpreterHooks hooks;
+      hooks.can_send = [this, &l](const std::string& msg) { return can_construct(l, msg, now_); };
+      hooks.request_missing = [this, &l](const std::string& msg) { request_missing(l, msg, now_); };
+      hooks.resolve = [&l](const std::string& id) -> ta::Value {
+        if (l.spec().has_parameter(id)) return l.spec().parameter(id);
+        throw SpecError("automaton identifier '" + id + "' is not a link parameter");
+      };
+      hooks.invoke = [this, &l](const std::string& fn,
+                                const std::vector<ta::Value>& args) -> ta::Value {
+        if (fn == "horizon" && args.size() == 1)
+          return ta::Value{horizon(l.side(), args[0].as_string(), now_)};
+        if (fn == "requ" && args.size() == 1) {
+          const spec::MessageSpec* ms = l.spec().message(args[0].as_string());
+          if (ms == nullptr) return ta::Value{false};
+          for (const auto& name : required_elements(l, *ms))
+            if (repository_.requested(name)) return ta::Value{true};
+          return ta::Value{false};
+        }
+        throw SpecError("unknown automaton function '" + fn + "'");
+      };
+      auto interpreter = std::make_unique<ta::Interpreter>(automaton, std::move(hooks));
+      ta::Interpreter* raw = interpreter.get();
+      l.interpreters_[automaton.name()] = std::move(interpreter);
+      for (const auto& edge : automaton.edges()) {
+        if (edge.action == ta::ActionKind::kReceive) l.recv_by_message_[edge.message] = raw;
+        if (edge.action == ta::ActionKind::kSend) l.send_by_message_[edge.message] = raw;
+      }
+    };
+
+    for (const ta::AutomatonSpec& automaton : l.spec().automata()) hook_up(automaton);
+
+    // ...then synthesized automata from the port specifications for
+    // messages the spec's temporal part does not cover.
+    for (const spec::PortSpec& port_spec : l.spec().ports()) {
+      if (port_spec.direction == spec::DataDirection::kInput) {
+        if (l.recv_by_message_.count(port_spec.message) != 0) continue;
+        // Interarrival bounds: explicit tmin/tmax for ET ports; for TT
+        // ports the period is a-priori knowledge, so receptions faster
+        // than period/2 or silences beyond 2*period violate the spec.
+        Duration tmin = port_spec.min_interarrival;
+        Duration tmax = port_spec.max_interarrival;
+        if (port_spec.is_time_triggered()) {
+          if (tmin.is_zero()) tmin = port_spec.period / 2;
+          if (tmax == Duration::max()) tmax = port_spec.period * 2;
+        }
+        const bool bounded = tmin > Duration::zero() || tmax < Duration::max();
+        auto automaton = std::make_unique<ta::AutomatonSpec>(
+            bounded ? ta::make_interarrival_receive("auto_recv_" + port_spec.message,
+                                                    port_spec.message, tmin, tmax)
+                    : ta::make_unconstrained_receive("auto_recv_" + port_spec.message,
+                                                     port_spec.message));
+        hook_up(*automaton);
+        l.synthesized_.push_back(std::move(automaton));
+      } else {
+        if (l.send_by_message_.count(port_spec.message) != 0) continue;
+        auto automaton = std::make_unique<ta::AutomatonSpec>(
+            port_spec.is_time_triggered()
+                ? ta::make_periodic_send("auto_send_" + port_spec.message, port_spec.message,
+                                         port_spec.period)
+                : ta::make_unconstrained_send("auto_send_" + port_spec.message,
+                                              port_spec.message));
+        hook_up(*automaton);
+        l.synthesized_.push_back(std::move(automaton));
+      }
+    }
+  }
+}
+
+void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, Instant now) {
+  if (!finalized_) throw SpecError("gateway '" + name_ + "' used before finalize()");
+  now_ = now;
+  GatewayLink& link = this->link(side);
+  ++stats_.messages_in;
+
+  const spec::MessageSpec* ms = link.spec().message(instance.message());
+  if (ms == nullptr) {
+    ++stats_.blocked_unknown;
+    trace_.record(now, sim::TraceKind::kGatewayBlocked, instance.message(), "unknown message");
+    return;
+  }
+
+  if (config_.temporal_filtering) {
+    ta::Interpreter* interpreter = link.recv_interpreter(instance.message());
+    if (interpreter != nullptr) {
+      maybe_restart(link, now);
+      // Run due time-triggered edges (e.g. tmax timeouts) before the
+      // arrival so the automaton judges it from the correct location.
+      if (!interpreter->in_error() && interpreter->poll(now) > 0 && interpreter->in_error())
+        note_error(link, interpreter->spec().name(), now);
+      const ta::FireResult result = interpreter->on_receive(instance.message(), now);
+      if (result != ta::FireResult::kFired) {
+        ++stats_.blocked_temporal;
+        if (interpreter->in_error()) note_error(link, interpreter->spec().name(), now);
+        trace_.record(now, sim::TraceKind::kGatewayBlocked, instance.message(),
+                      "temporal violation (side " + std::to_string(side) + ")");
+        return;
+      }
+    }
+  }
+
+  // Value-domain filtering (Section III-B.1): the filter predicate is
+  // evaluated on the interface state -- the instance's field values.
+  if (const ta::ExprPtr* filter = link.spec().filter_for(instance.message()); filter != nullptr) {
+    FilterEnv env{*ms, instance, link.spec(), now};
+    if (!(*filter)->evaluate(env).as_bool()) {
+      ++stats_.blocked_value;
+      trace_.record(now, sim::TraceKind::kGatewayBlocked, instance.message(),
+                    "value filter (side " + std::to_string(side) + ")");
+      return;
+    }
+  }
+
+  ++stats_.messages_admitted;
+  dissect_and_store(link, *ms, instance, now);
+
+  // Event-driven forwarding: freshly stored elements may enable
+  // event-triggered outputs on either side immediately.
+  try_outputs(link_a_, now, /*tt_outputs=*/false, /*et_outputs=*/true);
+  try_outputs(link_b_, now, /*tt_outputs=*/false, /*et_outputs=*/true);
+}
+
+void VirtualGateway::dissect_and_store(GatewayLink& link, const spec::MessageSpec& message_spec,
+                                       const spec::MessageInstance& instance, Instant now) {
+  for (const spec::ElementSpec* es : message_spec.convertible_elements()) {
+    const spec::ElementValue* ev = instance.element(es->name);
+    if (ev == nullptr) continue;  // structurally absent; decode would have supplied it
+    ElementInstance repo_instance;
+    repo_instance.observed_at = now;
+    for (std::size_t i = 0; i < es->fields.size() && i < ev->fields.size(); ++i)
+      repo_instance.fields.emplace_back(es->fields[i].name, ev->fields[i]);
+    const std::string& repo = link.repo_name(es->name);
+    if (needed_elements_.count(repo) != 0) {
+      if (repository_.store(repo, repo_instance, now)) {
+        ++stats_.elements_stored;
+      } else {
+        ++stats_.element_overflows;
+      }
+    }
+    apply_transfer_rules(repo, repo_instance, now);
+  }
+}
+
+void VirtualGateway::apply_transfer_rules(const std::string& source_repo_element,
+                                          const ElementInstance& source, Instant now) {
+  const auto [begin, end] = rules_by_source_.equal_range(source_repo_element);
+  for (auto it = begin; it != end; ++it) {
+    const spec::TransferRule& rule = *it->second;
+    // The rule's namespace is the link that declared it; both links'
+    // specs share the parameter lookup, so resolve via the owning link.
+    const GatewayLink& owner =
+        std::any_of(link_a_.spec().transfer_rules().begin(), link_a_.spec().transfer_rules().end(),
+                    [&](const spec::TransferRule& r) { return &r == &rule; })
+            ? link_a_
+            : link_b_;
+    const std::string target_repo = owner.repo_name(rule.target);
+
+    // Start from the current derived state (or the rule's initial values).
+    ElementInstance target;
+    if (const ElementInstance* current = repository_.peek(target_repo); current != nullptr) {
+      target = *current;
+    } else {
+      for (const auto& f : rule.fields) target.set_field(f.name, f.init);
+    }
+
+    ConversionEnv env{target, source, owner.spec(), now};
+    for (const auto& f : rule.fields) target.set_field(f.name, f.update->evaluate(env));
+
+    repository_.store(target_repo, std::move(target), now);
+    ++stats_.conversions;
+  }
+}
+
+bool VirtualGateway::can_construct(const GatewayLink& link, const std::string& message_name,
+                                   Instant now) const {
+  const spec::MessageSpec* ms = link.spec().message(message_name);
+  if (ms == nullptr) return false;
+  for (const auto& name : required_elements(link, *ms)) {
+    if (config_.accuracy_check_at_store) {
+      // Ablation: construction does not re-check temporal accuracy.
+      if (repository_.peek(name) == nullptr) return false;
+    } else if (!repository_.available(name, now)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void VirtualGateway::request_missing(GatewayLink& link, const std::string& message_name,
+                                     Instant now) {
+  const spec::MessageSpec* ms = link.spec().message(message_name);
+  if (ms == nullptr) return;
+  for (const auto& name : required_elements(link, *ms)) {
+    if (!repository_.available(name, now)) repository_.set_request(name);
+  }
+  ++stats_.construction_held;
+}
+
+void VirtualGateway::try_outputs(GatewayLink& link, Instant now, bool tt_outputs,
+                                 bool et_outputs) {
+  now_ = now;
+  for (const spec::PortSpec& port_spec : link.spec().ports()) {
+    if (port_spec.direction != spec::DataDirection::kOutput) continue;
+    if (port_spec.is_time_triggered() && !tt_outputs) continue;
+    if (!port_spec.is_time_triggered() && !et_outputs) continue;
+
+    ta::Interpreter* interpreter = link.send_interpreter(port_spec.message);
+    if (interpreter == nullptr) continue;
+    if (interpreter->in_error()) continue;
+
+    const spec::MessageSpec* ms = link.spec().message(port_spec.message);
+    const auto required = required_elements(link, *ms);
+    bool consumes_events = false;
+    for (const auto& name : required) {
+      if (repository_.decl_of(name).semantics == spec::InfoSemantics::kEvent)
+        consumes_events = true;
+    }
+
+    // Event-triggered outputs of state-only messages emit once per fresh
+    // repository update; without this gate an always-enabled m! edge
+    // would re-send the same image on every dispatch.
+    const auto gate_key = std::make_pair(link.side(), port_spec.message);
+    std::uint64_t version_sum = 0;
+    if (!port_spec.is_time_triggered() && !consumes_events) {
+      for (const auto& name : required) version_sum += repository_.version(name);
+      const auto it = last_emitted_version_.find(gate_key);
+      if (it != last_emitted_version_.end() && it->second == version_sum) continue;
+      if (version_sum == 0) continue;  // nothing produced yet
+    }
+
+    // Emit as many instances as the automaton allows (event queues may
+    // hold several pending instances); state-only messages emit once.
+    for (int guard = 0; guard < 64; ++guard) {
+      const ta::FireResult result = interpreter->try_send(port_spec.message, now);
+      if (result != ta::FireResult::kFired) break;
+      if (!construct_and_emit(link, *ms, now)) break;
+      if (!consumes_events) {
+        if (!port_spec.is_time_triggered()) last_emitted_version_[gate_key] = version_sum;
+        break;
+      }
+    }
+  }
+}
+
+bool VirtualGateway::construct_and_emit(GatewayLink& link, const spec::MessageSpec& message_spec,
+                                        Instant now) {
+  spec::MessageInstance instance = spec::make_instance(message_spec);
+  instance.set_send_time(now);
+
+  for (const spec::ElementSpec* es : message_spec.convertible_elements()) {
+    const std::string& repo = link.repo_name(es->name);
+    auto stored = repository_.fetch(repo, now, /*ignore_accuracy=*/config_.accuracy_check_at_store);
+    if (!stored) {
+      ++stats_.construction_failed;
+      trace_.record(now, sim::TraceKind::kGatewayBlocked, message_spec.name(),
+                    "element '" + repo + "' unavailable at construction");
+      return false;
+    }
+    spec::ElementValue* ev = instance.element(es->name);
+    for (std::size_t i = 0; i < es->fields.size(); ++i) {
+      const spec::FieldSpec& fs = es->fields[i];
+      if (fs.is_static()) continue;
+      const ta::Value* v = stored->field(fs.name);
+      if (v == nullptr) {
+        ++stats_.construction_failed;
+        trace_.record(now, sim::TraceKind::kGatewayBlocked, message_spec.name(),
+                      "field '" + fs.name + "' missing in element '" + repo + "'");
+        return false;
+      }
+      ev->fields[i] = *v;
+    }
+  }
+
+  ++stats_.messages_constructed;
+  trace_.record(now, sim::TraceKind::kGatewayForwarded, message_spec.name(),
+                "side " + std::to_string(link.side()));
+
+  const auto it = link.emitters_.find(message_spec.name());
+  if (it != link.emitters_.end()) {
+    it->second(instance);
+  } else if (vn::Port* port = link.port(message_spec.name()); port != nullptr) {
+    port->deposit(std::move(instance), now);
+  }
+  return true;
+}
+
+void VirtualGateway::note_error(GatewayLink& link, const std::string& automaton_name,
+                                Instant now) {
+  if (link.error_since_.count(automaton_name) != 0) return;
+  link.error_since_[automaton_name] = now;
+  ++stats_.automaton_errors;
+  trace_.record(now, sim::TraceKind::kAutomatonError, automaton_name,
+                "side " + std::to_string(link.side()));
+}
+
+void VirtualGateway::maybe_restart(GatewayLink& link, Instant now) {
+  if (config_.restart_delay <= Duration::zero()) return;
+  for (auto it = link.error_since_.begin(); it != link.error_since_.end();) {
+    if (now - it->second >= config_.restart_delay) {
+      link.interpreters_.at(it->first)->restart(now);
+      ++stats_.restarts;
+      it = link.error_since_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void VirtualGateway::dispatch(Instant now) {
+  if (!finalized_) throw SpecError("gateway '" + name_ + "' used before finalize()");
+  now_ = now;
+  for (GatewayLink* link : {&link_a_, &link_b_}) {
+    maybe_restart(*link, now);
+
+    // Drain pull-mode input ports.
+    for (const spec::PortSpec& port_spec : link->spec().ports()) {
+      if (port_spec.direction != spec::DataDirection::kInput ||
+          port_spec.interaction != spec::Interaction::kPull)
+        continue;
+      if (config_.pull_only_on_request) {
+        const spec::MessageSpec* ms = link->spec().message(port_spec.message);
+        bool wanted = false;
+        for (const auto& name : required_elements(*link, *ms))
+          if (repository_.requested(name)) wanted = true;
+        if (!wanted) continue;
+      }
+      vn::Port* port = link->port(port_spec.message);
+      while (port != nullptr && port->has_data()) {
+        auto instance = port->read();
+        if (!instance) break;
+        on_input(link->side(), *instance, now);
+        if (port->spec().semantics == spec::InfoSemantics::kState) break;  // state: one copy
+      }
+    }
+
+    // Time-triggered edges (timeout detection) of all automata.
+    for (auto& [automaton_name, interpreter] : link->interpreters_) {
+      if (interpreter->in_error()) continue;
+      if (interpreter->poll(now) > 0 && interpreter->in_error())
+        note_error(*link, automaton_name, now);
+    }
+  }
+
+  try_outputs(link_a_, now, /*tt_outputs=*/true, /*et_outputs=*/true);
+  try_outputs(link_b_, now, /*tt_outputs=*/true, /*et_outputs=*/true);
+}
+
+void VirtualGateway::start(sim::Simulator& simulator) {
+  if (!finalized_) finalize();
+  start_tick(simulator);
+}
+
+void VirtualGateway::start_tick(sim::Simulator& simulator) {
+  simulator.schedule_after(config_.dispatch_period, [this, &simulator] {
+    dispatch(simulator.now());
+    start_tick(simulator);
+  });
+}
+
+VirtualGateway::LinkHealth VirtualGateway::link_health(int side) const {
+  const GatewayLink& link = side == 0 ? link_a_ : link_b_;
+  for (const auto& [automaton_name, interpreter] : link.interpreters_) {
+    if (interpreter->in_error()) return LinkHealth::kError;
+  }
+  return LinkHealth::kHealthy;
+}
+
+std::vector<std::string> VirtualGateway::failed_automata(int side) const {
+  const GatewayLink& link = side == 0 ? link_a_ : link_b_;
+  std::vector<std::string> out;
+  for (const auto& [automaton_name, interpreter] : link.interpreters_) {
+    if (interpreter->in_error()) out.push_back(automaton_name);
+  }
+  return out;
+}
+
+Duration VirtualGateway::horizon(int side, const std::string& message_name, Instant now) const {
+  const GatewayLink& link = side == 0 ? link_a_ : link_b_;
+  const spec::MessageSpec* ms = link.spec().message(message_name);
+  if (ms == nullptr)
+    throw SpecError("horizon(): unknown message '" + message_name + "' on side " +
+                    std::to_string(side));
+  const auto elements = required_elements(link, *ms);
+  return repository_.horizon(elements, now);
+}
+
+}  // namespace decos::core

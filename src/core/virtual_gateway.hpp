@@ -1,0 +1,173 @@
+// The virtual gateway: the paper's primary contribution (Sections III-IV).
+//
+// A (hidden) virtual gateway interconnects the virtual networks of two
+// DASes. Per direction it (Fig. 4):
+//   1. receives message instances at the input ports of one link,
+//      guarded by that link's deterministic timed automata -- arrivals
+//      violating the temporal specification drive the automaton into its
+//      error state and the instance is discarded (error containment);
+//   2. dissects admitted instances into convertible elements and stores
+//      them in the gateway repository (selective redirection: elements
+//      not flagged convertible are discarded here);
+//   3. applies the transfer-semantics rules (event<->state conversion);
+//   4. constructs outgoing messages from repository elements for the
+//      other link -- the m! edge fires only when every constituting
+//      element is available (state images temporally accurate, event
+//      queues non-empty), otherwise the missing elements' request
+//      variables are set;
+//   5. resolves incoherent naming through per-link renaming tables.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/gateway_link.hpp"
+#include "core/repository.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace decos::core {
+
+/// Tuning and ablation knobs (DESIGN.md section 5).
+struct GatewayConfig {
+  /// Standalone dispatch period (TT output evaluation + timeout polls).
+  Duration dispatch_period = Duration::milliseconds(1);
+  /// If positive, an automaton that entered its error state is restarted
+  /// this long after the violation; if zero it stays in error (all
+  /// further traffic of that message is blocked).
+  Duration restart_delay = Duration::zero();
+  /// Ablation (E1): when false, incoming instances bypass the timed
+  /// automata entirely -- the gateway forwards without temporal checks.
+  bool temporal_filtering = true;
+  /// Ablation (E4, design decision 4): when true, the temporal-accuracy
+  /// check also runs at store time instead of only at construction time.
+  bool accuracy_check_at_store = false;
+  /// Pull-mode input ports are only drained when one of their convertible
+  /// elements has been requested via b_req (Section IV-A).
+  bool pull_only_on_request = false;
+  /// Defaults for convertible-element meta data; override per element
+  /// via set_element_config().
+  Duration default_d_acc = Duration::milliseconds(50);
+  std::size_t default_queue_capacity = 16;
+};
+
+/// Forwarding statistics (inputs to E1/E2/E4/E10/E12).
+struct GatewayStats {
+  /// One-line human-readable summary (examples, operator diagnostics).
+  std::string summary() const;
+
+  std::uint64_t messages_in = 0;          // instances offered to the gateway
+  std::uint64_t messages_admitted = 0;    // passed the temporal automata
+  std::uint64_t blocked_temporal = 0;     // rejected by an automaton (incl. while in error)
+  std::uint64_t blocked_value = 0;        // rejected by a value-domain filter
+  std::uint64_t blocked_unknown = 0;      // message not in the link spec
+  std::uint64_t elements_stored = 0;
+  std::uint64_t element_overflows = 0;
+  std::uint64_t conversions = 0;          // transfer-rule applications
+  std::uint64_t messages_constructed = 0; // emitted towards the other VN
+  std::uint64_t construction_held = 0;    // m! guard true but elements missing
+  std::uint64_t construction_failed = 0;  // field mismatch between the two links
+  std::uint64_t automaton_errors = 0;
+  std::uint64_t restarts = 0;
+};
+
+class VirtualGateway {
+ public:
+  VirtualGateway(std::string name, spec::LinkSpec link_a, spec::LinkSpec link_b,
+                 GatewayConfig config = {});
+
+  const std::string& name() const { return name_; }
+  GatewayLink& link(int side) { return side == 0 ? link_a_ : link_b_; }
+  const GatewayLink& link(int side) const { return side == 0 ? link_a_ : link_b_; }
+  GatewayLink& link_a() { return link_a_; }
+  GatewayLink& link_b() { return link_b_; }
+  const GatewayLink& link_a() const { return link_a_; }
+  const GatewayLink& link_b() const { return link_b_; }
+  Repository& repository() { return repository_; }
+  const GatewayConfig& config() const { return config_; }
+  GatewayStats& stats() { return stats_; }
+  const GatewayStats& stats() const { return stats_; }
+  sim::TraceRecorder& trace() { return trace_; }
+
+  /// Override repository meta data for one element (by repository name).
+  /// Must be called before finalize().
+  void set_element_config(const std::string& repo_element, spec::InfoSemantics semantics,
+                          Duration d_acc, std::size_t queue_capacity = 16);
+
+  /// Build ports, repository declarations and interpreters from the two
+  /// link specs. Call once, after renames/element configs, before use.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  // -- runtime entry points ----------------------------------------------
+  /// Offer an incoming instance on `side`. Wired automatically to the
+  /// link's push input ports by finalize(); call directly in tests.
+  void on_input(int side, const spec::MessageInstance& instance, Instant now);
+
+  /// Periodic service: drain pull inputs, poll automata (timeout
+  /// detection), auto-restart, and attempt TT output constructions.
+  void dispatch(Instant now);
+
+  /// Schedule dispatch() every config.dispatch_period on `simulator`.
+  void start(sim::Simulator& simulator);
+
+  /// The remaining temporal-accuracy horizon of outgoing message
+  /// `message_name` on `side` (Eq. (2)); exposed for guards/tests.
+  Duration horizon(int side, const std::string& message_name, Instant now) const;
+
+  /// Diagnosis hook: health of the traffic on `side` as judged by the
+  /// temporal automata. kHealthy = all automata in non-error locations;
+  /// kError = at least one automaton of the side sits in its error state
+  /// (the producing DAS violated its temporal specification).
+  enum class LinkHealth { kHealthy, kError };
+  LinkHealth link_health(int side) const;
+  /// Automaton names currently in their error state on `side`.
+  std::vector<std::string> failed_automata(int side) const;
+
+ private:
+  class ConversionEnv;
+
+  /// Repository names of the convertible elements constituting `message`
+  /// as seen from `side`'s namespace.
+  std::vector<std::string> required_elements(const GatewayLink& link,
+                                             const spec::MessageSpec& message) const;
+
+  void dissect_and_store(GatewayLink& link, const spec::MessageSpec& message_spec,
+                         const spec::MessageInstance& instance, Instant now);
+  void apply_transfer_rules(const std::string& source_repo_element,
+                            const ElementInstance& source, Instant now);
+  bool can_construct(const GatewayLink& link, const std::string& message_name, Instant now) const;
+  void request_missing(GatewayLink& link, const std::string& message_name, Instant now);
+  void try_outputs(GatewayLink& link, Instant now, bool tt_outputs, bool et_outputs);
+  bool construct_and_emit(GatewayLink& link, const spec::MessageSpec& message_spec, Instant now);
+  void note_error(GatewayLink& link, const std::string& message_name, Instant now);
+  void maybe_restart(GatewayLink& link, Instant now);
+  void start_tick(sim::Simulator& simulator);
+
+  std::string name_;
+  GatewayConfig config_;
+  GatewayLink link_a_;
+  GatewayLink link_b_;
+  Repository repository_;
+  GatewayStats stats_;
+  sim::TraceRecorder trace_;
+  std::map<std::string, ElementDecl> element_overrides_;
+  // Transfer rules from both links indexed by source repository element.
+  std::multimap<std::string, const spec::TransferRule*> rules_by_source_;
+  // Selective redirection: only elements some output message (or nothing
+  // -- then dropped) actually needs are stored in the repository.
+  std::set<std::string> needed_elements_;
+  // Freshness gate for event-triggered outputs of state-only messages:
+  // (side, message) -> repository version sum at the last emission.
+  std::map<std::pair<int, std::string>, std::uint64_t> last_emitted_version_;
+  // Current operation instant, visible to the interpreter hooks (the
+  // gateway is single-threaded on the simulation loop).
+  Instant now_;
+  bool finalized_ = false;
+};
+
+}  // namespace decos::core

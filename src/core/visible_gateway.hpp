@@ -1,0 +1,74 @@
+// Visible gateways (paper Section III): "A visible gateway performs the
+// interconnection at the application level. A so-called gateway job
+// possesses ports to two virtual networks. ... a visible gateway enables
+// the designer to resolve mismatches that elude a generic architectural
+// solution. Property mismatches at the semantic level will usually fall
+// into this category."
+//
+// VisibleGatewayJob is a platform job holding one input port (towards
+// VN A) and one output port (towards VN B) plus a user-supplied
+// *semantic transform*: arbitrary application code that rewrites each
+// instance -- unit conversions, coordinate changes, domain-specific
+// plausibility logic -- before it is re-published. Unlike the hidden
+// VirtualGateway it is developed and validated per application, which is
+// exactly the trade-off the paper describes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "platform/job.hpp"
+#include "spec/message.hpp"
+
+namespace decos::core {
+
+class VisibleGatewayJob final : public platform::Job {
+ public:
+  /// The transform receives each admitted input instance and returns the
+  /// instance to publish on the output side (or nullopt to drop it --
+  /// application-level filtering).
+  using Transform =
+      std::function<std::optional<spec::MessageInstance>(const spec::MessageInstance&, Instant)>;
+
+  /// The job belongs to the DAS of its *output* side: it acts as one of
+  /// that DAS's producers, with an explicitly granted window into the
+  /// other DAS (its input port).
+  VisibleGatewayJob(std::string name, std::string das, spec::PortSpec input_spec,
+                    spec::PortSpec output_spec, Transform transform)
+      : platform::Job{std::move(name), std::move(das)},
+        transform_{std::move(transform)},
+        input_{add_port(std::move(input_spec))},
+        output_{add_port(std::move(output_spec))} {}
+
+  vn::Port& input() { return input_; }
+  vn::Port& output() { return output_; }
+
+  void step(Instant now) override {
+    // Drain everything pending (event ports) / the freshest image (state
+    // ports) and re-publish through the transform.
+    while (auto instance = input_.read()) {
+      if (auto transformed = transform_(*instance, now)) {
+        transformed->set_send_time(now);
+        output_.deposit(std::move(*transformed), now);
+        ++forwarded_;
+      } else {
+        ++dropped_;
+      }
+      if (input_.spec().semantics == spec::InfoSemantics::kState) break;
+    }
+  }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  Transform transform_;
+  vn::Port& input_;
+  vn::Port& output_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace decos::core

@@ -1,0 +1,47 @@
+#include "core/wiring.hpp"
+
+namespace decos::core {
+
+void wire_tt_link(VirtualGateway& gateway, int side, vn::TtVirtualNetwork& network,
+                  tt::Controller& controller,
+                  const std::map<std::string, std::vector<std::size_t>>& sender_slots) {
+  if (!gateway.finalized()) gateway.finalize();
+  GatewayLink& link = gateway.link(side);
+  for (const spec::PortSpec& port_spec : link.spec().ports()) {
+    // The VN needs the message registered in its namespace.
+    if (network.message_spec(port_spec.message) == nullptr)
+      network.register_message(*link.spec().message(port_spec.message));
+    vn::Port* port = link.port(port_spec.message);
+    if (port_spec.direction == spec::DataDirection::kInput) {
+      network.attach_receiver(controller, *port);
+    } else {
+      const auto it = sender_slots.find(port_spec.message);
+      if (it == sender_slots.end())
+        throw SpecError("wire_tt_link: no slots given for output message '" + port_spec.message +
+                        "'");
+      network.attach_sender(controller, *port, it->second);
+    }
+  }
+}
+
+void wire_et_link(VirtualGateway& gateway, int side, vn::EtVirtualNetwork& network,
+                  tt::Controller& controller, const std::vector<std::size_t>& node_slots) {
+  if (!gateway.finalized()) gateway.finalize();
+  GatewayLink& link = gateway.link(side);
+  if (!node_slots.empty()) network.attach_node(controller, node_slots);
+  for (const spec::PortSpec& port_spec : link.spec().ports()) {
+    if (network.message_spec(port_spec.message) == nullptr)
+      network.register_message(*link.spec().message(port_spec.message));
+    vn::Port* port = link.port(port_spec.message);
+    if (port_spec.direction == spec::DataDirection::kInput) {
+      network.attach_receiver(controller, *port);
+    } else {
+      link.set_emitter(port_spec.message,
+                       [&network, &controller](const spec::MessageInstance& instance) {
+                         network.send(controller, instance);
+                       });
+    }
+  }
+}
+
+}  // namespace decos::core

@@ -1,0 +1,38 @@
+// Wiring a hidden virtual gateway into the cluster.
+//
+// The gateway is an architecture-level service: it runs on a component
+// (in its own partition, see GatewayJob) and owns ports to the two
+// virtual networks it couples. These helpers perform the mechanical
+// binding of the gateway's link ports to a concrete VN instance:
+//   * time-triggered VN: input ports become VN receivers; output ports
+//     become slot-bound senders (the VN pulls the freshest constructed
+//     instance at the slot instant);
+//   * event-triggered VN: input ports become VN receivers; outputs are
+//     emitted actively into the VN's priority queues.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/virtual_gateway.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+namespace decos::core {
+
+/// Bind side `side` of `gateway` to the time-triggered VN `network` as
+/// accessed through `controller` (the component hosting the gateway).
+/// `sender_slots` maps each output message to the slots transmitting it.
+void wire_tt_link(VirtualGateway& gateway, int side, vn::TtVirtualNetwork& network,
+                  tt::Controller& controller,
+                  const std::map<std::string, std::vector<std::size_t>>& sender_slots);
+
+/// Bind side `side` of `gateway` to the event-triggered VN `network`.
+/// `node_slots` is the hosting node's slot share of the VN (pass empty if
+/// the node was already attached).
+void wire_et_link(VirtualGateway& gateway, int side, vn::EtVirtualNetwork& network,
+                  tt::Controller& controller, const std::vector<std::size_t>& node_slots);
+
+}  // namespace decos::core

@@ -1,0 +1,47 @@
+#include "fault/message_faults.hpp"
+
+namespace decos::fault {
+
+Duration TimingFaultProfile::next_gap(Rng& rng, bool& is_fault) const {
+  is_fault = false;
+  const double u = rng.next_double();
+  if (u < early_rate) {
+    is_fault = true;
+    return early_gap;
+  }
+  if (u < early_rate + omission_rate) {
+    is_fault = true;  // the *silence* is the fault (tmax violation)
+    return nominal_interarrival * 2 + (jitter.is_zero() ? Duration::zero()
+                                                        : rng.normal_duration(jitter, jitter));
+  }
+  if (jitter.is_zero()) return nominal_interarrival;
+  return rng.normal_duration(nominal_interarrival, jitter);
+}
+
+std::size_t corrupt_values(spec::MessageInstance& instance, const spec::MessageSpec& message_spec,
+                           Rng& rng, double rate) {
+  std::size_t corrupted = 0;
+  for (const auto& es : message_spec.elements()) {
+    spec::ElementValue* ev = instance.element(es.name);
+    if (ev == nullptr) continue;
+    for (std::size_t i = 0; i < es.fields.size() && i < ev->fields.size(); ++i) {
+      const spec::FieldSpec& fs = es.fields[i];
+      if (fs.is_static()) continue;  // keys stay intact: corrupt values, not names
+      if (!rng.bernoulli(rate)) continue;
+      ta::Value& v = ev->fields[i];
+      if (v.is_int()) {
+        v = ta::Value{v.as_int() ^ static_cast<std::int64_t>(rng.uniform_int(1, 0xFFFF))};
+      } else if (v.is_real()) {
+        v = ta::Value{v.as_real() * rng.uniform(-100.0, 100.0)};
+      } else if (v.is_bool()) {
+        v = ta::Value{!v.as_bool()};
+      } else {
+        continue;  // strings: skip (length constraints)
+      }
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace decos::fault

@@ -1,0 +1,40 @@
+// Job-level (software FCR) fault injection: violations of the port
+// specification in the time or value domain (paper Section II-D).
+//
+// The timing-faulty sender transmits on an event-triggered VN with a
+// configurable mixture of correct interarrivals, too-early bursts and
+// omissions -- the traffic experiment E1 pushes through a gateway to
+// measure containment. The value-corruption helper flips dynamic fields
+// of an instance (key fields stay intact so the message still identifies,
+// exercising value-domain filtering separately from naming).
+#pragma once
+
+#include <cstdint>
+
+#include "spec/message.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace decos::fault {
+
+/// Timing behaviour of a (possibly faulty) event sender.
+struct TimingFaultProfile {
+  Duration nominal_interarrival = Duration::milliseconds(10);
+  Duration jitter = Duration::zero();      // stddev around the nominal gap
+  double early_rate = 0.0;                 // P(next gap = early_gap)  -- violates tmin
+  Duration early_gap = Duration::microseconds(100);
+  double omission_rate = 0.0;              // P(skip a send entirely)  -- may violate tmax
+  double burst_rate = 0.0;                 // P(burst of burst_len back-to-back sends)
+  std::size_t burst_len = 5;
+
+  /// Draw the next interarrival gap; `is_fault` reports whether the draw
+  /// was a deliberate violation (for ground-truth accounting).
+  Duration next_gap(Rng& rng, bool& is_fault) const;
+};
+
+/// Corrupt every dynamic (non-static) numeric field of `instance` with
+/// probability `rate` each; returns the number of corrupted fields.
+std::size_t corrupt_values(spec::MessageInstance& instance, const spec::MessageSpec& message_spec,
+                           Rng& rng, double rate);
+
+}  // namespace decos::fault

@@ -1,0 +1,46 @@
+#include "fault/plan.hpp"
+
+namespace decos::fault {
+
+void FaultPlan::note(Instant when, const std::string& subject, const std::string& detail) {
+  ++injected_;
+  if (trace_ != nullptr) trace_->record(when, sim::TraceKind::kFaultInjected, subject, detail);
+}
+
+void FaultPlan::crash(tt::Controller& controller, Instant at, Duration outage) {
+  simulator_.schedule_at(at, [this, &controller] {
+    controller.set_crashed(true);
+    note(simulator_.now(), "node" + std::to_string(controller.id()), "crash");
+  });
+  if (outage < Duration::max()) {
+    simulator_.schedule_at(at + outage, [this, &controller] {
+      controller.set_crashed(false);
+      note(simulator_.now(), "node" + std::to_string(controller.id()), "recover");
+    });
+  }
+}
+
+void FaultPlan::omission(tt::Controller& controller, Instant at, double rate,
+                         std::uint64_t seed) {
+  simulator_.schedule_at(at, [this, &controller, rate, seed] {
+    controller.set_send_omission_rate(rate, seed);
+    note(simulator_.now(), "node" + std::to_string(controller.id()),
+         "omission rate " + std::to_string(rate));
+  });
+}
+
+void FaultPlan::babble(tt::Controller& controller, Instant at, std::size_t slot_index,
+                       tt::VnId vn, std::size_t count, Duration gap,
+                       std::size_t payload_bytes) {
+  for (std::size_t i = 0; i < count; ++i) {
+    simulator_.schedule_at(at + gap * static_cast<std::int64_t>(i),
+                           [this, &controller, slot_index, vn, payload_bytes] {
+                             std::vector<std::byte> junk(payload_bytes, std::byte{0xAB});
+                             controller.babble(slot_index, vn, std::move(junk));
+                             note(simulator_.now(),
+                                  "node" + std::to_string(controller.id()), "babble");
+                           });
+  }
+}
+
+}  // namespace decos::fault

@@ -1,0 +1,48 @@
+// Node-level fault injection (paper Section II-D fault hypothesis).
+//
+// Hardware fault containment regions are whole components; their failure
+// mode is arbitrary. The plan schedules crash windows (permanent when
+// open-ended, transient otherwise), send-omission episodes and
+// babbling-idiot bursts against controllers, driven by simulator events.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "tt/controller.hpp"
+#include "util/rng.hpp"
+
+namespace decos::fault {
+
+class FaultPlan {
+ public:
+  FaultPlan(sim::Simulator& simulator, sim::TraceRecorder* trace = nullptr)
+      : simulator_{simulator}, trace_{trace} {}
+
+  /// Crash `controller` at `at`; recover after `outage` (Duration::max()
+  /// = permanent).
+  void crash(tt::Controller& controller, Instant at, Duration outage = Duration::max());
+
+  /// From `at` on, drop each of the node's transmissions with
+  /// probability `rate` (send-omission failures).
+  void omission(tt::Controller& controller, Instant at, double rate, std::uint64_t seed = 1);
+
+  /// Babbling idiot: starting at `at`, the node attempts `count`
+  /// transmissions into `slot_index` (claiming VN `vn`) spaced `gap`
+  /// apart, regardless of slot ownership or timing.
+  void babble(tt::Controller& controller, Instant at, std::size_t slot_index, tt::VnId vn,
+              std::size_t count, Duration gap, std::size_t payload_bytes = 16);
+
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  void note(Instant when, const std::string& subject, const std::string& detail);
+
+  sim::Simulator& simulator_;
+  sim::TraceRecorder* trace_;
+  std::uint64_t injected_ = 0;
+};
+
+}  // namespace decos::fault

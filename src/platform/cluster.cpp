@@ -1,0 +1,62 @@
+#include "platform/cluster.hpp"
+
+namespace decos::platform {
+
+Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
+  auto schedule = vn::EncapsulationService::build_schedule(
+      config_.round_length, config_.nodes, config_.allocations);
+  if (!schedule.ok()) throw SpecError(schedule.error());
+  bus_ = std::make_unique<tt::TtBus>(simulator_, std::move(schedule.value()), config_.bus);
+
+  const Duration period =
+      config_.component_period.is_zero() ? config_.round_length : config_.component_period;
+
+  for (std::size_t i = 0; i < config_.nodes; ++i) {
+    const double drift = i < config_.drift_ppm.size() ? config_.drift_ppm[i] : 0.0;
+    controllers_.push_back(std::make_unique<tt::Controller>(
+        simulator_, *bus_, static_cast<tt::NodeId>(i), sim::DriftingClock{drift}));
+    if (config_.enable_clock_sync) {
+      clock_syncs_.push_back(
+          std::make_unique<services::ClockSync>(*controllers_.back(), config_.clock_sync));
+    }
+    if (config_.enable_membership) {
+      memberships_.push_back(std::make_unique<services::Membership>(
+          *controllers_.back(),
+          services::MembershipConfig{config_.nodes, config_.membership_silence_threshold}));
+    }
+    components_.push_back(
+        std::make_unique<Component>(simulator_, *controllers_.back(), period));
+  }
+
+  for (const auto& allocation : config_.allocations)
+    encapsulation_.register_vn(allocation.vn, allocation.das);
+}
+
+std::vector<std::size_t> Cluster::vn_slots(tt::VnId vn, tt::NodeId node) const {
+  std::vector<std::size_t> out;
+  for (const std::size_t s : bus_->schedule().slots_of_vn(vn))
+    if (bus_->schedule().slot(s).owner == node) out.push_back(s);
+  return out;
+}
+
+void Cluster::start() {
+  if (started_) throw SpecError("cluster started twice");
+  started_ = true;
+  for (auto& c : controllers_) c->start();
+  for (auto& c : components_) c->start();
+}
+
+Duration Cluster::precision() const {
+  Duration lo = Duration::max();
+  Duration hi = -Duration::max();
+  const Instant now = simulator_.now();
+  for (const auto& c : controllers_) {
+    if (c->crashed()) continue;
+    const Duration offset = c->clock().read(now) - now;
+    lo = std::min(lo, offset);
+    hi = std::max(hi, offset);
+  }
+  return hi - lo;
+}
+
+}  // namespace decos::platform

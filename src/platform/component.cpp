@@ -1,0 +1,84 @@
+#include "platform/component.hpp"
+
+#include <algorithm>
+
+namespace decos::platform {
+
+Job& Partition::add_job(std::unique_ptr<Job> job) {
+  if (job->das() != das_)
+    throw SpecError("job '" + job->name() + "' of DAS '" + job->das() +
+                    "' cannot run in partition '" + name_ + "' of DAS '" + das_ + "'");
+  jobs_.push_back(std::move(job));
+  return *jobs_.back();
+}
+
+Duration Partition::demand() const {
+  Duration total = Duration::zero();
+  for (const auto& job : jobs_) total += job->execution_time();
+  return total;
+}
+
+Partition& Component::add_partition(std::string name, std::string das, Duration offset,
+                                    Duration budget) {
+  partitions_.push_back(
+      std::make_unique<Partition>(std::move(name), std::move(das), offset, budget));
+  return *partitions_.back();
+}
+
+Status Component::validate() const {
+  for (const auto& p : partitions_) {
+    if (p->offset().is_negative() || p->offset() + p->budget() > period_)
+      return Status::failure("partition '" + p->name() + "' exceeds the schedule period");
+    if (p->demand() > p->budget())
+      return Status::failure("partition '" + p->name() + "' job demand " +
+                             p->demand().to_string() + " exceeds budget " +
+                             p->budget().to_string());
+  }
+  // Pairwise disjoint windows (temporal partitioning).
+  std::vector<const Partition*> sorted;
+  for (const auto& p : partitions_) sorted.push_back(p.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Partition* a, const Partition* b) { return a->offset() < b->offset(); });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i - 1]->offset() + sorted[i - 1]->budget() > sorted[i]->offset())
+      return Status::failure("partitions '" + sorted[i - 1]->name() + "' and '" +
+                             sorted[i]->name() + "' overlap");
+  }
+  return Status::success();
+}
+
+void Component::start() {
+  validate().check();
+  for (auto& p : partitions_) schedule_partition(*p, 0);
+}
+
+void Component::schedule_partition(Partition& partition, std::uint64_t cycle) {
+  const Instant local_start = Instant::origin() +
+                              period_ * static_cast<std::int64_t>(cycle) + partition.offset();
+  Instant when = controller_.clock().true_time_for(local_start);
+  if (when < simulator_.now()) when = simulator_.now();
+  simulator_.schedule_at(when, [this, &partition, cycle] { activate(partition, cycle); });
+}
+
+void Component::activate(Partition& partition, std::uint64_t cycle) {
+  schedule_partition(partition, cycle + 1);
+  if (controller_.crashed()) return;
+  ++activations_;
+
+  // Dispatch the partition's jobs sequentially inside the window; a job
+  // whose declared execution time no longer fits is skipped and counted
+  // as an overrun -- it cannot spill into the next partition's window.
+  Duration used = Duration::zero();
+  const Instant local_now = controller_.clock().read(simulator_.now());
+  for (const auto& job : partition.jobs()) {
+    if (used + job->execution_time() > partition.budget()) {
+      partition.count_overrun();
+      continue;
+    }
+    job->step(local_now + used);
+    job->count_activation();
+    used += job->execution_time();
+  }
+}
+
+}  // namespace decos::platform

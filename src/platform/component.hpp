@@ -1,0 +1,103 @@
+// Components and partitions (paper Section II-B).
+//
+// A component is a self-contained computational element -- the hardware
+// fault containment region -- hosting one or more partitions. Each
+// partition is an encapsulated execution environment with a fixed window
+// (offset + budget) inside the component's cyclic partition schedule;
+// jobs of *different* DASes can share a component, each inside its own
+// partition, without temporal or spatial interference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/job.hpp"
+#include "sim/simulator.hpp"
+#include "tt/controller.hpp"
+#include "util/result.hpp"
+
+namespace decos::platform {
+
+/// One partition: a temporal window of the component's cyclic schedule
+/// plus the jobs dispatched inside it.
+class Partition {
+ public:
+  Partition(std::string name, std::string das, Duration offset, Duration budget)
+      : name_{std::move(name)}, das_{std::move(das)}, offset_{offset}, budget_{budget} {}
+
+  const std::string& name() const { return name_; }
+  const std::string& das() const { return das_; }
+  Duration offset() const { return offset_; }
+  Duration budget() const { return budget_; }
+
+  /// Add a job; it must belong to the partition's DAS (a partition serves
+  /// exactly one DAS).
+  Job& add_job(std::unique_ptr<Job> job);
+
+  template <typename F>
+  FunctionJob& add_function_job(std::string job_name, F body) {
+    auto job = std::make_unique<FunctionJob>(std::move(job_name), das_, std::move(body));
+    FunctionJob& ref = *job;
+    add_job(std::move(job));
+    return ref;
+  }
+
+  const std::vector<std::unique_ptr<Job>>& jobs() const { return jobs_; }
+
+  /// Sum of declared job execution times per activation.
+  Duration demand() const;
+
+  std::uint64_t overruns() const { return overruns_; }
+  void count_overrun() { ++overruns_; }
+
+ private:
+  std::string name_;
+  std::string das_;
+  Duration offset_;
+  Duration budget_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+  std::uint64_t overruns_ = 0;
+};
+
+/// A node computer: controller + partitions under a cyclic schedule.
+class Component {
+ public:
+  /// `period`: length of the cyclic partition schedule (often the TDMA
+  /// round length, but independent of it).
+  Component(sim::Simulator& simulator, tt::Controller& controller, Duration period)
+      : simulator_{simulator}, controller_{controller}, period_{period} {}
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  tt::NodeId id() const { return controller_.id(); }
+  tt::Controller& controller() { return controller_; }
+  Duration period() const { return period_; }
+
+  Partition& add_partition(std::string name, std::string das, Duration offset, Duration budget);
+  const std::vector<std::unique_ptr<Partition>>& partitions() const { return partitions_; }
+
+  /// Static schedulability check: windows inside the period, pairwise
+  /// disjoint, and every partition's job demand within its budget.
+  Status validate() const;
+
+  /// Begin dispatching partition activations. Call once, before running
+  /// the simulation.
+  void start();
+
+  std::uint64_t activations() const { return activations_; }
+
+ private:
+  void schedule_partition(Partition& partition, std::uint64_t cycle);
+  void activate(Partition& partition, std::uint64_t cycle);
+
+  sim::Simulator& simulator_;
+  tt::Controller& controller_;
+  Duration period_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::uint64_t activations_ = 0;
+};
+
+}  // namespace decos::platform

@@ -1,0 +1,73 @@
+// Jobs: the basic units of work of a DAS (paper Section II-A).
+//
+// A job exchanges messages with other jobs of its DAS exclusively through
+// ports attached to the DAS's virtual network. Jobs are software fault
+// containment regions (Section II-D): a faulty job can violate its port
+// specification in the value or time domain, but the partition it runs in
+// prevents it from touching other jobs' memory or stealing their CPU time.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spec/port_spec.hpp"
+#include "util/time.hpp"
+#include "vn/port.hpp"
+
+namespace decos::platform {
+
+class Job {
+ public:
+  Job(std::string name, std::string das) : name_{std::move(name)}, das_{std::move(das)} {}
+  virtual ~Job() = default;
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::string& das() const { return das_; }
+
+  /// Called once per partition activation, at the job's dispatch instant
+  /// (local time of the hosting component).
+  virtual void step(Instant now) = 0;
+
+  /// Declared execution time per activation; the partition budget check
+  /// and overrun accounting use this (temporal partitioning).
+  Duration execution_time() const { return execution_time_; }
+  void set_execution_time(Duration t) { execution_time_ = t; }
+
+  /// Create a port owned by this job. Ownership is the spatial
+  /// partitioning mechanism: no other job can reach this memory.
+  vn::Port& add_port(spec::PortSpec port_spec) {
+    ports_.push_back(std::make_unique<vn::Port>(std::move(port_spec)));
+    return *ports_.back();
+  }
+  const std::vector<std::unique_ptr<vn::Port>>& ports() const { return ports_; }
+
+  std::uint64_t activations() const { return activations_; }
+  void count_activation() { ++activations_; }
+
+ private:
+  std::string name_;
+  std::string das_;
+  Duration execution_time_ = Duration::microseconds(10);
+  std::vector<std::unique_ptr<vn::Port>> ports_;
+  std::uint64_t activations_ = 0;
+};
+
+/// Adaptor for defining jobs from lambdas (tests, examples, workload
+/// generators).
+class FunctionJob final : public Job {
+ public:
+  FunctionJob(std::string name, std::string das, std::function<void(FunctionJob&, Instant)> body)
+      : Job{std::move(name), std::move(das)}, body_{std::move(body)} {}
+
+  void step(Instant now) override { body_(*this, now); }
+
+ private:
+  std::function<void(FunctionJob&, Instant)> body_;
+};
+
+}  // namespace decos::platform

@@ -1,0 +1,59 @@
+#include "services/clock_sync.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace decos::services {
+
+ClockSync::ClockSync(tt::Controller& controller, ClockSyncConfig config, sim::TraceRecorder* trace)
+    : controller_{controller}, config_{config}, trace_{trace} {
+  controller_.add_frame_listener(
+      [this](const tt::Frame& frame, Instant local_arrival, Duration deviation) {
+        on_frame(frame, local_arrival, deviation);
+      });
+  controller_.add_round_listener([this](std::uint64_t round) { on_round(round); });
+}
+
+void ClockSync::on_frame(const tt::Frame& frame, Instant, Duration deviation) {
+  if (frame.sender == controller_.id()) return;  // own frames carry no information
+  deviations_[frame.sender] = deviation;         // keep the freshest reading
+}
+
+void ClockSync::on_round(std::uint64_t round) {
+  if ((round + 1) % config_.resync_rounds != 0) return;
+  if (deviations_.empty()) return;
+
+  std::vector<Duration> readings;
+  readings.reserve(deviations_.size() + 1);
+  for (const auto& [node, deviation] : deviations_) readings.push_back(deviation);
+  // The node's own clock participates in the fault-tolerant average with
+  // deviation zero (Welch-Lynch), so a 3-node cluster with k=1 still has
+  // the 2k+1 readings it needs.
+  readings.push_back(Duration::zero());
+  deviations_.clear();
+
+  std::sort(readings.begin(), readings.end());
+  const std::size_t k = config_.discard_extremes;
+  if (readings.size() <= 2 * k) return;  // not enough readings to tolerate k faults
+
+  std::int64_t sum = 0;
+  std::size_t n = 0;
+  for (std::size_t i = k; i < readings.size() - k; ++i) {
+    sum += readings[i].ns();
+    ++n;
+  }
+  const Duration average = Duration::nanoseconds(sum / static_cast<std::int64_t>(n));
+
+  // A positive average deviation means this clock runs ahead of the
+  // ensemble; retard it by the average.
+  last_correction_ = -average;
+  controller_.clock().correct(last_correction_);
+  ++corrections_;
+  if (trace_ != nullptr) {
+    trace_->record(controller_.simulator().now(), sim::TraceKind::kClockSync,
+                   "node" + std::to_string(controller_.id()), "correction",
+                   last_correction_.ns());
+  }
+}
+
+}  // namespace decos::services

@@ -1,0 +1,54 @@
+// Core service C2: fault-tolerant clock synchronization.
+//
+// Classic fault-tolerant-average resynchronization (Welch/Lynch style, as
+// used by the TTA): every received frame yields a deviation measurement
+// between its actual arrival on the local clock and its nominal arrival
+// per the TDMA schedule. At every resynchronization boundary the node
+// takes the most recent deviation per remote node, discards the k largest
+// and k smallest, averages the rest and applies the negated average as a
+// state correction to its local clock. With at most k arbitrarily faulty
+// clocks among >= 3k+1 nodes the achievable precision is bounded; bench
+// E8 measures the bound empirically against drift rate and resync period.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "sim/trace.hpp"
+#include "tt/controller.hpp"
+
+namespace decos::services {
+
+struct ClockSyncConfig {
+  /// Resynchronize every N rounds (>=1).
+  std::uint64_t resync_rounds = 1;
+  /// Number of extreme deviation readings to discard at each end
+  /// (tolerated faulty clocks).
+  std::size_t discard_extremes = 1;
+};
+
+class ClockSync {
+ public:
+  ClockSync(tt::Controller& controller, ClockSyncConfig config = {},
+            sim::TraceRecorder* trace = nullptr);
+
+  /// Corrections applied so far.
+  std::uint64_t corrections() const { return corrections_; }
+  /// Last applied correction term.
+  Duration last_correction() const { return last_correction_; }
+
+ private:
+  void on_frame(const tt::Frame& frame, Instant local_arrival, Duration deviation);
+  void on_round(std::uint64_t round);
+
+  tt::Controller& controller_;
+  ClockSyncConfig config_;
+  sim::TraceRecorder* trace_;
+  // Most recent deviation observed per remote node since the last resync.
+  std::map<tt::NodeId, Duration> deviations_;
+  std::uint64_t corrections_ = 0;
+  Duration last_correction_ = Duration::zero();
+};
+
+}  // namespace decos::services

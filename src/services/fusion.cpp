@@ -1,0 +1,66 @@
+#include "services/fusion.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace decos::services {
+
+std::optional<ta::Value> SensorFusion::fused(Instant now) const {
+  switch (strategy_) {
+    case Strategy::kMedian: {
+      std::vector<double> values = fresh_numeric(now);
+      if (values.empty()) return std::nullopt;
+      std::sort(values.begin(), values.end());
+      const std::size_t n = values.size();
+      const double median =
+          n % 2 == 1 ? values[n / 2] : (values[n / 2 - 1] + values[n / 2]) / 2.0;
+      return ta::Value{median};
+    }
+    case Strategy::kFaultTolerantAverage: {
+      std::vector<double> values = fresh_numeric(now);
+      if (values.empty()) return std::nullopt;
+      std::sort(values.begin(), values.end());
+      std::size_t k = discard_extremes_;
+      while (k > 0 && values.size() <= 2 * k) --k;  // degrade gracefully
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t i = k; i < values.size() - k; ++i) {
+        sum += values[i];
+        ++n;
+      }
+      return ta::Value{sum / static_cast<double>(n)};
+    }
+    case Strategy::kMajority: {
+      std::map<std::string, std::pair<std::size_t, const ta::Value*>> votes;
+      std::size_t fresh = 0;
+      for (const Reading& r : readings_) {
+        if (!r.valid || now >= r.at + validity_) continue;
+        ++fresh;
+        auto& slot = votes[r.value.to_string()];
+        ++slot.first;
+        slot.second = &r.value;
+      }
+      if (fresh == 0) return std::nullopt;
+      for (const auto& [repr, vote] : votes) {
+        if (vote.first * 2 > fresh) return *vote.second;
+      }
+      return std::nullopt;  // no strict majority
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::size_t> SensorFusion::deviating_sources(Instant now, double tolerance) const {
+  std::vector<std::size_t> out;
+  const auto current = fused(now);
+  if (!current) return out;
+  const double reference = current->as_real();
+  for (std::size_t i = 0; i < readings_.size(); ++i) {
+    const Reading& r = readings_[i];
+    if (!r.valid || now >= r.at + validity_) continue;
+    if (std::abs(r.value.as_real() - reference) > tolerance) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace decos::services

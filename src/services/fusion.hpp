@@ -1,0 +1,89 @@
+// High-level service: fault-tolerant fusion of redundant sensor readings
+// (paper Section I: importing another DAS's sensors "can be exploited to
+// improve the reliability of the sensory information. Even sensory
+// information from different physical entities can be exploited by
+// sensor fusion [7]").
+//
+// A SensorFusion instance combines N redundant readings of the same
+// real-time entity -- typically one local sensor plus replicas imported
+// through virtual gateways -- into a single, more reliable image.
+// Strategies:
+//   kMedian               robust against < N/2 arbitrary value faults;
+//   kFaultTolerantAverage drop k extremes, average the rest (smoother);
+//   kMajority             exact-match voting for discrete values.
+// Readings expire after the validity window, so a silent (crashed)
+// source degrades availability but never corrupts the fused value.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ta/value.hpp"
+#include "util/time.hpp"
+
+namespace decos::services {
+
+class SensorFusion {
+ public:
+  enum class Strategy { kMedian, kFaultTolerantAverage, kMajority };
+
+  /// `inputs`: number of redundant sources. `validity`: how long a
+  /// reading stays usable (the temporal accuracy interval of the fused
+  /// entity). `discard_extremes`: k for kFaultTolerantAverage.
+  SensorFusion(Strategy strategy, std::size_t inputs, Duration validity,
+               std::size_t discard_extremes = 1)
+      : strategy_{strategy},
+        validity_{validity},
+        discard_extremes_{discard_extremes},
+        readings_(inputs) {}
+
+  std::size_t input_count() const { return readings_.size(); }
+
+  /// Offer a fresh reading from source `input`.
+  void offer(std::size_t input, ta::Value value, Instant now) {
+    Reading& r = readings_.at(input);
+    r.value = std::move(value);
+    r.at = now;
+    r.valid = true;
+  }
+
+  /// Number of sources with a currently valid (unexpired) reading.
+  std::size_t fresh_count(Instant now) const {
+    std::size_t n = 0;
+    for (const Reading& r : readings_)
+      if (r.valid && now < r.at + validity_) ++n;
+    return n;
+  }
+
+  /// The fused value over all unexpired readings, or nullopt when no
+  /// source is fresh (or, for kMajority, no strict majority exists).
+  std::optional<ta::Value> fused(Instant now) const;
+
+  /// Sources whose latest reading deviates from the current fused value
+  /// by more than `tolerance` (diagnosis hook: a persistently deviating
+  /// source is a candidate failed sensor).
+  std::vector<std::size_t> deviating_sources(Instant now, double tolerance) const;
+
+ private:
+  struct Reading {
+    ta::Value value;
+    Instant at;
+    bool valid = false;
+  };
+
+  std::vector<double> fresh_numeric(Instant now) const {
+    std::vector<double> out;
+    for (const Reading& r : readings_)
+      if (r.valid && now < r.at + validity_) out.push_back(r.value.as_real());
+    return out;
+  }
+
+  Strategy strategy_;
+  Duration validity_;
+  std::size_t discard_extremes_;
+  std::vector<Reading> readings_;
+};
+
+}  // namespace decos::services

@@ -1,0 +1,62 @@
+#include "services/membership.hpp"
+
+namespace decos::services {
+
+Membership::Membership(tt::Controller& controller, MembershipConfig config,
+                       sim::TraceRecorder* trace)
+    : controller_{controller},
+      config_{config},
+      trace_{trace},
+      silent_rounds_(config.cluster_size, 0),
+      alive_(config.cluster_size, true) {
+  controller_.add_frame_listener(
+      [this](const tt::Frame& frame, Instant, Duration) { on_frame(frame); });
+  controller_.add_round_listener([this](std::uint64_t round) { on_round(round); });
+}
+
+std::size_t Membership::member_count() const {
+  std::size_t n = 0;
+  for (const bool a : alive_)
+    if (a) ++n;
+  return n;
+}
+
+void Membership::on_frame(const tt::Frame& frame) {
+  if (frame.sender < config_.cluster_size) seen_this_round_.insert(frame.sender);
+}
+
+void Membership::on_round(std::uint64_t round) {
+  // A node counts as alive this round if any of its frames arrived; its
+  // own transmissions count for itself (a node that can still send is a
+  // member by definition).
+  seen_this_round_.insert(controller_.id());
+  for (tt::NodeId node = 0; node < config_.cluster_size; ++node) {
+    const bool seen = seen_this_round_.count(node) != 0;
+    if (seen) {
+      silent_rounds_[node] = 0;
+      if (!alive_[node]) {
+        alive_[node] = true;  // re-integration
+        for (const auto& listener : listeners_) listener(node, true, round);
+        if (trace_ != nullptr) {
+          trace_->record(controller_.simulator().now(), sim::TraceKind::kMembershipChange,
+                         "node" + std::to_string(controller_.id()),
+                         "node " + std::to_string(node) + " rejoined", static_cast<std::int64_t>(round));
+        }
+      }
+    } else {
+      ++silent_rounds_[node];
+      if (alive_[node] && silent_rounds_[node] >= config_.silence_threshold) {
+        alive_[node] = false;
+        for (const auto& listener : listeners_) listener(node, false, round);
+        if (trace_ != nullptr) {
+          trace_->record(controller_.simulator().now(), sim::TraceKind::kMembershipChange,
+                         "node" + std::to_string(controller_.id()),
+                         "node " + std::to_string(node) + " failed", static_cast<std::int64_t>(round));
+        }
+      }
+    }
+  }
+  seen_this_round_.clear();
+}
+
+}  // namespace decos::services

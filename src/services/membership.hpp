@@ -1,0 +1,56 @@
+// Core service C4: consistent diagnosis of failing nodes.
+//
+// Every node transmits a frame in each of its slots every round (the
+// life-sign); a membership service instance on each node records from
+// which peers frames arrived during the past round and publishes an
+// updated membership vector at the round boundary. On a broadcast bus
+// with symmetric faults all correct nodes observe the same receptions and
+// therefore agree on the vector; bench E9 measures detection latency and
+// cross-node consistency under injected crash/omission faults.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "tt/controller.hpp"
+
+namespace decos::services {
+
+struct MembershipConfig {
+  std::size_t cluster_size = 0;  // total number of nodes (ids 0..n-1)
+  /// A node is declared failed after this many consecutive silent rounds.
+  std::uint64_t silence_threshold = 1;
+};
+
+class Membership {
+ public:
+  /// change(node, alive, round): fired whenever a node joins/leaves the
+  /// membership as observed at a round boundary.
+  using ChangeListener = std::function<void(tt::NodeId node, bool alive, std::uint64_t round)>;
+
+  Membership(tt::Controller& controller, MembershipConfig config,
+             sim::TraceRecorder* trace = nullptr);
+
+  bool is_member(tt::NodeId node) const { return alive_.at(node); }
+  const std::vector<bool>& vector() const { return alive_; }
+  std::size_t member_count() const;
+
+  void add_change_listener(ChangeListener listener) { listeners_.push_back(std::move(listener)); }
+
+ private:
+  void on_frame(const tt::Frame& frame);
+  void on_round(std::uint64_t round);
+
+  tt::Controller& controller_;
+  MembershipConfig config_;
+  sim::TraceRecorder* trace_;
+  std::set<tt::NodeId> seen_this_round_;
+  std::vector<std::uint64_t> silent_rounds_;
+  std::vector<bool> alive_;
+  std::vector<ChangeListener> listeners_;
+};
+
+}  // namespace decos::services

@@ -1,0 +1,62 @@
+// Per-node local clocks with bounded drift, and the correction interface
+// used by the fault-tolerant clock-synchronization service (core service
+// C2 of the DECOS architecture, DESIGN.md S4).
+//
+// The model follows the standard sparse-time treatment: a node's local
+// clock advances at rate (1 + rho) relative to true time, where |rho| is
+// the drift rate in parts-per-million, plus an additive offset that the
+// synchronization service adjusts at resynchronization instants.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace decos::sim {
+
+/// A drifting local clock. Reads convert true (simulator) time to local
+/// time; `correct()` applies a state correction as computed by the clock
+/// synchronization service. Rate is fixed per clock (crystal model).
+class DriftingClock {
+ public:
+  /// drift_ppm: signed drift in parts per million (e.g. +50 means the
+  /// local clock gains 50us per true second). initial_offset: local-time
+  /// offset at true time 0.
+  explicit DriftingClock(double drift_ppm = 0.0, Duration initial_offset = Duration::zero())
+      : rate_{1.0 + drift_ppm * 1e-6}, offset_{initial_offset} {}
+
+  /// Local-clock reading at true time `true_now`.
+  Instant read(Instant true_now) const {
+    const double local_ns = static_cast<double>(true_now.ns()) * rate_;
+    return Instant::from_ns(static_cast<std::int64_t>(local_ns) + offset_.ns());
+  }
+
+  /// Inverse mapping: the true time at which this clock will read
+  /// `local_target`. Used to schedule simulator events off local time.
+  Instant true_time_for(Instant local_target) const {
+    const double true_ns = static_cast<double>((local_target - Instant::origin()).ns() - offset_.ns()) / rate_;
+    return Instant::from_ns(static_cast<std::int64_t>(true_ns));
+  }
+
+  /// Apply a state correction (positive = advance local clock).
+  void correct(Duration adjustment) { offset_ += adjustment; }
+
+  /// Redefine this clock as the reference timeline: it reads exactly
+  /// true time from now on. Used when a cold-start master's clock
+  /// becomes the cluster time base -- since the simulation's "true" time
+  /// is an arbitrary coordinate choice, electing the master's clock as
+  /// that coordinate is without loss of generality.
+  void become_reference() {
+    rate_ = 1.0;
+    offset_ = Duration::zero();
+  }
+
+  double drift_ppm() const { return (rate_ - 1.0) * 1e6; }
+  Duration offset() const { return offset_; }
+
+ private:
+  double rate_;
+  Duration offset_;
+};
+
+}  // namespace decos::sim

@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace decos::sim {
+
+EventId Simulator::schedule_at(Instant when, Action action) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, next_seq_++, id});
+  actions_.emplace(id, std::move(action));
+  ++live_;
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  const auto it = actions_.find(id);
+  if (it == actions_.end()) return false;
+  actions_.erase(it);
+  --live_;
+  return true;
+}
+
+void Simulator::dispatch(const Entry& entry) {
+  const auto it = actions_.find(entry.id);
+  if (it == actions_.end()) return;  // cancelled
+  Action action = std::move(it->second);
+  actions_.erase(it);
+  --live_;
+  now_ = entry.when;
+  ++dispatched_;
+  action();
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    if (actions_.find(entry.id) == actions_.end()) continue;  // tombstone
+    dispatch(entry);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(Instant deadline) {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    if (entry.when > deadline) break;
+    queue_.pop();
+    dispatch(entry);
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace decos::sim

@@ -1,0 +1,81 @@
+// Deterministic discrete-event simulation kernel.
+//
+// This is the substrate substituting for the paper's physical TTA cluster
+// (DESIGN.md, substitution 1). Global time is the *true* physical time of
+// the modelled cluster; per-node clocks with drift are layered on top in
+// clock.hpp. Events scheduled for the same instant fire in insertion
+// order, which makes every run bit-reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace decos::sim {
+
+/// Handle to a scheduled event; can be used to cancel it.
+using EventId = std::uint64_t;
+
+/// Single-threaded event-driven simulator with a monotone global clock.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current global (true) time.
+  Instant now() const { return now_; }
+
+  /// Schedule `action` at absolute time `when`. Precondition: when >= now().
+  EventId schedule_at(Instant when, Action action);
+
+  /// Schedule `action` after `delay` from now. Precondition: delay >= 0.
+  EventId schedule_after(Duration delay, Action action) {
+    return schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Cancel a pending event. Returns false if it already fired or never
+  /// existed. Cancellation is O(1) (lazy: the tombstone is skipped at pop).
+  bool cancel(EventId id);
+
+  /// Run all events up to and including `deadline`; afterwards now() ==
+  /// deadline even if the queue drained early.
+  void run_until(Instant deadline);
+
+  /// Run a single event; returns false if the queue is empty.
+  bool step();
+
+  /// Number of events dispatched so far (for perf accounting).
+  std::uint64_t dispatched() const { return dispatched_; }
+  /// Number of events currently pending.
+  std::size_t pending() const { return live_; }
+
+ private:
+  struct Entry {
+    Instant when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-instant events
+    EventId id;
+    // Ordering for a min-heap via std::greater.
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  void dispatch(const Entry& entry);
+
+  Instant now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::size_t live_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  // id -> action; erased on cancel so the popped tombstone is skipped.
+  std::unordered_map<EventId, Action> actions_;
+};
+
+}  // namespace decos::sim

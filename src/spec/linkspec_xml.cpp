@@ -1,0 +1,445 @@
+#include "spec/linkspec_xml.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "ta/expr.hpp"
+#include "xml/xml.hpp"
+
+namespace decos::spec {
+namespace {
+
+/// Environment that only accepts literal expressions (attribute values).
+class LiteralEnv final : public ta::Environment {
+ public:
+  ta::Value get(const std::string& name) const override {
+    throw SpecError("identifier '" + name + "' not allowed in a literal value");
+  }
+  void set(const std::string&, const ta::Value&) override {
+    throw SpecError("assignment not allowed in a literal value");
+  }
+  ta::Value call(const std::string& name, const std::vector<ta::Value>&) override {
+    throw SpecError("call of '" + name + "' not allowed in a literal value");
+  }
+};
+
+/// Strict non-negative integer attribute parse (std::stoi would throw on
+/// junk; malformed configuration must surface as a Result error).
+Result<long> parse_uint_attr(const std::string& text, const char* what) {
+  if (text.empty()) return Result<long>::failure(std::string{"empty "} + what + " attribute");
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0)
+    return Result<long>::failure(std::string{"bad "} + what + " attribute '" + text + "'");
+  return value;
+}
+
+Result<ta::Value> parse_literal(const std::string& text) {
+  auto expr = ta::parse_expression(text);
+  if (!expr.ok()) return expr.error();
+  LiteralEnv env;
+  try {
+    return expr.value()->evaluate(env);
+  } catch (const SpecError& e) {
+    return Result<ta::Value>::failure(std::string{"bad literal '"} + text + "': " + e.what());
+  }
+}
+
+Result<Duration> parse_duration_attr(const xml::Element& e, std::string_view key,
+                                     Duration fallback) {
+  if (!e.has_attribute(key)) return fallback;
+  auto v = parse_literal(e.attribute(key));
+  if (!v.ok()) return v.error();
+  return v.value().as_duration();
+}
+
+Result<FieldSpec> parse_field(const xml::Element& fe, const std::string& context) {
+  FieldSpec fs;
+  fs.name = fe.attribute("name");
+  if (fs.name.empty())
+    return Result<FieldSpec>::failure(context + ": field without a name attribute");
+  const xml::Element* te = fe.child("type");
+  if (te == nullptr)
+    return Result<FieldSpec>::failure(context + ": field '" + fs.name + "' has no <type>");
+  int length_bits = 0;
+  if (te->has_attribute("length")) {
+    auto parsed = parse_uint_attr(te->attribute("length"), "length");
+    if (!parsed.ok()) return parsed.error();
+    length_bits = static_cast<int>(parsed.value());
+  }
+  const bool is_unsigned = te->attribute_or("signed", "yes") == "no";
+  auto type = parse_field_type(te->text(), length_bits, is_unsigned);
+  if (!type.ok()) return type.error();
+  fs.type = type.value();
+  if (fs.type == FieldType::kString) {
+    // length attribute is in bits for integers (per the figure) but in
+    // bytes for strings; accept either `length` (bits, /8) or `bytes`.
+    if (te->has_attribute("bytes")) {
+      auto parsed = parse_uint_attr(te->attribute("bytes"), "bytes");
+      if (!parsed.ok()) return parsed.error();
+      fs.string_length = static_cast<std::size_t>(parsed.value());
+    } else if (length_bits > 0) {
+      fs.string_length = static_cast<std::size_t>(length_bits) / 8;
+    }
+  }
+  if (const xml::Element* ve = fe.child("value"); ve != nullptr) {
+    auto v = parse_literal(ve->text());
+    if (!v.ok()) return v.error();
+    fs.static_value = v.value();
+  }
+  return fs;
+}
+
+Result<MessageSpec> parse_message(const xml::Element& me) {
+  MessageSpec ms{me.attribute("name")};
+  for (const xml::Element* ee : me.children_named("element")) {
+    ElementSpec es;
+    es.name = ee->attribute("name");
+    es.key = ee->attribute_or("key", "no") == "yes";
+    es.convertible = ee->attribute_or("conv", "no") == "yes";
+    for (const xml::Element* fe : ee->children_named("field")) {
+      auto fs = parse_field(*fe, "message '" + ms.name() + "' element '" + es.name + "'");
+      if (!fs.ok()) return fs.error();
+      es.fields.push_back(std::move(fs.value()));
+    }
+    ms.add_element(std::move(es));
+  }
+  if (auto st = ms.validate(); !st.ok()) return st.error();
+  return ms;
+}
+
+Result<ta::AutomatonSpec> parse_automaton(const xml::Element& ae) {
+  ta::AutomatonSpec spec{ae.attribute("name")};
+  for (const xml::Element* le : ae.children_named("location")) spec.add_location(le->attribute("name"));
+  if (const xml::Element* ie = ae.child("init"); ie != nullptr) spec.set_initial(ie->attribute("name"));
+  if (const xml::Element* ee = ae.child("error"); ee != nullptr) spec.set_error(ee->attribute("name"));
+  for (const xml::Element* ce : ae.children_named("clock")) spec.add_clock(ce->attribute("name"));
+  for (const xml::Element* ve : ae.children_named("variable")) {
+    auto init = parse_literal(ve->attribute_or("init", "0"));
+    if (!init.ok()) return init.error();
+    spec.add_variable(ve->attribute("name"), init.value());
+  }
+  for (const xml::Element* te : ae.children_named("transition")) {
+    ta::Edge edge;
+    if (const xml::Element* se = te->child("source"); se != nullptr) edge.source = se->attribute("name");
+    if (const xml::Element* ge = te->child("target"); ge != nullptr) edge.target = ge->attribute("name");
+    for (const xml::Element* le : te->children_named("label")) {
+      const std::string type = le->attribute("type");
+      const std::string& text = le->text();
+      if (type == "guard") {
+        if (text.empty()) continue;  // empty guard label == always true
+        auto g = ta::parse_expression(text);
+        if (!g.ok())
+          return Result<ta::AutomatonSpec>::failure("automaton '" + spec.name() +
+                                                    "': bad guard '" + text + "': " + g.error().message);
+        edge.guard = g.value();
+      } else if (type == "assignment") {
+        if (text.empty()) continue;
+        auto a = ta::parse_assignments(text);
+        if (!a.ok())
+          return Result<ta::AutomatonSpec>::failure("automaton '" + spec.name() +
+                                                    "': bad assignment '" + text + "': " + a.error().message);
+        for (auto& asg : a.value()) edge.assignments.push_back(std::move(asg));
+      } else if (type == "recv") {
+        edge.action = ta::ActionKind::kReceive;
+        edge.message = text;
+      } else if (type == "send") {
+        edge.action = ta::ActionKind::kSend;
+        edge.message = text;
+      } else {
+        return Result<ta::AutomatonSpec>::failure("automaton '" + spec.name() +
+                                                  "': unknown label type '" + type + "'");
+      }
+    }
+    spec.add_edge(std::move(edge));
+  }
+  if (auto st = spec.validate(); !st.ok()) return st.error();
+  return spec;
+}
+
+Result<TransferRule> parse_transfer_rule(const xml::Element& ee) {
+  TransferRule rule;
+  rule.target = ee.attribute("name");
+  rule.source = ee.attribute("source");
+  for (const xml::Element* fe : ee.children_named("field")) {
+    TransferFieldRule fr;
+    fr.name = fe->attribute("name");
+    fr.semantics = fe->attribute_or("semantics", "state");
+    if (fe->has_attribute("init")) {
+      auto init = parse_literal(fe->attribute("init"));
+      if (!init.ok()) return init.error();
+      fr.init = init.value();
+    }
+    // The body is an assignment in the paper's style:
+    //   StateValue=StateValue+ValueChange
+    auto assignments = ta::parse_assignments(fe->text());
+    if (!assignments.ok())
+      return Result<TransferRule>::failure("transfer rule '" + rule.target + "' field '" +
+                                           fr.name + "': " + assignments.error().message);
+    for (const auto& a : assignments.value()) {
+      if (a.target == fr.name) {
+        fr.update = a.value;
+      } else {
+        return Result<TransferRule>::failure("transfer rule '" + rule.target +
+                                             "': assignment target '" + a.target +
+                                             "' does not match field '" + fr.name + "'");
+      }
+    }
+    rule.fields.push_back(std::move(fr));
+  }
+  if (auto st = rule.validate(); !st.ok()) return st.error();
+  return rule;
+}
+
+Result<PortSpec> parse_port(const xml::Element& pe) {
+  PortSpec ps;
+  ps.message = pe.attribute("message");
+  const std::string dir = pe.attribute_or("direction", "input");
+  if (dir == "input" || dir == "in") ps.direction = DataDirection::kInput;
+  else if (dir == "output" || dir == "out") ps.direction = DataDirection::kOutput;
+  else return Result<PortSpec>::failure("port '" + ps.message + "': bad direction '" + dir + "'");
+
+  const std::string sem = pe.attribute_or("semantics", "state");
+  if (sem == "state") ps.semantics = InfoSemantics::kState;
+  else if (sem == "event") ps.semantics = InfoSemantics::kEvent;
+  else return Result<PortSpec>::failure("port '" + ps.message + "': bad semantics '" + sem + "'");
+
+  const std::string par = pe.attribute_or("paradigm", "tt");
+  if (par == "tt" || par == "time-triggered") ps.paradigm = ControlParadigm::kTimeTriggered;
+  else if (par == "et" || par == "event-triggered") ps.paradigm = ControlParadigm::kEventTriggered;
+  else return Result<PortSpec>::failure("port '" + ps.message + "': bad paradigm '" + par + "'");
+
+  const std::string inter = pe.attribute_or("interaction", "push");
+  if (inter == "push") ps.interaction = Interaction::kPush;
+  else if (inter == "pull") ps.interaction = Interaction::kPull;
+  else return Result<PortSpec>::failure("port '" + ps.message + "': bad interaction '" + inter + "'");
+
+  if (auto d = parse_duration_attr(pe, "period", Duration::zero()); d.ok()) ps.period = d.value();
+  else return d.error();
+  if (auto d = parse_duration_attr(pe, "phase", Duration::zero()); d.ok()) ps.phase = d.value();
+  else return d.error();
+  if (auto d = parse_duration_attr(pe, "tmin", Duration::zero()); d.ok()) ps.min_interarrival = d.value();
+  else return d.error();
+  if (auto d = parse_duration_attr(pe, "tmax", Duration::max()); d.ok()) ps.max_interarrival = d.value();
+  else return d.error();
+  if (pe.has_attribute("queue")) {
+    auto parsed = parse_uint_attr(pe.attribute("queue"), "queue");
+    if (!parsed.ok()) return parsed.error();
+    ps.queue_capacity = static_cast<std::size_t>(parsed.value());
+  }
+
+  if (auto st = ps.validate(); !st.ok()) return st.error();
+  return ps;
+}
+
+}  // namespace
+
+Result<LinkSpec> parse_link_spec_xml(std::string_view xml_text) {
+  auto doc = xml::parse(xml_text);
+  if (!doc.ok()) return doc.error();
+  const xml::Element& root = *doc.value().root;
+  if (root.name() != "linkspec")
+    return Result<LinkSpec>::failure("expected <linkspec> root, got <" + root.name() + ">");
+
+  LinkSpec spec;
+  spec.set_das(root.child_text("das"));
+
+  for (const xml::Element* pe : root.children_named("param")) {
+    auto v = parse_literal(pe->attribute("value"));
+    if (!v.ok()) return v.error();
+    spec.set_parameter(pe->attribute("name"), v.value());
+  }
+  for (const xml::Element* me : root.children_named("message")) {
+    auto ms = parse_message(*me);
+    if (!ms.ok()) return ms.error();
+    spec.add_message(std::move(ms.value()));
+  }
+  for (const xml::Element* ae : root.children_named("timedautomaton")) {
+    auto as = parse_automaton(*ae);
+    if (!as.ok()) return as.error();
+    spec.add_automaton(std::move(as.value()));
+  }
+  if (const xml::Element* ts = root.child("transfersemantics"); ts != nullptr) {
+    for (const xml::Element* ee : ts->children_named("element")) {
+      auto rule = parse_transfer_rule(*ee);
+      if (!rule.ok()) return rule.error();
+      spec.add_transfer_rule(std::move(rule.value()));
+    }
+  }
+  for (const xml::Element* pe : root.children_named("port")) {
+    auto ps = parse_port(*pe);
+    if (!ps.ok()) return ps.error();
+    spec.add_port(std::move(ps.value()));
+  }
+  for (const xml::Element* fe : root.children_named("filter")) {
+    auto predicate = ta::parse_expression(fe->text());
+    if (!predicate.ok())
+      return Result<LinkSpec>::failure("bad filter for message '" + fe->attribute("message") +
+                                       "': " + predicate.error().message);
+    spec.set_filter(fe->attribute("message"), predicate.value());
+  }
+
+  if (auto st = spec.validate(); !st.ok()) return st.error();
+  return spec;
+}
+
+Result<LinkSpec> load_link_spec_file(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return Result<LinkSpec>::failure("cannot open link spec file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_link_spec_xml(buffer.str());
+}
+
+namespace {
+
+void write_type(xml::Element& fe, const FieldSpec& fs) {
+  xml::Element& te = fe.add_child("type");
+  switch (fs.type) {
+    case FieldType::kBoolean: te.set_text("boolean"); break;
+    case FieldType::kTimestamp: te.set_text("timestamp"); break;
+    case FieldType::kString:
+      te.set_text("string");
+      te.set_attribute("bytes", std::to_string(fs.string_length));
+      break;
+    case FieldType::kFloat32: te.set_text("float"); te.set_attribute("length", "32"); break;
+    case FieldType::kFloat64: te.set_text("float"); te.set_attribute("length", "64"); break;
+    case FieldType::kInt8: te.set_text("integer"); te.set_attribute("length", "8"); break;
+    case FieldType::kInt16: te.set_text("integer"); te.set_attribute("length", "16"); break;
+    case FieldType::kInt32: te.set_text("integer"); te.set_attribute("length", "32"); break;
+    case FieldType::kInt64: te.set_text("integer"); te.set_attribute("length", "64"); break;
+    case FieldType::kUInt8: te.set_text("integer"); te.set_attribute("length", "8"); te.set_attribute("signed", "no"); break;
+    case FieldType::kUInt16: te.set_text("integer"); te.set_attribute("length", "16"); te.set_attribute("signed", "no"); break;
+    case FieldType::kUInt32: te.set_text("integer"); te.set_attribute("length", "32"); te.set_attribute("signed", "no"); break;
+    case FieldType::kUInt64: te.set_text("integer"); te.set_attribute("length", "64"); te.set_attribute("signed", "no"); break;
+  }
+}
+
+std::string value_literal(const ta::Value& v) {
+  if (v.is_string()) return v.as_string();
+  return v.to_string();
+}
+
+}  // namespace
+
+std::string write_link_spec_xml(const LinkSpec& spec) {
+  xml::Element root{"linkspec"};
+  if (!spec.das().empty()) root.add_child("das").set_text(spec.das());
+
+  // Stable parameter order for reproducible output.
+  std::vector<std::string> param_names;
+  for (const auto& [name, value] : spec.parameters()) param_names.push_back(name);
+  std::sort(param_names.begin(), param_names.end());
+  for (const auto& name : param_names) {
+    xml::Element& pe = root.add_child("param");
+    pe.set_attribute("name", name);
+    pe.set_attribute("value", value_literal(spec.parameter(name)));
+  }
+
+  for (const auto& ms : spec.messages()) {
+    xml::Element& me = root.add_child("message");
+    me.set_attribute("name", ms.name());
+    for (const auto& es : ms.elements()) {
+      xml::Element& ee = me.add_child("element");
+      ee.set_attribute("name", es.name);
+      ee.set_attribute("key", es.key ? "yes" : "no");
+      ee.set_attribute("conv", es.convertible ? "yes" : "no");
+      for (const auto& fs : es.fields) {
+        xml::Element& fe = ee.add_child("field");
+        fe.set_attribute("name", fs.name);
+        write_type(fe, fs);
+        if (fs.static_value) fe.add_child("value").set_text(value_literal(*fs.static_value));
+      }
+    }
+  }
+
+  for (const auto& as : spec.automata()) {
+    xml::Element& ae = root.add_child("timedautomaton");
+    ae.set_attribute("name", as.name());
+    for (const auto& loc : as.locations()) ae.add_child("location").set_attribute("name", loc);
+    ae.add_child("init").set_attribute("name", as.initial());
+    if (!as.error().empty()) ae.add_child("error").set_attribute("name", as.error());
+    for (const auto& c : as.clocks()) ae.add_child("clock").set_attribute("name", c);
+    for (const auto& [name, init] : as.variables()) {
+      xml::Element& ve = ae.add_child("variable");
+      ve.set_attribute("name", name);
+      ve.set_attribute("init", value_literal(init));
+    }
+    for (const auto& edge : as.edges()) {
+      xml::Element& te = ae.add_child("transition");
+      te.add_child("source").set_attribute("name", edge.source);
+      te.add_child("target").set_attribute("name", edge.target);
+      if (edge.action == ta::ActionKind::kReceive) {
+        xml::Element& le = te.add_child("label");
+        le.set_attribute("type", "recv");
+        le.set_text(edge.message);
+      } else if (edge.action == ta::ActionKind::kSend) {
+        xml::Element& le = te.add_child("label");
+        le.set_attribute("type", "send");
+        le.set_text(edge.message);
+      }
+      if (edge.guard) {
+        xml::Element& le = te.add_child("label");
+        le.set_attribute("type", "guard");
+        le.set_text(edge.guard->to_string());
+      }
+      if (!edge.assignments.empty()) {
+        std::string text;
+        for (std::size_t i = 0; i < edge.assignments.size(); ++i) {
+          if (i) text += "; ";
+          text += edge.assignments[i].to_string();
+        }
+        xml::Element& le = te.add_child("label");
+        le.set_attribute("type", "assignment");
+        le.set_text(text);
+      }
+    }
+  }
+
+  if (!spec.transfer_rules().empty()) {
+    xml::Element& ts = root.add_child("transfersemantics");
+    for (const auto& rule : spec.transfer_rules()) {
+      xml::Element& ee = ts.add_child("element");
+      ee.set_attribute("name", rule.target);
+      ee.set_attribute("source", rule.source);
+      for (const auto& fr : rule.fields) {
+        xml::Element& fe = ee.add_child("field");
+        fe.set_attribute("name", fr.name);
+        fe.set_attribute("init", value_literal(fr.init));
+        fe.set_attribute("semantics", fr.semantics);
+        fe.set_text(fr.name + " := " + fr.update->to_string());
+      }
+    }
+  }
+
+  for (const auto& ps : spec.ports()) {
+    xml::Element& pe = root.add_child("port");
+    pe.set_attribute("message", ps.message);
+    pe.set_attribute("direction", ps.direction == DataDirection::kInput ? "input" : "output");
+    pe.set_attribute("semantics", ps.semantics == InfoSemantics::kState ? "state" : "event");
+    pe.set_attribute("paradigm", ps.is_time_triggered() ? "tt" : "et");
+    pe.set_attribute("interaction", ps.interaction == Interaction::kPush ? "push" : "pull");
+    if (ps.period > Duration::zero()) pe.set_attribute("period", std::to_string(ps.period.ns()) + "ns");
+    if (ps.phase > Duration::zero()) pe.set_attribute("phase", std::to_string(ps.phase.ns()) + "ns");
+    if (ps.min_interarrival > Duration::zero())
+      pe.set_attribute("tmin", std::to_string(ps.min_interarrival.ns()) + "ns");
+    if (ps.max_interarrival < Duration::max())
+      pe.set_attribute("tmax", std::to_string(ps.max_interarrival.ns()) + "ns");
+    pe.set_attribute("queue", std::to_string(ps.queue_capacity));
+  }
+
+  // Stable filter order for reproducible output.
+  std::vector<std::string> filtered;
+  for (const auto& [message_name, predicate] : spec.filters()) filtered.push_back(message_name);
+  std::sort(filtered.begin(), filtered.end());
+  for (const auto& message_name : filtered) {
+    xml::Element& fe = root.add_child("filter");
+    fe.set_attribute("message", message_name);
+    fe.set_text((*spec.filter_for(message_name))->to_string());
+  }
+
+  return xml::write(root);
+}
+
+}  // namespace decos::spec

@@ -1,0 +1,238 @@
+#include "spec/message.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace decos::spec {
+namespace {
+
+void put_uint(std::vector<std::byte>& out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * (bytes - 1 - i))) & 0xFF));
+  }
+}
+
+std::uint64_t get_uint(std::span<const std::byte> in, std::size_t offset, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v = (v << 8) | static_cast<std::uint64_t>(in[offset + i]);
+  }
+  return v;
+}
+
+std::int64_t sign_extend(std::uint64_t v, std::size_t bytes) {
+  if (bytes == 8) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign_bit = 1ULL << (8 * bytes - 1);
+  if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  return static_cast<std::int64_t>(v);
+}
+
+/// Range check for integer fields; out-of-range values are value-domain
+/// faults that must not silently wrap on the wire.
+Status check_range(const FieldSpec& f, std::int64_t v) {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  switch (f.type) {
+    case FieldType::kInt8: lo = -128; hi = 127; break;
+    case FieldType::kInt16: lo = -32768; hi = 32767; break;
+    case FieldType::kInt32: lo = std::numeric_limits<std::int32_t>::min(); hi = std::numeric_limits<std::int32_t>::max(); break;
+    case FieldType::kInt64: return Status::success();
+    case FieldType::kUInt8: lo = 0; hi = 255; break;
+    case FieldType::kUInt16: lo = 0; hi = 65535; break;
+    case FieldType::kUInt32: lo = 0; hi = 4294967295LL; break;
+    case FieldType::kUInt64: return v >= 0 ? Status::success()
+                                           : Status::failure("negative value for uint64 field '" + f.name + "'");
+    default: return Status::success();
+  }
+  if (v < lo || v > hi)
+    return Status::failure("value " + std::to_string(v) + " out of range for field '" + f.name +
+                           "' (" + field_type_name(f.type) + ")");
+  return Status::success();
+}
+
+Status encode_field(std::vector<std::byte>& out, const FieldSpec& f, const ta::Value& v) {
+  switch (f.type) {
+    case FieldType::kBoolean:
+      put_uint(out, v.as_bool() ? 1 : 0, 1);
+      return Status::success();
+    case FieldType::kFloat32: {
+      const auto bits = std::bit_cast<std::uint32_t>(static_cast<float>(v.as_real()));
+      put_uint(out, bits, 4);
+      return Status::success();
+    }
+    case FieldType::kFloat64: {
+      const auto bits = std::bit_cast<std::uint64_t>(v.as_real());
+      put_uint(out, bits, 8);
+      return Status::success();
+    }
+    case FieldType::kString: {
+      if (!v.is_string())
+        return Status::failure("field '" + f.name + "' expects a string value");
+      const std::string& s = v.as_string();
+      if (s.size() > f.string_length)
+        return Status::failure("string too long for field '" + f.name + "' (" +
+                               std::to_string(s.size()) + " > " + std::to_string(f.string_length) + ")");
+      for (std::size_t i = 0; i < f.string_length; ++i) {
+        out.push_back(i < s.size() ? static_cast<std::byte>(s[i]) : std::byte{0});
+      }
+      return Status::success();
+    }
+    default: {
+      const std::int64_t i = v.as_int();
+      if (auto st = check_range(f, i); !st.ok()) return st;
+      put_uint(out, static_cast<std::uint64_t>(i), f.wire_size());
+      return Status::success();
+    }
+  }
+}
+
+ta::Value decode_field(std::span<const std::byte> in, std::size_t offset, const FieldSpec& f) {
+  switch (f.type) {
+    case FieldType::kBoolean:
+      return ta::Value{get_uint(in, offset, 1) != 0};
+    case FieldType::kFloat32:
+      return ta::Value{static_cast<double>(
+          std::bit_cast<float>(static_cast<std::uint32_t>(get_uint(in, offset, 4))))};
+    case FieldType::kFloat64:
+      return ta::Value{std::bit_cast<double>(get_uint(in, offset, 8))};
+    case FieldType::kString: {
+      std::string s;
+      for (std::size_t i = 0; i < f.string_length; ++i) {
+        const char c = static_cast<char>(in[offset + i]);
+        if (c == '\0') break;
+        s.push_back(c);
+      }
+      return ta::Value{std::move(s)};
+    }
+    case FieldType::kUInt8:
+    case FieldType::kUInt16:
+    case FieldType::kUInt32:
+    case FieldType::kUInt64:
+      return ta::Value{static_cast<std::int64_t>(get_uint(in, offset, f.wire_size()))};
+    default:
+      return ta::Value{sign_extend(get_uint(in, offset, f.wire_size()), f.wire_size())};
+  }
+}
+
+}  // namespace
+
+const ta::Value* ElementValue::field(const ElementSpec& spec, const std::string& field_name) const {
+  for (std::size_t i = 0; i < spec.fields.size() && i < fields.size(); ++i) {
+    if (spec.fields[i].name == field_name) return &fields[i];
+  }
+  return nullptr;
+}
+
+const ElementValue* MessageInstance::element(const std::string& element_name) const {
+  for (const auto& e : elements_)
+    if (e.element == element_name) return &e;
+  return nullptr;
+}
+
+ElementValue* MessageInstance::element(const std::string& element_name) {
+  for (auto& e : elements_)
+    if (e.element == element_name) return &e;
+  return nullptr;
+}
+
+const ta::Value& MessageInstance::field(const std::string& element_name,
+                                        const std::string& field_name,
+                                        const MessageSpec& spec) const {
+  const ElementSpec* es = spec.element(element_name);
+  if (es == nullptr)
+    throw SpecError("message '" + message_ + "' has no element '" + element_name + "'");
+  const ElementValue* ev = element(element_name);
+  if (ev == nullptr)
+    throw SpecError("instance of '" + message_ + "' is missing element '" + element_name + "'");
+  const ta::Value* v = ev->field(*es, field_name);
+  if (v == nullptr)
+    throw SpecError("element '" + element_name + "' has no field '" + field_name + "'");
+  return *v;
+}
+
+MessageInstance make_instance(const MessageSpec& spec) {
+  MessageInstance inst{spec.name()};
+  for (const auto& es : spec.elements()) {
+    ElementValue ev;
+    ev.element = es.name;
+    for (const auto& fs : es.fields) {
+      if (fs.static_value) {
+        ev.fields.push_back(*fs.static_value);
+      } else if (fs.type == FieldType::kString) {
+        ev.fields.push_back(ta::Value{std::string{}});
+      } else if (fs.type == FieldType::kBoolean) {
+        ev.fields.push_back(ta::Value{false});
+      } else if (fs.type == FieldType::kFloat32 || fs.type == FieldType::kFloat64) {
+        ev.fields.push_back(ta::Value{0.0});
+      } else {
+        ev.fields.push_back(ta::Value{std::int64_t{0}});
+      }
+    }
+    inst.add_element(std::move(ev));
+  }
+  return inst;
+}
+
+Result<std::vector<std::byte>> encode(const MessageSpec& spec, const MessageInstance& instance) {
+  if (instance.message() != spec.name())
+    return Result<std::vector<std::byte>>::failure("instance of '" + instance.message() +
+                                                   "' encoded against spec '" + spec.name() + "'");
+  std::vector<std::byte> out;
+  out.reserve(spec.wire_size());
+  if (instance.elements().size() != spec.elements().size())
+    return Result<std::vector<std::byte>>::failure(
+        "instance of '" + spec.name() + "' has " + std::to_string(instance.elements().size()) +
+        " elements, spec has " + std::to_string(spec.elements().size()));
+  for (std::size_t ei = 0; ei < spec.elements().size(); ++ei) {
+    const ElementSpec& es = spec.elements()[ei];
+    const ElementValue& ev = instance.elements()[ei];
+    if (ev.element != es.name)
+      return Result<std::vector<std::byte>>::failure("element order mismatch: expected '" +
+                                                     es.name + "', got '" + ev.element + "'");
+    if (ev.fields.size() != es.fields.size())
+      return Result<std::vector<std::byte>>::failure("element '" + es.name + "' field count mismatch");
+    for (std::size_t fi = 0; fi < es.fields.size(); ++fi) {
+      if (auto st = encode_field(out, es.fields[fi], ev.fields[fi]); !st.ok()) return st.error();
+    }
+  }
+  return out;
+}
+
+Result<MessageInstance> decode(const MessageSpec& spec, std::span<const std::byte> payload) {
+  if (payload.size() != spec.wire_size())
+    return Result<MessageInstance>::failure("payload size " + std::to_string(payload.size()) +
+                                            " does not match spec '" + spec.name() + "' (" +
+                                            std::to_string(spec.wire_size()) + " bytes)");
+  MessageInstance inst{spec.name()};
+  std::size_t offset = 0;
+  for (const auto& es : spec.elements()) {
+    ElementValue ev;
+    ev.element = es.name;
+    for (const auto& fs : es.fields) {
+      ev.fields.push_back(decode_field(payload, offset, fs));
+      offset += fs.wire_size();
+    }
+    inst.add_element(std::move(ev));
+  }
+  return inst;
+}
+
+bool matches_key(const MessageSpec& spec, std::span<const std::byte> payload) {
+  if (payload.size() != spec.wire_size()) return false;
+  std::size_t offset = 0;
+  bool has_key = false;
+  for (const auto& es : spec.elements()) {
+    for (const auto& fs : es.fields) {
+      if (es.key && fs.static_value) {
+        has_key = true;
+        const ta::Value decoded = decode_field(payload, offset, fs);
+        if (!(decoded == *fs.static_value)) return false;
+      }
+      offset += fs.wire_size();
+    }
+  }
+  return has_key;
+}
+
+}  // namespace decos::spec

@@ -1,0 +1,79 @@
+// Message instances and the fixed-layout wire codec.
+//
+// A MessageInstance is the structured in-memory form jobs and gateways
+// operate on; encode()/decode() map it to/from the byte payload carried
+// in virtual-network frames according to a MessageSpec. The layout is
+// big-endian, fields in declaration order, no padding -- a deliberately
+// simple stand-in for the interface-definition-language encodings the
+// paper references (CORBA IDL / CDR).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spec/message_spec.hpp"
+#include "ta/value.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace decos::spec {
+
+/// Values of one element instance, parallel to ElementSpec::fields.
+struct ElementValue {
+  std::string element;              // element name
+  std::vector<ta::Value> fields;    // one value per FieldSpec, in order
+
+  const ta::Value* field(const ElementSpec& spec, const std::string& field_name) const;
+};
+
+/// A structured message instance.
+class MessageInstance {
+ public:
+  MessageInstance() = default;
+  explicit MessageInstance(std::string message_name) : message_{std::move(message_name)} {}
+
+  const std::string& message() const { return message_; }
+  void set_message(std::string name) { message_ = std::move(name); }
+
+  /// The instant the producing job handed the instance to its port (used
+  /// for latency accounting and as the default observation time).
+  Instant send_time() const { return send_time_; }
+  void set_send_time(Instant t) { send_time_ = t; }
+
+  void add_element(ElementValue value) { elements_.push_back(std::move(value)); }
+  const std::vector<ElementValue>& elements() const { return elements_; }
+  std::vector<ElementValue>& elements() { return elements_; }
+
+  const ElementValue* element(const std::string& element_name) const;
+  ElementValue* element(const std::string& element_name);
+
+  /// Convenience for tests/examples: fetch a field value by element and
+  /// field name. Throws SpecError if missing.
+  const ta::Value& field(const std::string& element_name, const std::string& field_name,
+                         const MessageSpec& spec) const;
+
+ private:
+  std::string message_;
+  Instant send_time_;
+  std::vector<ElementValue> elements_;
+};
+
+/// Build a skeleton instance for `spec` with all static fields filled in
+/// and dynamic fields zero-initialised.
+MessageInstance make_instance(const MessageSpec& spec);
+
+/// Encode `instance` according to `spec`. Fails if the instance does not
+/// structurally match the spec or a value does not fit its field type.
+Result<std::vector<std::byte>> encode(const MessageSpec& spec, const MessageInstance& instance);
+
+/// Decode a payload according to `spec`. Fails on size mismatch.
+Result<MessageInstance> decode(const MessageSpec& spec, std::span<const std::byte> payload);
+
+/// Check whether `payload` carries the message described by `spec`, by
+/// comparing all static key fields (the wire-level message name).
+bool matches_key(const MessageSpec& spec, std::span<const std::byte> payload);
+
+}  // namespace decos::spec

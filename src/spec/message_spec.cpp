@@ -1,0 +1,145 @@
+#include "spec/message_spec.hpp"
+
+#include <unordered_set>
+
+namespace decos::spec {
+
+std::size_t field_wire_size(FieldType type, std::size_t string_length) {
+  switch (type) {
+    case FieldType::kBoolean:
+    case FieldType::kInt8:
+    case FieldType::kUInt8:
+      return 1;
+    case FieldType::kInt16:
+    case FieldType::kUInt16:
+      return 2;
+    case FieldType::kInt32:
+    case FieldType::kUInt32:
+    case FieldType::kFloat32:
+      return 4;
+    case FieldType::kInt64:
+    case FieldType::kUInt64:
+    case FieldType::kFloat64:
+    case FieldType::kTimestamp:
+      return 8;
+    case FieldType::kString:
+      return string_length;
+  }
+  return 0;
+}
+
+std::string field_type_name(FieldType type) {
+  switch (type) {
+    case FieldType::kBoolean: return "boolean";
+    case FieldType::kInt8: return "int8";
+    case FieldType::kInt16: return "int16";
+    case FieldType::kInt32: return "int32";
+    case FieldType::kInt64: return "int64";
+    case FieldType::kUInt8: return "uint8";
+    case FieldType::kUInt16: return "uint16";
+    case FieldType::kUInt32: return "uint32";
+    case FieldType::kUInt64: return "uint64";
+    case FieldType::kFloat32: return "float32";
+    case FieldType::kFloat64: return "float64";
+    case FieldType::kTimestamp: return "timestamp";
+    case FieldType::kString: return "string";
+  }
+  return "?";
+}
+
+Result<FieldType> parse_field_type(const std::string& name, int length_bits, bool is_unsigned) {
+  if (name == "boolean" || name == "bool") return FieldType::kBoolean;
+  if (name == "timestamp") return FieldType::kTimestamp;
+  if (name == "string") return FieldType::kString;
+  if (name == "integer" || name == "int" || name == "unsigned") {
+    const bool u = is_unsigned || name == "unsigned";
+    switch (length_bits == 0 ? 32 : length_bits) {
+      case 8: return u ? FieldType::kUInt8 : FieldType::kInt8;
+      case 16: return u ? FieldType::kUInt16 : FieldType::kInt16;
+      case 32: return u ? FieldType::kUInt32 : FieldType::kInt32;
+      case 64: return u ? FieldType::kUInt64 : FieldType::kInt64;
+      default:
+        return Result<FieldType>::failure("unsupported integer length " +
+                                          std::to_string(length_bits));
+    }
+  }
+  if (name == "float" || name == "floating" || name == "real") {
+    switch (length_bits == 0 ? 64 : length_bits) {
+      case 32: return FieldType::kFloat32;
+      case 64: return FieldType::kFloat64;
+      default:
+        return Result<FieldType>::failure("unsupported float length " +
+                                          std::to_string(length_bits));
+    }
+  }
+  // Explicit spellings (int16, uint32, float64, ...).
+  for (const FieldType t :
+       {FieldType::kInt8, FieldType::kInt16, FieldType::kInt32, FieldType::kInt64,
+        FieldType::kUInt8, FieldType::kUInt16, FieldType::kUInt32, FieldType::kUInt64,
+        FieldType::kFloat32, FieldType::kFloat64}) {
+    if (name == field_type_name(t)) return t;
+  }
+  return Result<FieldType>::failure("unknown field type '" + name + "'");
+}
+
+const FieldSpec* ElementSpec::field(const std::string& field_name) const {
+  for (const auto& f : fields)
+    if (f.name == field_name) return &f;
+  return nullptr;
+}
+
+std::size_t ElementSpec::wire_size() const {
+  std::size_t total = 0;
+  for (const auto& f : fields) total += f.wire_size();
+  return total;
+}
+
+const ElementSpec* MessageSpec::element(const std::string& element_name) const {
+  for (const auto& e : elements_)
+    if (e.name == element_name) return &e;
+  return nullptr;
+}
+
+std::vector<const ElementSpec*> MessageSpec::convertible_elements() const {
+  std::vector<const ElementSpec*> out;
+  for (const auto& e : elements_)
+    if (e.convertible) out.push_back(&e);
+  return out;
+}
+
+std::size_t MessageSpec::wire_size() const {
+  std::size_t total = 0;
+  for (const auto& e : elements_) total += e.wire_size();
+  return total;
+}
+
+Status MessageSpec::validate() const {
+  if (name_.empty()) return Status::failure("message without a name");
+  if (elements_.empty()) return Status::failure("message '" + name_ + "' has no elements");
+  std::unordered_set<std::string> element_names;
+  for (const auto& e : elements_) {
+    if (e.name.empty()) return Status::failure("message '" + name_ + "': unnamed element");
+    if (!element_names.insert(e.name).second)
+      return Status::failure("message '" + name_ + "': duplicate element '" + e.name + "'");
+    if (e.fields.empty())
+      return Status::failure("message '" + name_ + "': element '" + e.name + "' has no fields");
+    std::unordered_set<std::string> field_names;
+    for (const auto& f : e.fields) {
+      if (f.name.empty())
+        return Status::failure("message '" + name_ + "': unnamed field in element '" + e.name + "'");
+      if (!field_names.insert(f.name).second)
+        return Status::failure("message '" + name_ + "': duplicate field '" + f.name +
+                               "' in element '" + e.name + "'");
+      if (f.type == FieldType::kString && f.string_length == 0)
+        return Status::failure("message '" + name_ + "': string field '" + f.name +
+                               "' needs a length");
+      if (e.key && !f.is_static())
+        return Status::failure("message '" + name_ + "': key element '" + e.name +
+                               "' contains non-static field '" + f.name +
+                               "' (message names are static)");
+    }
+  }
+  return Status::success();
+}
+
+}  // namespace decos::spec

@@ -1,0 +1,99 @@
+// Syntactic specification (paper Section IV-B.1).
+//
+// A message is a compound structure of *elements*; each element is a
+// structure of *fields*. A field is atomic at the virtual gateway and has
+// a known type. Elements flagged `convertible` are the units of selective
+// redirection and are stored in the gateway repository; elements flagged
+// `key` form the message name -- the statically defined subset of a
+// message's fields by which message instances are identified on the wire.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ta/value.hpp"
+#include "util/result.hpp"
+
+namespace decos::spec {
+
+/// Atomic field types. Integer widths are explicit because the wire
+/// format is fixed-layout (the paper assumes interface definition
+/// standards for elementary data types).
+enum class FieldType {
+  kBoolean,
+  kInt8,
+  kInt16,
+  kInt32,
+  kInt64,
+  kUInt8,
+  kUInt16,
+  kUInt32,
+  kUInt64,
+  kFloat32,
+  kFloat64,
+  kTimestamp,  // 64-bit ns on the global time base
+  kString,     // fixed-length, NUL-padded
+};
+
+/// Wire size of a field of the given type; strings use `string_length`.
+std::size_t field_wire_size(FieldType type, std::size_t string_length);
+
+/// Human-readable type name (matches the XML surface syntax).
+std::string field_type_name(FieldType type);
+/// Inverse of field_type_name plus the paper's spellings ("integer" with a
+/// length attribute, "boolean", "timestamp", ...).
+Result<FieldType> parse_field_type(const std::string& name, int length_bits, bool is_unsigned);
+
+/// One field of an element.
+struct FieldSpec {
+  std::string name;
+  FieldType type = FieldType::kInt32;
+  std::size_t string_length = 0;          // for kString: bytes on the wire
+  std::optional<ta::Value> static_value;  // static fields are time-invariant
+
+  bool is_static() const { return static_value.has_value(); }
+  std::size_t wire_size() const { return field_wire_size(type, string_length); }
+};
+
+/// One element of a message.
+struct ElementSpec {
+  std::string name;
+  bool key = false;          // part of the message name
+  bool convertible = false;  // subject to selective redirection
+  std::vector<FieldSpec> fields;
+
+  const FieldSpec* field(const std::string& field_name) const;
+  std::size_t wire_size() const;
+};
+
+/// Syntactic description of one message on a virtual network.
+class MessageSpec {
+ public:
+  MessageSpec() = default;
+  explicit MessageSpec(std::string name) : name_{std::move(name)} {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add_element(ElementSpec element) { elements_.push_back(std::move(element)); }
+  const std::vector<ElementSpec>& elements() const { return elements_; }
+  const ElementSpec* element(const std::string& element_name) const;
+
+  /// All elements flagged convertible.
+  std::vector<const ElementSpec*> convertible_elements() const;
+
+  /// Total fixed wire size in bytes.
+  std::size_t wire_size() const;
+
+  /// Structural validation: non-empty, unique element/field names, key
+  /// fields static, string fields sized.
+  Status validate() const;
+
+ private:
+  std::string name_;
+  std::vector<ElementSpec> elements_;
+};
+
+}  // namespace decos::spec

@@ -1,0 +1,69 @@
+// Port specifications (paper Section II-E, first level of Fig. 2).
+//
+// A port is dedicated to the transmission or reception of message
+// instances of a single message. The port specification captures the
+// syntactic and *local* temporal properties plus the control-flow
+// direction relative to the data flow (information push vs pull,
+// refined into sender-push/sender-pull/receiver-push/receiver-pull).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace decos::spec {
+
+enum class DataDirection { kInput, kOutput };
+
+/// Information semantics of the carried message (Section II-A): state
+/// ports update in place; event ports queue for exactly-once processing.
+enum class InfoSemantics { kState, kEvent };
+
+/// Control paradigm of the carrying virtual network.
+enum class ControlParadigm { kTimeTriggered, kEventTriggered };
+
+/// Control-flow direction at the port relative to the communication
+/// system (Section II-E): push = control moves with the data, pull = the
+/// port side requests the transfer.
+enum class Interaction { kPush, kPull };
+
+/// Local temporal + semantic specification of one port.
+struct PortSpec {
+  std::string message;  // message name carried by this port
+  DataDirection direction = DataDirection::kInput;
+  InfoSemantics semantics = InfoSemantics::kState;
+  ControlParadigm paradigm = ControlParadigm::kTimeTriggered;
+  Interaction interaction = Interaction::kPush;
+
+  // Time-triggered temporal properties: absolute global dispatch points
+  // (phase within period).
+  Duration period = Duration::zero();
+  Duration phase = Duration::zero();
+
+  // Event-triggered temporal properties: interarrival bounds (the paper's
+  // tmin/tmax in Fig. 6) used to parameterise the temporal automaton.
+  Duration min_interarrival = Duration::zero();
+  Duration max_interarrival = Duration::max();
+
+  // Event-port queue capacity, derived at design time from the
+  // interarrival/service-time model (Section IV, E5 validates the rule).
+  std::size_t queue_capacity = 8;
+
+  bool is_time_triggered() const { return paradigm == ControlParadigm::kTimeTriggered; }
+
+  /// Sanity checks: TT ports need a period; event ports a capacity.
+  Status validate() const {
+    if (message.empty()) return Status::failure("port without a message name");
+    if (is_time_triggered() && period <= Duration::zero())
+      return Status::failure("time-triggered port for '" + message + "' needs a positive period");
+    if (semantics == InfoSemantics::kEvent && queue_capacity == 0)
+      return Status::failure("event port for '" + message + "' needs a queue capacity");
+    if (min_interarrival > max_interarrival)
+      return Status::failure("port for '" + message + "': min interarrival exceeds max");
+    return Status::success();
+  }
+};
+
+}  // namespace decos::spec

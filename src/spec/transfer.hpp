@@ -1,0 +1,50 @@
+// Transfer semantics (paper Section IV-B, third part of the link
+// specification): rules for converting convertible elements between event
+// and state semantics.
+//
+// The paper's Fig. 6 example derives a state element MovementState from
+// the event element MovementEvent via per-field update expressions
+// (StateValue = StateValue + ValueChange). A rule fires whenever an
+// instance of its source element passes through the gateway; the derived
+// element is stored in the repository like any other convertible element.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ta/expr.hpp"
+#include "util/result.hpp"
+
+namespace decos::spec {
+
+/// One derived field of a conversion rule.
+struct TransferFieldRule {
+  std::string name;            // field of the derived element
+  ta::Value init;              // initial value before any source instance
+  std::string semantics;       // "state" or "event" (informational)
+  ta::ExprPtr update;          // RHS; may reference source fields and the
+                               // derived element's own current fields
+};
+
+/// A conversion rule: derive element `target` from instances of `source`.
+struct TransferRule {
+  std::string target;   // derived convertible element name
+  std::string source;   // source convertible element name
+  std::vector<TransferFieldRule> fields;
+
+  Status validate() const {
+    if (target.empty()) return Status::failure("transfer rule without target element");
+    if (source.empty())
+      return Status::failure("transfer rule for '" + target + "' without source element");
+    if (fields.empty())
+      return Status::failure("transfer rule for '" + target + "' has no fields");
+    for (const auto& f : fields) {
+      if (f.name.empty()) return Status::failure("transfer rule for '" + target + "': unnamed field");
+      if (!f.update) return Status::failure("transfer rule for '" + target + "': field '" +
+                                            f.name + "' has no update expression");
+    }
+    return Status::success();
+  }
+};
+
+}  // namespace decos::spec

@@ -1,0 +1,69 @@
+// Virtual-network specification: the third level of the paper's Fig. 2.
+//
+// "The virtual network specification consists of all link specifications
+// in the DAS and those temporal properties that can be defined only with
+// respect to ports of more than one job" -- e.g. the effects of
+// bandwidth multiplexing between jobs. Here the multi-job properties are
+// the shared namespace (message names unique across the DAS) and the
+// bandwidth feasibility of all links against the slot allocation the
+// encapsulation service granted to the VN.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "spec/link_spec.hpp"
+#include "util/result.hpp"
+
+namespace decos::spec {
+
+class VirtualNetworkSpec {
+ public:
+  VirtualNetworkSpec(std::string name, ControlParadigm paradigm)
+      : name_{std::move(name)}, paradigm_{paradigm} {}
+
+  const std::string& name() const { return name_; }
+  ControlParadigm paradigm() const { return paradigm_; }
+
+  /// The bandwidth partition granted by the encapsulation service:
+  /// payload bytes available per TDMA round, and the round length.
+  void set_allocation(std::size_t bytes_per_round, Duration round_length) {
+    bytes_per_round_ = bytes_per_round;
+    round_length_ = round_length;
+  }
+  std::size_t bytes_per_round() const { return bytes_per_round_; }
+  Duration round_length() const { return round_length_; }
+
+  /// One link specification per job of the DAS.
+  void add_link(LinkSpec link) { links_.push_back(std::move(link)); }
+  const std::vector<LinkSpec>& links() const { return links_; }
+
+  /// Find a message across all links (the DAS-wide namespace).
+  const MessageSpec* message(const std::string& message_name) const;
+
+  /// Worst-case payload demand per round over all *output* ports:
+  /// time-triggered ports contribute wire_size * (round / period);
+  /// event-triggered ports contribute wire_size * (round / tmin) when a
+  /// minimum interarrival is specified (their worst-case rate), and are
+  /// skipped otherwise (only probabilistic statements are possible, per
+  /// the paper's Section II-E).
+  double worst_case_bytes_per_round() const;
+
+  /// Output ports whose worst-case rate is unbounded (no period, no
+  /// tmin): these can only be given probabilistic guarantees.
+  std::vector<std::string> unbounded_output_ports() const;
+
+  /// Multi-job validation: links valid, namespace coherent, and -- when
+  /// an allocation is set -- worst-case demand within it.
+  Status validate() const;
+
+ private:
+  std::string name_;
+  ControlParadigm paradigm_;
+  std::vector<LinkSpec> links_;
+  std::size_t bytes_per_round_ = 0;
+  Duration round_length_ = Duration::zero();
+};
+
+}  // namespace decos::spec

@@ -1,0 +1,127 @@
+#include "ta/automaton.hpp"
+
+#include <algorithm>
+
+namespace decos::ta {
+
+std::string Edge::label() const {
+  std::string s = source + " -> " + target;
+  if (action == ActionKind::kSend) s += " [" + message + "!]";
+  if (action == ActionKind::kReceive) s += " [" + message + "?]";
+  if (guard) s += " guard(" + guard->to_string() + ")";
+  return s;
+}
+
+void AutomatonSpec::add_location(const std::string& location) {
+  if (!has_location(location)) locations_.push_back(location);
+  if (initial_.empty()) initial_ = location;
+}
+
+bool AutomatonSpec::has_location(const std::string& location) const {
+  return std::find(locations_.begin(), locations_.end(), location) != locations_.end();
+}
+
+Status AutomatonSpec::validate() const {
+  if (locations_.empty()) return Status::failure("automaton '" + name_ + "' has no locations");
+  if (!has_location(initial_))
+    return Status::failure("automaton '" + name_ + "': unknown initial location '" + initial_ + "'");
+  if (!error_.empty() && !has_location(error_))
+    return Status::failure("automaton '" + name_ + "': unknown error location '" + error_ + "'");
+  for (const auto& e : edges_) {
+    if (!has_location(e.source))
+      return Status::failure("automaton '" + name_ + "': unknown edge source '" + e.source + "'");
+    if (!has_location(e.target))
+      return Status::failure("automaton '" + name_ + "': unknown edge target '" + e.target + "'");
+    if (e.action != ActionKind::kInternal && e.message.empty())
+      return Status::failure("automaton '" + name_ + "': port-interaction edge without message");
+  }
+  return Status::success();
+}
+
+AutomatonSpec make_unconstrained_receive(const std::string& automaton_name,
+                                         const std::string& message) {
+  AutomatonSpec spec{automaton_name};
+  spec.add_location("run");
+  Edge e;
+  e.source = "run";
+  e.target = "run";
+  e.action = ActionKind::kReceive;
+  e.message = message;
+  spec.add_edge(std::move(e));
+  return spec;
+}
+
+AutomatonSpec make_interarrival_receive(const std::string& automaton_name,
+                                        const std::string& message, Duration tmin, Duration tmax) {
+  AutomatonSpec spec{automaton_name};
+  spec.add_location("wait");
+  spec.add_location("error");
+  spec.set_error("error");
+  spec.add_clock("x");
+  spec.add_variable("n", Value{std::int64_t{0}});
+
+  const std::string tmin_ns = std::to_string(tmin.ns());
+  const std::string tmax_ns = std::to_string(tmax.ns());
+
+  // Reception within the window (first message always accepted).
+  Edge ok;
+  ok.source = "wait";
+  ok.target = "wait";
+  ok.action = ActionKind::kReceive;
+  ok.message = message;
+  ok.guard = parse_expression("n == 0 || (x >= " + tmin_ns + " && x <= " + tmax_ns + ")").value();
+  ok.assignments = parse_assignments("x := 0; n := n + 1").value();
+  spec.add_edge(std::move(ok));
+
+  // Early reception: explicit violation edge into the error state.
+  Edge early;
+  early.source = "wait";
+  early.target = "error";
+  early.action = ActionKind::kReceive;
+  early.message = message;
+  early.guard = parse_expression("n > 0 && x < " + tmin_ns).value();
+  spec.add_edge(std::move(early));
+
+  // Silence beyond tmax: time-triggered violation, detected by poll().
+  Edge timeout;
+  timeout.source = "wait";
+  timeout.target = "error";
+  timeout.action = ActionKind::kInternal;
+  timeout.guard = parse_expression("n > 0 && x > " + tmax_ns).value();
+  spec.add_edge(std::move(timeout));
+
+  return spec;
+}
+
+AutomatonSpec make_unconstrained_send(const std::string& automaton_name,
+                                      const std::string& message) {
+  AutomatonSpec spec{automaton_name};
+  spec.add_location("run");
+  Edge e;
+  e.source = "run";
+  e.target = "run";
+  e.action = ActionKind::kSend;
+  e.message = message;
+  spec.add_edge(std::move(e));
+  return spec;
+}
+
+AutomatonSpec make_periodic_send(const std::string& automaton_name, const std::string& message,
+                                 Duration period) {
+  AutomatonSpec spec{automaton_name};
+  spec.add_location("run");
+  spec.add_clock("x");
+  spec.add_variable("first", Value{true});
+
+  Edge e;
+  e.source = "run";
+  e.target = "run";
+  e.action = ActionKind::kSend;
+  e.message = message;
+  e.guard = parse_expression("first || x >= " + std::to_string(period.ns())).value();
+  e.assignments = parse_assignments("x := 0; first := false").value();
+  spec.add_edge(std::move(e));
+  return spec;
+}
+
+}  // namespace decos::ta

@@ -1,0 +1,110 @@
+// Deterministic timed automata (paper Section IV-B.2).
+//
+// The temporal part of a link specification is a set of deterministic
+// timed automata that express the protocol for interacting with the ports
+// of a virtual network: control patterns, message-exchange sequences, and
+// temporal constraints. Edges carry guard labels, assignment labels and
+// port-interaction labels (`m!` transmission, `m?` reception). A special
+// *error* location models violations of the temporal specification and
+// gives the gateway the hook for error handling (blocking the offending
+// message and optionally restarting the service).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ta/expr.hpp"
+#include "util/result.hpp"
+
+namespace decos::ta {
+
+/// Port-interaction label on an edge.
+enum class ActionKind {
+  kInternal,  // no port interaction (time-/condition-triggered edge)
+  kSend,      // m! -- construct message m from the repository and emit it
+  kReceive,   // m? -- consume an incoming message m and dissect it
+};
+
+/// One edge of a timed automaton.
+struct Edge {
+  std::string source;
+  std::string target;
+  ActionKind action = ActionKind::kInternal;
+  std::string message;        // for kSend / kReceive
+  ExprPtr guard;              // nullptr == always enabled
+  std::vector<Assignment> assignments;
+
+  std::string label() const;
+};
+
+/// Static description of a deterministic timed automaton. Built either
+/// programmatically or from the XML link specification.
+class AutomatonSpec {
+ public:
+  explicit AutomatonSpec(std::string name = {}) : name_{std::move(name)} {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Declare a location. The first declared location is the default
+  /// initial location unless set_initial() is called.
+  void add_location(const std::string& location);
+  void set_initial(const std::string& location) { initial_ = location; }
+  void set_error(const std::string& location) { error_ = location; }
+
+  /// Declare a clock variable (advances with time, resettable).
+  void add_clock(const std::string& clock) { clocks_.push_back(clock); }
+  /// Declare a state variable with an initial value (does not advance).
+  void add_variable(const std::string& name, Value initial) {
+    variables_.emplace_back(name, std::move(initial));
+  }
+
+  void add_edge(Edge edge) { edges_.push_back(std::move(edge)); }
+
+  const std::vector<std::string>& locations() const { return locations_; }
+  const std::string& initial() const { return initial_; }
+  const std::string& error() const { return error_; }
+  const std::vector<std::string>& clocks() const { return clocks_; }
+  const std::vector<std::pair<std::string, Value>>& variables() const { return variables_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  bool has_location(const std::string& location) const;
+
+  /// Structural validation: initial/error locations exist, every edge
+  /// endpoint exists, send/receive edges name a message.
+  Status validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> locations_;
+  std::string initial_;
+  std::string error_;
+  std::vector<std::string> clocks_;
+  std::vector<std::pair<std::string, Value>> variables_;
+  std::vector<Edge> edges_;
+};
+
+/// Convenience: the degenerate automaton accepting message `m` at any
+/// time (used when a port spec supplies period/interarrival constraints
+/// directly instead of a hand-written automaton).
+AutomatonSpec make_unconstrained_receive(const std::string& automaton_name,
+                                         const std::string& message);
+
+/// Automaton enforcing a minimum interarrival time `tmin` and maximum
+/// interarrival `tmax` for receptions of `m` (the paper's Fig. 6 shape):
+/// an early message (clock < tmin) or a silence longer than tmax drives
+/// the automaton into the error state.
+AutomatonSpec make_interarrival_receive(const std::string& automaton_name,
+                                        const std::string& message, Duration tmin, Duration tmax);
+
+/// Automaton emitting `m` periodically: the m! edge is enabled exactly at
+/// multiples of `period` (phase-aligned by the interpreter's poll).
+AutomatonSpec make_periodic_send(const std::string& automaton_name, const std::string& message,
+                                 Duration period);
+
+/// Automaton whose m! edge is always enabled (event-triggered outputs:
+/// emit as soon as the constituting convertible elements are available).
+AutomatonSpec make_unconstrained_send(const std::string& automaton_name,
+                                      const std::string& message);
+
+}  // namespace decos::ta

@@ -1,0 +1,510 @@
+#include "ta/expr.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace decos::ta {
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST nodes
+// ---------------------------------------------------------------------------
+
+class Literal final : public Expr {
+ public:
+  explicit Literal(Value v) : value_{std::move(v)} {}
+  Kind kind() const override { return Kind::kLiteral; }
+  Value evaluate(Environment&) const override { return value_; }
+  std::string to_string() const override { return value_.to_string(); }
+  void collect_identifiers(std::vector<std::string>&) const override {}
+
+ private:
+  Value value_;
+};
+
+class Identifier final : public Expr {
+ public:
+  explicit Identifier(std::string name) : name_{std::move(name)} {}
+  Kind kind() const override { return Kind::kIdentifier; }
+  Value evaluate(Environment& env) const override { return env.get(name_); }
+  std::string to_string() const override { return name_; }
+  void collect_identifiers(std::vector<std::string>& out) const override { out.push_back(name_); }
+
+ private:
+  std::string name_;
+};
+
+class Unary final : public Expr {
+ public:
+  Unary(char op, ExprPtr operand) : op_{op}, operand_{std::move(operand)} {}
+  Kind kind() const override { return Kind::kUnary; }
+  Value evaluate(Environment& env) const override {
+    const Value v = operand_->evaluate(env);
+    if (op_ == '!') return Value{!v.as_bool()};
+    if (v.is_real()) return Value{-v.as_real()};
+    return Value{-v.as_int()};
+  }
+  std::string to_string() const override { return std::string(1, op_) + operand_->to_string(); }
+  void collect_identifiers(std::vector<std::string>& out) const override {
+    operand_->collect_identifiers(out);
+  }
+
+ private:
+  char op_;
+  ExprPtr operand_;
+};
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMod, kLt, kLe, kGt, kGe, kEq, kNe, kAnd, kOr };
+
+const char* bin_op_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+class Binary final : public Expr {
+ public:
+  Binary(BinOp op, ExprPtr lhs, ExprPtr rhs) : op_{op}, lhs_{std::move(lhs)}, rhs_{std::move(rhs)} {}
+  Kind kind() const override { return Kind::kBinary; }
+
+  Value evaluate(Environment& env) const override {
+    // Short-circuit logicals first.
+    if (op_ == BinOp::kAnd) return Value{lhs_->evaluate(env).as_bool() && rhs_->evaluate(env).as_bool()};
+    if (op_ == BinOp::kOr) return Value{lhs_->evaluate(env).as_bool() || rhs_->evaluate(env).as_bool()};
+
+    const Value a = lhs_->evaluate(env);
+    const Value b = rhs_->evaluate(env);
+    switch (op_) {
+      case BinOp::kEq: return Value{a == b};
+      case BinOp::kNe: return Value{!(a == b)};
+      default: break;
+    }
+    if (a.is_real() || b.is_real()) {
+      const double x = a.as_real();
+      const double y = b.as_real();
+      switch (op_) {
+        case BinOp::kAdd: return Value{x + y};
+        case BinOp::kSub: return Value{x - y};
+        case BinOp::kMul: return Value{x * y};
+        case BinOp::kDiv: return Value{x / y};
+        case BinOp::kMod: return Value{std::fmod(x, y)};
+        case BinOp::kLt: return Value{x < y};
+        case BinOp::kLe: return Value{x <= y};
+        case BinOp::kGt: return Value{x > y};
+        case BinOp::kGe: return Value{x >= y};
+        default: break;
+      }
+    } else {
+      const std::int64_t x = a.as_int();
+      const std::int64_t y = b.as_int();
+      switch (op_) {
+        case BinOp::kAdd: return Value{x + y};
+        case BinOp::kSub: return Value{x - y};
+        case BinOp::kMul: return Value{x * y};
+        case BinOp::kDiv:
+          if (y == 0) throw SpecError("division by zero in expression");
+          return Value{x / y};
+        case BinOp::kMod:
+          if (y == 0) throw SpecError("modulo by zero in expression");
+          return Value{x % y};
+        case BinOp::kLt: return Value{x < y};
+        case BinOp::kLe: return Value{x <= y};
+        case BinOp::kGt: return Value{x > y};
+        case BinOp::kGe: return Value{x >= y};
+        default: break;
+      }
+    }
+    throw SpecError("unsupported binary operation");
+  }
+
+  std::string to_string() const override {
+    return "(" + lhs_->to_string() + " " + bin_op_name(op_) + " " + rhs_->to_string() + ")";
+  }
+  void collect_identifiers(std::vector<std::string>& out) const override {
+    lhs_->collect_identifiers(out);
+    rhs_->collect_identifiers(out);
+  }
+
+ private:
+  BinOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class Call final : public Expr {
+ public:
+  Call(std::string fn, std::vector<ExprPtr> args) : fn_{std::move(fn)}, args_{std::move(args)} {}
+  Kind kind() const override { return Kind::kCall; }
+  Value evaluate(Environment& env) const override {
+    std::vector<Value> values;
+    values.reserve(args_.size());
+    for (const auto& a : args_) values.push_back(a->evaluate(env));
+    return env.call(fn_, values);
+  }
+  std::string to_string() const override {
+    std::string s = fn_ + "(";
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (i) s += ", ";
+      s += args_[i]->to_string();
+    }
+    return s + ")";
+  }
+  void collect_identifiers(std::vector<std::string>& out) const override {
+    for (const auto& a : args_) a->collect_identifiers(out);
+  }
+
+ private:
+  std::string fn_;
+  std::vector<ExprPtr> args_;
+};
+
+// ---------------------------------------------------------------------------
+// Lexer + parser (precedence climbing)
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum class Type { kNumber, kString, kIdent, kOp, kEnd };
+  Type type = Type::kEnd;
+  std::string text;
+  Value number;  // for kNumber
+  int column = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view in) : in_{in} {}
+
+  Result<Token> next() {
+    skip_ws();
+    Token t;
+    t.column = static_cast<int>(pos_) + 1;
+    if (pos_ >= in_.size()) return t;  // kEnd
+    const char c = in_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && pos_ + 1 < in_.size() && std::isdigit(static_cast<unsigned char>(in_[pos_ + 1])))) {
+      return lex_number();
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      t.type = Token::Type::kIdent;
+      while (pos_ < in_.size() &&
+             (std::isalnum(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '_')) {
+        t.text.push_back(in_[pos_++]);
+      }
+      return t;
+    }
+    if (c == '"' || c == '\'') {
+      ++pos_;
+      t.type = Token::Type::kString;
+      while (pos_ < in_.size() && in_[pos_] != c) t.text.push_back(in_[pos_++]);
+      if (pos_ >= in_.size()) return Error{"unterminated string literal", 0, t.column};
+      ++pos_;
+      return t;
+    }
+    // Operators (longest match first).
+    static constexpr std::string_view kTwoChar[] = {"<=", ">=", "==", "!=", "&&", "||", ":="};
+    for (auto op : kTwoChar) {
+      if (in_.substr(pos_, 2) == op) {
+        t.type = Token::Type::kOp;
+        t.text = std::string{op};
+        pos_ += 2;
+        return t;
+      }
+    }
+    if (std::string_view{"+-*/%<>!(),=;"}.find(c) != std::string_view::npos) {
+      t.type = Token::Type::kOp;
+      t.text = std::string(1, c);
+      ++pos_;
+      return t;
+    }
+    return Error{std::string{"unexpected character '"} + c + "' in expression", 0, t.column};
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < in_.size() && std::isspace(static_cast<unsigned char>(in_[pos_]))) ++pos_;
+  }
+
+  Result<Token> lex_number() {
+    Token t;
+    t.type = Token::Type::kNumber;
+    t.column = static_cast<int>(pos_) + 1;
+    std::string digits;
+    bool real = false;
+    while (pos_ < in_.size() &&
+           (std::isdigit(static_cast<unsigned char>(in_[pos_])) || in_[pos_] == '.')) {
+      if (in_[pos_] == '.') real = true;
+      digits.push_back(in_[pos_++]);
+    }
+    // Optional time-unit suffix.
+    std::string suffix;
+    while (pos_ < in_.size() && std::isalpha(static_cast<unsigned char>(in_[pos_])) &&
+           suffix.size() < 2) {
+      suffix.push_back(in_[pos_]);
+      ++pos_;
+    }
+    std::int64_t scale = 0;
+    if (suffix == "ns") scale = 1;
+    else if (suffix == "us") scale = 1'000;
+    else if (suffix == "ms") scale = 1'000'000;
+    else if (suffix == "s") scale = 1'000'000'000;
+    else if (!suffix.empty()) {
+      return Error{"unknown numeric suffix '" + suffix + "'", 0, t.column};
+    }
+    // std::stod/stoll throw on overflow-length digit runs; numeric junk
+    // in a specification must surface as a parse error instead.
+    try {
+      if (scale != 0) {
+        t.number = Value{static_cast<std::int64_t>(std::stod(digits) * static_cast<double>(scale))};
+      } else if (real) {
+        t.number = Value{std::stod(digits)};
+      } else {
+        t.number = Value{static_cast<std::int64_t>(std::stoll(digits))};
+      }
+    } catch (const std::exception&) {
+      return Error{"numeric literal out of range: '" + digits + "'", 0, t.column};
+    }
+    return t;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view in) : lexer_{in} {}
+
+  Result<ExprPtr> parse_full() {
+    if (auto st = advance(); !st.ok()) return st.error();
+    auto e = parse_or();
+    if (!e.ok()) return e;
+    if (cur_.type != Token::Type::kEnd)
+      return fail("trailing input after expression: '" + cur_.text + "'");
+    return e;
+  }
+
+  Result<std::vector<Assignment>> parse_assignment_list() {
+    std::vector<Assignment> out;
+    comma_as_and_ = false;  // ',' separates assignments here, not conjuncts
+    if (auto st = advance(); !st.ok()) return st.error();
+    while (cur_.type != Token::Type::kEnd) {
+      if (cur_.type != Token::Type::kIdent) return fail("expected assignment target");
+      Assignment a;
+      a.target = cur_.text;
+      if (auto st = advance(); !st.ok()) return st.error();
+      if (!is_op(":=") && !is_op("=")) return fail("expected ':=' in assignment");
+      if (auto st = advance(); !st.ok()) return st.error();
+      auto e = parse_or();
+      if (!e.ok()) return e.error();
+      a.value = e.value();
+      out.push_back(std::move(a));
+      if (is_op(";") || is_op(",")) {
+        if (auto st = advance(); !st.ok()) return st.error();
+      } else if (cur_.type != Token::Type::kEnd) {
+        return fail("expected ';' between assignments");
+      }
+    }
+    return out;
+  }
+
+ private:
+  Error fail(std::string msg) const { return Error{std::move(msg), 0, cur_.column}; }
+  bool is_op(std::string_view op) const {
+    return cur_.type == Token::Type::kOp && cur_.text == op;
+  }
+
+  Status advance() {
+    auto t = lexer_.next();
+    if (!t.ok()) return t.error();
+    cur_ = t.value();
+    return Status::success();
+  }
+
+  Result<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    ExprPtr node = lhs.value();
+    while (is_op("||")) {
+      if (auto st = advance(); !st.ok()) return st.error();
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      node = std::make_shared<Binary>(BinOp::kOr, node, rhs.value());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> parse_and() {
+    auto lhs = parse_cmp();
+    if (!lhs.ok()) return lhs;
+    ExprPtr node = lhs.value();
+    // ',' is conjunction in the paper's guard notation (Fig. 6) -- but only
+    // at guard top level, never inside parentheses or call arguments.
+    while (is_op("&&") || (comma_as_and_ && paren_depth_ == 0 && is_op(","))) {
+      if (auto st = advance(); !st.ok()) return st.error();
+      auto rhs = parse_cmp();
+      if (!rhs.ok()) return rhs;
+      node = std::make_shared<Binary>(BinOp::kAnd, node, rhs.value());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> parse_cmp() {
+    auto lhs = parse_add();
+    if (!lhs.ok()) return lhs;
+    ExprPtr node = lhs.value();
+    static const std::pair<std::string_view, BinOp> kOps[] = {
+        {"<=", BinOp::kLe}, {">=", BinOp::kGe}, {"==", BinOp::kEq},
+        {"!=", BinOp::kNe}, {"<", BinOp::kLt},  {">", BinOp::kGt},
+        {"=", BinOp::kEq},  // single '=' as equality, per the paper's notation
+    };
+    for (const auto& [text, op] : kOps) {
+      if (is_op(text)) {
+        if (auto st = advance(); !st.ok()) return st.error();
+        auto rhs = parse_add();
+        if (!rhs.ok()) return rhs;
+        return ExprPtr{std::make_shared<Binary>(op, node, rhs.value())};
+      }
+    }
+    return node;
+  }
+
+  Result<ExprPtr> parse_add() {
+    auto lhs = parse_mul();
+    if (!lhs.ok()) return lhs;
+    ExprPtr node = lhs.value();
+    while (is_op("+") || is_op("-")) {
+      const BinOp op = cur_.text == "+" ? BinOp::kAdd : BinOp::kSub;
+      if (auto st = advance(); !st.ok()) return st.error();
+      auto rhs = parse_mul();
+      if (!rhs.ok()) return rhs;
+      node = std::make_shared<Binary>(op, node, rhs.value());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> parse_mul() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    ExprPtr node = lhs.value();
+    while (is_op("*") || is_op("/") || is_op("%")) {
+      const BinOp op = cur_.text == "*" ? BinOp::kMul : (cur_.text == "/" ? BinOp::kDiv : BinOp::kMod);
+      if (auto st = advance(); !st.ok()) return st.error();
+      auto rhs = parse_unary();
+      if (!rhs.ok()) return rhs;
+      node = std::make_shared<Binary>(op, node, rhs.value());
+    }
+    return node;
+  }
+
+  Result<ExprPtr> parse_unary() {
+    if (is_op("!") || is_op("-")) {
+      const char op = cur_.text[0];
+      if (auto st = advance(); !st.ok()) return st.error();
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      return ExprPtr{std::make_shared<Unary>(op, operand.value())};
+    }
+    return parse_primary();
+  }
+
+  Result<ExprPtr> parse_primary() {
+    if (cur_.type == Token::Type::kNumber) {
+      auto node = std::make_shared<Literal>(cur_.number);
+      if (auto st = advance(); !st.ok()) return st.error();
+      return ExprPtr{node};
+    }
+    if (cur_.type == Token::Type::kString) {
+      auto node = std::make_shared<Literal>(Value{cur_.text});
+      if (auto st = advance(); !st.ok()) return st.error();
+      return ExprPtr{node};
+    }
+    if (cur_.type == Token::Type::kIdent) {
+      const std::string name = cur_.text;
+      if (auto st = advance(); !st.ok()) return st.error();
+      if (name == "true") return ExprPtr{std::make_shared<Literal>(Value{true})};
+      if (name == "false") return ExprPtr{std::make_shared<Literal>(Value{false})};
+      if (is_op("(")) {
+        if (auto st = advance(); !st.ok()) return st.error();
+        ++paren_depth_;
+        std::vector<ExprPtr> args;
+        if (!is_op(")")) {
+          for (;;) {
+            auto arg = parse_or();
+            if (!arg.ok()) return arg;
+            args.push_back(arg.value());
+            if (is_op(",")) {
+              if (auto st = advance(); !st.ok()) return st.error();
+              continue;
+            }
+            break;
+          }
+        }
+        if (!is_op(")")) return fail("expected ')' after call arguments");
+        --paren_depth_;
+        if (auto st = advance(); !st.ok()) return st.error();
+        return ExprPtr{std::make_shared<Call>(name, std::move(args))};
+      }
+      return ExprPtr{std::make_shared<Identifier>(name)};
+    }
+    if (is_op("(")) {
+      if (auto st = advance(); !st.ok()) return st.error();
+      ++paren_depth_;
+      auto inner = parse_or();
+      if (!inner.ok()) return inner;
+      if (!is_op(")")) return fail("expected ')'");
+      --paren_depth_;
+      if (auto st = advance(); !st.ok()) return st.error();
+      return inner;
+    }
+    return fail("expected expression");
+  }
+
+  Lexer lexer_;
+  Token cur_;
+  int paren_depth_ = 0;
+  bool comma_as_and_ = true;
+};
+
+}  // namespace
+
+std::string Value::to_string() const {
+  if (is_int()) return std::to_string(std::get<std::int64_t>(v_));
+  if (is_real()) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%g", std::get<double>(v_));
+    // Keep realness through a print/parse round trip: "4" would reparse
+    // as an integer and change division semantics.
+    std::string s{buf};
+    if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+    return s;
+  }
+  if (is_bool()) return std::get<bool>(v_) ? "true" : "false";
+  return "\"" + std::get<std::string>(v_) + "\"";
+}
+
+std::string Assignment::to_string() const { return target + " := " + value->to_string(); }
+
+Result<ExprPtr> parse_expression(std::string_view text) {
+  return ExprParser{text}.parse_full();
+}
+
+Result<std::vector<Assignment>> parse_assignments(std::string_view text) {
+  return ExprParser{text}.parse_assignment_list();
+}
+
+}  // namespace decos::ta

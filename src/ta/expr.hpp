@@ -1,0 +1,78 @@
+// Expression language for timed-automaton guards, assignments and
+// transfer-semantics conversion rules (paper Section IV-B).
+//
+// Grammar (precedence climbing):
+//   expr     := or
+//   or       := and ( "||" and )*
+//   and      := cmp ( ("&&" | ",") cmp )*          -- the paper's Fig. 6
+//                                                     writes conjunction as ','
+//   cmp      := add ( ("<"|"<="|">"|">="|"=="|"!=") add )?
+//   add      := mul ( ("+"|"-") mul )*
+//   mul      := unary ( ("*"|"/"|"%") unary )*
+//   unary    := ("!"|"-")? primary
+//   primary  := number | string | "true" | "false" | ident
+//             | ident "(" args ")" | "(" expr ")"
+//   number   := digits [ "." digits ] [ "ns"|"us"|"ms"|"s" ]
+//
+// Durations written with a unit suffix (e.g. `5ms`) become integer
+// nanosecond values, matching the global time base.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ta/value.hpp"
+#include "util/result.hpp"
+
+namespace decos::ta {
+
+/// Name-resolution and function-call interface an expression evaluates
+/// against. The timed-automaton interpreter implements this over its
+/// clock/state variables and delegates `horizon`/`requ` to the gateway.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+  /// Value of identifier `name`. Throws SpecError if unknown.
+  virtual Value get(const std::string& name) const = 0;
+  /// Assign `value` to `name`. Throws SpecError if not assignable.
+  virtual void set(const std::string& name, const Value& value) = 0;
+  /// Invoke function `name` (e.g. horizon, requ, min, max, abs).
+  virtual Value call(const std::string& name, const std::vector<Value>& args) = 0;
+};
+
+/// Immutable expression AST node.
+class Expr {
+ public:
+  enum class Kind { kLiteral, kIdentifier, kUnary, kBinary, kCall };
+
+  virtual ~Expr() = default;
+  virtual Kind kind() const = 0;
+  virtual Value evaluate(Environment& env) const = 0;
+  virtual std::string to_string() const = 0;
+
+  /// Collect all identifiers referenced (used for validation: which
+  /// clocks/parameters a guard depends on).
+  virtual void collect_identifiers(std::vector<std::string>& out) const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A parsed assignment `target := expr` (also accepts `=`).
+struct Assignment {
+  std::string target;
+  ExprPtr value;
+
+  void apply(Environment& env) const { env.set(target, value->evaluate(env)); }
+  std::string to_string() const;
+};
+
+/// Parse a single expression. Empty input is invalid.
+Result<ExprPtr> parse_expression(std::string_view text);
+
+/// Parse a ';'-separated list of assignments, e.g. "x:=0; n:=n+1".
+/// An empty string yields an empty list.
+Result<std::vector<Assignment>> parse_assignments(std::string_view text);
+
+}  // namespace decos::ta

@@ -1,0 +1,163 @@
+#include "ta/interpreter.hpp"
+
+#include <cassert>
+
+#include "util/result.hpp"
+
+namespace decos::ta {
+
+/// Environment adaptor: resolves identifiers against the interpreter's
+/// clocks and variables, then the hooks; provides min/max/abs builtins and
+/// delegates other calls (horizon, requ) to the gateway.
+class Interpreter::Env final : public Environment {
+ public:
+  Env(Interpreter& interp, Instant now) : interp_{interp}, now_{now} {}
+
+  Value get(const std::string& name) const override {
+    if (name == "t_now" || name == "tnow") return Value{now_};
+    if (const auto it = interp_.clocks_.find(name); it != interp_.clocks_.end()) {
+      return Value{it->second.base + (now_ - it->second.set_at)};
+    }
+    if (const auto it = interp_.variables_.find(name); it != interp_.variables_.end()) {
+      return it->second;
+    }
+    if (interp_.hooks_.resolve) return interp_.hooks_.resolve(name);
+    throw SpecError("unknown identifier '" + name + "' in automaton '" +
+                    interp_.spec_->name() + "'");
+  }
+
+  void set(const std::string& name, const Value& value) override {
+    if (const auto it = interp_.clocks_.find(name); it != interp_.clocks_.end()) {
+      it->second.base = value.as_duration();
+      it->second.set_at = now_;
+      return;
+    }
+    // Assignments may introduce new state variables on first use.
+    interp_.variables_[name] = value;
+  }
+
+  Value call(const std::string& fn, const std::vector<Value>& args) override {
+    if (fn == "min" && args.size() == 2) {
+      return args[0].as_real() <= args[1].as_real() ? args[0] : args[1];
+    }
+    if (fn == "max" && args.size() == 2) {
+      return args[0].as_real() >= args[1].as_real() ? args[0] : args[1];
+    }
+    if (fn == "abs" && args.size() == 1) {
+      if (args[0].is_real()) return Value{args[0].as_real() < 0 ? -args[0].as_real() : args[0].as_real()};
+      return Value{args[0].as_int() < 0 ? -args[0].as_int() : args[0].as_int()};
+    }
+    if (interp_.hooks_.invoke) return interp_.hooks_.invoke(fn, args);
+    throw SpecError("unknown function '" + fn + "' in automaton '" + interp_.spec_->name() + "'");
+  }
+
+ private:
+  Interpreter& interp_;
+  Instant now_;
+};
+
+Interpreter::Interpreter(const AutomatonSpec& spec, InterpreterHooks hooks)
+    : spec_{&spec}, hooks_{std::move(hooks)} {
+  spec.validate().check();
+  restart(Instant::origin());
+}
+
+void Interpreter::restart(Instant now) {
+  location_ = spec_->initial();
+  clocks_.clear();
+  for (const auto& c : spec_->clocks()) clocks_[c] = ClockState{Duration::zero(), now};
+  variables_.clear();
+  for (const auto& [name, initial] : spec_->variables()) variables_[name] = initial;
+}
+
+bool Interpreter::guard_holds(const Edge& edge, Instant now) {
+  if (!edge.guard) return true;
+  Env env{*this, now};
+  return edge.guard->evaluate(env).as_bool();
+}
+
+void Interpreter::take_edge(const Edge& edge, Instant now) {
+  Env env{*this, now};
+  for (const auto& a : edge.assignments) a.apply(env);
+  location_ = edge.target;
+  ++transitions_;
+}
+
+const Edge* Interpreter::unique_enabled(ActionKind action, const std::string& message,
+                                        Instant now) {
+  const Edge* found = nullptr;
+  for (const auto& e : spec_->edges()) {
+    if (e.source != location_ || e.action != action) continue;
+    if (action != ActionKind::kInternal && e.message != message) continue;
+    if (!guard_holds(e, now)) continue;
+    if (found != nullptr) {
+      throw SpecError("automaton '" + spec_->name() + "' is nondeterministic at location '" +
+                      location_ + "': edges '" + found->label() + "' and '" + e.label() +
+                      "' both enabled");
+    }
+    found = &e;
+  }
+  return found;
+}
+
+FireResult Interpreter::on_receive(const std::string& message, Instant now) {
+  if (in_error()) return FireResult::kError;
+  const Edge* edge = unique_enabled(ActionKind::kReceive, message, now);
+  if (edge == nullptr) {
+    // Does this automaton handle the message at all (any location)? If
+    // yes, the arrival violated the temporal specification -- either its
+    // guard failed or the protocol is in a state that does not expect the
+    // message -- and the automaton moves to its error state (Section
+    // IV-B.2). If the automaton never mentions the message, the arrival
+    // is simply not its business.
+    bool message_known = false;
+    for (const auto& e : spec_->edges()) {
+      if (e.action == ActionKind::kReceive && e.message == message) {
+        message_known = true;
+        break;
+      }
+    }
+    if (message_known && !spec_->error().empty()) {
+      location_ = spec_->error();
+      ++transitions_;
+      return FireResult::kError;
+    }
+    return FireResult::kNotEnabled;
+  }
+  take_edge(*edge, now);
+  return in_error() ? FireResult::kError : FireResult::kFired;
+}
+
+FireResult Interpreter::try_send(const std::string& message, Instant now) {
+  if (in_error()) return FireResult::kError;
+  const Edge* edge = unique_enabled(ActionKind::kSend, message, now);
+  if (edge == nullptr) return FireResult::kNotEnabled;
+  // The m! label is itself a guard: the message must be constructible from
+  // the repository. If not, register the request variables and hold.
+  if (hooks_.can_send && !hooks_.can_send(message)) {
+    if (hooks_.request_missing) hooks_.request_missing(message);
+    return FireResult::kNotEnabled;
+  }
+  take_edge(*edge, now);
+  return in_error() ? FireResult::kError : FireResult::kFired;
+}
+
+int Interpreter::poll(Instant now) {
+  int taken = 0;
+  constexpr int kMaxChain = 16;  // bound on internal-edge chains per poll
+  while (taken < kMaxChain) {
+    if (in_error()) break;
+    const Edge* edge = unique_enabled(ActionKind::kInternal, std::string{}, now);
+    if (edge == nullptr) break;
+    take_edge(*edge, now);
+    ++taken;
+  }
+  return taken;
+}
+
+Value Interpreter::read(const std::string& name, Instant now) const {
+  Env env{const_cast<Interpreter&>(*this), now};
+  return env.get(name);
+}
+
+}  // namespace decos::ta

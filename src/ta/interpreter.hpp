@@ -1,0 +1,101 @@
+// Runtime interpreter for deterministic timed automata.
+//
+// One interpreter instance animates one AutomatonSpec inside a gateway
+// link (or a test harness). Clock variables advance with global time;
+// state variables hold values between edges. The gateway supplies hooks:
+//  * can_send(m)     -- Eq.-style m! guard: are all convertible elements
+//                       of m available (temporally accurate state images /
+//                       non-empty event queues)?
+//  * request_missing -- sets the b_req request variables of missing
+//                       convertible elements (paper Section IV-A).
+//  * resolve/invoke  -- external identifiers (link parameters) and the
+//                       horizon()/requ() functions evaluated on the
+//                       gateway repository.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ta/automaton.hpp"
+#include "util/time.hpp"
+
+namespace decos::ta {
+
+/// Outcome of offering an event to the interpreter.
+enum class FireResult {
+  kFired,       // an edge was taken
+  kNotEnabled,  // no matching edge was enabled; state unchanged
+  kError,       // the automaton entered (or already was in) the error state
+};
+
+/// External hooks wired in by the owning gateway link. All optional; a
+/// defaulted hook behaves permissively (can_send = true, unknown
+/// identifier = SpecError).
+struct InterpreterHooks {
+  std::function<bool(const std::string& message)> can_send;
+  std::function<void(const std::string& message)> request_missing;
+  std::function<Value(const std::string& name)> resolve;  // external identifiers
+  std::function<Value(const std::string& fn, const std::vector<Value>& args)> invoke;
+};
+
+/// Deterministic interpreter over an AutomatonSpec.
+class Interpreter {
+ public:
+  Interpreter(const AutomatonSpec& spec, InterpreterHooks hooks = {});
+
+  const std::string& location() const { return location_; }
+  bool in_error() const { return !spec_->error().empty() && location_ == spec_->error(); }
+  const AutomatonSpec& spec() const { return *spec_; }
+
+  /// Reset to the initial location, zero all clocks, restore variable
+  /// initial values (the paper's "restart of the gateway service").
+  void restart(Instant now);
+
+  /// A message instance of `message` arrived at `now`. Takes the unique
+  /// enabled receive edge. If the automaton has an error state and no
+  /// receive edge for this message is enabled, the arrival violates the
+  /// temporal specification: the automaton moves to the error state and
+  /// kError is returned (the caller must then discard the message).
+  FireResult on_receive(const std::string& message, Instant now);
+
+  /// Attempt to emit `message` at `now`: the unique send edge must have a
+  /// true guard AND can_send(message) must hold. When the guard holds but
+  /// the elements are missing, request_missing(message) is called and
+  /// kNotEnabled returned.
+  FireResult try_send(const std::string& message, Instant now);
+
+  /// Fire enabled internal (no-port-interaction) edges, e.g. timeout
+  /// transitions into the error state. Returns the number of edges taken
+  /// (bounded to avoid livelock on cyclic internal edges).
+  int poll(Instant now);
+
+  /// Read a variable or clock value as currently visible at `now`
+  /// (exposed for tests and diagnostics).
+  Value read(const std::string& name, Instant now) const;
+
+  /// Number of edges taken since construction/restart.
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  struct ClockState {
+    Duration base = Duration::zero();  // value at last assignment
+    Instant set_at;                    // when it was assigned
+  };
+
+  class Env;  // Environment adaptor bound to (this, now)
+
+  bool guard_holds(const Edge& edge, Instant now);
+  void take_edge(const Edge& edge, Instant now);
+  const Edge* unique_enabled(ActionKind action, const std::string& message, Instant now);
+
+  const AutomatonSpec* spec_;
+  InterpreterHooks hooks_;
+  std::string location_;
+  std::unordered_map<std::string, ClockState> clocks_;
+  std::unordered_map<std::string, Value> variables_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace decos::ta

@@ -1,0 +1,77 @@
+// Dynamically typed values used by the timed-automata expression language
+// and by the message model (field values are the same domain: the paper's
+// syntactic specification builds messages from integers, floating point
+// numbers, booleans, timestamps and strings).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace decos::ta {
+
+/// A runtime value: integer (also used for timestamps, in ns), real,
+/// boolean or string.
+class Value {
+ public:
+  Value() : v_{std::int64_t{0}} {}
+  Value(std::int64_t i) : v_{i} {}                    // NOLINT(google-explicit-constructor)
+  Value(int i) : v_{std::int64_t{i}} {}               // NOLINT(google-explicit-constructor)
+  Value(double d) : v_{d} {}                          // NOLINT(google-explicit-constructor)
+  Value(bool b) : v_{b} {}                            // NOLINT(google-explicit-constructor)
+  Value(std::string s) : v_{std::move(s)} {}          // NOLINT(google-explicit-constructor)
+  Value(Instant t) : v_{t.ns()} {}                    // NOLINT(google-explicit-constructor)
+  Value(Duration d) : v_{d.ns()} {}                   // NOLINT(google-explicit-constructor)
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_real() const { return std::holds_alternative<double>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_numeric() const { return is_int() || is_real(); }
+
+  /// Numeric coercions; throw SpecError on type mismatch (an expression
+  /// type error in a link specification is a configuration fault).
+  std::int64_t as_int() const {
+    if (is_int()) return std::get<std::int64_t>(v_);
+    if (is_real()) return static_cast<std::int64_t>(std::get<double>(v_));
+    if (is_bool()) return std::get<bool>(v_) ? 1 : 0;
+    throw SpecError("value is not numeric: " + to_string());
+  }
+  double as_real() const {
+    if (is_real()) return std::get<double>(v_);
+    if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+    if (is_bool()) return std::get<bool>(v_) ? 1.0 : 0.0;
+    throw SpecError("value is not numeric: " + to_string());
+  }
+  bool as_bool() const {
+    if (is_bool()) return std::get<bool>(v_);
+    if (is_int()) return std::get<std::int64_t>(v_) != 0;
+    if (is_real()) return std::get<double>(v_) != 0.0;
+    throw SpecError("value is not boolean: " + to_string());
+  }
+  const std::string& as_string() const {
+    if (!is_string()) throw SpecError("value is not a string: " + to_string());
+    return std::get<std::string>(v_);
+  }
+  Instant as_instant() const { return Instant::from_ns(as_int()); }
+  Duration as_duration() const { return Duration::nanoseconds(as_int()); }
+
+  bool operator==(const Value& o) const {
+    if (is_string() || o.is_string()) {
+      return is_string() && o.is_string() && std::get<std::string>(v_) == std::get<std::string>(o.v_);
+    }
+    if (is_real() || o.is_real()) return as_real() == o.as_real();
+    if (is_bool() && o.is_bool()) return std::get<bool>(v_) == std::get<bool>(o.v_);
+    return as_int() == o.as_int();
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::variant<std::int64_t, double, bool, std::string> v_;
+};
+
+}  // namespace decos::ta

@@ -1,0 +1,80 @@
+#include "tt/bus.hpp"
+
+#include <algorithm>
+
+#include "tt/controller.hpp"
+
+namespace decos::tt {
+
+TtBus::TtBus(sim::Simulator& simulator, TdmaSchedule schedule, BusConfig config)
+    : simulator_{simulator}, schedule_{std::move(schedule)}, config_{config} {
+  schedule_.validate().check();
+}
+
+bool TtBus::guardian_admits(const Frame& frame, Instant now) const {
+  if (frame.slot_index >= schedule_.slot_count()) return false;
+  const SlotSpec& slot = schedule_.slot(frame.slot_index);
+  if (slot.owner != frame.sender) return false;
+  if (slot.vn != frame.vn) return false;
+  if (frame.payload.size() > slot.payload_bytes) return false;
+  const Instant nominal = schedule_.slot_start(frame.round, frame.slot_index);
+  const Duration deviation = (now - nominal).abs();
+  return deviation <= config_.guardian_tolerance;
+}
+
+bool TtBus::transmit(Frame frame) {
+  const Instant now = simulator_.now();
+  frame.sent_at = now;
+
+  if (config_.guardian_enabled && !guardian_admits(frame, now)) {
+    ++frames_blocked_;
+    trace_.record(now, sim::TraceKind::kFrameBlocked, "node" + std::to_string(frame.sender),
+                  "slot " + std::to_string(frame.slot_index), static_cast<std::int64_t>(frame.payload.size()));
+    return false;
+  }
+
+  const Instant tx_end = now + transmission_time(frame.payload.size());
+
+  // Collision check against transmissions still on the medium. Without
+  // the guardian, a babbling node can overlap a legitimate slot; both
+  // frames are destroyed.
+  // Prune finished transmissions first.
+  std::erase_if(in_flight_, [&](const InFlight& f) { return f.end + config_.propagation < now; });
+  bool corrupted = false;
+  for (auto& other : in_flight_) {
+    if (now < other.end && other.start < tx_end) {  // interval overlap
+      corrupted = true;
+      if (!other.corrupted) {
+        other.corrupted = true;
+        simulator_.cancel(other.delivery);
+        ++collisions_;
+      }
+    }
+  }
+
+  if (corrupted) {
+    ++collisions_;
+    trace_.record(now, sim::TraceKind::kFrameBlocked, "node" + std::to_string(frame.sender),
+                  "collision in slot " + std::to_string(frame.slot_index));
+    in_flight_.push_back(InFlight{now, tx_end, 0, true});
+    return true;  // the guardian admitted it; the medium destroyed it
+  }
+
+  trace_.record(now, sim::TraceKind::kFrameSent, "node" + std::to_string(frame.sender),
+                "slot " + std::to_string(frame.slot_index) + " vn " + std::to_string(frame.vn),
+                static_cast<std::int64_t>(frame.payload.size()));
+
+  const Instant delivery_time = tx_end + config_.propagation;
+  const sim::EventId delivery = simulator_.schedule_at(delivery_time, [this, frame] {
+    ++frames_delivered_;
+    trace_.record(simulator_.now(), sim::TraceKind::kFrameDelivered,
+                  "node" + std::to_string(frame.sender),
+                  "slot " + std::to_string(frame.slot_index) + " vn " + std::to_string(frame.vn),
+                  static_cast<std::int64_t>(frame.payload.size()));
+    for (Controller* controller : controllers_) controller->deliver(frame);
+  });
+  in_flight_.push_back(InFlight{now, tx_end, delivery, false});
+  return true;
+}
+
+}  // namespace decos::tt

@@ -1,0 +1,90 @@
+// The time-triggered broadcast bus with central bus guardian.
+//
+// Realizes core services C1 (predictable message transport) and C3
+// (strong fault isolation): a node may transmit only inside its own slot
+// window; the guardian blocks everything else, which is what contains a
+// babbling-idiot node to its own bandwidth partition (paper Sections
+// II-C/II-D; quantified by experiment E7).
+//
+// Collision model for guardian-off ablations: two transmissions whose
+// intervals on the medium overlap destroy each other -- neither frame is
+// delivered, which is the worst-case but physically honest outcome on a
+// shared bus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "tt/frame.hpp"
+#include "tt/schedule.hpp"
+#include "util/time.hpp"
+
+namespace decos::tt {
+
+class Controller;
+
+/// Physical-layer parameters.
+struct BusConfig {
+  Duration propagation = Duration::nanoseconds(250);  // ~50m bus
+  Duration per_byte = Duration::nanoseconds(80);      // 100 Mbit/s
+  /// Guardian acceptance window around the nominal slot start; must cover
+  /// the cluster's clock-synchronization precision.
+  Duration guardian_tolerance = Duration::microseconds(20);
+  bool guardian_enabled = true;
+};
+
+/// Broadcast bus connecting all controllers of the cluster.
+class TtBus {
+ public:
+  TtBus(sim::Simulator& simulator, TdmaSchedule schedule, BusConfig config = {});
+
+  const TdmaSchedule& schedule() const { return schedule_; }
+  const BusConfig& config() const { return config_; }
+  void set_guardian_enabled(bool enabled) { config_.guardian_enabled = enabled; }
+
+  void attach(Controller& controller) { controllers_.push_back(&controller); }
+
+  /// Attempt a transmission. Returns true if the guardian admitted it.
+  /// Called by controllers at their (locally timed) slot starts -- and by
+  /// the fault injector at arbitrary instants to model babbling.
+  bool transmit(Frame frame);
+
+  sim::TraceRecorder& trace() { return trace_; }
+
+  /// Counters for E7 and the guardian tests.
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+  std::uint64_t frames_blocked() const { return frames_blocked_; }
+  std::uint64_t collisions() const { return collisions_; }
+
+  /// Time a payload of `bytes` occupies the medium (including header).
+  Duration transmission_time(std::size_t bytes) const {
+    return config_.per_byte * static_cast<std::int64_t>(bytes + 8);
+  }
+
+ private:
+  bool guardian_admits(const Frame& frame, Instant now) const;
+
+  sim::Simulator& simulator_;
+  TdmaSchedule schedule_;
+  BusConfig config_;
+  std::vector<Controller*> controllers_;
+  sim::TraceRecorder trace_;
+
+  // In-flight transmission bookkeeping for the collision model.
+  struct InFlight {
+    Instant start;
+    Instant end;
+    sim::EventId delivery;
+    bool corrupted = false;
+  };
+  std::vector<InFlight> in_flight_;
+
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t frames_blocked_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace decos::tt

@@ -1,0 +1,188 @@
+#include "tt/controller.hpp"
+
+namespace decos::tt {
+
+Controller::Controller(sim::Simulator& simulator, TtBus& bus, NodeId id, sim::DriftingClock clock)
+    : simulator_{simulator}, bus_{bus}, id_{id}, clock_{clock} {
+  bus_.attach(*this);
+  for (const std::size_t slot_index : bus_.schedule().slots_of(id_)) {
+    slots_.emplace(slot_index, SlotState{});
+  }
+}
+
+void Controller::start() { start_from_round(0); }
+
+void Controller::start_from_round(std::uint64_t round) {
+  for (const auto& [slot_index, state] : slots_) schedule_slot(slot_index, round);
+  schedule_round_end(round);
+}
+
+void Controller::start_integration(Duration listen_timeout) {
+  integrating_ = true;
+  // Silence watchdog runs on the (still unsynchronized) local clock.
+  const Instant local_deadline = clock_.read(simulator_.now()) + listen_timeout;
+  Instant when = true_time_for_local(local_deadline);
+  if (when < simulator_.now()) when = simulator_.now();
+  integration_timeout_ = simulator_.schedule_at(when, [this] {
+    if (!integrating_) return;
+    // Cold-start master: nobody is talking; this node's clock *defines*
+    // the cluster time base from here on. The simulation's nominal
+    // timeline (which the central guardian checks against) is an
+    // arbitrary choice of coordinates, so we align the master's offset
+    // to it -- physically this is the guardian adopting the first
+    // transmitter's base, expressed as a coordinate change.
+    integrating_ = false;
+    clock_.become_reference();
+    const Duration elapsed = clock_.read(simulator_.now()) - Instant::origin();
+    const auto next_round =
+        static_cast<std::uint64_t>(elapsed / bus_.schedule().round_length()) + 1;
+    start_from_round(next_round);
+  });
+}
+
+void Controller::write_send_buffer(std::size_t slot_index, std::vector<std::byte> payload) {
+  auto it = slots_.find(slot_index);
+  if (it == slots_.end())
+    throw SpecError("node " + std::to_string(id_) + " does not own slot " +
+                    std::to_string(slot_index));
+  it->second.state_buffer = std::move(payload);
+}
+
+bool Controller::enqueue_send(std::size_t slot_index, std::vector<std::byte> payload) {
+  auto it = slots_.find(slot_index);
+  if (it == slots_.end())
+    throw SpecError("node " + std::to_string(id_) + " does not own slot " +
+                    std::to_string(slot_index));
+  SlotState& state = it->second;
+  if (state.queue.size() >= state.queue_capacity) return false;
+  state.queue.push_back(std::move(payload));
+  return true;
+}
+
+void Controller::set_slot_buffering(std::size_t slot_index, SlotBuffering mode,
+                                    std::size_t queue_capacity) {
+  auto it = slots_.find(slot_index);
+  if (it == slots_.end())
+    throw SpecError("node " + std::to_string(id_) + " does not own slot " +
+                    std::to_string(slot_index));
+  it->second.buffering = mode;
+  it->second.queue_capacity = queue_capacity;
+}
+
+std::size_t Controller::queue_depth(std::size_t slot_index) const {
+  const auto it = slots_.find(slot_index);
+  return it == slots_.end() ? 0 : it->second.queue.size();
+}
+
+void Controller::set_slot_source(std::size_t slot_index, SlotSource source) {
+  auto it = slots_.find(slot_index);
+  if (it == slots_.end())
+    throw SpecError("node " + std::to_string(id_) + " does not own slot " +
+                    std::to_string(slot_index));
+  it->second.source = std::move(source);
+}
+
+void Controller::set_send_omission_rate(double rate, std::uint64_t seed) {
+  send_omission_rate_ = rate;
+  omission_rng_state_ = seed * 2654435769ULL + 1;
+}
+
+void Controller::schedule_slot(std::size_t slot_index, std::uint64_t round) {
+  const Instant local_start = bus_.schedule().slot_start(round, slot_index);
+  Instant when = true_time_for_local(local_start);
+  if (when < simulator_.now()) when = simulator_.now();
+  simulator_.schedule_at(when, [this, slot_index, round] { transmit_slot(slot_index, round); });
+}
+
+void Controller::schedule_round_end(std::uint64_t round) {
+  const Instant local_end =
+      Instant::origin() + bus_.schedule().round_length() * static_cast<std::int64_t>(round + 1);
+  Instant when = true_time_for_local(local_end);
+  if (when < simulator_.now()) when = simulator_.now();
+  simulator_.schedule_at(when, [this, round] {
+    if (!crashed_) {
+      for (const auto& listener : round_listeners_) listener(round);
+    }
+    schedule_round_end(round + 1);
+  });
+}
+
+void Controller::transmit_slot(std::size_t slot_index, std::uint64_t round) {
+  // Re-arm for the next round first so a blocked frame does not silence
+  // the node forever.
+  schedule_slot(slot_index, round + 1);
+
+  if (crashed_) return;
+  if (send_omission_rate_ > 0.0) {
+    // Cheap deterministic per-slot coin flip (xorshift).
+    omission_rng_state_ ^= omission_rng_state_ << 13;
+    omission_rng_state_ ^= omission_rng_state_ >> 7;
+    omission_rng_state_ ^= omission_rng_state_ << 17;
+    const double u = static_cast<double>(omission_rng_state_ >> 11) * 0x1.0p-53;
+    if (u < send_omission_rate_) return;
+  }
+
+  SlotState& state = slots_.at(slot_index);
+  Frame frame;
+  frame.sender = id_;
+  frame.vn = bus_.schedule().slot(slot_index).vn;
+  frame.round = round;
+  frame.slot_index = slot_index;
+  if (state.source) {
+    if (auto payload = state.source()) frame.payload = std::move(*payload);
+  } else if (state.buffering == SlotBuffering::kState) {
+    if (state.state_buffer) frame.payload = *state.state_buffer;
+  } else if (!state.queue.empty()) {
+    frame.payload = std::move(state.queue.front());
+    state.queue.pop_front();
+  }
+  // Even with an empty payload the frame is sent: it is the node's
+  // life-sign for the membership service (core service C4).
+  if (bus_.transmit(std::move(frame))) ++frames_sent_;
+}
+
+bool Controller::babble(std::size_t slot_index, VnId vn, std::vector<std::byte> payload) {
+  Frame frame;
+  frame.sender = id_;
+  frame.vn = vn;
+  frame.slot_index = slot_index;
+  // Claim the round that would make the slot "current" -- a babbling
+  // node lies about timing, so the round field is its best forgery.
+  const Duration elapsed = simulator_.now() - Instant::origin();
+  frame.round = static_cast<std::uint64_t>(elapsed / bus_.schedule().round_length());
+  frame.payload = std::move(payload);
+  return bus_.transmit(std::move(frame));
+}
+
+void Controller::deliver(const Frame& frame) {
+  if (crashed_) return;
+  ++frames_received_;
+  const Instant true_now = simulator_.now();
+  const Instant local_arrival = clock_.read(true_now);
+  // Nominal local arrival: slot start + transmission + propagation, all
+  // on the (ideal) global timeline which a perfectly synchronized local
+  // clock would reproduce.
+  const Instant nominal = bus_.schedule().slot_start(frame.round, frame.slot_index) +
+                          bus_.transmission_time(frame.payload.size()) +
+                          bus_.config().propagation;
+  const Duration deviation = local_arrival - nominal;
+
+  if (integrating_) {
+    // Integration: the frame header carries the sender's global position
+    // in the cluster cycle (round, slot); adopt that time base by
+    // state-correcting the local clock and join from the next round.
+    integrating_ = false;
+    simulator_.cancel(integration_timeout_);
+    clock_.correct(-deviation);
+    start_from_round(frame.round + 1);
+    // Fall through: the frame is still a normal reception (deviation is
+    // now zero by construction).
+    for (const auto& listener : frame_listeners_)
+      listener(frame, clock_.read(true_now), Duration::zero());
+    return;
+  }
+
+  for (const auto& listener : frame_listeners_) listener(frame, local_arrival, deviation);
+}
+
+}  // namespace decos::tt

@@ -1,0 +1,139 @@
+// Per-node communication controller.
+//
+// The controller is the node's interface to the time-triggered physical
+// network (the paper's "core services for interfacing the time-triggered
+// physical network", Fig. 1 bottom layer). It runs off the node's *local*
+// drifting clock: transmissions are initiated when the local clock
+// reaches the slot start, so an unsynchronized node drifts out of its
+// guardian window -- which is exactly the behaviour the clock
+// synchronization service (C2) must prevent.
+//
+// Host interface (CNI-style): per-slot send buffers that the overlay
+// layer fills; listener callbacks for frame receptions (with the measured
+// arrival-time deviation used by clock sync) and round boundaries.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/simulator.hpp"
+#include "tt/bus.hpp"
+#include "tt/frame.hpp"
+
+namespace decos::tt {
+
+/// Buffering discipline of one slot's send buffer.
+enum class SlotBuffering {
+  kState,  // retain after transmission (update in place, TT semantics)
+  kQueue,  // consume one entry per transmission (ET overlay semantics)
+};
+
+class Controller {
+ public:
+  /// Reception listener: frame, local arrival time, and the deviation of
+  /// the arrival from its nominal local expectation (clock-sync input).
+  using FrameListener = std::function<void(const Frame&, Instant local_arrival, Duration deviation)>;
+  /// Invoked at every local round boundary with the completed round index.
+  using RoundListener = std::function<void(std::uint64_t round)>;
+
+  Controller(sim::Simulator& simulator, TtBus& bus, NodeId id, sim::DriftingClock clock);
+
+  NodeId id() const { return id_; }
+  sim::DriftingClock& clock() { return clock_; }
+  const sim::DriftingClock& clock() const { return clock_; }
+  sim::Simulator& simulator() { return simulator_; }
+  const TdmaSchedule& schedule() const { return bus_.schedule(); }
+
+  /// Begin slot processing immediately, assuming the local clock is
+  /// already synchronized to the cluster (round 0 starts at local time
+  /// 0). Must be called once before the simulation runs.
+  void start();
+
+  /// Cold-start integration: listen for traffic instead of transmitting.
+  /// On the first received frame the controller adopts the sender's time
+  /// base (state-corrects its clock by the observed deviation) and joins
+  /// slot processing from the following round. If the medium stays
+  /// silent for `listen_timeout` (local time), the node assumes the role
+  /// of the cold-start master and begins transmitting on its own clock.
+  /// Stagger the timeout per node to avoid simultaneous masters.
+  void start_integration(Duration listen_timeout);
+
+  /// True while the node is still listening (not yet integrated).
+  bool integrating() const { return integrating_; }
+
+  // -- host (CNI) interface -------------------------------------------------
+  /// Overwrite the state buffer of an owned slot.
+  void write_send_buffer(std::size_t slot_index, std::vector<std::byte> payload);
+  /// Append to the queue buffer of an owned slot (ET overlay). Returns
+  /// false if the queue is full (bounded by `queue_capacity`).
+  bool enqueue_send(std::size_t slot_index, std::vector<std::byte> payload);
+  void set_slot_buffering(std::size_t slot_index, SlotBuffering mode, std::size_t queue_capacity = 64);
+  /// Pending entries in a queue-buffered slot.
+  std::size_t queue_depth(std::size_t slot_index) const;
+
+  /// Pull-style payload source: invoked at the slot's transmission
+  /// instant; takes precedence over the slot buffers. Returning nullopt
+  /// sends an empty life-sign frame. This is how the overlay layer binds
+  /// output ports (TT) and priority queues (ET) to slots.
+  using SlotSource = std::function<std::optional<std::vector<std::byte>>()>;
+  void set_slot_source(std::size_t slot_index, SlotSource source);
+
+  void add_frame_listener(FrameListener listener) { frame_listeners_.push_back(std::move(listener)); }
+  void add_round_listener(RoundListener listener) { round_listeners_.push_back(std::move(listener)); }
+
+  // -- fault hooks ------------------------------------------------------
+  /// A crashed node neither sends nor receives. Can be cleared again to
+  /// model transient outages.
+  void set_crashed(bool crashed) { crashed_ = crashed; }
+  bool crashed() const { return crashed_; }
+  /// Fail silently on sending only (receive still works): omission faults.
+  void set_send_omission_rate(double rate, std::uint64_t seed = 1);
+  /// Attempt an immediate transmission claiming `slot_index` (babbling /
+  /// masquerading; normally stopped by the guardian). Returns guardian verdict.
+  bool babble(std::size_t slot_index, VnId vn, std::vector<std::byte> payload);
+
+  // -- bus-side interface -----------------------------------------------
+  /// Called by the bus when a frame delivery reaches this node.
+  void deliver(const Frame& frame);
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  struct SlotState {
+    SlotBuffering buffering = SlotBuffering::kState;
+    std::size_t queue_capacity = 64;
+    std::optional<std::vector<std::byte>> state_buffer;
+    std::deque<std::vector<std::byte>> queue;
+    SlotSource source;
+  };
+
+  void start_from_round(std::uint64_t round);
+  void schedule_slot(std::size_t slot_index, std::uint64_t round);
+  void schedule_round_end(std::uint64_t round);
+  void transmit_slot(std::size_t slot_index, std::uint64_t round);
+  /// Simulator event time at which this node's clock shows `local`.
+  Instant true_time_for_local(Instant local) const { return clock_.true_time_for(local); }
+
+  sim::Simulator& simulator_;
+  TtBus& bus_;
+  NodeId id_;
+  sim::DriftingClock clock_;
+  std::unordered_map<std::size_t, SlotState> slots_;
+  std::vector<FrameListener> frame_listeners_;
+  std::vector<RoundListener> round_listeners_;
+  bool crashed_ = false;
+  bool integrating_ = false;
+  sim::EventId integration_timeout_ = 0;
+  double send_omission_rate_ = 0.0;
+  std::uint64_t omission_rng_state_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+};
+
+}  // namespace decos::tt

@@ -1,0 +1,25 @@
+// Physical-layer frames carried by the time-triggered bus.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tt/ids.hpp"
+#include "util/time.hpp"
+
+namespace decos::tt {
+
+/// One frame as observed on the physical network. The overlay layer packs
+/// virtual-network messages into the payload of the slots assigned to the
+/// virtual network.
+struct Frame {
+  NodeId sender = kNoNode;
+  VnId vn = kCoreVn;
+  std::uint64_t round = 0;
+  std::size_t slot_index = 0;
+  std::vector<std::byte> payload;
+  Instant sent_at;  // true (global) time the transmission started
+};
+
+}  // namespace decos::tt

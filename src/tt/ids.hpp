@@ -1,0 +1,20 @@
+// Identifier types shared across the physical and overlay layers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace decos::tt {
+
+/// Physical node (component) identifier. A component is a hardware fault
+/// containment region (paper Section II-D).
+using NodeId = std::uint32_t;
+
+/// Virtual-network identifier. VnId 0 is reserved for core-service
+/// traffic (clock sync / membership life-signs).
+using VnId = std::uint32_t;
+
+inline constexpr VnId kCoreVn = 0;
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace decos::tt

@@ -1,0 +1,76 @@
+#include "tt/schedule.hpp"
+
+#include <algorithm>
+
+namespace decos::tt {
+
+std::vector<std::size_t> TdmaSchedule::slots_of(NodeId node) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].owner == node) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> TdmaSchedule::slots_of_vn(VnId vn) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i].vn == vn) out.push_back(i);
+  return out;
+}
+
+std::size_t TdmaSchedule::bytes_per_round(VnId vn) const {
+  std::size_t total = 0;
+  for (const auto& s : slots_)
+    if (s.vn == vn) total += s.payload_bytes;
+  return total;
+}
+
+Status TdmaSchedule::validate() const {
+  if (round_length_ <= Duration::zero())
+    return Status::failure("TDMA schedule needs a positive round length");
+  if (slots_.empty()) return Status::failure("TDMA schedule has no slots");
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const auto& s = slots_[i];
+    if (s.owner == kNoNode)
+      return Status::failure("slot " + std::to_string(i) + " has no owner");
+    if (s.duration <= Duration::zero())
+      return Status::failure("slot " + std::to_string(i) + " has non-positive duration");
+    if (s.offset.is_negative() || s.offset + s.duration > round_length_)
+      return Status::failure("slot " + std::to_string(i) + " exceeds the round");
+    if (s.payload_bytes == 0)
+      return Status::failure("slot " + std::to_string(i) + " has zero payload capacity");
+  }
+  // Non-overlap: check in sorted order without mutating the schedule.
+  std::vector<std::size_t> order(slots_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return slots_[a].offset < slots_[b].offset; });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const auto& prev = slots_[order[i - 1]];
+    const auto& cur = slots_[order[i]];
+    if (prev.offset + prev.duration > cur.offset)
+      return Status::failure("slots " + std::to_string(order[i - 1]) + " and " +
+                             std::to_string(order[i]) + " overlap");
+  }
+  return Status::success();
+}
+
+TdmaSchedule make_uniform_schedule(Duration round_length, std::size_t nodes,
+                                   std::size_t slots_per_node, std::size_t payload_bytes,
+                                   VnId vn) {
+  TdmaSchedule schedule{round_length};
+  const std::size_t total = nodes * slots_per_node;
+  const Duration slot_len = round_length / static_cast<std::int64_t>(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    SlotSpec slot;
+    slot.offset = slot_len * static_cast<std::int64_t>(i);
+    slot.duration = slot_len;
+    slot.owner = static_cast<NodeId>(i % nodes);
+    slot.vn = vn;
+    slot.payload_bytes = payload_bytes;
+    schedule.add_slot(slot);
+  }
+  return schedule;
+}
+
+}  // namespace decos::tt

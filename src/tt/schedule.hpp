@@ -1,0 +1,77 @@
+// TDMA schedule of the time-triggered physical core network.
+//
+// Communication proceeds in rounds of fixed length; each round is divided
+// into slots. A slot belongs to exactly one sending node and carries the
+// traffic of exactly one virtual network (the overlay mechanism of [3]:
+// the encapsulation service partitions physical bandwidth among virtual
+// networks by assigning slots, which is what makes the temporal
+// properties of one VN independent of all others).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tt/ids.hpp"
+#include "util/result.hpp"
+#include "util/time.hpp"
+
+namespace decos::tt {
+
+/// One TDMA slot within the cluster cycle.
+struct SlotSpec {
+  Duration offset;             // from round start
+  Duration duration;           // transmission window
+  NodeId owner = kNoNode;      // the only node allowed to send here
+  VnId vn = kCoreVn;           // which virtual network the payload belongs to
+  std::size_t payload_bytes = 32;  // capacity of the slot
+};
+
+/// The static cluster communication schedule, fixed at design time.
+class TdmaSchedule {
+ public:
+  TdmaSchedule() = default;
+  explicit TdmaSchedule(Duration round_length) : round_length_{round_length} {}
+
+  Duration round_length() const { return round_length_; }
+  void set_round_length(Duration length) { round_length_ = length; }
+
+  std::size_t add_slot(SlotSpec slot) {
+    slots_.push_back(slot);
+    return slots_.size() - 1;
+  }
+  const std::vector<SlotSpec>& slots() const { return slots_; }
+  const SlotSpec& slot(std::size_t index) const { return slots_.at(index); }
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Nominal global start instant of `slot_index` in `round`.
+  Instant slot_start(std::uint64_t round, std::size_t slot_index) const {
+    return Instant::origin() + round_length_ * static_cast<std::int64_t>(round) +
+           slots_.at(slot_index).offset;
+  }
+
+  /// Slot indices owned by `node`.
+  std::vector<std::size_t> slots_of(NodeId node) const;
+  /// Slot indices carrying `vn` traffic.
+  std::vector<std::size_t> slots_of_vn(VnId vn) const;
+
+  /// Total bytes per round allocated to `vn` (bandwidth partition size).
+  std::size_t bytes_per_round(VnId vn) const;
+
+  /// Validation: positive round length, slots sorted, non-overlapping,
+  /// contained in the round, owned.
+  Status validate() const;
+
+ private:
+  Duration round_length_ = Duration::zero();
+  std::vector<SlotSpec> slots_;
+};
+
+/// Convenience builder: a homogeneous schedule with `slots_per_node`
+/// equal slots for each of `nodes` nodes, all carrying `vn`, dividing
+/// `round_length` evenly. Used by tests and simple examples.
+TdmaSchedule make_uniform_schedule(Duration round_length, std::size_t nodes,
+                                   std::size_t slots_per_node, std::size_t payload_bytes,
+                                   VnId vn = kCoreVn);
+
+}  // namespace decos::tt

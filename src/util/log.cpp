@@ -1,0 +1,16 @@
+#include "util/log.hpp"
+
+namespace decos::log {
+
+Level& threshold() {
+  static Level level = Level::kOff;
+  return level;
+}
+
+void write(Level level, const std::string& component, const std::string& message) {
+  static const char* const kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %s: %s\n", kNames[static_cast<int>(level)], component.c_str(),
+               message.c_str());
+}
+
+}  // namespace decos::log

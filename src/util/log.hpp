@@ -1,0 +1,36 @@
+// Minimal leveled logger. Logging is off by default so benchmarks measure
+// protocol work, not I/O; tests and examples raise the level explicitly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace decos::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are discarded.
+Level& threshold();
+
+void write(Level level, const std::string& component, const std::string& message);
+
+inline bool enabled(Level level) { return level >= threshold(); }
+
+inline void trace(const std::string& component, const std::string& message) {
+  if (enabled(Level::kTrace)) write(Level::kTrace, component, message);
+}
+inline void debug(const std::string& component, const std::string& message) {
+  if (enabled(Level::kDebug)) write(Level::kDebug, component, message);
+}
+inline void info(const std::string& component, const std::string& message) {
+  if (enabled(Level::kInfo)) write(Level::kInfo, component, message);
+}
+inline void warn(const std::string& component, const std::string& message) {
+  if (enabled(Level::kWarn)) write(Level::kWarn, component, message);
+}
+inline void error(const std::string& component, const std::string& message) {
+  if (enabled(Level::kError)) write(Level::kError, component, message);
+}
+
+}  // namespace decos::log

@@ -1,0 +1,98 @@
+// Lightweight Result<T> for operations with expected failure modes
+// (parsing, specification validation). Unexpected programming errors use
+// exceptions / assertions instead, per the C++ Core Guidelines split
+// between recoverable errors and contract violations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace decos {
+
+/// Error payload carried by Result<T>: a human-readable message plus an
+/// optional source location (line/column, used by the XML and expression
+/// parsers).
+struct Error {
+  std::string message;
+  int line = 0;
+  int column = 0;
+
+  std::string to_string() const {
+    if (line == 0) return message;
+    return message + " (line " + std::to_string(line) + ", col " + std::to_string(column) + ")";
+  }
+};
+
+/// Exception thrown when `value()` is called on a failed Result, and used
+/// directly by components whose callers cannot sensibly continue (e.g. a
+/// malformed gateway configuration).
+class SpecError : public std::runtime_error {
+ public:
+  explicit SpecError(const Error& e) : std::runtime_error(e.to_string()) {}
+  explicit SpecError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Either a value of type T or an Error. Monadic helpers are intentionally
+/// minimal; call sites read better with early returns.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_{std::in_place_index<0>, std::move(value)} {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_{std::in_place_index<1>, std::move(error)} {}  // NOLINT(google-explicit-constructor)
+
+  static Result failure(std::string message, int line = 0, int column = 0) {
+    return Result{Error{std::move(message), line, column}};
+  }
+
+  bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// Precondition: ok(). Throws SpecError otherwise so misuse is loud.
+  const T& value() const& {
+    if (!ok()) throw SpecError(error());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    if (!ok()) throw SpecError(error());
+    return std::get<0>(data_);
+  }
+  T&& value() && {
+    if (!ok()) throw SpecError(error());
+    return std::get<0>(std::move(data_));
+  }
+
+  /// Precondition: !ok().
+  const Error& error() const { return std::get<1>(data_); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialisation for operations that produce no value.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_{std::move(error)}, failed_{true} {}  // NOLINT(google-explicit-constructor)
+
+  static Status success() { return Status{}; }
+  static Status failure(std::string message, int line = 0, int column = 0) {
+    return Status{Error{std::move(message), line, column}};
+  }
+
+  bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const { return error_; }
+
+  /// Throws SpecError if the status is a failure.
+  void check() const {
+    if (failed_) throw SpecError(error_);
+  }
+
+ private:
+  Error error_;
+  bool failed_ = false;
+};
+
+}  // namespace decos

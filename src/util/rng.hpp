@@ -1,0 +1,110 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All experiments must be reproducible from a seed (DESIGN.md decision 1),
+// so we ship our own small generator instead of depending on the
+// implementation-defined std:: distributions: xoshiro256** seeded through
+// SplitMix64, plus the handful of distributions the workload generators
+// need (uniform, exponential interarrival, normal jitter, Poisson counts).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace decos {
+
+/// xoshiro256** by Blackman & Vigna; state seeded via SplitMix64 so that
+/// any 64-bit seed (including 0) yields a well-mixed state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) word = split_mix(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    double u;
+    do { u = next_double(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Normally distributed value (Box–Muller, one value per call).
+  double normal(double mean, double stddev) {
+    double u1;
+    do { u1 = next_double(); } while (u1 <= 0.0);
+    const double u2 = next_double();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponentially distributed Duration with the given mean (clamped >= 1ns).
+  Duration exponential_duration(Duration mean) {
+    const double ns = exponential(static_cast<double>(mean.ns()));
+    return Duration::nanoseconds(ns < 1.0 ? 1 : static_cast<std::int64_t>(ns));
+  }
+
+  /// Duration ~ N(mean, stddev) clamped to be non-negative.
+  Duration normal_duration(Duration mean, Duration stddev) {
+    const double ns = normal(static_cast<double>(mean.ns()), static_cast<double>(stddev.ns()));
+    return Duration::nanoseconds(ns < 0.0 ? 0 : static_cast<std::int64_t>(ns));
+  }
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork() { return Rng{next_u64()}; }
+
+ private:
+  static std::uint64_t split_mix(std::uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static std::uint64_t rotl(std::uint64_t v, int k) { return (v << k) | (v >> (64 - k)); }
+
+  /// Debiased bounded draw (Lemire-style rejection).
+  std::uint64_t bounded(std::uint64_t bound) {
+    if (bound == 0) return next_u64();
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace decos

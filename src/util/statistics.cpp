@@ -1,0 +1,25 @@
+#include "util/statistics.hpp"
+
+#include <cstdio>
+
+namespace decos {
+
+std::string Histogram::render(int width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+                                     static_cast<double>(width));
+    std::snprintf(line, sizeof line, "%12.3f | %-*s %llu\n", bin_lo(i), width,
+                  std::string(static_cast<std::size_t>(bar), '#').c_str(),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace decos

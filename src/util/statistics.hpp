@@ -1,0 +1,129 @@
+// Measurement utilities shared by the benchmark harnesses: running
+// mean/variance (Welford), order statistics over retained samples, and a
+// fixed-bin histogram for latency distributions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace decos {
+
+/// Numerically stable running mean / variance / extrema accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void add(Duration d) { add(static_cast<double>(d.ns())); }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains all samples; provides exact percentiles. Use for the bench
+/// harnesses where sample counts are modest (<= millions).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add(Duration d) { add(static_cast<double>(d.ns())); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Exact p-quantile with linear interpolation, p in [0, 1].
+  double percentile(double p) {
+    if (samples_.empty()) return 0.0;
+    sort();
+    if (p <= 0.0) return samples_.front();
+    if (p >= 1.0) return samples_.back();
+    const double idx = p * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(idx);
+    const double frac = idx - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_[lo];
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+
+  double min() { sort(); return samples_.empty() ? 0.0 : samples_.front(); }
+  double max() { sort(); return samples_.empty() ? 0.0 : samples_.back(); }
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+  /// Peak-to-peak spread; the jitter measure used by E6/E7.
+  double spread() { return max() - min(); }
+
+ private:
+  void sort() {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples land in
+/// saturating edge bins so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_{lo}, hi_{hi}, counts_(bins == 0 ? 1 : bins, 0) {}
+
+  void add(double x) {
+    std::size_t idx;
+    if (x < lo_) {
+      idx = 0;
+    } else if (x >= hi_) {
+      idx = counts_.size() - 1;
+    } else {
+      idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+      if (idx >= counts_.size()) idx = counts_.size() - 1;
+    }
+    ++counts_[idx];
+    ++total_;
+  }
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_[bin]; }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+  }
+
+  /// Render a compact ASCII bar chart (used by bench binaries).
+  std::string render(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace decos

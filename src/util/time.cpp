@@ -1,0 +1,31 @@
+#include "util/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace decos {
+
+std::string Duration::to_string() const {
+  char buf[64];
+  if (ns_ % 1'000'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%" PRId64 "s", ns_ / 1'000'000'000);
+  } else if (ns_ % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%" PRId64 "ms", ns_ / 1'000'000);
+  } else if (ns_ % 1'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%" PRId64 "us", ns_ / 1'000);
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+std::string Instant::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%.6fms", as_ms());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) { return os << d.to_string(); }
+std::ostream& operator<<(std::ostream& os, Instant t) { return os << t.to_string(); }
+
+}  // namespace decos

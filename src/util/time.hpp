@@ -1,0 +1,113 @@
+// Strongly typed simulated-time primitives.
+//
+// All of the DECOS reproduction runs on a discrete global time base with
+// nanosecond granularity (the paper's time-triggered base architecture
+// assumes a sparse global time base; one nanosecond is far below the
+// precision of any modelled clock, so the discretisation is invisible to
+// the protocols built on top).
+//
+// `Duration` is a signed span of time, `Instant` a point on the global
+// timeline. Mixing them up is a compile error.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace decos {
+
+/// A signed span of simulated time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors; prefer these to raw tick counts at call sites.
+  static constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration microseconds(std::int64_t us) { return Duration{us * 1000}; }
+  static constexpr Duration milliseconds(std::int64_t ms) { return Duration{ms * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() { return Duration{std::numeric_limits<std::int64_t>::max()}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double as_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double as_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  /// Integral division of two spans (e.g. how many whole periods fit).
+  constexpr std::int64_t operator/(Duration o) const { return ns_ / o.ns_; }
+  /// Remainder of `*this` modulo `o`, always in [0, o) for positive `o`.
+  constexpr Duration mod(Duration o) const {
+    std::int64_t r = ns_ % o.ns_;
+    if (r < 0) r += o.ns_;
+    return Duration{r};
+  }
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration abs() const { return ns_ < 0 ? Duration{-ns_} : *this; }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// A point on the global simulated timeline (ns since simulation start).
+class Instant {
+ public:
+  constexpr Instant() = default;
+
+  static constexpr Instant origin() { return Instant{}; }
+  static constexpr Instant from_ns(std::int64_t ns) { return Instant{ns}; }
+  static constexpr Instant max() { return Instant{std::numeric_limits<std::int64_t>::max()}; }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double as_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double as_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Instant operator+(Duration d) const { return Instant{ns_ + d.ns()}; }
+  constexpr Instant operator-(Duration d) const { return Instant{ns_ - d.ns()}; }
+  constexpr Duration operator-(Instant o) const { return Duration::nanoseconds(ns_ - o.ns_); }
+  constexpr Instant& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  constexpr auto operator<=>(const Instant&) const = default;
+
+  /// Phase of this instant within a cyclic schedule of length `period`.
+  constexpr Duration phase_in(Duration period) const {
+    return Duration::nanoseconds(ns_).mod(period);
+  }
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Instant(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, Instant t);
+
+namespace literals {
+constexpr Duration operator""_ns(unsigned long long n) { return Duration::nanoseconds(static_cast<std::int64_t>(n)); }
+constexpr Duration operator""_us(unsigned long long n) { return Duration::microseconds(static_cast<std::int64_t>(n)); }
+constexpr Duration operator""_ms(unsigned long long n) { return Duration::milliseconds(static_cast<std::int64_t>(n)); }
+constexpr Duration operator""_s(unsigned long long n) { return Duration::seconds(static_cast<std::int64_t>(n)); }
+}  // namespace literals
+
+}  // namespace decos

@@ -1,0 +1,55 @@
+#include "vn/encapsulation.hpp"
+
+namespace decos::vn {
+
+Result<tt::TdmaSchedule> EncapsulationService::build_schedule(
+    Duration round_length, std::size_t cluster_size, const std::vector<VnAllocation>& allocations,
+    std::size_t core_payload_bytes) {
+  std::size_t total_slots = cluster_size;  // core life-sign slots
+  for (const auto& a : allocations) total_slots += a.sender_slots.size();
+  if (total_slots == 0) return Result<tt::TdmaSchedule>::failure("no slots requested");
+  const Duration slot_len = round_length / static_cast<std::int64_t>(total_slots);
+  if (slot_len <= Duration::zero())
+    return Result<tt::TdmaSchedule>::failure("round too short for " + std::to_string(total_slots) +
+                                             " slots");
+
+  tt::TdmaSchedule schedule{round_length};
+  std::size_t index = 0;
+  const auto add = [&](tt::NodeId owner, tt::VnId vn, std::size_t bytes) {
+    tt::SlotSpec slot;
+    slot.offset = slot_len * static_cast<std::int64_t>(index++);
+    slot.duration = slot_len;
+    slot.owner = owner;
+    slot.vn = vn;
+    slot.payload_bytes = bytes;
+    schedule.add_slot(slot);
+  };
+
+  for (std::size_t node = 0; node < cluster_size; ++node)
+    add(static_cast<tt::NodeId>(node), tt::kCoreVn, core_payload_bytes);
+  for (const auto& a : allocations) {
+    for (const tt::NodeId sender : a.sender_slots) {
+      if (sender >= cluster_size)
+        return Result<tt::TdmaSchedule>::failure("VN " + std::to_string(a.vn) +
+                                                 " references node " + std::to_string(sender) +
+                                                 " outside the cluster");
+      add(sender, a.vn, a.payload_bytes);
+    }
+  }
+  if (auto st = schedule.validate(); !st.ok()) return st.error();
+  return schedule;
+}
+
+Status EncapsulationService::check_attach(const std::string& job_das, tt::VnId vn) const {
+  const auto it = das_of_.find(vn);
+  if (it == das_of_.end())
+    return Status::failure("VN " + std::to_string(vn) + " is not registered");
+  if (it->second != job_das) {
+    ++violations_;
+    return Status::failure("encapsulation violation: job of DAS '" + job_das +
+                           "' may not access the virtual network of DAS '" + it->second + "'");
+  }
+  return Status::success();
+}
+
+}  // namespace decos::vn

@@ -1,0 +1,55 @@
+// Encapsulation service (paper Sections II-C and III-B).
+//
+// Two responsibilities:
+//  1. Bandwidth partitioning: build the cluster's TDMA schedule from the
+//     per-VN bandwidth requests, so every virtual network gets dedicated
+//     slots and its temporal properties are independent of all other VNs.
+//  2. Visibility control: jobs may only attach ports to the virtual
+//     network of their own DAS; all cross-DAS information flow must pass
+//     through a virtual gateway.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tt/schedule.hpp"
+#include "util/result.hpp"
+
+namespace decos::vn {
+
+/// Bandwidth request of one virtual network.
+struct VnAllocation {
+  tt::VnId vn = tt::kCoreVn;
+  std::string das;                     // owning DAS
+  std::size_t payload_bytes = 32;      // per slot
+  /// One slot per listed node per round, in listing order (a node may
+  /// appear several times for more bandwidth).
+  std::vector<tt::NodeId> sender_slots;
+};
+
+class EncapsulationService {
+ public:
+  /// Build the cluster schedule: one core slot per node (life-sign /
+  /// clock-sync traffic, VN 0) followed by the requested VN slots, all
+  /// evenly spaced over `round_length`.
+  static Result<tt::TdmaSchedule> build_schedule(Duration round_length, std::size_t cluster_size,
+                                                 const std::vector<VnAllocation>& allocations,
+                                                 std::size_t core_payload_bytes = 8);
+
+  /// Record which DAS owns which VN (visibility registry).
+  void register_vn(tt::VnId vn, const std::string& das) { das_of_[vn] = das; }
+
+  /// Visibility check used by the platform layer when a job attaches a
+  /// port: a job of DAS `job_das` may only touch the VN of its own DAS.
+  Status check_attach(const std::string& job_das, tt::VnId vn) const;
+
+  /// Violations rejected so far (complexity-control accounting).
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  std::map<tt::VnId, std::string> das_of_;
+  mutable std::uint64_t violations_ = 0;
+};
+
+}  // namespace decos::vn

@@ -1,0 +1,87 @@
+#include "vn/et_vn.hpp"
+
+#include <algorithm>
+
+namespace decos::vn {
+
+int EtVirtualNetwork::priority_of(const std::string& message_name) const {
+  const auto it = priorities_.find(message_name);
+  return it == priorities_.end() ? 1000 : it->second;
+}
+
+void EtVirtualNetwork::attach_node(tt::Controller& controller,
+                                   const std::vector<std::size_t>& slot_indices) {
+  const tt::NodeId node = controller.id();
+  queues_.try_emplace(node);
+  for (const std::size_t slot_index : slot_indices) {
+    const tt::SlotSpec& slot = controller.schedule().slot(slot_index);
+    if (slot.vn != id())
+      throw SpecError("slot " + std::to_string(slot_index) + " is not assigned to VN '" + name() +
+                      "' (encapsulation violation)");
+    controller.set_slot_source(slot_index, [this, node] { return pop_next(node); });
+  }
+}
+
+bool EtVirtualNetwork::send(tt::Controller& controller, const spec::MessageInstance& instance) {
+  const spec::MessageSpec* ms = message_spec(instance.message());
+  if (ms == nullptr)
+    throw SpecError("virtual network '" + name() + "' has no message '" + instance.message() + "'");
+  auto it = queues_.find(controller.id());
+  if (it == queues_.end())
+    throw SpecError("node " + std::to_string(controller.id()) + " is not attached to VN '" +
+                    name() + "'");
+  auto bytes = spec::encode(*ms, instance);
+  if (!bytes.ok()) throw SpecError(bytes.error());
+
+  std::vector<Pending>& queue = it->second;
+  if (queue.size() >= pending_capacity_) {
+    ++overloads_;
+    return false;
+  }
+  queue.push_back(Pending{priority_of(instance.message()), seq_++, std::move(bytes.value())});
+  return true;
+}
+
+void EtVirtualNetwork::attach_receiver(tt::Controller& controller, Port& port) {
+  if (message_spec(port.message()) == nullptr)
+    throw SpecError("virtual network '" + name() + "' has no message '" + port.message() + "'");
+  if (port.spec().direction != spec::DataDirection::kInput)
+    throw SpecError("attach_receiver requires an input port ('" + port.message() + "')");
+  register_input(controller.id(), port.message(), port);
+  ensure_listener(controller);
+}
+
+std::size_t EtVirtualNetwork::pending(tt::NodeId node) const {
+  const auto it = queues_.find(node);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+std::optional<std::vector<std::byte>> EtVirtualNetwork::pop_next(tt::NodeId node) {
+  auto it = queues_.find(node);
+  if (it == queues_.end() || it->second.empty()) return std::nullopt;
+  std::vector<Pending>& queue = it->second;
+  // Arbitration: lowest priority value wins, FIFO among equals.
+  const auto best = std::min_element(queue.begin(), queue.end(), [](const Pending& a, const Pending& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  });
+  std::vector<std::byte> payload = std::move(best->payload);
+  queue.erase(best);
+  return payload;
+}
+
+void EtVirtualNetwork::ensure_listener(tt::Controller& controller) {
+  if (!listening_nodes_.insert(controller.id()).second) return;
+  controller.add_frame_listener(
+      [this, &controller](const tt::Frame& frame, Instant, Duration) {
+        if (frame.vn != id() || frame.payload.empty()) return;
+        const spec::MessageSpec* ms = identify(frame.payload);
+        if (ms == nullptr) return;  // unknown name: drop at the VN boundary
+        auto instance = spec::decode(*ms, frame.payload);
+        if (!instance.ok()) return;
+        instance.value().set_send_time(frame.sent_at);
+        deposit_to_inputs(controller, instance.value(), frame.payload.size());
+      });
+}
+
+}  // namespace decos::vn

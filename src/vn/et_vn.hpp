@@ -1,0 +1,67 @@
+// Event-triggered virtual network (paper Section II-E).
+//
+// A CAN-inspired overlay: messages carry explicit names (static key
+// fields, like CAN identifiers) and are disseminated on demand at a
+// priori unknown instants. Each participating node owns a share of the
+// VN's slots; pending transmissions are queued per node and served in
+// priority order (lower priority value wins, CAN-style) at the node's
+// next slot. Latency is therefore load-dependent and only
+// probabilistically bounded -- the trade-off the paper describes for non
+// safety-critical DASes (resources biased towards average demand,
+// occasional timing failures under worst-case bursts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "vn/virtual_network.hpp"
+
+namespace decos::vn {
+
+class EtVirtualNetwork final : public VirtualNetwork {
+ public:
+  EtVirtualNetwork(std::string name, tt::VnId id, std::size_t pending_capacity = 64)
+      : VirtualNetwork{std::move(name), id, spec::ControlParadigm::kEventTriggered},
+        pending_capacity_{pending_capacity} {}
+
+  /// Static priority of a message (lower value = higher priority).
+  void set_priority(const std::string& message_name, int priority) {
+    priorities_[message_name] = priority;
+  }
+  int priority_of(const std::string& message_name) const;
+
+  /// Give the node of `controller` access to this VN through the given
+  /// slots (its bandwidth share). Must be called once per sending node.
+  void attach_node(tt::Controller& controller, const std::vector<std::size_t>& slot_indices);
+
+  /// Request transmission of an instance from this node. Returns false
+  /// if the node's pending queue is full (overload; counted).
+  bool send(tt::Controller& controller, const spec::MessageInstance& instance);
+
+  /// Bind an input port as consumer (payloads self-identify via keys).
+  void attach_receiver(tt::Controller& controller, Port& port);
+
+  std::uint64_t overloads() const { return overloads_; }
+  std::size_t pending(tt::NodeId node) const;
+
+ private:
+  struct Pending {
+    int priority;
+    std::uint64_t seq;  // FIFO among equal priorities
+    std::vector<std::byte> payload;
+  };
+
+  void ensure_listener(tt::Controller& controller);
+  std::optional<std::vector<std::byte>> pop_next(tt::NodeId node);
+
+  std::size_t pending_capacity_;
+  std::map<std::string, int> priorities_;
+  std::map<tt::NodeId, std::vector<Pending>> queues_;
+  std::set<tt::NodeId> listening_nodes_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t overloads_ = 0;
+};
+
+}  // namespace decos::vn

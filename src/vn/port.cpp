@@ -1,0 +1,34 @@
+#include "vn/port.hpp"
+
+namespace decos::vn {
+
+bool Port::deposit(spec::MessageInstance instance, Instant now) {
+  if (spec_.semantics == spec::InfoSemantics::kState) {
+    latest_ = std::move(instance);
+  } else {
+    if (queue_.size() >= spec_.queue_capacity) {
+      ++overflows_;
+      return false;
+    }
+    queue_.push_back(std::move(instance));
+  }
+  last_update_ = now;
+  ++deposits_;
+  if (spec_.interaction == spec::Interaction::kPush && notify_) notify_(*this);
+  return true;
+}
+
+std::optional<spec::MessageInstance> Port::read() {
+  if (spec_.semantics == spec::InfoSemantics::kState) {
+    if (!latest_) return std::nullopt;
+    ++reads_;
+    return latest_;  // non-consuming copy: state stays valid until overwritten
+  }
+  if (queue_.empty()) return std::nullopt;
+  spec::MessageInstance instance = std::move(queue_.front());
+  queue_.pop_front();
+  ++reads_;
+  return instance;
+}
+
+}  // namespace decos::vn

@@ -1,0 +1,72 @@
+// Runtime ports (paper Section II-A).
+//
+// A port is the access point between a job (or gateway) and the virtual
+// network of its DAS. State ports contain a memory element overwritten in
+// place by newer message instances; event ports queue instances so each
+// is processed exactly once. Push input ports notify the attached
+// consumer on deposit; pull input ports are polled by the consumer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "spec/message.hpp"
+#include "spec/port_spec.hpp"
+#include "util/time.hpp"
+
+namespace decos::vn {
+
+/// A job-side message port bound to one message.
+class Port {
+ public:
+  explicit Port(spec::PortSpec port_spec) : spec_{std::move(port_spec)} {
+    spec_.validate().check();
+  }
+
+  const spec::PortSpec& spec() const { return spec_; }
+  const std::string& message() const { return spec_.message; }
+
+  // -- producer side (output ports) / VN side (input ports) ---------------
+  /// Deposit a message instance into the port. For state ports this
+  /// overwrites in place; for event ports it enqueues (returns false and
+  /// counts an overflow when the queue is full).
+  bool deposit(spec::MessageInstance instance, Instant now);
+
+  // -- consumer side -------------------------------------------------------
+  /// Read the port. State ports return a copy of the freshest instance
+  /// without consuming it; event ports dequeue the oldest instance.
+  std::optional<spec::MessageInstance> read();
+
+  /// Non-consuming check.
+  bool has_data() const {
+    return spec_.semantics == spec::InfoSemantics::kState ? latest_.has_value() : !queue_.empty();
+  }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Instant of the most recent deposit (state ports: t_update).
+  std::optional<Instant> last_update() const { return last_update_; }
+
+  /// Push notification, fired after each successful deposit when the
+  /// port's interaction mode is push.
+  void set_notify(std::function<void(Port&)> notify) { notify_ = std::move(notify); }
+
+  // -- counters -------------------------------------------------------------
+  std::uint64_t deposits() const { return deposits_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t overflows() const { return overflows_; }
+
+ private:
+  spec::PortSpec spec_;
+  std::optional<spec::MessageInstance> latest_;     // state semantics
+  std::deque<spec::MessageInstance> queue_;         // event semantics
+  std::optional<Instant> last_update_;
+  std::function<void(Port&)> notify_;
+  std::uint64_t deposits_ = 0;
+  std::uint64_t reads_ = 0;
+  std::uint64_t overflows_ = 0;
+};
+
+}  // namespace decos::vn

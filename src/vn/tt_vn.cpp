@@ -1,0 +1,62 @@
+#include "vn/tt_vn.hpp"
+
+namespace decos::vn {
+
+void TtVirtualNetwork::attach_sender(tt::Controller& controller, Port& port,
+                                     const std::vector<std::size_t>& slot_indices) {
+  const spec::MessageSpec* ms = message_spec(port.message());
+  if (ms == nullptr)
+    throw SpecError("virtual network '" + name() + "' has no message '" + port.message() + "'");
+  if (port.spec().direction != spec::DataDirection::kOutput)
+    throw SpecError("attach_sender requires an output port ('" + port.message() + "')");
+
+  for (const std::size_t slot_index : slot_indices) {
+    const tt::SlotSpec& slot = controller.schedule().slot(slot_index);
+    if (slot.vn != id())
+      throw SpecError("slot " + std::to_string(slot_index) + " is not assigned to VN '" + name() +
+                      "' (encapsulation violation)");
+    if (slot.payload_bytes < ms->wire_size())
+      throw SpecError("slot " + std::to_string(slot_index) + " too small for message '" +
+                      ms->name() + "'");
+    slot_to_message_[slot_index] = ms->name();
+    controller.set_slot_source(slot_index, [&port, ms]() -> std::optional<std::vector<std::byte>> {
+      auto instance = port.read();
+      if (!instance) return std::nullopt;  // nothing produced yet: life-sign only
+      auto bytes = spec::encode(*ms, *instance);
+      if (!bytes.ok()) return std::nullopt;  // value fault kept local to the VN
+      return std::move(bytes.value());
+    });
+  }
+}
+
+void TtVirtualNetwork::attach_receiver(tt::Controller& controller, Port& port) {
+  if (message_spec(port.message()) == nullptr)
+    throw SpecError("virtual network '" + name() + "' has no message '" + port.message() + "'");
+  if (port.spec().direction != spec::DataDirection::kInput)
+    throw SpecError("attach_receiver requires an input port ('" + port.message() + "')");
+  register_input(controller.id(), port.message(), port);
+  ensure_listener(controller);
+}
+
+const std::string* TtVirtualNetwork::message_of_slot(std::size_t slot_index) const {
+  const auto it = slot_to_message_.find(slot_index);
+  return it == slot_to_message_.end() ? nullptr : &it->second;
+}
+
+void TtVirtualNetwork::ensure_listener(tt::Controller& controller) {
+  if (!listening_nodes_.insert(controller.id()).second) return;
+  controller.add_frame_listener(
+      [this, &controller](const tt::Frame& frame, Instant, Duration) {
+        if (frame.vn != id() || frame.payload.empty()) return;
+        const std::string* message_name = message_of_slot(frame.slot_index);
+        if (message_name == nullptr) return;
+        const spec::MessageSpec* ms = message_spec(*message_name);
+        if (ms == nullptr) return;
+        auto instance = spec::decode(*ms, frame.payload);
+        if (!instance.ok()) return;  // malformed payload: drop at the VN boundary
+        instance.value().set_send_time(frame.sent_at);
+        deposit_to_inputs(controller, instance.value(), frame.payload.size());
+      });
+}
+
+}  // namespace decos::vn

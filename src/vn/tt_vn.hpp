@@ -1,0 +1,44 @@
+// Time-triggered virtual network (paper Section II-E).
+//
+// Messages are transmitted at predetermined global points in time: each
+// TT message is statically bound to one or more slots owned by its
+// sending node. The sender's output port *is* the send buffer -- at the
+// slot instant the freshest instance is encoded and transmitted (state
+// semantics / update in place), giving a priori known send instants,
+// error-detection capability and replica determinism.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "vn/virtual_network.hpp"
+
+namespace decos::vn {
+
+class TtVirtualNetwork final : public VirtualNetwork {
+ public:
+  TtVirtualNetwork(std::string name, tt::VnId id)
+      : VirtualNetwork{std::move(name), id, spec::ControlParadigm::kTimeTriggered} {}
+
+  /// Bind `port` (an output port on the node of `controller`) as the
+  /// producer of `message`: the given slots (which must be owned by the
+  /// node and assigned to this VN) transmit the port's freshest instance.
+  void attach_sender(tt::Controller& controller, Port& port,
+                     const std::vector<std::size_t>& slot_indices);
+
+  /// Bind `port` (an input port on the node of `controller`) as a
+  /// consumer of its message.
+  void attach_receiver(tt::Controller& controller, Port& port);
+
+  /// Message name carried by `slot_index` (implicit message naming: the
+  /// slot position in the cluster cycle is the name).
+  const std::string* message_of_slot(std::size_t slot_index) const;
+
+ private:
+  void ensure_listener(tt::Controller& controller);
+
+  std::map<std::size_t, std::string> slot_to_message_;
+  std::set<tt::NodeId> listening_nodes_;
+};
+
+}  // namespace decos::vn

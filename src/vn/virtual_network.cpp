@@ -1,0 +1,42 @@
+#include "vn/virtual_network.hpp"
+
+namespace decos::vn {
+
+void VirtualNetwork::register_message(spec::MessageSpec message_spec) {
+  message_spec.validate().check();
+  if (this->message_spec(message_spec.name()) != nullptr)
+    throw SpecError("virtual network '" + name_ + "' already has a message '" +
+                    message_spec.name() + "'");
+  message_specs_.push_back(std::move(message_spec));
+}
+
+const spec::MessageSpec* VirtualNetwork::message_spec(const std::string& message_name) const {
+  for (const auto& m : message_specs_)
+    if (m.name() == message_name) return &m;
+  return nullptr;
+}
+
+const spec::MessageSpec* VirtualNetwork::identify(std::span<const std::byte> payload) const {
+  for (const auto& m : message_specs_)
+    if (spec::matches_key(m, payload)) return &m;
+  return nullptr;
+}
+
+void VirtualNetwork::register_input(tt::NodeId node, const std::string& message_name, Port& port) {
+  inputs_[{node, message_name}].push_back(&port);
+}
+
+void VirtualNetwork::deposit_to_inputs(tt::Controller& controller,
+                                       const spec::MessageInstance& instance,
+                                       std::size_t wire_bytes) {
+  const auto it = inputs_.find({controller.id(), instance.message()});
+  if (it == inputs_.end()) return;
+  const Instant now = controller.simulator().now();
+  for (Port* port : it->second) {
+    port->deposit(instance, now);
+    ++messages_delivered_;
+    bytes_delivered_ += wire_bytes;
+  }
+}
+
+}  // namespace decos::vn

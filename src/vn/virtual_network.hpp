@@ -1,0 +1,77 @@
+// Virtual networks: encapsulated overlay communication systems on top of
+// the time-triggered physical network (paper Section II-A and [3]).
+//
+// Each DAS owns one virtual network. A virtual network's traffic rides
+// exclusively in the TDMA slots assigned to it by the encapsulation
+// service, which is what gives it temporal properties independent of all
+// other virtual networks (experiment E7). Message payloads never leave
+// the VN unless a virtual gateway explicitly redirects them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spec/link_spec.hpp"
+#include "spec/message.hpp"
+#include "tt/controller.hpp"
+#include "vn/port.hpp"
+
+namespace decos::vn {
+
+/// Common base of the time-triggered and event-triggered overlays: the
+/// message namespace (each VN has its own namespace, Section II-E) and
+/// accounting shared by both.
+class VirtualNetwork {
+ public:
+  VirtualNetwork(std::string name, tt::VnId id, spec::ControlParadigm paradigm)
+      : name_{std::move(name)}, id_{id}, paradigm_{paradigm} {}
+  virtual ~VirtualNetwork() = default;
+
+  VirtualNetwork(const VirtualNetwork&) = delete;
+  VirtualNetwork& operator=(const VirtualNetwork&) = delete;
+
+  const std::string& name() const { return name_; }
+  tt::VnId id() const { return id_; }
+  spec::ControlParadigm paradigm() const { return paradigm_; }
+
+  /// The DAS this virtual network belongs to (encapsulation boundary).
+  const std::string& das() const { return das_; }
+  void set_das(std::string das) { das_ = std::move(das); }
+
+  /// Register a message in this VN's namespace. Message names are unique
+  /// per VN but may collide freely with names in other VNs (incoherent
+  /// naming is resolved at gateways, Section III-A.1).
+  void register_message(spec::MessageSpec message_spec);
+  const spec::MessageSpec* message_spec(const std::string& message_name) const;
+  const std::vector<spec::MessageSpec>& messages() const { return message_specs_; }
+
+  /// Identify a payload by its static key fields.
+  const spec::MessageSpec* identify(std::span<const std::byte> payload) const;
+
+  // -- accounting (E2/E7) ---------------------------------------------------
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+
+ protected:
+  /// Deposit `instance` into every input port registered for its message
+  /// on the node served by `controller`.
+  void deposit_to_inputs(tt::Controller& controller, const spec::MessageInstance& instance,
+                         std::size_t wire_bytes);
+
+  /// Input-port registry: (node, message) -> ports.
+  void register_input(tt::NodeId node, const std::string& message_name, Port& port);
+
+ private:
+  std::string name_;
+  tt::VnId id_;
+  spec::ControlParadigm paradigm_;
+  std::string das_;
+  std::vector<spec::MessageSpec> message_specs_;
+  std::map<std::pair<tt::NodeId, std::string>, std::vector<Port*>> inputs_;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+};
+
+}  // namespace decos::vn

@@ -1,0 +1,180 @@
+// Transfer semantics: event<->state conversion through the gateway
+// repository, reproducing the paper's Fig. 6 sliding-roof scenario.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+#include "spec/linkspec_xml.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::sliding_roof_spec;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+/// Link A: the comfort DAS produces msgslidingroof (event semantics).
+spec::LinkSpec roof_link_a() {
+  spec::LinkSpec ls{"comfort"};
+  ls.add_message(sliding_roof_spec());
+  spec::PortSpec in;
+  in.message = "msgslidingroof";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = spec::InfoSemantics::kEvent;
+  in.paradigm = spec::ControlParadigm::kEventTriggered;
+  in.queue_capacity = 16;
+  ls.add_port(in);
+
+  // Fig. 6 transfer semantics: derive MovementState from MovementEvent.
+  spec::TransferRule rule;
+  rule.target = "movementstate";
+  rule.source = "movementevent";
+  spec::TransferFieldRule statevalue;
+  statevalue.name = "statevalue";
+  statevalue.init = ta::Value{0};
+  statevalue.semantics = "state";
+  statevalue.update = ta::parse_expression("statevalue + valuechange").value();
+  rule.fields.push_back(std::move(statevalue));
+  spec::TransferFieldRule obstime;
+  obstime.name = "observationtime";
+  obstime.init = ta::Value{0};
+  obstime.semantics = "state";
+  obstime.update = ta::parse_expression("eventtime").value();
+  rule.fields.push_back(std::move(obstime));
+  ls.add_transfer_rule(std::move(rule));
+  return ls;
+}
+
+/// Link B: the display DAS consumes the roof position as state.
+spec::LinkSpec roof_link_b() {
+  spec::LinkSpec ls{"display"};
+  spec::MessageSpec ms{"msgroofstate"};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{900}});
+  ms.add_element(std::move(key));
+  spec::ElementSpec state;
+  state.name = "movementstate";
+  state.convertible = true;
+  state.fields.push_back(spec::FieldSpec{"statevalue", spec::FieldType::kInt32, 0, std::nullopt});
+  state.fields.push_back(
+      spec::FieldSpec{"observationtime", spec::FieldType::kTimestamp, 0, std::nullopt});
+  ms.add_element(std::move(state));
+  ls.add_message(std::move(ms));
+
+  spec::PortSpec out;
+  out.message = "msgroofstate";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = spec::InfoSemantics::kState;
+  out.period = 10_ms;
+  ls.add_port(out);
+  return ls;
+}
+
+spec::MessageInstance roof_event(const spec::LinkSpec& link, int change, Instant when) {
+  spec::MessageInstance inst = spec::make_instance(*link.message("msgslidingroof"));
+  inst.element("movementevent")->fields[0] = ta::Value{change};
+  inst.element("movementevent")->fields[1] = ta::Value{when};
+  inst.set_send_time(when);
+  return inst;
+}
+
+TEST(ConversionTest, EventToStateAccumulation) {
+  VirtualGateway gw{"roof", roof_link_a(), roof_link_b()};
+  gw.finalize();
+
+  // Movements: +30, +20, -10 percent.
+  gw.on_input(0, roof_event(gw.link_a().spec(), 30, at(0)), at(0));
+  gw.on_input(0, roof_event(gw.link_a().spec(), 20, at(10)), at(10));
+  gw.on_input(0, roof_event(gw.link_a().spec(), -10, at(20)), at(20));
+  EXPECT_EQ(gw.stats().conversions, 3u);
+
+  gw.dispatch(at(21));
+  vn::Port* out = gw.link_b().port("msgroofstate");
+  ASSERT_TRUE(out->has_data());
+  const auto inst = out->read();
+  EXPECT_EQ(inst->element("movementstate")->fields[0].as_int(), 40);  // 30+20-10
+  EXPECT_EQ(inst->element("movementstate")->fields[1].as_instant(), at(20));
+}
+
+TEST(ConversionTest, DerivedStateRespectsTemporalAccuracy) {
+  GatewayConfig config;
+  config.default_d_acc = 15_ms;
+  VirtualGateway gw{"roof", roof_link_a(), roof_link_b(), config};
+  gw.finalize();
+  gw.on_input(0, roof_event(gw.link_a().spec(), 50, at(0)), at(0));
+  gw.dispatch(at(30));  // derived image expired at 15ms
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+  // A new movement refreshes the derived element.
+  gw.on_input(0, roof_event(gw.link_a().spec(), 5, at(31)), at(31));
+  gw.dispatch(at(32));
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+  EXPECT_EQ(gw.link_b().port("msgroofstate")->read()->element("movementstate")->fields[0].as_int(),
+            55);
+}
+
+TEST(ConversionTest, RuleInitialValuesUsedBeforeFirstSource) {
+  VirtualGateway gw{"roof", roof_link_a(), roof_link_b()};
+  gw.finalize();
+  // Before any movement event nothing is constructible.
+  gw.dispatch(at(0));
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+  // The first event starts from init=0.
+  gw.on_input(0, roof_event(gw.link_a().spec(), 7, at(1)), at(1));
+  gw.dispatch(at(2));
+  EXPECT_EQ(gw.link_b().port("msgroofstate")->read()->element("movementstate")->fields[0].as_int(),
+            7);
+}
+
+TEST(ConversionTest, NonConvertibleElementsDiscarded) {
+  VirtualGateway gw{"roof", roof_link_a(), roof_link_b()};
+  gw.finalize();
+  auto inst = roof_event(gw.link_a().spec(), 1, at(0));
+  inst.element("fullclosure")->fields[0] = ta::Value{true};
+  gw.on_input(0, inst, at(0));
+  // Only movementevent was stored ("fullclosure" is local to DAS A);
+  // the derived movementstate is the second repository entry.
+  EXPECT_FALSE(gw.repository().is_declared("fullclosure"));
+  EXPECT_TRUE(gw.repository().is_declared("movementevent"));
+  EXPECT_TRUE(gw.repository().is_declared("movementstate"));
+}
+
+TEST(ConversionTest, XmlDrivenGatewayMatchesProgrammatic) {
+  // Drive the same scenario from the Fig. 6 XML surface syntax.
+  const char* xml_a = R"(<linkspec>
+    <das>comfort</das>
+    <message name="msgslidingroof">
+      <element name="name" key="yes"><field name="id">
+        <type length="16">integer</type><value>731</value></field></element>
+      <element name="movementevent" conv="yes">
+        <field name="valuechange"><type length="16">integer</type></field>
+        <field name="eventtime"><type>timestamp</type></field>
+      </element>
+      <element name="fullclosure">
+        <field name="trigger"><type>boolean</type></field></element>
+    </message>
+    <transfersemantics>
+      <element name="movementstate" source="movementevent">
+        <field name="statevalue" init="0" semantics="state">statevalue=statevalue+valuechange</field>
+        <field name="observationtime" init="0" semantics="state">observationtime=eventtime</field>
+      </element>
+    </transfersemantics>
+    <port message="msgslidingroof" direction="input" semantics="event" paradigm="et" queue="16"/>
+  </linkspec>)";
+
+  auto link_a = spec::parse_link_spec_xml(xml_a);
+  ASSERT_TRUE(link_a.ok()) << link_a.error().to_string();
+
+  VirtualGateway gw{"roof", std::move(link_a.value()), roof_link_b()};
+  gw.finalize();
+  gw.on_input(0, roof_event(gw.link_a().spec(), 30, at(0)), at(0));
+  gw.on_input(0, roof_event(gw.link_a().spec(), 12, at(5)), at(5));
+  gw.dispatch(at(6));
+  EXPECT_EQ(gw.link_b().port("msgroofstate")->read()->element("movementstate")->fields[0].as_int(),
+            42);
+}
+
+}  // namespace
+}  // namespace decos::core

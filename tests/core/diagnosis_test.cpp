@@ -1,0 +1,116 @@
+#include "core/diagnosis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "fault/plan.hpp"
+#include "platform/cluster.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+std::unique_ptr<VirtualGateway> make_gateway() {
+  spec::LinkSpec link_a{"comfort"};
+  link_a.add_message(state_message("msgA", "payload", 1));
+  spec::PortSpec in;
+  in.message = "msgA";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = spec::InfoSemantics::kEvent;
+  in.paradigm = spec::ControlParadigm::kEventTriggered;
+  in.min_interarrival = 4_ms;
+  in.max_interarrival = 100_ms;
+  in.queue_capacity = 16;
+  link_a.add_port(in);
+  spec::LinkSpec link_b{"display"};
+  link_b.add_message(state_message("msgB", "payload", 2));
+  spec::PortSpec out;
+  out.message = "msgB";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = spec::InfoSemantics::kEvent;
+  out.paradigm = spec::ControlParadigm::kEventTriggered;
+  out.queue_capacity = 16;
+  link_b.add_port(out);
+  auto gw = std::make_unique<VirtualGateway>("g", std::move(link_a), std::move(link_b));
+  gw->finalize();
+  return gw;
+}
+
+TEST(DiagnosisTest, AllGreenInitially) {
+  platform::ClusterConfig config;
+  config.nodes = 3;
+  platform::Cluster cluster{config};
+  auto gw = make_gateway();
+  DiagnosisService diagnosis{*cluster.membership(0)};
+  diagnosis.watch(*gw);
+  cluster.start();
+  cluster.run_for(100_ms);
+  const ClusterHealth health = diagnosis.report();
+  EXPECT_TRUE(health.all_green());
+  EXPECT_EQ(health.summary(), "all green");
+}
+
+TEST(DiagnosisTest, FailedNodeReported) {
+  platform::ClusterConfig config;
+  config.nodes = 3;
+  platform::Cluster cluster{config};
+  DiagnosisService diagnosis{*cluster.membership(0)};
+  fault::FaultPlan plan{cluster.simulator()};
+  plan.crash(cluster.controller(2), at(50));
+  cluster.start();
+  cluster.run_for(200_ms);
+  const ClusterHealth health = diagnosis.report();
+  ASSERT_EQ(health.failed_nodes.size(), 1u);
+  EXPECT_EQ(health.failed_nodes[0], 2u);
+  EXPECT_FALSE(health.all_green());
+  EXPECT_NE(health.summary().find("failed nodes: 2"), std::string::npos);
+}
+
+TEST(DiagnosisTest, MisbehavingDasReportedViaGatewayAutomata) {
+  platform::ClusterConfig config;
+  config.nodes = 2;
+  platform::Cluster cluster{config};
+  auto gw = make_gateway();
+  DiagnosisService diagnosis{*cluster.membership(0)};
+  diagnosis.watch(*gw);
+
+  const spec::MessageSpec& ms = *gw->link_a().spec().message("msgA");
+  gw->on_input(0, make_state_instance(ms, 1, at(0)), at(0));
+  gw->on_input(0, make_state_instance(ms, 2, at(1)), at(1));  // tmin violation
+
+  const ClusterHealth health = diagnosis.report();
+  ASSERT_EQ(health.misbehaving_dases.size(), 1u);
+  EXPECT_EQ(health.misbehaving_dases[0], "comfort");
+  EXPECT_EQ(health.contained_messages, 1u);
+  EXPECT_NE(health.summary().find("comfort"), std::string::npos);
+  EXPECT_NE(health.summary().find("1 messages contained"), std::string::npos);
+}
+
+TEST(DiagnosisTest, MultipleGatewaysAggregated) {
+  platform::ClusterConfig config;
+  config.nodes = 2;
+  platform::Cluster cluster{config};
+  auto gw1 = make_gateway();
+  auto gw2 = make_gateway();
+  DiagnosisService diagnosis{*cluster.membership(0)};
+  diagnosis.watch(*gw1);
+  diagnosis.watch(*gw2);
+
+  const spec::MessageSpec& ms = *gw1->link_a().spec().message("msgA");
+  for (auto* gw : {gw1.get(), gw2.get()}) {
+    gw->on_input(0, make_state_instance(ms, 1, at(0)), at(0));
+    gw->on_input(0, make_state_instance(ms, 2, at(1)), at(1));
+  }
+  const ClusterHealth health = diagnosis.report();
+  // Same DAS name through both gateways: deduplicated.
+  EXPECT_EQ(health.misbehaving_dases.size(), 1u);
+  EXPECT_EQ(health.contained_messages, 2u);
+}
+
+}  // namespace
+}  // namespace decos::core

@@ -1,0 +1,163 @@
+// Gateway edge cases: field mismatches between the two links, health
+// diagnostics, rename lookups, trace records and emission accounting.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+spec::PortSpec et_in(const std::string& msg, Duration tmin = Duration::zero(),
+                     Duration tmax = Duration::max()) {
+  spec::PortSpec ps;
+  ps.message = msg;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.min_interarrival = tmin;
+  ps.max_interarrival = tmax;
+  ps.queue_capacity = 16;
+  return ps;
+}
+
+spec::PortSpec et_out(const std::string& msg) {
+  spec::PortSpec ps = et_in(msg);
+  ps.direction = spec::DataDirection::kOutput;
+  return ps;
+}
+
+TEST(GatewayEdgeCasesTest, FieldMismatchAcrossLinksCountsConstructionFailed) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "payload", 1));  // fields: value, t
+  link_a.add_port(et_in("msgA"));
+
+  // Link B expects a field the repository never receives.
+  spec::LinkSpec link_b{"dasB"};
+  spec::MessageSpec out{"msgB"};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{2}});
+  out.add_element(std::move(key));
+  spec::ElementSpec payload;
+  payload.name = "payload";
+  payload.convertible = true;
+  payload.fields.push_back(
+      spec::FieldSpec{"different_field", spec::FieldType::kInt32, 0, std::nullopt});
+  out.add_element(std::move(payload));
+  link_b.add_message(std::move(out));
+  link_b.add_port(et_out("msgB"));
+
+  VirtualGateway gw{"g", std::move(link_a), std::move(link_b)};
+  gw.finalize();
+  gw.on_input(0, make_state_instance(*gw.link_a().spec().message("msgA"), 1, at(0)), at(0));
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+  EXPECT_GE(gw.stats().construction_failed, 1u);
+  EXPECT_GT(gw.trace().count(sim::TraceKind::kGatewayBlocked), 0u);
+}
+
+TEST(GatewayEdgeCasesTest, LinkHealthReflectsAutomatonState) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "payload", 1));
+  link_a.add_port(et_in("msgA", 4_ms, 100_ms));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "payload", 2));
+  link_b.add_port(et_out("msgB"));
+
+  VirtualGateway gw{"g", std::move(link_a), std::move(link_b)};
+  gw.finalize();
+  EXPECT_EQ(gw.link_health(0), VirtualGateway::LinkHealth::kHealthy);
+  EXPECT_EQ(gw.link_health(1), VirtualGateway::LinkHealth::kHealthy);
+
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+  gw.on_input(0, make_state_instance(ms, 1, at(0)), at(0));
+  gw.on_input(0, make_state_instance(ms, 2, at(1)), at(1));  // tmin violation
+  EXPECT_EQ(gw.link_health(0), VirtualGateway::LinkHealth::kError);
+  EXPECT_EQ(gw.link_health(1), VirtualGateway::LinkHealth::kHealthy);
+  const auto failed = gw.failed_automata(0);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], "auto_recv_msgA");
+}
+
+TEST(GatewayEdgeCasesTest, RenameLookupsAreBidirectional) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "sensor", 1));
+  link_a.add_port(et_in("msgA"));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "sensor", 2));
+  link_b.add_port(et_out("msgB"));
+  VirtualGateway gw{"g", std::move(link_a), std::move(link_b)};
+  gw.link_a().add_rename("sensor", "oil.temp");
+  EXPECT_EQ(gw.link_a().repo_name("sensor"), "oil.temp");
+  EXPECT_EQ(gw.link_a().link_name("oil.temp"), "sensor");
+  // Unmapped names pass through unchanged.
+  EXPECT_EQ(gw.link_a().repo_name("other"), "other");
+  EXPECT_EQ(gw.link_b().repo_name("sensor"), "sensor");
+}
+
+TEST(GatewayEdgeCasesTest, TraceRecordsForwardAndBlock) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "payload", 1));
+  link_a.add_port(et_in("msgA", 4_ms, 100_ms));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "payload", 2));
+  link_b.add_port(et_out("msgB"));
+  VirtualGateway gw{"g", std::move(link_a), std::move(link_b)};
+  gw.finalize();
+
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+  gw.on_input(0, make_state_instance(ms, 1, at(0)), at(0));
+  gw.on_input(0, make_state_instance(ms, 2, at(1)), at(1));  // violation
+  EXPECT_EQ(gw.trace().count(sim::TraceKind::kGatewayForwarded, "msgB"), 1u);
+  EXPECT_EQ(gw.trace().count(sim::TraceKind::kGatewayBlocked, "msgA"), 1u);
+  EXPECT_EQ(gw.trace().count(sim::TraceKind::kAutomatonError), 1u);
+}
+
+TEST(GatewayEdgeCasesTest, SetElementConfigAfterFinalizeThrows) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "payload", 1));
+  link_a.add_port(et_in("msgA"));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "payload", 2));
+  link_b.add_port(et_out("msgB"));
+  VirtualGateway gw{"g", std::move(link_a), std::move(link_b)};
+  gw.finalize();
+  EXPECT_THROW(gw.set_element_config("payload", spec::InfoSemantics::kState, 10_ms), SpecError);
+}
+
+TEST(GatewayEdgeCasesTest, MessageWithoutConvertibleElementsForwardsNothing) {
+  spec::LinkSpec link_a{"dasA"};
+  spec::MessageSpec opaque{"msgO"};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{9}});
+  opaque.add_element(std::move(key));
+  spec::ElementSpec local;
+  local.name = "local_only";  // not convertible
+  local.fields.push_back(spec::FieldSpec{"x", spec::FieldType::kInt32, 0, std::nullopt});
+  opaque.add_element(std::move(local));
+  link_a.add_message(std::move(opaque));
+  link_a.add_port(et_in("msgO"));
+
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "payload", 2));
+  link_b.add_port(et_out("msgB"));
+
+  VirtualGateway gw{"g", std::move(link_a), std::move(link_b)};
+  gw.finalize();
+  gw.on_input(0, spec::make_instance(*gw.link_a().spec().message("msgO")), at(0));
+  EXPECT_EQ(gw.stats().messages_admitted, 1u);
+  EXPECT_EQ(gw.stats().elements_stored, 0u);  // nothing convertible
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+}
+
+}  // namespace
+}  // namespace decos::core

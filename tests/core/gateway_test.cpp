@@ -1,0 +1,366 @@
+#include "core/virtual_gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+spec::PortSpec tt_input(const std::string& message, Duration period) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.period = period;
+  // Wide explicit interarrival bounds: these tests exercise the
+  // repository/accuracy machinery, not the temporal automata (which have
+  // their own suite below), so keep the synthesized automaton permissive.
+  ps.min_interarrival = Duration::nanoseconds(1);
+  ps.max_interarrival = Duration::seconds(3600);
+  return ps;
+}
+
+spec::PortSpec tt_output(const std::string& message, Duration period) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.period = period;
+  return ps;
+}
+
+spec::PortSpec et_input(const std::string& message, Duration tmin, Duration tmax,
+                        std::size_t queue = 16) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.min_interarrival = tmin;
+  ps.max_interarrival = tmax;
+  ps.queue_capacity = queue;
+  return ps;
+}
+
+spec::PortSpec et_output(const std::string& message, std::size_t queue = 16) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.queue_capacity = queue;
+  return ps;
+}
+
+/// Wheel-speed sharing: powertrain DAS produces msgwheel; the comfort
+/// DAS consumes it as msgnav (same element name on both sides).
+spec::LinkSpec wheel_link_a() {
+  spec::LinkSpec ls{"powertrain"};
+  ls.add_message(state_message("msgwheel", "wheelspeed", 100));
+  ls.add_port(tt_input("msgwheel", 10_ms));
+  return ls;
+}
+
+spec::LinkSpec wheel_link_b(Duration out_period = 20_ms) {
+  spec::LinkSpec ls{"comfort"};
+  ls.add_message(state_message("msgnav", "wheelspeed", 200));
+  ls.add_port(tt_output("msgnav", out_period));
+  return ls;
+}
+
+spec::MessageInstance wheel_instance(const spec::LinkSpec& link, int v, Instant t) {
+  return make_state_instance(*link.message("msgwheel"), v, t);
+}
+
+TEST(GatewayTest, FinalizeBuildsPortsAndRepository) {
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b()};
+  gw.finalize();
+  EXPECT_TRUE(gw.finalized());
+  EXPECT_NE(gw.link_a().port("msgwheel"), nullptr);
+  EXPECT_NE(gw.link_b().port("msgnav"), nullptr);
+  EXPECT_TRUE(gw.repository().is_declared("wheelspeed"));
+  EXPECT_NE(gw.link_a().recv_interpreter("msgwheel"), nullptr);
+  EXPECT_NE(gw.link_b().send_interpreter("msgnav"), nullptr);
+  EXPECT_THROW(gw.finalize(), SpecError);  // double finalize
+}
+
+TEST(GatewayTest, UseBeforeFinalizeThrows) {
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b()};
+  EXPECT_THROW(gw.dispatch(at(0)), SpecError);
+  EXPECT_THROW(gw.on_input(0, spec::MessageInstance{"x"}, at(0)), SpecError);
+}
+
+TEST(GatewayTest, ForwardsStateAcrossLinks) {
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b()};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 42, at(0)), at(0));
+  EXPECT_EQ(gw.stats().messages_in, 1u);
+  EXPECT_EQ(gw.stats().messages_admitted, 1u);
+  EXPECT_EQ(gw.stats().elements_stored, 1u);
+
+  gw.dispatch(at(1));
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+  vn::Port* out = gw.link_b().port("msgnav");
+  ASSERT_TRUE(out->has_data());
+  const auto inst = out->read();
+  EXPECT_EQ(inst->message(), "msgnav");
+  EXPECT_EQ(inst->element("wheelspeed")->fields[0].as_int(), 42);
+}
+
+TEST(GatewayTest, PushInputPortFeedsGateway) {
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b()};
+  gw.finalize();
+  // Depositing into the link's input port (as the VN would) triggers
+  // on_input through the push notification.
+  gw.link_a().port("msgwheel")->deposit(wheel_instance(gw.link_a().spec(), 7, at(0)), at(0));
+  EXPECT_EQ(gw.stats().messages_in, 1u);
+  gw.dispatch(at(1));
+  EXPECT_TRUE(gw.link_b().port("msgnav")->has_data());
+}
+
+TEST(GatewayTest, TtOutputPacedByPeriod) {
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b(20_ms)};
+  gw.finalize();
+  // Fresh input every 5ms; output is a 20ms TT port.
+  for (int i = 0; i < 8; ++i) gw.on_input(0, wheel_instance(gw.link_a().spec(), i, at(i * 5)), at(i * 5));
+  for (int ms = 0; ms <= 40; ++ms) gw.dispatch(at(ms));
+  // Emissions at ~0, 20, 40ms.
+  EXPECT_EQ(gw.stats().messages_constructed, 3u);
+}
+
+TEST(GatewayTest, StaleStateNotForwarded) {
+  GatewayConfig config;
+  config.default_d_acc = 30_ms;
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b(), config};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 1, at(0)), at(0));
+  gw.dispatch(at(50));  // image expired at t=30
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+  EXPECT_GT(gw.stats().construction_held, 0u);
+  // The missing element was requested (b_req set).
+  EXPECT_TRUE(gw.repository().requested("wheelspeed"));
+  // Fresh input satisfies the request and the next dispatch forwards.
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 2, at(55)), at(55));
+  EXPECT_FALSE(gw.repository().requested("wheelspeed"));
+  gw.dispatch(at(56));
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+}
+
+TEST(GatewayTest, AccuracyAblationForwardsStaleImages) {
+  GatewayConfig config;
+  config.default_d_acc = 30_ms;
+  config.accuracy_check_at_store = true;  // ablation: no construction check
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b(), config};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 1, at(0)), at(0));
+  gw.dispatch(at(50));
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);  // stale forward
+}
+
+TEST(GatewayTest, HorizonMatchesEq2) {
+  GatewayConfig config;
+  config.default_d_acc = 40_ms;
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b(), config};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 1, at(10)), at(10));
+  EXPECT_EQ(gw.horizon(1, "msgnav", at(20)), 30_ms);
+  EXPECT_LT(gw.horizon(1, "msgnav", at(60)), 0_ns);
+  EXPECT_THROW(gw.horizon(1, "ghost", at(0)), SpecError);
+}
+
+TEST(GatewayTest, UnknownMessageBlocked) {
+  VirtualGateway gw{"wheel", wheel_link_a(), wheel_link_b()};
+  gw.finalize();
+  gw.on_input(0, spec::MessageInstance{"mystery"}, at(0));
+  EXPECT_EQ(gw.stats().blocked_unknown, 1u);
+  EXPECT_EQ(gw.stats().messages_admitted, 0u);
+}
+
+// --- temporal filtering / error containment --------------------------------
+
+spec::LinkSpec et_wheel_link_a() {
+  spec::LinkSpec ls{"powertrain"};
+  ls.add_message(state_message("msgwheel", "wheelspeed", 100));
+  ls.add_port(et_input("msgwheel", 4_ms, 100_ms));
+  return ls;
+}
+
+TEST(GatewayTest, EarlyMessageBlockedAndAutomatonErrors) {
+  VirtualGateway gw{"wheel", et_wheel_link_a(), wheel_link_b()};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 1, at(0)), at(0));
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 2, at(1)), at(1));  // 1ms < tmin
+  EXPECT_EQ(gw.stats().messages_admitted, 1u);
+  EXPECT_EQ(gw.stats().blocked_temporal, 1u);
+  EXPECT_EQ(gw.stats().automaton_errors, 1u);
+  // Without restart the automaton stays in error; further traffic blocked.
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 3, at(20)), at(20));
+  EXPECT_EQ(gw.stats().blocked_temporal, 2u);
+}
+
+TEST(GatewayTest, AutoRestartAfterDelay) {
+  GatewayConfig config;
+  config.restart_delay = 50_ms;
+  VirtualGateway gw{"wheel", et_wheel_link_a(), wheel_link_b(), config};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 1, at(0)), at(0));
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 2, at(1)), at(1));  // violation
+  EXPECT_EQ(gw.stats().automaton_errors, 1u);
+  gw.dispatch(at(10));  // too early for restart
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 3, at(11)), at(11));
+  EXPECT_EQ(gw.stats().blocked_temporal, 2u);
+  gw.dispatch(at(60));  // restart due
+  EXPECT_EQ(gw.stats().restarts, 1u);
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 4, at(61)), at(61));
+  EXPECT_EQ(gw.stats().messages_admitted, 2u);
+}
+
+TEST(GatewayTest, SilenceTimeoutDetectedByDispatchPoll) {
+  VirtualGateway gw{"wheel", et_wheel_link_a(), wheel_link_b()};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 1, at(0)), at(0));
+  gw.dispatch(at(50));
+  EXPECT_EQ(gw.stats().automaton_errors, 0u);
+  gw.dispatch(at(150));  // tmax = 100ms exceeded
+  EXPECT_EQ(gw.stats().automaton_errors, 1u);
+}
+
+TEST(GatewayTest, FilteringDisabledForwardsViolations) {
+  GatewayConfig config;
+  config.temporal_filtering = false;  // ablation E1
+  VirtualGateway gw{"wheel", et_wheel_link_a(), wheel_link_b(), config};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 1, at(0)), at(0));
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 2, at(1)), at(1));  // early, but admitted
+  EXPECT_EQ(gw.stats().messages_admitted, 2u);
+  EXPECT_EQ(gw.stats().blocked_temporal, 0u);
+}
+
+// --- naming -----------------------------------------------------------------
+
+TEST(GatewayTest, RenameResolvesIncoherentNaming) {
+  // The comfort DAS calls the same entity "speedinfo".
+  spec::LinkSpec link_b{"comfort"};
+  link_b.add_message(state_message("msgnav", "speedinfo", 200));
+  link_b.add_port(tt_output("msgnav", 10_ms));
+
+  VirtualGateway gw{"wheel", wheel_link_a(), std::move(link_b)};
+  gw.link_b().add_rename("speedinfo", "wheelspeed");
+  gw.finalize();
+
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 55, at(0)), at(0));
+  gw.dispatch(at(1));
+  ASSERT_TRUE(gw.link_b().port("msgnav")->has_data());
+  EXPECT_EQ(gw.link_b().port("msgnav")->read()->element("speedinfo")->fields[0].as_int(), 55);
+  // Only one repository entry: both link names map onto it.
+  EXPECT_EQ(gw.repository().element_count(), 1u);
+}
+
+TEST(GatewayTest, SameNameDifferentEntitiesKeptApart) {
+  // Both DASes use element name "sensor" for different entities: keep
+  // them apart by mapping each side to its own repository name.
+  spec::LinkSpec a{"dasA"};
+  a.add_message(state_message("msgA", "sensor", 1));
+  a.add_port(tt_input("msgA", 10_ms));
+  spec::LinkSpec b{"dasB"};
+  b.add_message(state_message("msgB", "sensor", 2));
+  b.add_port(tt_input("msgB", 10_ms));
+
+  VirtualGateway gw{"g", std::move(a), std::move(b)};
+  gw.link_a().add_rename("sensor", "dasA.sensor");
+  gw.link_b().add_rename("sensor", "dasB.sensor");
+  gw.finalize();
+  EXPECT_TRUE(gw.repository().is_declared("dasA.sensor"));
+  EXPECT_TRUE(gw.repository().is_declared("dasB.sensor"));
+  EXPECT_FALSE(gw.repository().is_declared("sensor"));
+}
+
+// --- event-triggered outputs -------------------------------------------------
+
+TEST(GatewayTest, EtOutputEmitsImmediatelyOnInput) {
+  spec::LinkSpec link_b{"comfort"};
+  link_b.add_message(state_message("msgnav", "wheelspeed", 200));
+  link_b.add_port(et_output("msgnav"));
+
+  VirtualGateway gw{"wheel", wheel_link_a(), std::move(link_b)};
+  gw.finalize();
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 5, at(0)), at(0));
+  // No dispatch needed: the ET output fired during on_input.
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+  EXPECT_TRUE(gw.link_b().port("msgnav")->has_data());
+}
+
+TEST(GatewayTest, EmitterOverrideReceivesInstances) {
+  spec::LinkSpec link_b{"comfort"};
+  link_b.add_message(state_message("msgnav", "wheelspeed", 200));
+  link_b.add_port(et_output("msgnav"));
+
+  VirtualGateway gw{"wheel", wheel_link_a(), std::move(link_b)};
+  gw.finalize();
+  std::vector<int> emitted;
+  gw.link_b().set_emitter("msgnav", [&](const spec::MessageInstance& inst) {
+    emitted.push_back(static_cast<int>(inst.element("wheelspeed")->fields[0].as_int()));
+  });
+  gw.on_input(0, wheel_instance(gw.link_a().spec(), 11, at(0)), at(0));
+  ASSERT_EQ(emitted.size(), 1u);
+  EXPECT_EQ(emitted[0], 11);
+  // The default output port was bypassed.
+  EXPECT_FALSE(gw.link_b().port("msgnav")->has_data());
+}
+
+// --- event elements through the repository -----------------------------------
+
+TEST(GatewayTest, EventElementsForwardedExactlyOnce) {
+  spec::LinkSpec a{"dasA"};
+  a.add_message(state_message("msgE", "burst", 9));
+  {
+    spec::PortSpec ps = et_input("msgE", 0_ms, Duration::max());
+    a.add_port(ps);
+  }
+  spec::LinkSpec b{"dasB"};
+  b.add_message(state_message("msgF", "burst", 10));
+  b.add_port(et_output("msgF"));
+
+  VirtualGateway gw{"g", std::move(a), std::move(b)};
+  gw.set_element_config("burst", spec::InfoSemantics::kEvent, 50_ms, 8);
+  gw.finalize();
+
+  for (int i = 0; i < 3; ++i)
+    gw.on_input(0, make_state_instance(*gw.link_a().spec().message("msgE"), i, at(i * 10)),
+                at(i * 10));
+  // Each arrival triggered an immediate ET emission: exactly 3 out.
+  EXPECT_EQ(gw.stats().messages_constructed, 3u);
+  EXPECT_EQ(gw.repository().queue_depth("burst"), 0u);
+  // Values preserved in order.
+  vn::Port* out = gw.link_b().port("msgF");
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out->read()->element("burst")->fields[0].as_int(), i);
+}
+
+// --- pull inputs --------------------------------------------------------------
+
+TEST(GatewayTest, PullInputDrainedAtDispatch) {
+  spec::LinkSpec a{"dasA"};
+  a.add_message(state_message("msgwheel", "wheelspeed", 100));
+  {
+    spec::PortSpec ps = tt_input("msgwheel", 10_ms);
+    ps.interaction = spec::Interaction::kPull;
+    a.add_port(ps);
+  }
+  VirtualGateway gw{"g", std::move(a), wheel_link_b()};
+  gw.finalize();
+  gw.link_a().port("msgwheel")->deposit(wheel_instance(gw.link_a().spec(), 9, at(0)), at(0));
+  EXPECT_EQ(gw.stats().messages_in, 0u);  // pull: nothing yet
+  gw.dispatch(at(1));
+  EXPECT_EQ(gw.stats().messages_in, 1u);
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+}
+
+}  // namespace
+}  // namespace decos::core

@@ -1,0 +1,142 @@
+// Whole-gateway XML configuration: one artifact describes both links,
+// renames, repository meta data and tuning; parsing yields a finalized,
+// ready-to-wire gateway.
+#include "core/gateway_xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "../helpers.hpp"
+
+namespace decos::core {
+namespace {
+
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+constexpr const char* kGatewaySpec = R"(<?xml version="1.0"?>
+<gatewayspec name="wheel-share">
+  <config dispatch="2ms" restart="50ms" dacc="40ms" queue="8"/>
+  <linkspec>
+    <das>powertrain</das>
+    <message name="msgwheel">
+      <element name="name" key="yes"><field name="id">
+        <type length="16">integer</type><value>100</value></field></element>
+      <element name="wheelspeed" conv="yes">
+        <field name="value"><type length="32">integer</type></field>
+        <field name="t"><type>timestamp</type></field>
+      </element>
+    </message>
+    <port message="msgwheel" direction="input" semantics="state" paradigm="tt"
+          period="10ms" tmin="1us" tmax="3600s"/>
+  </linkspec>
+  <linkspec>
+    <das>comfort</das>
+    <message name="msgnav">
+      <element name="name" key="yes"><field name="id">
+        <type length="16">integer</type><value>200</value></field></element>
+      <element name="speedinfo" conv="yes">
+        <field name="value"><type length="32">integer</type></field>
+        <field name="t"><type>timestamp</type></field>
+      </element>
+    </message>
+    <port message="msgnav" direction="output" semantics="state" paradigm="et" queue="8"/>
+  </linkspec>
+  <rename side="1" from="speedinfo" to="wheelspeed"/>
+  <element name="wheelspeed" semantics="state" dacc="25ms"/>
+</gatewayspec>
+)";
+
+TEST(GatewayXmlTest, ParsesAndForwardsEndToEnd) {
+  auto gateway = parse_gateway_xml(kGatewaySpec);
+  ASSERT_TRUE(gateway.ok()) << gateway.error().to_string();
+  VirtualGateway& gw = *gateway.value();
+
+  EXPECT_EQ(gw.name(), "wheel-share");
+  EXPECT_TRUE(gw.finalized());
+  EXPECT_EQ(gw.config().dispatch_period, 2_ms);
+  EXPECT_EQ(gw.config().restart_delay, 50_ms);
+  EXPECT_EQ(gw.link_a().spec().das(), "powertrain");
+  EXPECT_EQ(gw.link_b().spec().das(), "comfort");
+  // The rename funnels both sides onto one repository element.
+  EXPECT_TRUE(gw.repository().is_declared("wheelspeed"));
+  EXPECT_FALSE(gw.repository().is_declared("speedinfo"));
+  // The per-element override beats the config default.
+  EXPECT_EQ(gw.repository().decl_of("wheelspeed").d_acc, 25_ms);
+
+  // Drive one value through.
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgwheel");
+  spec::MessageInstance inst = spec::make_instance(ms);
+  inst.element("wheelspeed")->fields[0] = ta::Value{314};
+  gw.on_input(0, inst, at(0));
+  ASSERT_TRUE(gw.link_b().port("msgnav")->has_data());
+  EXPECT_EQ(gw.link_b().port("msgnav")->read()->element("speedinfo")->fields[0].as_int(), 314);
+}
+
+TEST(GatewayXmlTest, StatsSummaryMentionsCounters) {
+  auto gateway = parse_gateway_xml(kGatewaySpec);
+  ASSERT_TRUE(gateway.ok());
+  const std::string summary = gateway.value()->stats().summary();
+  EXPECT_NE(summary.find("in=0"), std::string::npos);
+  EXPECT_NE(summary.find("forwarded=0"), std::string::npos);
+  EXPECT_NE(summary.find("restarts=0"), std::string::npos);
+}
+
+TEST(GatewayXmlTest, RejectsWrongRoot) {
+  EXPECT_FALSE(parse_gateway_xml("<linkspec/>").ok());
+}
+
+TEST(GatewayXmlTest, RejectsWrongLinkCount) {
+  EXPECT_FALSE(parse_gateway_xml("<gatewayspec><linkspec><das>x</das></linkspec></gatewayspec>").ok());
+}
+
+TEST(GatewayXmlTest, RejectsBadRename) {
+  const char* text = R"(<gatewayspec>
+    <linkspec><das>a</das></linkspec>
+    <linkspec><das>b</das></linkspec>
+    <rename side="7" from="x" to="y"/>
+  </gatewayspec>)";
+  EXPECT_FALSE(parse_gateway_xml(text).ok());
+  const char* text2 = R"(<gatewayspec>
+    <linkspec><das>a</das></linkspec>
+    <linkspec><das>b</das></linkspec>
+    <rename side="0" from="" to="y"/>
+  </gatewayspec>)";
+  EXPECT_FALSE(parse_gateway_xml(text2).ok());
+}
+
+TEST(GatewayXmlTest, RejectsBadElementSemantics) {
+  const char* text = R"(<gatewayspec>
+    <linkspec><das>a</das></linkspec>
+    <linkspec><das>b</das></linkspec>
+    <element name="x" semantics="quantum"/>
+  </gatewayspec>)";
+  EXPECT_FALSE(parse_gateway_xml(text).ok());
+}
+
+TEST(GatewayXmlTest, RejectsBadDuration) {
+  const char* text = R"(<gatewayspec>
+    <config dispatch="soon"/>
+    <linkspec><das>a</das></linkspec>
+    <linkspec><das>b</das></linkspec>
+  </gatewayspec>)";
+  EXPECT_FALSE(parse_gateway_xml(text).ok());
+}
+
+TEST(GatewayXmlTest, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/gatewayspec.xml";
+  {
+    std::ofstream out{path};
+    out << kGatewaySpec;
+  }
+  auto gateway = load_gateway_file(path);
+  ASSERT_TRUE(gateway.ok());
+  EXPECT_EQ(gateway.value()->name(), "wheel-share");
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_gateway_file("/nonexistent/path.xml").ok());
+}
+
+}  // namespace
+}  // namespace decos::core

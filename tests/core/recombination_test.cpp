@@ -1,0 +1,132 @@
+// Dissection and recombination (paper Section IV-A): "whenever the
+// virtual gateway is redirecting information from virtual network A to
+// virtual network B, the virtual gateway must first dissect the messages
+// received from virtual network A into convertible elements and
+// recombine these convertible elements into messages for virtual network
+// B. The virtual gateway buffers convertible elements, because ... the
+// necessary convertible elements for constructing a particular message
+// might arrive at different points in time."
+//
+// Here the outgoing fused message needs TWO elements carried by two
+// *different* incoming messages; the gateway must hold back until both
+// are available and temporally accurate.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+spec::LinkSpec two_source_link() {
+  spec::LinkSpec ls{"dasA"};
+  ls.add_message(state_message("msgSpeed", "speed", 1));
+  ls.add_message(state_message("msgYaw", "yaw", 2));
+  for (const char* msg : {"msgSpeed", "msgYaw"}) {
+    spec::PortSpec in;
+    in.message = msg;
+    in.direction = spec::DataDirection::kInput;
+    in.semantics = spec::InfoSemantics::kState;
+    in.period = 10_ms;
+    in.min_interarrival = 1_us;
+    in.max_interarrival = Duration::seconds(3600);
+    ls.add_port(in);
+  }
+  return ls;
+}
+
+spec::LinkSpec fused_link() {
+  spec::LinkSpec ls{"dasB"};
+  spec::MessageSpec ms{"msgMotion"};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{9}});
+  ms.add_element(std::move(key));
+  for (const char* element : {"speed", "yaw"}) {
+    spec::ElementSpec es;
+    es.name = element;
+    es.convertible = true;
+    es.fields.push_back(spec::FieldSpec{"value", spec::FieldType::kInt32, 0, std::nullopt});
+    es.fields.push_back(spec::FieldSpec{"t", spec::FieldType::kTimestamp, 0, std::nullopt});
+    ms.add_element(std::move(es));
+  }
+  ls.add_message(std::move(ms));
+  spec::PortSpec out;
+  out.message = "msgMotion";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = spec::InfoSemantics::kState;
+  out.paradigm = spec::ControlParadigm::kEventTriggered;
+  out.queue_capacity = 8;
+  ls.add_port(out);
+  return ls;
+}
+
+TEST(RecombinationTest, OutputHeldUntilAllElementsAvailable) {
+  GatewayConfig config;
+  config.default_d_acc = 100_ms;
+  VirtualGateway gw{"fuse", two_source_link(), fused_link(), config};
+  gw.finalize();
+
+  const spec::MessageSpec& speed_ms = *gw.link_a().spec().message("msgSpeed");
+  const spec::MessageSpec& yaw_ms = *gw.link_a().spec().message("msgYaw");
+
+  // Only speed present: construction must hold and request the yaw.
+  gw.on_input(0, make_state_instance(speed_ms, 50, at(0)), at(0));
+  gw.dispatch(at(1));
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+  EXPECT_TRUE(gw.repository().requested("yaw"));
+  EXPECT_FALSE(gw.repository().requested("speed"));
+
+  // Yaw arrives 7ms later: the recombined message fires (event-driven).
+  gw.on_input(0, make_state_instance(yaw_ms, -3, at(7)), at(7));
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+  const auto inst = gw.link_b().port("msgMotion")->read();
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(inst->element("speed")->fields[0].as_int(), 50);
+  EXPECT_EQ(inst->element("yaw")->fields[0].as_int(), -3);
+  // Element timestamps preserve each source's own observation instant.
+  EXPECT_EQ(inst->element("speed")->fields[1].as_instant(), at(0));
+  EXPECT_EQ(inst->element("yaw")->fields[1].as_instant(), at(7));
+}
+
+TEST(RecombinationTest, OneStaleElementBlocksTheWholeMessage) {
+  GatewayConfig config;
+  config.default_d_acc = 20_ms;
+  VirtualGateway gw{"fuse", two_source_link(), fused_link(), config};
+  gw.finalize();
+  const spec::MessageSpec& speed_ms = *gw.link_a().spec().message("msgSpeed");
+  const spec::MessageSpec& yaw_ms = *gw.link_a().spec().message("msgYaw");
+
+  gw.on_input(0, make_state_instance(speed_ms, 50, at(0)), at(0));
+  // Yaw arrives after the speed image expired (20ms): the pair is never
+  // simultaneously accurate, so nothing crosses.
+  gw.on_input(0, make_state_instance(yaw_ms, -3, at(30)), at(30));
+  gw.dispatch(at(31));
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+  // Refreshing the stale half completes the pair.
+  gw.on_input(0, make_state_instance(speed_ms, 51, at(35)), at(35));
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+}
+
+TEST(RecombinationTest, HorizonIsMinOverConstituents) {
+  GatewayConfig config;
+  config.default_d_acc = 50_ms;
+  VirtualGateway gw{"fuse", two_source_link(), fused_link(), config};
+  gw.finalize();
+  const spec::MessageSpec& speed_ms = *gw.link_a().spec().message("msgSpeed");
+  const spec::MessageSpec& yaw_ms = *gw.link_a().spec().message("msgYaw");
+  gw.on_input(0, make_state_instance(speed_ms, 1, at(0)), at(0));
+  gw.on_input(0, make_state_instance(yaw_ms, 2, at(20)), at(20));
+  // Eq. (2): min(0+50, 20+50) - 30 = 20ms.
+  EXPECT_EQ(gw.horizon(1, "msgMotion", at(30)), 20_ms);
+}
+
+}  // namespace
+}  // namespace decos::core

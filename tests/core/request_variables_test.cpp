@@ -1,0 +1,171 @@
+// Request variables b_req and the requ(m) guard function (paper Section
+// IV-A): "By setting the request variable, the gateway side sending
+// messages to an event-triggered virtual network can request convertible
+// element instances from the other virtual network. The gateway side
+// receiving messages from an event-triggered virtual network can
+// initiate receptions conditionally, based on the value of the request
+// variable."
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+spec::LinkSpec pull_input_link() {
+  spec::LinkSpec ls{"dasA"};
+  ls.add_message(state_message("msgA", "data", 1));
+  spec::PortSpec in;
+  in.message = "msgA";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = spec::InfoSemantics::kEvent;
+  in.paradigm = spec::ControlParadigm::kEventTriggered;
+  in.interaction = spec::Interaction::kPull;
+  in.queue_capacity = 16;
+  ls.add_port(in);
+  return ls;
+}
+
+spec::LinkSpec et_output_link() {
+  spec::LinkSpec ls{"dasB"};
+  ls.add_message(state_message("msgB", "data", 2));
+  spec::PortSpec out;
+  out.message = "msgB";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = spec::InfoSemantics::kEvent;
+  out.paradigm = spec::ControlParadigm::kEventTriggered;
+  out.queue_capacity = 16;
+  ls.add_port(out);
+  return ls;
+}
+
+TEST(RequestVariablesTest, PullOnlyOnRequestGatesTheDrain) {
+  GatewayConfig config;
+  config.pull_only_on_request = true;
+  VirtualGateway gw{"g", pull_input_link(), et_output_link(), config};
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+
+  // Instances sit in the pull port; nothing is requested yet.
+  gw.link_a().port("msgA")->deposit(make_state_instance(ms, 1, at(0)), at(0));
+  gw.dispatch(at(1));
+  EXPECT_EQ(gw.stats().messages_in, 0u);
+
+  // The ET output side cannot construct msgB -> it sets b_req for the
+  // missing element; that happened during the dispatch above.
+  EXPECT_TRUE(gw.repository().requested("data"));
+
+  // The next dispatch drains the pull port because the element is wanted;
+  // the store clears b_req, the instance is forwarded, and the (still
+  // hungry) event-triggered output immediately re-arms the request for
+  // the next instance -- the paper's standing-pull pattern.
+  gw.dispatch(at(2));
+  EXPECT_EQ(gw.stats().messages_in, 1u);
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+  EXPECT_TRUE(gw.repository().requested("data"));
+}
+
+TEST(RequestVariablesTest, WithoutTheFlagPullPortsDrainUnconditionally) {
+  VirtualGateway gw{"g", pull_input_link(), et_output_link()};
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+  gw.link_a().port("msgA")->deposit(make_state_instance(ms, 1, at(0)), at(0));
+  gw.dispatch(at(1));
+  EXPECT_EQ(gw.stats().messages_in, 1u);
+}
+
+TEST(RequestVariablesTest, RequFunctionVisibleInSendGuards) {
+  // A hand-written send automaton that only emits msgB when it has been
+  // requested -- the paper's conditional-interaction pattern.
+  spec::LinkSpec link_a = pull_input_link();
+  spec::LinkSpec link_b = et_output_link();
+  ta::AutomatonSpec automaton{"conditional_send"};
+  automaton.add_location("run");
+  ta::Edge edge;
+  edge.source = "run";
+  edge.target = "run";
+  edge.action = ta::ActionKind::kSend;
+  edge.message = "msgB";
+  edge.guard = ta::parse_expression("requ(\"msgB\")").value();
+  automaton.add_edge(std::move(edge));
+  link_b.add_automaton(std::move(automaton));
+
+  VirtualGateway gw{"g", std::move(link_a), std::move(link_b)};
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+
+  // Element available but not requested: the guard blocks the emission.
+  gw.on_input(0, make_state_instance(ms, 5, at(0)), at(0));
+  gw.dispatch(at(1));
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+
+  // Once a consumer flags the request, the send edge becomes enabled.
+  gw.repository().set_request("data");
+  gw.dispatch(at(2));
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+}
+
+TEST(RequestVariablesTest, HorizonFunctionVisibleInSendGuards) {
+  // Emit only while the outgoing image still has at least 10ms of
+  // temporal accuracy left (Eq. (2) used as an m! guard).
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "data", 1));
+  spec::PortSpec in;
+  in.message = "msgA";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = spec::InfoSemantics::kState;
+  in.period = 10_ms;
+  in.min_interarrival = 1_us;
+  in.max_interarrival = Duration::seconds(3600);
+  link_a.add_port(in);
+
+  // TT output whose temporal part is a hand-written automaton: emit only
+  // while the outgoing image has >= 10ms of accuracy left.
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "data", 2));
+  spec::PortSpec out;
+  out.message = "msgB";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = spec::InfoSemantics::kState;
+  out.paradigm = spec::ControlParadigm::kTimeTriggered;
+  out.period = 25_ms;
+  link_b.add_port(out);
+  ta::AutomatonSpec automaton{"fresh_send"};
+  automaton.add_location("run");
+  ta::Edge edge;
+  edge.source = "run";
+  edge.target = "run";
+  edge.action = ta::ActionKind::kSend;
+  edge.message = "msgB";
+  edge.guard = ta::parse_expression("horizon(\"msgB\") >= 10ms").value();
+  automaton.add_edge(std::move(edge));
+  link_b.add_automaton(std::move(automaton));
+
+  GatewayConfig config;
+  config.default_d_acc = 30_ms;
+  VirtualGateway gw{"g", std::move(link_a), std::move(link_b), config};
+  gw.set_element_config("data", spec::InfoSemantics::kState, 30_ms);
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+
+  // First image: at the dispatch instant the remaining horizon
+  // (30ms - 25ms = 5ms) is below the 10ms guard -- blocked, although the
+  // image is still temporally accurate.
+  gw.on_input(0, make_state_instance(ms, 5, at(0)), at(0));
+  gw.dispatch(at(25));
+  EXPECT_EQ(gw.stats().messages_constructed, 0u);
+  // A fresh image resets the horizon; the next dispatch emits.
+  gw.on_input(0, make_state_instance(ms, 6, at(30)), at(30));
+  gw.dispatch(at(35));
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+}
+
+}  // namespace
+}  // namespace decos::core

@@ -1,0 +1,158 @@
+// The reverse conversion direction (paper Section IV-B: "transform
+// convertible elements with event semantics into convertible elements
+// with state semantics and vice versa"): a state input is turned into an
+// event stream -- each fresh state image yields one event instance,
+// queued in the repository and consumed exactly once by the other side.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+/// Link A: state input "position" plus a transfer rule deriving the
+/// event element "positionevent" (a snapshot per update).
+spec::LinkSpec state_side() {
+  spec::LinkSpec ls{"dasA"};
+  ls.add_message(state_message("msgPos", "position", 1));
+  spec::PortSpec in;
+  in.message = "msgPos";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = spec::InfoSemantics::kState;
+  in.period = 10_ms;
+  in.min_interarrival = 1_us;
+  in.max_interarrival = Duration::seconds(3600);
+  ls.add_port(in);
+
+  spec::TransferRule rule;
+  rule.target = "positionevent";
+  rule.source = "position";
+  spec::TransferFieldRule snapshot;
+  snapshot.name = "snapshot";
+  snapshot.init = ta::Value{0};
+  snapshot.semantics = "event";
+  snapshot.update = ta::parse_expression("value").value();
+  rule.fields.push_back(std::move(snapshot));
+  spec::TransferFieldRule seen_at;
+  seen_at.name = "seen_at";
+  seen_at.init = ta::Value{0};
+  seen_at.semantics = "event";
+  seen_at.update = ta::parse_expression("t").value();
+  rule.fields.push_back(std::move(seen_at));
+  ls.add_transfer_rule(std::move(rule));
+  return ls;
+}
+
+/// Link B: event output carrying the derived element.
+spec::LinkSpec event_side() {
+  spec::LinkSpec ls{"dasB"};
+  spec::MessageSpec ms{"msgPosEvent"};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{2}});
+  ms.add_element(std::move(key));
+  spec::ElementSpec ev;
+  ev.name = "positionevent";
+  ev.convertible = true;
+  ev.fields.push_back(spec::FieldSpec{"snapshot", spec::FieldType::kInt32, 0, std::nullopt});
+  ev.fields.push_back(spec::FieldSpec{"seen_at", spec::FieldType::kTimestamp, 0, std::nullopt});
+  ms.add_element(std::move(ev));
+  ls.add_message(std::move(ms));
+  spec::PortSpec out;
+  out.message = "msgPosEvent";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = spec::InfoSemantics::kEvent;
+  out.paradigm = spec::ControlParadigm::kEventTriggered;
+  out.queue_capacity = 32;
+  ls.add_port(out);
+  return ls;
+}
+
+TEST(StateToEventTest, EachStateUpdateYieldsExactlyOneEvent) {
+  VirtualGateway gw{"s2e", state_side(), event_side()};
+  gw.finalize();
+  EXPECT_EQ(gw.repository().decl_of("positionevent").semantics, spec::InfoSemantics::kEvent);
+
+  std::vector<std::int64_t> snapshots;
+  gw.link_b().set_emitter("msgPosEvent", [&](const spec::MessageInstance& inst) {
+    snapshots.push_back(inst.element("positionevent")->fields[0].as_int());
+  });
+
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgPos");
+  for (int i = 0; i < 5; ++i)
+    gw.on_input(0, make_state_instance(ms, 100 + i, at(i * 10)), at(i * 10));
+
+  // One event per state update, in order, exactly once.
+  EXPECT_EQ(snapshots, (std::vector<std::int64_t>{100, 101, 102, 103, 104}));
+  EXPECT_EQ(gw.stats().conversions, 5u);
+  EXPECT_EQ(gw.repository().queue_depth("positionevent"), 0u);
+}
+
+TEST(StateToEventTest, EventTimestampCarriesSourceField) {
+  VirtualGateway gw{"s2e", state_side(), event_side()};
+  gw.finalize();
+  std::vector<Instant> seen;
+  gw.link_b().set_emitter("msgPosEvent", [&](const spec::MessageInstance& inst) {
+    seen.push_back(inst.element("positionevent")->fields[1].as_instant());
+  });
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgPos");
+  gw.on_input(0, make_state_instance(ms, 1, at(7)), at(7));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], at(7));
+}
+
+TEST(StateToEventTest, SlowerConsumerBuffersInRepositoryQueue) {
+  // TT output at 50ms vs state updates every 10ms: events accumulate in
+  // the repository queue and drain one per output period (exactly once).
+  spec::LinkSpec link_b{"dasB"};
+  spec::MessageSpec ms_out{"msgPosEvent"};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{2}});
+  ms_out.add_element(std::move(key));
+  spec::ElementSpec ev;
+  ev.name = "positionevent";
+  ev.convertible = true;
+  ev.fields.push_back(spec::FieldSpec{"snapshot", spec::FieldType::kInt32, 0, std::nullopt});
+  ev.fields.push_back(spec::FieldSpec{"seen_at", spec::FieldType::kTimestamp, 0, std::nullopt});
+  ms_out.add_element(std::move(ev));
+  link_b.add_message(std::move(ms_out));
+  spec::PortSpec out;
+  out.message = "msgPosEvent";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = spec::InfoSemantics::kEvent;
+  out.paradigm = spec::ControlParadigm::kTimeTriggered;
+  out.period = 50_ms;
+  out.queue_capacity = 32;
+  link_b.add_port(out);
+
+  GatewayConfig config;
+  config.default_queue_capacity = 32;
+  VirtualGateway gw{"s2e", state_side(), std::move(link_b), config};
+  gw.finalize();
+  std::vector<std::int64_t> snapshots;
+  gw.link_b().set_emitter("msgPosEvent", [&](const spec::MessageInstance& inst) {
+    snapshots.push_back(inst.element("positionevent")->fields[0].as_int());
+  });
+
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgPos");
+  for (int i = 0; i < 10; ++i)
+    gw.on_input(0, make_state_instance(ms, i, at(i * 10)), at(i * 10));
+  // Drive dispatches for 600ms: 10 events drain at >= 50ms spacing.
+  for (int ms_tick = 0; ms_tick <= 600; ms_tick += 10) gw.dispatch(at(ms_tick));
+
+  EXPECT_EQ(snapshots.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(snapshots[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace decos::core

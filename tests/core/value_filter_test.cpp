@@ -1,0 +1,138 @@
+// Value-domain filtering (paper Section III-B.1): "In the value domain,
+// the gateway checks message contents with user data and control
+// information."
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+#include "spec/linkspec_xml.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+spec::LinkSpec input_link(spec::LinkSpec base = spec::LinkSpec{"dasA"}) {
+  base.add_message(state_message("msgA", "payload", 1));
+  spec::PortSpec in;
+  in.message = "msgA";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = spec::InfoSemantics::kState;
+  in.period = 10_ms;
+  in.min_interarrival = 1_us;
+  in.max_interarrival = Duration::seconds(3600);
+  base.add_port(in);
+  return base;
+}
+
+spec::LinkSpec output_link() {
+  spec::LinkSpec ls{"dasB"};
+  ls.add_message(state_message("msgB", "payload", 2));
+  spec::PortSpec out;
+  out.message = "msgB";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = spec::InfoSemantics::kState;
+  out.paradigm = spec::ControlParadigm::kEventTriggered;
+  ls.add_port(out);
+  return ls;
+}
+
+TEST(ValueFilterTest, BlocksOutOfRangeValues) {
+  spec::LinkSpec link_a = input_link();
+  // Plausibility window for the payload value.
+  link_a.set_filter("msgA", ta::parse_expression("value >= 0 && value <= 100").value());
+
+  VirtualGateway gw{"g", std::move(link_a), output_link()};
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+
+  gw.on_input(0, make_state_instance(ms, 50, at(0)), at(0));
+  EXPECT_EQ(gw.stats().messages_admitted, 1u);
+  gw.on_input(0, make_state_instance(ms, 101, at(10)), at(10));
+  gw.on_input(0, make_state_instance(ms, -7, at(20)), at(20));
+  EXPECT_EQ(gw.stats().blocked_value, 2u);
+  EXPECT_EQ(gw.stats().messages_admitted, 1u);
+  // Only the plausible value crossed.
+  EXPECT_EQ(gw.stats().messages_constructed, 1u);
+}
+
+TEST(ValueFilterTest, FilterSeesLinkParameters) {
+  spec::LinkSpec link_a = input_link();
+  link_a.set_parameter("vmax", ta::Value{60});
+  link_a.set_filter("msgA", ta::parse_expression("value < vmax").value());
+
+  VirtualGateway gw{"g", std::move(link_a), output_link()};
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+  gw.on_input(0, make_state_instance(ms, 59, at(0)), at(0));
+  gw.on_input(0, make_state_instance(ms, 61, at(10)), at(10));
+  EXPECT_EQ(gw.stats().messages_admitted, 1u);
+  EXPECT_EQ(gw.stats().blocked_value, 1u);
+}
+
+TEST(ValueFilterTest, AbsBuiltinAvailable) {
+  spec::LinkSpec link_a = input_link();
+  link_a.set_filter("msgA", ta::parse_expression("abs(value) <= 10").value());
+  VirtualGateway gw{"g", std::move(link_a), output_link()};
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+  gw.on_input(0, make_state_instance(ms, -10, at(0)), at(0));
+  gw.on_input(0, make_state_instance(ms, -11, at(10)), at(10));
+  EXPECT_EQ(gw.stats().messages_admitted, 1u);
+  EXPECT_EQ(gw.stats().blocked_value, 1u);
+}
+
+TEST(ValueFilterTest, UnknownIdentifierIsConfigurationError) {
+  spec::LinkSpec link_a = input_link();
+  link_a.set_filter("msgA", ta::parse_expression("bogus > 1").value());
+  VirtualGateway gw{"g", std::move(link_a), output_link()};
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+  EXPECT_THROW(gw.on_input(0, make_state_instance(ms, 1, at(0)), at(0)), SpecError);
+}
+
+TEST(ValueFilterTest, ValidateRejectsFilterOnUnknownMessage) {
+  spec::LinkSpec link_a = input_link();
+  link_a.set_filter("ghost", ta::parse_expression("true").value());
+  EXPECT_FALSE(link_a.validate().ok());
+}
+
+TEST(ValueFilterTest, XmlRoundTrip) {
+  const char* xml = R"(<linkspec><das>d</das>
+    <param name="vmax" value="100"/>
+    <message name="m"><element name="n" key="yes"><field name="id">
+      <type length="8">integer</type><value>1</value></field></element>
+      <element name="v" conv="yes"><field name="value"><type length="32">integer</type></field></element>
+    </message>
+    <port message="m" direction="input" semantics="state" paradigm="tt" period="10ms"/>
+    <filter message="m">value &gt;= 0 &amp;&amp; value &lt;= vmax</filter>
+  </linkspec>)";
+  auto parsed = spec::parse_link_spec_xml(xml);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  ASSERT_NE(parsed.value().filter_for("m"), nullptr);
+
+  const std::string once = spec::write_link_spec_xml(parsed.value());
+  auto reparsed = spec::parse_link_spec_xml(once);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(once, spec::write_link_spec_xml(reparsed.value()));
+}
+
+TEST(ValueFilterTest, TimeAvailableInFilter) {
+  spec::LinkSpec link_a = input_link();
+  // Accept only instances whose embedded timestamp is at most 5ms old.
+  link_a.set_filter("msgA", ta::parse_expression("t_now - t <= 5ms").value());
+  VirtualGateway gw{"g", std::move(link_a), output_link()};
+  gw.finalize();
+  const spec::MessageSpec& ms = *gw.link_a().spec().message("msgA");
+  gw.on_input(0, make_state_instance(ms, 1, at(0)), at(3));    // 3ms old
+  gw.on_input(0, make_state_instance(ms, 2, at(10)), at(20));  // 10ms old
+  EXPECT_EQ(gw.stats().messages_admitted, 1u);
+  EXPECT_EQ(gw.stats().blocked_value, 1u);
+}
+
+}  // namespace
+}  // namespace decos::core

@@ -1,0 +1,103 @@
+#include "core/visible_gateway.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+spec::PortSpec event_in(const std::string& msg) {
+  spec::PortSpec ps;
+  ps.message = msg;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.queue_capacity = 16;
+  return ps;
+}
+
+spec::PortSpec event_out(const std::string& msg) {
+  spec::PortSpec ps = event_in(msg);
+  ps.direction = spec::DataDirection::kOutput;
+  return ps;
+}
+
+TEST(VisibleGatewayTest, SemanticTransformApplied) {
+  const spec::MessageSpec in_spec = state_message("msgMph", "speed", 1);
+  const spec::MessageSpec out_spec = state_message("msgKmh", "speed", 2);
+
+  // Semantic mismatch a generic service cannot know: mph -> km/h.
+  VisibleGatewayJob job{
+      "unit-adapter", "display", event_in("msgMph"), event_out("msgKmh"),
+      [&](const spec::MessageInstance& inst, Instant) -> std::optional<spec::MessageInstance> {
+        spec::MessageInstance out = spec::make_instance(out_spec);
+        const double mph = static_cast<double>(inst.element("speed")->fields[0].as_int());
+        out.element("speed")->fields[0] =
+            ta::Value{static_cast<std::int64_t>(mph * 1.609344)};
+        out.element("speed")->fields[1] = inst.element("speed")->fields[1];
+        return out;
+      }};
+
+  job.input().deposit(make_state_instance(in_spec, 100, at(0)), at(0));
+  job.step(at(1));
+  ASSERT_TRUE(job.output().has_data());
+  const auto out = job.output().read();
+  EXPECT_EQ(out->message(), "msgKmh");
+  EXPECT_EQ(out->element("speed")->fields[0].as_int(), 160);
+  EXPECT_EQ(job.forwarded(), 1u);
+}
+
+TEST(VisibleGatewayTest, DrainsWholeEventQueuePerActivation) {
+  const spec::MessageSpec ms = state_message("msgA", "v", 1);
+  VisibleGatewayJob job{
+      "copy", "dasB", event_in("msgA"), event_out("msgA"),
+      [](const spec::MessageInstance& inst, Instant) { return inst; }};
+  for (int i = 0; i < 5; ++i) job.input().deposit(make_state_instance(ms, i, at(i)), at(i));
+  job.step(at(10));
+  EXPECT_EQ(job.forwarded(), 5u);
+  EXPECT_EQ(job.output().queue_depth(), 5u);
+}
+
+TEST(VisibleGatewayTest, TransformCanDrop) {
+  const spec::MessageSpec ms = state_message("msgA", "v", 1);
+  VisibleGatewayJob job{
+      "filter", "dasB", event_in("msgA"), event_out("msgA"),
+      [](const spec::MessageInstance& inst,
+         Instant) -> std::optional<spec::MessageInstance> {
+        if (inst.element("v")->fields[0].as_int() < 0) return std::nullopt;
+        return inst;
+      }};
+  job.input().deposit(make_state_instance(ms, 5, at(0)), at(0));
+  job.input().deposit(make_state_instance(ms, -5, at(1)), at(1));
+  job.step(at(2));
+  EXPECT_EQ(job.forwarded(), 1u);
+  EXPECT_EQ(job.dropped(), 1u);
+}
+
+TEST(VisibleGatewayTest, StatePortForwardsFreshestOnce) {
+  const spec::MessageSpec ms = state_message("msgA", "v", 1);
+  spec::PortSpec in;
+  in.message = "msgA";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = spec::InfoSemantics::kState;
+  in.period = 10_ms;
+  spec::PortSpec out = in;
+  out.direction = spec::DataDirection::kOutput;
+  VisibleGatewayJob job{"state-copy", "dasB", in, out,
+                        [](const spec::MessageInstance& inst, Instant) { return inst; }};
+  job.input().deposit(make_state_instance(ms, 1, at(0)), at(0));
+  job.input().deposit(make_state_instance(ms, 2, at(1)), at(1));
+  job.step(at(2));
+  EXPECT_EQ(job.forwarded(), 1u);  // one per activation, freshest value
+  EXPECT_EQ(job.output().read()->element("v")->fields[0].as_int(), 2);
+}
+
+}  // namespace
+}  // namespace decos::core

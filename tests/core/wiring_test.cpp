@@ -1,0 +1,167 @@
+// Wiring a gateway into concrete virtual networks (core/wiring.hpp),
+// including the bidirectional case: a single virtual gateway carrying
+// traffic in both directions (paper Section III: "and vice versa in case
+// of a bidirectional gateway").
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+#include "core/wiring.hpp"
+#include "platform/cluster.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+namespace decos::core {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+spec::PortSpec in_port(const std::string& msg, spec::InfoSemantics sem,
+                       spec::ControlParadigm par, Duration period) {
+  spec::PortSpec ps;
+  ps.message = msg;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = sem;
+  ps.paradigm = par;
+  ps.period = period;
+  ps.min_interarrival = 1_us;
+  ps.max_interarrival = Duration::seconds(3600);
+  return ps;
+}
+
+spec::PortSpec out_port(const std::string& msg, spec::InfoSemantics sem,
+                        spec::ControlParadigm par, Duration period) {
+  spec::PortSpec ps;
+  ps.message = msg;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = sem;
+  ps.paradigm = par;
+  ps.period = period;
+  return ps;
+}
+
+struct WiringFixture : ::testing::Test {
+  WiringFixture() {
+    platform::ClusterConfig config;
+    config.nodes = 3;
+    config.allocations = {{1, "dasA", 32, {0, 2}}, {2, "dasB", 32, {1, 2}}};
+    cluster = std::make_unique<platform::Cluster>(config);
+    vn_a = std::make_unique<vn::TtVirtualNetwork>("vn-a", 1);
+    vn_b = std::make_unique<vn::EtVirtualNetwork>("vn-b", 2);
+  }
+
+  std::unique_ptr<platform::Cluster> cluster;
+  std::unique_ptr<vn::TtVirtualNetwork> vn_a;
+  std::unique_ptr<vn::EtVirtualNetwork> vn_b;
+};
+
+TEST_F(WiringFixture, BidirectionalGatewayCarriesBothDirections) {
+  // Link A: consumes msgX (from DAS A), produces msgYback (into DAS A).
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgX", "xdata", 1));
+  link_a.add_port(in_port("msgX", spec::InfoSemantics::kState,
+                          spec::ControlParadigm::kTimeTriggered, 10_ms));
+  link_a.add_message(state_message("msgYback", "ydata", 2));
+  link_a.add_port(out_port("msgYback", spec::InfoSemantics::kState,
+                           spec::ControlParadigm::kTimeTriggered, 10_ms));
+  // Link B: produces msgXfwd (into DAS B), consumes msgY (from DAS B).
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgXfwd", "xdata", 3));
+  link_b.add_port(out_port("msgXfwd", spec::InfoSemantics::kState,
+                           spec::ControlParadigm::kEventTriggered, Duration::zero()));
+  link_b.add_message(state_message("msgY", "ydata", 4));
+  link_b.add_port(in_port("msgY", spec::InfoSemantics::kState,
+                          spec::ControlParadigm::kEventTriggered, Duration::zero()));
+
+  VirtualGateway gateway{"bidi", std::move(link_a), std::move(link_b)};
+  gateway.finalize();
+  wire_tt_link(gateway, 0, *vn_a, cluster->controller(2),
+               {{"msgYback", cluster->vn_slots(1, 2)}});
+  wire_et_link(gateway, 1, *vn_b, cluster->controller(2), cluster->vn_slots(2, 2));
+
+  // DAS A producer (node 0) and consumer port (node 0).
+  vn::Port producer_a{out_port("msgX", spec::InfoSemantics::kState,
+                               spec::ControlParadigm::kTimeTriggered, 10_ms)};
+  vn_a->attach_sender(cluster->controller(0), producer_a, cluster->vn_slots(1, 0));
+  vn::Port consumer_a{in_port("msgYback", spec::InfoSemantics::kState,
+                              spec::ControlParadigm::kTimeTriggered, 10_ms)};
+  vn_a->attach_receiver(cluster->controller(0), consumer_a);
+
+  // DAS B producer (node 1) and consumer port (node 1).
+  vn::Port consumer_b{in_port("msgXfwd", spec::InfoSemantics::kEvent,
+                              spec::ControlParadigm::kEventTriggered, Duration::zero())};
+  vn_b->attach_receiver(cluster->controller(1), consumer_b);
+  vn_b->attach_node(cluster->controller(1), cluster->vn_slots(2, 1));
+
+  // Drive: A publishes 11, B publishes 22 (via ET send), gateway crosses both.
+  producer_a.deposit(make_state_instance(*vn_a->message_spec("msgX"), 11, Instant::origin()),
+                     Instant::origin());
+  cluster->simulator().schedule_at(Instant::origin() + 5_ms, [&] {
+    vn_b->send(cluster->controller(1),
+               make_state_instance(*vn_b->message_spec("msgY"), 22, cluster->simulator().now()));
+  });
+  // Dispatch the gateway from a partition.
+  cluster->component(2)
+      .add_partition("gw", "architecture", 0_ms, 1_ms)
+      .add_function_job("gwjob", [&gateway](platform::FunctionJob&, Instant now) {
+        gateway.dispatch(now);
+      });
+  cluster->start();
+  cluster->run_for(100_ms);
+
+  ASSERT_TRUE(consumer_b.has_data());
+  EXPECT_EQ(consumer_b.read()->element("xdata")->fields[0].as_int(), 11);
+  ASSERT_TRUE(consumer_a.has_data());
+  EXPECT_EQ(consumer_a.read()->element("ydata")->fields[0].as_int(), 22);
+}
+
+TEST_F(WiringFixture, WireTtWithoutSlotsForOutputThrows) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgOut", "d", 1));
+  link_a.add_port(out_port("msgOut", spec::InfoSemantics::kState,
+                           spec::ControlParadigm::kTimeTriggered, 10_ms));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgIn", "d", 2));
+  link_b.add_port(in_port("msgIn", spec::InfoSemantics::kState,
+                          spec::ControlParadigm::kEventTriggered, Duration::zero()));
+  VirtualGateway gateway{"g", std::move(link_a), std::move(link_b)};
+  EXPECT_THROW(wire_tt_link(gateway, 0, *vn_a, cluster->controller(2), {}), SpecError);
+}
+
+TEST_F(WiringFixture, WiringRegistersMessagesInVnNamespace) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgX", "d", 1));
+  link_a.add_port(in_port("msgX", spec::InfoSemantics::kState,
+                          spec::ControlParadigm::kTimeTriggered, 10_ms));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgXfwd", "d", 2));
+  link_b.add_port(out_port("msgXfwd", spec::InfoSemantics::kState,
+                           spec::ControlParadigm::kEventTriggered, Duration::zero()));
+  VirtualGateway gateway{"g", std::move(link_a), std::move(link_b)};
+  wire_tt_link(gateway, 0, *vn_a, cluster->controller(2), {});
+  wire_et_link(gateway, 1, *vn_b, cluster->controller(2), cluster->vn_slots(2, 2));
+  EXPECT_NE(vn_a->message_spec("msgX"), nullptr);
+  EXPECT_NE(vn_b->message_spec("msgXfwd"), nullptr);
+}
+
+TEST_F(WiringFixture, WiringImplicitlyFinalizes) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgX", "d", 1));
+  link_a.add_port(in_port("msgX", spec::InfoSemantics::kState,
+                          spec::ControlParadigm::kTimeTriggered, 10_ms));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgXfwd", "d", 2));
+  link_b.add_port(out_port("msgXfwd", spec::InfoSemantics::kState,
+                           spec::ControlParadigm::kEventTriggered, Duration::zero()));
+  VirtualGateway gateway{"g", std::move(link_a), std::move(link_b)};
+  EXPECT_FALSE(gateway.finalized());
+  wire_tt_link(gateway, 0, *vn_a, cluster->controller(2), {});
+  EXPECT_TRUE(gateway.finalized());
+}
+
+}  // namespace
+}  // namespace decos::core

@@ -1,0 +1,70 @@
+// Shared fixtures for the DECOS reproduction tests: canonical message
+// specs (including the paper's Fig. 6 sliding-roof example) and small
+// cluster builders.
+#pragma once
+
+#include <optional>
+
+#include "spec/link_spec.hpp"
+#include "spec/message.hpp"
+
+namespace decos::testing {
+
+/// The paper's Fig. 6 message: identification element (id 731),
+/// convertible event element, and a local-only element.
+inline spec::MessageSpec sliding_roof_spec() {
+  spec::MessageSpec ms{"msgslidingroof"};
+  spec::ElementSpec name;
+  name.name = "name";
+  name.key = true;
+  name.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{731}});
+  ms.add_element(std::move(name));
+
+  spec::ElementSpec movement;
+  movement.name = "movementevent";
+  movement.convertible = true;
+  movement.fields.push_back(
+      spec::FieldSpec{"valuechange", spec::FieldType::kInt16, 0, std::nullopt});
+  movement.fields.push_back(
+      spec::FieldSpec{"eventtime", spec::FieldType::kTimestamp, 0, std::nullopt});
+  ms.add_element(std::move(movement));
+
+  spec::ElementSpec closure;
+  closure.name = "fullclosure";
+  closure.fields.push_back(spec::FieldSpec{"trigger", spec::FieldType::kBoolean, 0, std::nullopt});
+  ms.add_element(std::move(closure));
+  return ms;
+}
+
+/// A one-element state message: `element_name` carrying a single int32
+/// `value` field plus a timestamp, identified by static key `id`.
+inline spec::MessageSpec state_message(const std::string& message_name,
+                                       const std::string& element_name, int id) {
+  spec::MessageSpec ms{message_name};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{id}});
+  ms.add_element(std::move(key));
+
+  spec::ElementSpec payload;
+  payload.name = element_name;
+  payload.convertible = true;
+  payload.fields.push_back(spec::FieldSpec{"value", spec::FieldType::kInt32, 0, std::nullopt});
+  payload.fields.push_back(spec::FieldSpec{"t", spec::FieldType::kTimestamp, 0, std::nullopt});
+  ms.add_element(std::move(payload));
+  return ms;
+}
+
+/// Build an instance of state_message() with the given value/time.
+inline spec::MessageInstance make_state_instance(const spec::MessageSpec& ms, std::int32_t value,
+                                                 Instant t) {
+  spec::MessageInstance inst = spec::make_instance(ms);
+  spec::ElementValue* ev = inst.element(ms.elements()[1].name);
+  ev->fields[0] = ta::Value{static_cast<std::int64_t>(value)};
+  ev->fields[1] = ta::Value{t};
+  inst.set_send_time(t);
+  return inst;
+}
+
+}  // namespace decos::testing

@@ -1,0 +1,142 @@
+// Degradation awareness: the consistent diagnosis services (membership
+// C4 + gateway automata) inform an application so it can switch to a
+// fallback when its cross-DAS import dies -- the integrated
+// architecture's answer to losing a shared resource.
+//
+// A navigation job consumes gateway-imported wheel speeds; when the
+// gateway's host drops out of the membership, the job degrades to its
+// (coarser) internal model instead of silently using stale data, and
+// re-upgrades when the host returns.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../helpers.hpp"
+#include "core/diagnosis.hpp"
+#include "core/gateway_job.hpp"
+#include "core/virtual_gateway.hpp"
+#include "core/wiring.hpp"
+#include "fault/plan.hpp"
+#include "platform/cluster.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+namespace decos {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+TEST(DegradationTest, AppSwitchesToFallbackWhenGatewayHostDies) {
+  platform::ClusterConfig config;
+  config.nodes = 3;  // 0: sensor DAS, 1: consumer DAS, 2: gateway host
+  config.allocations = {{1, "dasA", 32, {0}}, {2, "dasB", 32, {1, 2}}};
+  platform::Cluster cluster{config};
+
+  vn::TtVirtualNetwork vn_a{"vn-a", 1};
+  vn_a.register_message(state_message("msgA", "speed", 1));
+  vn::EtVirtualNetwork vn_b{"vn-b", 2};
+
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "speed", 1));
+  {
+    spec::PortSpec in;
+    in.message = "msgA";
+    in.direction = spec::DataDirection::kInput;
+    in.semantics = spec::InfoSemantics::kState;
+    in.period = 10_ms;
+    in.min_interarrival = 1_us;
+    in.max_interarrival = Duration::seconds(3600);
+    link_a.add_port(in);
+  }
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "speed", 2));
+  {
+    spec::PortSpec out;
+    out.message = "msgB";
+    out.direction = spec::DataDirection::kOutput;
+    out.semantics = spec::InfoSemantics::kState;
+    out.paradigm = spec::ControlParadigm::kEventTriggered;
+    out.queue_capacity = 8;
+    link_b.add_port(out);
+  }
+  core::VirtualGateway gateway{"import", std::move(link_a), std::move(link_b)};
+  gateway.finalize();
+  core::wire_tt_link(gateway, 0, vn_a, cluster.controller(2), {});
+  core::wire_et_link(gateway, 1, vn_b, cluster.controller(2), cluster.vn_slots(2, 2));
+  cluster.component(2)
+      .add_partition("gw", "architecture", 0_ms, 1_ms)
+      .add_job(std::make_unique<core::GatewayJob>(gateway));
+
+  // Producer on node 0.
+  platform::Partition& p0 = cluster.component(0).add_partition("p", "dasA", 1_ms, 1_ms);
+  platform::FunctionJob& producer =
+      p0.add_function_job("sensor", [&](platform::FunctionJob& self, Instant now) {
+        self.ports()[0]->deposit(
+            make_state_instance(*vn_a.message_spec("msgA"),
+                                static_cast<int>(self.activations()), now),
+            now);
+      });
+  {
+    spec::PortSpec out;
+    out.message = "msgA";
+    out.direction = spec::DataDirection::kOutput;
+    out.semantics = spec::InfoSemantics::kState;
+    out.period = 10_ms;
+    vn_a.attach_sender(cluster.controller(0), producer.add_port(out), cluster.vn_slots(1, 0));
+  }
+
+  // Diagnosis-aware consumer on node 1: uses the import while node 2 is
+  // a member; degrades to the fallback model otherwise.
+  core::DiagnosisService diagnosis{*cluster.membership(1)};
+  diagnosis.watch(gateway);
+  std::uint64_t cycles_on_import = 0;
+  std::uint64_t cycles_on_fallback = 0;
+  bool saw_degraded_report = false;
+  platform::Partition& p1 = cluster.component(1).add_partition("c", "dasB", 2_ms, 1_ms);
+  platform::FunctionJob& consumer =
+      p1.add_function_job("navigation", [&](platform::FunctionJob& self, Instant) {
+        while (self.ports()[0]->read()) {
+        }
+        const core::ClusterHealth health = diagnosis.report();
+        const bool gateway_alive =
+            std::find(health.failed_nodes.begin(), health.failed_nodes.end(), 2u) ==
+            health.failed_nodes.end();
+        if (gateway_alive) {
+          ++cycles_on_import;
+        } else {
+          ++cycles_on_fallback;
+          saw_degraded_report = !health.all_green();
+        }
+      });
+  {
+    spec::PortSpec in;
+    in.message = "msgB";
+    in.direction = spec::DataDirection::kInput;
+    in.semantics = spec::InfoSemantics::kEvent;
+    in.paradigm = spec::ControlParadigm::kEventTriggered;
+    in.queue_capacity = 32;
+    vn_b.attach_receiver(cluster.controller(1), consumer.add_port(in));
+  }
+
+  // Gateway host gone between 300ms and 600ms.
+  fault::FaultPlan plan{cluster.simulator()};
+  plan.crash(cluster.controller(2), Instant::origin() + 300_ms, 300_ms);
+
+  cluster.start();
+  cluster.run_for(1_s);
+
+  // ~100 cycles: import for ~70 of them, fallback for the ~30 where node
+  // 2 was out of the membership (detection lag of a round or two).
+  EXPECT_GT(cycles_on_import, 60u);
+  EXPECT_LT(cycles_on_import, 75u);
+  EXPECT_GT(cycles_on_fallback, 25u);
+  EXPECT_LT(cycles_on_fallback, 35u);
+  EXPECT_TRUE(saw_degraded_report);
+  // After recovery the import resumed: the gateway forwarded again.
+  EXPECT_GT(gateway.stats().messages_constructed, 60u);
+}
+
+}  // namespace
+}  // namespace decos

@@ -1,0 +1,233 @@
+// Full-stack integration: a three-node DECOS cluster with two DASes.
+//
+//   node 0: powertrain DAS -- wheel-speed sensor job on a TT virtual network
+//   node 1: comfort DAS    -- navigation display job on an ET virtual network
+//   node 2: architecture   -- hidden virtual gateway in its own partition
+//
+// plus clock synchronization and membership on every node. This is the
+// paper's ABS -> navigation sensor-sharing scenario end to end over the
+// simulated time-triggered backbone.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../helpers.hpp"
+#include "core/gateway_job.hpp"
+#include "fault/plan.hpp"
+#include "core/virtual_gateway.hpp"
+#include "core/wiring.hpp"
+#include "platform/component.hpp"
+#include "services/clock_sync.hpp"
+#include "services/membership.hpp"
+#include "vn/encapsulation.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+namespace decos {
+namespace {
+
+using namespace decos::literals;
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+
+constexpr tt::VnId kPowertrainVn = 1;
+constexpr tt::VnId kComfortVn = 2;
+
+struct EndToEndFixture : ::testing::Test {
+  EndToEndFixture() {
+    // Schedule: 3 core slots + TT VN slots (node 0) + ET VN slots (nodes 1, 2).
+    const std::vector<vn::VnAllocation> allocations = {
+        {kPowertrainVn, "powertrain", 32, {0}},
+        {kComfortVn, "comfort", 32, {1, 2, 2}},
+    };
+    auto schedule = vn::EncapsulationService::build_schedule(10_ms, 3, allocations);
+    bus = std::make_unique<tt::TtBus>(sim, std::move(schedule.value()));
+
+    const double drift[] = {40.0, -35.0, 10.0};
+    for (tt::NodeId i = 0; i < 3; ++i) {
+      controllers.push_back(
+          std::make_unique<tt::Controller>(sim, *bus, i, sim::DriftingClock{drift[i]}));
+      syncs.push_back(std::make_unique<services::ClockSync>(*controllers.back()));
+      memberships.push_back(std::make_unique<services::Membership>(
+          *controllers.back(), services::MembershipConfig{3, 1}));
+      components.push_back(std::make_unique<platform::Component>(sim, *controllers.back(), 10_ms));
+    }
+
+    encapsulation.register_vn(kPowertrainVn, "powertrain");
+    encapsulation.register_vn(kComfortVn, "comfort");
+
+    tt_vn = std::make_unique<vn::TtVirtualNetwork>("powertrain-vn", kPowertrainVn);
+    tt_vn->register_message(state_message("msgwheel", "wheelspeed", 100));
+    et_vn = std::make_unique<vn::EtVirtualNetwork>("comfort-vn", kComfortVn);
+
+    build_gateway();
+    wire_jobs();
+  }
+
+  void build_gateway() {
+    // Link A: TT side (powertrain), consumes msgwheel.
+    spec::LinkSpec link_a{"powertrain"};
+    link_a.add_message(state_message("msgwheel", "wheelspeed", 100));
+    {
+      spec::PortSpec in;
+      in.message = "msgwheel";
+      in.direction = spec::DataDirection::kInput;
+      in.semantics = spec::InfoSemantics::kState;
+      in.period = 10_ms;
+      link_a.add_port(in);
+    }
+    // Link B: ET side (comfort), produces msgnav.
+    spec::LinkSpec link_b{"comfort"};
+    link_b.add_message(state_message("msgnav", "wheelspeed", 200));
+    {
+      spec::PortSpec out;
+      out.message = "msgnav";
+      out.direction = spec::DataDirection::kOutput;
+      out.semantics = spec::InfoSemantics::kState;
+      out.paradigm = spec::ControlParadigm::kEventTriggered;
+      out.queue_capacity = 16;
+      link_b.add_port(out);
+    }
+    gateway = std::make_unique<core::VirtualGateway>("wheel-share", std::move(link_a),
+                                                     std::move(link_b));
+    gateway->finalize();
+
+    // Gateway hosted on node 2, wired to both VNs.
+    core::wire_tt_link(*gateway, 0, *tt_vn, *controllers[2], {});
+    core::wire_et_link(*gateway, 1, *et_vn, *controllers[2],
+                       vn_slots_of(kComfortVn, 2));
+
+    platform::Partition& partition =
+        components[2]->add_partition("gw", "architecture", 0_ms, 1_ms);
+    partition.add_job(std::make_unique<core::GatewayJob>(*gateway));
+  }
+
+  void wire_jobs() {
+    // Sensor job on node 0 (powertrain partition).
+    platform::Partition& p0 = components[0]->add_partition("pt", "powertrain", 1_ms, 1_ms);
+    ASSERT_TRUE(encapsulation.check_attach("powertrain", kPowertrainVn).ok());
+    platform::FunctionJob& sensor =
+        p0.add_function_job("wheel-sensor", [this](platform::FunctionJob& self, Instant now) {
+          auto inst = make_state_instance(*tt_vn->message_spec("msgwheel"),
+                                          static_cast<int>(100 + self.activations()), now);
+          self.ports()[0]->deposit(std::move(inst), now);
+        });
+    spec::PortSpec out;
+    out.message = "msgwheel";
+    out.direction = spec::DataDirection::kOutput;
+    out.semantics = spec::InfoSemantics::kState;
+    out.period = 10_ms;
+    vn::Port& sensor_port = sensor.add_port(out);
+    tt_vn->attach_sender(*controllers[0], sensor_port, vn_slots_of(kPowertrainVn, 0));
+
+    // Display job on node 1 (comfort partition).
+    platform::Partition& p1 = components[1]->add_partition("cf", "comfort", 2_ms, 1_ms);
+    ASSERT_TRUE(encapsulation.check_attach("comfort", kComfortVn).ok());
+    platform::FunctionJob& display =
+        p1.add_function_job("nav-display", [this](platform::FunctionJob& self, Instant) {
+          while (auto inst = self.ports()[0]->read()) {
+            received.push_back(static_cast<int>(inst->element("wheelspeed")->fields[0].as_int()));
+            latencies.push_back(sim.now() - inst->send_time());
+          }
+        });
+    spec::PortSpec in;
+    in.message = "msgnav";
+    in.direction = spec::DataDirection::kInput;
+    in.semantics = spec::InfoSemantics::kEvent;
+    in.paradigm = spec::ControlParadigm::kEventTriggered;
+    in.queue_capacity = 32;
+    vn::Port& display_port = display.add_port(in);
+    et_vn->attach_receiver(*controllers[1], display_port);
+  }
+
+  std::vector<std::size_t> vn_slots_of(tt::VnId vn, tt::NodeId node) const {
+    std::vector<std::size_t> out;
+    for (const std::size_t s : bus->schedule().slots_of_vn(vn))
+      if (bus->schedule().slot(s).owner == node) out.push_back(s);
+    return out;
+  }
+
+  void start_all() {
+    for (auto& c : controllers) c->start();
+    for (auto& c : components) c->start();
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<tt::TtBus> bus;
+  std::vector<std::unique_ptr<tt::Controller>> controllers;
+  std::vector<std::unique_ptr<services::ClockSync>> syncs;
+  std::vector<std::unique_ptr<services::Membership>> memberships;
+  std::vector<std::unique_ptr<platform::Component>> components;
+  vn::EncapsulationService encapsulation;
+  std::unique_ptr<vn::TtVirtualNetwork> tt_vn;
+  std::unique_ptr<vn::EtVirtualNetwork> et_vn;
+  std::unique_ptr<core::VirtualGateway> gateway;
+  std::vector<int> received;
+  std::vector<Duration> latencies;
+};
+
+TEST_F(EndToEndFixture, SensorValuesCrossTheGateway) {
+  start_all();
+  sim.run_until(Instant::origin() + 500_ms);
+
+  // ~50 sensor activations, each eventually visible in the comfort DAS.
+  ASSERT_GT(received.size(), 30u);
+  // Values are the 100+activation ramp, strictly increasing, no
+  // duplicates (freshness gate) and none invented.
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    EXPECT_GT(received[i], received[i - 1]);
+    EXPECT_GE(received[i], 100);
+    EXPECT_LE(received[i], 160);
+  }
+  EXPECT_GT(gateway->stats().messages_admitted, 30u);
+  EXPECT_GT(gateway->stats().messages_constructed, 30u);
+  EXPECT_EQ(gateway->stats().blocked_temporal, 0u);
+}
+
+TEST_F(EndToEndFixture, EndToEndLatencyBounded) {
+  start_all();
+  sim.run_until(Instant::origin() + 500_ms);
+  ASSERT_FALSE(latencies.empty());
+  for (const Duration latency : latencies) {
+    EXPECT_GT(latency, 0_ns);
+    // Sensor slot -> gateway -> ET slot -> display activation: all within
+    // three 10ms rounds.
+    EXPECT_LT(latency, 30_ms);
+  }
+}
+
+TEST_F(EndToEndFixture, ServicesHoldTheClusterTogether) {
+  start_all();
+  sim.run_until(Instant::origin() + 500_ms);
+  // Clock sync kept every node's clock within the guardian window: no
+  // frame was ever blocked.
+  EXPECT_EQ(bus->frames_blocked(), 0u);
+  EXPECT_GT(syncs[0]->corrections(), 10u);
+  // Membership sees everyone.
+  for (const auto& m : memberships) EXPECT_EQ(m->member_count(), 3u);
+}
+
+TEST_F(EndToEndFixture, EncapsulationRejectsCrossDasAttach) {
+  // A comfort job trying to reach the powertrain VN is refused.
+  EXPECT_FALSE(encapsulation.check_attach("comfort", kPowertrainVn).ok());
+  EXPECT_EQ(encapsulation.violations(), 1u);
+}
+
+TEST_F(EndToEndFixture, GatewayCrashSilencesForwardingOnly) {
+  start_all();
+  fault::FaultPlan plan{sim};
+  plan.crash(*controllers[2], Instant::origin() + 200_ms);
+  sim.run_until(Instant::origin() + 500_ms);
+  const std::size_t delivered_before = received.size();
+  // Forwarding stopped mid-run: far fewer than the ~50 a full run yields.
+  EXPECT_LT(delivered_before, 30u);
+  EXPECT_GT(delivered_before, 10u);
+  // The powertrain DAS itself is unaffected: its sensor kept running.
+  EXPECT_EQ(bus->frames_blocked(), 0u);
+  // Membership on the surviving nodes diagnosed the gateway node.
+  EXPECT_FALSE(memberships[0]->is_member(2));
+  EXPECT_FALSE(memberships[1]->is_member(2));
+}
+
+}  // namespace
+}  // namespace decos

@@ -1,0 +1,86 @@
+#include "platform/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::platform {
+namespace {
+
+using namespace decos::literals;
+
+TEST(ClusterTest, BuildsAllParts) {
+  ClusterConfig config;
+  config.nodes = 4;
+  config.allocations = {{1, "dasA", 32, {0, 1}}};
+  config.drift_ppm = {10.0, -10.0};  // remaining nodes default to 0
+  Cluster cluster{config};
+
+  EXPECT_EQ(cluster.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(cluster.controller(i).id(), i);
+    EXPECT_NE(cluster.clock_sync(i), nullptr);
+    EXPECT_NE(cluster.membership(i), nullptr);
+  }
+  EXPECT_NEAR(cluster.controller(0).clock().drift_ppm(), 10.0, 1e-6);
+  EXPECT_NEAR(cluster.controller(2).clock().drift_ppm(), 0.0, 1e-6);
+  // Schedule: 4 core slots + 2 VN slots.
+  EXPECT_EQ(cluster.bus().schedule().slot_count(), 6u);
+  EXPECT_EQ(cluster.vn_slots(1, 0).size(), 1u);
+  EXPECT_EQ(cluster.vn_slots(1, 2).size(), 0u);
+}
+
+TEST(ClusterTest, ServicesOptional) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.enable_clock_sync = false;
+  config.enable_membership = false;
+  Cluster cluster{config};
+  EXPECT_EQ(cluster.clock_sync(0), nullptr);
+  EXPECT_EQ(cluster.membership(0), nullptr);
+}
+
+TEST(ClusterTest, EncapsulationRegistryPopulated) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.allocations = {{1, "dasA", 32, {0}}, {2, "dasB", 32, {1}}};
+  Cluster cluster{config};
+  EXPECT_TRUE(cluster.encapsulation().check_attach("dasA", 1).ok());
+  EXPECT_FALSE(cluster.encapsulation().check_attach("dasA", 2).ok());
+}
+
+TEST(ClusterTest, RunForAdvancesSimulatedTime) {
+  ClusterConfig config;
+  config.nodes = 2;
+  Cluster cluster{config};
+  cluster.start();
+  cluster.run_for(100_ms);
+  EXPECT_EQ(cluster.simulator().now(), Instant::origin() + 100_ms);
+  EXPECT_GT(cluster.bus().frames_delivered(), 0u);
+}
+
+TEST(ClusterTest, DoubleStartThrows) {
+  ClusterConfig config;
+  config.nodes = 2;
+  Cluster cluster{config};
+  cluster.start();
+  EXPECT_THROW(cluster.start(), SpecError);
+}
+
+TEST(ClusterTest, PrecisionReflectsSyncQuality) {
+  ClusterConfig config;
+  config.nodes = 3;
+  config.drift_ppm = {100.0, -100.0, 0.0};
+  Cluster cluster{config};
+  cluster.start();
+  cluster.run_for(1_s);
+  EXPECT_LT(cluster.precision().abs(), Duration::microseconds(20));
+}
+
+TEST(ClusterTest, BadAllocationThrows) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.allocations = {{1, "dasA", 32, {7}}};  // node 7 does not exist
+  EXPECT_THROW(Cluster{config}, SpecError);
+}
+
+}  // namespace
+}  // namespace decos::platform

@@ -1,0 +1,133 @@
+#include "platform/component.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tt/bus.hpp"
+
+namespace decos::platform {
+namespace {
+
+using namespace decos::literals;
+
+struct ComponentFixture : ::testing::Test {
+  ComponentFixture() : bus{sim, tt::make_uniform_schedule(10_ms, 1, 1, 16)} {
+    controller = std::make_unique<tt::Controller>(sim, bus, 0, sim::DriftingClock{});
+    component = std::make_unique<Component>(sim, *controller, 10_ms);
+  }
+
+  sim::Simulator sim;
+  tt::TtBus bus;
+  std::unique_ptr<tt::Controller> controller;
+  std::unique_ptr<Component> component;
+};
+
+TEST_F(ComponentFixture, JobsRunOncePerActivation) {
+  Partition& p = component->add_partition("p0", "powertrain", 0_ms, 2_ms);
+  int steps = 0;
+  FunctionJob& job = p.add_function_job("j", [&](FunctionJob&, Instant) { ++steps; });
+  job.set_execution_time(100_us);
+  component->start();
+  sim.run_until(Instant::origin() + 49_ms);
+  EXPECT_EQ(steps, 5);
+  EXPECT_EQ(job.activations(), 5u);
+  EXPECT_EQ(component->activations(), 5u);
+}
+
+TEST_F(ComponentFixture, JobsSeeLocalDispatchTime) {
+  Partition& p = component->add_partition("p0", "d", 2_ms, 3_ms);
+  std::vector<Instant> seen;
+  FunctionJob& first = p.add_function_job("a", [&](FunctionJob&, Instant now) { seen.push_back(now); });
+  first.set_execution_time(1_ms);
+  FunctionJob& second = p.add_function_job("b", [&](FunctionJob&, Instant now) { seen.push_back(now); });
+  second.set_execution_time(1_ms);
+  component->start();
+  sim.run_until(Instant::origin() + 9_ms);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], Instant::origin() + 2_ms);       // window start
+  EXPECT_EQ(seen[1], Instant::origin() + 3_ms);       // after job a's time
+}
+
+TEST_F(ComponentFixture, OverrunningJobSkippedNotSpilled) {
+  Partition& p = component->add_partition("p0", "d", 0_ms, 2_ms);
+  int a_steps = 0;
+  int b_steps = 0;
+  FunctionJob& a = p.add_function_job("a", [&](FunctionJob&, Instant) { ++a_steps; });
+  a.set_execution_time(1_ms);
+  FunctionJob& b = p.add_function_job("b", [&](FunctionJob&, Instant) { ++b_steps; });
+  b.set_execution_time(1500_us);  // no longer fits after a
+  // Demand 2.5ms > 2ms budget: validation must reject this configuration.
+  EXPECT_THROW(component->start(), SpecError);
+}
+
+TEST_F(ComponentFixture, DynamicOverrunCounted) {
+  Partition& p = component->add_partition("p0", "d", 0_ms, 2_ms);
+  FunctionJob& a = p.add_function_job("a", [&](FunctionJob&, Instant) {});
+  a.set_execution_time(1_ms);
+  FunctionJob& b = p.add_function_job("b", [&](FunctionJob&, Instant) {});
+  b.set_execution_time(500_us);
+  component->start();
+  // Inflate job a's execution time at runtime (a software fault): job b
+  // no longer fits and is skipped, but the partition window holds.
+  sim.schedule_at(Instant::origin() + 5_ms, [&] { a.set_execution_time(1900_us); });
+  sim.run_until(Instant::origin() + 39_ms);
+  EXPECT_EQ(a.activations(), 4u);
+  EXPECT_EQ(b.activations(), 1u);  // only the first cycle
+  EXPECT_EQ(p.overruns(), 3u);
+}
+
+TEST_F(ComponentFixture, PartitionWindowValidation) {
+  component->add_partition("p0", "d", 0_ms, 6_ms);
+  component->add_partition("p1", "e", 5_ms, 3_ms);  // overlaps p0
+  EXPECT_FALSE(component->validate().ok());
+
+  Component c2{sim, *controller, 10_ms};
+  c2.add_partition("late", "d", 9_ms, 5_ms);  // exceeds period
+  EXPECT_FALSE(c2.validate().ok());
+}
+
+TEST_F(ComponentFixture, DasMismatchRejected) {
+  Partition& p = component->add_partition("p0", "powertrain", 0_ms, 2_ms);
+  EXPECT_THROW(
+      p.add_job(std::make_unique<FunctionJob>("alien", "comfort",
+                                              [](FunctionJob&, Instant) {})),
+      SpecError);
+}
+
+TEST_F(ComponentFixture, TwoPartitionsDifferentDasesShareComponent) {
+  Partition& p0 = component->add_partition("p0", "powertrain", 0_ms, 3_ms);
+  Partition& p1 = component->add_partition("p1", "comfort", 5_ms, 3_ms);
+  int n0 = 0;
+  int n1 = 0;
+  p0.add_function_job("j0", [&](FunctionJob&, Instant) { ++n0; }).set_execution_time(10_us);
+  p1.add_function_job("j1", [&](FunctionJob&, Instant) { ++n1; }).set_execution_time(10_us);
+  component->start();
+  sim.run_until(Instant::origin() + 29_ms);
+  EXPECT_EQ(n0, 3);
+  EXPECT_EQ(n1, 3);
+}
+
+TEST_F(ComponentFixture, CrashedComponentRunsNoJobs) {
+  Partition& p = component->add_partition("p0", "d", 0_ms, 2_ms);
+  int steps = 0;
+  p.add_function_job("j", [&](FunctionJob&, Instant) { ++steps; }).set_execution_time(10_us);
+  component->start();
+  sim.schedule_at(Instant::origin() + 15_ms, [&] { controller->set_crashed(true); });
+  sim.run_until(Instant::origin() + 49_ms);
+  EXPECT_EQ(steps, 2);  // cycles 0 and 1 only
+}
+
+TEST_F(ComponentFixture, PortsOwnedByJobs) {
+  Partition& p = component->add_partition("p0", "d", 0_ms, 2_ms);
+  FunctionJob& job = p.add_function_job("j", [](FunctionJob&, Instant) {});
+  spec::PortSpec ps;
+  ps.message = "m";
+  ps.period = 10_ms;
+  vn::Port& port = job.add_port(ps);
+  EXPECT_EQ(job.ports().size(), 1u);
+  EXPECT_EQ(&*job.ports()[0], &port);
+}
+
+}  // namespace
+}  // namespace decos::platform

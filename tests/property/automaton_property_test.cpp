@@ -1,0 +1,72 @@
+// Property: the interarrival automaton flags a violation if and only if
+// the generated traffic actually violated the (tmin, tmax) specification
+// -- no false positives, no misses, over randomized workloads.
+#include <gtest/gtest.h>
+
+#include "fault/message_faults.hpp"
+#include "ta/interpreter.hpp"
+#include "util/rng.hpp"
+
+namespace decos::ta {
+namespace {
+
+using namespace decos::literals;
+
+struct AutomatonCase {
+  std::uint64_t seed;
+  double early_rate;
+  double omission_rate;
+};
+
+class InterarrivalProperty : public ::testing::TestWithParam<AutomatonCase> {};
+
+TEST_P(InterarrivalProperty, ErrorIffGroundTruthViolation) {
+  const auto [seed, early_rate, omission_rate] = GetParam();
+  const Duration tmin = 4_ms;
+  const Duration tmax = 100_ms;
+  const AutomatonSpec spec = make_interarrival_receive("r", "m", tmin, tmax);
+
+  fault::TimingFaultProfile profile;
+  profile.nominal_interarrival = 10_ms;
+  profile.jitter = 1_ms;
+  profile.early_rate = early_rate;
+  profile.omission_rate = omission_rate;
+  profile.early_gap = 500_us;
+
+  Rng rng{seed};
+  Interpreter interp{spec};
+  Instant now = Instant::origin();
+  interp.restart(now);
+  Instant last_arrival = now;
+  bool first = true;
+  bool violated = false;
+
+  for (int i = 0; i < 300 && !interp.in_error(); ++i) {
+    bool gap_is_fault = false;
+    const Duration gap = profile.next_gap(rng, gap_is_fault);
+    now += gap;
+    // Ground truth, judged exactly as the spec defines it.
+    if (!first && (gap < tmin || gap > tmax)) violated = true;
+    interp.poll(now);  // timeout detection happens as time passes
+    const FireResult result = interp.on_receive("m", now);
+    if (violated) {
+      EXPECT_EQ(result, FireResult::kError) << "at message " << i;
+    } else {
+      EXPECT_EQ(result, FireResult::kFired) << "at message " << i;
+      last_arrival = now;
+    }
+    first = false;
+  }
+  EXPECT_EQ(interp.in_error(), violated);
+  (void)last_arrival;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, InterarrivalProperty,
+    ::testing::Values(AutomatonCase{1, 0.0, 0.0}, AutomatonCase{2, 0.0, 0.0},
+                      AutomatonCase{3, 0.05, 0.0}, AutomatonCase{4, 0.0, 0.3},
+                      AutomatonCase{5, 0.02, 0.02}, AutomatonCase{6, 0.2, 0.0},
+                      AutomatonCase{7, 0.0, 0.9}, AutomatonCase{8, 0.5, 0.5}));
+
+}  // namespace
+}  // namespace decos::ta

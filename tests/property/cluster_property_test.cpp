@@ -1,0 +1,87 @@
+// Parameterized sweeps over cluster-level properties:
+//  * the encapsulation schedule builder always produces valid schedules
+//    whose per-VN bandwidth equals the request;
+//  * clock synchronization holds the precision bound across drift rates.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "services/clock_sync.hpp"
+#include "util/rng.hpp"
+#include "vn/encapsulation.hpp"
+
+namespace decos {
+namespace {
+
+using namespace decos::literals;
+
+class ScheduleBuilderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleBuilderProperty, RandomAllocationsAlwaysValid) {
+  Rng rng{GetParam()};
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const std::size_t cluster = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    const std::size_t vns = static_cast<std::size_t>(rng.uniform_int(0, 4));
+    std::vector<vn::VnAllocation> allocations;
+    for (std::size_t v = 0; v < vns; ++v) {
+      vn::VnAllocation a;
+      a.vn = static_cast<tt::VnId>(v + 1);
+      a.das = "das" + std::to_string(v);
+      a.payload_bytes = static_cast<std::size_t>(rng.uniform_int(4, 64));
+      const std::int64_t slots = rng.uniform_int(1, 5);
+      for (std::int64_t s = 0; s < slots; ++s)
+        a.sender_slots.push_back(
+            static_cast<tt::NodeId>(rng.uniform_int(0, static_cast<std::int64_t>(cluster) - 1)));
+      allocations.push_back(std::move(a));
+    }
+    auto schedule = vn::EncapsulationService::build_schedule(10_ms, cluster, allocations);
+    ASSERT_TRUE(schedule.ok()) << schedule.error().to_string();
+    ASSERT_TRUE(schedule.value().validate().ok());
+    for (const auto& a : allocations) {
+      EXPECT_EQ(schedule.value().bytes_per_round(a.vn),
+                a.payload_bytes * a.sender_slots.size());
+      EXPECT_EQ(schedule.value().slots_of_vn(a.vn).size(), a.sender_slots.size());
+    }
+    // Core slots always present, one per node.
+    EXPECT_EQ(schedule.value().slots_of_vn(tt::kCoreVn).size(), cluster);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleBuilderProperty, ::testing::Values(7, 13, 99));
+
+class ClockSyncSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockSyncSweep, PrecisionScalesWithDrift) {
+  const double drift_ppm = GetParam();
+  sim::Simulator sim;
+  tt::TtBus bus{sim, tt::make_uniform_schedule(10_ms, 4, 1, 16)};
+  std::vector<std::unique_ptr<tt::Controller>> controllers;
+  std::vector<std::unique_ptr<services::ClockSync>> syncs;
+  const double signs[] = {1.0, -1.0, 0.5, -0.5};
+  for (tt::NodeId i = 0; i < 4; ++i) {
+    controllers.push_back(std::make_unique<tt::Controller>(
+        sim, bus, i, sim::DriftingClock{drift_ppm * signs[i]}));
+    syncs.push_back(std::make_unique<services::ClockSync>(*controllers.back()));
+  }
+  for (auto& c : controllers) c->start();
+  sim.run_until(Instant::origin() + 1_s);
+
+  Duration lo = Duration::max();
+  Duration hi = -Duration::max();
+  for (const auto& c : controllers) {
+    const Duration offset = c->clock().read(sim.now()) - sim.now();
+    lo = std::min(lo, offset);
+    hi = std::max(hi, offset);
+  }
+  // Theory: precision ~ 2 * relative drift * resync interval + reading
+  // error. Allow 4x margin on the drift term plus a 2us floor.
+  const auto bound = Duration::nanoseconds(
+      static_cast<std::int64_t>(4 * 2 * drift_ppm * 1e-6 * 10e6) + 2000);
+  EXPECT_LT(hi - lo, bound) << "drift " << drift_ppm << " ppm";
+}
+
+INSTANTIATE_TEST_SUITE_P(DriftPpm, ClockSyncSweep,
+                         ::testing::Values(1.0, 10.0, 50.0, 100.0, 300.0));
+
+}  // namespace
+}  // namespace decos

@@ -1,0 +1,94 @@
+// Robustness of the whole-gateway configuration loader: mutations of a
+// valid <gatewayspec> must yield either a working gateway or a clean
+// Result error -- never a crash or an unvalidated gateway.
+#include <gtest/gtest.h>
+
+#include "core/gateway_xml.hpp"
+#include "util/rng.hpp"
+
+namespace decos::core {
+namespace {
+
+const char* kValid = R"(<?xml version="1.0"?>
+<gatewayspec name="g">
+  <config dispatch="1ms" restart="20ms" dacc="40ms" queue="8"/>
+  <linkspec>
+    <das>a</das>
+    <message name="m1">
+      <element name="name" key="yes"><field name="id">
+        <type length="16">integer</type><value>1</value></field></element>
+      <element name="e1" conv="yes">
+        <field name="v"><type length="32">integer</type></field>
+      </element>
+    </message>
+    <port message="m1" direction="input" semantics="event" paradigm="et"
+          tmin="4ms" tmax="100ms" queue="8"/>
+    <filter message="m1">v &gt;= 0</filter>
+  </linkspec>
+  <linkspec>
+    <das>b</das>
+    <message name="m2">
+      <element name="name" key="yes"><field name="id">
+        <type length="16">integer</type><value>2</value></field></element>
+      <element name="e2" conv="yes">
+        <field name="v"><type length="32">integer</type></field>
+      </element>
+    </message>
+    <port message="m2" direction="output" semantics="event" paradigm="et" queue="8"/>
+  </linkspec>
+  <rename side="1" from="e2" to="e1"/>
+  <element name="e1" semantics="event" queue="4"/>
+</gatewayspec>
+)";
+
+class GatewayXmlRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GatewayXmlRobustness, ValidSpecParses) {
+  auto gw = parse_gateway_xml(kValid);
+  ASSERT_TRUE(gw.ok()) << gw.error().to_string();
+  EXPECT_TRUE(gw.value()->finalized());
+}
+
+TEST_P(GatewayXmlRobustness, MutationsNeverCrash) {
+  const std::string base = kValid;
+  Rng rng{GetParam()};
+  int parsed_ok = 0;
+  for (int i = 0; i < 250; ++i) {
+    std::string mutated = base;
+    const int edits = static_cast<int>(rng.uniform_int(1, 6));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0: mutated[pos] = static_cast<char>(rng.uniform_int(32, 126)); break;
+        case 1: mutated.erase(pos, 1); break;
+        default: mutated.insert(pos, 1, mutated[pos]); break;
+      }
+    }
+    auto gw = parse_gateway_xml(mutated);
+    if (gw.ok()) {
+      ++parsed_ok;
+      // A surviving gateway must be fully usable.
+      EXPECT_TRUE(gw.value()->finalized());
+    }
+  }
+  // Sanity: some mutations must have been rejected (the format is not
+  // trivially accepting).
+  EXPECT_LT(parsed_ok, 250);
+}
+
+TEST_P(GatewayXmlRobustness, TruncationsNeverCrash) {
+  const std::string base = kValid;
+  Rng rng{GetParam() + 5};
+  for (int i = 0; i < 150; ++i) {
+    const auto cut =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(base.size())));
+    auto gw = parse_gateway_xml(base.substr(0, cut));
+    (void)gw;  // ok or clean error; never a crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GatewayXmlRobustness, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace decos::core

@@ -1,0 +1,106 @@
+// Robustness: arbitrary mutations (truncation, byte flips, deletions) of
+// a valid link-spec document must never crash or hang the parser -- they
+// either parse to a valid spec or return a Result error. A configuration
+// loader that aborts on malformed input would be a common-mode failure
+// of the architecture level.
+#include <gtest/gtest.h>
+
+#include "spec/linkspec_xml.hpp"
+#include "util/rng.hpp"
+#include "xml/xml.hpp"
+
+namespace decos {
+namespace {
+
+const char* kValid = R"(<?xml version="1.0"?>
+<linkspec>
+  <das>comfort</das>
+  <param name="tmin" value="4ms"/>
+  <message name="msgslidingroof">
+    <element name="name" key="yes" conv="no">
+      <field name="id"><type length="16">integer</type><value>731</value></field>
+    </element>
+    <element name="movementevent" key="no" conv="yes">
+      <field name="valuechange"><type length="16">integer</type></field>
+      <field name="eventtime"><type>timestamp</type></field>
+    </element>
+  </message>
+  <timedautomaton name="r">
+    <location name="wait"/><init name="wait"/>
+    <clock name="x"/>
+    <transition>
+      <source name="wait"/><target name="wait"/>
+      <label type="recv">msgslidingroof</label>
+      <label type="guard">x&gt;=tmin</label>
+      <label type="assignment">x:=0</label>
+    </transition>
+  </timedautomaton>
+  <port message="msgslidingroof" direction="input" semantics="event" paradigm="et" queue="8"/>
+  <filter message="msgslidingroof">valuechange &lt; 100</filter>
+</linkspec>
+)";
+
+class XmlRobustness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlRobustness, TruncationsNeverCrash) {
+  const std::string base = kValid;
+  Rng rng{GetParam()};
+  for (int i = 0; i < 200; ++i) {
+    const auto cut = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(base.size())));
+    const std::string truncated = base.substr(0, cut);
+    // Must return (ok or error), not crash/throw/hang.
+    auto doc = xml::parse(truncated);
+    auto spec = spec::parse_link_spec_xml(truncated);
+    (void)doc;
+    (void)spec;
+  }
+}
+
+TEST_P(XmlRobustness, ByteMutationsNeverCrash) {
+  const std::string base = kValid;
+  Rng rng{GetParam() + 7};
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = base;
+    const int edits = static_cast<int>(rng.uniform_int(1, 5));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.uniform_int(0, 2)) {
+        case 0:  // flip to a random printable byte
+          mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        default:  // duplicate a byte
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+    }
+    auto spec = spec::parse_link_spec_xml(mutated);
+    if (spec.ok()) {
+      // If the mutation survived parsing, the result must still be a
+      // structurally valid spec (parse_link_spec_xml validates).
+      EXPECT_TRUE(spec.value().validate().ok());
+    }
+  }
+}
+
+TEST_P(XmlRobustness, GarbageInputsNeverCrash) {
+  Rng rng{GetParam() + 99};
+  for (int i = 0; i < 200; ++i) {
+    std::string garbage;
+    const int len = static_cast<int>(rng.uniform_int(0, 300));
+    for (int c = 0; c < len; ++c)
+      garbage.push_back(static_cast<char>(rng.uniform_int(1, 255)));
+    EXPECT_NO_THROW({
+      auto doc = xml::parse(garbage);
+      (void)doc;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRobustness, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace decos

@@ -1,0 +1,129 @@
+#include "services/clock_sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace decos::services {
+namespace {
+
+using namespace decos::literals;
+
+/// A cluster of N drifting nodes, each running the clock-sync service.
+struct SyncCluster {
+  SyncCluster(std::size_t n, const std::vector<double>& drifts_ppm,
+              ClockSyncConfig config = {}) {
+    bus = std::make_unique<tt::TtBus>(sim, tt::make_uniform_schedule(10_ms, n, 1, 16));
+    for (std::size_t i = 0; i < n; ++i) {
+      controllers.push_back(
+          std::make_unique<tt::Controller>(sim, *bus, static_cast<tt::NodeId>(i),
+                                           sim::DriftingClock{drifts_ppm[i]}));
+      syncs.push_back(std::make_unique<ClockSync>(*controllers.back(), config));
+    }
+    for (auto& c : controllers) c->start();
+  }
+
+  /// Worst pairwise local-clock disagreement at true time `t` (the
+  /// cluster precision).
+  Duration precision(Instant t) const {
+    Duration lo = Duration::max();
+    Duration hi = -Duration::max();
+    for (const auto& c : controllers) {
+      const Duration offset = c->clock().read(t) - t;
+      lo = std::min(lo, offset);
+      hi = std::max(hi, offset);
+    }
+    return hi - lo;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<tt::TtBus> bus;
+  std::vector<std::unique_ptr<tt::Controller>> controllers;
+  std::vector<std::unique_ptr<ClockSync>> syncs;
+};
+
+TEST(ClockSyncTest, KeepsDriftingClustersWithinGuardianWindow) {
+  // 100 ppm of relative drift over a 10ms round is 1us/round; without
+  // sync the spread would grow ~100us/s. With per-round FTA resync the
+  // precision stays in the low microseconds.
+  SyncCluster cluster{4, {100.0, -100.0, 50.0, -50.0}};
+  cluster.sim.run_until(Instant::origin() + 2_s);
+  EXPECT_LT(cluster.precision(cluster.sim.now()).abs(), 20_us);
+  EXPECT_GT(cluster.syncs[0]->corrections(), 100u);
+}
+
+TEST(ClockSyncTest, WithoutSyncClocksDiverge) {
+  SyncCluster cluster{4, {100.0, -100.0, 50.0, -50.0}};
+  cluster.syncs.clear();  // detach: listeners were registered... rebuild instead
+  // Build a second cluster without sync services for comparison.
+  sim::Simulator sim;
+  tt::TtBus bus{sim, tt::make_uniform_schedule(10_ms, 4, 1, 16)};
+  std::vector<std::unique_ptr<tt::Controller>> cs;
+  const double drift[] = {100.0, -100.0, 50.0, -50.0};
+  for (std::size_t i = 0; i < 4; ++i)
+    cs.push_back(std::make_unique<tt::Controller>(sim, bus, static_cast<tt::NodeId>(i),
+                                                  sim::DriftingClock{drift[i]}));
+  // (no start: clocks free-run regardless)
+  sim.run_until(Instant::origin() + 2_s);
+  Duration lo = Duration::max();
+  Duration hi = -Duration::max();
+  for (const auto& c : cs) {
+    const Duration offset = c->clock().read(sim.now()) - sim.now();
+    lo = std::min(lo, offset);
+    hi = std::max(hi, offset);
+  }
+  EXPECT_GT(hi - lo, 300_us);  // 200 ppm relative * 2s = 400us
+}
+
+TEST(ClockSyncTest, ToleratesOneByzantineClock) {
+  // Node 3 has an absurd drift; with k=1 extreme-discarding the other
+  // three stay tight. (Its own guardian eventually silences it too.)
+  SyncCluster cluster{4, {20.0, -20.0, 0.0, 5000.0}};
+  cluster.sim.run_until(Instant::origin() + 2_s);
+  Duration lo = Duration::max();
+  Duration hi = -Duration::max();
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Duration offset =
+        cluster.controllers[i]->clock().read(cluster.sim.now()) - cluster.sim.now();
+    lo = std::min(lo, offset);
+    hi = std::max(hi, offset);
+  }
+  EXPECT_LT(hi - lo, 20_us);
+}
+
+TEST(ClockSyncTest, ResyncEveryNRounds) {
+  ClockSyncConfig config;
+  config.resync_rounds = 5;
+  SyncCluster cluster{3, {10.0, -10.0, 0.0}, config};
+  cluster.sim.run_until(Instant::origin() + 1_s);  // 100 rounds
+  // ~100/5 = 20 resyncs per node.
+  EXPECT_GE(cluster.syncs[0]->corrections(), 18u);
+  EXPECT_LE(cluster.syncs[0]->corrections(), 21u);
+}
+
+TEST(ClockSyncTest, NotEnoughReadingsMeansNoCorrection) {
+  // 2 nodes, discard_extremes=1: after dropping high+low nothing is left.
+  ClockSyncConfig config;
+  config.discard_extremes = 1;
+  SyncCluster cluster{2, {50.0, -50.0}, config};
+  cluster.sim.run_until(Instant::origin() + 500_ms);
+  EXPECT_EQ(cluster.syncs[0]->corrections(), 0u);
+}
+
+TEST(ClockSyncTest, CorrectionDirectionRetardsFastClock) {
+  // Node 0 runs fast: its deviations of others' frames are negative
+  // (frames appear early)... so the applied correction must advance?
+  // Direction check: after one correction the fast node's offset shrinks.
+  SyncCluster cluster{3, {200.0, 0.0, 0.0}};
+  cluster.sim.run_until(Instant::origin() + 95_ms);
+  const Duration offset_fast =
+      cluster.controllers[0]->clock().read(cluster.sim.now()) - cluster.sim.now();
+  // Unsynced it would be ~ +19us; with per-round sync it must be well below.
+  EXPECT_LT(offset_fast.abs(), 10_us);
+  EXPECT_GT(cluster.syncs[0]->corrections(), 0u);
+  EXPECT_LT(cluster.syncs[0]->last_correction(), 0_ns);  // retard
+}
+
+}  // namespace
+}  // namespace decos::services

@@ -1,0 +1,97 @@
+#include "services/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::services {
+namespace {
+
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+TEST(SensorFusionTest, MedianMasksOneArbitraryFault) {
+  SensorFusion fusion{SensorFusion::Strategy::kMedian, 3, 50_ms};
+  fusion.offer(0, ta::Value{100.0}, at(0));
+  fusion.offer(1, ta::Value{102.0}, at(0));
+  fusion.offer(2, ta::Value{-9999.0}, at(0));  // faulty sensor
+  ASSERT_TRUE(fusion.fused(at(1)).has_value());
+  EXPECT_DOUBLE_EQ(fusion.fused(at(1))->as_real(), 100.0);
+}
+
+TEST(SensorFusionTest, MedianEvenCountAverages) {
+  SensorFusion fusion{SensorFusion::Strategy::kMedian, 4, 50_ms};
+  fusion.offer(0, ta::Value{10.0}, at(0));
+  fusion.offer(1, ta::Value{20.0}, at(0));
+  fusion.offer(2, ta::Value{30.0}, at(0));
+  fusion.offer(3, ta::Value{40.0}, at(0));
+  EXPECT_DOUBLE_EQ(fusion.fused(at(1))->as_real(), 25.0);
+}
+
+TEST(SensorFusionTest, NoFreshReadingsGivesNothing) {
+  SensorFusion fusion{SensorFusion::Strategy::kMedian, 3, 50_ms};
+  EXPECT_FALSE(fusion.fused(at(0)).has_value());
+  fusion.offer(0, ta::Value{1.0}, at(0));
+  EXPECT_TRUE(fusion.fused(at(10)).has_value());
+  // The reading expires at +50ms: availability degrades, no stale value.
+  EXPECT_FALSE(fusion.fused(at(60)).has_value());
+  EXPECT_EQ(fusion.fresh_count(at(60)), 0u);
+}
+
+TEST(SensorFusionTest, ExpiredSourceDropsOutOfTheVote) {
+  SensorFusion fusion{SensorFusion::Strategy::kMedian, 3, 50_ms};
+  fusion.offer(0, ta::Value{100.0}, at(0));
+  fusion.offer(1, ta::Value{200.0}, at(40));
+  fusion.offer(2, ta::Value{300.0}, at(40));
+  // At t=60, source 0 expired: median of {200, 300}.
+  EXPECT_EQ(fusion.fresh_count(at(60)), 2u);
+  EXPECT_DOUBLE_EQ(fusion.fused(at(60))->as_real(), 250.0);
+}
+
+TEST(SensorFusionTest, FaultTolerantAverageDropsExtremes) {
+  SensorFusion fusion{SensorFusion::Strategy::kFaultTolerantAverage, 5, 50_ms, 1};
+  const double values[] = {10.0, 11.0, 12.0, 13.0, 1000.0};
+  for (std::size_t i = 0; i < 5; ++i) fusion.offer(i, ta::Value{values[i]}, at(0));
+  EXPECT_DOUBLE_EQ(fusion.fused(at(1))->as_real(), 12.0);  // (11+12+13)/3
+}
+
+TEST(SensorFusionTest, FaultTolerantAverageDegradesGracefully) {
+  // Two fresh readings cannot support k=1; fall back to the plain mean.
+  SensorFusion fusion{SensorFusion::Strategy::kFaultTolerantAverage, 2, 50_ms, 1};
+  fusion.offer(0, ta::Value{10.0}, at(0));
+  fusion.offer(1, ta::Value{20.0}, at(0));
+  EXPECT_DOUBLE_EQ(fusion.fused(at(1))->as_real(), 15.0);
+}
+
+TEST(SensorFusionTest, MajorityVoting) {
+  SensorFusion fusion{SensorFusion::Strategy::kMajority, 3, 50_ms};
+  fusion.offer(0, ta::Value{true}, at(0));
+  fusion.offer(1, ta::Value{true}, at(0));
+  fusion.offer(2, ta::Value{false}, at(0));
+  ASSERT_TRUE(fusion.fused(at(1)).has_value());
+  EXPECT_TRUE(fusion.fused(at(1))->as_bool());
+}
+
+TEST(SensorFusionTest, NoStrictMajorityGivesNothing) {
+  SensorFusion fusion{SensorFusion::Strategy::kMajority, 2, 50_ms};
+  fusion.offer(0, ta::Value{1}, at(0));
+  fusion.offer(1, ta::Value{2}, at(0));
+  EXPECT_FALSE(fusion.fused(at(1)).has_value());
+}
+
+TEST(SensorFusionTest, DeviatingSourceDiagnosed) {
+  SensorFusion fusion{SensorFusion::Strategy::kMedian, 3, 50_ms};
+  fusion.offer(0, ta::Value{100.0}, at(0));
+  fusion.offer(1, ta::Value{101.0}, at(0));
+  fusion.offer(2, ta::Value{250.0}, at(0));
+  const auto deviants = fusion.deviating_sources(at(1), 10.0);
+  ASSERT_EQ(deviants.size(), 1u);
+  EXPECT_EQ(deviants[0], 2u);
+}
+
+TEST(SensorFusionTest, OfferOutOfRangeThrows) {
+  SensorFusion fusion{SensorFusion::Strategy::kMedian, 2, 50_ms};
+  EXPECT_THROW(fusion.offer(5, ta::Value{1.0}, at(0)), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace decos::services

@@ -1,0 +1,29 @@
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+
+namespace decos::sim {
+namespace {
+
+using namespace decos::literals;
+
+TEST(BecomeReferenceTest, ClockReadsTrueTimeAfterwards) {
+  DriftingClock clock{+500.0, 3_ms};  // fast and offset
+  const Instant t = Instant::origin() + 1_s;
+  EXPECT_NE(clock.read(t), t);
+  clock.become_reference();
+  EXPECT_EQ(clock.read(t), t);
+  EXPECT_EQ(clock.read(Instant::origin() + 5_s), Instant::origin() + 5_s);
+  EXPECT_NEAR(clock.drift_ppm(), 0.0, 1e-9);
+  EXPECT_EQ(clock.offset(), Duration::zero());
+}
+
+TEST(BecomeReferenceTest, CorrectionsStillApplyAfterwards) {
+  DriftingClock clock{-100.0};
+  clock.become_reference();
+  clock.correct(2_ms);
+  EXPECT_EQ(clock.read(Instant::origin()), Instant::origin() + 2_ms);
+}
+
+}  // namespace
+}  // namespace decos::sim

@@ -1,0 +1,57 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::sim {
+namespace {
+
+using namespace decos::literals;
+
+TEST(DriftingClockTest, PerfectClockIsIdentity) {
+  DriftingClock clock;
+  const Instant t = Instant::origin() + 123_ms;
+  EXPECT_EQ(clock.read(t), t);
+  EXPECT_EQ(clock.true_time_for(t), t);
+}
+
+TEST(DriftingClockTest, PositiveDriftRunsFast) {
+  DriftingClock clock{+100.0};  // +100 ppm
+  const Instant t = Instant::origin() + 1_s;
+  // Gains 100us per second.
+  EXPECT_EQ(clock.read(t), t + 100_us);
+}
+
+TEST(DriftingClockTest, NegativeDriftRunsSlow) {
+  DriftingClock clock{-50.0};
+  const Instant t = Instant::origin() + 2_s;
+  EXPECT_EQ(clock.read(t), t - 100_us);
+}
+
+TEST(DriftingClockTest, InitialOffsetApplied) {
+  DriftingClock clock{0.0, 5_ms};
+  EXPECT_EQ(clock.read(Instant::origin()), Instant::origin() + 5_ms);
+}
+
+TEST(DriftingClockTest, TrueTimeForInvertsRead) {
+  DriftingClock clock{+200.0, 3_ms};
+  const Instant local_target = Instant::origin() + 500_ms;
+  const Instant true_time = clock.true_time_for(local_target);
+  // Round-trip within 1ns of integer truncation.
+  EXPECT_NEAR(static_cast<double>(clock.read(true_time).ns()),
+              static_cast<double>(local_target.ns()), 2.0);
+}
+
+TEST(DriftingClockTest, CorrectShiftsOffset) {
+  DriftingClock clock{0.0};
+  clock.correct(-2_ms);
+  EXPECT_EQ(clock.read(Instant::origin() + 10_ms), Instant::origin() + 8_ms);
+  EXPECT_EQ(clock.offset(), -2_ms);
+}
+
+TEST(DriftingClockTest, DriftPpmRoundTrips) {
+  DriftingClock clock{42.0};
+  EXPECT_NEAR(clock.drift_ppm(), 42.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace decos::sim

@@ -1,0 +1,109 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace decos::sim {
+namespace {
+
+using namespace decos::literals;
+
+TEST(SimulatorTest, StartsAtOrigin) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), Instant::origin());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(Instant::origin() + 30_ms, [&] { order.push_back(3); });
+  sim.schedule_at(Instant::origin() + 10_ms, [&] { order.push_back(1); });
+  sim.schedule_at(Instant::origin() + 20_ms, [&] { order.push_back(2); });
+  sim.run_until(Instant::origin() + 100_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, SameInstantIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  const Instant t = Instant::origin() + 5_ms;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  sim.run_until(t);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NowAdvancesToEventTime) {
+  Simulator sim;
+  Instant seen;
+  sim.schedule_at(Instant::origin() + 7_ms, [&] { seen = sim.now(); });
+  sim.run_until(Instant::origin() + 1_s);
+  EXPECT_EQ(seen, Instant::origin() + 7_ms);
+  EXPECT_EQ(sim.now(), Instant::origin() + 1_s);  // clock ends at the deadline
+}
+
+TEST(SimulatorTest, EventsAfterDeadlineStayPending) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(Instant::origin() + 10_ms, [&] { fired = true; });
+  sim.run_until(Instant::origin() + 5_ms);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(Instant::origin() + 10_ms);  // events *at* the deadline fire
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  Instant seen;
+  sim.schedule_at(Instant::origin() + 5_ms, [&] {
+    sim.schedule_after(3_ms, [&] { seen = sim.now(); });
+  });
+  sim.run_until(Instant::origin() + 1_s);
+  EXPECT_EQ(seen, Instant::origin() + 8_ms);
+}
+
+TEST(SimulatorTest, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(Instant::origin() + 1_ms, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));  // second cancel is a no-op
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.dispatched(), 0u);
+}
+
+TEST(SimulatorTest, StepRunsExactlyOneEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(Instant::origin() + 1_ms, [&] { ++count; });
+  sim.schedule_at(Instant::origin() + 2_ms, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EventsScheduledDuringRunAreHonored) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> relink = [&] {
+    if (++chain < 10) sim.schedule_after(1_ms, relink);
+  };
+  sim.schedule_after(1_ms, relink);
+  sim.run_until(Instant::origin() + 1_s);
+  EXPECT_EQ(chain, 10);
+}
+
+TEST(SimulatorTest, DispatchedCounterCounts) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_after(Duration::milliseconds(i + 1), [] {});
+  sim.run_until(Instant::origin() + 1_s);
+  EXPECT_EQ(sim.dispatched(), 7u);
+}
+
+}  // namespace
+}  // namespace decos::sim

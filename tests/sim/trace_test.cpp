@@ -1,0 +1,50 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::sim {
+namespace {
+
+using namespace decos::literals;
+
+TEST(TraceRecorderTest, RecordsAndCounts) {
+  TraceRecorder trace;
+  trace.record(Instant::origin(), TraceKind::kFrameSent, "node0");
+  trace.record(Instant::origin() + 1_ms, TraceKind::kFrameSent, "node1");
+  trace.record(Instant::origin() + 2_ms, TraceKind::kFrameBlocked, "node0");
+  EXPECT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.count(TraceKind::kFrameSent), 2u);
+  EXPECT_EQ(trace.count(TraceKind::kFrameBlocked), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kFrameSent, "node0"), 1u);
+  EXPECT_EQ(trace.count(TraceKind::kGatewayForwarded), 0u);
+}
+
+TEST(TraceRecorderTest, DisabledRecordsNothing) {
+  TraceRecorder trace;
+  trace.set_enabled(false);
+  trace.record(Instant::origin(), TraceKind::kFrameSent, "node0");
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(TraceRecorderTest, ForEachFiltersByKind) {
+  TraceRecorder trace;
+  trace.record(Instant::origin(), TraceKind::kFrameSent, "a", "detail", 7);
+  trace.record(Instant::origin(), TraceKind::kClockSync, "b", "", 1);
+  int visited = 0;
+  trace.for_each(TraceKind::kFrameSent, [&](const TraceRecord& r) {
+    ++visited;
+    EXPECT_EQ(r.subject, "a");
+    EXPECT_EQ(r.value, 7);
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(TraceRecorderTest, ClearEmpties) {
+  TraceRecorder trace;
+  trace.record(Instant::origin(), TraceKind::kFrameSent, "x");
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+}
+
+}  // namespace
+}  // namespace decos::sim

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "spec/message.hpp"
+
+namespace decos::spec {
+namespace {
+
+using decos::testing::sliding_roof_spec;
+using namespace decos::literals;
+
+TEST(CodecTest, MakeInstanceFillsStaticsAndDefaults) {
+  const MessageSpec ms = sliding_roof_spec();
+  const MessageInstance inst = make_instance(ms);
+  EXPECT_EQ(inst.message(), "msgslidingroof");
+  EXPECT_EQ(inst.field("name", "id", ms).as_int(), 731);
+  EXPECT_EQ(inst.field("movementevent", "valuechange", ms).as_int(), 0);
+  EXPECT_FALSE(inst.field("fullclosure", "trigger", ms).as_bool());
+}
+
+TEST(CodecTest, EncodeDecodeRoundTrip) {
+  const MessageSpec ms = sliding_roof_spec();
+  MessageInstance inst = make_instance(ms);
+  inst.element("movementevent")->fields[0] = ta::Value{-42};
+  inst.element("movementevent")->fields[1] = ta::Value{Instant::origin() + 5_ms};
+  inst.element("fullclosure")->fields[0] = ta::Value{true};
+
+  auto bytes = encode(ms, inst);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value().size(), ms.wire_size());
+
+  auto back = decode(ms, bytes.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().field("name", "id", ms).as_int(), 731);
+  EXPECT_EQ(back.value().field("movementevent", "valuechange", ms).as_int(), -42);
+  EXPECT_EQ(back.value().field("movementevent", "eventtime", ms).as_instant(),
+            Instant::origin() + 5_ms);
+  EXPECT_TRUE(back.value().field("fullclosure", "trigger", ms).as_bool());
+}
+
+TEST(CodecTest, NegativeIntegersSignExtend) {
+  MessageSpec ms{"m"};
+  ElementSpec e;
+  e.name = "e";
+  e.key = true;
+  e.fields.push_back(FieldSpec{"id", FieldType::kUInt8, 0, ta::Value{9}});
+  ms.add_element(std::move(e));
+  ElementSpec v;
+  v.name = "v";
+  v.fields.push_back(FieldSpec{"i8", FieldType::kInt8, 0, std::nullopt});
+  v.fields.push_back(FieldSpec{"i16", FieldType::kInt16, 0, std::nullopt});
+  v.fields.push_back(FieldSpec{"i32", FieldType::kInt32, 0, std::nullopt});
+  v.fields.push_back(FieldSpec{"i64", FieldType::kInt64, 0, std::nullopt});
+  ms.add_element(std::move(v));
+
+  MessageInstance inst = make_instance(ms);
+  inst.element("v")->fields[0] = ta::Value{-1};
+  inst.element("v")->fields[1] = ta::Value{-32768};
+  inst.element("v")->fields[2] = ta::Value{-123456};
+  inst.element("v")->fields[3] = ta::Value{std::int64_t{-5'000'000'000}};
+  auto back = decode(ms, encode(ms, inst).value()).value();
+  EXPECT_EQ(back.field("v", "i8", ms).as_int(), -1);
+  EXPECT_EQ(back.field("v", "i16", ms).as_int(), -32768);
+  EXPECT_EQ(back.field("v", "i32", ms).as_int(), -123456);
+  EXPECT_EQ(back.field("v", "i64", ms).as_int(), -5'000'000'000);
+}
+
+TEST(CodecTest, FloatsRoundTrip) {
+  MessageSpec ms{"m"};
+  ElementSpec e;
+  e.name = "n";
+  e.key = true;
+  e.fields.push_back(FieldSpec{"id", FieldType::kUInt8, 0, ta::Value{1}});
+  ms.add_element(std::move(e));
+  ElementSpec v;
+  v.name = "v";
+  v.fields.push_back(FieldSpec{"f32", FieldType::kFloat32, 0, std::nullopt});
+  v.fields.push_back(FieldSpec{"f64", FieldType::kFloat64, 0, std::nullopt});
+  ms.add_element(std::move(v));
+
+  MessageInstance inst = make_instance(ms);
+  inst.element("v")->fields[0] = ta::Value{1.5};
+  inst.element("v")->fields[1] = ta::Value{3.141592653589793};
+  auto back = decode(ms, encode(ms, inst).value()).value();
+  EXPECT_DOUBLE_EQ(back.field("v", "f32", ms).as_real(), 1.5);
+  EXPECT_DOUBLE_EQ(back.field("v", "f64", ms).as_real(), 3.141592653589793);
+}
+
+TEST(CodecTest, StringsPaddedAndTruncationRejected) {
+  MessageSpec ms{"m"};
+  ElementSpec e;
+  e.name = "n";
+  e.key = true;
+  e.fields.push_back(FieldSpec{"id", FieldType::kUInt8, 0, ta::Value{2}});
+  ms.add_element(std::move(e));
+  ElementSpec v;
+  v.name = "v";
+  v.fields.push_back(FieldSpec{"s", FieldType::kString, 8, std::nullopt});
+  ms.add_element(std::move(v));
+
+  MessageInstance inst = make_instance(ms);
+  inst.element("v")->fields[0] = ta::Value{std::string{"abc"}};
+  auto bytes = encode(ms, inst);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes.value().size(), 9u);
+  auto back = decode(ms, bytes.value()).value();
+  EXPECT_EQ(back.field("v", "s", ms).as_string(), "abc");
+
+  inst.element("v")->fields[0] = ta::Value{std::string{"way too long for 8"}};
+  EXPECT_FALSE(encode(ms, inst).ok());
+}
+
+TEST(CodecTest, OutOfRangeValueRejected) {
+  MessageSpec ms = decos::testing::state_message("m", "e", 5);
+  MessageInstance inst = make_instance(ms);
+  // int16 range on the sliding-roof example; here value is int32:
+  inst.element("e")->fields[0] = ta::Value{std::int64_t{1} << 40};
+  EXPECT_FALSE(encode(ms, inst).ok());
+}
+
+TEST(CodecTest, SizeMismatchRejected) {
+  const MessageSpec ms = sliding_roof_spec();
+  std::vector<std::byte> junk(ms.wire_size() + 1, std::byte{0});
+  EXPECT_FALSE(decode(ms, junk).ok());
+}
+
+TEST(CodecTest, WrongSpecRejected) {
+  const MessageSpec ms = sliding_roof_spec();
+  MessageInstance inst = make_instance(decos::testing::state_message("other", "e", 5));
+  EXPECT_FALSE(encode(ms, inst).ok());
+}
+
+TEST(CodecTest, MatchesKeyIdentifiesMessage) {
+  const MessageSpec roof = sliding_roof_spec();
+  const MessageSpec other = decos::testing::state_message("wheel", "speed", 100);
+  const auto roof_bytes = encode(roof, make_instance(roof)).value();
+  const auto other_bytes = encode(other, make_instance(other)).value();
+
+  EXPECT_TRUE(matches_key(roof, roof_bytes));
+  EXPECT_FALSE(matches_key(roof, other_bytes));
+  EXPECT_TRUE(matches_key(other, other_bytes));
+  EXPECT_FALSE(matches_key(other, roof_bytes));
+}
+
+TEST(CodecTest, MatchesKeyRequiresAKeyElement) {
+  MessageSpec keyless{"m"};
+  ElementSpec v;
+  v.name = "v";
+  v.fields.push_back(FieldSpec{"x", FieldType::kUInt8, 0, std::nullopt});
+  keyless.add_element(std::move(v));
+  const std::vector<std::byte> bytes(1, std::byte{0});
+  EXPECT_FALSE(matches_key(keyless, bytes));
+}
+
+TEST(CodecTest, FieldAccessorThrowsOnMissing) {
+  const MessageSpec ms = sliding_roof_spec();
+  const MessageInstance inst = make_instance(ms);
+  EXPECT_THROW(inst.field("nope", "id", ms), SpecError);
+  EXPECT_THROW(inst.field("name", "nope", ms), SpecError);
+}
+
+}  // namespace
+}  // namespace decos::spec

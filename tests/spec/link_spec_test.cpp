@@ -1,0 +1,123 @@
+#include "spec/link_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "spec/message.hpp"
+
+namespace decos::spec {
+namespace {
+
+using decos::testing::sliding_roof_spec;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+LinkSpec two_message_link() {
+  LinkSpec ls{"comfort"};
+  ls.add_message(sliding_roof_spec());
+  ls.add_message(state_message("msgwheel", "wheelspeed", 100));
+  return ls;
+}
+
+TEST(LinkSpecTest, MessageLookup) {
+  const LinkSpec ls = two_message_link();
+  EXPECT_NE(ls.message("msgslidingroof"), nullptr);
+  EXPECT_NE(ls.message("msgwheel"), nullptr);
+  EXPECT_EQ(ls.message("ghost"), nullptr);
+}
+
+TEST(LinkSpecTest, IdentifyByWireKey) {
+  const LinkSpec ls = two_message_link();
+  const auto roof = encode(*ls.message("msgslidingroof"),
+                           make_instance(*ls.message("msgslidingroof"))).value();
+  const auto wheel =
+      encode(*ls.message("msgwheel"), make_instance(*ls.message("msgwheel"))).value();
+  EXPECT_EQ(ls.identify(roof)->name(), "msgslidingroof");
+  EXPECT_EQ(ls.identify(wheel)->name(), "msgwheel");
+  const std::vector<std::byte> junk(3, std::byte{0x5A});
+  EXPECT_EQ(ls.identify(junk), nullptr);
+}
+
+TEST(LinkSpecTest, ParameterAccess) {
+  LinkSpec ls{"d"};
+  ls.set_parameter("tmin", ta::Value{4_ms});
+  EXPECT_TRUE(ls.has_parameter("tmin"));
+  EXPECT_FALSE(ls.has_parameter("tmax"));
+  EXPECT_EQ(ls.parameter("tmin").as_duration(), 4_ms);
+  EXPECT_THROW(ls.parameter("tmax"), SpecError);
+}
+
+TEST(LinkSpecTest, PortLookup) {
+  LinkSpec ls = two_message_link();
+  PortSpec ps;
+  ps.message = "msgwheel";
+  ps.direction = DataDirection::kInput;
+  ps.period = 10_ms;
+  ls.add_port(ps);
+  EXPECT_NE(ls.port_for("msgwheel"), nullptr);
+  EXPECT_EQ(ls.port_for("msgslidingroof"), nullptr);
+}
+
+TEST(LinkSpecTest, ValidateRejectsDuplicateMessages) {
+  LinkSpec ls{"d"};
+  ls.add_message(sliding_roof_spec());
+  ls.add_message(sliding_roof_spec());
+  EXPECT_FALSE(ls.validate().ok());
+}
+
+TEST(LinkSpecTest, ValidateRejectsPortForUnknownMessage) {
+  LinkSpec ls = two_message_link();
+  PortSpec ps;
+  ps.message = "ghost";
+  ps.period = 1_ms;
+  ls.add_port(ps);
+  EXPECT_FALSE(ls.validate().ok());
+}
+
+TEST(LinkSpecTest, ValidateRejectsAutomatonForUnknownMessage) {
+  LinkSpec ls = two_message_link();
+  ls.add_automaton(ta::make_unconstrained_receive("a", "ghost"));
+  EXPECT_FALSE(ls.validate().ok());
+}
+
+TEST(LinkSpecTest, ConvertibleElementNamesIncludeTransferTargets) {
+  LinkSpec ls = two_message_link();
+  TransferRule rule;
+  rule.target = "movementstate";
+  rule.source = "movementevent";
+  TransferFieldRule fr;
+  fr.name = "statevalue";
+  fr.update = ta::parse_expression("statevalue + valuechange").value();
+  rule.fields.push_back(std::move(fr));
+  ls.add_transfer_rule(std::move(rule));
+
+  const auto names = ls.convertible_element_names();
+  // movementevent (roof), wheelspeed (wheel), movementstate (derived)
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST(PortSpecTest, ValidateChecks) {
+  PortSpec ps;
+  ps.message = "m";
+  ps.paradigm = ControlParadigm::kTimeTriggered;
+  ps.period = Duration::zero();
+  EXPECT_FALSE(ps.validate().ok());  // TT needs a period
+
+  ps.period = 5_ms;
+  EXPECT_TRUE(ps.validate().ok());
+
+  ps.semantics = InfoSemantics::kEvent;
+  ps.queue_capacity = 0;
+  EXPECT_FALSE(ps.validate().ok());  // event needs a queue
+
+  ps.queue_capacity = 4;
+  ps.min_interarrival = 10_ms;
+  ps.max_interarrival = 5_ms;
+  EXPECT_FALSE(ps.validate().ok());  // tmin > tmax
+
+  PortSpec unnamed;
+  EXPECT_FALSE(unnamed.validate().ok());
+}
+
+}  // namespace
+}  // namespace decos::spec

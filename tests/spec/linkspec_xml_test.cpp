@@ -1,0 +1,209 @@
+#include "spec/linkspec_xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace decos::spec {
+namespace {
+
+using namespace decos::literals;
+
+/// The paper's Fig. 6 link specification, made executable (see
+/// linkspec_xml.hpp for the two documented extensions).
+constexpr const char* kFig6 = R"(<?xml version="1.0"?>
+<linkspec>
+  <das>X-by-wire</das>
+  <param name="tmin" value="4ms"/>
+  <param name="tmax" value="100ms"/>
+  <message name="msgslidingroof">
+    <element name="name" key="yes" conv="no">
+      <field name="id">
+        <type length="16">integer</type>
+        <value>731</value>
+      </field>
+    </element>
+    <element name="movementevent" key="no" conv="yes">
+      <field name="valuechange"><type length="16">integer</type></field>
+      <field name="eventtime"><type>timestamp</type></field>
+    </element>
+    <element name="fullclosure" key="no" conv="no">
+      <field name="trigger"><type>boolean</type></field>
+    </element>
+  </message>
+  <timedautomaton name="msgslidingroofreception">
+    <location name="statepassive"/>
+    <location name="stateactive"/>
+    <location name="stateerror"/>
+    <init name="statepassive"/>
+    <error name="stateerror"/>
+    <clock name="x"/>
+    <transition>
+      <source name="statepassive"/><target name="stateactive"/>
+      <label type="recv">msgslidingroof</label>
+      <label type="assignment">x:=0</label>
+    </transition>
+    <transition>
+      <source name="stateactive"/><target name="stateactive"/>
+      <label type="recv">msgslidingroof</label>
+      <label type="guard">x&gt;=tmin, x&lt;=tmax</label>
+      <label type="assignment">x:=0</label>
+    </transition>
+    <transition>
+      <source name="stateactive"/><target name="stateerror"/>
+      <label type="guard">x&gt;tmax</label>
+    </transition>
+  </timedautomaton>
+  <transfersemantics>
+    <element name="movementstate" source="movementevent">
+      <field name="statevalue" init="0" semantics="state">statevalue=statevalue+valuechange</field>
+      <field name="observationtime" init="0" semantics="state">observationtime=eventtime</field>
+    </element>
+  </transfersemantics>
+  <port message="msgslidingroof" direction="input" semantics="event" paradigm="et"
+        interaction="push" tmin="4ms" tmax="100ms" queue="16"/>
+</linkspec>
+)";
+
+TEST(LinkSpecXmlTest, ParsesFig6) {
+  auto spec = parse_link_spec_xml(kFig6);
+  ASSERT_TRUE(spec.ok()) << (spec.ok() ? "" : spec.error().to_string());
+  const LinkSpec& ls = spec.value();
+
+  EXPECT_EQ(ls.das(), "X-by-wire");
+  EXPECT_EQ(ls.parameter("tmin").as_duration(), 4_ms);
+  EXPECT_EQ(ls.parameter("tmax").as_duration(), 100_ms);
+
+  ASSERT_EQ(ls.messages().size(), 1u);
+  const MessageSpec& ms = ls.messages()[0];
+  EXPECT_EQ(ms.name(), "msgslidingroof");
+  ASSERT_EQ(ms.elements().size(), 3u);
+  EXPECT_TRUE(ms.elements()[0].key);
+  EXPECT_TRUE(ms.elements()[1].convertible);
+  EXPECT_FALSE(ms.elements()[2].convertible);
+  ASSERT_TRUE(ms.elements()[0].fields[0].static_value.has_value());
+  EXPECT_EQ(ms.elements()[0].fields[0].static_value->as_int(), 731);
+  EXPECT_EQ(ms.elements()[1].fields[0].type, FieldType::kInt16);
+  EXPECT_EQ(ms.elements()[1].fields[1].type, FieldType::kTimestamp);
+
+  ASSERT_EQ(ls.automata().size(), 1u);
+  const ta::AutomatonSpec& as = ls.automata()[0];
+  EXPECT_EQ(as.name(), "msgslidingroofreception");
+  EXPECT_EQ(as.initial(), "statepassive");
+  EXPECT_EQ(as.error(), "stateerror");
+  EXPECT_EQ(as.clocks().size(), 1u);
+  EXPECT_EQ(as.edges().size(), 3u);
+  EXPECT_EQ(as.edges()[1].action, ta::ActionKind::kReceive);
+  EXPECT_EQ(as.edges()[1].message, "msgslidingroof");
+  ASSERT_NE(as.edges()[1].guard, nullptr);
+  EXPECT_EQ(as.edges()[2].action, ta::ActionKind::kInternal);
+
+  ASSERT_EQ(ls.transfer_rules().size(), 1u);
+  const TransferRule& rule = ls.transfer_rules()[0];
+  EXPECT_EQ(rule.target, "movementstate");
+  EXPECT_EQ(rule.source, "movementevent");
+  ASSERT_EQ(rule.fields.size(), 2u);
+  EXPECT_EQ(rule.fields[0].name, "statevalue");
+  EXPECT_EQ(rule.fields[0].semantics, "state");
+
+  ASSERT_EQ(ls.ports().size(), 1u);
+  const PortSpec& ps = ls.ports()[0];
+  EXPECT_EQ(ps.direction, DataDirection::kInput);
+  EXPECT_EQ(ps.semantics, InfoSemantics::kEvent);
+  EXPECT_EQ(ps.paradigm, ControlParadigm::kEventTriggered);
+  EXPECT_EQ(ps.min_interarrival, 4_ms);
+  EXPECT_EQ(ps.max_interarrival, 100_ms);
+  EXPECT_EQ(ps.queue_capacity, 16u);
+
+  // Convertible elements include the message's and the derived one.
+  const auto names = ls.convertible_element_names();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+TEST(LinkSpecXmlTest, RoundTripIsStable) {
+  auto spec = parse_link_spec_xml(kFig6);
+  ASSERT_TRUE(spec.ok());
+  const std::string once = write_link_spec_xml(spec.value());
+  auto reparsed = parse_link_spec_xml(once);
+  ASSERT_TRUE(reparsed.ok()) << (reparsed.ok() ? "" : reparsed.error().to_string());
+  const std::string twice = write_link_spec_xml(reparsed.value());
+  EXPECT_EQ(once, twice);
+}
+
+TEST(LinkSpecXmlTest, WrongRootRejected) {
+  EXPECT_FALSE(parse_link_spec_xml("<portspec/>").ok());
+}
+
+TEST(LinkSpecXmlTest, BadGuardRejected) {
+  const char* text = R"(<linkspec><das>d</das>
+    <message name="m"><element name="n" key="yes"><field name="id">
+      <type length="8">integer</type><value>1</value></field></element></message>
+    <timedautomaton name="a"><location name="l"/><init name="l"/>
+      <transition><source name="l"/><target name="l"/>
+        <label type="guard">x >=</label></transition>
+    </timedautomaton></linkspec>)";
+  EXPECT_FALSE(parse_link_spec_xml(text).ok());
+}
+
+TEST(LinkSpecXmlTest, AutomatonReferencingUnknownMessageRejected) {
+  const char* text = R"(<linkspec><das>d</das>
+    <message name="m"><element name="n" key="yes"><field name="id">
+      <type length="8">integer</type><value>1</value></field></element></message>
+    <timedautomaton name="a"><location name="l"/><init name="l"/>
+      <transition><source name="l"/><target name="l"/>
+        <label type="recv">ghost</label></transition>
+    </timedautomaton></linkspec>)";
+  EXPECT_FALSE(parse_link_spec_xml(text).ok());
+}
+
+TEST(LinkSpecXmlTest, TransferRuleFieldTargetMismatchRejected) {
+  const char* text = R"(<linkspec><das>d</das>
+    <transfersemantics><element name="t" source="s">
+      <field name="a" init="0">b := 1</field>
+    </element></transfersemantics></linkspec>)";
+  EXPECT_FALSE(parse_link_spec_xml(text).ok());
+}
+
+TEST(LinkSpecXmlTest, PortWithUnknownMessageRejected) {
+  const char* text = R"(<linkspec><das>d</das>
+    <port message="ghost" direction="input"/></linkspec>)";
+  EXPECT_FALSE(parse_link_spec_xml(text).ok());
+}
+
+TEST(LinkSpecXmlTest, BadAttributeEnumsRejected) {
+  const char* tpl = R"(<linkspec><das>d</das>
+    <message name="m"><element name="n" key="yes"><field name="id">
+      <type length="8">integer</type><value>1</value></field></element>
+      <element name="v" conv="yes"><field name="x"><type>boolean</type></field></element>
+    </message>
+    <port message="m" direction="%s" semantics="%s" paradigm="%s" period="1ms"/></linkspec>)";
+  char buf[2048];
+  std::snprintf(buf, sizeof buf, tpl, "sideways", "state", "tt");
+  EXPECT_FALSE(parse_link_spec_xml(buf).ok());
+  std::snprintf(buf, sizeof buf, tpl, "input", "quantum", "tt");
+  EXPECT_FALSE(parse_link_spec_xml(buf).ok());
+  std::snprintf(buf, sizeof buf, tpl, "input", "state", "warp");
+  EXPECT_FALSE(parse_link_spec_xml(buf).ok());
+  std::snprintf(buf, sizeof buf, tpl, "input", "state", "tt");
+  EXPECT_TRUE(parse_link_spec_xml(buf).ok());
+}
+
+TEST(LinkSpecXmlTest, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/fig6_linkspec.xml";
+  {
+    std::ofstream out{path};
+    out << kFig6;
+  }
+  auto spec = load_link_spec_file(path);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().das(), "X-by-wire");
+  std::remove(path.c_str());
+}
+
+TEST(LinkSpecXmlTest, MissingFileIsError) {
+  EXPECT_FALSE(load_link_spec_file("/nonexistent/nowhere.xml").ok());
+}
+
+}  // namespace
+}  // namespace decos::spec

@@ -1,0 +1,131 @@
+#include "spec/message_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::spec {
+namespace {
+
+MessageSpec sliding_roof() {
+  // The paper's Fig. 6 message.
+  MessageSpec ms{"msgslidingroof"};
+  ElementSpec name;
+  name.name = "name";
+  name.key = true;
+  name.fields.push_back(FieldSpec{"id", FieldType::kInt16, 0, ta::Value{731}});
+  ms.add_element(std::move(name));
+
+  ElementSpec movement;
+  movement.name = "movementevent";
+  movement.convertible = true;
+  movement.fields.push_back(FieldSpec{"valuechange", FieldType::kInt16, 0, std::nullopt});
+  movement.fields.push_back(FieldSpec{"eventtime", FieldType::kTimestamp, 0, std::nullopt});
+  ms.add_element(std::move(movement));
+
+  ElementSpec closure;
+  closure.name = "fullclosure";
+  closure.fields.push_back(FieldSpec{"trigger", FieldType::kBoolean, 0, std::nullopt});
+  ms.add_element(std::move(closure));
+  return ms;
+}
+
+TEST(FieldTypeTest, WireSizes) {
+  EXPECT_EQ(field_wire_size(FieldType::kBoolean, 0), 1u);
+  EXPECT_EQ(field_wire_size(FieldType::kInt8, 0), 1u);
+  EXPECT_EQ(field_wire_size(FieldType::kInt16, 0), 2u);
+  EXPECT_EQ(field_wire_size(FieldType::kUInt32, 0), 4u);
+  EXPECT_EQ(field_wire_size(FieldType::kInt64, 0), 8u);
+  EXPECT_EQ(field_wire_size(FieldType::kFloat32, 0), 4u);
+  EXPECT_EQ(field_wire_size(FieldType::kFloat64, 0), 8u);
+  EXPECT_EQ(field_wire_size(FieldType::kTimestamp, 0), 8u);
+  EXPECT_EQ(field_wire_size(FieldType::kString, 12), 12u);
+}
+
+TEST(FieldTypeTest, ParseFromPaperSpellings) {
+  EXPECT_EQ(parse_field_type("integer", 16, false).value(), FieldType::kInt16);
+  EXPECT_EQ(parse_field_type("integer", 0, false).value(), FieldType::kInt32);
+  EXPECT_EQ(parse_field_type("integer", 32, true).value(), FieldType::kUInt32);
+  EXPECT_EQ(parse_field_type("unsigned", 8, false).value(), FieldType::kUInt8);
+  EXPECT_EQ(parse_field_type("boolean", 0, false).value(), FieldType::kBoolean);
+  EXPECT_EQ(parse_field_type("timestamp", 0, false).value(), FieldType::kTimestamp);
+  EXPECT_EQ(parse_field_type("float", 32, false).value(), FieldType::kFloat32);
+  EXPECT_EQ(parse_field_type("float", 0, false).value(), FieldType::kFloat64);
+  EXPECT_EQ(parse_field_type("string", 0, false).value(), FieldType::kString);
+  EXPECT_EQ(parse_field_type("uint16", 0, false).value(), FieldType::kUInt16);
+}
+
+TEST(FieldTypeTest, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_field_type("quaternion", 0, false).ok());
+  EXPECT_FALSE(parse_field_type("integer", 24, false).ok());
+  EXPECT_FALSE(parse_field_type("float", 16, false).ok());
+}
+
+TEST(FieldTypeTest, NamesRoundTrip) {
+  for (const FieldType t :
+       {FieldType::kBoolean, FieldType::kInt8, FieldType::kInt16, FieldType::kInt32,
+        FieldType::kInt64, FieldType::kUInt8, FieldType::kUInt16, FieldType::kUInt32,
+        FieldType::kUInt64, FieldType::kFloat32, FieldType::kFloat64, FieldType::kTimestamp}) {
+    EXPECT_EQ(parse_field_type(field_type_name(t), 0, false).value(), t);
+  }
+}
+
+TEST(MessageSpecTest, SlidingRoofShape) {
+  const MessageSpec ms = sliding_roof();
+  EXPECT_TRUE(ms.validate().ok());
+  EXPECT_EQ(ms.wire_size(), 2u + 2u + 8u + 1u);
+  EXPECT_EQ(ms.elements().size(), 3u);
+  EXPECT_EQ(ms.convertible_elements().size(), 1u);
+  EXPECT_EQ(ms.convertible_elements()[0]->name, "movementevent");
+  ASSERT_NE(ms.element("fullclosure"), nullptr);
+  EXPECT_EQ(ms.element("fullclosure")->wire_size(), 1u);
+  EXPECT_EQ(ms.element("nope"), nullptr);
+  ASSERT_NE(ms.element("movementevent")->field("eventtime"), nullptr);
+  EXPECT_EQ(ms.element("movementevent")->field("bogus"), nullptr);
+}
+
+TEST(MessageSpecTest, ValidateRejectsAnonymous) {
+  MessageSpec ms{""};
+  EXPECT_FALSE(ms.validate().ok());
+
+  MessageSpec empty{"m"};
+  EXPECT_FALSE(empty.validate().ok());
+}
+
+TEST(MessageSpecTest, ValidateRejectsDuplicates) {
+  MessageSpec ms{"m"};
+  ElementSpec e;
+  e.name = "e";
+  e.fields.push_back(FieldSpec{"f", FieldType::kInt8, 0, std::nullopt});
+  ms.add_element(e);
+  ms.add_element(e);
+  EXPECT_FALSE(ms.validate().ok());
+
+  MessageSpec ms2{"m"};
+  ElementSpec e2;
+  e2.name = "e";
+  e2.fields.push_back(FieldSpec{"f", FieldType::kInt8, 0, std::nullopt});
+  e2.fields.push_back(FieldSpec{"f", FieldType::kInt8, 0, std::nullopt});
+  ms2.add_element(std::move(e2));
+  EXPECT_FALSE(ms2.validate().ok());
+}
+
+TEST(MessageSpecTest, ValidateRejectsUnsizedString) {
+  MessageSpec ms{"m"};
+  ElementSpec e;
+  e.name = "e";
+  e.fields.push_back(FieldSpec{"s", FieldType::kString, 0, std::nullopt});
+  ms.add_element(std::move(e));
+  EXPECT_FALSE(ms.validate().ok());
+}
+
+TEST(MessageSpecTest, KeyElementsMustBeStatic) {
+  MessageSpec ms{"m"};
+  ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(FieldSpec{"id", FieldType::kInt16, 0, std::nullopt});  // dynamic!
+  ms.add_element(std::move(key));
+  EXPECT_FALSE(ms.validate().ok());
+}
+
+}  // namespace
+}  // namespace decos::spec

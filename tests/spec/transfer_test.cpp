@@ -1,0 +1,114 @@
+#include "spec/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "spec/linkspec_xml.hpp"
+
+namespace decos::spec {
+namespace {
+
+TransferRule valid_rule() {
+  TransferRule rule;
+  rule.target = "state_elem";
+  rule.source = "event_elem";
+  TransferFieldRule fr;
+  fr.name = "v";
+  fr.init = ta::Value{0};
+  fr.semantics = "state";
+  fr.update = ta::parse_expression("v + delta").value();
+  rule.fields.push_back(std::move(fr));
+  return rule;
+}
+
+TEST(TransferRuleTest, ValidRuleAccepted) { EXPECT_TRUE(valid_rule().validate().ok()); }
+
+TEST(TransferRuleTest, MissingTargetRejected) {
+  TransferRule rule = valid_rule();
+  rule.target.clear();
+  EXPECT_FALSE(rule.validate().ok());
+}
+
+TEST(TransferRuleTest, MissingSourceRejected) {
+  TransferRule rule = valid_rule();
+  rule.source.clear();
+  EXPECT_FALSE(rule.validate().ok());
+}
+
+TEST(TransferRuleTest, NoFieldsRejected) {
+  TransferRule rule = valid_rule();
+  rule.fields.clear();
+  EXPECT_FALSE(rule.validate().ok());
+}
+
+TEST(TransferRuleTest, UnnamedFieldRejected) {
+  TransferRule rule = valid_rule();
+  rule.fields[0].name.clear();
+  EXPECT_FALSE(rule.validate().ok());
+}
+
+TEST(TransferRuleTest, MissingUpdateRejected) {
+  TransferRule rule = valid_rule();
+  rule.fields[0].update = nullptr;
+  EXPECT_FALSE(rule.validate().ok());
+}
+
+TEST(LinkSpecXmlWriterTest, AutomatonVariablesAndClocksRoundTrip) {
+  LinkSpec ls{"d"};
+  MessageSpec ms{"m"};
+  ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(FieldSpec{"id", FieldType::kUInt8, 0, ta::Value{3}});
+  ms.add_element(std::move(key));
+  ls.add_message(std::move(ms));
+
+  ta::AutomatonSpec automaton{"stateful"};
+  automaton.add_location("run");
+  automaton.add_location("err");
+  automaton.set_error("err");
+  automaton.add_clock("x");
+  automaton.add_clock("y");
+  automaton.add_variable("n", ta::Value{7});
+  automaton.add_variable("armed", ta::Value{true});
+  ta::Edge edge;
+  edge.source = "run";
+  edge.target = "run";
+  edge.action = ta::ActionKind::kReceive;
+  edge.message = "m";
+  edge.guard = ta::parse_expression("x >= 4ms && n > 0").value();
+  edge.assignments = ta::parse_assignments("x := 0; n := n - 1").value();
+  automaton.add_edge(std::move(edge));
+  ls.add_automaton(std::move(automaton));
+
+  const std::string once = write_link_spec_xml(ls);
+  auto reparsed = parse_link_spec_xml(once);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  const ta::AutomatonSpec& back = reparsed.value().automata()[0];
+  EXPECT_EQ(back.clocks().size(), 2u);
+  ASSERT_EQ(back.variables().size(), 2u);
+  EXPECT_EQ(back.variables()[0].first, "n");
+  EXPECT_EQ(back.variables()[0].second.as_int(), 7);
+  EXPECT_TRUE(back.variables()[1].second.as_bool());
+  EXPECT_EQ(back.error(), "err");
+  ASSERT_EQ(back.edges().size(), 1u);
+  EXPECT_EQ(back.edges()[0].assignments.size(), 2u);
+  EXPECT_EQ(write_link_spec_xml(reparsed.value()), once);
+}
+
+TEST(LinkSpecXmlWriterTest, NegativeAndRealLiteralsSurvive) {
+  LinkSpec ls{"d"};
+  ls.set_parameter("neg", ta::Value{-42});
+  ls.set_parameter("real", ta::Value{2.5});
+  ls.set_parameter("whole_real", ta::Value{4.0});
+  const std::string once = write_link_spec_xml(ls);
+  auto reparsed = parse_link_spec_xml(once);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_EQ(reparsed.value().parameter("neg").as_int(), -42);
+  EXPECT_TRUE(reparsed.value().parameter("real").is_real());
+  EXPECT_DOUBLE_EQ(reparsed.value().parameter("real").as_real(), 2.5);
+  // ".0" is preserved so the value stays a real through the round trip.
+  EXPECT_TRUE(reparsed.value().parameter("whole_real").is_real());
+}
+
+}  // namespace
+}  // namespace decos::spec

@@ -1,0 +1,146 @@
+#include "spec/vn_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace decos::spec {
+namespace {
+
+using decos::testing::state_message;
+using namespace decos::literals;
+
+PortSpec tt_output(const std::string& msg, Duration period) {
+  PortSpec ps;
+  ps.message = msg;
+  ps.direction = DataDirection::kOutput;
+  ps.semantics = InfoSemantics::kState;
+  ps.paradigm = ControlParadigm::kTimeTriggered;
+  ps.period = period;
+  return ps;
+}
+
+PortSpec tt_input(const std::string& msg, Duration period) {
+  PortSpec ps = tt_output(msg, period);
+  ps.direction = DataDirection::kInput;
+  return ps;
+}
+
+LinkSpec producer_link(const std::string& msg, int id, Duration period) {
+  LinkSpec ls{"job"};
+  ls.add_message(state_message(msg, "e_" + msg, id));
+  ls.add_port(tt_output(msg, period));
+  return ls;
+}
+
+TEST(VirtualNetworkSpecTest, NamespaceAcrossLinks) {
+  VirtualNetworkSpec vn{"powertrain", ControlParadigm::kTimeTriggered};
+  vn.add_link(producer_link("msgA", 1, 10_ms));
+  vn.add_link(producer_link("msgB", 2, 20_ms));
+  EXPECT_NE(vn.message("msgA"), nullptr);
+  EXPECT_NE(vn.message("msgB"), nullptr);
+  EXPECT_EQ(vn.message("msgC"), nullptr);
+  EXPECT_TRUE(vn.validate().ok());
+}
+
+TEST(VirtualNetworkSpecTest, WorstCaseDemand) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kTimeTriggered};
+  // state_message wire size: 2 (key) + 4 + 8 = 14 bytes.
+  vn.add_link(producer_link("msgA", 1, 10_ms));  // 14 B / 10ms
+  vn.add_link(producer_link("msgB", 2, 5_ms));   // 14 B / 5ms
+  vn.set_allocation(100, 10_ms);
+  // per 10ms round: 14 + 28 = 42 bytes.
+  EXPECT_DOUBLE_EQ(vn.worst_case_bytes_per_round(), 42.0);
+  EXPECT_TRUE(vn.validate().ok());
+}
+
+TEST(VirtualNetworkSpecTest, OverAllocationRejected) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kTimeTriggered};
+  vn.add_link(producer_link("msgA", 1, 1_ms));  // 140 B per 10ms round
+  vn.set_allocation(100, 10_ms);
+  EXPECT_FALSE(vn.validate().ok());
+}
+
+TEST(VirtualNetworkSpecTest, EtWorstCaseUsesTmin) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kEventTriggered};
+  LinkSpec ls{"job"};
+  ls.add_message(state_message("msgE", "e", 1));
+  PortSpec out;
+  out.message = "msgE";
+  out.direction = DataDirection::kOutput;
+  out.semantics = InfoSemantics::kEvent;
+  out.paradigm = ControlParadigm::kEventTriggered;
+  out.min_interarrival = 2_ms;
+  out.queue_capacity = 8;
+  ls.add_port(out);
+  vn.add_link(std::move(ls));
+  vn.set_allocation(100, 10_ms);
+  // worst case: 14 B every 2ms = 70 B per round.
+  EXPECT_DOUBLE_EQ(vn.worst_case_bytes_per_round(), 70.0);
+  EXPECT_TRUE(vn.unbounded_output_ports().empty());
+  EXPECT_TRUE(vn.validate().ok());
+}
+
+TEST(VirtualNetworkSpecTest, UnboundedEtPortsReported) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kEventTriggered};
+  LinkSpec ls{"job"};
+  ls.add_message(state_message("msgE", "e", 1));
+  PortSpec out;
+  out.message = "msgE";
+  out.direction = DataDirection::kOutput;
+  out.semantics = InfoSemantics::kEvent;
+  out.paradigm = ControlParadigm::kEventTriggered;
+  out.queue_capacity = 8;  // no tmin: unbounded
+  ls.add_port(out);
+  vn.add_link(std::move(ls));
+  const auto unbounded = vn.unbounded_output_ports();
+  ASSERT_EQ(unbounded.size(), 1u);
+  EXPECT_EQ(unbounded[0], "msgE");
+  EXPECT_DOUBLE_EQ(vn.worst_case_bytes_per_round(), 0.0);
+}
+
+TEST(VirtualNetworkSpecTest, DuplicateProducerRejected) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kTimeTriggered};
+  vn.add_link(producer_link("msgA", 1, 10_ms));
+  vn.add_link(producer_link("msgA", 1, 10_ms));  // second producer for msgA
+  EXPECT_FALSE(vn.validate().ok());
+}
+
+TEST(VirtualNetworkSpecTest, ConsumerOfSameMessageAccepted) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kTimeTriggered};
+  vn.add_link(producer_link("msgA", 1, 10_ms));
+  LinkSpec consumer{"job2"};
+  consumer.add_message(state_message("msgA", "e_msgA", 1));
+  consumer.add_port(tt_input("msgA", 10_ms));
+  vn.add_link(std::move(consumer));
+  EXPECT_TRUE(vn.validate().ok());
+}
+
+TEST(VirtualNetworkSpecTest, ConflictingLayoutRejected) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kTimeTriggered};
+  vn.add_link(producer_link("msgA", 1, 10_ms));
+  LinkSpec consumer{"job2"};
+  MessageSpec other{"msgA"};  // same name, different layout
+  ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(FieldSpec{"id", FieldType::kInt32, 0, ta::Value{1}});
+  other.add_element(std::move(key));
+  consumer.add_message(std::move(other));
+  vn.add_link(std::move(consumer));
+  EXPECT_FALSE(vn.validate().ok());
+}
+
+TEST(VirtualNetworkSpecTest, WrongParadigmPortRejected) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kEventTriggered};
+  vn.add_link(producer_link("msgA", 1, 10_ms));  // TT port in an ET VN
+  EXPECT_FALSE(vn.validate().ok());
+}
+
+TEST(VirtualNetworkSpecTest, EmptyRejected) {
+  VirtualNetworkSpec vn{"v", ControlParadigm::kTimeTriggered};
+  EXPECT_FALSE(vn.validate().ok());
+}
+
+}  // namespace
+}  // namespace decos::spec

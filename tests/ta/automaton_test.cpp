@@ -1,0 +1,113 @@
+#include "ta/automaton.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::ta {
+namespace {
+
+using namespace decos::literals;
+
+AutomatonSpec two_state() {
+  AutomatonSpec spec{"demo"};
+  spec.add_location("idle");
+  spec.add_location("busy");
+  return spec;
+}
+
+TEST(AutomatonSpecTest, FirstLocationIsDefaultInitial) {
+  const AutomatonSpec spec = two_state();
+  EXPECT_EQ(spec.initial(), "idle");
+  EXPECT_TRUE(spec.has_location("busy"));
+  EXPECT_FALSE(spec.has_location("nope"));
+}
+
+TEST(AutomatonSpecTest, DuplicateLocationIgnored) {
+  AutomatonSpec spec{"demo"};
+  spec.add_location("a");
+  spec.add_location("a");
+  EXPECT_EQ(spec.locations().size(), 1u);
+}
+
+TEST(AutomatonSpecTest, ValidateAcceptsWellFormed) {
+  AutomatonSpec spec = two_state();
+  Edge e;
+  e.source = "idle";
+  e.target = "busy";
+  e.action = ActionKind::kReceive;
+  e.message = "m";
+  spec.add_edge(std::move(e));
+  EXPECT_TRUE(spec.validate().ok());
+}
+
+TEST(AutomatonSpecTest, ValidateRejectsEmptyAndBadRefs) {
+  EXPECT_FALSE(AutomatonSpec{"empty"}.validate().ok());
+
+  AutomatonSpec bad_init = two_state();
+  bad_init.set_initial("missing");
+  EXPECT_FALSE(bad_init.validate().ok());
+
+  AutomatonSpec bad_error = two_state();
+  bad_error.set_error("missing");
+  EXPECT_FALSE(bad_error.validate().ok());
+
+  AutomatonSpec bad_edge = two_state();
+  Edge e;
+  e.source = "idle";
+  e.target = "nowhere";
+  bad_edge.add_edge(std::move(e));
+  EXPECT_FALSE(bad_edge.validate().ok());
+
+  AutomatonSpec no_msg = two_state();
+  Edge e2;
+  e2.source = "idle";
+  e2.target = "busy";
+  e2.action = ActionKind::kSend;  // message missing
+  no_msg.add_edge(std::move(e2));
+  EXPECT_FALSE(no_msg.validate().ok());
+}
+
+TEST(AutomatonSpecTest, EdgeLabelsAreReadable) {
+  Edge e;
+  e.source = "a";
+  e.target = "b";
+  e.action = ActionKind::kSend;
+  e.message = "msgX";
+  e.guard = parse_expression("x >= 5").value();
+  const std::string label = e.label();
+  EXPECT_NE(label.find("msgX!"), std::string::npos);
+  EXPECT_NE(label.find("a -> b"), std::string::npos);
+  EXPECT_NE(label.find("guard"), std::string::npos);
+}
+
+TEST(AutomatonFactoriesTest, UnconstrainedReceiveValidates) {
+  const AutomatonSpec spec = make_unconstrained_receive("r", "m");
+  EXPECT_TRUE(spec.validate().ok());
+  EXPECT_EQ(spec.edges().size(), 1u);
+  EXPECT_EQ(spec.edges()[0].action, ActionKind::kReceive);
+  EXPECT_TRUE(spec.error().empty());
+}
+
+TEST(AutomatonFactoriesTest, InterarrivalReceiveShape) {
+  const AutomatonSpec spec = make_interarrival_receive("r", "m", 4_ms, 100_ms);
+  EXPECT_TRUE(spec.validate().ok());
+  EXPECT_EQ(spec.error(), "error");
+  EXPECT_EQ(spec.clocks().size(), 1u);
+  // Three edges: in-window reception, early violation, timeout.
+  EXPECT_EQ(spec.edges().size(), 3u);
+  int recv = 0;
+  int internal = 0;
+  for (const auto& e : spec.edges()) {
+    if (e.action == ActionKind::kReceive) ++recv;
+    if (e.action == ActionKind::kInternal) ++internal;
+  }
+  EXPECT_EQ(recv, 2);
+  EXPECT_EQ(internal, 1);
+}
+
+TEST(AutomatonFactoriesTest, PeriodicAndUnconstrainedSend) {
+  EXPECT_TRUE(make_periodic_send("s", "m", 10_ms).validate().ok());
+  EXPECT_TRUE(make_unconstrained_send("s", "m").validate().ok());
+}
+
+}  // namespace
+}  // namespace decos::ta

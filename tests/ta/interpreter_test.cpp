@@ -1,0 +1,224 @@
+#include "ta/interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::ta {
+namespace {
+
+using namespace decos::literals;
+
+Instant at(std::int64_t ms) { return Instant::origin() + Duration::milliseconds(ms); }
+
+TEST(InterpreterTest, UnconstrainedReceiveAlwaysFires) {
+  const AutomatonSpec spec = make_unconstrained_receive("r", "m");
+  Interpreter interp{spec};
+  EXPECT_EQ(interp.on_receive("m", at(0)), FireResult::kFired);
+  EXPECT_EQ(interp.on_receive("m", at(1)), FireResult::kFired);
+  EXPECT_EQ(interp.transitions(), 2u);
+  EXPECT_FALSE(interp.in_error());
+}
+
+TEST(InterpreterTest, UnknownMessageIsNotEnabled) {
+  const AutomatonSpec spec = make_unconstrained_receive("r", "m");
+  Interpreter interp{spec};
+  EXPECT_EQ(interp.on_receive("other", at(0)), FireResult::kNotEnabled);
+}
+
+TEST(InterpreterTest, InterarrivalAcceptsWellPacedTraffic) {
+  const AutomatonSpec spec = make_interarrival_receive("r", "m", 4_ms, 100_ms);
+  Interpreter interp{spec};
+  EXPECT_EQ(interp.on_receive("m", at(0)), FireResult::kFired);   // first always ok
+  EXPECT_EQ(interp.on_receive("m", at(10)), FireResult::kFired);  // 10ms gap
+  EXPECT_EQ(interp.on_receive("m", at(14)), FireResult::kFired);  // exactly tmin
+  EXPECT_FALSE(interp.in_error());
+}
+
+TEST(InterpreterTest, EarlyArrivalEntersError) {
+  const AutomatonSpec spec = make_interarrival_receive("r", "m", 4_ms, 100_ms);
+  Interpreter interp{spec};
+  EXPECT_EQ(interp.on_receive("m", at(0)), FireResult::kFired);
+  EXPECT_EQ(interp.on_receive("m", at(1)), FireResult::kError);  // 1ms < tmin
+  EXPECT_TRUE(interp.in_error());
+  // Everything after the violation is rejected until restart.
+  EXPECT_EQ(interp.on_receive("m", at(50)), FireResult::kError);
+}
+
+TEST(InterpreterTest, TimeoutDetectedByPoll) {
+  const AutomatonSpec spec = make_interarrival_receive("r", "m", 4_ms, 100_ms);
+  Interpreter interp{spec};
+  EXPECT_EQ(interp.on_receive("m", at(0)), FireResult::kFired);
+  EXPECT_EQ(interp.poll(at(50)), 0);  // within tmax: nothing fires
+  EXPECT_FALSE(interp.in_error());
+  EXPECT_EQ(interp.poll(at(150)), 1);  // beyond tmax: timeout edge
+  EXPECT_TRUE(interp.in_error());
+}
+
+TEST(InterpreterTest, NoTimeoutBeforeFirstMessage) {
+  const AutomatonSpec spec = make_interarrival_receive("r", "m", 4_ms, 100_ms);
+  Interpreter interp{spec};
+  EXPECT_EQ(interp.poll(at(500)), 0);  // n == 0: silence is legal
+  EXPECT_FALSE(interp.in_error());
+}
+
+TEST(InterpreterTest, RestartClearsErrorAndClocks) {
+  const AutomatonSpec spec = make_interarrival_receive("r", "m", 4_ms, 100_ms);
+  Interpreter interp{spec};
+  interp.on_receive("m", at(0));
+  interp.on_receive("m", at(1));
+  ASSERT_TRUE(interp.in_error());
+  interp.restart(at(200));
+  EXPECT_FALSE(interp.in_error());
+  EXPECT_EQ(interp.location(), "wait");
+  EXPECT_EQ(interp.on_receive("m", at(205)), FireResult::kFired);  // first again
+}
+
+TEST(InterpreterTest, LateArrivalAfterTmaxIsErrorEvenWithoutPoll) {
+  const AutomatonSpec spec = make_interarrival_receive("r", "m", 4_ms, 100_ms);
+  Interpreter interp{spec};
+  interp.on_receive("m", at(0));
+  // 200ms gap: the in-window edge guard fails, the early edge fails, so
+  // the arrival itself is the specification violation.
+  EXPECT_EQ(interp.on_receive("m", at(200)), FireResult::kError);
+}
+
+TEST(InterpreterTest, PeriodicSendPacing) {
+  const AutomatonSpec spec = make_periodic_send("s", "m", 10_ms);
+  int allowed = 0;
+  InterpreterHooks hooks;
+  hooks.can_send = [&](const std::string&) { return true; };
+  Interpreter interp{spec, std::move(hooks)};
+  interp.restart(at(0));
+  // First send immediately, then only after each full period.
+  EXPECT_EQ(interp.try_send("m", at(0)), FireResult::kFired);
+  EXPECT_EQ(interp.try_send("m", at(3)), FireResult::kNotEnabled);
+  EXPECT_EQ(interp.try_send("m", at(9)), FireResult::kNotEnabled);
+  EXPECT_EQ(interp.try_send("m", at(10)), FireResult::kFired);
+  EXPECT_EQ(interp.try_send("m", at(15)), FireResult::kNotEnabled);
+  EXPECT_EQ(interp.try_send("m", at(21)), FireResult::kFired);
+  (void)allowed;
+}
+
+TEST(InterpreterTest, SendGateRequestsMissingElements) {
+  const AutomatonSpec spec = make_unconstrained_send("s", "m");
+  bool available = false;
+  std::vector<std::string> requested;
+  InterpreterHooks hooks;
+  hooks.can_send = [&](const std::string&) { return available; };
+  hooks.request_missing = [&](const std::string& msg) { requested.push_back(msg); };
+  Interpreter interp{spec, std::move(hooks)};
+
+  EXPECT_EQ(interp.try_send("m", at(0)), FireResult::kNotEnabled);
+  ASSERT_EQ(requested.size(), 1u);
+  EXPECT_EQ(requested[0], "m");
+
+  available = true;
+  EXPECT_EQ(interp.try_send("m", at(1)), FireResult::kFired);
+  EXPECT_EQ(requested.size(), 1u);  // no further request once available
+}
+
+TEST(InterpreterTest, ExternalIdentifiersResolveThroughHook) {
+  AutomatonSpec spec{"g"};
+  spec.add_location("run");
+  spec.add_clock("x");
+  Edge e;
+  e.source = "run";
+  e.target = "run";
+  e.action = ActionKind::kReceive;
+  e.message = "m";
+  e.guard = parse_expression("x >= tmin").value();
+  e.assignments = parse_assignments("x := 0").value();
+  spec.add_edge(std::move(e));
+
+  InterpreterHooks hooks;
+  hooks.resolve = [](const std::string& name) -> Value {
+    if (name == "tmin") return Value{Duration::milliseconds(4)};
+    throw SpecError("unknown " + name);
+  };
+  Interpreter interp{spec, std::move(hooks)};
+  interp.restart(at(0));
+  EXPECT_EQ(interp.on_receive("m", at(2)), FireResult::kNotEnabled);  // no error state here
+  EXPECT_EQ(interp.on_receive("m", at(5)), FireResult::kFired);
+}
+
+TEST(InterpreterTest, HorizonFunctionDelegatedToInvokeHook) {
+  AutomatonSpec spec{"g"};
+  spec.add_location("run");
+  Edge e;
+  e.source = "run";
+  e.target = "run";
+  e.action = ActionKind::kSend;
+  e.message = "m";
+  e.guard = parse_expression("horizon(\"m\") > 1ms").value();
+  spec.add_edge(std::move(e));
+
+  Duration horizon = 5_ms;
+  InterpreterHooks hooks;
+  hooks.invoke = [&](const std::string& fn, const std::vector<Value>& args) -> Value {
+    EXPECT_EQ(fn, "horizon");
+    EXPECT_EQ(args[0].as_string(), "m");
+    return Value{horizon};
+  };
+  Interpreter interp{spec, std::move(hooks)};
+  EXPECT_EQ(interp.try_send("m", at(0)), FireResult::kFired);
+  horizon = 0_ms;
+  EXPECT_EQ(interp.try_send("m", at(1)), FireResult::kNotEnabled);
+}
+
+TEST(InterpreterTest, NondeterminismIsAConfigurationError) {
+  AutomatonSpec spec{"bad"};
+  spec.add_location("run");
+  for (int i = 0; i < 2; ++i) {
+    Edge e;
+    e.source = "run";
+    e.target = "run";
+    e.action = ActionKind::kReceive;
+    e.message = "m";
+    spec.add_edge(std::move(e));
+  }
+  Interpreter interp{spec};
+  EXPECT_THROW(interp.on_receive("m", at(0)), SpecError);
+}
+
+TEST(InterpreterTest, ClocksAdvanceWithTime) {
+  AutomatonSpec spec{"c"};
+  spec.add_location("run");
+  spec.add_clock("x");
+  Interpreter interp{spec};
+  interp.restart(at(0));
+  EXPECT_EQ(interp.read("x", at(7)).as_duration(), 7_ms);
+  EXPECT_EQ(interp.read("t_now", at(7)).as_instant(), at(7));
+}
+
+TEST(InterpreterTest, VariablesDoNotAdvance) {
+  AutomatonSpec spec{"v"};
+  spec.add_location("run");
+  spec.add_variable("n", Value{5});
+  Interpreter interp{spec};
+  EXPECT_EQ(interp.read("n", at(100)).as_int(), 5);
+}
+
+TEST(InterpreterTest, PollChainBounded) {
+  // Two internal edges forming a cycle with true guards would livelock an
+  // unbounded poll; the interpreter caps the chain.
+  AutomatonSpec spec{"loop"};
+  spec.add_location("a");
+  spec.add_location("b");
+  Edge ab;
+  ab.source = "a";
+  ab.target = "b";
+  spec.add_edge(std::move(ab));
+  Edge ba;
+  ba.source = "b";
+  ba.target = "a";
+  spec.add_edge(std::move(ba));
+  Interpreter interp{spec};
+  EXPECT_LE(interp.poll(at(0)), 16);
+}
+
+TEST(InterpreterTest, ValidationFailureThrowsAtConstruction) {
+  AutomatonSpec spec{"invalid"};
+  EXPECT_THROW(Interpreter{spec}, SpecError);
+}
+
+}  // namespace
+}  // namespace decos::ta

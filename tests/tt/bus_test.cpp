@@ -1,0 +1,136 @@
+#include "tt/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tt/controller.hpp"
+
+namespace decos::tt {
+namespace {
+
+using namespace decos::literals;
+
+struct BusFixture : ::testing::Test {
+  BusFixture() : bus{sim, make_uniform_schedule(10_ms, 2, 1, 32)} {
+    controllers.push_back(std::make_unique<Controller>(sim, bus, 0, sim::DriftingClock{}));
+    controllers.push_back(std::make_unique<Controller>(sim, bus, 1, sim::DriftingClock{}));
+  }
+
+  Frame frame_for(NodeId sender, std::size_t slot, std::uint64_t round,
+                  std::size_t bytes = 4) const {
+    Frame f;
+    f.sender = sender;
+    f.vn = bus.schedule().slot(slot).vn;
+    f.round = round;
+    f.slot_index = slot;
+    f.payload.assign(bytes, std::byte{0x11});
+    return f;
+  }
+
+  sim::Simulator sim;
+  TtBus bus;
+  std::vector<std::unique_ptr<Controller>> controllers;
+};
+
+TEST_F(BusFixture, InSlotTransmissionDelivered) {
+  sim.schedule_at(Instant::origin(), [&] { EXPECT_TRUE(bus.transmit(frame_for(0, 0, 0))); });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_delivered(), 1u);
+  EXPECT_EQ(bus.frames_blocked(), 0u);
+  // Both controllers (including the sender) observed the delivery.
+  EXPECT_EQ(controllers[0]->frames_received(), 1u);
+  EXPECT_EQ(controllers[1]->frames_received(), 1u);
+}
+
+TEST_F(BusFixture, GuardianBlocksForeignSlot) {
+  // Node 1 tries to use node 0's slot.
+  sim.schedule_at(Instant::origin(), [&] { EXPECT_FALSE(bus.transmit(frame_for(1, 0, 0))); });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_blocked(), 1u);
+  EXPECT_EQ(bus.frames_delivered(), 0u);
+}
+
+TEST_F(BusFixture, GuardianBlocksOffScheduleTiming) {
+  // Node 0 owns slot 0 (starts at t=0 each round) but transmits mid-round.
+  sim.schedule_at(Instant::origin() + 3_ms, [&] {
+    EXPECT_FALSE(bus.transmit(frame_for(0, 0, 0)));
+  });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_blocked(), 1u);
+}
+
+TEST_F(BusFixture, GuardianToleratesSmallDeviation) {
+  sim.schedule_at(Instant::origin() + 10_us, [&] {
+    EXPECT_TRUE(bus.transmit(frame_for(0, 0, 0)));  // within 20us tolerance
+  });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_delivered(), 1u);
+}
+
+TEST_F(BusFixture, GuardianBlocksOversizedPayload) {
+  sim.schedule_at(Instant::origin(), [&] {
+    EXPECT_FALSE(bus.transmit(frame_for(0, 0, 0, 100)));  // slot capacity 32
+  });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_blocked(), 1u);
+}
+
+TEST_F(BusFixture, GuardianBlocksWrongVnClaim) {
+  sim.schedule_at(Instant::origin(), [&] {
+    Frame f = frame_for(0, 0, 0);
+    f.vn = 42;  // slot 0 carries vn 0
+    EXPECT_FALSE(bus.transmit(std::move(f)));
+  });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_blocked(), 1u);
+}
+
+TEST_F(BusFixture, DisabledGuardianAdmitsEverything) {
+  bus.set_guardian_enabled(false);
+  sim.schedule_at(Instant::origin() + 3_ms, [&] {
+    EXPECT_TRUE(bus.transmit(frame_for(1, 0, 0)));
+  });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_blocked(), 0u);
+  EXPECT_EQ(bus.frames_delivered(), 1u);
+}
+
+TEST_F(BusFixture, OverlappingTransmissionsCollide) {
+  bus.set_guardian_enabled(false);
+  // Two transmissions 1us apart: each frame occupies (4+8)*80ns ~ 1us on
+  // the medium, so they overlap and destroy each other.
+  sim.schedule_at(Instant::origin(), [&] { bus.transmit(frame_for(0, 0, 0, 32)); });
+  sim.schedule_at(Instant::origin() + 1_us, [&] { bus.transmit(frame_for(1, 1, 0, 32)); });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_delivered(), 0u);
+  EXPECT_GE(bus.collisions(), 1u);
+  EXPECT_EQ(controllers[0]->frames_received(), 0u);
+}
+
+TEST_F(BusFixture, NonOverlappingTransmissionsBothDeliver) {
+  bus.set_guardian_enabled(false);
+  sim.schedule_at(Instant::origin(), [&] { bus.transmit(frame_for(0, 0, 0, 4)); });
+  sim.schedule_at(Instant::origin() + 5_ms, [&] { bus.transmit(frame_for(1, 1, 0, 4)); });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.frames_delivered(), 2u);
+  EXPECT_EQ(bus.collisions(), 0u);
+}
+
+TEST_F(BusFixture, DeliveryLatencyIsTransmissionPlusPropagation) {
+  Instant delivered;
+  controllers[1]->add_frame_listener(
+      [&](const Frame&, Instant, Duration) { delivered = sim.now(); });
+  sim.schedule_at(Instant::origin(), [&] { bus.transmit(frame_for(0, 0, 0, 4)); });
+  sim.run_until(Instant::origin() + 10_ms);
+  // (4+8 bytes) * 80ns + 250ns propagation = 1210ns
+  EXPECT_EQ(delivered, Instant::origin() + Duration::nanoseconds(1210));
+}
+
+TEST_F(BusFixture, TraceRecordsSentAndDelivered) {
+  sim.schedule_at(Instant::origin(), [&] { bus.transmit(frame_for(0, 0, 0)); });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(bus.trace().count(sim::TraceKind::kFrameSent), 1u);
+  EXPECT_EQ(bus.trace().count(sim::TraceKind::kFrameDelivered), 1u);
+}
+
+}  // namespace
+}  // namespace decos::tt

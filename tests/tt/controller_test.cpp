@@ -1,0 +1,162 @@
+#include "tt/controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::tt {
+namespace {
+
+using namespace decos::literals;
+
+struct ControllerFixture : ::testing::Test {
+  ControllerFixture() : bus{sim, make_uniform_schedule(10_ms, 2, 1, 32)} {
+    c0 = std::make_unique<Controller>(sim, bus, 0, sim::DriftingClock{});
+    c1 = std::make_unique<Controller>(sim, bus, 1, sim::DriftingClock{});
+  }
+
+  void start_all() {
+    c0->start();
+    c1->start();
+  }
+
+  sim::Simulator sim;
+  TtBus bus;
+  std::unique_ptr<Controller> c0;
+  std::unique_ptr<Controller> c1;
+};
+
+TEST_F(ControllerFixture, TransmitsLifeSignEveryRound) {
+  start_all();
+  sim.run_until(Instant::origin() + 49_ms);  // rounds 0..4
+  EXPECT_EQ(c0->frames_sent(), 5u);
+  EXPECT_EQ(c1->frames_sent(), 5u);
+  // Each node receives its own and the peer's frames.
+  EXPECT_EQ(c0->frames_received(), 10u);
+}
+
+TEST_F(ControllerFixture, StateBufferContentTransmitted) {
+  std::vector<std::byte> seen;
+  c1->add_frame_listener([&](const Frame& f, Instant, Duration) {
+    if (f.sender == 0 && !f.payload.empty()) seen = f.payload;
+  });
+  c0->write_send_buffer(0, {std::byte{0xAA}, std::byte{0xBB}});
+  start_all();
+  sim.run_until(Instant::origin() + 25_ms);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::byte{0xAA});
+  // State buffer is retained: sent again in later rounds (node 0 sent at
+  // t=0,10,20; node 1's own frames at t=5,15 have also been delivered).
+  EXPECT_EQ(c1->frames_received(), 5u);
+}
+
+TEST_F(ControllerFixture, QueueBufferConsumedOncePerSlot) {
+  c0->set_slot_buffering(0, SlotBuffering::kQueue, 8);
+  EXPECT_TRUE(c0->enqueue_send(0, {std::byte{1}}));
+  EXPECT_TRUE(c0->enqueue_send(0, {std::byte{2}}));
+  EXPECT_EQ(c0->queue_depth(0), 2u);
+
+  std::vector<std::vector<std::byte>> payloads;
+  c1->add_frame_listener([&](const Frame& f, Instant, Duration) {
+    if (f.sender == 0) payloads.push_back(f.payload);
+  });
+  start_all();
+  sim.run_until(Instant::origin() + 35_ms);  // rounds 0..3
+  ASSERT_EQ(payloads.size(), 4u);
+  EXPECT_EQ(payloads[0], (std::vector<std::byte>{std::byte{1}}));
+  EXPECT_EQ(payloads[1], (std::vector<std::byte>{std::byte{2}}));
+  EXPECT_TRUE(payloads[2].empty());  // queue drained: life-sign only
+  EXPECT_EQ(c0->queue_depth(0), 0u);
+}
+
+TEST_F(ControllerFixture, QueueBufferBounded) {
+  c0->set_slot_buffering(0, SlotBuffering::kQueue, 2);
+  EXPECT_TRUE(c0->enqueue_send(0, {std::byte{1}}));
+  EXPECT_TRUE(c0->enqueue_send(0, {std::byte{2}}));
+  EXPECT_FALSE(c0->enqueue_send(0, {std::byte{3}}));
+}
+
+TEST_F(ControllerFixture, SlotSourcePulledAtTransmission) {
+  int pulls = 0;
+  c0->set_slot_source(0, [&]() -> std::optional<std::vector<std::byte>> {
+    ++pulls;
+    return std::vector<std::byte>{std::byte{0x77}};
+  });
+  start_all();
+  sim.run_until(Instant::origin() + 29_ms);
+  EXPECT_EQ(pulls, 3);
+}
+
+TEST_F(ControllerFixture, ForeignSlotAccessThrows) {
+  EXPECT_THROW(c0->write_send_buffer(1, {}), SpecError);
+  EXPECT_THROW(c0->enqueue_send(1, {}), SpecError);
+  EXPECT_THROW(c0->set_slot_buffering(1, SlotBuffering::kQueue), SpecError);
+  EXPECT_THROW(c0->set_slot_source(1, nullptr), SpecError);
+}
+
+TEST_F(ControllerFixture, CrashedNodeSilent) {
+  start_all();
+  sim.schedule_at(Instant::origin() + 15_ms, [&] { c0->set_crashed(true); });
+  sim.run_until(Instant::origin() + 50_ms);
+  EXPECT_EQ(c0->frames_sent(), 2u);  // rounds 0 and 1 only
+  EXPECT_EQ(c1->frames_sent(), 5u);
+}
+
+TEST_F(ControllerFixture, CrashedNodeResumesAfterRecovery) {
+  start_all();
+  sim.schedule_at(Instant::origin() + 15_ms, [&] { c0->set_crashed(true); });
+  sim.schedule_at(Instant::origin() + 35_ms, [&] { c0->set_crashed(false); });
+  sim.run_until(Instant::origin() + 59_ms);
+  EXPECT_EQ(c0->frames_sent(), 4u);  // rounds 0,1 then 4,5
+}
+
+TEST_F(ControllerFixture, OmissionRateDropsSomeFrames) {
+  c0->set_send_omission_rate(0.5, 42);
+  start_all();
+  sim.run_until(Instant::origin() + 1_s);  // 100 rounds
+  EXPECT_GT(c0->frames_sent(), 20u);
+  EXPECT_LT(c0->frames_sent(), 80u);
+  EXPECT_EQ(c1->frames_sent(), 100u);
+}
+
+TEST_F(ControllerFixture, RoundListenersFireEveryRound) {
+  std::vector<std::uint64_t> rounds;
+  c0->add_round_listener([&](std::uint64_t round) { rounds.push_back(round); });
+  start_all();
+  sim.run_until(Instant::origin() + 45_ms);
+  EXPECT_EQ(rounds, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST_F(ControllerFixture, DriftingNodeEventuallyBlockedByGuardian) {
+  // Rebuild node 0 with a huge drift: +3000 ppm = 30us error per 10ms
+  // round; the guardian window is 20us, so its second round is blocked.
+  sim::Simulator sim2;
+  TtBus bus2{sim2, make_uniform_schedule(10_ms, 2, 1, 32)};
+  Controller fast{sim2, bus2, 0, sim::DriftingClock{-3000.0}};
+  Controller ok{sim2, bus2, 1, sim::DriftingClock{}};
+  fast.start();
+  ok.start();
+  sim2.run_until(Instant::origin() + 100_ms);
+  EXPECT_GT(bus2.frames_blocked(), 0u);
+  EXPECT_LT(fast.frames_sent(), 10u);
+  EXPECT_EQ(ok.frames_sent(), 10u);
+}
+
+TEST_F(ControllerFixture, DeviationReflectsClockOffset) {
+  // Node 1's clock reads 5us ahead; arrivals appear 5us "late" on its
+  // local clock relative to the nominal schedule.
+  sim::Simulator sim2;
+  TtBus bus2{sim2, make_uniform_schedule(10_ms, 2, 1, 32)};
+  Controller sender{sim2, bus2, 0, sim::DriftingClock{}};
+  Controller skewed{sim2, bus2, 1, sim::DriftingClock{0.0, 5_us}};
+  std::vector<Duration> deviations;
+  skewed.add_frame_listener([&](const Frame& f, Instant, Duration d) {
+    if (f.sender == 0) deviations.push_back(d);
+  });
+  sender.start();
+  skewed.start();
+  sim2.run_until(Instant::origin() + 30_ms);
+  ASSERT_FALSE(deviations.empty());
+  for (const Duration d : deviations) EXPECT_EQ(d, 5_us);
+}
+
+}  // namespace
+}  // namespace decos::tt

@@ -1,0 +1,72 @@
+#include "tt/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::tt {
+namespace {
+
+using namespace decos::literals;
+
+TEST(TdmaScheduleTest, UniformScheduleShape) {
+  const TdmaSchedule s = make_uniform_schedule(10_ms, 4, 2, 32, 3);
+  EXPECT_TRUE(s.validate().ok());
+  EXPECT_EQ(s.slot_count(), 8u);
+  EXPECT_EQ(s.round_length(), 10_ms);
+  for (const auto& slot : s.slots()) {
+    EXPECT_EQ(slot.duration, 10_ms / 8);
+    EXPECT_EQ(slot.vn, 3u);
+    EXPECT_EQ(slot.payload_bytes, 32u);
+  }
+  EXPECT_EQ(s.slots_of(0).size(), 2u);
+  EXPECT_EQ(s.slots_of(3).size(), 2u);
+  EXPECT_EQ(s.slots_of_vn(3).size(), 8u);
+  EXPECT_EQ(s.slots_of_vn(0).size(), 0u);
+  EXPECT_EQ(s.bytes_per_round(3), 8u * 32u);
+}
+
+TEST(TdmaScheduleTest, SlotStartAcrossRounds) {
+  const TdmaSchedule s = make_uniform_schedule(10_ms, 2, 1, 16);
+  EXPECT_EQ(s.slot_start(0, 0), Instant::origin());
+  EXPECT_EQ(s.slot_start(0, 1), Instant::origin() + 5_ms);
+  EXPECT_EQ(s.slot_start(3, 1), Instant::origin() + 35_ms);
+}
+
+TEST(TdmaScheduleTest, ValidateRejectsBadSchedules) {
+  TdmaSchedule empty{10_ms};
+  EXPECT_FALSE(empty.validate().ok());
+
+  TdmaSchedule no_round;
+  no_round.add_slot(SlotSpec{0_ms, 1_ms, 0, 0, 8});
+  EXPECT_FALSE(no_round.validate().ok());
+
+  TdmaSchedule unowned{10_ms};
+  unowned.add_slot(SlotSpec{0_ms, 1_ms, kNoNode, 0, 8});
+  EXPECT_FALSE(unowned.validate().ok());
+
+  TdmaSchedule overflow{10_ms};
+  overflow.add_slot(SlotSpec{8_ms, 5_ms, 0, 0, 8});  // exceeds the round
+  EXPECT_FALSE(overflow.validate().ok());
+
+  TdmaSchedule overlap{10_ms};
+  overlap.add_slot(SlotSpec{0_ms, 6_ms, 0, 0, 8});
+  overlap.add_slot(SlotSpec{5_ms, 4_ms, 1, 0, 8});
+  EXPECT_FALSE(overlap.validate().ok());
+
+  TdmaSchedule zero_payload{10_ms};
+  zero_payload.add_slot(SlotSpec{0_ms, 1_ms, 0, 0, 0});
+  EXPECT_FALSE(zero_payload.validate().ok());
+
+  TdmaSchedule zero_duration{10_ms};
+  zero_duration.add_slot(SlotSpec{0_ms, 0_ms, 0, 0, 8});
+  EXPECT_FALSE(zero_duration.validate().ok());
+}
+
+TEST(TdmaScheduleTest, UnorderedButDisjointSlotsAreValid) {
+  TdmaSchedule s{10_ms};
+  s.add_slot(SlotSpec{5_ms, 2_ms, 0, 0, 8});
+  s.add_slot(SlotSpec{1_ms, 2_ms, 1, 0, 8});
+  EXPECT_TRUE(s.validate().ok());
+}
+
+}  // namespace
+}  // namespace decos::tt

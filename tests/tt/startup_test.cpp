@@ -1,0 +1,107 @@
+// Cold-start integration: nodes power up with arbitrary clock offsets,
+// listen, adopt the time base of the first frame they observe, and join
+// the TDMA cycle without ever violating the guardian windows.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "services/clock_sync.hpp"
+#include "tt/controller.hpp"
+
+namespace decos::tt {
+namespace {
+
+using namespace decos::literals;
+
+struct StartupFixture : ::testing::Test {
+  StartupFixture() : bus{sim, make_uniform_schedule(10_ms, 3, 1, 16)} {}
+
+  Controller& add_node(NodeId id, Duration initial_offset, double drift_ppm = 0.0) {
+    controllers.push_back(
+        std::make_unique<Controller>(sim, bus, id, sim::DriftingClock{drift_ppm, initial_offset}));
+    return *controllers.back();
+  }
+
+  sim::Simulator sim;
+  TtBus bus;
+  std::vector<std::unique_ptr<Controller>> controllers;
+};
+
+TEST_F(StartupFixture, IntegratingNodeAdoptsRunningTimeBase) {
+  Controller& master = add_node(0, 0_ms);
+  Controller& joiner = add_node(1, 3_ms);  // clock 3ms ahead of the cluster
+  master.start();
+  joiner.start_integration(100_ms);
+  EXPECT_TRUE(joiner.integrating());
+
+  sim.run_until(Instant::origin() + 200_ms);
+  EXPECT_FALSE(joiner.integrating());
+  // After integration the joiner transmits in its own slots and is never
+  // blocked by the guardian.
+  EXPECT_GT(joiner.frames_sent(), 10u);
+  EXPECT_EQ(bus.frames_blocked(), 0u);
+  // Its clock was corrected to the master's time base.
+  const Instant now = sim.now();
+  EXPECT_LT((joiner.clock().read(now) - master.clock().read(now)).abs(), 10_us);
+}
+
+TEST_F(StartupFixture, SilentClusterElectsColdStartMaster) {
+  Controller& a = add_node(0, 0_ms);
+  Controller& b = add_node(1, 1500_us);
+  // Staggered listen timeouts: node 0 gives up first and becomes master.
+  a.start_integration(30_ms);
+  b.start_integration(60_ms);
+
+  sim.run_until(Instant::origin() + 300_ms);
+  EXPECT_FALSE(a.integrating());
+  EXPECT_FALSE(b.integrating());
+  EXPECT_GT(a.frames_sent(), 0u);
+  EXPECT_GT(b.frames_sent(), 0u);
+  // Node 1 integrated onto node 0's base before its own timeout.
+  EXPECT_EQ(bus.frames_blocked(), 0u);
+  const Instant now = sim.now();
+  EXPECT_LT((a.clock().read(now) - b.clock().read(now)).abs(), 10_us);
+}
+
+TEST_F(StartupFixture, ThreeNodeStaggeredStartupConverges) {
+  Controller& a = add_node(0, 0_ms, 20.0);
+  Controller& b = add_node(1, 4200_us, -15.0);
+  Controller& c = add_node(2, -2700_us, 10.0);
+  services::ClockSync sync_a{a};
+  services::ClockSync sync_b{b};
+  services::ClockSync sync_c{c};
+  a.start_integration(25_ms);
+  b.start_integration(50_ms);
+  c.start_integration(75_ms);
+
+  sim.run_until(Instant::origin() + 1_s);
+  for (const auto& node : controllers) {
+    EXPECT_FALSE(node->integrating());
+    EXPECT_GT(node->frames_sent(), 50u);
+  }
+  EXPECT_EQ(bus.frames_blocked(), 0u);
+  // Ongoing clock sync holds the integrated cluster tight.
+  Duration lo = Duration::max();
+  Duration hi = -Duration::max();
+  for (const auto& node : controllers) {
+    const Duration offset = node->clock().read(sim.now()) - sim.now();
+    lo = std::min(lo, offset);
+    hi = std::max(hi, offset);
+  }
+  EXPECT_LT(hi - lo, 10_us);
+}
+
+TEST_F(StartupFixture, IntegrationWhileTrafficFlowsIsImmediate) {
+  Controller& master = add_node(0, 0_ms);
+  Controller& late = add_node(1, -5_ms);
+  master.start();
+  sim.run_until(Instant::origin() + 95_ms);
+  late.start_integration(500_ms);
+  sim.run_until(Instant::origin() + 130_ms);
+  // Joined within a couple of rounds, long before the 500ms timeout.
+  EXPECT_FALSE(late.integrating());
+  EXPECT_GT(late.frames_sent(), 0u);
+}
+
+}  // namespace
+}  // namespace decos::tt

@@ -1,0 +1,58 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  auto r = Result<int>::failure("boom", 3, 7);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "boom");
+  EXPECT_EQ(r.error().line, 3);
+  EXPECT_EQ(r.error().column, 7);
+  EXPECT_EQ(r.error().to_string(), "boom (line 3, col 7)");
+}
+
+TEST(ResultTest, ValueOnErrorThrows) {
+  auto r = Result<int>::failure("nope");
+  EXPECT_THROW(r.value(), SpecError);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r{std::string{"payload"}};
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, ErrorWithoutLocationOmitsIt) {
+  Error e{"plain", 0, 0};
+  EXPECT_EQ(e.to_string(), "plain");
+}
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_NO_THROW(st.check());
+}
+
+TEST(StatusTest, FailureCarriesMessageAndThrows) {
+  auto st = Status::failure("bad config");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.error().message, "bad config");
+  EXPECT_THROW(st.check(), SpecError);
+}
+
+TEST(StatusTest, ImplicitBoolConversion) {
+  EXPECT_TRUE(static_cast<bool>(Status::success()));
+  EXPECT_FALSE(static_cast<bool>(Status::failure("x")));
+}
+
+}  // namespace
+}  // namespace decos

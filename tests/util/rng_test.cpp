@@ -1,0 +1,108 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace decos {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a{123};
+  Rng b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng{9};
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) {
+    const std::int64_t v = rng.uniform_int(10, 15);
+    ASSERT_GE(v, 10);
+    ASSERT_LE(v, 15);
+    ++counts[static_cast<std::size_t>(v - 10)];
+  }
+  for (const int c : counts) {  // each bucket within 10% of the mean
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, ExponentialMeanConverges) {
+  Rng rng{11};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, NormalMeanAndSpread) {
+  Rng rng{13};
+  double sum = 0;
+  double sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng{17};
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialDurationPositive) {
+  Rng rng{19};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.exponential_duration(Duration::milliseconds(5)).ns(), 0);
+  }
+}
+
+TEST(RngTest, NormalDurationClampedNonNegative) {
+  Rng rng{21};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.normal_duration(Duration::microseconds(1), Duration::milliseconds(10)).ns(), 0);
+  }
+}
+
+TEST(RngTest, ForkedStreamsAreIndependent) {
+  Rng parent{23};
+  Rng child = parent.fork();
+  // The child stream must not replay the parent's outputs.
+  Rng parent2{23};
+  parent2.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (child.next_u64() == parent.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace decos

@@ -1,0 +1,91 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos {
+namespace {
+
+TEST(RunningStatsTest, MeanVarianceMinMax) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, AcceptsDurations) {
+  RunningStats s;
+  s.add(Duration::milliseconds(2));
+  s.add(Duration::milliseconds(4));
+  EXPECT_DOUBLE_EQ(s.mean(), 3e6);
+}
+
+TEST(SampleSetTest, ExactPercentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.99), 99.01, 1e-9);
+}
+
+TEST(SampleSetTest, SpreadIsPeakToPeak) {
+  SampleSet s;
+  s.add(3.0);
+  s.add(11.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.spread(), 8.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+}
+
+TEST(SampleSetTest, AddAfterSortStillCorrect) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);  // forces a sort
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(HistogramTest, BinsAndSaturation) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // saturates into bin 0
+  h.add(42.0);   // saturates into bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, BinLowerEdges) {
+  Histogram h{0.0, 100.0, 4};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 50.0);
+}
+
+TEST(HistogramTest, RenderMentionsCounts) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyRender) {
+  Histogram h{0.0, 1.0, 4};
+  EXPECT_EQ(h.render(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace decos

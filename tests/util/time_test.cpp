@@ -1,0 +1,90 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace decos {
+namespace {
+
+using namespace decos::literals;
+
+TEST(DurationTest, NamedConstructorsAgree) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::milliseconds(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::microseconds(1).ns(), 1'000);
+  EXPECT_EQ(Duration::nanoseconds(1).ns(), 1);
+  EXPECT_EQ(Duration::seconds(2), Duration::milliseconds(2000));
+}
+
+TEST(DurationTest, Literals) {
+  EXPECT_EQ(5_ms, Duration::milliseconds(5));
+  EXPECT_EQ(3_us, Duration::microseconds(3));
+  EXPECT_EQ(7_s, Duration::seconds(7));
+  EXPECT_EQ(9_ns, Duration::nanoseconds(9));
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ(2_ms + 3_ms, 5_ms);
+  EXPECT_EQ(5_ms - 7_ms, Duration::milliseconds(-2));
+  EXPECT_EQ(3_ms * 4, 12_ms);
+  EXPECT_EQ(4 * 3_ms, 12_ms);
+  EXPECT_EQ(12_ms / 4, 3_ms);
+  EXPECT_EQ(12_ms / (3_ms), 4);
+}
+
+TEST(DurationTest, ModuloIsAlwaysNonNegative) {
+  EXPECT_EQ((7_ms).mod(5_ms), 2_ms);
+  EXPECT_EQ((-3_ms).mod(5_ms), 2_ms);
+  EXPECT_EQ((10_ms).mod(5_ms), 0_ms);
+}
+
+TEST(DurationTest, AbsAndSign) {
+  EXPECT_EQ((-4_ms).abs(), 4_ms);
+  EXPECT_TRUE((-1_ns).is_negative());
+  EXPECT_FALSE((0_ns).is_negative());
+  EXPECT_TRUE((0_ns).is_zero());
+}
+
+TEST(DurationTest, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_us).as_ms(), 1.5);
+  EXPECT_DOUBLE_EQ((2_s).as_seconds(), 2.0);
+  EXPECT_DOUBLE_EQ((2_us).as_us(), 2.0);
+}
+
+TEST(DurationTest, Ordering) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(5_ms, 5_ms);
+}
+
+TEST(DurationTest, ToStringPicksLargestExactUnit) {
+  EXPECT_EQ((2_s).to_string(), "2s");
+  EXPECT_EQ((5_ms).to_string(), "5ms");
+  EXPECT_EQ((7_us).to_string(), "7us");
+  EXPECT_EQ((9_ns).to_string(), "9ns");
+  EXPECT_EQ((1500_us).to_string(), "1500us");
+}
+
+TEST(InstantTest, ArithmeticWithDurations) {
+  const Instant t0 = Instant::origin();
+  const Instant t1 = t0 + 5_ms;
+  EXPECT_EQ(t1 - t0, 5_ms);
+  EXPECT_EQ(t1 - 2_ms, t0 + 3_ms);
+  EXPECT_LT(t0, t1);
+}
+
+TEST(InstantTest, PhaseInPeriod) {
+  const Instant t = Instant::origin() + 23_ms;
+  EXPECT_EQ(t.phase_in(10_ms), 3_ms);
+  EXPECT_EQ((Instant::origin() + 20_ms).phase_in(10_ms), 0_ms);
+}
+
+TEST(InstantTest, StreamOutput) {
+  std::ostringstream os;
+  os << (Instant::origin() + 1_ms) << " " << 3_ms;
+  EXPECT_EQ(os.str(), "t=1.000000ms 3ms");
+}
+
+}  // namespace
+}  // namespace decos

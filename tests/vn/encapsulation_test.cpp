@@ -1,0 +1,76 @@
+#include "vn/encapsulation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::vn {
+namespace {
+
+using namespace decos::literals;
+
+TEST(EncapsulationTest, BuildScheduleLayout) {
+  const std::vector<VnAllocation> allocations = {
+      VnAllocation{1, "powertrain", 32, {0, 1}},
+      VnAllocation{2, "comfort", 16, {2, 2}},
+  };
+  auto schedule = EncapsulationService::build_schedule(10_ms, 3, allocations, 8);
+  ASSERT_TRUE(schedule.ok());
+  const tt::TdmaSchedule& s = schedule.value();
+  EXPECT_TRUE(s.validate().ok());
+  EXPECT_EQ(s.slot_count(), 3u + 2u + 2u);
+  // Core slots first, one per node, on VN 0 with 8-byte payloads.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(s.slot(i).vn, tt::kCoreVn);
+    EXPECT_EQ(s.slot(i).owner, i);
+    EXPECT_EQ(s.slot(i).payload_bytes, 8u);
+  }
+  EXPECT_EQ(s.slots_of_vn(1).size(), 2u);
+  EXPECT_EQ(s.slots_of_vn(2).size(), 2u);
+  EXPECT_EQ(s.slot(3).owner, 0u);
+  EXPECT_EQ(s.slot(4).owner, 1u);
+  EXPECT_EQ(s.slot(5).owner, 2u);
+  EXPECT_EQ(s.bytes_per_round(1), 64u);
+  EXPECT_EQ(s.bytes_per_round(2), 32u);
+}
+
+TEST(EncapsulationTest, BandwidthPartitionIsExplicit) {
+  // A VN's share is exactly what it asked for, independent of the other
+  // VN's requests (the basis of E7's independence claim).
+  auto a = EncapsulationService::build_schedule(
+      10_ms, 2, {VnAllocation{1, "x", 32, {0}}, VnAllocation{2, "y", 32, {1}}});
+  auto b = EncapsulationService::build_schedule(
+      10_ms, 2, {VnAllocation{1, "x", 32, {0}}, VnAllocation{2, "y", 32, {1, 1, 1}}});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value().bytes_per_round(1), b.value().bytes_per_round(1));
+}
+
+TEST(EncapsulationTest, RejectsNodeOutsideCluster) {
+  auto schedule =
+      EncapsulationService::build_schedule(10_ms, 2, {VnAllocation{1, "x", 32, {5}}});
+  EXPECT_FALSE(schedule.ok());
+}
+
+TEST(EncapsulationTest, RejectsRoundTooShort) {
+  auto schedule = EncapsulationService::build_schedule(
+      Duration::nanoseconds(3), 4, {VnAllocation{1, "x", 32, {0, 1, 2, 3}}});
+  EXPECT_FALSE(schedule.ok());
+}
+
+TEST(EncapsulationTest, VisibilityCheck) {
+  EncapsulationService service;
+  service.register_vn(1, "powertrain");
+  service.register_vn(2, "comfort");
+
+  EXPECT_TRUE(service.check_attach("powertrain", 1).ok());
+  EXPECT_TRUE(service.check_attach("comfort", 2).ok());
+
+  const auto violation = service.check_attach("comfort", 1);
+  EXPECT_FALSE(violation.ok());
+  EXPECT_NE(violation.error().message.find("encapsulation violation"), std::string::npos);
+  EXPECT_EQ(service.violations(), 1u);
+
+  EXPECT_FALSE(service.check_attach("anything", 99).ok());  // unregistered VN
+}
+
+}  // namespace
+}  // namespace decos::vn

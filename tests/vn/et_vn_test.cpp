@@ -1,0 +1,129 @@
+#include "vn/et_vn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vn_fixture.hpp"
+
+namespace decos::vn {
+namespace {
+
+using decos::testing::VnCluster;
+using decos::testing::input_event_port;
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+struct EtVnFixture : ::testing::Test {
+  EtVnFixture()
+      : cluster{2, {VnAllocation{2, "comfort", 32, {0, 0, 1}}}},
+        network{"comfort-vn", 2, 8} {
+    network.register_message(state_message("msgA", "elemA", 10));
+    network.register_message(state_message("msgB", "elemB", 20));
+    network.set_priority("msgA", 1);
+    network.set_priority("msgB", 2);
+    network.attach_node(cluster.node(0), cluster.vn_slots_of(2, 0));
+    network.attach_node(cluster.node(1), cluster.vn_slots_of(2, 1));
+  }
+
+  spec::MessageInstance make(const std::string& msg, int v) {
+    return make_state_instance(*network.message_spec(msg), v, cluster.sim.now());
+  }
+
+  VnCluster cluster;
+  EtVirtualNetwork network;
+};
+
+TEST_F(EtVnFixture, OnDemandDelivery) {
+  Port in{input_event_port("msgA")};
+  network.attach_receiver(cluster.node(1), in);
+  cluster.sim.schedule_at(Instant::origin() + 3_ms, [&] {
+    EXPECT_TRUE(network.send(cluster.node(0), make("msgA", 7)));
+  });
+  cluster.start();
+  cluster.sim.run_until(Instant::origin() + 30_ms);
+  ASSERT_TRUE(in.has_data());
+  EXPECT_EQ(in.read()->element("elemA")->fields[0].as_int(), 7);
+}
+
+TEST_F(EtVnFixture, PriorityArbitrationWithinNode) {
+  Port inA{input_event_port("msgA")};
+  Port inB{input_event_port("msgB")};
+  network.attach_receiver(cluster.node(1), inA);
+  network.attach_receiver(cluster.node(1), inB);
+
+  std::vector<std::string> order;
+  inA.set_notify([&](Port& p) { order.push_back("A"); p.read(); });
+  inB.set_notify([&](Port& p) { order.push_back("B"); p.read(); });
+
+  // Enqueue the low-priority message first; the high-priority one must
+  // still win the next slot.
+  cluster.sim.schedule_at(Instant::origin() + 1_ms, [&] {
+    network.send(cluster.node(0), make("msgB", 1));
+    network.send(cluster.node(0), make("msgA", 2));
+  });
+  cluster.start();
+  cluster.sim.run_until(Instant::origin() + 50_ms);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "A");
+  EXPECT_EQ(order[1], "B");
+}
+
+TEST_F(EtVnFixture, FifoAmongEqualPriorities) {
+  network.set_priority("msgB", 1);  // equal to msgA
+  Port inA{input_event_port("msgA")};
+  Port inB{input_event_port("msgB")};
+  network.attach_receiver(cluster.node(1), inA);
+  network.attach_receiver(cluster.node(1), inB);
+  std::vector<std::string> order;
+  inA.set_notify([&](Port& p) { order.push_back("A"); p.read(); });
+  inB.set_notify([&](Port& p) { order.push_back("B"); p.read(); });
+  cluster.sim.schedule_at(Instant::origin() + 1_ms, [&] {
+    network.send(cluster.node(0), make("msgB", 1));
+    network.send(cluster.node(0), make("msgA", 2));
+  });
+  cluster.start();
+  cluster.sim.run_until(Instant::origin() + 50_ms);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "B");  // first-come first-served
+}
+
+TEST_F(EtVnFixture, PendingQueueBoundedAndOverloadCounted) {
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(network.send(cluster.node(0), make("msgA", i)));
+  EXPECT_FALSE(network.send(cluster.node(0), make("msgA", 99)));
+  EXPECT_EQ(network.overloads(), 1u);
+  EXPECT_EQ(network.pending(0), 8u);
+}
+
+TEST_F(EtVnFixture, QueueDrainsOverSlots) {
+  Port in{input_event_port("msgA")};
+  network.attach_receiver(cluster.node(1), in);
+  cluster.sim.schedule_at(Instant::origin() + 1_ms, [&] {
+    for (int i = 0; i < 4; ++i) network.send(cluster.node(0), make("msgA", i));
+  });
+  cluster.start();
+  // Node 0 has 2 ET slots per 10ms round: 4 messages need 2 rounds.
+  cluster.sim.run_until(Instant::origin() + 40_ms);
+  EXPECT_EQ(network.pending(0), 0u);
+  EXPECT_EQ(in.queue_depth(), 4u);
+  // Exactly-once, in order.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(in.read()->element("elemA")->fields[0].as_int(), i);
+}
+
+TEST_F(EtVnFixture, SendFromUnattachedNodeThrows) {
+  // A fresh controller with an id never attached to this VN.
+  tt::Controller stranger{cluster.sim, *cluster.bus, 7, sim::DriftingClock{}};
+  EXPECT_THROW(network.send(stranger, make("msgA", 1)), SpecError);
+}
+
+TEST_F(EtVnFixture, SendUnknownMessageThrows) {
+  auto inst = make_state_instance(state_message("ghost", "e", 9), 1, Instant::origin());
+  EXPECT_THROW(network.send(cluster.node(0), inst), SpecError);
+}
+
+TEST_F(EtVnFixture, DefaultPriorityForUnlistedMessages) {
+  EXPECT_EQ(network.priority_of("msgA"), 1);
+  EXPECT_EQ(network.priority_of("unlisted"), 1000);
+}
+
+}  // namespace
+}  // namespace decos::vn

@@ -1,0 +1,112 @@
+#include "vn/port.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace decos::vn {
+namespace {
+
+using decos::testing::make_state_instance;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+spec::PortSpec state_port_spec(spec::DataDirection dir) {
+  spec::PortSpec ps;
+  ps.message = "m";
+  ps.direction = dir;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.period = 10_ms;
+  return ps;
+}
+
+spec::PortSpec event_port_spec(std::size_t capacity) {
+  spec::PortSpec ps;
+  ps.message = "m";
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.queue_capacity = capacity;
+  return ps;
+}
+
+spec::MessageInstance instance_with_value(int v) {
+  static const spec::MessageSpec ms = state_message("m", "e", 1);
+  return make_state_instance(ms, v, Instant::origin());
+}
+
+TEST(PortTest, StatePortOverwritesInPlace) {
+  Port port{state_port_spec(spec::DataDirection::kInput)};
+  EXPECT_FALSE(port.has_data());
+  EXPECT_TRUE(port.deposit(instance_with_value(1), Instant::origin()));
+  EXPECT_TRUE(port.deposit(instance_with_value(2), Instant::origin() + 1_ms));
+  ASSERT_TRUE(port.has_data());
+  const auto read = port.read();
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(read->element("e")->fields[0].as_int(), 2);
+  // Non-consuming: still readable.
+  EXPECT_TRUE(port.has_data());
+  EXPECT_EQ(port.read()->element("e")->fields[0].as_int(), 2);
+  EXPECT_EQ(port.deposits(), 2u);
+  EXPECT_EQ(port.overflows(), 0u);
+}
+
+TEST(PortTest, EventPortQueuesExactlyOnce) {
+  Port port{event_port_spec(4)};
+  port.deposit(instance_with_value(1), Instant::origin());
+  port.deposit(instance_with_value(2), Instant::origin());
+  EXPECT_EQ(port.queue_depth(), 2u);
+  EXPECT_EQ(port.read()->element("e")->fields[0].as_int(), 1);  // FIFO
+  EXPECT_EQ(port.read()->element("e")->fields[0].as_int(), 2);
+  EXPECT_FALSE(port.read().has_value());  // consumed
+  EXPECT_EQ(port.reads(), 2u);
+}
+
+TEST(PortTest, EventPortOverflowCounted) {
+  Port port{event_port_spec(2)};
+  EXPECT_TRUE(port.deposit(instance_with_value(1), Instant::origin()));
+  EXPECT_TRUE(port.deposit(instance_with_value(2), Instant::origin()));
+  EXPECT_FALSE(port.deposit(instance_with_value(3), Instant::origin()));
+  EXPECT_EQ(port.overflows(), 1u);
+  EXPECT_EQ(port.queue_depth(), 2u);
+}
+
+TEST(PortTest, LastUpdateTracked) {
+  Port port{state_port_spec(spec::DataDirection::kInput)};
+  EXPECT_FALSE(port.last_update().has_value());
+  port.deposit(instance_with_value(1), Instant::origin() + 7_ms);
+  ASSERT_TRUE(port.last_update().has_value());
+  EXPECT_EQ(*port.last_update(), Instant::origin() + 7_ms);
+}
+
+TEST(PortTest, PushPortNotifies) {
+  spec::PortSpec ps = state_port_spec(spec::DataDirection::kInput);
+  ps.interaction = spec::Interaction::kPush;
+  Port port{ps};
+  int notified = 0;
+  port.set_notify([&](Port& p) {
+    ++notified;
+    EXPECT_TRUE(p.has_data());
+  });
+  port.deposit(instance_with_value(1), Instant::origin());
+  port.deposit(instance_with_value(2), Instant::origin());
+  EXPECT_EQ(notified, 2);
+}
+
+TEST(PortTest, PullPortDoesNotNotify) {
+  spec::PortSpec ps = state_port_spec(spec::DataDirection::kInput);
+  ps.interaction = spec::Interaction::kPull;
+  Port port{ps};
+  int notified = 0;
+  port.set_notify([&](Port&) { ++notified; });
+  port.deposit(instance_with_value(1), Instant::origin());
+  EXPECT_EQ(notified, 0);
+}
+
+TEST(PortTest, InvalidSpecRejectedAtConstruction) {
+  spec::PortSpec bad;  // no message name
+  EXPECT_THROW(Port{bad}, SpecError);
+}
+
+}  // namespace
+}  // namespace decos::vn

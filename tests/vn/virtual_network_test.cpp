@@ -1,0 +1,76 @@
+// VirtualNetwork base-class behaviour: namespace registry, wire-key
+// identification, and delivery accounting.
+#include "vn/virtual_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "vn/tt_vn.hpp"
+#include "vn_fixture.hpp"
+
+namespace decos::vn {
+namespace {
+
+using decos::testing::VnCluster;
+using decos::testing::input_state_port;
+using decos::testing::make_state_instance;
+using decos::testing::output_state_port;
+using decos::testing::state_message;
+using namespace decos::literals;
+
+TEST(VirtualNetworkTest, NamespaceRegistryAndIdentify) {
+  TtVirtualNetwork vn{"v", 1};
+  vn.register_message(state_message("msgA", "a", 1));
+  vn.register_message(state_message("msgB", "b", 2));
+  EXPECT_NE(vn.message_spec("msgA"), nullptr);
+  EXPECT_EQ(vn.message_spec("ghost"), nullptr);
+  EXPECT_EQ(vn.messages().size(), 2u);
+
+  const auto bytes =
+      spec::encode(*vn.message_spec("msgB"), spec::make_instance(*vn.message_spec("msgB")))
+          .value();
+  ASSERT_NE(vn.identify(bytes), nullptr);
+  EXPECT_EQ(vn.identify(bytes)->name(), "msgB");
+}
+
+TEST(VirtualNetworkTest, InvalidMessageRejected) {
+  TtVirtualNetwork vn{"v", 1};
+  EXPECT_THROW(vn.register_message(spec::MessageSpec{"empty"}), SpecError);
+}
+
+TEST(VirtualNetworkTest, DasBindingAndMetadata) {
+  TtVirtualNetwork vn{"powertrain-vn", 7};
+  vn.set_das("powertrain");
+  EXPECT_EQ(vn.das(), "powertrain");
+  EXPECT_EQ(vn.id(), 7u);
+  EXPECT_EQ(vn.name(), "powertrain-vn");
+  EXPECT_EQ(vn.paradigm(), spec::ControlParadigm::kTimeTriggered);
+}
+
+TEST(VirtualNetworkTest, DeliveryAccountingCountsPerPort) {
+  VnCluster cluster{3, {VnAllocation{1, "d", 32, {0}}}};
+  TtVirtualNetwork vn{"v", 1};
+  vn.register_message(state_message("msgA", "a", 1));
+
+  Port out{output_state_port("msgA", 10_ms)};
+  vn.attach_sender(cluster.node(0), out, cluster.vn_slots_of(1, 0));
+  Port in1{input_state_port("msgA", 10_ms)};
+  Port in2{input_state_port("msgA", 10_ms)};
+  vn.attach_receiver(cluster.node(1), in1);
+  vn.attach_receiver(cluster.node(1), in2);  // two ports, same node
+
+  out.deposit(make_state_instance(*vn.message_spec("msgA"), 1, Instant::origin()),
+              Instant::origin());
+  cluster.start();
+  cluster.sim.run_until(Instant::origin() + 15_ms);
+
+  // One frame delivered to node 1 lands in both registered input ports.
+  EXPECT_EQ(vn.messages_delivered(), 2u);
+  EXPECT_EQ(vn.bytes_delivered(),
+            2u * vn.message_spec("msgA")->wire_size());
+  EXPECT_TRUE(in1.has_data());
+  EXPECT_TRUE(in2.has_data());
+}
+
+}  // namespace
+}  // namespace decos::vn

@@ -1,0 +1,89 @@
+// Small-cluster fixture shared by the virtual-network tests: 3 nodes, a
+// schedule with one core slot per node plus VN slots built through the
+// encapsulation service.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "sim/simulator.hpp"
+#include "tt/bus.hpp"
+#include "tt/controller.hpp"
+#include "vn/encapsulation.hpp"
+
+namespace decos::testing {
+
+using namespace decos::literals;
+
+struct VnCluster {
+  /// allocations: slot requests per VN (see EncapsulationService).
+  VnCluster(std::size_t nodes, const std::vector<vn::VnAllocation>& allocations,
+            Duration round = 10_ms) {
+    auto schedule =
+        vn::EncapsulationService::build_schedule(round, nodes, allocations, 8);
+    bus = std::make_unique<tt::TtBus>(sim, std::move(schedule.value()));
+    for (std::size_t i = 0; i < nodes; ++i) {
+      controllers.push_back(std::make_unique<tt::Controller>(
+          sim, *bus, static_cast<tt::NodeId>(i), sim::DriftingClock{}));
+    }
+  }
+
+  void start() {
+    for (auto& c : controllers) c->start();
+  }
+
+  tt::Controller& node(std::size_t i) { return *controllers[i]; }
+
+  /// Slots of `vn` owned by node `i`.
+  std::vector<std::size_t> vn_slots_of(tt::VnId vn, tt::NodeId node_id) const {
+    std::vector<std::size_t> out;
+    for (const std::size_t s : bus->schedule().slots_of_vn(vn))
+      if (bus->schedule().slot(s).owner == node_id) out.push_back(s);
+    return out;
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<tt::TtBus> bus;
+  std::vector<std::unique_ptr<tt::Controller>> controllers;
+};
+
+inline spec::PortSpec output_state_port(const std::string& message, Duration period) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.period = period;
+  return ps;
+}
+
+inline spec::PortSpec input_state_port(const std::string& message, Duration period) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.period = period;
+  return ps;
+}
+
+inline spec::PortSpec input_event_port(const std::string& message, std::size_t capacity = 16) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.queue_capacity = capacity;
+  return ps;
+}
+
+inline spec::PortSpec output_event_port(const std::string& message, std::size_t capacity = 16) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.queue_capacity = capacity;
+  return ps;
+}
+
+}  // namespace decos::testing

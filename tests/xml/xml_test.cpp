@@ -1,0 +1,125 @@
+#include "xml/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::xml {
+namespace {
+
+TEST(XmlParseTest, SimpleElement) {
+  auto doc = parse("<root/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->name(), "root");
+  EXPECT_TRUE(doc.value().root->children().empty());
+}
+
+TEST(XmlParseTest, AttributesBothQuoteStyles) {
+  auto doc = parse(R"(<m name="msgX" id='7'/>)");
+  ASSERT_TRUE(doc.ok());
+  const Element& root = *doc.value().root;
+  EXPECT_EQ(root.attribute("name"), "msgX");
+  EXPECT_EQ(root.attribute("id"), "7");
+  EXPECT_TRUE(root.has_attribute("name"));
+  EXPECT_FALSE(root.has_attribute("nope"));
+  EXPECT_EQ(root.attribute_or("nope", "dflt"), "dflt");
+}
+
+TEST(XmlParseTest, NestedChildrenAndText) {
+  auto doc = parse("<a><b>hello</b><b>world</b><c>  trimmed  </c></a>");
+  ASSERT_TRUE(doc.ok());
+  const Element& root = *doc.value().root;
+  EXPECT_EQ(root.children().size(), 3u);
+  EXPECT_EQ(root.children_named("b").size(), 2u);
+  EXPECT_EQ(root.child("b")->text(), "hello");
+  EXPECT_EQ(root.child_text("c"), "trimmed");
+  EXPECT_EQ(root.child("zzz"), nullptr);
+  EXPECT_EQ(root.child_text("zzz"), "");
+}
+
+TEST(XmlParseTest, DeclarationAndCommentsSkipped) {
+  auto doc = parse("<?xml version=\"1.0\"?><!-- hi --><root><!-- inner --><x/></root>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->children().size(), 1u);
+}
+
+TEST(XmlParseTest, PredefinedEntities) {
+  auto doc = parse("<g>x&lt;tmax &amp;&amp; y&gt;=tmin &quot;q&quot; &apos;a&apos;</g>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "x<tmax && y>=tmin \"q\" 'a'");
+}
+
+TEST(XmlParseTest, NumericCharacterReferences) {
+  auto doc = parse("<g>&#65;&#x42;</g>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->text(), "AB");
+}
+
+TEST(XmlParseTest, EntityInAttribute) {
+  auto doc = parse(R"(<g guard="a&lt;b"/>)");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc.value().root->attribute("guard"), "a<b");
+}
+
+TEST(XmlParseTest, MismatchedTagIsError) {
+  auto doc = parse("<a><b></a></b>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.error().message.find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParseTest, UnterminatedElementIsError) {
+  EXPECT_FALSE(parse("<a><b></b>").ok());
+}
+
+TEST(XmlParseTest, DuplicateAttributeIsError) {
+  EXPECT_FALSE(parse(R"(<a x="1" x="2"/>)").ok());
+}
+
+TEST(XmlParseTest, TrailingContentIsError) {
+  EXPECT_FALSE(parse("<a/><b/>").ok());
+}
+
+TEST(XmlParseTest, UnknownEntityIsError) {
+  EXPECT_FALSE(parse("<a>&bogus;</a>").ok());
+}
+
+TEST(XmlParseTest, ErrorsCarryLineNumbers) {
+  auto doc = parse("<a>\n  <b>\n</a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_GE(doc.error().line, 2);
+}
+
+TEST(XmlParseTest, EmptyInputIsError) {
+  EXPECT_FALSE(parse("").ok());
+  EXPECT_FALSE(parse("   \n ").ok());
+}
+
+TEST(XmlWriteTest, RoundTrip) {
+  Element root{"linkspec"};
+  root.set_attribute("v", "1");
+  Element& msg = root.add_child("message");
+  msg.set_attribute("name", "m<with&odd>chars");
+  msg.add_child("field").set_text("a<b");
+  const std::string text = write(root);
+
+  auto doc = parse(text);
+  ASSERT_TRUE(doc.ok());
+  const Element& back = *doc.value().root;
+  EXPECT_EQ(back.name(), "linkspec");
+  EXPECT_EQ(back.attribute("v"), "1");
+  EXPECT_EQ(back.child("message")->attribute("name"), "m<with&odd>chars");
+  EXPECT_EQ(back.child("message")->child("field")->text(), "a<b");
+}
+
+TEST(XmlWriteTest, EscapeCoversAllFive) {
+  EXPECT_EQ(escape("<>&\"'"), "&lt;&gt;&amp;&quot;&apos;");
+}
+
+TEST(XmlElementTest, SetAttributeOverwrites) {
+  Element e{"x"};
+  e.set_attribute("k", "1");
+  e.set_attribute("k", "2");
+  EXPECT_EQ(e.attribute("k"), "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+}
+
+}  // namespace
+}  // namespace decos::xml
