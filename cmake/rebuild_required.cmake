@@ -1,0 +1,12 @@
+# Placeholder test body seeded into gtest_discover_tests' sidecar file at
+# configure time (see decos_test in tests/CMakeLists.txt). It only ever
+# runs when ctest is invoked before the test binary has been (re)built --
+# the post-build discovery step overwrites the sidecar with the real test
+# list. Fails loudly with an actionable message instead of the stock
+# "<name>_NOT_BUILT ... Not Run" placeholder.
+#
+# Invoked as: cmake -DTEST_BINARY=<target> -P rebuild_required.cmake
+message(FATAL_ERROR
+  "test binary '${TEST_BINARY}' has not been built yet: rebuild required.\n"
+  "Run:  cmake --build <build-dir> -j   (or scripts/verify.sh for a full "
+  "configure + build + ctest cycle)")

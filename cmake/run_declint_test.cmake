@@ -1,0 +1,27 @@
+# ctest driver for declint CLI cases.
+# Inputs: -DDECLINT=<path> -DSPEC=<path> -DEXPECT_EXIT=<n> [-DEXPECT_MATCH=<regex>]
+if(NOT EXISTS "${DECLINT}")
+  message(FATAL_ERROR
+    "declint binary '${DECLINT}' has not been built yet: rebuild required.\n"
+    "Run: cmake --build <build-dir> -j (or scripts/verify.sh)")
+endif()
+
+execute_process(
+  COMMAND "${DECLINT}" "${SPEC}"
+  OUTPUT_VARIABLE _out
+  ERROR_VARIABLE _err
+  RESULT_VARIABLE _rc)
+
+set(_all "${_out}${_err}")
+
+if(NOT _rc EQUAL "${EXPECT_EXIT}")
+  message(FATAL_ERROR
+    "declint ${SPEC}: expected exit ${EXPECT_EXIT}, got ${_rc}\noutput:\n${_all}")
+endif()
+
+if(DEFINED EXPECT_MATCH AND NOT "${EXPECT_MATCH}" STREQUAL "")
+  if(NOT _all MATCHES "${EXPECT_MATCH}")
+    message(FATAL_ERROR
+      "declint ${SPEC}: output does not match '${EXPECT_MATCH}'\noutput:\n${_all}")
+  endif()
+endif()

@@ -1,0 +1,15 @@
+# Test driver for the example binaries (examples/CMakeLists.txt): fails
+# with an actionable "rebuild required" message when the binary is
+# missing (ctest invoked before the build) instead of reporting the
+# confusing "Unable to find executable ... Not Run".
+#
+# Invoked as: cmake -DBINARY=<path> -P run_example.cmake
+if(NOT EXISTS "${BINARY}")
+  message(FATAL_ERROR
+    "example binary '${BINARY}' has not been built yet: rebuild required.\n"
+    "Run:  cmake --build <build-dir> -j   (or scripts/verify.sh)")
+endif()
+execute_process(COMMAND "${BINARY}" RESULT_VARIABLE _rc)
+if(NOT _rc EQUAL 0)
+  message(FATAL_ERROR "example '${BINARY}' failed with exit code ${_rc}")
+endif()

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Check (or with --fix, apply) clang-format over the C++ sources.
+# Exits 0 with a notice when clang-format is not installed so the check
+# can run in minimal containers without blocking the build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FORMATTER="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$FORMATTER" >/dev/null 2>&1; then
+  echo "format-check: $FORMATTER not found; skipping (install clang-format to enable)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files 'src/**/*.cpp' 'src/**/*.hpp' \
+  'tools/**/*.cpp' 'tools/**/*.hpp' 'tests/**/*.cpp' 'tests/**/*.hpp' \
+  'examples/**/*.cpp' 'bench/**/*.cpp')
+
+if [[ "${1:-}" == "--fix" ]]; then
+  "$FORMATTER" -i "${files[@]}"
+  echo "format-check: reformatted ${#files[@]} files"
+  exit 0
+fi
+
+fail=0
+for f in "${files[@]}"; do
+  if ! "$FORMATTER" --dry-run --Werror "$f" >/dev/null 2>&1; then
+    echo "format-check: $f needs formatting"
+    fail=1
+  fi
+done
+if [[ $fail -ne 0 ]]; then
+  echo "format-check: run scripts/format-check.sh --fix"
+  exit 1
+fi
+echo "format-check: ${#files[@]} files clean"

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, run the full test suite.
+#
+#   scripts/verify.sh [build-dir] [-- extra cmake args...]
+#
+# Examples:
+#   scripts/verify.sh                       # default build/ directory
+#   scripts/verify.sh build-asan -- -DDECOS_SANITIZE=address;undefined
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="build"
+if [[ $# -gt 0 && "$1" != "--" ]]; then
+  BUILD_DIR="$1"
+  shift
+fi
+if [[ $# -gt 0 && "$1" == "--" ]]; then
+  shift
+fi
+
+cmake -B "$BUILD_DIR" -S . "$@"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"

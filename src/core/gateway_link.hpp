@@ -40,6 +40,9 @@ class GatewayLink {
   const std::string& repo_name(const std::string& link_element) const;
   /// Inverse lookup used at construction time.
   const std::string& link_name(const std::string& repo_element) const;
+  /// Full renaming table (link-namespace name -> repository name); the
+  /// static analyzer mirrors it into its deployment model.
+  const std::map<std::string, std::string>& renames_to_repo() const { return rename_to_repo_; }
 
   // -- runtime ports ---------------------------------------------------
   /// Created by VirtualGateway::finalize() from the link spec's port

@@ -1,0 +1,56 @@
+#include "core/gateway_lint.hpp"
+
+namespace decos::core {
+
+lint::GatewayModel make_lint_model(const VirtualGateway& gateway, const tt::TdmaSchedule* schedule,
+                                   std::array<std::optional<tt::VnId>, 2> link_vn) {
+  lint::GatewayModel model;
+  model.name = gateway.name();
+  model.dispatch_period = gateway.config().dispatch_period;
+  model.default_d_acc = gateway.config().default_d_acc;
+  model.default_queue_capacity = gateway.config().default_queue_capacity;
+  model.links = {&gateway.link(0).spec(), &gateway.link(1).spec()};
+  for (int side = 0; side < 2; ++side)
+    model.rename_to_repo[static_cast<std::size_t>(side)] = gateway.link(side).renames_to_repo();
+  for (const auto& [name, decl] : gateway.element_overrides())
+    model.element_overrides[name] =
+        lint::ElementMeta{decl.semantics, decl.d_acc, decl.queue_capacity};
+  model.schedule = schedule;
+  model.link_vn = link_vn;
+  return model;
+}
+
+lint::GatewayModel make_lint_model(const GatewayDoc& doc) {
+  lint::GatewayModel model;
+  model.name = doc.name;
+  model.dispatch_period = doc.config.dispatch_period;
+  model.default_d_acc = doc.config.default_d_acc;
+  model.default_queue_capacity = doc.config.default_queue_capacity;
+  model.links = {&doc.links[0], &doc.links[1]};
+  for (const GatewayRename& rename : doc.renames)
+    model.rename_to_repo[static_cast<std::size_t>(rename.side)][rename.from] = rename.to;
+  for (const GatewayElementOverride& element : doc.elements)
+    model.element_overrides[element.name] =
+        lint::ElementMeta{element.semantics, element.d_acc, element.queue_capacity};
+  if (doc.schedule.has_value()) model.schedule = &*doc.schedule;
+  model.link_vn = doc.link_vn;
+  return model;
+}
+
+lint::Report lint_gateway_doc(const GatewayDoc& doc) {
+  return lint::lint_gateway(make_lint_model(doc));
+}
+
+lint::Report VirtualGateway::lint() const {
+  const tt::TdmaSchedule* schedule =
+      lint_schedule_.has_value() ? &*lint_schedule_ : nullptr;
+  return lint::lint_gateway(make_lint_model(*this, schedule, lint_vn_));
+}
+
+void VirtualGateway::set_lint_context(tt::TdmaSchedule schedule,
+                                      std::array<std::optional<tt::VnId>, 2> link_vn) {
+  lint_schedule_ = std::move(schedule);
+  lint_vn_ = link_vn;
+}
+
+}  // namespace decos::core

@@ -1,0 +1,30 @@
+// Bridge between the runtime gateway (core/) and the static deployment
+// analyzer (lint/): mirrors a VirtualGateway's configuration -- link
+// specs, renaming tables, repository overrides, dispatch parameters and
+// the optional TDMA-schedule context -- into the analyzer's plain-data
+// GatewayModel. The lint library stays free of core dependencies; core
+// uses it for strict construction (GatewayConfig::strict_lint).
+#pragma once
+
+#include "core/gateway_xml.hpp"
+#include "core/virtual_gateway.hpp"
+#include "lint/lint.hpp"
+
+namespace decos::core {
+
+/// Analyzer view of `gateway`'s configuration. The model borrows the
+/// gateway's link specs; it must not outlive the gateway (or the
+/// schedule, when one is passed explicitly).
+lint::GatewayModel make_lint_model(const VirtualGateway& gateway,
+                                   const tt::TdmaSchedule* schedule = nullptr,
+                                   std::array<std::optional<tt::VnId>, 2> link_vn = {});
+
+/// Analyzer view of a parsed-but-not-constructed deployment document
+/// (what `declint` runs on: analysis must not require building runtime
+/// state). The model borrows the document's links and schedule.
+lint::GatewayModel make_lint_model(const GatewayDoc& doc);
+
+/// Convenience: full deployment analysis of a document.
+lint::Report lint_gateway_doc(const GatewayDoc& doc);
+
+}  // namespace decos::core

@@ -1,5 +1,6 @@
 #include "core/gateway_xml.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -11,13 +12,13 @@
 namespace decos::core {
 namespace {
 
-
 Result<std::size_t> parse_size_attr(const std::string& text, const char* what) {
   if (text.empty())
     return Result<std::size_t>::failure(std::string{"empty "} + what + " attribute");
   char* end = nullptr;
+  errno = 0;  // strtol reports overflow via ERANGE, not the return value
   const long value = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0' || value < 0)
+  if (end == text.c_str() || *end != '\0' || value < 0 || errno == ERANGE)
     return Result<std::size_t>::failure(std::string{"bad "} + what + " attribute '" + text + "'");
   return static_cast<std::size_t>(value);
 }
@@ -43,99 +44,184 @@ Result<Duration> parse_duration(const std::string& text) {
   }
 }
 
+Result<Duration> parse_duration_attr(const xml::Element& e, const char* key) {
+  return parse_duration(e.attribute(std::string{key}));
+}
+
+Result<tt::TdmaSchedule> parse_schedule(const xml::Element& se) {
+  using R = Result<tt::TdmaSchedule>;
+  if (!se.has_attribute("round")) return R::failure("<schedule> needs a round attribute");
+  auto round = parse_duration_attr(se, "round");
+  if (!round.ok()) return round.error();
+  tt::TdmaSchedule schedule{round.value()};
+  for (const xml::Element* sl : se.children_named("slot")) {
+    tt::SlotSpec slot;
+    if (sl->has_attribute("offset")) {
+      auto d = parse_duration_attr(*sl, "offset");
+      if (!d.ok()) return d.error();
+      slot.offset = d.value();
+    }
+    if (!sl->has_attribute("duration")) return R::failure("<slot> needs a duration attribute");
+    auto d = parse_duration_attr(*sl, "duration");
+    if (!d.ok()) return d.error();
+    slot.duration = d.value();
+    if (sl->has_attribute("owner")) {
+      auto owner = parse_size_attr(sl->attribute("owner"), "owner");
+      if (!owner.ok()) return owner.error();
+      slot.owner = static_cast<tt::NodeId>(owner.value());
+    }
+    if (sl->has_attribute("vn")) {
+      auto vn = parse_size_attr(sl->attribute("vn"), "vn");
+      if (!vn.ok()) return vn.error();
+      slot.vn = static_cast<tt::VnId>(vn.value());
+    }
+    if (sl->has_attribute("bytes")) {
+      auto bytes = parse_size_attr(sl->attribute("bytes"), "bytes");
+      if (!bytes.ok()) return bytes.error();
+      slot.payload_bytes = bytes.value();
+    }
+    schedule.add_slot(slot);
+  }
+  return schedule;
+}
+
 }  // namespace
 
-Result<std::unique_ptr<VirtualGateway>> parse_gateway_xml(std::string_view xml_text) {
-  using R = Result<std::unique_ptr<VirtualGateway>>;
-  auto doc = xml::parse(xml_text);
-  if (!doc.ok()) return doc.error();
-  const xml::Element& root = *doc.value().root;
+Result<GatewayDoc> parse_gateway_doc(std::string_view xml_text) {
+  using R = Result<GatewayDoc>;
+  auto parsed = xml::parse(xml_text);
+  if (!parsed.ok()) return parsed.error();
+  const xml::Element& root = *parsed.value().root;
   if (root.name() != "gatewayspec")
     return R::failure("expected <gatewayspec> root, got <" + root.name() + ">");
 
-  const std::string name = root.attribute_or("name", "gateway");
+  GatewayDoc doc;
+  doc.name = root.attribute_or("name", "gateway");
 
-  GatewayConfig config;
   if (const xml::Element* ce = root.child("config"); ce != nullptr) {
     if (ce->has_attribute("dispatch")) {
-      auto d = parse_duration(ce->attribute("dispatch"));
+      auto d = parse_duration_attr(*ce, "dispatch");
       if (!d.ok()) return d.error();
-      config.dispatch_period = d.value();
+      doc.config.dispatch_period = d.value();
     }
     if (ce->has_attribute("restart")) {
-      auto d = parse_duration(ce->attribute("restart"));
+      auto d = parse_duration_attr(*ce, "restart");
       if (!d.ok()) return d.error();
-      config.restart_delay = d.value();
+      doc.config.restart_delay = d.value();
     }
     if (ce->has_attribute("dacc")) {
-      auto d = parse_duration(ce->attribute("dacc"));
+      auto d = parse_duration_attr(*ce, "dacc");
       if (!d.ok()) return d.error();
-      config.default_d_acc = d.value();
+      doc.config.default_d_acc = d.value();
     }
     if (ce->has_attribute("queue")) {
-      auto parsed = parse_size_attr(ce->attribute("queue"), "queue");
-      if (!parsed.ok()) return parsed.error();
-      config.default_queue_capacity = parsed.value();
+      auto q = parse_size_attr(ce->attribute("queue"), "queue");
+      if (!q.ok()) return q.error();
+      doc.config.default_queue_capacity = q.value();
     }
     if (ce->has_attribute("filtering"))
-      config.temporal_filtering = ce->attribute("filtering") != "off";
+      doc.config.temporal_filtering = ce->attribute("filtering") != "off";
     if (ce->has_attribute("pull"))
-      config.pull_only_on_request = ce->attribute("pull") == "on-request";
+      doc.config.pull_only_on_request = ce->attribute("pull") == "on-request";
+    if (ce->has_attribute("lint")) {
+      const std::string mode = ce->attribute("lint");
+      if (mode != "strict" && mode != "off")
+        return R::failure("<config lint=\"" + mode + "\">: expected \"strict\" or \"off\"");
+      doc.config.strict_lint = mode == "strict";
+    }
   }
 
   const auto link_elements = root.children_named("linkspec");
   if (link_elements.size() != 2)
     return R::failure("a <gatewayspec> needs exactly 2 <linkspec> children, found " +
                       std::to_string(link_elements.size()));
-
-  // Re-serialize each child so the linkspec parser sees a standalone doc.
-  auto link_a = spec::parse_link_spec_xml(xml::write(*link_elements[0]));
-  if (!link_a.ok()) return Error{"link 0: " + link_a.error().message};
-  auto link_b = spec::parse_link_spec_xml(xml::write(*link_elements[1]));
-  if (!link_b.ok()) return Error{"link 1: " + link_b.error().message};
-
-  auto gateway = std::make_unique<VirtualGateway>(name, std::move(link_a.value()),
-                                                  std::move(link_b.value()), config);
+  for (std::size_t side = 0; side < 2; ++side) {
+    // Re-serialize the child so the linkspec parser sees a standalone doc.
+    auto link = spec::parse_link_spec_xml(xml::write(*link_elements[side]));
+    if (!link.ok())
+      return Error{"link " + std::to_string(side) + ": " + link.error().message};
+    doc.links[side] = std::move(link.value());
+    if (link_elements[side]->has_attribute("vn")) {
+      auto vn = parse_size_attr(link_elements[side]->attribute("vn"), "vn");
+      if (!vn.ok()) return vn.error();
+      doc.link_vn[side] = static_cast<tt::VnId>(vn.value());
+    }
+  }
 
   for (const xml::Element* re : root.children_named("rename")) {
     const std::string side = re->attribute("side");
-    if (side != "0" && side != "1")
-      return R::failure("<rename> needs side=\"0\" or \"1\"");
-    const std::string from = re->attribute("from");
-    const std::string to = re->attribute("to");
-    if (from.empty() || to.empty()) return R::failure("<rename> needs from= and to=");
-    gateway->link(side == "0" ? 0 : 1).add_rename(from, to);
+    if (side != "0" && side != "1") return R::failure("<rename> needs side=\"0\" or \"1\"");
+    GatewayRename rename;
+    rename.side = side == "0" ? 0 : 1;
+    rename.from = re->attribute("from");
+    rename.to = re->attribute("to");
+    if (rename.from.empty() || rename.to.empty())
+      return R::failure("<rename> needs from= and to=");
+    doc.renames.push_back(std::move(rename));
   }
 
   for (const xml::Element* ee : root.children_named("element")) {
-    const std::string element_name = ee->attribute("name");
-    if (element_name.empty()) return R::failure("<element> needs a name");
+    GatewayElementOverride element;
+    element.name = ee->attribute("name");
+    if (element.name.empty()) return R::failure("<element> needs a name");
     const std::string semantics_text = ee->attribute_or("semantics", "state");
-    spec::InfoSemantics semantics;
-    if (semantics_text == "state") semantics = spec::InfoSemantics::kState;
-    else if (semantics_text == "event") semantics = spec::InfoSemantics::kEvent;
-    else return R::failure("<element name=\"" + element_name + "\">: bad semantics");
-    Duration d_acc = config.default_d_acc;
+    if (semantics_text == "state") element.semantics = spec::InfoSemantics::kState;
+    else if (semantics_text == "event") element.semantics = spec::InfoSemantics::kEvent;
+    else return R::failure("<element name=\"" + element.name + "\">: bad semantics");
+    element.d_acc = doc.config.default_d_acc;
     if (ee->has_attribute("dacc")) {
-      auto d = parse_duration(ee->attribute("dacc"));
+      auto d = parse_duration_attr(*ee, "dacc");
       if (!d.ok()) return d.error();
-      d_acc = d.value();
+      element.d_acc = d.value();
     }
-    std::size_t queue = config.default_queue_capacity;
+    element.queue_capacity = doc.config.default_queue_capacity;
     if (ee->has_attribute("queue")) {
-      auto parsed = parse_size_attr(ee->attribute("queue"), "queue");
-      if (!parsed.ok()) return parsed.error();
-      queue = parsed.value();
+      auto q = parse_size_attr(ee->attribute("queue"), "queue");
+      if (!q.ok()) return q.error();
+      element.queue_capacity = q.value();
     }
-    gateway->set_element_config(element_name, semantics, d_acc, queue);
+    doc.elements.push_back(std::move(element));
   }
 
+  if (const xml::Element* se = root.child("schedule"); se != nullptr) {
+    auto schedule = parse_schedule(*se);
+    if (!schedule.ok()) return schedule.error();
+    doc.schedule = std::move(schedule.value());
+  }
+
+  return doc;
+}
+
+Result<GatewayDoc> load_gateway_doc(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return Result<GatewayDoc>::failure("cannot open gateway spec '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_gateway_doc(buffer.str());
+}
+
+Result<std::unique_ptr<VirtualGateway>> build_gateway(const GatewayDoc& doc) {
+  using R = Result<std::unique_ptr<VirtualGateway>>;
+  auto gateway =
+      std::make_unique<VirtualGateway>(doc.name, doc.links[0], doc.links[1], doc.config);
+  for (const GatewayRename& rename : doc.renames)
+    gateway->link(rename.side).add_rename(rename.from, rename.to);
+  for (const GatewayElementOverride& element : doc.elements)
+    gateway->set_element_config(element.name, element.semantics, element.d_acc,
+                                element.queue_capacity);
+  if (doc.schedule.has_value()) gateway->set_lint_context(*doc.schedule, doc.link_vn);
   try {
     gateway->finalize();
   } catch (const SpecError& e) {
-    return R::failure(std::string{"gateway '"} + name + "' rejected: " + e.what());
+    return R::failure(std::string{"gateway '"} + doc.name + "' rejected: " + e.what());
   }
   return gateway;
+}
+
+Result<std::unique_ptr<VirtualGateway>> parse_gateway_xml(std::string_view xml_text) {
+  auto doc = parse_gateway_doc(xml_text);
+  if (!doc.ok()) return doc.error();
+  return build_gateway(doc.value());
 }
 
 Result<std::unique_ptr<VirtualGateway>> load_gateway_file(const std::string& path) {

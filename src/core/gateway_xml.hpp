@@ -8,22 +8,77 @@
 // module bundles all of it into one deployable artifact:
 //
 //   <gatewayspec name="wheel-share">
-//     <config dispatch="1ms" restart="50ms" dacc="50ms" queue="16"/>
-//     <linkspec> ... side 0 (Fig. 6 format) ... </linkspec>
-//     <linkspec> ... side 1 ... </linkspec>
+//     <config dispatch="1ms" restart="50ms" dacc="50ms" queue="16"
+//             lint="strict"/>
+//     <linkspec vn="1"> ... side 0 (Fig. 6 format) ... </linkspec>
+//     <linkspec vn="2"> ... side 1 ... </linkspec>
 //     <rename side="1" from="speedinfo" to="wheelspeed"/>
 //     <element name="wheelspeed" semantics="state" dacc="40ms"/>
+//     <schedule round="10ms">
+//       <slot offset="0ms" duration="1ms" owner="1" vn="1" bytes="32"/>
+//     </schedule>
 //   </gatewayspec>
+//
+// The optional <schedule> element and the linkspec vn= attributes give
+// the static analyzer (declint) its physical-network context: with them
+// it checks the links' worst-case bandwidth against the TDMA slots of
+// the core network (rule DL003). lint="strict" makes construction fail
+// on any analyzer error.
+//
+// Parsing and building are split so tools can analyze a deployment
+// without constructing runtime state: parse_gateway_doc() yields the
+// plain GatewayDoc, build_gateway() turns it into a finalized gateway.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/virtual_gateway.hpp"
 #include "util/result.hpp"
 
 namespace decos::core {
+
+/// One <rename side=.. from=.. to=../> entry.
+struct GatewayRename {
+  int side = 0;
+  std::string from;  // link-namespace element name
+  std::string to;    // repository name
+};
+
+/// One <element name=.. semantics=.. dacc=.. queue=../> override.
+struct GatewayElementOverride {
+  std::string name;
+  spec::InfoSemantics semantics = spec::InfoSemantics::kState;
+  Duration d_acc = Duration::zero();
+  std::size_t queue_capacity = 0;
+};
+
+/// Parsed but not yet constructed <gatewayspec> document.
+struct GatewayDoc {
+  std::string name = "gateway";
+  GatewayConfig config;
+  std::array<spec::LinkSpec, 2> links;
+  std::vector<GatewayRename> renames;
+  std::vector<GatewayElementOverride> elements;
+  /// Physical-network context (optional): <schedule> and <linkspec vn=..>.
+  std::optional<tt::TdmaSchedule> schedule;
+  std::array<std::optional<tt::VnId>, 2> link_vn;
+};
+
+/// Parse a <gatewayspec> document into its deployment description.
+Result<GatewayDoc> parse_gateway_doc(std::string_view xml_text);
+
+/// Load a <gatewayspec> file into its deployment description.
+Result<GatewayDoc> load_gateway_doc(const std::string& path);
+
+/// Construct and finalize the gateway a document describes. With
+/// config lint="strict" this fails (with the analyzer's report in the
+/// error message) when the deployment violates any lint rule.
+Result<std::unique_ptr<VirtualGateway>> build_gateway(const GatewayDoc& doc);
 
 /// Parse a <gatewayspec> document and build the (finalized) gateway.
 Result<std::unique_ptr<VirtualGateway>> parse_gateway_xml(std::string_view xml_text);

@@ -140,6 +140,12 @@ std::vector<std::string> VirtualGateway::required_elements(
 
 void VirtualGateway::finalize() {
   if (finalized_) throw SpecError("gateway '" + name_ + "' finalized twice");
+  if (config_.strict_lint) {
+    const lint::Report report = lint();
+    if (!report.clean())
+      throw SpecError("gateway '" + name_ + "' rejected by strict lint (" +
+                      std::to_string(report.error_count()) + " error(s)):\n" + report.format());
+  }
   finalized_ = true;
 
   const auto declare_element = [this](const std::string& repo_element,

@@ -18,17 +18,21 @@
 //   5. resolves incoherent naming through per-link renaming tables.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "core/gateway_link.hpp"
 #include "core/repository.hpp"
+#include "lint/diagnostic.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
+#include "tt/schedule.hpp"
 
 namespace decos::core {
 
@@ -53,6 +57,10 @@ struct GatewayConfig {
   /// via set_element_config().
   Duration default_d_acc = Duration::milliseconds(50);
   std::size_t default_queue_capacity = 16;
+  /// Strict construction: finalize() runs the static deployment analyzer
+  /// (declint, src/lint/) over the configured gateway and throws
+  /// SpecError with the full report when any rule reports an error.
+  bool strict_lint = false;
 };
 
 /// Forwarding statistics (inputs to E1/E2/E4/E10/E12).
@@ -97,6 +105,23 @@ class VirtualGateway {
   /// Must be called before finalize().
   void set_element_config(const std::string& repo_element, spec::InfoSemantics semantics,
                           Duration d_acc, std::size_t queue_capacity = 16);
+  const std::map<std::string, ElementDecl>& element_overrides() const {
+    return element_overrides_;
+  }
+
+  /// Physical-network context for the static analyzer's bandwidth rules
+  /// (DL003): the TDMA schedule of the core network and the VnId each
+  /// link's virtual network rides on. Optional; set before finalize()
+  /// so a strict gateway is checked against its schedule.
+  void set_lint_context(tt::TdmaSchedule schedule,
+                        std::array<std::optional<tt::VnId>, 2> link_vn);
+  const std::optional<tt::TdmaSchedule>& lint_schedule() const { return lint_schedule_; }
+  const std::array<std::optional<tt::VnId>, 2>& lint_vn() const { return lint_vn_; }
+
+  /// Run the static deployment analyzer (declint) over this gateway's
+  /// configuration. Usable before or after finalize(); strict mode calls
+  /// it from finalize() and rejects deployments with errors.
+  lint::Report lint() const;
 
   /// Build ports, repository declarations and interpreters from the two
   /// link specs. Call once, after renames/element configs, before use.
@@ -167,6 +192,9 @@ class VirtualGateway {
   // Current operation instant, visible to the interpreter hooks (the
   // gateway is single-threaded on the simulation loop).
   Instant now_;
+  // Optional physical-network context for lint() (see set_lint_context).
+  std::optional<tt::TdmaSchedule> lint_schedule_;
+  std::array<std::optional<tt::VnId>, 2> lint_vn_{};
   bool finalized_ = false;
 };
 

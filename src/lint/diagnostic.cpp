@@ -1,0 +1,73 @@
+#include "lint/diagnostic.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace decos::lint {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string s = std::string{severity_name(severity)} + " " + rule;
+  if (!location.empty()) s += " at " + location;
+  s += ": " + message;
+  if (!hint.empty()) s += "  [hint: " + hint + "]";
+  return s;
+}
+
+void Report::add(Diagnostic diagnostic) { diagnostics_.push_back(std::move(diagnostic)); }
+
+void Report::add(std::string rule, Severity severity, std::string location, std::string message,
+                 std::string hint) {
+  diagnostics_.push_back(Diagnostic{std::move(rule), severity, std::move(location),
+                                    std::move(message), std::move(hint)});
+}
+
+void Report::merge(Report other) {
+  for (auto& d : other.diagnostics_) diagnostics_.push_back(std::move(d));
+}
+
+std::size_t Report::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::kError; }));
+}
+
+std::size_t Report::warning_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [](const Diagnostic& d) { return d.severity == Severity::kWarning; }));
+}
+
+bool Report::has(const std::string& rule) const {
+  return std::any_of(diagnostics_.begin(), diagnostics_.end(),
+                     [&](const Diagnostic& d) { return d.rule == rule; });
+}
+
+std::vector<const Diagnostic*> Report::by_rule(const std::string& rule) const {
+  std::vector<const Diagnostic*> out;
+  for (const auto& d : diagnostics_)
+    if (d.rule == rule) out.push_back(&d);
+  return out;
+}
+
+std::string Report::format() const {
+  std::string out;
+  for (const Severity severity : {Severity::kError, Severity::kWarning, Severity::kNote}) {
+    for (const auto& d : diagnostics_) {
+      if (d.severity != severity) continue;
+      out += d.to_string();
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace decos::lint

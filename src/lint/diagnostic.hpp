@@ -1,0 +1,59 @@
+// Structured diagnostics for the static deployment analyzer (declint).
+//
+// Every finding carries a stable rule id (documented in the README's
+// "Static analysis" section), a severity, the location of the offending
+// specification fragment and -- when a fix is obvious -- a hint. The
+// analyzer never throws on a bad deployment: it accumulates findings in
+// a Report so one run surfaces everything at once.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace decos::lint {
+
+enum class Severity { kError, kWarning, kNote };
+
+const char* severity_name(Severity severity);
+
+/// One finding of the analyzer.
+struct Diagnostic {
+  std::string rule;      // stable id, e.g. "DL001"
+  Severity severity = Severity::kError;
+  std::string location;  // e.g. "link[0] 'chassis': transfer rule 'movementstate'"
+  std::string message;
+  std::string hint;      // optional fix hint
+
+  /// "error DL001 at link[0] 'chassis': ...  [hint: ...]"
+  std::string to_string() const;
+};
+
+/// Accumulated result of a lint pass over a deployment.
+class Report {
+ public:
+  void add(Diagnostic diagnostic);
+  void add(std::string rule, Severity severity, std::string location, std::string message,
+           std::string hint = {});
+  void merge(Report other);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  bool empty() const { return diagnostics_.empty(); }
+  /// A deployment is deployable when the report carries no errors
+  /// (warnings and notes do not block).
+  bool clean() const { return error_count() == 0; }
+
+  bool has(const std::string& rule) const;
+  std::vector<const Diagnostic*> by_rule(const std::string& rule) const;
+
+  /// Multi-line human-readable rendering, errors before warnings before
+  /// notes (stable within a severity).
+  std::string format() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+};
+
+}  // namespace decos::lint

@@ -1,6 +1,8 @@
 #include "spec/linkspec_xml.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -29,8 +31,9 @@ class LiteralEnv final : public ta::Environment {
 Result<long> parse_uint_attr(const std::string& text, const char* what) {
   if (text.empty()) return Result<long>::failure(std::string{"empty "} + what + " attribute");
   char* end = nullptr;
+  errno = 0;  // strtol reports overflow via ERANGE, not the return value
   const long value = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0' || value < 0)
+  if (end == text.c_str() || *end != '\0' || value < 0 || errno == ERANGE)
     return Result<long>::failure(std::string{"bad "} + what + " attribute '" + text + "'");
   return value;
 }

@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <utility>
 
 namespace decos::ta {
@@ -18,6 +19,7 @@ class Literal final : public Expr {
   Kind kind() const override { return Kind::kLiteral; }
   Value evaluate(Environment&) const override { return value_; }
   std::string to_string() const override { return value_.to_string(); }
+  Result<StaticType> infer_type(const TypeEnv&) const override { return static_type_of(value_); }
   void collect_identifiers(std::vector<std::string>&) const override {}
 
  private:
@@ -30,6 +32,7 @@ class Identifier final : public Expr {
   Kind kind() const override { return Kind::kIdentifier; }
   Value evaluate(Environment& env) const override { return env.get(name_); }
   std::string to_string() const override { return name_; }
+  Result<StaticType> infer_type(const TypeEnv& env) const override { return env.type_of(name_); }
   void collect_identifiers(std::vector<std::string>& out) const override { out.push_back(name_); }
 
  private:
@@ -47,6 +50,17 @@ class Unary final : public Expr {
     return Value{-v.as_int()};
   }
   std::string to_string() const override { return std::string(1, op_) + operand_->to_string(); }
+  Result<StaticType> infer_type(const TypeEnv& env) const override {
+    auto t = operand_->infer_type(env);
+    if (!t.ok()) return t;
+    if (t.value() == StaticType::kString)
+      return Result<StaticType>::failure(std::string{"operator '"} + op_ +
+                                         "' applied to string operand " + operand_->to_string());
+    if (op_ == '!') return StaticType::kBool;
+    // Numeric negation; booleans coerce to int (as_int), kAny stays kAny.
+    if (t.value() == StaticType::kReal || t.value() == StaticType::kAny) return t.value();
+    return StaticType::kInt;
+  }
   void collect_identifiers(std::vector<std::string>& out) const override {
     operand_->collect_identifiers(out);
   }
@@ -135,6 +149,51 @@ class Binary final : public Expr {
   std::string to_string() const override {
     return "(" + lhs_->to_string() + " " + bin_op_name(op_) + " " + rhs_->to_string() + ")";
   }
+  Result<StaticType> infer_type(const TypeEnv& env) const override {
+    auto lt = lhs_->infer_type(env);
+    if (!lt.ok()) return lt;
+    auto rt = rhs_->infer_type(env);
+    if (!rt.ok()) return rt;
+    const StaticType a = lt.value();
+    const StaticType b = rt.value();
+    const auto is_string = [](StaticType t) { return t == StaticType::kString; };
+    const auto mismatch = [&](const char* what) {
+      return Result<StaticType>::failure(std::string{what} + " in " + to_string() + " (" +
+                                         static_type_name(a) + " " + bin_op_name(op_) + " " +
+                                         static_type_name(b) + ")");
+    };
+    switch (op_) {
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        // as_bool() throws on strings at runtime.
+        if (is_string(a) || is_string(b)) return mismatch("logical operator on string operand");
+        return StaticType::kBool;
+      case BinOp::kEq:
+      case BinOp::kNe:
+        // Value::operator== silently yields false for string/non-string
+        // pairs -- statically that is always a specification mistake.
+        if (is_string(a) != is_string(b) && a != StaticType::kAny && b != StaticType::kAny)
+          return mismatch("comparison between string and non-string");
+        return StaticType::kBool;
+      case BinOp::kLt:
+      case BinOp::kLe:
+      case BinOp::kGt:
+      case BinOp::kGe:
+        // Ordered comparison goes through as_real(), which rejects strings.
+        if (is_string(a) || is_string(b)) return mismatch("ordered comparison on string operand");
+        return StaticType::kBool;
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+      case BinOp::kDiv:
+      case BinOp::kMod:
+        if (is_string(a) || is_string(b)) return mismatch("arithmetic on string operand");
+        if (a == StaticType::kReal || b == StaticType::kReal) return StaticType::kReal;
+        if (a == StaticType::kAny || b == StaticType::kAny) return StaticType::kAny;
+        return StaticType::kInt;
+    }
+    return StaticType::kAny;
+  }
   void collect_identifiers(std::vector<std::string>& out) const override {
     lhs_->collect_identifiers(out);
     rhs_->collect_identifiers(out);
@@ -163,6 +222,16 @@ class Call final : public Expr {
       s += args_[i]->to_string();
     }
     return s + ")";
+  }
+  Result<StaticType> infer_type(const TypeEnv& env) const override {
+    std::vector<StaticType> types;
+    types.reserve(args_.size());
+    for (const auto& a : args_) {
+      auto t = a->infer_type(env);
+      if (!t.ok()) return t;
+      types.push_back(t.value());
+    }
+    return env.type_of_call(fn_, types);
   }
   void collect_identifiers(std::vector<std::string>& out) const override {
     for (const auto& a : args_) a->collect_identifiers(out);
@@ -269,7 +338,14 @@ class Lexer {
     // in a specification must surface as a parse error instead.
     try {
       if (scale != 0) {
-        t.number = Value{static_cast<std::int64_t>(std::stod(digits) * static_cast<double>(scale))};
+        // The scaled double must be range-checked before the integer
+        // cast: casting an out-of-range double to int64 is UB, and
+        // std::stod("1e300") does not throw.
+        const double scaled = std::stod(digits) * static_cast<double>(scale);
+        if (!(scaled >= static_cast<double>(std::numeric_limits<std::int64_t>::min()) &&
+              scaled < static_cast<double>(std::numeric_limits<std::int64_t>::max())))
+          return Error{"duration literal out of range: '" + digits + suffix + "'", 0, t.column};
+        t.number = Value{static_cast<std::int64_t>(scaled)};
       } else if (real) {
         t.number = Value{std::stod(digits)};
       } else {
@@ -498,6 +574,24 @@ std::string Value::to_string() const {
 }
 
 std::string Assignment::to_string() const { return target + " := " + value->to_string(); }
+
+std::string static_type_name(StaticType type) {
+  switch (type) {
+    case StaticType::kInt: return "int";
+    case StaticType::kReal: return "real";
+    case StaticType::kBool: return "bool";
+    case StaticType::kString: return "string";
+    case StaticType::kAny: return "any";
+  }
+  return "?";
+}
+
+StaticType static_type_of(const Value& value) {
+  if (value.is_real()) return StaticType::kReal;
+  if (value.is_bool()) return StaticType::kBool;
+  if (value.is_string()) return StaticType::kString;
+  return StaticType::kInt;
+}
 
 Result<ExprPtr> parse_expression(std::string_view text) {
   return ExprParser{text}.parse_full();

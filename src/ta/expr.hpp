@@ -42,6 +42,30 @@ class Environment {
   virtual Value call(const std::string& name, const std::vector<Value>& args) = 0;
 };
 
+/// Static type lattice of the expression language. `kAny` is the top
+/// element used when a binding's type cannot be pinned down statically;
+/// it never produces a type error.
+enum class StaticType { kInt, kReal, kBool, kString, kAny };
+
+std::string static_type_name(StaticType type);
+
+/// Static type of a concrete runtime value.
+StaticType static_type_of(const Value& value);
+
+/// Static counterpart of Environment: resolves identifier and call
+/// *types* instead of values, so expression trees can be checked before
+/// deployment (declint rule DL002).
+class TypeEnv {
+ public:
+  virtual ~TypeEnv() = default;
+  /// Type of identifier `name`; failure == unknown identifier.
+  virtual Result<StaticType> type_of(const std::string& name) const = 0;
+  /// Result type of calling `fn` on arguments of the given types;
+  /// failure == unknown function / wrong arity / bad argument type.
+  virtual Result<StaticType> type_of_call(const std::string& fn,
+                                          const std::vector<StaticType>& args) const = 0;
+};
+
 /// Immutable expression AST node.
 class Expr {
  public:
@@ -51,6 +75,12 @@ class Expr {
   virtual Kind kind() const = 0;
   virtual Value evaluate(Environment& env) const = 0;
   virtual std::string to_string() const = 0;
+
+  /// Static type of this expression under `env`, or a type error (e.g.
+  /// arithmetic on a string, mismatched call arity). Mirrors exactly the
+  /// coercions evaluate() performs at runtime: whatever fails here would
+  /// throw SpecError during semantic conversion.
+  virtual Result<StaticType> infer_type(const TypeEnv& env) const = 0;
 
   /// Collect all identifiers referenced (used for validation: which
   /// clocks/parameters a guard depends on).

@@ -1,0 +1,85 @@
+#include "lint/diagnostic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace decos::lint {
+namespace {
+
+TEST(LintReport, EmptyReportIsClean) {
+  Report report;
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.error_count(), 0u);
+  EXPECT_EQ(report.warning_count(), 0u);
+  EXPECT_EQ(report.format(), "");
+}
+
+TEST(LintReport, CountsBySeverity) {
+  Report report;
+  report.add("DL001", Severity::kError, "here", "broken");
+  report.add("DL002", Severity::kWarning, "there", "dubious");
+  report.add("DL002", Severity::kNote, "there", "fyi");
+  EXPECT_EQ(report.error_count(), 1u);
+  EXPECT_EQ(report.warning_count(), 1u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.diagnostics().size(), 3u);
+}
+
+TEST(LintReport, WarningsDoNotBlockDeployment) {
+  Report report;
+  report.add("DL006", Severity::kWarning, "port", "unbounded");
+  EXPECT_FALSE(report.empty());
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(LintReport, HasAndByRule) {
+  Report report;
+  report.add("DL003", Severity::kError, "slot 1", "overlap");
+  report.add("DL003", Severity::kWarning, "slot 2", "tight");
+  report.add("DL005", Severity::kError, "element", "dead");
+  EXPECT_TRUE(report.has("DL003"));
+  EXPECT_TRUE(report.has("DL005"));
+  EXPECT_FALSE(report.has("DL001"));
+  EXPECT_EQ(report.by_rule("DL003").size(), 2u);
+  EXPECT_EQ(report.by_rule("DL005").size(), 1u);
+}
+
+TEST(LintReport, ToStringCarriesRuleLocationAndHint) {
+  Diagnostic d{"DL004", Severity::kError, "automaton 'a'", "undefined identifier 'x'",
+               "declare a clock"};
+  const std::string s = d.to_string();
+  EXPECT_NE(s.find("error DL004"), std::string::npos);
+  EXPECT_NE(s.find("automaton 'a'"), std::string::npos);
+  EXPECT_NE(s.find("undefined identifier 'x'"), std::string::npos);
+  EXPECT_NE(s.find("declare a clock"), std::string::npos);
+}
+
+TEST(LintReport, FormatOrdersErrorsFirst) {
+  Report report;
+  report.add("DL006", Severity::kNote, "", "a note");
+  report.add("DL006", Severity::kWarning, "", "a warning");
+  report.add("DL006", Severity::kError, "", "an error");
+  const std::string out = report.format();
+  const auto error_pos = out.find("an error");
+  const auto warning_pos = out.find("a warning");
+  const auto note_pos = out.find("a note");
+  ASSERT_NE(error_pos, std::string::npos);
+  ASSERT_NE(warning_pos, std::string::npos);
+  ASSERT_NE(note_pos, std::string::npos);
+  EXPECT_LT(error_pos, warning_pos);
+  EXPECT_LT(warning_pos, note_pos);
+}
+
+TEST(LintReport, MergeAppends) {
+  Report a;
+  a.add("DL001", Severity::kError, "", "one");
+  Report b;
+  b.add("DL002", Severity::kWarning, "", "two");
+  a.merge(std::move(b));
+  EXPECT_EQ(a.diagnostics().size(), 2u);
+  EXPECT_TRUE(a.has("DL001"));
+  EXPECT_TRUE(a.has("DL002"));
+}
+
+}  // namespace
+}  // namespace decos::lint

@@ -1,0 +1,117 @@
+// XML round-trips of the analyzer: every rule's accepting fixture lints
+// clean, every rejecting fixture reports an error under exactly that
+// rule id; the shipped example specs stay clean; strict-mode
+// construction rejects broken deployments with the report attached.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/gateway_lint.hpp"
+#include "core/gateway_xml.hpp"
+#include "lint/lint.hpp"
+
+namespace decos::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string{DECOS_LINT_FIXTURES_DIR} + "/" + name;
+}
+
+Report lint_fixture(const std::string& name) {
+  auto doc = core::load_gateway_doc(fixture(name));
+  EXPECT_TRUE(doc.ok()) << name << ": " << (doc.ok() ? "" : doc.error().message);
+  if (!doc.ok()) return Report{};
+  return core::lint_gateway_doc(doc.value());
+}
+
+bool has_error(const Report& report, const std::string& rule) {
+  for (const Diagnostic* d : report.by_rule(rule))
+    if (d->severity == Severity::kError) return true;
+  return false;
+}
+
+struct RuleCase {
+  const char* rule;
+  const char* ok;
+  const char* bad;
+};
+
+constexpr RuleCase kCases[] = {
+    {kRuleTransfer, "dl001_ok.xml", "dl001_bad.xml"},
+    {kRuleTypes, "dl002_ok.xml", "dl002_bad.xml"},
+    {kRuleSchedule, "dl003_ok.xml", "dl003_bad.xml"},
+    {kRuleAutomaton, "dl004_ok.xml", "dl004_bad.xml"},
+    {kRuleHorizon, "dl005_ok.xml", "dl005_bad.xml"},
+    {kRulePorts, "dl006_ok.xml", "dl006_bad.xml"},
+};
+
+TEST(LintFixtures, AcceptingFixturesAreClean) {
+  for (const RuleCase& c : kCases) {
+    const Report report = lint_fixture(c.ok);
+    EXPECT_TRUE(report.clean()) << c.ok << ":\n" << report.format();
+  }
+}
+
+TEST(LintFixtures, RejectingFixturesFailUnderTheirRule) {
+  for (const RuleCase& c : kCases) {
+    const Report report = lint_fixture(c.bad);
+    EXPECT_TRUE(has_error(report, c.rule)) << c.bad << " should report an error under " << c.rule
+                                           << "; got:\n" << report.format();
+  }
+}
+
+TEST(LintFixtures, ShippedExampleSpecIsClean) {
+  auto doc = core::load_gateway_doc(std::string{DECOS_SPECS_DIR} + "/yaw_gateway.xml");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const Report report = core::lint_gateway_doc(doc.value());
+  EXPECT_TRUE(report.clean()) << report.format();
+}
+
+TEST(LintFixtures, ScheduleContextSurvivesParsing) {
+  auto doc = core::load_gateway_doc(fixture("dl003_ok.xml"));
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  ASSERT_TRUE(doc.value().schedule.has_value());
+  EXPECT_EQ(doc.value().schedule->slots().size(), 2u);
+  EXPECT_EQ(doc.value().schedule->round_length(), Duration::milliseconds(10));
+  ASSERT_TRUE(doc.value().link_vn[0].has_value());
+  EXPECT_EQ(*doc.value().link_vn[0], 1u);
+  ASSERT_TRUE(doc.value().link_vn[1].has_value());
+  EXPECT_EQ(*doc.value().link_vn[1], 2u);
+}
+
+TEST(LintStrictXml, BuildRejectsBrokenDeploymentWithReport) {
+  auto doc = core::load_gateway_doc(fixture("dl005_bad.xml"));
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  doc.value().config.strict_lint = true;
+  auto gateway = core::build_gateway(doc.value());
+  ASSERT_FALSE(gateway.ok());
+  EXPECT_NE(gateway.error().message.find("DL005"), std::string::npos)
+      << gateway.error().message;
+}
+
+TEST(LintStrictXml, ConfigAttributeEnablesStrictMode) {
+  auto doc = core::load_gateway_doc(fixture("dl001_ok.xml"));
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(doc.value().config.strict_lint);  // default off
+
+  // The same document with lint="strict" builds fine (it is clean).
+  auto strict = doc.value();
+  strict.config.strict_lint = true;
+  auto gateway = core::build_gateway(strict);
+  ASSERT_TRUE(gateway.ok()) << gateway.error().message;
+  EXPECT_TRUE((*gateway.value()).finalized());
+  EXPECT_TRUE(gateway.value()->config().strict_lint);
+}
+
+TEST(LintStrictXml, GatewayLintMemberMatchesDocLint) {
+  auto doc = core::load_gateway_doc(fixture("dl006_bad.xml"));
+  ASSERT_TRUE(doc.ok());
+  const Report doc_report = core::lint_gateway_doc(doc.value());
+  auto gateway = core::build_gateway(doc.value());  // not strict: builds
+  ASSERT_TRUE(gateway.ok()) << gateway.error().message;
+  const Report gw_report = gateway.value()->lint();
+  EXPECT_EQ(has_error(doc_report, kRulePorts), has_error(gw_report, kRulePorts));
+}
+
+}  // namespace
+}  // namespace decos::lint

@@ -189,6 +189,18 @@ TEST(LinkSpecXmlTest, BadAttributeEnumsRejected) {
   EXPECT_TRUE(parse_link_spec_xml(buf).ok());
 }
 
+TEST(LinkSpecXmlTest, OverflowingNumericAttributeRejected) {
+  // strtol saturates at LONG_MAX on overflow; the parser must reject
+  // via ERANGE instead of silently accepting a LONG_MAX string length.
+  const char* text = R"(<linkspec><das>d</das>
+    <message name="m"><element name="n" key="yes"><field name="id">
+      <type length="8">integer</type><value>1</value></field></element>
+      <element name="v" conv="yes"><field name="s">
+        <type bytes="99999999999999999999999">string</type></field></element>
+    </message></linkspec>)";
+  EXPECT_FALSE(parse_link_spec_xml(text).ok());
+}
+
 TEST(LinkSpecXmlTest, LoadFromFile) {
   const std::string path = ::testing::TempDir() + "/fig6_linkspec.xml";
   {

@@ -97,6 +97,14 @@ TEST(ExprTest, DurationSuffixes) {
   EXPECT_TRUE(eval("5ms < 1s").as_bool());
 }
 
+TEST(ExprTest, OverflowingDurationLiteralIsAParseError) {
+  // std::stod on a long digit run succeeds, so the int64 conversion of
+  // the scaled value must be range-checked (the unchecked cast was UB).
+  EXPECT_FALSE(parse_expression("123456789123456789123456789ms").ok());
+  EXPECT_FALSE(parse_expression("99999999999999999999s").ok());
+  EXPECT_TRUE(parse_expression("9000000s").ok());  // large but representable
+}
+
 TEST(ExprTest, StringLiteralsAndEquality) {
   EXPECT_TRUE(eval("\"abc\" == \"abc\"").as_bool());
   EXPECT_FALSE(eval("\"abc\" == \"xyz\"").as_bool());

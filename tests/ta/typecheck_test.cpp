@@ -1,0 +1,151 @@
+// Static typing of expression trees (ta::Expr::infer_type): the
+// compile-time mirror of the runtime coercion rules in ta::Value.
+// Wherever evaluation would throw (string in arithmetic, ordered
+// comparison on strings, ...), inference must fail; wherever evaluation
+// coerces silently, inference must produce the coerced type.
+#include "ta/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace decos::ta {
+namespace {
+
+class MapEnv final : public TypeEnv {
+ public:
+  void bind(const std::string& name, StaticType type) { types_[name] = type; }
+
+  Result<StaticType> type_of(const std::string& name) const override {
+    if (name == "t_now") return StaticType::kInt;
+    const auto it = types_.find(name);
+    if (it == types_.end())
+      return Result<StaticType>::failure("unknown identifier '" + name + "'");
+    return it->second;
+  }
+
+  Result<StaticType> type_of_call(const std::string& fn,
+                                  const std::vector<StaticType>& args) const override {
+    if (fn == "abs" && args.size() == 1) {
+      if (args[0] == StaticType::kString)
+        return Result<StaticType>::failure("abs() needs a numeric argument");
+      return args[0];
+    }
+    return Result<StaticType>::failure("unknown function '" + fn + "'");
+  }
+
+ private:
+  std::map<std::string, StaticType> types_;
+};
+
+StaticType must_infer(const std::string& text, const TypeEnv& env) {
+  auto parsed = parse_expression(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  auto type = parsed.value()->infer_type(env);
+  EXPECT_TRUE(type.ok()) << text << ": " << (type.ok() ? "" : type.error().message);
+  return type.ok() ? type.value() : StaticType::kAny;
+}
+
+std::string must_fail(const std::string& text, const TypeEnv& env) {
+  auto parsed = parse_expression(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  auto type = parsed.value()->infer_type(env);
+  EXPECT_FALSE(type.ok()) << text << " unexpectedly typed as "
+                          << (type.ok() ? static_type_name(type.value()) : "");
+  return type.ok() ? std::string{} : type.error().message;
+}
+
+TEST(TypeCheck, LiteralsCarryTheirValueType) {
+  MapEnv env;
+  EXPECT_EQ(must_infer("42", env), StaticType::kInt);
+  EXPECT_EQ(must_infer("1.5", env), StaticType::kReal);
+  EXPECT_EQ(must_infer("true", env), StaticType::kBool);
+  EXPECT_EQ(must_infer("10ms", env), StaticType::kInt);  // durations are ns ints
+}
+
+TEST(TypeCheck, IdentifiersResolveThroughTheEnvironment) {
+  MapEnv env;
+  env.bind("speed", StaticType::kReal);
+  EXPECT_EQ(must_infer("speed", env), StaticType::kReal);
+  EXPECT_EQ(must_infer("t_now", env), StaticType::kInt);
+  must_fail("unbound", env);
+}
+
+TEST(TypeCheck, ArithmeticPromotesIntToReal) {
+  MapEnv env;
+  env.bind("n", StaticType::kInt);
+  env.bind("x", StaticType::kReal);
+  EXPECT_EQ(must_infer("n + 1", env), StaticType::kInt);
+  EXPECT_EQ(must_infer("n + x", env), StaticType::kReal);
+  EXPECT_EQ(must_infer("x * 2", env), StaticType::kReal);
+}
+
+TEST(TypeCheck, ComparisonsAreBoolean) {
+  MapEnv env;
+  env.bind("n", StaticType::kInt);
+  EXPECT_EQ(must_infer("n >= 5", env), StaticType::kBool);
+  EXPECT_EQ(must_infer("n == 5 || n < 0", env), StaticType::kBool);
+  EXPECT_EQ(must_infer("!(n > 0)", env), StaticType::kBool);
+}
+
+TEST(TypeCheck, StringsRejectArithmeticAndOrdering) {
+  MapEnv env;
+  env.bind("s", StaticType::kString);
+  must_fail("s + 1", env);
+  must_fail("s >= 0", env);   // Value::as_real throws on strings
+  must_fail("s && true", env);  // Value::as_bool throws on strings
+  must_fail("-s", env);
+}
+
+TEST(TypeCheck, MixedEqualityWithStringIsRejected) {
+  MapEnv env;
+  env.bind("s", StaticType::kString);
+  env.bind("n", StaticType::kInt);
+  // Runtime operator== silently yields false on string/non-string
+  // mixes; statically that comparison is always a bug.
+  must_fail("s == n", env);
+  EXPECT_EQ(must_infer("s == s", env), StaticType::kBool);
+}
+
+TEST(TypeCheck, AnyPropagatesWithoutErrors) {
+  MapEnv env;
+  env.bind("u", StaticType::kAny);
+  EXPECT_EQ(must_infer("u + 1", env), StaticType::kAny);
+  EXPECT_EQ(must_infer("u >= 0", env), StaticType::kBool);
+  EXPECT_EQ(must_infer("u == \"x\"", env), StaticType::kBool);
+}
+
+TEST(TypeCheck, CallsDelegateToTheEnvironment) {
+  MapEnv env;
+  env.bind("x", StaticType::kReal);
+  env.bind("s", StaticType::kString);
+  EXPECT_EQ(must_infer("abs(x)", env), StaticType::kReal);
+  must_fail("abs(s)", env);
+  must_fail("nosuchfn(x)", env);
+}
+
+TEST(TypeCheck, ErrorMessagesNameTheOffendingSubexpression) {
+  MapEnv env;
+  env.bind("s", StaticType::kString);
+  const std::string message = must_fail("1 + (s * 2)", env);
+  EXPECT_NE(message.find("string"), std::string::npos) << message;
+}
+
+TEST(TypeCheck, StaticTypeOfMirrorsValueTags) {
+  EXPECT_EQ(static_type_of(Value{42}), StaticType::kInt);
+  EXPECT_EQ(static_type_of(Value{1.5}), StaticType::kReal);
+  EXPECT_EQ(static_type_of(Value{true}), StaticType::kBool);
+  EXPECT_EQ(static_type_of(Value{std::string{"x"}}), StaticType::kString);
+}
+
+TEST(TypeCheck, TypeNamesAreHumanReadable) {
+  EXPECT_EQ(static_type_name(StaticType::kInt), "int");
+  EXPECT_EQ(static_type_name(StaticType::kReal), "real");
+  EXPECT_EQ(static_type_name(StaticType::kBool), "bool");
+  EXPECT_EQ(static_type_name(StaticType::kString), "string");
+  EXPECT_EQ(static_type_name(StaticType::kAny), "any");
+}
+
+}  // namespace
+}  // namespace decos::ta

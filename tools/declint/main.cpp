@@ -1,0 +1,121 @@
+// declint -- static analyzer for DECOS deployment specifications.
+//
+// Lints <gatewayspec> documents (full deployment: both links, renames,
+// repository meta data, optional TDMA schedule) and standalone
+// <linkspec> documents (the locally decidable rule subset). Emits one
+// diagnostic per line:
+//
+//   file.xml: error DL005 at link[1] 'stability': ...  [hint: ...]
+//
+// Exit status: 0 = no errors (warnings allowed unless --werror),
+// 1 = at least one error, 2 = usage / IO / parse failure.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/gateway_lint.hpp"
+#include "core/gateway_xml.hpp"
+#include "lint/lint.hpp"
+#include "spec/linkspec_xml.hpp"
+#include "xml/xml.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: declint [--werror] [--quiet] <spec.xml>...\n"
+    "\n"
+    "Statically analyzes DECOS deployment specifications:\n"
+    "  <gatewayspec>  full deployment analysis (rules DL000-DL006)\n"
+    "  <linkspec>     standalone link analysis (locally decidable rules)\n"
+    "\n"
+    "  --werror  treat warnings as errors\n"
+    "  --quiet   print errors only\n";
+
+struct Options {
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+};
+
+int lint_file(const std::string& path, const Options& options) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << path << ": cannot open file\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  auto parsed = decos::xml::parse(text);
+  if (!parsed.ok()) {
+    std::cerr << path << ": XML parse error: " << parsed.error().message << "\n";
+    return 2;
+  }
+
+  decos::lint::Report report;
+  const std::string& root = parsed.value().root->name();
+  if (root == "gatewayspec") {
+    auto doc = decos::core::parse_gateway_doc(text);
+    if (!doc.ok()) {
+      std::cerr << path << ": " << doc.error().message << "\n";
+      return 2;
+    }
+    report = decos::core::lint_gateway_doc(doc.value());
+  } else if (root == "linkspec") {
+    auto link = decos::spec::parse_link_spec_xml(text);
+    if (!link.ok()) {
+      std::cerr << path << ": " << link.error().message << "\n";
+      return 2;
+    }
+    report = decos::lint::lint_link(link.value());
+  } else {
+    std::cerr << path << ": unsupported root element <" << root
+              << "> (expected <gatewayspec> or <linkspec>)\n";
+    return 2;
+  }
+
+  for (const auto& d : report.diagnostics()) {
+    if (options.quiet && d.severity != decos::lint::Severity::kError) continue;
+    std::cout << path << ": " << d.to_string() << "\n";
+  }
+  const bool failed =
+      report.error_count() > 0 || (options.werror && report.warning_count() > 0);
+  return failed ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "--quiet" || arg == "-q") {
+      options.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "declint: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+  if (options.files.empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  int exit_code = 0;
+  for (const std::string& file : options.files) {
+    const int rc = lint_file(file, options);
+    if (rc > exit_code) exit_code = rc;
+  }
+  return exit_code;
+}
