@@ -171,7 +171,8 @@ int run_naive(const Workload& workload, std::size_t queue_capacity) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e10"};
   title("E10  event->state conversion at the gateway vs naive event relay",
         "converting to state semantics at the boundary keeps the consumer's "
         "state synchronized even when bursts exceed the relay capacity");

@@ -186,6 +186,44 @@ void BM_GuardEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_GuardEvaluation);
 
+// Forwards google-benchmark's console output into the harness so the
+// BENCH_e11.json rows mirror what the terminal shows, and collects the
+// per-benchmark timings as structured JSON.
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit HarnessReporter(Harness& harness) : harness_(harness) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      harness_.note_line(run.benchmark_name());
+      obs::json::Object o;
+      o.emplace_back("name", run.benchmark_name());
+      o.emplace_back("iterations", static_cast<std::uint64_t>(run.iterations));
+      o.emplace_back("real_ns", run.GetAdjustedRealTime());
+      o.emplace_back("cpu_ns", run.GetAdjustedCPUTime());
+      results_.push_back(obs::json::Value{std::move(o)});
+    }
+  }
+
+  obs::json::Array take_results() { return std::move(results_); }
+
+ private:
+  Harness& harness_;
+  obs::json::Array results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e11"};
+  // Google benchmark must not see the harness flags; it rejects unknown
+  // arguments. Its own flags are not used by this target.
+  int bench_argc = 1;
+  benchmark::Initialize(&bench_argc, argv);
+  HarnessReporter reporter{harness};
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  harness.set_json("benchmarks", obs::json::Value{reporter.take_results()});
+  benchmark::Shutdown();
+  return 0;
+}

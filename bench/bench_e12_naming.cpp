@@ -97,7 +97,8 @@ Outcome run(bool rename) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e12"};
   title("E12  incoherent naming across DASes: naive bridge vs gateway renaming",
         "the gateway's per-link renaming keeps same-named entities apart; a "
         "naive 1:1 bridge cross-contaminates both consumers");

@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "common.hpp"
+#include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 using namespace decos;
@@ -26,7 +27,8 @@ constexpr std::int64_t kWindow = 1000;     // plausibility half-window
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e13"};
   title("E13  value-domain filtering: plausibility windows at the gateway",
         "the gateway blocks value-domain failures (corrupted contents) from "
         "crossing; only in-window corruptions survive, bounding the error");
@@ -50,6 +52,12 @@ int main() {
       core::VirtualGateway gateway{"e13", std::move(link_a), std::move(link_b)};
       gateway.finalize();
 
+      // The bench drives the gateway directly (no event loop); the
+      // simulator only hosts the metrics registry and span collector.
+      sim::Simulator sim;
+      if (Harness* active = Harness::active()) active->configure(sim);
+      gateway.bind_observability(sim.metrics(), sim.spans());
+
       std::uint64_t corrupted_sent = 0;
       std::uint64_t corrupted_crossed = 0;
       std::int64_t worst = 0;
@@ -72,6 +80,12 @@ int main() {
           v = kTrueValue ^ rng.uniform_int(1, 1 << 20);  // bit-flip corruption
         }
         gateway.on_input(0, state_instance(ms, v, t), t);
+      }
+
+      if (Harness* active = Harness::active()) {
+        char label[64];
+        std::snprintf(label, sizeof label, "rate=%.2f filter=%d", rate, filter_on ? 1 : 0);
+        active->capture(label, sim, {{"gw:e13", &gateway.trace()}});
       }
 
       row("%-8s %-9.2f %10llu %10llu %10llu %14lld", filter_on ? "on" : "off(abl)", rate,

@@ -65,7 +65,8 @@ Outcome run(double fault_rate, double dropout_rate, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e14"};
   title("E14  redundancy exploitation: median fusion of gateway-imported sensors",
         "fusing one local and two imported replicas masks independent value "
         "faults that a single sensor passes straight to the application");

@@ -123,7 +123,8 @@ Outcome run(int replicas, bool crash_one) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e15"};
   title("E15  active gateway redundancy: replica gateways on spare components",
         "a second gateway replica on another shared component removes the "
         "gateway as a single point of failure for cross-DAS imports");

@@ -109,7 +109,8 @@ double reintegration_ms(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e16"};
   title("E16  cold start and reintegration of the time-triggered base",
         "the cluster establishes its global time base from silence (staggered "
         "cold-start masters) and late joiners integrate within ~a round");

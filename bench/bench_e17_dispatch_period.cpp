@@ -129,7 +129,8 @@ Outcome run(Duration dispatch_period, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e17"};
   title("E17  gateway service period: pull latency, timeout detection, cost",
         "halving the gateway's dispatch period halves pull-drain and "
         "silence-detection latency but doubles the partition's activations");

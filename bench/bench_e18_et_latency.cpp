@@ -138,7 +138,8 @@ Outcome run(double utilization, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e18"};
   title("E18  event-triggered latency under multiplexed load vs the TT reference",
         "ET virtual networks give cost-effective average-case latency but only "
         "probabilistic guarantees: the tail explodes near saturation while the "

@@ -127,7 +127,8 @@ Outcome run(std::size_t das_pairs) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e19"};
   title("E19  packing DAS pairs onto a fixed 8-node cluster",
         "every added DAS pair (2 VNs + 1 hidden gateway) keeps forwarding at "
         "full rate; cost grows linearly with the number of integrated subsystems");

@@ -70,6 +70,8 @@ Outcome run(double early_rate, bool filtering, std::uint64_t seed) {
 
   Rng rng{seed};
   sim::Simulator sim;
+  if (Harness* harness = Harness::active()) harness->configure(sim);
+  gateway.bind_observability(sim.metrics(), sim.spans());
   Instant t = Instant::origin();
   const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
   for (int i = 0; i < 20000; ++i) {
@@ -90,12 +92,18 @@ Outcome run(double early_rate, bool filtering, std::uint64_t seed) {
   outcome.admitted = gateway.stats().messages_admitted;
   outcome.blocked = gateway.stats().blocked_temporal;
   outcome.min_output_gap_ms = min_gap == Duration::max() ? 0.0 : min_gap.as_ms();
+  if (Harness* harness = Harness::active()) {
+    char label[64];
+    std::snprintf(label, sizeof label, "early=%.2f filtering=%d", early_rate, filtering ? 1 : 0);
+    harness->capture(label, sim, {{"gw:e1", &gateway.trace()}});
+  }
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e1"};
   title("E1  error containment at the gateway (timing message failures)",
         "the gateway blocks timing failures of DAS A from propagating into DAS B");
 
@@ -116,5 +124,38 @@ int main() {
   row("expected shape: with filtering ON, 'crossed' stays near zero and the");
   row("minimum DAS-B interarrival stays >= tmin (4ms); with filtering OFF every");
   row("fault crosses and sub-millisecond gaps appear in DAS B.");
+
+  // Naming containment (same paper claim, name domain): instances whose
+  // message name is not in the link specification never cross -- the
+  // gateway forwards specified messages only.
+  {
+    spec::LinkSpec link_a{"dasA"};
+    link_a.add_message(state_message("msgA", "payload", 1));
+    link_a.add_port(input_port("msgA", spec::InfoSemantics::kEvent,
+                               spec::ControlParadigm::kEventTriggered, Duration::zero(), 4_ms,
+                               100_ms, 64));
+    spec::LinkSpec link_b{"dasB"};
+    link_b.add_message(state_message("msgB", "payload", 2));
+    link_b.add_port(output_port("msgB", spec::InfoSemantics::kEvent,
+                                spec::ControlParadigm::kEventTriggered, Duration::zero(), 64));
+    core::VirtualGateway gateway{"e1", std::move(link_a), std::move(link_b)};
+    gateway.finalize();
+    sim::Simulator sim;
+    if (Harness* active = Harness::active()) active->configure(sim);
+    gateway.bind_observability(sim.metrics(), sim.spans());
+
+    const spec::MessageSpec rogue = state_message("msgRogue", "payload", 3);
+    Instant t = Instant::origin();
+    for (int i = 0; i < 100; ++i) {
+      t += 10_ms;
+      gateway.on_input(0, state_instance(rogue, i, t), t);
+    }
+    row("");
+    row("naming containment: %llu unspecified-message instances in, %llu blocked",
+        static_cast<unsigned long long>(gateway.stats().messages_in),
+        static_cast<unsigned long long>(gateway.stats().blocked_unknown));
+    if (Harness* active = Harness::active())
+      active->capture("naming containment", sim, {{"gw:e1", &gateway.trace()}});
+  }
   return 0;
 }

@@ -80,7 +80,8 @@ Outcome run(int exported_types) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e2"};
   title("E2  selective redirection: bandwidth and visibility in DAS B",
         "exporting only required elements saves DAS-B bandwidth and shrinks the "
         "message set a DAS-B engineer must understand");

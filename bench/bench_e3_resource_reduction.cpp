@@ -122,7 +122,8 @@ Inventory run_integrated() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e3"};
   title("E3  federated vs integrated resource inventory (ABS + navigation)",
         "sharing nodes/network and importing sensor data through a gateway cuts "
         "hardware without losing the sensor stream");

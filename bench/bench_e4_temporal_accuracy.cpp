@@ -51,6 +51,8 @@ Outcome run(Duration update_period, Duration d_acc, bool check_at_construction) 
   gateway.link_b().set_emitter("msgB", [&](const spec::MessageInstance&) { ++outcome.forwarded; });
 
   sim::Simulator sim;
+  if (Harness* harness = Harness::active()) harness->configure(sim);
+  gateway.bind_observability(sim.metrics(), sim.spans());
   Instant last_update = Instant::origin() - 1_s;
   const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
   for (Instant t = Instant::origin(); t < Instant::origin() + kRun; t += update_period) {
@@ -73,12 +75,21 @@ Outcome run(Duration update_period, Duration d_acc, bool check_at_construction) 
   }
   sim.run_until(Instant::origin() + kRun);
   outcome.mean_horizon_ms = horizon_stats.mean();
+  if (Harness* harness = Harness::active()) {
+    char label[64];
+    std::snprintf(label, sizeof label, "U=%lldms dacc=%lldms check=%s",
+                  static_cast<long long>(update_period.as_ms()),
+                  static_cast<long long>(d_acc.as_ms()),
+                  check_at_construction ? "construction" : "store");
+    harness->capture(label, sim, {{"gw:e4", &gateway.trace()}});
+  }
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e4"};
   title("E4  temporal accuracy filtering (Eq. (1)) and horizon (Eq. (2))",
         "only temporally accurate state images leave the gateway; checking at "
         "construction time (not store time) is what guarantees it");

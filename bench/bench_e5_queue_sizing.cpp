@@ -76,7 +76,8 @@ double run(double rho, std::size_t capacity, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e5"};
   title("E5  repository event-queue sizing vs the probabilistic model",
         "bounded queues sized from the interarrival/service-time model give a "
         "predictable, small loss probability");

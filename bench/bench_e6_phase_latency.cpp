@@ -12,6 +12,7 @@
 #include "common.hpp"
 #include "core/gateway_job.hpp"
 #include "core/wiring.hpp"
+#include "obs/analysis.hpp"
 #include "platform/cluster.hpp"
 #include "util/statistics.hpp"
 #include "vn/tt_vn.hpp"
@@ -41,6 +42,7 @@ Outcome run(Duration p1, Duration p2, double phase_fraction) {
       {2, "dasB", 32, {2}},
   };
   platform::Cluster cluster{config};
+  if (Harness* harness = Harness::active()) harness->configure(cluster.simulator());
 
   vn::TtVirtualNetwork vn_a{"vn-a", 1};
   vn_a.register_message(state_message("msgA", "image", 1));
@@ -115,29 +117,71 @@ Outcome run(Duration p1, Duration p2, double phase_fraction) {
     outcome.max_ms = latencies.max() / 1e6;
     outcome.jitter_ms = latencies.spread() / 1e6;
   }
+  if (Harness* harness = Harness::active()) {
+    char label[64];
+    std::snprintf(label, sizeof label, "p1=%lldms p2=%lldms phase=%.2f",
+                  static_cast<long long>(p1.ns() / 1'000'000),
+                  static_cast<long long>(p2.ns() / 1'000'000), phase_fraction);
+    harness->capture(label, cluster.simulator(),
+                     {{"bus", &cluster.bus().trace()}, {"gw:e6", &gateway.trace()}});
+  }
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e6"};
   title("E6  TT<->TT gateway latency under period/phase mismatch",
         "matched schedules give constant low latency; mismatched periods or "
         "phases force the gateway to buffer, adding up to one consumer period");
 
   row("%-8s %-8s %-7s %8s %8s %8s %8s %8s", "P1[ms]", "P2[ms]", "phase", "n", "min", "avg",
       "max", "jitter");
+  obs::json::Array cells;
   for (const auto [p1_ms, p2_ms] : {std::pair{10, 10}, {10, 20}, {20, 10}}) {
     for (const double phase : {0.0, 0.25, 0.5, 0.75}) {
       const Outcome o = run(Duration::milliseconds(p1_ms), Duration::milliseconds(p2_ms), phase);
       row("%-8d %-8d %-7.2f %8zu %8.2f %8.2f %8.2f %8.2f", p1_ms, p2_ms, phase, o.samples,
           o.min_ms, o.avg_ms, o.max_ms, o.jitter_ms);
+      obs::json::Object cell;
+      cell.emplace_back("p1_ms", p1_ms);
+      cell.emplace_back("p2_ms", p2_ms);
+      cell.emplace_back("phase", phase);
+      cell.emplace_back("n", o.samples);
+      cell.emplace_back("min_ms", o.min_ms);
+      cell.emplace_back("avg_ms", o.avg_ms);
+      cell.emplace_back("max_ms", o.max_ms);
+      cell.emplace_back("jitter_ms", o.jitter_ms);
+      cells.push_back(obs::json::Value{std::move(cell)});
     }
   }
+  harness.set_json("cells", obs::json::Value{std::move(cells)});
   row("");
   row("expected shape: the design-time-fixed schedule makes every cell fully");
   row("deterministic (jitter 0). The phase shift moves latency by up to one");
   row("round (here 13..20.5ms); a period mismatch in either direction halves");
   row("the delivered image rate (each image is forwarded once, state semantics).");
+
+  if (harness.tracing()) {
+    // In-process phase breakdown over the very spans the trace dump
+    // carries: decotrace over --trace-out must reproduce these numbers
+    // exactly (same records, two readers).
+    const obs::Breakdown breakdown = obs::phase_breakdown(harness.captured_spans());
+    row("");
+    row("per-phase latency percentiles (traced cells, ns):");
+    for (const auto& [flow, stats] : breakdown) {
+      row("%s  (%zu traces)", flow.c_str(), stats.traces);
+      for (const char* phase : obs::kBreakdownPhases) {
+        const auto it = stats.phases.find(phase);
+        if (it == stats.phases.end() || it->second.empty()) continue;
+        row("  %-10s n=%-6zu p50=%-12lld p99=%-12lld max=%lld", phase, it->second.count(),
+            static_cast<long long>(it->second.percentile(0.50)),
+            static_cast<long long>(it->second.percentile(0.99)),
+            static_cast<long long>(it->second.max()));
+      }
+    }
+    harness.set_json("phase_breakdown", obs::breakdown_to_json(breakdown));
+  }
   return 0;
 }

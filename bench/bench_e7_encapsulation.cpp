@@ -45,6 +45,7 @@ Outcome run(int load_per_round, bool babble, bool guardian) {
   };
   config.bus.guardian_enabled = guardian;
   platform::Cluster cluster{config};
+  if (Harness* harness = Harness::active()) harness->configure(cluster.simulator());
 
   vn::EtVirtualNetwork vn_a{"vn-a", 1, 256};
   vn_a.register_message(state_message("msgA", "chatter", 1));
@@ -107,12 +108,19 @@ Outcome run(int load_per_round, bool babble, bool guardian) {
   outcome.jitter_us = interarrivals.spread() / 1e3;
   outcome.guardian_blocks = cluster.bus().frames_blocked();
   outcome.collisions = cluster.bus().collisions();
+  if (Harness* harness = Harness::active()) {
+    char label[64];
+    std::snprintf(label, sizeof label, "load=%d babble=%d guardian=%d", load_per_round,
+                  babble ? 1 : 0, guardian ? 1 : 0);
+    harness->capture(label, cluster.simulator(), {{"bus", &cluster.bus().trace()}});
+  }
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e7"};
   title("E7  temporal independence of virtual networks under cross-DAS load",
         "VN B's delivery rate and jitter are unaffected by VN A's load; the bus "
         "guardian contains even a babbling idiot to its own slots");

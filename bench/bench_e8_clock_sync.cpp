@@ -69,7 +69,8 @@ Outcome run(double drift_ppm, std::uint64_t resync_rounds, bool byzantine) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e8"};
   title("E8  fault-tolerant clock synchronization precision",
         "the fault-tolerant average holds the cluster precision near the "
         "2*rho*R_int drift bound, even with one Byzantine clock among five");

@@ -32,6 +32,7 @@ Outcome run(std::size_t cluster_size, std::uint64_t silence_threshold, double om
     config.round_length = 10_ms;
     config.membership_silence_threshold = silence_threshold;
     platform::Cluster cluster{config};
+    if (Harness* harness = Harness::active()) harness->configure(cluster.simulator());
 
     const auto victim = static_cast<tt::NodeId>(
         rng.uniform_int(0, static_cast<std::int64_t>(cluster_size) - 1));
@@ -83,13 +84,21 @@ Outcome run(std::size_t cluster_size, std::uint64_t silence_threshold, double om
     }
     ++outcome.trials;
     if (consistent) ++outcome.consistent_trials;
+    if (Harness* harness = Harness::active()) {
+      char label[96];
+      std::snprintf(label, sizeof label, "nodes=%zu threshold=%llu omission=%.2f trial=%d",
+                    cluster_size, static_cast<unsigned long long>(silence_threshold),
+                    omission_rate, trial);
+      harness->capture(label, cluster.simulator(), {{"bus", &cluster.bus().trace()}});
+    }
   }
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e9"};
   title("E9  membership: crash detection latency and consistency",
         "every correct node diagnoses a crashed component within the silence "
         "threshold, and all correct nodes agree on the membership vector");

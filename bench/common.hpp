@@ -4,30 +4,170 @@
 // prints the rows recorded in EXPERIMENTS.md.
 #pragma once
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/virtual_gateway.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "sim/simulator.hpp"
 #include "spec/link_spec.hpp"
 #include "spec/message.hpp"
 
 namespace decos::bench {
 
+/// Per-binary bench harness: parses the shared observability flags,
+/// mirrors every printed row into BENCH_<id>.json (machine-readable
+/// results next to the human table), and collects per-cell trace dumps.
+///
+///   --json-out FILE     result JSON path (default BENCH_<id>.json in cwd)
+///   --trace-out FILE    JSONL dump of spans/records/metrics per cell
+///   --metrics-out FILE  JSONL dump of the metrics snapshots alone
+///
+/// Span collection defaults to off for bench runs (collectors grow
+/// per-message); configure() enables it on a cell's simulator only when
+/// --trace-out was requested. Construct one Harness at the top of
+/// main(); the destructor writes all files.
+class Harness {
+ public:
+  Harness(int argc, char** argv, std::string id) : id_{std::move(id)} {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string { return ++i < argc ? argv[i] : std::string{}; };
+      if (arg == "--trace-out") {
+        trace_out_ = value();
+      } else if (arg == "--metrics-out") {
+        metrics_out_ = value();
+      } else if (arg == "--json-out") {
+        json_out_ = value();
+      }
+    }
+    if (json_out_.empty()) json_out_ = "BENCH_" + id_ + ".json";
+    active() = this;
+  }
+
+  ~Harness() {
+    finish();
+    active() = nullptr;
+  }
+
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  /// The harness of this binary (set while one is alive), so helpers and
+  /// cell functions can reach it without plumbing a parameter through.
+  static Harness*& active() {
+    static Harness* instance = nullptr;
+    return instance;
+  }
+
+  bool tracing() const { return !trace_out_.empty(); }
+
+  /// Apply the dump flags to a freshly built cell simulator.
+  void configure(sim::Simulator& simulator) { simulator.spans().set_enabled(tracing()); }
+
+  /// Capture a finished cell: spans + metrics (+ named recorders) into
+  /// the trace dump, metrics into the metrics dump, and the cell's spans
+  /// into the in-process accumulator (ids offset per cell exactly like
+  /// obs::Dump::all_spans, so both readers see identical data).
+  void capture(const std::string& label, sim::Simulator& simulator,
+               std::vector<std::pair<std::string, const obs::TraceRecorder*>> recorders = {}) {
+    if (tracing()) {
+      obs::DumpWriter writer{trace_stream_};
+      writer.begin_cell(label);
+      writer.add_spans(simulator.spans());
+      for (const auto& [name, recorder] : recorders)
+        if (recorder != nullptr) writer.add_records(name, *recorder);
+      writer.add_metrics(simulator.metrics().snapshot());
+
+      std::uint64_t max_id = 0;
+      for (const obs::Span& s : simulator.spans().spans()) {
+        obs::Span copy = s;
+        if (copy.trace_id != 0) copy.trace_id += span_offset_;
+        if (copy.span_id != 0) copy.span_id += span_offset_;
+        if (copy.parent_id != 0) copy.parent_id += span_offset_;
+        max_id = std::max({max_id, s.trace_id, s.span_id});
+        captured_spans_.push_back(std::move(copy));
+      }
+      span_offset_ += max_id;
+    }
+    if (!metrics_out_.empty()) {
+      obs::DumpWriter writer{metrics_stream_};
+      writer.begin_cell(label);
+      writer.add_metrics(simulator.metrics().snapshot());
+    }
+  }
+
+  /// Spans captured so far, ids made unique across cells.
+  const std::vector<obs::Span>& captured_spans() const { return captured_spans_; }
+
+  /// Attach an extra top-level field to BENCH_<id>.json.
+  void set_json(const std::string& key, obs::json::Value value) {
+    extra_.emplace_back(key, std::move(value));
+  }
+
+  /// Record one printed line (called by row()/title()).
+  void note_line(std::string line) { lines_.push_back(std::move(line)); }
+
+  /// Write BENCH_<id>.json and any requested dumps. Idempotent; also
+  /// runs from the destructor.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    obs::json::Object o;
+    o.emplace_back("bench", id_);
+    {
+      obs::json::Array rows;
+      for (const std::string& line : lines_) rows.push_back(obs::json::Value{line});
+      o.emplace_back("rows", std::move(rows));
+    }
+    for (auto& [key, value] : extra_) o.emplace_back(key, std::move(value));
+    std::ofstream out{json_out_};
+    out << obs::json::Value{std::move(o)}.dump() << "\n";
+    if (tracing()) std::ofstream{trace_out_} << trace_stream_.str();
+    if (!metrics_out_.empty()) std::ofstream{metrics_out_} << metrics_stream_.str();
+  }
+
+ private:
+  std::string id_;
+  std::string trace_out_;
+  std::string metrics_out_;
+  std::string json_out_;
+  std::vector<std::string> lines_;
+  std::vector<std::pair<std::string, obs::json::Value>> extra_;
+  std::ostringstream trace_stream_;
+  std::ostringstream metrics_stream_;
+  std::vector<obs::Span> captured_spans_;
+  std::uint64_t span_offset_ = 0;
+  bool finished_ = false;
+};
+
+inline void emit_line(const std::string& line) {
+  std::printf("%s\n", line.c_str());
+  if (Harness* harness = Harness::active()) harness->note_line(line);
+}
+
 inline void title(const char* experiment, const char* claim) {
   std::printf("==================================================================\n");
-  std::printf("%s\n", experiment);
-  std::printf("claim: %s\n", claim);
+  emit_line(experiment);
+  emit_line(std::string{"claim: "} + claim);
   std::printf("==================================================================\n");
 }
 
 inline void row(const char* fmt, ...) {
+  char buf[1024];
   va_list args;
   va_start(args, fmt);
-  std::vprintf(fmt, args);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  std::printf("\n");
+  emit_line(buf);
 }
 
 /// One-element state message (key id + `element` with value/timestamp).

@@ -12,11 +12,18 @@
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
+//
+// Pass --trace-out FILE to dump spans/records/metrics as JSONL for the
+// decotrace CLI (tools/decotrace), or --metrics-out FILE for the
+// metrics snapshot alone.
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "core/gateway_job.hpp"
 #include "core/virtual_gateway.hpp"
 #include "core/wiring.hpp"
+#include "obs/export.hpp"
 #include "platform/cluster.hpp"
 #include "vn/et_vn.hpp"
 #include "vn/tt_vn.hpp"
@@ -49,7 +56,15 @@ spec::MessageSpec wheel_message(const std::string& name, int id) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) trace_out = argv[++i];
+    else if (arg == "--metrics-out" && i + 1 < argc) metrics_out = argv[++i];
+  }
+
   std::printf("== DECOS virtual gateway quickstart ==\n\n");
 
   // --- 1. Platform: 3 nodes, 10ms TDMA round, two virtual networks ---------
@@ -61,6 +76,7 @@ int main() {
   };
   config.drift_ppm = {40.0, -25.0, 10.0};  // crystals are imperfect
   platform::Cluster cluster{config};
+  cluster.spans().set_enabled(!trace_out.empty());
 
   vn::TtVirtualNetwork powertrain{"powertrain-vn", kPowertrainVn};
   powertrain.register_message(wheel_message("msgwheel", 100));
@@ -167,6 +183,24 @@ int main() {
   std::printf("  encapsulation: comfort jobs cannot touch the powertrain VN: %s\n",
               cluster.encapsulation().check_attach("comfort", kPowertrainVn).ok() ? "VIOLATED"
                                                                                   : "enforced");
+  if (!trace_out.empty()) {
+    std::ofstream out{trace_out};
+    obs::DumpWriter writer{out};
+    writer.begin_cell("quickstart");
+    writer.add_spans(cluster.spans());
+    writer.add_records("bus", cluster.bus().trace());
+    writer.add_records("gw:wheel-share", gateway.trace());
+    writer.add_metrics(cluster.metrics().snapshot());
+    std::printf("  trace dump written to %s (inspect with tools/decotrace)\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out{metrics_out};
+    obs::DumpWriter writer{out};
+    writer.begin_cell("quickstart");
+    writer.add_metrics(cluster.metrics().snapshot());
+    std::printf("  metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+
   std::printf("\nDone. See examples/sensor_sharing.cpp and examples/automotive_presafe.cpp\n"
               "for the paper's full automotive scenarios.\n");
   return 0;

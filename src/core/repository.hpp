@@ -43,6 +43,11 @@ namespace decos::core {
 struct ElementInstance {
   std::vector<std::pair<std::string, ta::Value>> fields;
   Instant observed_at;
+  // Causal trace identity inherited from the dissected message instance
+  // (0 = untraced); span_id is the dissect span, so the repository-wait
+  // span of a later construction can parent under it.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 
   const ta::Value* field(const std::string& name) const {
     for (const auto& [k, v] : fields)

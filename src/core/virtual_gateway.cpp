@@ -123,6 +123,20 @@ VirtualGateway::VirtualGateway(std::string name, spec::LinkSpec link_a, spec::Li
       link_a_{0, std::move(link_a)},
       link_b_{1, std::move(link_b)} {}
 
+void VirtualGateway::bind_observability(obs::MetricsRegistry& metrics, obs::TraceCollector& spans) {
+  spans_ = &spans;
+  if (forwarded_metric_ != nullptr) return;  // instruments already registered
+  const std::string prefix = "gw." + name_ + ".";
+  dissect_ns_ = &metrics.histogram(prefix + "dissect_ns", obs::Determinism::kHostTime);
+  construct_ns_ = &metrics.histogram(prefix + "construct_ns", obs::Determinism::kHostTime);
+  staleness_ns_ = &metrics.histogram(prefix + "staleness_ns");
+  forwarded_metric_ = &metrics.counter(prefix + "forwarded");
+  suppressed_temporal_ = &metrics.counter(prefix + "suppressed.temporal");
+  suppressed_value_ = &metrics.counter(prefix + "suppressed.value");
+  suppressed_unknown_ = &metrics.counter(prefix + "suppressed.unknown");
+  suppressed_construction_ = &metrics.counter(prefix + "suppressed.construction");
+}
+
 void VirtualGateway::set_element_config(const std::string& repo_element,
                                         spec::InfoSemantics semantics, Duration d_acc,
                                         std::size_t queue_capacity) {
@@ -301,7 +315,9 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
   const spec::MessageSpec* ms = link.spec().message(instance.message());
   if (ms == nullptr) {
     ++stats_.blocked_unknown;
-    trace_.record(now, sim::TraceKind::kGatewayBlocked, instance.message(), "unknown message");
+    if (suppressed_unknown_ != nullptr) suppressed_unknown_->add();
+    DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, instance.message(),
+                "unknown message");
     return;
   }
 
@@ -316,9 +332,10 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
       const ta::FireResult result = interpreter->on_receive(instance.message(), now);
       if (result != ta::FireResult::kFired) {
         ++stats_.blocked_temporal;
+        if (suppressed_temporal_ != nullptr) suppressed_temporal_->add();
         if (interpreter->in_error()) note_error(link, interpreter->spec().name(), now);
-        trace_.record(now, sim::TraceKind::kGatewayBlocked, instance.message(),
-                      "temporal violation (side " + std::to_string(side) + ")");
+        DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, instance.message(),
+                    "temporal violation (side " + std::to_string(side) + ")");
         return;
       }
     }
@@ -330,8 +347,9 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
     FilterEnv env{*ms, instance, link.spec(), now};
     if (!(*filter)->evaluate(env).as_bool()) {
       ++stats_.blocked_value;
-      trace_.record(now, sim::TraceKind::kGatewayBlocked, instance.message(),
-                    "value filter (side " + std::to_string(side) + ")");
+      if (suppressed_value_ != nullptr) suppressed_value_->add();
+      DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, instance.message(),
+                  "value filter (side " + std::to_string(side) + ")");
       return;
     }
   }
@@ -347,11 +365,21 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
 
 void VirtualGateway::dissect_and_store(GatewayLink& link, const spec::MessageSpec& message_spec,
                                        const spec::MessageInstance& instance, Instant now) {
+  obs::ScopedTimer timer{dissect_ns_};
+  std::uint64_t dissect_span = 0;
+  if (spans_ != nullptr && spans_->enabled() && instance.trace_id() != 0) {
+    dissect_span = spans_->emit(instance.trace_id(), instance.span_id(), obs::Phase::kDissect,
+                                "gw:" + name_, instance.message(), now, now);
+  }
   for (const spec::ElementSpec* es : message_spec.convertible_elements()) {
     const spec::ElementValue* ev = instance.element(es->name);
     if (ev == nullptr) continue;  // structurally absent; decode would have supplied it
     ElementInstance repo_instance;
     repo_instance.observed_at = now;
+    if (dissect_span != 0) {
+      repo_instance.trace_id = instance.trace_id();
+      repo_instance.span_id = dissect_span;
+    }
     for (std::size_t i = 0; i < es->fields.size() && i < ev->fields.size(); ++i)
       repo_instance.fields.emplace_back(es->fields[i].name, ev->fields[i]);
     const std::string& repo = link.repo_name(es->name);
@@ -387,6 +415,10 @@ void VirtualGateway::apply_transfer_rules(const std::string& source_repo_element
     } else {
       for (const auto& f : rule.fields) target.set_field(f.name, f.init);
     }
+    // The conversion is caused by (and as fresh as) the source update.
+    target.observed_at = now;
+    target.trace_id = source.trace_id;
+    target.span_id = source.span_id;
 
     ConversionEnv env{target, source, owner.spec(), now};
     for (const auto& f : rule.fields) target.set_field(f.name, f.update->evaluate(env));
@@ -419,6 +451,9 @@ void VirtualGateway::request_missing(GatewayLink& link, const std::string& messa
     if (!repository_.available(name, now)) repository_.set_request(name);
   }
   ++stats_.construction_held;
+  // A due emission held back because its elements are missing or stale is
+  // a construction-time suppression, same as a mid-build fetch failure.
+  if (suppressed_construction_ != nullptr) suppressed_construction_->add();
 }
 
 void VirtualGateway::try_outputs(GatewayLink& link, Instant now, bool tt_outputs,
@@ -469,17 +504,35 @@ void VirtualGateway::try_outputs(GatewayLink& link, Instant now, bool tt_outputs
 
 bool VirtualGateway::construct_and_emit(GatewayLink& link, const spec::MessageSpec& message_spec,
                                         Instant now) {
+  obs::ScopedTimer timer{construct_ns_};
   spec::MessageInstance instance = spec::make_instance(message_spec);
   instance.set_send_time(now);
+
+  // The constructed message continues the trace of the first traced
+  // element it is built from; its span parents under that element's
+  // repository-wait span.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
 
   for (const spec::ElementSpec* es : message_spec.convertible_elements()) {
     const std::string& repo = link.repo_name(es->name);
     auto stored = repository_.fetch(repo, now, /*ignore_accuracy=*/config_.accuracy_check_at_store);
     if (!stored) {
       ++stats_.construction_failed;
-      trace_.record(now, sim::TraceKind::kGatewayBlocked, message_spec.name(),
-                    "element '" + repo + "' unavailable at construction");
+      if (suppressed_construction_ != nullptr) suppressed_construction_->add();
+      DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, message_spec.name(),
+                  "element '" + repo + "' unavailable at construction");
       return false;
+    }
+    if (staleness_ns_ != nullptr) staleness_ns_->observe((now - stored->observed_at).ns());
+    if (spans_ != nullptr && spans_->enabled() && stored->trace_id != 0) {
+      const std::uint64_t wait =
+          spans_->emit(stored->trace_id, stored->span_id, obs::Phase::kRepoWait, "gw:" + name_,
+                       repo, stored->observed_at, now);
+      if (trace_id == 0) {
+        trace_id = stored->trace_id;
+        parent_span = wait;
+      }
     }
     spec::ElementValue* ev = instance.element(es->name);
     for (std::size_t i = 0; i < es->fields.size(); ++i) {
@@ -488,8 +541,9 @@ bool VirtualGateway::construct_and_emit(GatewayLink& link, const spec::MessageSp
       const ta::Value* v = stored->field(fs.name);
       if (v == nullptr) {
         ++stats_.construction_failed;
-        trace_.record(now, sim::TraceKind::kGatewayBlocked, message_spec.name(),
-                      "field '" + fs.name + "' missing in element '" + repo + "'");
+        if (suppressed_construction_ != nullptr) suppressed_construction_->add();
+        DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, message_spec.name(),
+                    "field '" + fs.name + "' missing in element '" + repo + "'");
         return false;
       }
       ev->fields[i] = *v;
@@ -497,8 +551,15 @@ bool VirtualGateway::construct_and_emit(GatewayLink& link, const spec::MessageSp
   }
 
   ++stats_.messages_constructed;
-  trace_.record(now, sim::TraceKind::kGatewayForwarded, message_spec.name(),
-                "side " + std::to_string(link.side()));
+  if (forwarded_metric_ != nullptr) forwarded_metric_->add();
+  DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayForwarded, message_spec.name(),
+              "side " + std::to_string(link.side()));
+  if (trace_id != 0) {
+    const std::uint64_t construct_span =
+        spans_->emit(trace_id, parent_span, obs::Phase::kConstruct, "gw:" + name_,
+                     message_spec.name(), now, now);
+    instance.set_trace(trace_id, construct_span);
+  }
 
   const auto it = link.emitters_.find(message_spec.name());
   if (it != link.emitters_.end()) {
@@ -514,8 +575,8 @@ void VirtualGateway::note_error(GatewayLink& link, const std::string& automaton_
   if (link.error_since_.count(automaton_name) != 0) return;
   link.error_since_[automaton_name] = now;
   ++stats_.automaton_errors;
-  trace_.record(now, sim::TraceKind::kAutomatonError, automaton_name,
-                "side " + std::to_string(link.side()));
+  DECOS_TRACE(trace_, now, sim::TraceKind::kAutomatonError, automaton_name,
+              "side " + std::to_string(link.side()));
 }
 
 void VirtualGateway::maybe_restart(GatewayLink& link, Instant now) {
@@ -572,6 +633,7 @@ void VirtualGateway::dispatch(Instant now) {
 
 void VirtualGateway::start(sim::Simulator& simulator) {
   if (!finalized_) finalize();
+  bind_observability(simulator.metrics(), simulator.spans());
   start_tick(simulator);
 }
 

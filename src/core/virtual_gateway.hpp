@@ -30,6 +30,8 @@
 #include "core/gateway_link.hpp"
 #include "core/repository.hpp"
 #include "lint/diagnostic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "tt/schedule.hpp"
@@ -100,6 +102,13 @@ class VirtualGateway {
   GatewayStats& stats() { return stats_; }
   const GatewayStats& stats() const { return stats_; }
   sim::TraceRecorder& trace() { return trace_; }
+
+  /// Hook the gateway into a system-wide observability host (normally the
+  /// simulator's registry/collector; wired automatically by the wiring
+  /// helpers and start()). Registers the gw.<name>.* instruments; further
+  /// calls with the same registry are no-ops. The gateway stays fully
+  /// functional unbound (standalone unit tests).
+  void bind_observability(obs::MetricsRegistry& metrics, obs::TraceCollector& spans);
 
   /// Override repository meta data for one element (by repository name).
   /// Must be called before finalize().
@@ -192,6 +201,17 @@ class VirtualGateway {
   // Current operation instant, visible to the interpreter hooks (the
   // gateway is single-threaded on the simulation loop).
   Instant now_;
+  // Observability host (null until bind_observability); instruments are
+  // raw pointers into the registry-owned deque, stable for its lifetime.
+  obs::TraceCollector* spans_ = nullptr;
+  obs::Histogram* dissect_ns_ = nullptr;       // gw.<name>.dissect_ns (host time)
+  obs::Histogram* construct_ns_ = nullptr;     // gw.<name>.construct_ns (host time)
+  obs::Histogram* staleness_ns_ = nullptr;     // gw.<name>.staleness_ns (sim time)
+  obs::Counter* forwarded_metric_ = nullptr;   // gw.<name>.forwarded
+  obs::Counter* suppressed_temporal_ = nullptr;
+  obs::Counter* suppressed_value_ = nullptr;
+  obs::Counter* suppressed_unknown_ = nullptr;
+  obs::Counter* suppressed_construction_ = nullptr;
   // Optional physical-network context for lint() (see set_lint_context).
   std::optional<tt::TdmaSchedule> lint_schedule_;
   std::array<std::optional<tt::VnId>, 2> lint_vn_{};

@@ -4,7 +4,8 @@ namespace decos::fault {
 
 void FaultPlan::note(Instant when, const std::string& subject, const std::string& detail) {
   ++injected_;
-  if (trace_ != nullptr) trace_->record(when, sim::TraceKind::kFaultInjected, subject, detail);
+  if (trace_ != nullptr)
+    DECOS_TRACE(*trace_, when, sim::TraceKind::kFaultInjected, subject, detail);
 }
 
 void FaultPlan::crash(tt::Controller& controller, Instant at, Duration outage) {

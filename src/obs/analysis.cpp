@@ -1,0 +1,234 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace decos::obs {
+
+void LatencySet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+std::int64_t LatencySet::min() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+std::int64_t LatencySet::max() const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double LatencySet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const std::int64_t s : samples_) sum += static_cast<double>(s);
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::int64_t LatencySet::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  if (p <= 0.0) return samples_.front();
+  if (p >= 1.0) return samples_.back();
+  // Nearest-rank (ceil) on the sorted samples.
+  const auto rank =
+      static_cast<std::size_t>(p * static_cast<double>(samples_.size()) + 0.999999);
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  return samples_[std::min(index, samples_.size() - 1)];
+}
+
+Breakdown phase_breakdown(const std::vector<Span>& spans) {
+  // Bucket spans per trace, preserving emission (= causal) order.
+  std::unordered_map<std::uint64_t, std::vector<const Span*>> traces;
+  std::vector<std::uint64_t> order;  // deterministic traversal
+  for (const Span& s : spans) {
+    if (s.trace_id == 0) continue;
+    auto [it, inserted] = traces.try_emplace(s.trace_id);
+    if (inserted) order.push_back(s.trace_id);
+    it->second.push_back(&s);
+  }
+
+  Breakdown breakdown;
+  for (const std::uint64_t trace_id : order) {
+    std::vector<const Span*>& chain = traces[trace_id];
+    std::sort(chain.begin(), chain.end(),
+              [](const Span* a, const Span* b) { return a->span_id < b->span_id; });
+
+    const Span* root = chain.front();
+
+    // First-delivery pipeline landmarks, in causal (span id) order. A TT
+    // state port re-sends its freshest instance every round, so one trace
+    // accumulates bus/dissect/construct/deliver spans per round; the
+    // phase breakdown measures the *first* completion of each stage --
+    // the latency until the information reached the other side -- which
+    // matches what the latency benches measure in-process.
+    const Span* construct = nullptr;  // first construction in the trace
+    for (const Span* s : chain) {
+      if (s->phase == Phase::kConstruct) {
+        construct = s;
+        break;
+      }
+    }
+
+    const Span* first_bus = nullptr;
+    const Span* dissect = nullptr;
+    const Span* repo_longest = nullptr;  // longest element wait before construction
+    const Span* deliver = nullptr;       // first delivery after construction
+    for (const Span* s : chain) {
+      switch (s->phase) {
+        case Phase::kBus:
+          if (first_bus == nullptr) first_bus = s;
+          break;
+        case Phase::kDissect:
+          if (dissect == nullptr) dissect = s;
+          break;
+        case Phase::kRepoWait:
+          if ((construct == nullptr || s->span_id < construct->span_id) &&
+              (repo_longest == nullptr || s->duration() > repo_longest->duration()))
+            repo_longest = s;
+          break;
+        case Phase::kConstruct:
+          break;
+        case Phase::kDeliver:
+          // Deliveries into the gateway's own input port precede the
+          // construction span; the end-to-end delivery follows it. In a
+          // gateway-less trace the first delivery is the end-to-end one.
+          if (deliver == nullptr &&
+              (construct == nullptr || s->span_id > construct->span_id))
+            deliver = s;
+          break;
+        case Phase::kSend:
+          break;
+      }
+      if (deliver != nullptr) break;  // pipeline complete
+    }
+
+    const Span* last = deliver != nullptr ? deliver : chain.back();
+    std::string key = root->name;
+    if (last->name != root->name) key += "->" + last->name;
+
+    FlowStats& flow = breakdown[key];
+    ++flow.traces;
+    flow.phases["total"].add(last->end - root->start);
+    if (first_bus != nullptr) flow.phases["ingress"].add(first_bus->end - root->start);
+    if (dissect != nullptr && first_bus != nullptr)
+      flow.phases["dissect"].add(dissect->end - first_bus->end);
+    if (repo_longest != nullptr) flow.phases["repo_wait"].add(repo_longest->duration());
+    if (construct != nullptr && repo_longest != nullptr)
+      flow.phases["construct"].add(construct->end - repo_longest->end);
+    if (deliver != nullptr) {
+      if (construct != nullptr) {
+        flow.phases["delivery"].add(deliver->end - construct->end);
+      } else if (first_bus != nullptr) {
+        flow.phases["delivery"].add(deliver->end - first_bus->end);
+      }
+    }
+  }
+  return breakdown;
+}
+
+ContainmentSummary containment_summary(
+    const std::vector<std::pair<std::string, TraceRecord>>& records) {
+  ContainmentSummary summary;
+  for (const auto& [source, r] : records) {
+    switch (r.kind) {
+      case TraceKind::kFaultInjected:
+        ++summary.faults_injected;
+        break;
+      case TraceKind::kFrameBlocked:
+        ++summary.frames_blocked;
+        break;
+      case TraceKind::kGatewayBlocked: {
+        ++summary.gateway_blocked;
+        // Reason = detail up to the first " (" qualifier.
+        std::string reason = r.detail.substr(0, r.detail.find(" ("));
+        if (reason.empty()) reason = "unspecified";
+        ++summary.blocked_reasons[reason];
+        break;
+      }
+      case TraceKind::kAutomatonError:
+        ++summary.automaton_errors;
+        break;
+      case TraceKind::kGatewayForwarded:
+        ++summary.gateway_forwarded;
+        break;
+      default:
+        break;
+    }
+  }
+  return summary;
+}
+
+json::Value breakdown_to_json(const Breakdown& breakdown) {
+  json::Array flows;
+  for (const auto& [key, flow] : breakdown) {
+    json::Object o;
+    o.emplace_back("flow", key);
+    o.emplace_back("traces", flow.traces);
+    json::Object phases;
+    for (const char* phase : kBreakdownPhases) {
+      const auto it = flow.phases.find(phase);
+      if (it == flow.phases.end() || it->second.empty()) continue;
+      const LatencySet& set = it->second;
+      json::Object p;
+      p.emplace_back("n", set.count());
+      p.emplace_back("min_ns", set.min());
+      p.emplace_back("p50_ns", set.percentile(0.50));
+      p.emplace_back("p90_ns", set.percentile(0.90));
+      p.emplace_back("p99_ns", set.percentile(0.99));
+      p.emplace_back("max_ns", set.max());
+      p.emplace_back("mean_ns", set.mean());
+      phases.emplace_back(phase, std::move(p));
+    }
+    o.emplace_back("phases", std::move(phases));
+    flows.push_back(json::Value{std::move(o)});
+  }
+  return json::Value{std::move(flows)};
+}
+
+json::Value containment_to_json(const ContainmentSummary& summary) {
+  json::Object o;
+  o.emplace_back("faults_injected", summary.faults_injected);
+  o.emplace_back("frames_blocked", summary.frames_blocked);
+  o.emplace_back("gateway_blocked", summary.gateway_blocked);
+  o.emplace_back("automaton_errors", summary.automaton_errors);
+  o.emplace_back("gateway_forwarded", summary.gateway_forwarded);
+  json::Object reasons;
+  for (const auto& [reason, n] : summary.blocked_reasons) reasons.emplace_back(reason, n);
+  o.emplace_back("blocked_reasons", std::move(reasons));
+  return json::Value{std::move(o)};
+}
+
+std::vector<std::string> check_span_integrity(const std::vector<Span>& spans) {
+  std::vector<std::string> violations;
+  std::unordered_map<std::uint64_t, const Span*> by_id;
+  for (const Span& s : spans) by_id[s.span_id] = &s;
+  for (const Span& s : spans) {
+    if (s.end < s.start)
+      violations.push_back("span " + std::to_string(s.span_id) + " ends before it starts");
+    if (s.parent_id == 0) continue;
+    const auto it = by_id.find(s.parent_id);
+    if (it == by_id.end()) {
+      violations.push_back("span " + std::to_string(s.span_id) + " references missing parent " +
+                           std::to_string(s.parent_id));
+      continue;
+    }
+    const Span* parent = it->second;
+    if (parent->trace_id != s.trace_id)
+      violations.push_back("span " + std::to_string(s.span_id) + " (trace " +
+                           std::to_string(s.trace_id) + ") has parent in trace " +
+                           std::to_string(parent->trace_id));
+    if (parent->start > s.end)
+      violations.push_back("span " + std::to_string(s.span_id) +
+                           " ends before its parent starts");
+  }
+  return violations;
+}
+
+}  // namespace decos::obs

@@ -1,0 +1,87 @@
+// Span/record analysis shared by bench binaries (in-process) and the
+// decotrace CLI (offline, from a JSONL dump). Both readers run the exact
+// same arithmetic over the same records, so their outputs agree to the
+// nanosecond -- the E6 acceptance check relies on this.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "util/time.hpp"
+
+namespace decos::obs {
+
+/// Exact latency sample set (nearest-rank percentiles over the sorted
+/// samples -- no binning, unlike the metrics histograms).
+class LatencySet {
+ public:
+  void add(Duration d) {
+    samples_.push_back(d.ns());
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+  /// Nearest-rank percentile in ns; p in [0,1].
+  std::int64_t percentile(double p) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<std::int64_t> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Phase labels of the per-trace breakdown, in pipeline order. "total"
+/// is first span start -> last span end.
+inline constexpr const char* kBreakdownPhases[] = {"ingress",   "dissect",  "repo_wait",
+                                                   "construct", "delivery", "total"};
+
+/// Per-flow phase latency sets. A flow is keyed by its message names:
+/// "msgA" for same-name end-to-end traffic, "msgA->msgB" when a gateway
+/// renamed/reconstructed the message.
+struct FlowStats {
+  std::map<std::string, LatencySet> phases;  // key: kBreakdownPhases entry
+  std::size_t traces = 0;
+};
+
+using Breakdown = std::map<std::string, FlowStats>;
+
+/// Group spans into traces and compute per-phase latencies:
+///   ingress   = first bus delivery - root send
+///   dissect   = dissection instant - preceding bus delivery
+///   repo_wait = repository store -> fetch (max over elements)
+///   construct = construction instant - repository fetch
+///   delivery  = final port delivery - construction
+///   total     = end-to-end
+/// Phases whose spans are absent from a trace contribute no sample.
+Breakdown phase_breakdown(const std::vector<Span>& spans);
+
+/// Fault-containment summary from trace records.
+struct ContainmentSummary {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t frames_blocked = 0;     // bus guardian
+  std::uint64_t gateway_blocked = 0;    // temporal/value/unknown suppression
+  std::uint64_t automaton_errors = 0;
+  std::uint64_t gateway_forwarded = 0;  // traffic that crossed a gateway
+  std::map<std::string, std::uint64_t> blocked_reasons;  // detail prefix -> n
+};
+
+ContainmentSummary containment_summary(
+    const std::vector<std::pair<std::string, TraceRecord>>& records);
+
+json::Value breakdown_to_json(const Breakdown& breakdown);
+json::Value containment_to_json(const ContainmentSummary& summary);
+
+/// Validate parent/child integrity: every non-root span's parent exists
+/// in the same trace and does not start after its child ends. Returns
+/// human-readable violations (empty = consistent).
+std::vector<std::string> check_span_integrity(const std::vector<Span>& spans);
+
+}  // namespace decos::obs

@@ -1,0 +1,326 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace decos::obs {
+
+namespace {
+
+const char* instrument_kind_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter: return "counter";
+    case InstrumentKind::kGauge: return "gauge";
+    case InstrumentKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+Result<InstrumentKind> instrument_kind_from(const std::string& name) {
+  if (name == "counter") return InstrumentKind::kCounter;
+  if (name == "gauge") return InstrumentKind::kGauge;
+  if (name == "histogram") return InstrumentKind::kHistogram;
+  return Result<InstrumentKind>::failure("unknown instrument kind '" + name + "'");
+}
+
+Result<Phase> phase_from(const std::string& name) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const auto phase = static_cast<Phase>(i);
+    if (name == phase_name(phase)) return phase;
+  }
+  return Result<Phase>::failure("unknown span phase '" + name + "'");
+}
+
+Result<TraceKind> trace_kind_from(const std::string& name) {
+  for (std::size_t i = 0; i < kTraceKindCount; ++i) {
+    const auto kind = static_cast<TraceKind>(i);
+    if (name == trace_kind_name(kind)) return kind;
+  }
+  return Result<TraceKind>::failure("unknown trace kind '" + name + "'");
+}
+
+}  // namespace
+
+void DumpWriter::begin_cell(const std::string& label) {
+  json::Object o;
+  o.emplace_back("type", "meta");
+  o.emplace_back("format", "decos-trace");
+  o.emplace_back("version", std::int64_t{1});
+  o.emplace_back("label", label);
+  out_ << json::Value{std::move(o)}.dump() << '\n';
+}
+
+void DumpWriter::add_spans(const TraceCollector& collector) {
+  for (const Span& s : collector.spans()) {
+    json::Object o;
+    o.emplace_back("type", "span");
+    o.emplace_back("trace", s.trace_id);
+    o.emplace_back("span", s.span_id);
+    o.emplace_back("parent", s.parent_id);
+    o.emplace_back("phase", phase_name(s.phase));
+    o.emplace_back("track", s.track);
+    o.emplace_back("name", s.name);
+    o.emplace_back("start_ns", s.start.ns());
+    o.emplace_back("end_ns", s.end.ns());
+    o.emplace_back("value", s.value);
+    out_ << json::Value{std::move(o)}.dump() << '\n';
+  }
+}
+
+void DumpWriter::add_records(const std::string& source, const TraceRecorder& recorder) {
+  for (const TraceRecord& r : recorder.records()) {
+    json::Object o;
+    o.emplace_back("type", "record");
+    o.emplace_back("source", source);
+    o.emplace_back("kind", trace_kind_name(r.kind));
+    o.emplace_back("when_ns", r.when.ns());
+    o.emplace_back("subject", r.subject);
+    o.emplace_back("detail", r.detail);
+    o.emplace_back("value", r.value);
+    o.emplace_back("seq", r.seq);
+    out_ << json::Value{std::move(o)}.dump() << '\n';
+  }
+}
+
+void DumpWriter::add_metrics(const MetricsSnapshot& snapshot) {
+  for (const MetricValue& m : snapshot.entries) {
+    json::Object o;
+    o.emplace_back("type", "metric");
+    o.emplace_back("name", m.name);
+    o.emplace_back("kind", instrument_kind_name(m.kind));
+    o.emplace_back("deterministic", m.deterministic);
+    o.emplace_back("updates", m.updates);
+    switch (m.kind) {
+      case InstrumentKind::kCounter:
+        o.emplace_back("value", m.value);
+        break;
+      case InstrumentKind::kGauge:
+        o.emplace_back("value", m.value);
+        o.emplace_back("high_water", m.high_water);
+        break;
+      case InstrumentKind::kHistogram:
+        o.emplace_back("count", m.count);
+        o.emplace_back("sum", m.sum);
+        o.emplace_back("min", m.min);
+        o.emplace_back("max", m.max);
+        o.emplace_back("p50", m.p50);
+        o.emplace_back("p90", m.p90);
+        o.emplace_back("p99", m.p99);
+        break;
+    }
+    out_ << json::Value{std::move(o)}.dump() << '\n';
+  }
+}
+
+Result<Dump> load_jsonl(std::istream& in) {
+  Dump dump;
+  std::string line;
+  std::size_t line_no = 0;
+  const auto cell = [&dump]() -> DumpCell& {
+    if (dump.cells.empty()) dump.cells.emplace_back();
+    return dump.cells.back();
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Result<json::Value> parsed = json::parse(line);
+    if (!parsed.ok())
+      return Result<Dump>::failure("line " + std::to_string(line_no) + ": " +
+                                   parsed.error().message);
+    const json::Value& v = parsed.value();
+    const std::string type = v.get_string("type");
+    if (type == "meta") {
+      dump.cells.emplace_back();
+      dump.cells.back().label = v.get_string("label");
+    } else if (type == "span") {
+      Span s;
+      s.trace_id = static_cast<std::uint64_t>(v.get_int("trace"));
+      s.span_id = static_cast<std::uint64_t>(v.get_int("span"));
+      s.parent_id = static_cast<std::uint64_t>(v.get_int("parent"));
+      Result<Phase> phase = phase_from(v.get_string("phase"));
+      if (!phase.ok())
+        return Result<Dump>::failure("line " + std::to_string(line_no) + ": " +
+                                     phase.error().message);
+      s.phase = phase.value();
+      s.track = v.get_string("track");
+      s.name = v.get_string("name");
+      s.start = Instant::from_ns(v.get_int("start_ns"));
+      s.end = Instant::from_ns(v.get_int("end_ns"));
+      s.value = v.get_int("value");
+      cell().spans.push_back(std::move(s));
+    } else if (type == "record") {
+      TraceRecord r;
+      Result<TraceKind> kind = trace_kind_from(v.get_string("kind"));
+      if (!kind.ok())
+        return Result<Dump>::failure("line " + std::to_string(line_no) + ": " +
+                                     kind.error().message);
+      r.kind = kind.value();
+      r.when = Instant::from_ns(v.get_int("when_ns"));
+      r.subject = v.get_string("subject");
+      r.detail = v.get_string("detail");
+      r.value = v.get_int("value");
+      r.seq = static_cast<std::uint64_t>(v.get_int("seq"));
+      cell().records.emplace_back(v.get_string("source"), std::move(r));
+    } else if (type == "metric") {
+      MetricValue m;
+      m.name = v.get_string("name");
+      Result<InstrumentKind> kind = instrument_kind_from(v.get_string("kind"));
+      if (!kind.ok())
+        return Result<Dump>::failure("line " + std::to_string(line_no) + ": " +
+                                     kind.error().message);
+      m.kind = kind.value();
+      const json::Value* det = v.find("deterministic");
+      m.deterministic = det == nullptr || !det->is_bool() || det->as_bool();
+      m.updates = static_cast<std::uint64_t>(v.get_int("updates"));
+      m.value = v.get_int("value");
+      m.high_water = v.get_int("high_water");
+      m.count = static_cast<std::uint64_t>(v.get_int("count"));
+      m.sum = v.get_int("sum");
+      m.min = v.get_int("min");
+      m.max = v.get_int("max");
+      m.p50 = v.get_int("p50");
+      m.p90 = v.get_int("p90");
+      m.p99 = v.get_int("p99");
+      cell().metrics.entries.push_back(std::move(m));
+    }
+    // Unknown types: skip (forward compatibility).
+  }
+  return dump;
+}
+
+std::vector<Span> Dump::all_spans() const {
+  std::vector<Span> out;
+  // Cells are independent runs whose trace/span counters both restart at
+  // 1; offset ids per cell so traces never merge across cells.
+  std::uint64_t offset = 0;
+  for (const DumpCell& cell : cells) {
+    std::uint64_t max_id = 0;
+    for (const Span& s : cell.spans) {
+      Span copy = s;
+      if (copy.trace_id != 0) copy.trace_id += offset;
+      if (copy.span_id != 0) copy.span_id += offset;
+      if (copy.parent_id != 0) copy.parent_id += offset;
+      max_id = std::max({max_id, s.trace_id, s.span_id});
+      out.push_back(std::move(copy));
+    }
+    offset += max_id;
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, TraceRecord>> Dump::all_records() const {
+  std::vector<std::pair<std::string, TraceRecord>> out;
+  for (const DumpCell& cell : cells)
+    out.insert(out.end(), cell.records.begin(), cell.records.end());
+  return out;
+}
+
+MetricsSnapshot Dump::merged_metrics() const {
+  std::map<std::string, MetricValue> merged;
+  for (const DumpCell& cell : cells) {
+    for (const MetricValue& m : cell.metrics.entries) {
+      auto [it, inserted] = merged.emplace(m.name, m);
+      if (inserted) continue;
+      MetricValue& acc = it->second;
+      acc.updates += m.updates;
+      switch (m.kind) {
+        case InstrumentKind::kCounter:
+          acc.value += m.value;
+          break;
+        case InstrumentKind::kGauge:
+          acc.value = m.value;  // last cell's value
+          acc.high_water = std::max(acc.high_water, m.high_water);
+          break;
+        case InstrumentKind::kHistogram:
+          // Percentiles are not mergeable without the bins; keep the
+          // extremes and totals, and the percentiles of the largest cell.
+          if (m.count > acc.count) {
+            acc.p50 = m.p50;
+            acc.p90 = m.p90;
+            acc.p99 = m.p99;
+          }
+          acc.count += m.count;
+          acc.sum += m.sum;
+          acc.min = acc.count == 0 ? m.min : std::min(acc.min, m.min);
+          acc.max = std::max(acc.max, m.max);
+          break;
+      }
+    }
+  }
+  MetricsSnapshot snap;
+  for (auto& [name, m] : merged) snap.entries.push_back(std::move(m));
+  return snap;
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans,
+                        const std::vector<std::pair<std::string, TraceRecord>>& records) {
+  // Track (thread) ids: sorted unique track names for determinism.
+  std::map<std::string, int> tracks;
+  for (const Span& s : spans) tracks.emplace(s.track, 0);
+  for (const auto& [source, r] : records) tracks.emplace(source, 0);
+  int next_tid = 1;
+  for (auto& [name, tid] : tracks) tid = next_tid++;
+
+  const auto us = [](Instant t) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(t.ns()) / 1000.0);
+    return std::string{buf};
+  };
+
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) out << ",\n";
+    first = false;
+  };
+  sep();
+  out << R"({"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"decos"}})";
+  for (const auto& [name, tid] : tracks) {
+    sep();
+    out << R"({"ph":"M","pid":1,"tid":)" << tid
+        << R"(,"name":"thread_name","args":{"name":)" << json::escape(name) << "}}";
+  }
+
+  // Spans ordered by (start, span id) so output is stable.
+  std::vector<const Span*> ordered;
+  ordered.reserve(spans.size());
+  for (const Span& s : spans) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(), [](const Span* a, const Span* b) {
+    if (a->start != b->start) return a->start < b->start;
+    return a->span_id < b->span_id;
+  });
+  for (const Span* s : ordered) {
+    sep();
+    out << R"({"ph":"X","pid":1,"tid":)" << tracks[s->track] << ",\"ts\":" << us(s->start)
+        << ",\"dur\":" << us(Instant::origin() + (s->end - s->start)) << ",\"name\":"
+        << json::escape(std::string{phase_name(s->phase)} + " " + s->name)
+        << ",\"cat\":" << json::escape(phase_name(s->phase)) << ",\"args\":{\"trace\":"
+        << s->trace_id << ",\"span\":" << s->span_id << ",\"parent\":" << s->parent_id
+        << ",\"value\":" << s->value << "}}";
+  }
+
+  // Trace records as instant events on their source's track.
+  std::vector<const std::pair<std::string, TraceRecord>*> rec_ordered;
+  rec_ordered.reserve(records.size());
+  for (const auto& r : records) rec_ordered.push_back(&r);
+  std::sort(rec_ordered.begin(), rec_ordered.end(), [](const auto* a, const auto* b) {
+    if (a->second.when != b->second.when) return a->second.when < b->second.when;
+    return a->second.seq < b->second.seq;
+  });
+  for (const auto* r : rec_ordered) {
+    sep();
+    out << R"({"ph":"i","s":"t","pid":1,"tid":)" << tracks[r->first]
+        << ",\"ts\":" << us(r->second.when) << ",\"name\":"
+        << json::escape(std::string{trace_kind_name(r->second.kind)} + " " + r->second.subject)
+        << ",\"args\":{\"detail\":" << json::escape(r->second.detail)
+        << ",\"value\":" << r->second.value << "}}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace decos::obs

@@ -1,0 +1,71 @@
+// Trace/metrics exporters and the matching loader.
+//
+// Two formats:
+//  - JSONL dump: one self-describing JSON object per line (meta/span/
+//    record/metric). Machine-readable source of truth; decotrace and the
+//    CI dead-instrument detector consume it. A dump may contain several
+//    cells (one per bench parameter combination), each introduced by a
+//    meta line.
+//  - Chrome trace-event JSON (catapult / Perfetto "traceEvents" array):
+//    one track per emitting entity (node / VN / gateway), complete "X"
+//    events per span, so a simulated run can be inspected visually in
+//    ui.perfetto.dev or chrome://tracing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+
+namespace decos::obs {
+
+/// Streaming JSONL writer. Usage per cell: begin_cell() then any number
+/// of add_* calls; everything is written immediately.
+class DumpWriter {
+ public:
+  explicit DumpWriter(std::ostream& out) : out_{out} {}
+
+  void begin_cell(const std::string& label);
+  void add_spans(const TraceCollector& collector);
+  void add_records(const std::string& source, const TraceRecorder& recorder);
+  void add_metrics(const MetricsSnapshot& snapshot);
+
+ private:
+  std::ostream& out_;
+};
+
+/// One parsed dump cell (spans/records/metrics between two meta lines).
+struct DumpCell {
+  std::string label;
+  std::vector<Span> spans;
+  // (source, record) pairs; source names the recorder ("bus", "gw:e6").
+  std::vector<std::pair<std::string, TraceRecord>> records;
+  MetricsSnapshot metrics;
+};
+
+struct Dump {
+  std::vector<DumpCell> cells;
+
+  /// All spans across cells (cells are independent runs; trace ids are
+  /// made unique by offsetting per cell at load time).
+  std::vector<Span> all_spans() const;
+  std::vector<std::pair<std::string, TraceRecord>> all_records() const;
+  /// Metric union across cells: counters/histograms summed, gauges take
+  /// the high-water maximum; `updates` summed (dead-instrument check).
+  MetricsSnapshot merged_metrics() const;
+};
+
+/// Parse a JSONL dump. Unknown line types are skipped (forward compat).
+Result<Dump> load_jsonl(std::istream& in);
+
+/// Write spans in Chrome trace-event format. `records` become instant
+/// events on their source's track. Output is byte-deterministic for a
+/// given input (golden-file tested).
+void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans,
+                        const std::vector<std::pair<std::string, TraceRecord>>& records = {});
+
+}  // namespace decos::obs

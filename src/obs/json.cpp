@@ -1,0 +1,268 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace decos::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Value::dump_to(std::string& out) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(as_int());
+  } else if (is_real()) {
+    const double d = as_double();
+    if (std::isfinite(d)) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", d);
+      out += buf;
+    } else {
+      out += "null";  // JSON has no inf/nan
+    }
+  } else if (is_string()) {
+    out += escape(as_string());
+  } else if (is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const Value& v : as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      v.dump_to(out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += escape(k);
+      out.push_back(':');
+      v.dump_to(out);
+    }
+    out.push_back('}');
+  }
+}
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  Result<Value> run() {
+    skip_ws();
+    Result<Value> v = parse_value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  Result<Value> fail(std::string message) const {
+    return Result<Value>::failure(std::move(message) + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> parse_value() {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      Result<std::string> s = parse_string();
+      if (!s.ok()) return Result<Value>{s.error()};
+      return Value{std::move(s.value())};
+    }
+    if (literal("true")) return Value{true};
+    if (literal("false")) return Value{false};
+    if (literal("null")) return Value{nullptr};
+    return parse_number();
+  }
+
+  Result<Value> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    bool is_real = false;
+    if (consume('.')) {
+      is_real = true;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_real = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return fail("invalid number");
+    if (!is_real) {
+      std::int64_t i = 0;
+      const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc{} && ptr == token.data() + token.size()) return Value{i};
+      // Out-of-range integer: fall through to double.
+    }
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), d);
+    if (ec != std::errc{} || ptr != token.data() + token.size()) return fail("invalid number");
+    return Value{d};
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) return Result<std::string>::failure("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size())
+              return Result<std::string>::failure("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return Result<std::string>::failure("invalid \\u escape");
+            }
+            // Encode as UTF-8 (BMP only; surrogate pairs are not produced
+            // by our own writers).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Result<std::string>::failure("invalid escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return Result<std::string>::failure("unterminated string");
+  }
+
+  Result<Value> parse_array() {
+    consume('[');
+    Array items;
+    skip_ws();
+    if (consume(']')) return Value{std::move(items)};
+    while (true) {
+      skip_ws();
+      Result<Value> v = parse_value();
+      if (!v.ok()) return v;
+      items.push_back(std::move(v.value()));
+      skip_ws();
+      if (consume(']')) return Value{std::move(items)};
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> parse_object() {
+    consume('{');
+    Object members;
+    skip_ws();
+    if (consume('}')) return Value{std::move(members)};
+    while (true) {
+      skip_ws();
+      Result<std::string> key = parse_string();
+      if (!key.ok()) return Result<Value>{key.error()};
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' in object");
+      skip_ws();
+      Result<Value> v = parse_value();
+      if (!v.ok()) return v;
+      members.emplace_back(std::move(key.value()), std::move(v.value()));
+      skip_ws();
+      if (consume('}')) return Value{std::move(members)};
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> parse(std::string_view text) { return Parser{text}.run(); }
+
+}  // namespace decos::obs::json

@@ -1,0 +1,98 @@
+// Minimal JSON document model used by the observability exporters, the
+// bench result writer and the decotrace loader. Numbers distinguish
+// integers from reals so nanosecond timestamps survive a write/read
+// round trip exactly (the E6 cross-check demands 1 ns agreement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace decos::obs::json {
+
+class Value;
+using Array = std::vector<Value>;
+/// Order-preserving object (insertion order survives dump()).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+class Value {
+ public:
+  Value() : data_{nullptr} {}
+  Value(std::nullptr_t) : data_{nullptr} {}         // NOLINT(google-explicit-constructor)
+  Value(bool b) : data_{b} {}                       // NOLINT(google-explicit-constructor)
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Value(T i) : data_{static_cast<std::int64_t>(i)} {}  // NOLINT(google-explicit-constructor)
+  Value(double d) : data_{d} {}                     // NOLINT(google-explicit-constructor)
+  Value(std::string s) : data_{std::move(s)} {}     // NOLINT(google-explicit-constructor)
+  Value(const char* s) : data_{std::string{s}} {}   // NOLINT(google-explicit-constructor)
+  Value(Array a) : data_{std::move(a)} {}           // NOLINT(google-explicit-constructor)
+  Value(Object o) : data_{std::move(o)} {}          // NOLINT(google-explicit-constructor)
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool is_real() const { return std::holds_alternative<double>(data_); }
+  bool is_number() const { return is_int() || is_real(); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  std::int64_t as_int() const {
+    return is_real() ? static_cast<std::int64_t>(std::get<double>(data_))
+                     : std::get<std::int64_t>(data_);
+  }
+  double as_double() const {
+    return is_int() ? static_cast<double>(std::get<std::int64_t>(data_))
+                    : std::get<double>(data_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+  Array& as_array() { return std::get<Array>(data_); }
+  Object& as_object() { return std::get<Object>(data_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : as_object())
+      if (k == key) return &v;
+    return nullptr;
+  }
+  /// Convenience accessors with defaults for loader code.
+  std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const {
+    const Value* v = find(key);
+    return v != nullptr && v->is_number() ? v->as_int() : fallback;
+  }
+  double get_double(std::string_view key, double fallback = 0.0) const {
+    const Value* v = find(key);
+    return v != nullptr && v->is_number() ? v->as_double() : fallback;
+  }
+  std::string get_string(std::string_view key, std::string fallback = {}) const {
+    const Value* v = find(key);
+    return v != nullptr && v->is_string() ? v->as_string() : std::move(fallback);
+  }
+
+  /// Compact single-line serialization.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array, Object> data_;
+};
+
+/// Parse one JSON document. Trailing whitespace is allowed; trailing
+/// non-whitespace is an error (JSONL readers parse line by line).
+Result<Value> parse(std::string_view text);
+
+/// Escape `s` as a JSON string literal (including the quotes).
+std::string escape(std::string_view s);
+
+}  // namespace decos::obs::json

@@ -1,0 +1,139 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/result.hpp"
+
+namespace decos::obs {
+
+std::int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(count_) + 0.5);
+  std::uint64_t cumulative = 0;
+  for (int bin = 0; bin < kBins; ++bin) {
+    cumulative += bins_[bin];
+    if (cumulative >= rank && bins_[bin] != 0) {
+      // Upper bound of bin i is 2^i - 1; clamp to the observed extremes.
+      const std::int64_t upper =
+          bin >= 63 ? max_ : static_cast<std::int64_t>((std::uint64_t{1} << bin) - 1);
+      return std::clamp(upper, min_, max_);
+    }
+  }
+  return max_;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::registered(std::string_view name, InstrumentKind kind,
+                                                    Determinism determinism) {
+  const auto it = index_.find(std::string{name});
+  if (it != index_.end()) {
+    if (it->second->kind != kind)
+      throw SpecError("metric '" + std::string{name} + "' re-registered with a different kind");
+    return *it->second;
+  }
+  entries_.push_back(Entry{std::string{name}, kind, determinism});
+  Entry& entry = entries_.back();
+  index_[entry.name] = &entry;
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Entry& entry = registered(name, InstrumentKind::kCounter, Determinism::kDeterministic);
+  if (entry.counter == nullptr) {
+    counters_.emplace_back();
+    entry.counter = &counters_.back();
+  }
+  return *entry.counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Entry& entry = registered(name, InstrumentKind::kGauge, Determinism::kDeterministic);
+  if (entry.gauge == nullptr) {
+    gauges_.emplace_back();
+    entry.gauge = &gauges_.back();
+  }
+  return *entry.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, Determinism determinism) {
+  Entry& entry = registered(name, InstrumentKind::kHistogram, determinism);
+  if (entry.histogram == nullptr) {
+    histograms_.emplace_back();
+    entry.histogram = &histograms_.back();
+  }
+  return *entry.histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    MetricValue v;
+    v.name = entry.name;
+    v.kind = entry.kind;
+    v.deterministic = entry.determinism == Determinism::kDeterministic;
+    switch (entry.kind) {
+      case InstrumentKind::kCounter:
+        v.value = static_cast<std::int64_t>(entry.counter->value());
+        v.updates = entry.counter->value();
+        break;
+      case InstrumentKind::kGauge:
+        v.value = entry.gauge->value();
+        v.high_water = entry.gauge->high_water();
+        v.updates = entry.gauge->updates();
+        break;
+      case InstrumentKind::kHistogram:
+        v.count = entry.histogram->count();
+        v.sum = entry.histogram->sum();
+        v.min = entry.histogram->min();
+        v.max = entry.histogram->max();
+        v.p50 = entry.histogram->percentile(0.50);
+        v.p90 = entry.histogram->percentile(0.90);
+        v.p99 = entry.histogram->percentile(0.99);
+        v.updates = entry.histogram->count();
+        break;
+    }
+    snap.entries.push_back(std::move(v));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const MetricValue& a, const MetricValue& b) { return a.name < b.name; });
+  return snap;
+}
+
+const MetricValue* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricValue& v : entries)
+    if (v.name == name) return &v;
+  return nullptr;
+}
+
+std::vector<std::string> MetricsSnapshot::dead_instruments() const {
+  std::vector<std::string> dead;
+  for (const MetricValue& v : entries)
+    if (v.updates == 0) dead.push_back(v.name);
+  return dead;
+}
+
+std::string MetricsSnapshot::deterministic_fingerprint() const {
+  std::string out;
+  for (const MetricValue& v : entries) {
+    if (!v.deterministic) continue;
+    out += v.name;
+    out += '=';
+    switch (v.kind) {
+      case InstrumentKind::kCounter:
+        out += std::to_string(v.value);
+        break;
+      case InstrumentKind::kGauge:
+        out += std::to_string(v.value) + "/hw" + std::to_string(v.high_water);
+        break;
+      case InstrumentKind::kHistogram:
+        out += "n" + std::to_string(v.count) + ",sum" + std::to_string(v.sum) + ",min" +
+               std::to_string(v.min) + ",max" + std::to_string(v.max);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace decos::obs

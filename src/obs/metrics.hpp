@@ -1,0 +1,205 @@
+// Metrics registry: counters, gauges and fixed-bin latency histograms
+// with zero-allocation hot paths.
+//
+// Instruments are registered once (allocation happens here, at setup
+// time) and cached by reference at the call site; update operations are
+// plain integer arithmetic on pre-allocated storage. Defining
+// DECOS_OBS_OFF (cmake -DDECOS_OBS_OFF=ON) compiles every update out;
+// registration and snapshots keep working so code paths do not fork.
+//
+// Instruments carry a determinism class: kDeterministic values depend
+// only on the simulated run (identical across identical seeded runs,
+// enforced by a test); kHostTime values measure wall-clock cost of the
+// simulation itself and legitimately differ run to run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace decos::obs {
+
+#ifdef DECOS_OBS_OFF
+inline constexpr bool kMetricsEnabled = false;
+#else
+inline constexpr bool kMetricsEnabled = true;
+#endif
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if constexpr (kMetricsEnabled) value_ += n;
+  }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value gauge with a high-water mark (e.g. queue depths).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if constexpr (kMetricsEnabled) {
+      value_ = v;
+      if (v > high_water_) high_water_ = v;
+      ++updates_;
+    }
+  }
+  std::int64_t value() const { return value_; }
+  std::int64_t high_water() const { return high_water_; }
+  std::uint64_t updates() const { return updates_; }
+
+ private:
+  std::int64_t value_ = 0;
+  std::int64_t high_water_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+/// Fixed-bin histogram over non-negative integer samples (latencies in
+/// ns, depths, ...). Bin i counts samples whose bit width is i, i.e.
+/// sample 0 -> bin 0, [2^(i-1), 2^i) -> bin i: 64 bins cover the full
+/// int64 range with ~2x resolution, and observe() is branch-light and
+/// allocation-free.
+class Histogram {
+ public:
+  static constexpr int kBins = 64;
+
+  void observe(std::int64_t sample) {
+    if constexpr (kMetricsEnabled) {
+      const std::uint64_t v = sample < 0 ? 0 : static_cast<std::uint64_t>(sample);
+      ++bins_[bit_width(v)];
+      ++count_;
+      sum_ += static_cast<std::int64_t>(v);
+      if (count_ == 1 || static_cast<std::int64_t>(v) < min_) min_ = static_cast<std::int64_t>(v);
+      if (static_cast<std::int64_t>(v) > max_) max_ = static_cast<std::int64_t>(v);
+    }
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::int64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+
+  /// Upper bound of the bin holding the p-quantile (p in [0,1]), clamped
+  /// to the exact observed maximum. 0 when empty.
+  std::int64_t percentile(double p) const;
+
+ private:
+  static int bit_width(std::uint64_t v) {
+    int w = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++w;
+    }
+    return w;
+  }
+
+  std::uint64_t bins_[kBins] = {};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Runs-vary-legitimately marker for host-clock instruments.
+enum class Determinism { kDeterministic, kHostTime };
+
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+/// One instrument's values at snapshot time.
+struct MetricValue {
+  std::string name;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  bool deterministic = true;
+  std::uint64_t updates = 0;    // update count; 0 = dead instrument
+  std::int64_t value = 0;       // counter value / gauge value
+  std::int64_t high_water = 0;  // gauge only
+  // Histogram only:
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+};
+
+/// Point-in-time view over a registry, sorted by instrument name.
+struct MetricsSnapshot {
+  std::vector<MetricValue> entries;
+
+  const MetricValue* find(std::string_view name) const;
+  /// Names of instruments never updated during the run.
+  std::vector<std::string> dead_instruments() const;
+  /// Canonical "name=value" lines over deterministic instruments only;
+  /// equal across identical seeded runs.
+  std::string deterministic_fingerprint() const;
+};
+
+/// Owns instrument storage (stable addresses; modules cache references).
+/// Requesting an existing name of the same kind returns the same
+/// instrument; a kind clash throws.
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, Determinism determinism = Determinism::kDeterministic);
+
+  MetricsSnapshot snapshot() const;
+  std::size_t instrument_count() const { return index_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    InstrumentKind kind;
+    Determinism determinism;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  Entry& registered(std::string_view name, InstrumentKind kind, Determinism determinism);
+
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::deque<Entry> entries_;
+  std::unordered_map<std::string, Entry*> index_;
+};
+
+/// Host-clock scope timer feeding a histogram in nanoseconds; a no-op
+/// (not even a clock read) when metrics are compiled out.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram) : histogram_{&histogram} {
+    if constexpr (kMetricsEnabled) start_ = std::chrono::steady_clock::now();
+  }
+  /// Pointer form for optionally-bound instruments: null = no-op.
+  explicit ScopedTimer(Histogram* histogram) : histogram_{histogram} {
+    if constexpr (kMetricsEnabled) {
+      if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if constexpr (kMetricsEnabled) {
+      if (histogram_ == nullptr) return;
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      histogram_->observe(std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace decos::obs

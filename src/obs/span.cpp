@@ -1,0 +1,57 @@
+#include "obs/span.hpp"
+
+namespace decos::obs {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kSend: return "send";
+    case Phase::kBus: return "bus";
+    case Phase::kDissect: return "dissect";
+    case Phase::kRepoWait: return "repo_wait";
+    case Phase::kConstruct: return "construct";
+    case Phase::kDeliver: return "deliver";
+  }
+  return "unknown";
+}
+
+void TraceCollector::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ != 0) {
+    while (spans_.size() > capacity_) {
+      spans_.pop_front();
+      ++dropped_;
+    }
+  }
+}
+
+std::uint64_t TraceCollector::emit(std::uint64_t trace_id, std::uint64_t parent_id, Phase phase,
+                                   std::string track, std::string name, Instant start,
+                                   Instant end, std::int64_t value) {
+  if (!enabled_) return 0;
+  const std::uint64_t span_id = next_span_++;
+  spans_.push_back(Span{trace_id, span_id, parent_id, phase, std::move(track), std::move(name),
+                        start, end, value});
+  if (capacity_ != 0 && spans_.size() > capacity_) {
+    spans_.pop_front();
+    ++dropped_;
+  }
+  return span_id;
+}
+
+std::vector<const Span*> TraceCollector::trace(std::uint64_t trace_id) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans_)
+    if (s.trace_id == trace_id) out.push_back(&s);
+  return out;
+}
+
+const Span* TraceCollector::by_span_id(std::uint64_t span_id) const {
+  if (spans_.empty()) return nullptr;
+  // Span ids are dense and monotone; retained spans form a contiguous
+  // id window.
+  const std::uint64_t first = spans_.front().span_id;
+  if (span_id < first || span_id >= first + spans_.size()) return nullptr;
+  return &spans_[static_cast<std::size_t>(span_id - first)];
+}
+
+}  // namespace decos::obs

@@ -1,0 +1,98 @@
+// Causal trace spans: per-message-instance timing across the whole
+// forwarding pipeline.
+//
+// Every message instance is tagged with a trace id where it first enters
+// a port; the id (and the id of the last causal span) rides along
+// through bus frames, the gateway repository and reconstructed messages,
+// so end-to-end and per-phase latency are queryable per instance instead
+// of reconstructed by string matching:
+//
+//   send (root, producer port deposit)
+//     -> bus (transmission start .. delivery)
+//       -> dissect (gateway admitted + stored the instance)
+//         -> repo_wait (repository store .. fetch at construction)
+//           -> construct (outgoing message built)
+//             -> bus -> deliver (consumer port deposit)
+//
+// Spans are recorded complete (start and end known at emission; the
+// simulation is single-threaded). A bounded ring-buffer mode keeps long
+// runs at a fixed memory footprint.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace decos::obs {
+
+/// Pipeline phase of a span. Kept closed (not free-form strings) so
+/// analysis code can aggregate without configuration.
+enum class Phase : std::uint8_t {
+  kSend,       // producer handed the instance to an output port (root)
+  kBus,        // physical transmission: tx start .. delivery
+  kDissect,    // gateway admitted the instance and dissected it
+  kRepoWait,   // element buffered in the gateway repository
+  kConstruct,  // outgoing message constructed from repository elements
+  kDeliver,    // instance deposited into a consumer input port
+};
+
+inline constexpr std::size_t kPhaseCount = 6;
+const char* phase_name(Phase phase);
+
+struct Span {
+  std::uint64_t trace_id = 0;   // one end-to-end message journey
+  std::uint64_t span_id = 0;    // unique per span, monotone
+  std::uint64_t parent_id = 0;  // 0 = root
+  Phase phase = Phase::kSend;
+  std::string track;  // emitting entity: "node2", "vn-a", "gw:e6", ...
+  std::string name;   // message name (or element name for kRepoWait)
+  Instant start;
+  Instant end;
+  std::int64_t value = 0;  // phase-specific payload (bytes, ...)
+
+  Duration duration() const { return end - start; }
+};
+
+/// Owns all spans of one simulated system (one collector per simulator).
+/// Trace and span ids are allocated from monotone counters, so identical
+/// seeded runs produce identical id sequences.
+class TraceCollector {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Bound retention to the `capacity` newest spans (0 = unbounded).
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_emitted() const { return next_span_ - 1; }
+
+  /// Allocate a fresh trace id (0 is never returned; 0 marks "untraced").
+  std::uint64_t new_trace() { return next_trace_++; }
+
+  /// Record a complete span; returns its span id (0 when disabled).
+  std::uint64_t emit(std::uint64_t trace_id, std::uint64_t parent_id, Phase phase,
+                     std::string track, std::string name, Instant start, Instant end,
+                     std::int64_t value = 0);
+
+  /// Retained spans, oldest first.
+  const std::deque<Span>& spans() const { return spans_; }
+  void clear() { spans_.clear(); }
+
+  /// Retained spans of one trace, in emission order.
+  std::vector<const Span*> trace(std::uint64_t trace_id) const;
+  const Span* by_span_id(std::uint64_t span_id) const;
+
+ private:
+  bool enabled_ = true;
+  std::size_t capacity_ = 0;
+  std::uint64_t next_trace_ = 1;
+  std::uint64_t next_span_ = 1;
+  std::uint64_t dropped_ = 0;
+  std::deque<Span> spans_;
+};
+
+}  // namespace decos::obs

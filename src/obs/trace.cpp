@@ -1,0 +1,52 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace decos::obs {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kFrameSent: return "frame_sent";
+    case TraceKind::kFrameDelivered: return "frame_delivered";
+    case TraceKind::kFrameBlocked: return "frame_blocked";
+    case TraceKind::kMessageSent: return "message_sent";
+    case TraceKind::kMessageReceived: return "message_received";
+    case TraceKind::kGatewayForwarded: return "gateway_forwarded";
+    case TraceKind::kGatewayBlocked: return "gateway_blocked";
+    case TraceKind::kAutomatonError: return "automaton_error";
+    case TraceKind::kFaultInjected: return "fault_injected";
+    case TraceKind::kClockSync: return "clock_sync";
+    case TraceKind::kMembershipChange: return "membership_change";
+  }
+  return "unknown";
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  capacity_ = capacity;
+  if (capacity_ != 0) {
+    while (records_.size() > capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+  }
+}
+
+void TraceRecorder::clear() {
+  records_.clear();
+  for (auto& index : kind_index_) index.clear();
+  // Cumulative counts and seq continue; clear() only empties the window.
+}
+
+void TraceRecorder::for_each(TraceKind kind,
+                             const std::function<void(const TraceRecord&)>& fn) const {
+  std::vector<std::uint64_t>& index = kind_index_[static_cast<std::size_t>(kind)];
+  // Prune seqs that fell out of the retention window.
+  const std::uint64_t first = records_.empty() ? next_seq_ : records_.front().seq;
+  index.erase(index.begin(),
+              std::lower_bound(index.begin(), index.end(), first));
+  for (const std::uint64_t seq : index) {
+    if (const TraceRecord* r = by_seq(seq); r != nullptr) fn(*r);
+  }
+}
+
+}  // namespace decos::obs

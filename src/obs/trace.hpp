@@ -1,0 +1,135 @@
+// Structured trace recording. Modules emit typed trace records; tests,
+// benches and the decotrace CLI query them to measure latencies and
+// verify orderings without string parsing.
+//
+// Lived in sim/trace.hpp before the observability layer existed;
+// sim/trace.hpp remains as a compatibility shim. Compared to the
+// original flat vector this recorder keeps per-kind indices (count() and
+// for_each() no longer scan every record) and supports a bounded
+// ring-buffer mode for long runs: set_capacity(n) retains the n newest
+// records, per-kind count() stays cumulative, and dropped() reports how
+// many records fell out of the window.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace decos::obs {
+
+/// Categories of traced occurrences across the stack.
+enum class TraceKind {
+  kFrameSent,        // a frame entered the physical bus
+  kFrameDelivered,   // a frame was delivered to receivers
+  kFrameBlocked,     // bus guardian blocked an out-of-slot transmission
+  kMessageSent,      // a job/gateway handed a message to a port
+  kMessageReceived,  // a message reached an input port
+  kGatewayForwarded, // gateway constructed and emitted a message
+  kGatewayBlocked,   // gateway suppressed a message (filter/error)
+  kAutomatonError,   // a timed automaton entered its error state
+  kFaultInjected,    // fault injector acted
+  kClockSync,        // resynchronization applied
+  kMembershipChange, // membership vector changed
+};
+
+inline constexpr std::size_t kTraceKindCount = 11;
+
+/// Stable lower-case identifier used by the exporters ("frame_sent", ...).
+const char* trace_kind_name(TraceKind kind);
+
+/// One trace record. `subject` identifies the entity (message or node
+/// name); `detail` carries a kind-specific annotation.
+struct TraceRecord {
+  Instant when;
+  TraceKind kind;
+  std::string subject;
+  std::string detail;
+  std::int64_t value = 0;  // kind-specific numeric payload (e.g. bytes)
+  std::uint64_t seq = 0;   // global emission order, survives ring eviction
+};
+
+/// Append-only trace sink with per-kind indices and an optional bounded
+/// retention window.
+class TraceRecorder {
+ public:
+  void record(Instant when, TraceKind kind, std::string subject, std::string detail = {},
+              std::int64_t value = 0) {
+    if (!enabled_) return;
+    const std::uint64_t seq = next_seq_++;
+    records_.push_back(TraceRecord{when, kind, std::move(subject), std::move(detail), value, seq});
+    kind_index_[static_cast<std::size_t>(kind)].push_back(seq);
+    ++kind_count_[static_cast<std::size_t>(kind)];
+    if (capacity_ != 0 && records_.size() > capacity_) {
+      records_.pop_front();
+      ++dropped_;
+    }
+  }
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Bound the retention window to the `capacity` newest records
+  /// (0 = unbounded). Shrinks immediately if over the new bound.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const { return capacity_; }
+  /// Records evicted from the window so far.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Records ever emitted (retained + dropped + cleared).
+  std::uint64_t total_recorded() const { return next_seq_; }
+
+  /// Retained records, oldest first.
+  const std::deque<TraceRecord>& records() const { return records_; }
+  void clear();
+
+  /// Cumulative count over the whole run (O(1); unaffected by eviction).
+  std::size_t count(TraceKind kind) const {
+    return kind_count_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Count of *retained* records of `kind` with the given subject.
+  std::size_t count(TraceKind kind, const std::string& subject) const {
+    std::size_t n = 0;
+    for_each(kind, [&](const TraceRecord& r) {
+      if (r.subject == subject) ++n;
+    });
+    return n;
+  }
+
+  /// Invoke `fn` for every retained record of the given kind, in order.
+  void for_each(TraceKind kind, const std::function<void(const TraceRecord&)>& fn) const;
+
+ private:
+  const TraceRecord* by_seq(std::uint64_t seq) const {
+    if (records_.empty() || seq < records_.front().seq) return nullptr;
+    return &records_[static_cast<std::size_t>(seq - records_.front().seq)];
+  }
+
+  bool enabled_ = true;
+  std::size_t capacity_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::deque<TraceRecord> records_;
+  // Per-kind seq lists; stale entries (evicted/cleared) are skipped on
+  // traversal and pruned lazily.
+  mutable std::array<std::vector<std::uint64_t>, kTraceKindCount> kind_index_;
+  std::array<std::size_t, kTraceKindCount> kind_count_ = {};
+};
+
+}  // namespace decos::obs
+
+/// Emit a trace record only when the recorder is enabled. record() itself
+/// checks enabled(), but by then the subject/detail std::string arguments
+/// have already been constructed (and often formatted); this guard skips
+/// argument evaluation entirely on the disabled path. Usage:
+///   DECOS_TRACE(trace_, now, TraceKind::kFrameSent, frame.sender, detail, n);
+#define DECOS_TRACE(recorder, ...)          \
+  do {                                      \
+    if ((recorder).enabled()) {             \
+      (recorder).record(__VA_ARGS__);       \
+    }                                       \
+  } while (false)

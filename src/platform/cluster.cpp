@@ -1,8 +1,15 @@
 #include "platform/cluster.hpp"
 
+#include "util/log.hpp"
+
 namespace decos::platform {
 
 Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
+  // Stamp log lines with this cluster's simulated time while it lives.
+  log::set_time_provider(this, [](const void* owner) {
+    const auto* cluster = static_cast<const Cluster*>(owner);
+    return (cluster->simulator_.now() - Instant::origin()).ns();
+  });
   auto schedule = vn::EncapsulationService::build_schedule(
       config_.round_length, config_.nodes, config_.allocations);
   if (!schedule.ok()) throw SpecError(schedule.error());
@@ -31,6 +38,8 @@ Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
   for (const auto& allocation : config_.allocations)
     encapsulation_.register_vn(allocation.vn, allocation.das);
 }
+
+Cluster::~Cluster() { log::clear_time_provider(this); }
 
 std::vector<std::size_t> Cluster::vn_slots(tt::VnId vn, tt::NodeId node) const {
   std::vector<std::size_t> out;

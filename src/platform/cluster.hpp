@@ -38,12 +38,16 @@ struct ClusterConfig {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
   sim::Simulator& simulator() { return simulator_; }
   tt::TtBus& bus() { return *bus_; }
+  /// System-wide observability (hosted by the simulator).
+  obs::MetricsRegistry& metrics() { return simulator_.metrics(); }
+  obs::TraceCollector& spans() { return simulator_.spans(); }
   const ClusterConfig& config() const { return config_; }
   std::size_t size() const { return controllers_.size(); }
 

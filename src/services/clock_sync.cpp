@@ -6,7 +6,11 @@
 namespace decos::services {
 
 ClockSync::ClockSync(tt::Controller& controller, ClockSyncConfig config, sim::TraceRecorder* trace)
-    : controller_{controller}, config_{config}, trace_{trace} {
+    : controller_{controller},
+      config_{config},
+      trace_{trace},
+      corrections_metric_{&controller.simulator().metrics().counter("services.clock_sync.corrections")},
+      correction_ns_{&controller.simulator().metrics().histogram("services.clock_sync.correction_ns")} {
   controller_.add_frame_listener(
       [this](const tt::Frame& frame, Instant local_arrival, Duration deviation) {
         on_frame(frame, local_arrival, deviation);
@@ -49,10 +53,13 @@ void ClockSync::on_round(std::uint64_t round) {
   last_correction_ = -average;
   controller_.clock().correct(last_correction_);
   ++corrections_;
+  corrections_metric_->add();
+  // Correction *magnitude*: the histogram bins are defined over
+  // non-negative samples.
+  correction_ns_->observe(last_correction_.abs().ns());
   if (trace_ != nullptr) {
-    trace_->record(controller_.simulator().now(), sim::TraceKind::kClockSync,
-                   "node" + std::to_string(controller_.id()), "correction",
-                   last_correction_.ns());
+    DECOS_TRACE(*trace_, controller_.simulator().now(), sim::TraceKind::kClockSync,
+                "node" + std::to_string(controller_.id()), "correction", last_correction_.ns());
   }
 }
 

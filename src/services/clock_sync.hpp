@@ -45,6 +45,8 @@ class ClockSync {
   tt::Controller& controller_;
   ClockSyncConfig config_;
   sim::TraceRecorder* trace_;
+  obs::Counter* corrections_metric_;  // services.clock_sync.corrections
+  obs::Histogram* correction_ns_;     // services.clock_sync.correction_ns (|correction|)
   // Most recent deviation observed per remote node since the last resync.
   std::map<tt::NodeId, Duration> deviations_;
   std::uint64_t corrections_ = 0;

@@ -7,6 +7,7 @@ Membership::Membership(tt::Controller& controller, MembershipConfig config,
     : controller_{controller},
       config_{config},
       trace_{trace},
+      changes_metric_{&controller.simulator().metrics().counter("services.membership.changes")},
       silent_rounds_(config.cluster_size, 0),
       alive_(config.cluster_size, true) {
   controller_.add_frame_listener(
@@ -36,22 +37,26 @@ void Membership::on_round(std::uint64_t round) {
       silent_rounds_[node] = 0;
       if (!alive_[node]) {
         alive_[node] = true;  // re-integration
+        changes_metric_->add();
         for (const auto& listener : listeners_) listener(node, true, round);
         if (trace_ != nullptr) {
-          trace_->record(controller_.simulator().now(), sim::TraceKind::kMembershipChange,
-                         "node" + std::to_string(controller_.id()),
-                         "node " + std::to_string(node) + " rejoined", static_cast<std::int64_t>(round));
+          DECOS_TRACE(*trace_, controller_.simulator().now(), sim::TraceKind::kMembershipChange,
+                      "node" + std::to_string(controller_.id()),
+                      "node " + std::to_string(node) + " rejoined",
+                      static_cast<std::int64_t>(round));
         }
       }
     } else {
       ++silent_rounds_[node];
       if (alive_[node] && silent_rounds_[node] >= config_.silence_threshold) {
         alive_[node] = false;
+        changes_metric_->add();
         for (const auto& listener : listeners_) listener(node, false, round);
         if (trace_ != nullptr) {
-          trace_->record(controller_.simulator().now(), sim::TraceKind::kMembershipChange,
-                         "node" + std::to_string(controller_.id()),
-                         "node " + std::to_string(node) + " failed", static_cast<std::int64_t>(round));
+          DECOS_TRACE(*trace_, controller_.simulator().now(), sim::TraceKind::kMembershipChange,
+                      "node" + std::to_string(controller_.id()),
+                      "node " + std::to_string(node) + " failed",
+                      static_cast<std::int64_t>(round));
         }
       }
     }

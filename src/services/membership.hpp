@@ -47,6 +47,7 @@ class Membership {
   tt::Controller& controller_;
   MembershipConfig config_;
   sim::TraceRecorder* trace_;
+  obs::Counter* changes_metric_;  // services.membership.changes
   std::set<tt::NodeId> seen_this_round_;
   std::vector<std::uint64_t> silent_rounds_;
   std::vector<bool> alive_;

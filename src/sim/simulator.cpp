@@ -4,12 +4,18 @@
 
 namespace decos::sim {
 
+Simulator::Simulator()
+    : events_dispatched_{&metrics_.counter("sim.events_dispatched")},
+      queue_depth_{&metrics_.gauge("sim.queue_depth")},
+      handler_ns_{&metrics_.histogram("sim.handler_ns", obs::Determinism::kHostTime)} {}
+
 EventId Simulator::schedule_at(Instant when, Action action) {
   assert(when >= now_ && "cannot schedule into the past");
   const EventId id = next_id_++;
   queue_.push(Entry{when, next_seq_++, id});
   actions_.emplace(id, std::move(action));
   ++live_;
+  queue_depth_->set(static_cast<std::int64_t>(live_));
   return id;
 }
 
@@ -29,7 +35,11 @@ void Simulator::dispatch(const Entry& entry) {
   --live_;
   now_ = entry.when;
   ++dispatched_;
-  action();
+  events_dispatched_->add();
+  {
+    obs::ScopedTimer timer{*handler_ns_};
+    action();
+  }
 }
 
 bool Simulator::step() {

@@ -15,6 +15,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/time.hpp"
 
 namespace decos::sim {
@@ -23,12 +25,28 @@ namespace decos::sim {
 using EventId = std::uint64_t;
 
 /// Single-threaded event-driven simulator with a monotone global clock.
+///
+/// The simulator is the one object every part of a simulated system can
+/// reach, so it also hosts the system-wide observability state: the
+/// metrics registry and the causal span collector. Modules register
+/// instruments / emit spans through the simulator they run on.
 class Simulator {
  public:
   using Action = std::function<void()>;
 
+  Simulator();
+
   /// Current global (true) time.
   Instant now() const { return now_; }
+
+  /// System-wide metrics registry (instruments registered by tt, vn,
+  /// core, services and the simulator itself).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// System-wide causal span collector (per-message trace ids).
+  obs::TraceCollector& spans() { return spans_; }
+  const obs::TraceCollector& spans() const { return spans_; }
 
   /// Schedule `action` at absolute time `when`. Precondition: when >= now().
   EventId schedule_at(Instant when, Action action);
@@ -76,6 +94,12 @@ class Simulator {
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
   // id -> action; erased on cancel so the popped tombstone is skipped.
   std::unordered_map<EventId, Action> actions_;
+
+  obs::MetricsRegistry metrics_;
+  obs::TraceCollector spans_;
+  obs::Counter* events_dispatched_;  // sim.events_dispatched
+  obs::Gauge* queue_depth_;          // sim.queue_depth (high-water)
+  obs::Histogram* handler_ns_;       // sim.handler_ns (host time)
 };
 
 }  // namespace decos::sim

@@ -1,80 +1,14 @@
-// Structured trace recording. Modules emit typed trace records; tests and
-// benches query them to measure latencies and verify orderings without
-// string parsing.
+// Compatibility shim: the trace recorder moved into the observability
+// layer (src/obs/trace.hpp) when metrics and causal spans were added.
+// Existing decos::sim::TraceRecorder users keep compiling unchanged.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <vector>
-
-#include "util/time.hpp"
+#include "obs/trace.hpp"
 
 namespace decos::sim {
 
-/// Categories of traced occurrences across the stack.
-enum class TraceKind {
-  kFrameSent,        // a frame entered the physical bus
-  kFrameDelivered,   // a frame was delivered to receivers
-  kFrameBlocked,     // bus guardian blocked an out-of-slot transmission
-  kMessageSent,      // a job/gateway handed a message to a port
-  kMessageReceived,  // a message reached an input port
-  kGatewayForwarded, // gateway constructed and emitted a message
-  kGatewayBlocked,   // gateway suppressed a message (filter/error)
-  kAutomatonError,   // a timed automaton entered its error state
-  kFaultInjected,    // fault injector acted
-  kClockSync,        // resynchronization applied
-  kMembershipChange, // membership vector changed
-};
-
-/// One trace record. `subject` identifies the entity (message or node
-/// name); `detail` carries a kind-specific annotation.
-struct TraceRecord {
-  Instant when;
-  TraceKind kind;
-  std::string subject;
-  std::string detail;
-  std::int64_t value = 0;  // kind-specific numeric payload (e.g. bytes)
-};
-
-/// Append-only trace sink with simple query helpers.
-class TraceRecorder {
- public:
-  void record(Instant when, TraceKind kind, std::string subject, std::string detail = {},
-              std::int64_t value = 0) {
-    if (!enabled_) return;
-    records_.push_back(TraceRecord{when, kind, std::move(subject), std::move(detail), value});
-  }
-
-  void set_enabled(bool enabled) { enabled_ = enabled; }
-  bool enabled() const { return enabled_; }
-
-  const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
-
-  std::size_t count(TraceKind kind) const {
-    std::size_t n = 0;
-    for (const auto& r : records_)
-      if (r.kind == kind) ++n;
-    return n;
-  }
-
-  std::size_t count(TraceKind kind, const std::string& subject) const {
-    std::size_t n = 0;
-    for (const auto& r : records_)
-      if (r.kind == kind && r.subject == subject) ++n;
-    return n;
-  }
-
-  /// Invoke `fn` for every record of the given kind.
-  void for_each(TraceKind kind, const std::function<void(const TraceRecord&)>& fn) const {
-    for (const auto& r : records_)
-      if (r.kind == kind) fn(r);
-  }
-
- private:
-  bool enabled_ = true;
-  std::vector<TraceRecord> records_;
-};
+using obs::TraceKind;
+using obs::TraceRecord;
+using obs::TraceRecorder;
 
 }  // namespace decos::sim

@@ -50,6 +50,17 @@ class MessageInstance {
   const ElementValue* element(const std::string& element_name) const;
   ElementValue* element(const std::string& element_name);
 
+  /// Causal trace identity (0 = untraced). Assigned by the first traced
+  /// port the instance passes through; restamped at each pipeline hop so
+  /// child spans chain off the hop that produced this copy. Not part of
+  /// the wire encoding -- it rides on the frame, not in the payload.
+  std::uint64_t trace_id() const { return trace_id_; }
+  std::uint64_t span_id() const { return span_id_; }
+  void set_trace(std::uint64_t trace_id, std::uint64_t span_id) {
+    trace_id_ = trace_id;
+    span_id_ = span_id;
+  }
+
   /// Convenience for tests/examples: fetch a field value by element and
   /// field name. Throws SpecError if missing.
   const ta::Value& field(const std::string& element_name, const std::string& field_name,
@@ -59,6 +70,8 @@ class MessageInstance {
   std::string message_;
   Instant send_time_;
   std::vector<ElementValue> elements_;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
 };
 
 /// Build a skeleton instance for `spec` with all static fields filled in

@@ -7,7 +7,13 @@
 namespace decos::tt {
 
 TtBus::TtBus(sim::Simulator& simulator, TdmaSchedule schedule, BusConfig config)
-    : simulator_{simulator}, schedule_{std::move(schedule)}, config_{config} {
+    : simulator_{simulator},
+      schedule_{std::move(schedule)},
+      config_{config},
+      frames_sent_metric_{&simulator.metrics().counter("tt.frames_sent")},
+      frames_blocked_metric_{&simulator.metrics().counter("tt.frames_blocked")},
+      collisions_metric_{&simulator.metrics().counter("tt.collisions")},
+      slot_occupancy_{&simulator.metrics().histogram("tt.slot_occupancy_bytes")} {
   schedule_.validate().check();
 }
 
@@ -28,8 +34,10 @@ bool TtBus::transmit(Frame frame) {
 
   if (config_.guardian_enabled && !guardian_admits(frame, now)) {
     ++frames_blocked_;
-    trace_.record(now, sim::TraceKind::kFrameBlocked, "node" + std::to_string(frame.sender),
-                  "slot " + std::to_string(frame.slot_index), static_cast<std::int64_t>(frame.payload.size()));
+    frames_blocked_metric_->add();
+    DECOS_TRACE(trace_, now, sim::TraceKind::kFrameBlocked, "node" + std::to_string(frame.sender),
+                "slot " + std::to_string(frame.slot_index),
+                static_cast<std::int64_t>(frame.payload.size()));
     return false;
   }
 
@@ -48,30 +56,45 @@ bool TtBus::transmit(Frame frame) {
         other.corrupted = true;
         simulator_.cancel(other.delivery);
         ++collisions_;
+        collisions_metric_->add();
       }
     }
   }
 
   if (corrupted) {
     ++collisions_;
-    trace_.record(now, sim::TraceKind::kFrameBlocked, "node" + std::to_string(frame.sender),
-                  "collision in slot " + std::to_string(frame.slot_index));
+    collisions_metric_->add();
+    DECOS_TRACE(trace_, now, sim::TraceKind::kFrameBlocked, "node" + std::to_string(frame.sender),
+                "collision in slot " + std::to_string(frame.slot_index));
     in_flight_.push_back(InFlight{now, tx_end, 0, true});
     return true;  // the guardian admitted it; the medium destroyed it
   }
 
-  trace_.record(now, sim::TraceKind::kFrameSent, "node" + std::to_string(frame.sender),
-                "slot " + std::to_string(frame.slot_index) + " vn " + std::to_string(frame.vn),
-                static_cast<std::int64_t>(frame.payload.size()));
+  frames_sent_metric_->add();
+  slot_occupancy_->observe(static_cast<std::int64_t>(frame.payload.size()));
+  DECOS_TRACE(trace_, now, sim::TraceKind::kFrameSent, "node" + std::to_string(frame.sender),
+              "slot " + std::to_string(frame.slot_index) + " vn " + std::to_string(frame.vn),
+              static_cast<std::int64_t>(frame.payload.size()));
 
   const Instant delivery_time = tx_end + config_.propagation;
   const sim::EventId delivery = simulator_.schedule_at(delivery_time, [this, frame] {
     ++frames_delivered_;
-    trace_.record(simulator_.now(), sim::TraceKind::kFrameDelivered,
-                  "node" + std::to_string(frame.sender),
-                  "slot " + std::to_string(frame.slot_index) + " vn " + std::to_string(frame.vn),
-                  static_cast<std::int64_t>(frame.payload.size()));
-    for (Controller* controller : controllers_) controller->deliver(frame);
+    const Instant delivered_at = simulator_.now();
+    DECOS_TRACE(trace_, delivered_at, sim::TraceKind::kFrameDelivered,
+                "node" + std::to_string(frame.sender),
+                "slot " + std::to_string(frame.slot_index) + " vn " + std::to_string(frame.vn),
+                static_cast<std::int64_t>(frame.payload.size()));
+    Frame delivered = frame;
+    if (frame.trace_id != 0) {
+      // The bus hop is one span: transmission start to delivery at the
+      // receivers. Downstream spans (overlay delivery, gateway dissect)
+      // parent under it, so restamp the delivered copy.
+      delivered.span_id = simulator_.spans().emit(
+          frame.trace_id, frame.span_id, obs::Phase::kBus, "bus",
+          "slot " + std::to_string(frame.slot_index), frame.sent_at, delivered_at,
+          static_cast<std::int64_t>(frame.payload.size()));
+    }
+    for (Controller* controller : controllers_) controller->deliver(delivered);
   });
   in_flight_.push_back(InFlight{now, tx_end, delivery, false});
   return true;

@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "tt/frame.hpp"
@@ -72,6 +73,11 @@ class TtBus {
   BusConfig config_;
   std::vector<Controller*> controllers_;
   sim::TraceRecorder trace_;
+
+  obs::Counter* frames_sent_metric_;      // tt.frames_sent
+  obs::Counter* frames_blocked_metric_;   // tt.frames_blocked
+  obs::Counter* collisions_metric_;       // tt.collisions
+  obs::Histogram* slot_occupancy_;        // tt.slot_occupancy_bytes
 
   // In-flight transmission bookkeeping for the collision model.
   struct InFlight {

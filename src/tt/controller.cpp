@@ -129,7 +129,11 @@ void Controller::transmit_slot(std::size_t slot_index, std::uint64_t round) {
   frame.round = round;
   frame.slot_index = slot_index;
   if (state.source) {
-    if (auto payload = state.source()) frame.payload = std::move(*payload);
+    if (auto payload = state.source()) {
+      frame.payload = std::move(payload->bytes);
+      frame.trace_id = payload->trace_id;
+      frame.span_id = payload->span_id;
+    }
   } else if (state.buffering == SlotBuffering::kState) {
     if (state.state_buffer) frame.payload = *state.state_buffer;
   } else if (!state.queue.empty()) {

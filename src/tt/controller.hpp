@@ -76,11 +76,19 @@ class Controller {
   /// Pending entries in a queue-buffered slot.
   std::size_t queue_depth(std::size_t slot_index) const;
 
+  /// Payload handed back by a slot source, with the causal trace identity
+  /// of the message instance it encodes (0 = untraced).
+  struct SlotPayload {
+    std::vector<std::byte> bytes;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+  };
+
   /// Pull-style payload source: invoked at the slot's transmission
   /// instant; takes precedence over the slot buffers. Returning nullopt
   /// sends an empty life-sign frame. This is how the overlay layer binds
   /// output ports (TT) and priority queues (ET) to slots.
-  using SlotSource = std::function<std::optional<std::vector<std::byte>>()>;
+  using SlotSource = std::function<std::optional<SlotPayload>()>;
   void set_slot_source(std::size_t slot_index, SlotSource source);
 
   void add_frame_listener(FrameListener listener) { frame_listeners_.push_back(std::move(listener)); }

@@ -20,6 +20,13 @@ struct Frame {
   std::size_t slot_index = 0;
   std::vector<std::byte> payload;
   Instant sent_at;  // true (global) time the transmission started
+
+  // Causal trace identity of the message instance carried in the payload
+  // (0 = untraced). The overlay stamps these when it binds a port to a
+  // slot; the bus parents its transmission span under span_id and
+  // restamps the delivered copy so downstream spans chain off the bus hop.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
 };
 
 }  // namespace decos::tt

@@ -1,16 +1,64 @@
 #include "util/log.hpp"
 
+#include <cstdio>
+
 namespace decos::log {
+
+namespace {
+
+Sink& sink_slot() {
+  static Sink sink;  // empty = default stderr sink
+  return sink;
+}
+
+struct TimeProvider {
+  const void* owner = nullptr;
+  std::int64_t (*now_ns)(const void*) = nullptr;
+};
+
+TimeProvider& time_provider() {
+  static TimeProvider provider;
+  return provider;
+}
+
+}  // namespace
 
 Level& threshold() {
   static Level level = Level::kOff;
   return level;
 }
 
-void write(Level level, const std::string& component, const std::string& message) {
+void set_sink(Sink sink) { sink_slot() = std::move(sink); }
+
+void set_time_provider(const void* owner, std::int64_t (*now_ns)(const void* owner)) {
+  time_provider() = TimeProvider{owner, now_ns};
+}
+
+void clear_time_provider(const void* owner) {
+  if (time_provider().owner == owner) time_provider() = TimeProvider{};
+}
+
+std::string format_line(Level level, const std::string& component, const std::string& message) {
   static const char* const kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR", "OFF"};
-  std::fprintf(stderr, "[%s] %s: %s\n", kNames[static_cast<int>(level)], component.c_str(),
-               message.c_str());
+  std::string line = "[";
+  line += kNames[static_cast<int>(level)];
+  const TimeProvider& provider = time_provider();
+  if (provider.now_ns != nullptr) {
+    char buf[48];
+    const std::int64_t ns = provider.now_ns(provider.owner);
+    std::snprintf(buf, sizeof buf, " t=%.6fms", static_cast<double>(ns) / 1e6);
+    line += buf;
+  }
+  line += "] " + component + ": " + message;
+  return line;
+}
+
+void write(Level level, const std::string& component, const std::string& message) {
+  if (const Sink& sink = sink_slot(); sink) {
+    sink(level, component, message);
+    return;
+  }
+  std::fprintf(stderr, "%s\n", format_line(level, component, message).c_str());
 }
 
 }  // namespace decos::log

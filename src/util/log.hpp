@@ -1,8 +1,14 @@
 // Minimal leveled logger. Logging is off by default so benchmarks measure
 // protocol work, not I/O; tests and examples raise the level explicitly.
+//
+// Output goes through a pluggable sink (default: stderr) so tests can
+// capture log lines. Each line carries the current simulated timestamp
+// when a time provider is installed (the Cluster installs one for its
+// simulator's clock), making logs correlatable with traces.
 #pragma once
 
-#include <cstdio>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 
@@ -12,6 +18,23 @@ enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 
 /// Global threshold; messages below it are discarded.
 Level& threshold();
+
+/// Receives every emitted line, already filtered by threshold.
+using Sink = std::function<void(Level, const std::string& component, const std::string& message)>;
+
+/// Install a sink; pass nullptr (default) to restore the stderr sink.
+void set_sink(Sink sink);
+
+/// Simulated-time source stamped onto every line (ns since simulation
+/// start); nullptr (default) omits the timestamp. Installed by whoever
+/// owns the simulation clock, removed when that owner dies.
+using TimeNsProvider = std::int64_t (*)(const void* owner);
+void set_time_provider(const void* owner, std::int64_t (*now_ns)(const void* owner));
+/// Remove the provider iff `owner` installed the current one.
+void clear_time_provider(const void* owner);
+
+/// Render one line as the default sink would ("[LEVEL t=...] comp: msg").
+std::string format_line(Level level, const std::string& component, const std::string& message);
 
 void write(Level level, const std::string& component, const std::string& message);
 

@@ -38,7 +38,21 @@ bool EtVirtualNetwork::send(tt::Controller& controller, const spec::MessageInsta
     ++overloads_;
     return false;
   }
-  queue.push_back(Pending{priority_of(instance.message()), seq_++, std::move(bytes.value())});
+  std::uint64_t trace_id = instance.trace_id();
+  std::uint64_t span_id = instance.span_id();
+  obs::TraceCollector& spans = controller.simulator().spans();
+  if (trace_id == 0 && spans.enabled()) {
+    // ET sends bypass output ports, so the send queue is the trace root.
+    const Instant now = controller.simulator().now();
+    trace_id = spans.new_trace();
+    span_id = spans.emit(trace_id, 0, obs::Phase::kSend,
+                         "node" + std::to_string(controller.id()), instance.message(), now, now);
+  }
+  queue.push_back(
+      Pending{priority_of(instance.message()), seq_++, std::move(bytes.value()), trace_id, span_id});
+  if (pending_depth_ == nullptr)
+    pending_depth_ = &controller.simulator().metrics().gauge("vn." + name() + ".pending_depth");
+  pending_depth_->set(static_cast<std::int64_t>(queue.size()));
   return true;
 }
 
@@ -56,7 +70,7 @@ std::size_t EtVirtualNetwork::pending(tt::NodeId node) const {
   return it == queues_.end() ? 0 : it->second.size();
 }
 
-std::optional<std::vector<std::byte>> EtVirtualNetwork::pop_next(tt::NodeId node) {
+std::optional<tt::Controller::SlotPayload> EtVirtualNetwork::pop_next(tt::NodeId node) {
   auto it = queues_.find(node);
   if (it == queues_.end() || it->second.empty()) return std::nullopt;
   std::vector<Pending>& queue = it->second;
@@ -65,7 +79,7 @@ std::optional<std::vector<std::byte>> EtVirtualNetwork::pop_next(tt::NodeId node
     if (a.priority != b.priority) return a.priority < b.priority;
     return a.seq < b.seq;
   });
-  std::vector<std::byte> payload = std::move(best->payload);
+  tt::Controller::SlotPayload payload{std::move(best->payload), best->trace_id, best->span_id};
   queue.erase(best);
   return payload;
 }
@@ -80,6 +94,7 @@ void EtVirtualNetwork::ensure_listener(tt::Controller& controller) {
         auto instance = spec::decode(*ms, frame.payload);
         if (!instance.ok()) return;
         instance.value().set_send_time(frame.sent_at);
+        instance.value().set_trace(frame.trace_id, frame.span_id);
         deposit_to_inputs(controller, instance.value(), frame.payload.size());
       });
 }

@@ -51,10 +51,12 @@ class EtVirtualNetwork final : public VirtualNetwork {
     int priority;
     std::uint64_t seq;  // FIFO among equal priorities
     std::vector<std::byte> payload;
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
   };
 
   void ensure_listener(tt::Controller& controller);
-  std::optional<std::vector<std::byte>> pop_next(tt::NodeId node);
+  std::optional<tt::Controller::SlotPayload> pop_next(tt::NodeId node);
 
   std::size_t pending_capacity_;
   std::map<std::string, int> priorities_;
@@ -62,6 +64,7 @@ class EtVirtualNetwork final : public VirtualNetwork {
   std::set<tt::NodeId> listening_nodes_;
   std::uint64_t seq_ = 0;
   std::uint64_t overloads_ = 0;
+  obs::Gauge* pending_depth_ = nullptr;  // vn.<name>.pending_depth (high-water)
 };
 
 }  // namespace decos::vn

@@ -3,6 +3,13 @@
 namespace decos::vn {
 
 bool Port::deposit(spec::MessageInstance instance, Instant now) {
+  if (collector_ != nullptr && collector_->enabled() && instance.trace_id() == 0) {
+    // First traced port on the instance's path: it becomes a trace root.
+    const std::uint64_t trace = collector_->new_trace();
+    const std::uint64_t span =
+        collector_->emit(trace, 0, obs::Phase::kSend, track_, instance.message(), now, now);
+    instance.set_trace(trace, span);
+  }
   if (spec_.semantics == spec::InfoSemantics::kState) {
     latest_ = std::move(instance);
   } else {

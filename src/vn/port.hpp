@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/span.hpp"
 #include "spec/message.hpp"
 #include "spec/port_spec.hpp"
 #include "util/time.hpp"
@@ -53,6 +54,15 @@ class Port {
   /// port's interaction mode is push.
   void set_notify(std::function<void(Port&)> notify) { notify_ = std::move(notify); }
 
+  /// Make this port a trace origin: untraced instances deposited here get
+  /// a fresh trace id and a root send span on `track` (the producer's
+  /// identity, e.g. "node1"). Wired automatically for output ports when a
+  /// component attaches to a virtual network.
+  void bind_trace(obs::TraceCollector& collector, std::string track) {
+    collector_ = &collector;
+    track_ = std::move(track);
+  }
+
   // -- counters -------------------------------------------------------------
   std::uint64_t deposits() const { return deposits_; }
   std::uint64_t reads() const { return reads_; }
@@ -64,6 +74,8 @@ class Port {
   std::deque<spec::MessageInstance> queue_;         // event semantics
   std::optional<Instant> last_update_;
   std::function<void(Port&)> notify_;
+  obs::TraceCollector* collector_ = nullptr;  // trace origin when set
+  std::string track_;
   std::uint64_t deposits_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t overflows_ = 0;

@@ -19,13 +19,16 @@ void TtVirtualNetwork::attach_sender(tt::Controller& controller, Port& port,
       throw SpecError("slot " + std::to_string(slot_index) + " too small for message '" +
                       ms->name() + "'");
     slot_to_message_[slot_index] = ms->name();
-    controller.set_slot_source(slot_index, [&port, ms]() -> std::optional<std::vector<std::byte>> {
-      auto instance = port.read();
-      if (!instance) return std::nullopt;  // nothing produced yet: life-sign only
-      auto bytes = spec::encode(*ms, *instance);
-      if (!bytes.ok()) return std::nullopt;  // value fault kept local to the VN
-      return std::move(bytes.value());
-    });
+    port.bind_trace(controller.simulator().spans(), "node" + std::to_string(controller.id()));
+    controller.set_slot_source(
+        slot_index, [&port, ms]() -> std::optional<tt::Controller::SlotPayload> {
+          auto instance = port.read();
+          if (!instance) return std::nullopt;  // nothing produced yet: life-sign only
+          auto bytes = spec::encode(*ms, *instance);
+          if (!bytes.ok()) return std::nullopt;  // value fault kept local to the VN
+          return tt::Controller::SlotPayload{std::move(bytes.value()), instance->trace_id(),
+                                             instance->span_id()};
+        });
   }
 }
 
@@ -55,6 +58,7 @@ void TtVirtualNetwork::ensure_listener(tt::Controller& controller) {
         auto instance = spec::decode(*ms, frame.payload);
         if (!instance.ok()) return;  // malformed payload: drop at the VN boundary
         instance.value().set_send_time(frame.sent_at);
+        instance.value().set_trace(frame.trace_id, frame.span_id);
         deposit_to_inputs(controller, instance.value(), frame.payload.size());
       });
 }

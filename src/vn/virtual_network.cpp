@@ -26,16 +26,36 @@ void VirtualNetwork::register_input(tt::NodeId node, const std::string& message_
   inputs_[{node, message_name}].push_back(&port);
 }
 
+void VirtualNetwork::ensure_metrics(sim::Simulator& simulator) {
+  if (delivered_metric_ != nullptr) return;
+  obs::MetricsRegistry& metrics = simulator.metrics();
+  delivered_metric_ = &metrics.counter("vn." + name_ + ".messages_delivered");
+  bytes_metric_ = &metrics.counter("vn." + name_ + ".bytes_delivered");
+  queue_depth_metric_ = &metrics.gauge("vn." + name_ + ".queue_depth");
+}
+
 void VirtualNetwork::deposit_to_inputs(tt::Controller& controller,
                                        const spec::MessageInstance& instance,
                                        std::size_t wire_bytes) {
   const auto it = inputs_.find({controller.id(), instance.message()});
   if (it == inputs_.end()) return;
+  ensure_metrics(controller.simulator());
   const Instant now = controller.simulator().now();
+  spec::MessageInstance delivered = instance;
+  if (instance.trace_id() != 0) {
+    obs::TraceCollector& spans = controller.simulator().spans();
+    const std::uint64_t span =
+        spans.emit(instance.trace_id(), instance.span_id(), obs::Phase::kDeliver, "vn:" + name_,
+                   instance.message(), now, now, static_cast<std::int64_t>(wire_bytes));
+    delivered.set_trace(instance.trace_id(), span);
+  }
   for (Port* port : it->second) {
-    port->deposit(instance, now);
+    port->deposit(delivered, now);
     ++messages_delivered_;
+    delivered_metric_->add();
     bytes_delivered_ += wire_bytes;
+    bytes_metric_->add(static_cast<std::int64_t>(wire_bytes));
+    queue_depth_metric_->set(static_cast<std::int64_t>(port->queue_depth()));
   }
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "spec/link_spec.hpp"
 #include "spec/message.hpp"
 #include "tt/controller.hpp"
@@ -63,6 +64,10 @@ class VirtualNetwork {
   /// Input-port registry: (node, message) -> ports.
   void register_input(tt::NodeId node, const std::string& message_name, Port& port);
 
+  /// Register (once) and cache this VN's instruments in the simulator's
+  /// registry: vn.<name>.{messages_delivered,bytes_delivered,queue_depth}.
+  void ensure_metrics(sim::Simulator& simulator);
+
  private:
   std::string name_;
   tt::VnId id_;
@@ -72,6 +77,10 @@ class VirtualNetwork {
   std::map<std::pair<tt::NodeId, std::string>, std::vector<Port*>> inputs_;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
+
+  obs::Counter* delivered_metric_ = nullptr;  // vn.<name>.messages_delivered
+  obs::Counter* bytes_metric_ = nullptr;      // vn.<name>.bytes_delivered
+  obs::Gauge* queue_depth_metric_ = nullptr;  // vn.<name>.queue_depth (high-water)
 };
 
 }  // namespace decos::vn

@@ -1,0 +1,170 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "util/result.hpp"
+
+// Global allocation counter backing the zero-allocation hot-path test.
+// Replacing the global operator new in this test binary routes every
+// heap allocation (including gtest's own) through the counter; the test
+// only looks at the delta across instrument updates.
+namespace {
+std::size_t g_allocations = 0;
+}
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace decos::obs {
+namespace {
+
+TEST(MetricsRegistry, SameNameReturnsSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x.count");
+  Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.instrument_count(), 1u);
+}
+
+TEST(MetricsRegistry, KindClashThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), SpecError);
+  EXPECT_THROW(registry.histogram("x"), SpecError);
+}
+
+TEST(MetricsRegistry, StableAddressesAcrossRegistrations) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("first");
+  for (int i = 0; i < 100; ++i) registry.counter("c" + std::to_string(i));
+  first.add(7);
+  EXPECT_EQ(registry.counter("first").value(), kMetricsEnabled ? 7u : 0u);
+}
+
+TEST(Counters, CountEvents) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Counter c;
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(Gauges, TrackHighWater) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Gauge g;
+  g.set(3);
+  g.set(9);
+  g.set(2);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.high_water(), 9);
+  EXPECT_EQ(g.updates(), 3u);
+}
+
+TEST(Histograms, TracksExtremesAndPercentiles) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h;
+  for (std::int64_t v : {100, 200, 400, 800, 1600}) h.observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 3100);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 1600);
+  EXPECT_DOUBLE_EQ(h.mean(), 620.0);
+  // Log2 bins: percentiles are bin upper bounds, clamped to the true max.
+  EXPECT_LE(h.percentile(0.50), h.percentile(0.99));
+  EXPECT_EQ(h.percentile(1.0), 1600);
+  EXPECT_GE(h.percentile(0.50), 100);
+}
+
+TEST(Histograms, NegativeSamplesClampToZero) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h;
+  h.observe(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(Snapshots, SortedFindAndDeadInstruments) {
+  MetricsRegistry registry;
+  registry.counter("z.never");
+  Counter& used = registry.counter("a.used");
+  used.add();
+  registry.gauge("m.gauge").set(5);
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries.front().name, "a.used");
+  EXPECT_EQ(snap.entries.back().name, "z.never");
+  ASSERT_NE(snap.find("m.gauge"), nullptr);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+  if (kMetricsEnabled) {
+    EXPECT_EQ(snap.dead_instruments(), std::vector<std::string>{"z.never"});
+  }
+}
+
+TEST(Snapshots, FingerprintIgnoresHostTimeInstruments) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.counter("events").add(42);
+  b.counter("events").add(42);
+  // Host-time instruments differ run to run; the fingerprint must not
+  // depend on them.
+  a.histogram("cost_ns", Determinism::kHostTime).observe(123);
+  b.histogram("cost_ns", Determinism::kHostTime).observe(98765);
+  EXPECT_EQ(a.snapshot().deterministic_fingerprint(), b.snapshot().deterministic_fingerprint());
+
+  b.counter("events").add();  // now a deterministic value diverges
+  EXPECT_NE(a.snapshot().deterministic_fingerprint(), b.snapshot().deterministic_fingerprint());
+}
+
+TEST(MetricsHotPath, NoAllocationPerEvent) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hot.counter");
+  Gauge& gauge = registry.gauge("hot.gauge");
+  Histogram& histogram = registry.histogram("hot.histogram");
+  // Warm up (first touches must not lazily allocate either, but keep the
+  // measurement strictly over steady-state updates).
+  counter.add();
+  gauge.set(1);
+  histogram.observe(1);
+
+  const std::size_t before = g_allocations;
+  for (std::int64_t i = 0; i < 10000; ++i) {
+    counter.add();
+    gauge.set(i);
+    histogram.observe(i * 37);
+  }
+  EXPECT_EQ(g_allocations, before) << "instrument updates must not allocate";
+}
+
+TEST(MetricsHotPath, ScopedTimerNullHistogramIsNoOp) {
+  const std::size_t before = g_allocations;
+  for (int i = 0; i < 100; ++i) {
+    ScopedTimer timer{static_cast<Histogram*>(nullptr)};
+  }
+  EXPECT_EQ(g_allocations, before);
+}
+
+TEST(MetricsHotPath, ScopedTimerObservesElapsed) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  Histogram h;
+  {
+    ScopedTimer timer{h};
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.min(), 0);
+}
+
+}  // namespace
+}  // namespace decos::obs

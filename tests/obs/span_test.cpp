@@ -1,0 +1,156 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/analysis.hpp"
+#include "obs/trace.hpp"
+
+namespace decos::obs {
+namespace {
+
+using namespace decos::literals;
+
+Instant at(std::int64_t ns) { return Instant::from_ns(ns); }
+
+TEST(TraceCollector, AllocatesMonotoneIds) {
+  TraceCollector collector;
+  const std::uint64_t t1 = collector.new_trace();
+  const std::uint64_t t2 = collector.new_trace();
+  EXPECT_NE(t1, 0u);
+  EXPECT_EQ(t2, t1 + 1);
+  const std::uint64_t s1 = collector.emit(t1, 0, Phase::kSend, "node0", "msgA", at(0), at(0));
+  const std::uint64_t s2 = collector.emit(t1, s1, Phase::kBus, "bus", "slot 0", at(0), at(5));
+  EXPECT_NE(s1, 0u);
+  EXPECT_EQ(s2, s1 + 1);
+  EXPECT_EQ(collector.total_emitted(), 2u);
+}
+
+TEST(TraceCollector, DisabledEmitReturnsZeroAndRecordsNothing) {
+  TraceCollector collector;
+  collector.set_enabled(false);
+  EXPECT_EQ(collector.emit(1, 0, Phase::kSend, "n", "m", at(0), at(0)), 0u);
+  EXPECT_TRUE(collector.spans().empty());
+}
+
+TEST(TraceCollector, RingBufferKeepsNewestSpans) {
+  TraceCollector collector;
+  collector.set_capacity(2);
+  const std::uint64_t trace = collector.new_trace();
+  for (int i = 0; i < 5; ++i)
+    collector.emit(trace, 0, Phase::kSend, "n", "m" + std::to_string(i), at(i), at(i));
+  EXPECT_EQ(collector.spans().size(), 2u);
+  EXPECT_EQ(collector.dropped(), 3u);
+  EXPECT_EQ(collector.total_emitted(), 5u);
+  EXPECT_EQ(collector.spans().front().name, "m3");
+  EXPECT_EQ(collector.spans().back().name, "m4");
+}
+
+TEST(TraceCollector, TraceAndSpanLookup) {
+  TraceCollector collector;
+  const std::uint64_t t1 = collector.new_trace();
+  const std::uint64_t t2 = collector.new_trace();
+  const std::uint64_t s1 = collector.emit(t1, 0, Phase::kSend, "n", "a", at(0), at(0));
+  collector.emit(t2, 0, Phase::kSend, "n", "b", at(1), at(1));
+  const std::uint64_t s3 = collector.emit(t1, s1, Phase::kDeliver, "n", "a", at(2), at(2));
+  const auto chain = collector.trace(t1);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0]->span_id, s1);
+  EXPECT_EQ(chain[1]->span_id, s3);
+  ASSERT_NE(collector.by_span_id(s3), nullptr);
+  EXPECT_EQ(collector.by_span_id(s3)->phase, Phase::kDeliver);
+  EXPECT_EQ(collector.by_span_id(9999), nullptr);
+}
+
+TEST(SpanIntegrity, DetectsBrokenParentLinks) {
+  std::vector<Span> spans;
+  Span root;
+  root.trace_id = 1;
+  root.span_id = 1;
+  root.start = at(0);
+  root.end = at(0);
+  spans.push_back(root);
+
+  Span orphan = root;
+  orphan.span_id = 2;
+  orphan.parent_id = 77;  // missing parent
+  spans.push_back(orphan);
+
+  Span cross = root;
+  cross.span_id = 3;
+  cross.parent_id = 1;
+  cross.trace_id = 2;  // parent belongs to another trace
+  spans.push_back(cross);
+
+  Span backwards = root;
+  backwards.span_id = 4;
+  backwards.start = at(10);
+  backwards.end = at(5);  // ends before it starts
+  spans.push_back(backwards);
+
+  const std::vector<std::string> violations = check_span_integrity(spans);
+  EXPECT_EQ(violations.size(), 3u);
+}
+
+TEST(SpanIntegrity, AcceptsWellFormedChain) {
+  std::vector<Span> spans;
+  Span root;
+  root.trace_id = 1;
+  root.span_id = 1;
+  root.start = at(0);
+  root.end = at(0);
+  spans.push_back(root);
+  Span child = root;
+  child.span_id = 2;
+  child.parent_id = 1;
+  child.start = at(0);
+  child.end = at(100);
+  spans.push_back(child);
+  EXPECT_TRUE(check_span_integrity(spans).empty());
+}
+
+TEST(TraceRecorder, RingBufferEvictsButCountsStayCumulative) {
+  TraceRecorder recorder;
+  recorder.set_capacity(3);
+  for (int i = 0; i < 5; ++i)
+    recorder.record(at(i), TraceKind::kFrameSent, "node" + std::to_string(i));
+  EXPECT_EQ(recorder.records().size(), 3u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+  EXPECT_EQ(recorder.total_recorded(), 5u);
+  EXPECT_EQ(recorder.count(TraceKind::kFrameSent), 5u);  // cumulative
+  // Retained window holds the newest records; seq survives eviction.
+  EXPECT_EQ(recorder.records().front().subject, "node2");
+  EXPECT_EQ(recorder.records().front().seq, 2u);
+  // Per-kind traversal only visits retained records.
+  std::size_t visited = 0;
+  recorder.for_each(TraceKind::kFrameSent, [&](const TraceRecord&) { ++visited; });
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST(TraceRecorder, ShrinksWhenCapacityLowered) {
+  TraceRecorder recorder;
+  for (int i = 0; i < 10; ++i) recorder.record(at(i), TraceKind::kMessageSent, "m");
+  recorder.set_capacity(4);
+  EXPECT_EQ(recorder.records().size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+}
+
+TEST(TraceRecorder, MacroSkipsArgumentConstructionWhenDisabled) {
+  TraceRecorder recorder;
+  recorder.set_enabled(false);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string{"detail"};
+  };
+  DECOS_TRACE(recorder, at(0), TraceKind::kFaultInjected, "subject", expensive());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+
+  recorder.set_enabled(true);
+  DECOS_TRACE(recorder, at(0), TraceKind::kFaultInjected, "subject", expensive());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(recorder.total_recorded(), 1u);
+}
+
+}  // namespace
+}  // namespace decos::obs

@@ -76,9 +76,9 @@ TEST_F(ControllerFixture, QueueBufferBounded) {
 
 TEST_F(ControllerFixture, SlotSourcePulledAtTransmission) {
   int pulls = 0;
-  c0->set_slot_source(0, [&]() -> std::optional<std::vector<std::byte>> {
+  c0->set_slot_source(0, [&]() -> std::optional<tt::Controller::SlotPayload> {
     ++pulls;
-    return std::vector<std::byte>{std::byte{0x77}};
+    return tt::Controller::SlotPayload{{std::byte{0x77}}};
   });
   start_all();
   sim.run_until(Instant::origin() + 29_ms);

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace decos::log {
 namespace {
 
@@ -38,6 +41,48 @@ TEST(LogTest, HelpersRespectThreshold) {
   threshold() = Level::kTrace;
   trace("t", "visible");
   error("t", "visible");
+}
+
+TEST(LogTest, SinkCapturesFilteredLines) {
+  ThresholdGuard guard;
+  threshold() = Level::kInfo;
+  std::vector<std::pair<Level, std::string>> lines;
+  set_sink([&](Level level, const std::string& component, const std::string& message) {
+    lines.emplace_back(level, component + ": " + message);
+  });
+  debug("comp", "hidden");   // below threshold: never reaches the sink
+  info("comp", "hello");
+  error("other", "bad");
+  set_sink(nullptr);  // restore stderr
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].first, Level::kInfo);
+  EXPECT_EQ(lines[0].second, "comp: hello");
+  EXPECT_EQ(lines[1].first, Level::kError);
+  EXPECT_EQ(lines[1].second, "other: bad");
+}
+
+TEST(LogTest, FormatLineWithoutTimeProvider) {
+  EXPECT_EQ(format_line(Level::kWarn, "bus", "late frame"), "[WARN] bus: late frame");
+}
+
+TEST(LogTest, FormatLineStampsSimulatedTime) {
+  static std::int64_t fake_now = 12'500'000;  // 12.5ms
+  const int owner = 0;
+  set_time_provider(&owner, [](const void*) { return fake_now; });
+  EXPECT_EQ(format_line(Level::kInfo, "gw", "tick"), "[INFO t=12.500000ms] gw: tick");
+  clear_time_provider(&owner);
+  EXPECT_EQ(format_line(Level::kInfo, "gw", "tick"), "[INFO] gw: tick");
+}
+
+TEST(LogTest, ClearTimeProviderOnlyByOwner) {
+  static std::int64_t fake_now = 1'000'000;
+  const int owner = 0;
+  const int stranger = 0;
+  set_time_provider(&owner, [](const void*) { return fake_now; });
+  clear_time_provider(&stranger);  // not the owner: provider stays
+  EXPECT_EQ(format_line(Level::kInfo, "x", "m"), "[INFO t=1.000000ms] x: m");
+  clear_time_provider(&owner);
+  EXPECT_EQ(format_line(Level::kInfo, "x", "m"), "[INFO] x: m");
 }
 
 }  // namespace
