@@ -4,7 +4,11 @@
 // raw repository / automaton operation costs. google-benchmark binary.
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common.hpp"
 #include "core/repository.hpp"
@@ -128,6 +132,183 @@ void BM_GatewayReceiveAndForward(benchmark::State& state) {
 }
 BENCHMARK(BM_GatewayReceiveAndForward)->Arg(1)->Arg(4)->Arg(16);
 
+// -- Interned vs string paths (DESIGN.md S23) -------------------------------
+//
+// Each pair below measures the same logical operation twice: once through
+// the compiled/interned path (dense ElementId, Symbol-keyed fields,
+// storage reuse) and once through the name-keyed path the seed used
+// (string resolution on every call, fresh allocations per instance). The
+// harness computes the ratios into BENCH_E11.json; CI's perf-smoke job
+// fails when the compiled dissect/construct rows regress.
+
+/// Compiled dissect in the real engine: the input side of a gateway whose
+/// only output port is time-triggered, so on_input() runs the dissect
+/// plan + repository stores and nothing else (TT constructs only fire
+/// from dispatch(), which this bench never calls).
+std::unique_ptr<core::VirtualGateway> make_dissect_gateway(int elements) {
+  spec::LinkSpec link_a{"dasA"};
+  spec::MessageSpec in = wide_message(elements, 4);
+  in.set_name("msgIn");
+  link_a.add_message(std::move(in));
+  link_a.add_port(input_port("msgIn", spec::InfoSemantics::kState,
+                             spec::ControlParadigm::kTimeTriggered, 10_ms, 1_ns,
+                             Duration::seconds(3600)));
+  spec::LinkSpec link_b{"dasB"};
+  spec::MessageSpec out = wide_message(elements, 4);
+  out.set_name("msgOut");
+  link_b.add_message(std::move(out));
+  link_b.add_port(output_port("msgOut", spec::InfoSemantics::kState,
+                              spec::ControlParadigm::kTimeTriggered, Duration::seconds(3600)));
+  core::GatewayConfig config;
+  config.default_d_acc = Duration::seconds(3600);
+  auto gateway = std::make_unique<core::VirtualGateway>("micro", std::move(link_a),
+                                                        std::move(link_b), config);
+  gateway->finalize();
+  return gateway;
+}
+
+void BM_DissectCompiled(benchmark::State& state) {
+  auto gateway = make_dissect_gateway(static_cast<int>(state.range(0)));
+  const spec::MessageSpec& ms = *gateway->link_a().spec().message("msgIn");
+  const spec::MessageInstance inst = spec::make_instance(ms);
+  Instant now = Instant::origin();
+  gateway->on_input(0, inst, now);  // warm the repository slots
+  for (auto _ : state) {
+    now += 10_ms;
+    gateway->on_input(0, inst, now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DissectCompiled)->Arg(4)->Arg(16);
+
+/// The seed's dissect loop, emulated: per element a fresh ElementInstance
+/// is built with name-keyed set_field() calls and stored through the
+/// name-keyed repository interface (resolve() per store).
+void BM_DissectStringPath(benchmark::State& state) {
+  const spec::MessageSpec ms = wide_message(static_cast<int>(state.range(0)), 4);
+  const spec::MessageInstance inst = spec::make_instance(ms);
+  core::Repository repo;
+  for (const spec::ElementSpec& es : ms.elements())
+    if (es.convertible)
+      repo.declare(core::ElementDecl{es.name, spec::InfoSemantics::kState,
+                                     Duration::seconds(3600), 4});
+  Instant now = Instant::origin();
+  for (auto _ : state) {
+    now += 10_ms;
+    for (std::size_t e = 0; e < ms.elements().size(); ++e) {
+      const spec::ElementSpec& es = ms.elements()[e];
+      if (!es.convertible) continue;
+      core::ElementInstance ei;
+      ei.observed_at = now;
+      for (std::size_t f = 0; f < es.fields.size(); ++f)
+        ei.set_field(es.fields[f].name, inst.elements()[e].fields[f]);
+      repo.store(es.name, std::move(ei), now);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DissectStringPath)->Arg(4)->Arg(16);
+
+/// Compiled construct in the real engine: fresh repository versions are
+/// written by dense id, then dispatch() runs the construct plan of the
+/// event-triggered output and emits into a no-op emitter.
+void BM_ConstructCompiled(benchmark::State& state) {
+  auto gateway = make_gateway(static_cast<int>(state.range(0)));
+  core::Repository& repo = gateway->repository();
+  std::vector<std::pair<core::ElementId, core::ElementInstance>> stores;
+  for (int e = 0; e < state.range(0); ++e) {
+    core::ElementInstance ei;
+    for (int f = 0; f < 4; ++f) ei.set_field("f" + std::to_string(f), ta::Value{f});
+    stores.emplace_back(*repo.id_of("e" + std::to_string(e)), std::move(ei));
+  }
+  Instant now = Instant::origin();
+  for (auto _ : state) {
+    now += 10_ms;
+    for (auto& [id, ei] : stores) {
+      ei.observed_at = now;
+      repo.store_copy(id, ei, now);
+    }
+    gateway->dispatch(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConstructCompiled)->Arg(4)->Arg(16);
+
+/// The seed's construct loop, emulated: a fresh MessageInstance per
+/// emission, each element fetched by name (copying), each field copied
+/// through a string-keyed scan.
+void BM_ConstructStringPath(benchmark::State& state) {
+  const spec::MessageSpec ms = wide_message(static_cast<int>(state.range(0)), 4);
+  core::Repository repo;
+  std::vector<std::pair<core::ElementId, core::ElementInstance>> stores;
+  for (const spec::ElementSpec& es : ms.elements()) {
+    if (!es.convertible) continue;
+    const auto id = repo.declare(core::ElementDecl{es.name, spec::InfoSemantics::kState,
+                                                   Duration::seconds(3600), 4});
+    core::ElementInstance ei;
+    for (const spec::FieldSpec& fs : es.fields) ei.set_field(fs.name, ta::Value{1});
+    stores.emplace_back(id, std::move(ei));
+  }
+  Instant now = Instant::origin();
+  for (auto _ : state) {
+    now += 10_ms;
+    for (auto& [id, ei] : stores) {
+      ei.observed_at = now;
+      repo.store_copy(id, ei, now);  // same store cost as the compiled bench
+    }
+    spec::MessageInstance out = spec::make_instance(ms);
+    for (std::size_t e = 0; e < ms.elements().size(); ++e) {
+      const spec::ElementSpec& es = ms.elements()[e];
+      if (!es.convertible) continue;
+      auto fetched = repo.fetch(es.name, now);
+      if (!fetched) continue;
+      for (std::size_t f = 0; f < es.fields.size(); ++f) {
+        if (es.fields[f].is_static()) continue;
+        if (const ta::Value* v = fetched->field(es.fields[f].name))
+          out.elements()[e].fields[f] = *v;
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ConstructStringPath)->Arg(4)->Arg(16);
+
+/// Dense-id repository round trip: copy-assigning store + borrowed state
+/// fetch, zero allocations after warm-up.
+void BM_RepositoryStoreFetchStateInterned(benchmark::State& state) {
+  core::Repository repo;
+  const core::ElementId id =
+      repo.declare(core::ElementDecl{"s", spec::InfoSemantics::kState, 1_s, 4});
+  core::ElementInstance inst;
+  inst.set_field("value", ta::Value{1});
+  inst.set_field("t", ta::Value{Instant::origin()});
+  Instant now = Instant::origin();
+  repo.store_copy(id, inst, now);  // warm the slot
+  for (auto _ : state) {
+    now += 1_ms;
+    repo.store_copy(id, inst, now);
+    benchmark::DoNotOptimize(repo.fetch_state(id, now));
+  }
+}
+BENCHMARK(BM_RepositoryStoreFetchStateInterned);
+
+void BM_RepositoryStoreFetchEventInterned(benchmark::State& state) {
+  core::Repository repo;
+  const core::ElementId id =
+      repo.declare(core::ElementDecl{"e", spec::InfoSemantics::kEvent, 1_s, 64});
+  core::ElementInstance inst;
+  inst.set_field("value", ta::Value{1});
+  core::ElementInstance out;
+  Instant now = Instant::origin();
+  for (auto _ : state) {
+    now += 1_ms;
+    repo.store_copy(id, inst, now);
+    benchmark::DoNotOptimize(repo.consume_into(id, out));
+  }
+}
+BENCHMARK(BM_RepositoryStoreFetchEventInterned);
+
 void BM_RepositoryStoreFetchState(benchmark::State& state) {
   core::Repository repo;
   repo.declare(core::ElementDecl{"s", spec::InfoSemantics::kState, 1_s, 4});
@@ -203,14 +384,25 @@ class HarnessReporter : public benchmark::ConsoleReporter {
       o.emplace_back("real_ns", run.GetAdjustedRealTime());
       o.emplace_back("cpu_ns", run.GetAdjustedCPUTime());
       results_.push_back(obs::json::Value{std::move(o)});
+      cpu_ns_[run.benchmark_name()] = run.GetAdjustedCPUTime();
     }
   }
 
   obs::json::Array take_results() { return std::move(results_); }
 
+  /// string-path cpu / interned-path cpu (>1 means the compiled path is
+  /// faster); 0 when either row is missing.
+  double speedup(const std::string& interned, const std::string& string_path) const {
+    const auto a = cpu_ns_.find(interned);
+    const auto b = cpu_ns_.find(string_path);
+    if (a == cpu_ns_.end() || b == cpu_ns_.end() || a->second <= 0.0) return 0.0;
+    return b->second / a->second;
+  }
+
  private:
   Harness& harness_;
   obs::json::Array results_;
+  std::map<std::string, double> cpu_ns_;
 };
 
 }  // namespace
@@ -223,6 +415,18 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&bench_argc, argv);
   HarnessReporter reporter{harness};
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  // Interned-vs-string ratios (>1 = compiled path faster). The acceptance
+  // bar for S23 is >= 2x on the repository store/fetch round trip.
+  obs::json::Object speedups;
+  speedups.emplace_back("repo_state", reporter.speedup("BM_RepositoryStoreFetchStateInterned",
+                                                       "BM_RepositoryStoreFetchState"));
+  speedups.emplace_back("repo_event", reporter.speedup("BM_RepositoryStoreFetchEventInterned",
+                                                       "BM_RepositoryStoreFetchEvent"));
+  speedups.emplace_back("dissect",
+                        reporter.speedup("BM_DissectCompiled/16", "BM_DissectStringPath/16"));
+  speedups.emplace_back("construct",
+                        reporter.speedup("BM_ConstructCompiled/16", "BM_ConstructStringPath/16"));
+  harness.set_json("speedups", obs::json::Value{std::move(speedups)});
   harness.set_json("benchmarks", obs::json::Value{reporter.take_results()});
   benchmark::Shutdown();
   return 0;

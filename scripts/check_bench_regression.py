@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_e11_micro run against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE.json CURRENT.json [--max-ratio 1.5]
+
+Both files are BENCH_E11.json documents as written by bench_e11_micro
+(`benchmarks`: list of {name, cpu_ns, ...}). The check guards the
+compiled-plan hot path (DESIGN.md S23): for every benchmark name listed
+in WATCHED that appears in both files, the current cpu_ns must not
+exceed baseline * max-ratio. Benchmarks absent from either file are
+skipped (machine pools differ), but at least one watched row must match
+or the check fails -- an empty intersection means the baseline is stale.
+
+The absolute times of the two runs come from different machines, so the
+ratio test is deliberately loose (default 1.5x): it catches "someone
+reintroduced string lookups into the dissect/construct path", not minor
+scheduling jitter.
+"""
+
+import argparse
+import json
+import sys
+
+# The compiled-plan hot-path rows. String-path rows are intentionally
+# not watched: they exist as a comparison anchor, not as a contract.
+WATCHED = [
+    "BM_DissectCompiled/4",
+    "BM_DissectCompiled/16",
+    "BM_ConstructCompiled/4",
+    "BM_ConstructCompiled/16",
+    "BM_RepositoryStoreFetchStateInterned",
+    "BM_RepositoryStoreFetchEventInterned",
+    "BM_GatewayReceiveAndForward/4",
+    "BM_GatewayReceiveAndForward/16",
+]
+
+# Interned-vs-string ratios that must hold in the *current* run
+# (ISSUE acceptance: >= 2x on the repository store/fetch round trip).
+MIN_SPEEDUPS = {
+    "repo_state": 2.0,
+    "repo_event": 2.0,
+}
+
+
+def load_cpu_ns(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("name")
+        cpu = row.get("cpu_ns")
+        if isinstance(name, str) and isinstance(cpu, (int, float)) and cpu > 0:
+            rows[name] = float(cpu)
+    return doc, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-ratio", type=float, default=1.5)
+    args = parser.parse_args()
+
+    _, base = load_cpu_ns(args.baseline)
+    current_doc, cur = load_cpu_ns(args.current)
+
+    failures = []
+    compared = 0
+    for name in WATCHED:
+        if name not in base or name not in cur:
+            continue
+        compared += 1
+        ratio = cur[name] / base[name]
+        status = "ok" if ratio <= args.max_ratio else "REGRESSED"
+        print(f"{name:45s} base {base[name]:12.1f} ns  cur {cur[name]:12.1f} ns  "
+              f"ratio {ratio:5.2f}x  {status}")
+        if ratio > args.max_ratio:
+            failures.append(f"{name}: {ratio:.2f}x > {args.max_ratio:.2f}x")
+
+    if compared == 0:
+        print("error: no watched benchmark appears in both files -- stale baseline?",
+              file=sys.stderr)
+        return 1
+
+    speedups = current_doc.get("speedups", {})
+    if not isinstance(speedups, dict):
+        speedups = {}
+    for key, minimum in MIN_SPEEDUPS.items():
+        value = speedups.get(key)
+        if value is None:
+            failures.append(f"speedups.{key}: missing from current run")
+            continue
+        status = "ok" if value >= minimum else "TOO SLOW"
+        print(f"speedup {key:37s} {value:5.2f}x  (need >= {minimum:.1f}x)  {status}")
+        if value < minimum:
+            failures.append(f"speedups.{key}: {value:.2f}x < {minimum:.1f}x")
+
+    if failures:
+        print("\nperf-smoke FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf-smoke ok ({compared} rows compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,15 @@
 
 namespace decos::core {
 
+namespace {
+/// Resolve a runtime-supplied name without growing the symbol table;
+/// names never interned cannot match anything.
+Symbol lookup_symbol(const std::string& name) {
+  const auto sym = SymbolTable::global().lookup(name);
+  return sym ? *sym : Symbol{};
+}
+}  // namespace
+
 GatewayLink::GatewayLink(int side, spec::LinkSpec link_spec)
     : side_{side}, link_spec_{std::move(link_spec)} {
   link_spec_.validate().check();
@@ -22,24 +31,36 @@ const std::string& GatewayLink::link_name(const std::string& repo_element) const
   return it == rename_to_link_.end() ? repo_element : it->second;
 }
 
-vn::Port* GatewayLink::port(const std::string& message_name) {
-  const auto it = port_by_message_.find(message_name);
+vn::Port* GatewayLink::port(Symbol message) {
+  const auto it = port_by_message_.find(message);
   return it == port_by_message_.end() ? nullptr : it->second;
+}
+
+vn::Port* GatewayLink::port(const std::string& message_name) {
+  return port(lookup_symbol(message_name));
 }
 
 void GatewayLink::set_emitter(const std::string& message_name,
                               std::function<void(const spec::MessageInstance&)> emitter) {
-  emitters_[message_name] = std::move(emitter);
+  emitters_[intern_symbol(message_name)] = std::move(emitter);
 }
 
-ta::Interpreter* GatewayLink::recv_interpreter(const std::string& message_name) {
-  const auto it = recv_by_message_.find(message_name);
+ta::Interpreter* GatewayLink::recv_interpreter(Symbol message) {
+  const auto it = recv_by_message_.find(message);
   return it == recv_by_message_.end() ? nullptr : it->second;
 }
 
-ta::Interpreter* GatewayLink::send_interpreter(const std::string& message_name) {
-  const auto it = send_by_message_.find(message_name);
+ta::Interpreter* GatewayLink::recv_interpreter(const std::string& message_name) {
+  return recv_interpreter(lookup_symbol(message_name));
+}
+
+ta::Interpreter* GatewayLink::send_interpreter(Symbol message) {
+  const auto it = send_by_message_.find(message);
   return it == send_by_message_.end() ? nullptr : it->second;
+}
+
+ta::Interpreter* GatewayLink::send_interpreter(const std::string& message_name) {
+  return send_interpreter(lookup_symbol(message_name));
 }
 
 }  // namespace decos::core

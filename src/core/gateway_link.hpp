@@ -2,8 +2,14 @@
 //
 // A GatewayLink owns the runtime ports towards one virtual network, the
 // timed-automaton interpreters animating the link specification's
-// temporal part, and the element renaming table that resolves incoherent
-// naming between the link's namespace and the gateway repository.
+// temporal part, the element renaming table that resolves incoherent
+// naming between the link's namespace and the gateway repository, and
+// the compiled transfer plans finalize() derives from all of the above.
+//
+// Runtime lookups (port/interpreter/emitter by message) are keyed by
+// interned Symbol; the string-taking accessors resolve through the
+// global symbol table without inserting, so they cannot be tricked into
+// growing it with unknown runtime names.
 #pragma once
 
 #include <functional>
@@ -11,11 +17,14 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "core/transfer_plan.hpp"
 #include "spec/link_spec.hpp"
 #include "spec/message.hpp"
 #include "ta/interpreter.hpp"
+#include "util/symbol.hpp"
 #include "vn/port.hpp"
 
 namespace decos::core {
@@ -48,6 +57,7 @@ class GatewayLink {
   /// Created by VirtualGateway::finalize() from the link spec's port
   /// specifications. Input ports receive from the VN; output ports hold
   /// constructed messages for the VN to transmit.
+  vn::Port* port(Symbol message);
   vn::Port* port(const std::string& message_name);
   const std::vector<std::unique_ptr<vn::Port>>& ports() const { return ports_; }
 
@@ -59,11 +69,23 @@ class GatewayLink {
   // -- interpreters ------------------------------------------------------
   /// Interpreter animating the automaton that governs receptions /
   /// transmissions of `message_name`, or nullptr if none.
+  ta::Interpreter* recv_interpreter(Symbol message);
   ta::Interpreter* recv_interpreter(const std::string& message_name);
+  ta::Interpreter* send_interpreter(Symbol message);
   ta::Interpreter* send_interpreter(const std::string& message_name);
   /// All interpreters, keyed by automaton name.
   const std::map<std::string, std::unique_ptr<ta::Interpreter>>& interpreters() const {
     return interpreters_;
+  }
+
+  // -- compiled plans ----------------------------------------------------
+  /// Built by VirtualGateway::finalize(); empty before. Exposed read-only
+  /// for tests/diagnostics (declint's DL007 re-derives the same binding).
+  const std::unordered_map<Symbol, DissectPlan, SymbolHash>& dissect_plans() const {
+    return dissect_plans_;
+  }
+  const std::vector<std::unique_ptr<ConstructPlan>>& construct_plans() const {
+    return construct_plans_;
   }
 
  private:
@@ -74,16 +96,23 @@ class GatewayLink {
   std::map<std::string, std::string> rename_to_repo_;
   std::map<std::string, std::string> rename_to_link_;
   std::vector<std::unique_ptr<vn::Port>> ports_;
-  std::map<std::string, vn::Port*> port_by_message_;
+  std::unordered_map<Symbol, vn::Port*, SymbolHash> port_by_message_;
   // Automata synthesized from port specs when the link spec supplies no
   // hand-written automaton for a message (unique_ptr: pointer stability).
   std::vector<std::unique_ptr<ta::AutomatonSpec>> synthesized_;
   std::map<std::string, std::unique_ptr<ta::Interpreter>> interpreters_;  // by automaton
-  std::map<std::string, ta::Interpreter*> recv_by_message_;
-  std::map<std::string, ta::Interpreter*> send_by_message_;
-  std::map<std::string, std::function<void(const spec::MessageInstance&)>> emitters_;
+  std::unordered_map<Symbol, ta::Interpreter*, SymbolHash> recv_by_message_;
+  std::unordered_map<Symbol, ta::Interpreter*, SymbolHash> send_by_message_;
+  std::unordered_map<Symbol, std::function<void(const spec::MessageInstance&)>, SymbolHash>
+      emitters_;
   // Error-state bookkeeping for auto-restart, keyed by automaton name.
   std::map<std::string, Instant> error_since_;
+  // Compiled transfer plans (finalize()). Construct plans live behind
+  // unique_ptr for pointer stability (the by-message index and the
+  // interpreter hooks hold raw pointers).
+  std::unordered_map<Symbol, DissectPlan, SymbolHash> dissect_plans_;
+  std::vector<std::unique_ptr<ConstructPlan>> construct_plans_;
+  std::unordered_map<Symbol, ConstructPlan*, SymbolHash> construct_by_message_;
 };
 
 }  // namespace decos::core

@@ -1,13 +1,30 @@
 #include "core/virtual_gateway.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace decos::core {
+
+namespace {
+
+// Interned spellings of the implicit time identifier (shared with the
+// automaton interpreter's environment).
+Symbol t_now_sym() {
+  static const Symbol sym = intern_symbol("t_now");
+  return sym;
+}
+Symbol tnow_sym() {
+  static const Symbol sym = intern_symbol("tnow");
+  return sym;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Transfer-semantics evaluation environment: identifiers resolve first to
 // the derived element's current fields, then to the source instance's
-// fields, then to the link parameters.
+// fields, then to the link parameters. Expression identifiers arrive
+// pre-interned, so the Symbol overloads never compare strings.
 // ---------------------------------------------------------------------------
 class VirtualGateway::ConversionEnv final : public ta::Environment {
  public:
@@ -15,12 +32,20 @@ class VirtualGateway::ConversionEnv final : public ta::Environment {
                 const spec::LinkSpec& link_spec, Instant now)
       : target_{target}, source_{source}, link_spec_{link_spec}, now_{now} {}
 
-  ta::Value get(const std::string& name) const override {
-    if (name == "t_now" || name == "tnow") return ta::Value{now_};
-    if (const ta::Value* v = target_.field(name); v != nullptr) return *v;
-    if (const ta::Value* v = source_.field(name); v != nullptr) return *v;
+  ta::Value get(Symbol sym, const std::string& name) const override {
+    if (sym == t_now_sym() || sym == tnow_sym()) return ta::Value{now_};
+    if (const ta::Value* v = target_.field(sym); v != nullptr) return *v;
+    if (const ta::Value* v = source_.field(sym); v != nullptr) return *v;
     if (link_spec_.has_parameter(name)) return link_spec_.parameter(name);
     throw SpecError("transfer semantics: unknown identifier '" + name + "'");
+  }
+
+  ta::Value get(const std::string& name) const override {
+    return get(intern_symbol(name), name);
+  }
+
+  void set(Symbol sym, const std::string&, const ta::Value& value) override {
+    target_.set_field(sym, value);
   }
 
   void set(const std::string& name, const ta::Value& value) override {
@@ -59,12 +84,12 @@ class FilterEnv final : public ta::Environment {
             const spec::LinkSpec& link_spec, Instant now)
       : message_spec_{message_spec}, instance_{instance}, link_spec_{link_spec}, now_{now} {}
 
-  ta::Value get(const std::string& name) const override {
-    if (name == "t_now" || name == "tnow") return ta::Value{now_};
+  ta::Value get(Symbol sym, const std::string& name) const override {
+    if (sym == t_now_sym() || sym == tnow_sym()) return ta::Value{now_};
     for (std::size_t ei = 0; ei < message_spec_.elements().size(); ++ei) {
       const spec::ElementSpec& es = message_spec_.elements()[ei];
       for (std::size_t fi = 0; fi < es.fields.size(); ++fi) {
-        if (es.fields[fi].name != name) continue;
+        if (es.fields[fi].sym() != sym) continue;
         if (ei < instance_.elements().size() && fi < instance_.elements()[ei].fields.size())
           return instance_.elements()[ei].fields[fi];
       }
@@ -72,6 +97,11 @@ class FilterEnv final : public ta::Environment {
     if (link_spec_.has_parameter(name)) return link_spec_.parameter(name);
     throw SpecError("value filter: unknown identifier '" + name + "'");
   }
+
+  ta::Value get(const std::string& name) const override {
+    return get(intern_symbol(name), name);
+  }
+
   void set(const std::string&, const ta::Value&) override {
     throw SpecError("value filters cannot assign");
   }
@@ -121,7 +151,8 @@ VirtualGateway::VirtualGateway(std::string name, spec::LinkSpec link_a, spec::Li
     : name_{std::move(name)},
       config_{config},
       link_a_{0, std::move(link_a)},
-      link_b_{1, std::move(link_b)} {}
+      link_b_{1, std::move(link_b)},
+      track_sym_{intern_symbol("gw:" + name_)} {}
 
 void VirtualGateway::bind_observability(obs::MetricsRegistry& metrics, obs::TraceCollector& spans) {
   spans_ = &spans;
@@ -188,7 +219,7 @@ void VirtualGateway::finalize() {
       const spec::MessageSpec* ms = link->spec().message(port_spec.message);
       link->ports_.push_back(std::make_unique<vn::Port>(port_spec));
       vn::Port* port = link->ports_.back().get();
-      link->port_by_message_[port_spec.message] = port;
+      link->port_by_message_[intern_symbol(port_spec.message)] = port;
 
       for (const auto* es : ms->convertible_elements()) {
         if (port_spec.direction == spec::DataDirection::kInput) {
@@ -204,7 +235,15 @@ void VirtualGateway::finalize() {
         port->set_notify([this, side](vn::Port& p) {
           // Deposit just happened; its instant is the port's last update.
           const Instant now = p.last_update().value_or(Instant::origin());
-          if (auto instance = p.read()) on_input(side, *instance, now);
+          if (p.spec().semantics == spec::InfoSemantics::kState) {
+            // Borrow the freshest image; the gateway copies what it keeps.
+            if (const spec::MessageInstance* m = p.peek()) on_input(side, *m, now);
+          } else if (const spec::MessageInstance* m = p.peek()) {
+            // Consume before processing (as the old read() did); the
+            // dropped slot's contents stay intact until the ring wraps.
+            p.drop_front();
+            on_input(side, *m, now);
+          }
         });
       }
     }
@@ -215,23 +254,10 @@ void VirtualGateway::finalize() {
       for (const auto& f : rule.fields)
         if (f.semantics == "event") semantics = spec::InfoSemantics::kEvent;
       declare_element(link->repo_name(rule.target), semantics);
-      rules_by_source_.emplace(link->repo_name(rule.source), &rule);
     }
   }
   for (const auto& [name, semantics] : output_fallbacks) {
     if (!repository_.is_declared(name)) declare_element(name, semantics);
-  }
-
-  // Selective redirection (paper Section III-B.1): the repository only
-  // retains elements that some outgoing message is constructed from.
-  // Elements consumed solely by transfer rules are converted in flight;
-  // everything else is discarded at dissection.
-  for (GatewayLink* link : {&link_a_, &link_b_}) {
-    for (const spec::PortSpec& port_spec : link->spec().ports()) {
-      if (port_spec.direction != spec::DataDirection::kOutput) continue;
-      const spec::MessageSpec* ms = link->spec().message(port_spec.message);
-      for (const auto& name : required_elements(*link, *ms)) needed_elements_.insert(name);
-    }
   }
 
   // 3. Interpreters: hand-written automata from the link specs first...
@@ -239,8 +265,8 @@ void VirtualGateway::finalize() {
     GatewayLink& l = *link;
     const auto hook_up = [this, &l](const ta::AutomatonSpec& automaton) {
       ta::InterpreterHooks hooks;
-      hooks.can_send = [this, &l](const std::string& msg) { return can_construct(l, msg, now_); };
-      hooks.request_missing = [this, &l](const std::string& msg) { request_missing(l, msg, now_); };
+      hooks.can_send = [this, &l](Symbol msg) { return can_construct(l, msg, now_); };
+      hooks.request_missing = [this, &l](Symbol msg) { request_missing(l, msg, now_); };
       hooks.resolve = [&l](const std::string& id) -> ta::Value {
         if (l.spec().has_parameter(id)) return l.spec().parameter(id);
         throw SpecError("automaton identifier '" + id + "' is not a link parameter");
@@ -252,8 +278,10 @@ void VirtualGateway::finalize() {
         if (fn == "requ" && args.size() == 1) {
           const spec::MessageSpec* ms = l.spec().message(args[0].as_string());
           if (ms == nullptr) return ta::Value{false};
-          for (const auto& name : required_elements(l, *ms))
-            if (repository_.requested(name)) return ta::Value{true};
+          for (const auto& name : required_elements(l, *ms)) {
+            const auto id = repository_.id_of(name);
+            if (id && repository_.requested(*id)) return ta::Value{true};
+          }
           return ta::Value{false};
         }
         throw SpecError("unknown automaton function '" + fn + "'");
@@ -262,8 +290,8 @@ void VirtualGateway::finalize() {
       ta::Interpreter* raw = interpreter.get();
       l.interpreters_[automaton.name()] = std::move(interpreter);
       for (const auto& edge : automaton.edges()) {
-        if (edge.action == ta::ActionKind::kReceive) l.recv_by_message_[edge.message] = raw;
-        if (edge.action == ta::ActionKind::kSend) l.send_by_message_[edge.message] = raw;
+        if (edge.action == ta::ActionKind::kReceive) l.recv_by_message_[edge.message_sym] = raw;
+        if (edge.action == ta::ActionKind::kSend) l.send_by_message_[edge.message_sym] = raw;
       }
     };
 
@@ -273,7 +301,7 @@ void VirtualGateway::finalize() {
     // messages the spec's temporal part does not cover.
     for (const spec::PortSpec& port_spec : l.spec().ports()) {
       if (port_spec.direction == spec::DataDirection::kInput) {
-        if (l.recv_by_message_.count(port_spec.message) != 0) continue;
+        if (l.recv_by_message_.count(intern_symbol(port_spec.message)) != 0) continue;
         // Interarrival bounds: explicit tmin/tmax for ET ports; for TT
         // ports the period is a-priori knowledge, so receptions faster
         // than period/2 or silences beyond 2*period violate the spec.
@@ -292,7 +320,7 @@ void VirtualGateway::finalize() {
         hook_up(*automaton);
         l.synthesized_.push_back(std::move(automaton));
       } else {
-        if (l.send_by_message_.count(port_spec.message) != 0) continue;
+        if (l.send_by_message_.count(intern_symbol(port_spec.message)) != 0) continue;
         auto automaton = std::make_unique<ta::AutomatonSpec>(
             port_spec.is_time_triggered()
                 ? ta::make_periodic_send("auto_send_" + port_spec.message, port_spec.message,
@@ -304,6 +332,120 @@ void VirtualGateway::finalize() {
       }
     }
   }
+
+  // 4. Resolve every remaining name into the compiled transfer plans.
+  compile_plans();
+}
+
+void VirtualGateway::compile_plans() {
+  // Selective redirection (paper Section III-B.1): the repository only
+  // retains elements that some outgoing message is constructed from.
+  // Elements consumed solely by transfer rules are converted in flight;
+  // everything else is discarded at dissection.
+  std::set<std::string> needed;
+  for (GatewayLink* link : {&link_a_, &link_b_}) {
+    for (const spec::PortSpec& port_spec : link->spec().ports()) {
+      if (port_spec.direction != spec::DataDirection::kOutput) continue;
+      const spec::MessageSpec* ms = link->spec().message(port_spec.message);
+      for (const auto& name : required_elements(*link, *ms)) needed.insert(name);
+    }
+  }
+
+  // Rule plans: one per transfer rule, owned by the gateway and indexed
+  // by the interned *repository* name of the rule's source element.
+  for (GatewayLink* link : {&link_a_, &link_b_}) {
+    for (const spec::TransferRule& rule : link->spec().transfer_rules()) {
+      auto plan = std::make_unique<RulePlan>();
+      plan->rule = &rule;
+      plan->owner = &link->spec();
+      const std::string& target_repo = link->repo_name(rule.target);
+      const auto target_id = repository_.id_of(target_repo);
+      if (!target_id)
+        throw SpecError("transfer rule target '" + target_repo +
+                        "' did not resolve to a repository slot");
+      plan->target_id = *target_id;
+      plan->field_syms.reserve(rule.fields.size());
+      for (const auto& f : rule.fields) plan->field_syms.push_back(intern_symbol(f.name));
+      rule_plans_[intern_symbol(link->repo_name(rule.source))].push_back(std::move(plan));
+    }
+  }
+
+  for (GatewayLink* link : {&link_a_, &link_b_}) {
+    GatewayLink& l = *link;
+
+    // Dissect plans: one per message of the link spec (any of them may
+    // arrive at on_input; ports are not a precondition for dissection).
+    for (const spec::MessageSpec& ms : l.spec().messages()) {
+      DissectPlan plan;
+      plan.message = &ms;
+      plan.message_sym = ms.name_sym();
+      plan.filter = l.spec().filter_for(ms.name());
+      for (const spec::ElementSpec* es : ms.convertible_elements()) {
+        DissectItem item;
+        item.element = es;
+        item.element_sym = es->sym();
+        const std::string& repo = l.repo_name(es->name);
+        item.repo_sym = intern_symbol(repo);
+        item.needed = needed.count(repo) != 0;
+        if (const auto id = repository_.id_of(item.repo_sym)) item.repo_id = *id;
+        if (item.needed && item.repo_id == kInvalidElementId)
+          throw SpecError("convertible element '" + repo +
+                          "' is needed but did not resolve to a repository slot");
+        if (const auto rit = rule_plans_.find(item.repo_sym); rit != rule_plans_.end())
+          for (const auto& rp : rit->second) item.rules.push_back(rp.get());
+        item.scratch.fields.reserve(es->fields.size());
+        for (const spec::FieldSpec& fs : es->fields)
+          item.scratch.fields.emplace_back(fs.sym(), ta::Value{});
+        plan.items.push_back(std::move(item));
+      }
+      l.dissect_plans_.emplace(plan.message_sym, std::move(plan));
+    }
+
+    // Construct plans: one per output port.
+    for (const spec::PortSpec& port_spec : l.spec().ports()) {
+      if (port_spec.direction != spec::DataDirection::kOutput) continue;
+      const spec::MessageSpec* ms = l.spec().message(port_spec.message);
+      auto plan = std::make_unique<ConstructPlan>();
+      plan->port_spec = &port_spec;
+      plan->message = ms;
+      plan->message_sym = ms->name_sym();
+      plan->interpreter = l.send_interpreter(plan->message_sym);
+      plan->port = l.port(plan->message_sym);
+      plan->time_triggered = port_spec.is_time_triggered();
+      plan->scratch = spec::make_instance(*ms);
+
+      for (std::size_t ei = 0; ei < ms->elements().size(); ++ei) {
+        const spec::ElementSpec& es = ms->elements()[ei];
+        if (!es.convertible) continue;
+        ConstructItem item;
+        item.element = &es;
+        item.element_sym = es.sym();
+        const std::string& repo = l.repo_name(es.name);
+        item.repo_sym = intern_symbol(repo);
+        const auto id = repository_.id_of(item.repo_sym);
+        if (!id)
+          throw SpecError("output element '" + repo +
+                          "' of message '" + ms->name() +
+                          "' did not resolve to a repository slot");
+        item.repo_id = *id;
+        item.is_event = repository_.decl_of(*id).semantics == spec::InfoSemantics::kEvent;
+        if (item.is_event) plan->consumes_events = true;
+        item.instance_element_index = static_cast<std::uint32_t>(ei);
+        for (std::size_t fi = 0; fi < es.fields.size(); ++fi) {
+          const spec::FieldSpec& fs = es.fields[fi];
+          if (fs.is_static()) continue;
+          item.fields.push_back(
+              ConstructFieldBind{static_cast<std::uint32_t>(fi), fs.sym()});
+        }
+        plan->required.push_back(item.repo_id);
+        plan->items.push_back(std::move(item));
+      }
+
+      ConstructPlan* raw = plan.get();
+      l.construct_plans_.push_back(std::move(plan));
+      l.construct_by_message_[raw->message_sym] = raw;
+    }
+  }
 }
 
 void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, Instant now) {
@@ -312,24 +454,25 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
   GatewayLink& link = this->link(side);
   ++stats_.messages_in;
 
-  const spec::MessageSpec* ms = link.spec().message(instance.message());
-  if (ms == nullptr) {
+  const auto plan_it = link.dissect_plans_.find(instance.message_sym());
+  if (plan_it == link.dissect_plans_.end()) {
     ++stats_.blocked_unknown;
     if (suppressed_unknown_ != nullptr) suppressed_unknown_->add();
     DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, instance.message(),
                 "unknown message");
     return;
   }
+  DissectPlan& plan = plan_it->second;
 
   if (config_.temporal_filtering) {
-    ta::Interpreter* interpreter = link.recv_interpreter(instance.message());
+    ta::Interpreter* interpreter = link.recv_interpreter(plan.message_sym);
     if (interpreter != nullptr) {
       maybe_restart(link, now);
       // Run due time-triggered edges (e.g. tmax timeouts) before the
       // arrival so the automaton judges it from the correct location.
       if (!interpreter->in_error() && interpreter->poll(now) > 0 && interpreter->in_error())
         note_error(link, interpreter->spec().name(), now);
-      const ta::FireResult result = interpreter->on_receive(instance.message(), now);
+      const ta::FireResult result = interpreter->on_receive(plan.message_sym, now);
       if (result != ta::FireResult::kFired) {
         ++stats_.blocked_temporal;
         if (suppressed_temporal_ != nullptr) suppressed_temporal_->add();
@@ -343,9 +486,9 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
 
   // Value-domain filtering (Section III-B.1): the filter predicate is
   // evaluated on the interface state -- the instance's field values.
-  if (const ta::ExprPtr* filter = link.spec().filter_for(instance.message()); filter != nullptr) {
-    FilterEnv env{*ms, instance, link.spec(), now};
-    if (!(*filter)->evaluate(env).as_bool()) {
+  if (plan.filter != nullptr) {
+    FilterEnv env{*plan.message, instance, link.spec(), now};
+    if (!(*plan.filter)->evaluate(env).as_bool()) {
       ++stats_.blocked_value;
       if (suppressed_value_ != nullptr) suppressed_value_->add();
       DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, instance.message(),
@@ -355,7 +498,7 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
   }
 
   ++stats_.messages_admitted;
-  dissect_and_store(link, *ms, instance, now);
+  dissect_and_store(link, plan, instance, now);
 
   // Event-driven forwarding: freshly stored elements may enable
   // event-triggered outputs on either side immediately.
@@ -363,92 +506,127 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
   try_outputs(link_b_, now, /*tt_outputs=*/false, /*et_outputs=*/true);
 }
 
-void VirtualGateway::dissect_and_store(GatewayLink& link, const spec::MessageSpec& message_spec,
+void VirtualGateway::dissect_and_store(GatewayLink& link, DissectPlan& plan,
                                        const spec::MessageInstance& instance, Instant now) {
+  (void)link;
   obs::ScopedTimer timer{dissect_ns_};
   std::uint64_t dissect_span = 0;
   if (spans_ != nullptr && spans_->enabled() && instance.trace_id() != 0) {
     dissect_span = spans_->emit(instance.trace_id(), instance.span_id(), obs::Phase::kDissect,
-                                "gw:" + name_, instance.message(), now, now);
+                                track_sym_, plan.message_sym, now, now);
   }
-  for (const spec::ElementSpec* es : message_spec.convertible_elements()) {
-    const spec::ElementValue* ev = instance.element(es->name);
+  for (DissectItem& item : plan.items) {
+    // Selective redirection: elements nothing consumes are dropped here.
+    if (!item.needed && item.rules.empty()) continue;
+    const spec::ElementValue* ev = instance.element(item.element_sym);
     if (ev == nullptr) continue;  // structurally absent; decode would have supplied it
-    ElementInstance repo_instance;
-    repo_instance.observed_at = now;
-    if (dissect_span != 0) {
-      repo_instance.trace_id = instance.trace_id();
-      repo_instance.span_id = dissect_span;
-    }
-    for (std::size_t i = 0; i < es->fields.size() && i < ev->fields.size(); ++i)
-      repo_instance.fields.emplace_back(es->fields[i].name, ev->fields[i]);
-    const std::string& repo = link.repo_name(es->name);
-    if (needed_elements_.count(repo) != 0) {
-      if (repository_.store(repo, repo_instance, now)) {
-        ++stats_.elements_stored;
-      } else {
-        ++stats_.element_overflows;
+
+    ElementInstance& scratch = item.scratch;
+    if (ev->fields.size() < scratch.fields.size()) {
+      // Malformed short instance: store only the supplied fields so a
+      // later construction fails loudly instead of reusing stale values
+      // silently (cold path; may allocate).
+      ElementInstance partial;
+      partial.observed_at = now;
+      if (dissect_span != 0) {
+        partial.trace_id = instance.trace_id();
+        partial.span_id = dissect_span;
       }
+      for (std::size_t i = 0; i < ev->fields.size(); ++i)
+        partial.fields.emplace_back(scratch.fields[i].first, ev->fields[i]);
+      if (item.needed) {
+        if (repository_.store_copy(item.repo_id, partial, now))
+          ++stats_.elements_stored;
+        else
+          ++stats_.element_overflows;
+      }
+      for (RulePlan* rp : item.rules) apply_rule(*rp, partial, now);
+      continue;
     }
-    apply_transfer_rules(repo, repo_instance, now);
+
+    for (std::size_t i = 0; i < scratch.fields.size(); ++i)
+      scratch.fields[i].second = ev->fields[i];  // copy-assign: reuse storage
+    scratch.observed_at = now;
+    scratch.trace_id = dissect_span != 0 ? instance.trace_id() : 0;
+    scratch.span_id = dissect_span;
+    if (item.needed) {
+      if (repository_.store_copy(item.repo_id, scratch, now))
+        ++stats_.elements_stored;
+      else
+        ++stats_.element_overflows;
+    }
+    for (RulePlan* rp : item.rules) apply_rule(*rp, scratch, now);
   }
 }
 
-void VirtualGateway::apply_transfer_rules(const std::string& source_repo_element,
-                                          const ElementInstance& source, Instant now) {
-  const auto [begin, end] = rules_by_source_.equal_range(source_repo_element);
-  for (auto it = begin; it != end; ++it) {
-    const spec::TransferRule& rule = *it->second;
-    // The rule's namespace is the link that declared it; both links'
-    // specs share the parameter lookup, so resolve via the owning link.
-    const GatewayLink& owner =
-        std::any_of(link_a_.spec().transfer_rules().begin(), link_a_.spec().transfer_rules().end(),
-                    [&](const spec::TransferRule& r) { return &r == &rule; })
-            ? link_a_
-            : link_b_;
-    const std::string target_repo = owner.repo_name(rule.target);
+void VirtualGateway::apply_rule(RulePlan& plan, const ElementInstance& source, Instant now) {
+  const spec::TransferRule& rule = *plan.rule;
+  ElementInstance& target = plan.scratch;
 
-    // Start from the current derived state (or the rule's initial values).
-    ElementInstance target;
-    if (const ElementInstance* current = repository_.peek(target_repo); current != nullptr) {
-      target = *current;
-    } else {
-      for (const auto& f : rule.fields) target.set_field(f.name, f.init);
-    }
-    // The conversion is caused by (and as fresh as) the source update.
-    target.observed_at = now;
-    target.trace_id = source.trace_id;
-    target.span_id = source.span_id;
-
-    ConversionEnv env{target, source, owner.spec(), now};
-    for (const auto& f : rule.fields) target.set_field(f.name, f.update->evaluate(env));
-
-    repository_.store(target_repo, std::move(target), now);
-    ++stats_.conversions;
+  // Start from the current derived state (or the rule's initial values).
+  if (const ElementInstance* current = repository_.peek(plan.target_id); current != nullptr) {
+    target = *current;  // copy-assign: reuse the scratch's storage
+  } else {
+    target.fields.clear();
+    for (std::size_t i = 0; i < rule.fields.size(); ++i)
+      target.set_field(plan.field_syms[i], rule.fields[i].init);
   }
+  // The conversion is caused by (and as fresh as) the source update.
+  target.observed_at = now;
+  target.trace_id = source.trace_id;
+  target.span_id = source.span_id;
+
+  ConversionEnv env{target, source, *plan.owner, now};
+  for (std::size_t i = 0; i < rule.fields.size(); ++i)
+    target.set_field(plan.field_syms[i], rule.fields[i].update->evaluate(env));
+
+  repository_.store_copy(plan.target_id, target, now);
+  ++stats_.conversions;
 }
 
-bool VirtualGateway::can_construct(const GatewayLink& link, const std::string& message_name,
-                                   Instant now) const {
-  const spec::MessageSpec* ms = link.spec().message(message_name);
-  if (ms == nullptr) return false;
-  for (const auto& name : required_elements(link, *ms)) {
+bool VirtualGateway::can_construct(const ConstructPlan& plan, Instant now) const {
+  for (const ElementId id : plan.required) {
     if (config_.accuracy_check_at_store) {
       // Ablation: construction does not re-check temporal accuracy.
-      if (repository_.peek(name) == nullptr) return false;
-    } else if (!repository_.available(name, now)) {
+      if (repository_.peek(id) == nullptr) return false;
+    } else if (!repository_.available(id, now)) {
       return false;
     }
   }
   return true;
 }
 
-void VirtualGateway::request_missing(GatewayLink& link, const std::string& message_name,
-                                     Instant now) {
-  const spec::MessageSpec* ms = link.spec().message(message_name);
-  if (ms == nullptr) return;
+bool VirtualGateway::can_construct(const GatewayLink& link, Symbol message, Instant now) const {
+  const auto it = link.construct_by_message_.find(message);
+  if (it != link.construct_by_message_.end()) return can_construct(*it->second, now);
+  // No compiled plan: a hand-written automaton may guard a message that
+  // has no output port. Resolve by name (cold path).
+  const spec::MessageSpec* ms = link.spec().message(symbol_name(message));
+  if (ms == nullptr) return false;
   for (const auto& name : required_elements(link, *ms)) {
-    if (!repository_.available(name, now)) repository_.set_request(name);
+    const auto id = repository_.id_of(name);
+    if (!id) return false;
+    if (config_.accuracy_check_at_store) {
+      if (repository_.peek(*id) == nullptr) return false;
+    } else if (!repository_.available(*id, now)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void VirtualGateway::request_missing(GatewayLink& link, Symbol message, Instant now) {
+  const auto it = link.construct_by_message_.find(message);
+  if (it != link.construct_by_message_.end()) {
+    for (const ElementId id : it->second->required)
+      if (!repository_.available(id, now)) repository_.set_request(id);
+  } else {
+    const spec::MessageSpec* ms = link.spec().message(symbol_name(message));
+    if (ms == nullptr) return;
+    for (const auto& name : required_elements(link, *ms)) {
+      const auto id = repository_.id_of(name);
+      if (id && !repository_.available(*id, now)) repository_.set_request(*id);
+    }
   }
   ++stats_.construction_held;
   // A due emission held back because its elements are missing or stale is
@@ -459,54 +637,41 @@ void VirtualGateway::request_missing(GatewayLink& link, const std::string& messa
 void VirtualGateway::try_outputs(GatewayLink& link, Instant now, bool tt_outputs,
                                  bool et_outputs) {
   now_ = now;
-  for (const spec::PortSpec& port_spec : link.spec().ports()) {
-    if (port_spec.direction != spec::DataDirection::kOutput) continue;
-    if (port_spec.is_time_triggered() && !tt_outputs) continue;
-    if (!port_spec.is_time_triggered() && !et_outputs) continue;
-
-    ta::Interpreter* interpreter = link.send_interpreter(port_spec.message);
-    if (interpreter == nullptr) continue;
-    if (interpreter->in_error()) continue;
-
-    const spec::MessageSpec* ms = link.spec().message(port_spec.message);
-    const auto required = required_elements(link, *ms);
-    bool consumes_events = false;
-    for (const auto& name : required) {
-      if (repository_.decl_of(name).semantics == spec::InfoSemantics::kEvent)
-        consumes_events = true;
-    }
+  for (const auto& plan_ptr : link.construct_plans_) {
+    ConstructPlan& plan = *plan_ptr;
+    if (plan.time_triggered && !tt_outputs) continue;
+    if (!plan.time_triggered && !et_outputs) continue;
+    if (plan.interpreter == nullptr || plan.interpreter->in_error()) continue;
 
     // Event-triggered outputs of state-only messages emit once per fresh
     // repository update; without this gate an always-enabled m! edge
     // would re-send the same image on every dispatch.
-    const auto gate_key = std::make_pair(link.side(), port_spec.message);
     std::uint64_t version_sum = 0;
-    if (!port_spec.is_time_triggered() && !consumes_events) {
-      for (const auto& name : required) version_sum += repository_.version(name);
-      const auto it = last_emitted_version_.find(gate_key);
-      if (it != last_emitted_version_.end() && it->second == version_sum) continue;
+    if (!plan.time_triggered && !plan.consumes_events) {
+      for (const ElementId id : plan.required) version_sum += repository_.version(id);
+      if (version_sum == plan.last_emitted_version_sum) continue;
       if (version_sum == 0) continue;  // nothing produced yet
     }
 
     // Emit as many instances as the automaton allows (event queues may
     // hold several pending instances); state-only messages emit once.
     for (int guard = 0; guard < 64; ++guard) {
-      const ta::FireResult result = interpreter->try_send(port_spec.message, now);
+      const ta::FireResult result = plan.interpreter->try_send(plan.message_sym, now);
       if (result != ta::FireResult::kFired) break;
-      if (!construct_and_emit(link, *ms, now)) break;
-      if (!consumes_events) {
-        if (!port_spec.is_time_triggered()) last_emitted_version_[gate_key] = version_sum;
+      if (!construct_and_emit(link, plan, now)) break;
+      if (!plan.consumes_events) {
+        if (!plan.time_triggered) plan.last_emitted_version_sum = version_sum;
         break;
       }
     }
   }
 }
 
-bool VirtualGateway::construct_and_emit(GatewayLink& link, const spec::MessageSpec& message_spec,
-                                        Instant now) {
+bool VirtualGateway::construct_and_emit(GatewayLink& link, ConstructPlan& plan, Instant now) {
   obs::ScopedTimer timer{construct_ns_};
-  spec::MessageInstance instance = spec::make_instance(message_spec);
+  spec::MessageInstance& instance = plan.scratch;
   instance.set_send_time(now);
+  instance.set_trace(0, 0);
 
   // The constructed message continues the trace of the first traced
   // element it is built from; its span parents under that element's
@@ -514,58 +679,64 @@ bool VirtualGateway::construct_and_emit(GatewayLink& link, const spec::MessageSp
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span = 0;
 
-  for (const spec::ElementSpec* es : message_spec.convertible_elements()) {
-    const std::string& repo = link.repo_name(es->name);
-    auto stored = repository_.fetch(repo, now, /*ignore_accuracy=*/config_.accuracy_check_at_store);
-    if (!stored) {
+  for (const ConstructItem& item : plan.items) {
+    const ElementInstance* stored = nullptr;
+    if (item.is_event) {
+      // Exactly-once consumption regardless of temporal accuracy; the
+      // swap leaves the scratch's old storage in the ring for reuse.
+      if (repository_.consume_into(item.repo_id, plan.event_scratch))
+        stored = &plan.event_scratch;
+    } else {
+      stored = repository_.fetch_state(item.repo_id, now,
+                                       /*ignore_accuracy=*/config_.accuracy_check_at_store);
+    }
+    if (stored == nullptr) {
       ++stats_.construction_failed;
       if (suppressed_construction_ != nullptr) suppressed_construction_->add();
-      DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, message_spec.name(),
-                  "element '" + repo + "' unavailable at construction");
+      DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, plan.message->name(),
+                  "element '" + symbol_name(item.repo_sym) + "' unavailable at construction");
       return false;
     }
     if (staleness_ns_ != nullptr) staleness_ns_->observe((now - stored->observed_at).ns());
     if (spans_ != nullptr && spans_->enabled() && stored->trace_id != 0) {
       const std::uint64_t wait =
-          spans_->emit(stored->trace_id, stored->span_id, obs::Phase::kRepoWait, "gw:" + name_,
-                       repo, stored->observed_at, now);
+          spans_->emit(stored->trace_id, stored->span_id, obs::Phase::kRepoWait, track_sym_,
+                       item.repo_sym, stored->observed_at, now);
       if (trace_id == 0) {
         trace_id = stored->trace_id;
         parent_span = wait;
       }
     }
-    spec::ElementValue* ev = instance.element(es->name);
-    for (std::size_t i = 0; i < es->fields.size(); ++i) {
-      const spec::FieldSpec& fs = es->fields[i];
-      if (fs.is_static()) continue;
-      const ta::Value* v = stored->field(fs.name);
+    spec::ElementValue& ev = instance.elements()[item.instance_element_index];
+    for (const ConstructFieldBind& bind : item.fields) {
+      const ta::Value* v = stored->field(bind.field_sym);
       if (v == nullptr) {
         ++stats_.construction_failed;
         if (suppressed_construction_ != nullptr) suppressed_construction_->add();
-        DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, message_spec.name(),
-                    "field '" + fs.name + "' missing in element '" + repo + "'");
+        DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, plan.message->name(),
+                    "field '" + symbol_name(bind.field_sym) + "' missing in element '" +
+                        symbol_name(item.repo_sym) + "'");
         return false;
       }
-      ev->fields[i] = *v;
+      ev.fields[bind.field_index] = *v;  // copy-assign: reuse storage
     }
   }
 
   ++stats_.messages_constructed;
   if (forwarded_metric_ != nullptr) forwarded_metric_->add();
-  DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayForwarded, message_spec.name(),
+  DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayForwarded, plan.message->name(),
               "side " + std::to_string(link.side()));
   if (trace_id != 0) {
-    const std::uint64_t construct_span =
-        spans_->emit(trace_id, parent_span, obs::Phase::kConstruct, "gw:" + name_,
-                     message_spec.name(), now, now);
+    const std::uint64_t construct_span = spans_->emit(
+        trace_id, parent_span, obs::Phase::kConstruct, track_sym_, plan.message_sym, now, now);
     instance.set_trace(trace_id, construct_span);
   }
 
-  const auto it = link.emitters_.find(message_spec.name());
+  const auto it = link.emitters_.find(plan.message_sym);
   if (it != link.emitters_.end()) {
     it->second(instance);
-  } else if (vn::Port* port = link.port(message_spec.name()); port != nullptr) {
-    port->deposit(std::move(instance), now);
+  } else if (plan.port != nullptr) {
+    plan.port->deposit(instance, now);  // copy-assign into the port's storage
   }
   return true;
 }
@@ -599,23 +770,33 @@ void VirtualGateway::dispatch(Instant now) {
     maybe_restart(*link, now);
 
     // Drain pull-mode input ports.
-    for (const spec::PortSpec& port_spec : link->spec().ports()) {
+    for (const auto& port_ptr : link->ports_) {
+      vn::Port& port = *port_ptr;
+      const spec::PortSpec& port_spec = port.spec();
       if (port_spec.direction != spec::DataDirection::kInput ||
           port_spec.interaction != spec::Interaction::kPull)
         continue;
       if (config_.pull_only_on_request) {
-        const spec::MessageSpec* ms = link->spec().message(port_spec.message);
         bool wanted = false;
-        for (const auto& name : required_elements(*link, *ms))
-          if (repository_.requested(name)) wanted = true;
+        if (const auto sym = SymbolTable::global().lookup(port_spec.message)) {
+          const auto pit = link->dissect_plans_.find(*sym);
+          if (pit != link->dissect_plans_.end())
+            for (const DissectItem& item : pit->second.items)
+              if (item.repo_id != kInvalidElementId && repository_.requested(item.repo_id))
+                wanted = true;
+        }
         if (!wanted) continue;
       }
-      vn::Port* port = link->port(port_spec.message);
-      while (port != nullptr && port->has_data()) {
-        auto instance = port->read();
-        if (!instance) break;
-        on_input(link->side(), *instance, now);
-        if (port->spec().semantics == spec::InfoSemantics::kState) break;  // state: one copy
+      while (port.has_data()) {
+        if (port_spec.semantics == spec::InfoSemantics::kState) {
+          // State: borrow the one current image, no consumption.
+          if (const spec::MessageInstance* m = port.peek()) on_input(link->side(), *m, now);
+          break;
+        }
+        const spec::MessageInstance* m = port.peek();
+        if (m == nullptr) break;
+        port.drop_front();  // consume first; the slot stays intact until the ring wraps
+        on_input(link->side(), *m, now);
       }
     }
 
@@ -663,6 +844,11 @@ std::vector<std::string> VirtualGateway::failed_automata(int side) const {
 
 Duration VirtualGateway::horizon(int side, const std::string& message_name, Instant now) const {
   const GatewayLink& link = side == 0 ? link_a_ : link_b_;
+  if (const auto sym = SymbolTable::global().lookup(message_name)) {
+    const auto it = link.construct_by_message_.find(*sym);
+    if (it != link.construct_by_message_.end())
+      return repository_.horizon(it->second->required, now);
+  }
   const spec::MessageSpec* ms = link.spec().message(message_name);
   if (ms == nullptr)
     throw SpecError("horizon(): unknown message '" + message_name + "' on side " +

@@ -23,12 +23,13 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/gateway_link.hpp"
 #include "core/repository.hpp"
+#include "core/transfer_plan.hpp"
 #include "lint/diagnostic.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -166,18 +167,23 @@ class VirtualGateway {
   class ConversionEnv;
 
   /// Repository names of the convertible elements constituting `message`
-  /// as seen from `side`'s namespace.
+  /// as seen from `side`'s namespace (cold paths: lint, fallbacks).
   std::vector<std::string> required_elements(const GatewayLink& link,
                                              const spec::MessageSpec& message) const;
 
-  void dissect_and_store(GatewayLink& link, const spec::MessageSpec& message_spec,
+  /// finalize() stage 2: resolve every link-spec name (renames, elements,
+  /// fields, rule targets) into compiled dissect/rule/construct plans.
+  /// A name that does not resolve is a SpecError here, not at runtime.
+  void compile_plans();
+
+  void dissect_and_store(GatewayLink& link, DissectPlan& plan,
                          const spec::MessageInstance& instance, Instant now);
-  void apply_transfer_rules(const std::string& source_repo_element,
-                            const ElementInstance& source, Instant now);
-  bool can_construct(const GatewayLink& link, const std::string& message_name, Instant now) const;
-  void request_missing(GatewayLink& link, const std::string& message_name, Instant now);
+  void apply_rule(RulePlan& plan, const ElementInstance& source, Instant now);
+  bool can_construct(const ConstructPlan& plan, Instant now) const;
+  bool can_construct(const GatewayLink& link, Symbol message, Instant now) const;
+  void request_missing(GatewayLink& link, Symbol message, Instant now);
   void try_outputs(GatewayLink& link, Instant now, bool tt_outputs, bool et_outputs);
-  bool construct_and_emit(GatewayLink& link, const spec::MessageSpec& message_spec, Instant now);
+  bool construct_and_emit(GatewayLink& link, ConstructPlan& plan, Instant now);
   void note_error(GatewayLink& link, const std::string& message_name, Instant now);
   void maybe_restart(GatewayLink& link, Instant now);
   void start_tick(sim::Simulator& simulator);
@@ -190,14 +196,12 @@ class VirtualGateway {
   GatewayStats stats_;
   sim::TraceRecorder trace_;
   std::map<std::string, ElementDecl> element_overrides_;
-  // Transfer rules from both links indexed by source repository element.
-  std::multimap<std::string, const spec::TransferRule*> rules_by_source_;
-  // Selective redirection: only elements some output message (or nothing
-  // -- then dropped) actually needs are stored in the repository.
-  std::set<std::string> needed_elements_;
-  // Freshness gate for event-triggered outputs of state-only messages:
-  // (side, message) -> repository version sum at the last emission.
-  std::map<std::pair<int, std::string>, std::uint64_t> last_emitted_version_;
+  // Compiled transfer-rule plans, owned here and bound by pointer into
+  // the dissect items of every message carrying the rule's source
+  // element (the source need not be a declared repository slot).
+  std::unordered_map<Symbol, std::vector<std::unique_ptr<RulePlan>>, SymbolHash> rule_plans_;
+  // Interned span-track label "gw:<name>" (hot-path span emission).
+  Symbol track_sym_;
   // Current operation instant, visible to the interpreter hooks (the
   // gateway is single-threaded on the simulation loop).
   Instant now_;

@@ -630,6 +630,46 @@ void check_horizons(const GatewayModel& model, Report& report) {
 }
 
 // ---------------------------------------------------------------------------
+// DL007 -- dead convertible elements
+// ---------------------------------------------------------------------------
+
+// Mirrors VirtualGateway::compile_plans(): a convertible element whose
+// repository name is neither required by an output message nor consumed
+// as a transfer-rule source is never bound by any compiled transfer
+// plan -- dissection discards every arriving instance of it.
+void check_dead_elements(const GatewayModel& model, Report& report) {
+  const std::set<std::string> needed = output_required_elements(model);
+  std::set<std::string> rule_sources;
+  for (int side = 0; side < 2; ++side) {
+    const spec::LinkSpec* link = model.links[side];
+    if (link == nullptr) continue;
+    for (const auto& rule : link->transfer_rules())
+      rule_sources.insert(model.repo_name(side, rule.source));
+  }
+  for (int side = 0; side < 2; ++side) {
+    const spec::LinkSpec* link = model.links[side];
+    if (link == nullptr) continue;
+    for (const auto& ms : link->messages()) {
+      const spec::PortSpec* port = link->port_for(ms.name());
+      if (port != nullptr && port->direction == spec::DataDirection::kOutput)
+        continue;  // output elements are consumed by definition
+      for (const auto* e : ms.convertible_elements()) {
+        const std::string& repo = model.repo_name(side, e->name);
+        if (needed.count(repo) != 0 || rule_sources.count(repo) != 0) continue;
+        report.add(kRuleDeadElement, Severity::kWarning,
+                   side_loc(model, side) + ": message '" + ms.name() + "', element '" +
+                       e->name + "'",
+                   "convertible element '" + repo + "' is never bound by any transfer plan: "
+                   "no output message is constructed from it and no transfer rule consumes "
+                   "it, so dissection discards every instance",
+                   "drop the convertible flag, add the element to an outgoing message, or "
+                   "derive another element from it with a conversion rule");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // DL006 -- port sanity
 // ---------------------------------------------------------------------------
 
@@ -808,6 +848,7 @@ Report lint_gateway(const GatewayModel& model) {
   check_horizons(model, report);
   check_ports(model, /*standalone=*/false, report);
   check_bandwidth(model, report);
+  check_dead_elements(model, report);
   return report;
 }
 

@@ -28,6 +28,10 @@
 //   DL006  port sanity: period/round and period/dispatch divisibility,
 //          event-queue capacity vs the E5 sizing rule, interarrival
 //          bounds
+//   DL007  dead convertible elements: elements flagged convertible that
+//          no compiled transfer plan ever binds (no output message is
+//          constructed from them, no transfer rule consumes them) --
+//          dissection silently discards every instance
 #pragma once
 
 #include <array>
@@ -49,6 +53,7 @@ inline constexpr char kRuleSchedule[] = "DL003";
 inline constexpr char kRuleAutomaton[] = "DL004";
 inline constexpr char kRuleHorizon[] = "DL005";
 inline constexpr char kRulePorts[] = "DL006";
+inline constexpr char kRuleDeadElement[] = "DL007";
 
 /// Repository meta data of one convertible element as deployed
 /// (mirrors core::ElementDecl without depending on core/).

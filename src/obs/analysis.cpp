@@ -110,8 +110,8 @@ Breakdown phase_breakdown(const std::vector<Span>& spans) {
     }
 
     const Span* last = deliver != nullptr ? deliver : chain.back();
-    std::string key = root->name;
-    if (last->name != root->name) key += "->" + last->name;
+    std::string key = symbol_name(root->name);
+    if (last->name != root->name) key += "->" + symbol_name(last->name);
 
     FlowStats& flow = breakdown[key];
     ++flow.traces;

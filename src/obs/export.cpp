@@ -63,8 +63,8 @@ void DumpWriter::add_spans(const TraceCollector& collector) {
     o.emplace_back("span", s.span_id);
     o.emplace_back("parent", s.parent_id);
     o.emplace_back("phase", phase_name(s.phase));
-    o.emplace_back("track", s.track);
-    o.emplace_back("name", s.name);
+    o.emplace_back("track", symbol_name(s.track));
+    o.emplace_back("name", symbol_name(s.name));
     o.emplace_back("start_ns", s.start.ns());
     o.emplace_back("end_ns", s.end.ns());
     o.emplace_back("value", s.value);
@@ -147,8 +147,8 @@ Result<Dump> load_jsonl(std::istream& in) {
         return Result<Dump>::failure("line " + std::to_string(line_no) + ": " +
                                      phase.error().message);
       s.phase = phase.value();
-      s.track = v.get_string("track");
-      s.name = v.get_string("name");
+      s.track = intern_symbol(v.get_string("track"));
+      s.name = intern_symbol(v.get_string("name"));
       s.start = Instant::from_ns(v.get_int("start_ns"));
       s.end = Instant::from_ns(v.get_int("end_ns"));
       s.value = v.get_int("value");
@@ -261,7 +261,7 @@ void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans,
                         const std::vector<std::pair<std::string, TraceRecord>>& records) {
   // Track (thread) ids: sorted unique track names for determinism.
   std::map<std::string, int> tracks;
-  for (const Span& s : spans) tracks.emplace(s.track, 0);
+  for (const Span& s : spans) tracks.emplace(symbol_name(s.track), 0);
   for (const auto& [source, r] : records) tracks.emplace(source, 0);
   int next_tid = 1;
   for (auto& [name, tid] : tracks) tid = next_tid++;
@@ -296,9 +296,10 @@ void write_chrome_trace(std::ostream& out, const std::vector<Span>& spans,
   });
   for (const Span* s : ordered) {
     sep();
-    out << R"({"ph":"X","pid":1,"tid":)" << tracks[s->track] << ",\"ts\":" << us(s->start)
+    out << R"({"ph":"X","pid":1,"tid":)" << tracks[symbol_name(s->track)] << ",\"ts\":"
+        << us(s->start)
         << ",\"dur\":" << us(Instant::origin() + (s->end - s->start)) << ",\"name\":"
-        << json::escape(std::string{phase_name(s->phase)} + " " + s->name)
+        << json::escape(std::string{phase_name(s->phase)} + " " + symbol_name(s->name))
         << ",\"cat\":" << json::escape(phase_name(s->phase)) << ",\"args\":{\"trace\":"
         << s->trace_id << ",\"span\":" << s->span_id << ",\"parent\":" << s->parent_id
         << ",\"value\":" << s->value << "}}";

@@ -25,12 +25,11 @@ void TraceCollector::set_capacity(std::size_t capacity) {
 }
 
 std::uint64_t TraceCollector::emit(std::uint64_t trace_id, std::uint64_t parent_id, Phase phase,
-                                   std::string track, std::string name, Instant start,
-                                   Instant end, std::int64_t value) {
+                                   Symbol track, Symbol name, Instant start, Instant end,
+                                   std::int64_t value) {
   if (!enabled_) return 0;
   const std::uint64_t span_id = next_span_++;
-  spans_.push_back(Span{trace_id, span_id, parent_id, phase, std::move(track), std::move(name),
-                        start, end, value});
+  spans_.push_back(Span{trace_id, span_id, parent_id, phase, track, name, start, end, value});
   if (capacity_ != 0 && spans_.size() > capacity_) {
     spans_.pop_front();
     ++dropped_;

@@ -22,8 +22,10 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/symbol.hpp"
 #include "util/time.hpp"
 
 namespace decos::obs {
@@ -47,8 +49,13 @@ struct Span {
   std::uint64_t span_id = 0;    // unique per span, monotone
   std::uint64_t parent_id = 0;  // 0 = root
   Phase phase = Phase::kSend;
-  std::string track;  // emitting entity: "node2", "vn-a", "gw:e6", ...
-  std::string name;   // message name (or element name for kRepoWait)
+  // Emitting entity ("node2", "vn-a", "gw:e6") and message/element name,
+  // as interned Symbols: emission on the forwarding hot path records two
+  // u32s; spellings are resolved through the global table only at
+  // export/analysis time. Compare against plain strings via the Symbol
+  // string equality helpers (span.track == "node2").
+  Symbol track;
+  Symbol name;
   Instant start;
   Instant end;
   std::int64_t value = 0;  // phase-specific payload (bytes, ...)
@@ -74,9 +81,17 @@ class TraceCollector {
   std::uint64_t new_trace() { return next_trace_++; }
 
   /// Record a complete span; returns its span id (0 when disabled).
+  /// The Symbol form is the hot path (no string handling at all); the
+  /// string form interns and forwards (call sites that format labels).
+  std::uint64_t emit(std::uint64_t trace_id, std::uint64_t parent_id, Phase phase, Symbol track,
+                     Symbol name, Instant start, Instant end, std::int64_t value = 0);
   std::uint64_t emit(std::uint64_t trace_id, std::uint64_t parent_id, Phase phase,
-                     std::string track, std::string name, Instant start, Instant end,
-                     std::int64_t value = 0);
+                     std::string_view track, std::string_view name, Instant start, Instant end,
+                     std::int64_t value = 0) {
+    if (!enabled_) return 0;  // do not intern labels nobody records
+    return emit(trace_id, parent_id, phase, intern_symbol(track), intern_symbol(name), start, end,
+                value);
+  }
 
   /// Retained spans, oldest first.
   const std::deque<Span>& spans() const { return spans_; }

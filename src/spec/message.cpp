@@ -87,32 +87,48 @@ Status encode_field(std::vector<std::byte>& out, const FieldSpec& f, const ta::V
   }
 }
 
-ta::Value decode_field(std::span<const std::byte> in, std::size_t offset, const FieldSpec& f) {
+/// Overwrite `out` with the field at `offset`. String fields append into
+/// the value's existing string storage (capacity reuse); everything else
+/// is a scalar assignment. The allocation-free core of decode_into().
+void decode_field_into(ta::Value& out, std::span<const std::byte> in, std::size_t offset,
+                       const FieldSpec& f) {
   switch (f.type) {
     case FieldType::kBoolean:
-      return ta::Value{get_uint(in, offset, 1) != 0};
+      out = ta::Value{get_uint(in, offset, 1) != 0};
+      return;
     case FieldType::kFloat32:
-      return ta::Value{static_cast<double>(
+      out = ta::Value{static_cast<double>(
           std::bit_cast<float>(static_cast<std::uint32_t>(get_uint(in, offset, 4))))};
+      return;
     case FieldType::kFloat64:
-      return ta::Value{std::bit_cast<double>(get_uint(in, offset, 8))};
+      out = ta::Value{std::bit_cast<double>(get_uint(in, offset, 8))};
+      return;
     case FieldType::kString: {
-      std::string s;
+      std::string& s = out.mutable_string();
+      s.clear();
       for (std::size_t i = 0; i < f.string_length; ++i) {
         const char c = static_cast<char>(in[offset + i]);
         if (c == '\0') break;
         s.push_back(c);
       }
-      return ta::Value{std::move(s)};
+      return;
     }
     case FieldType::kUInt8:
     case FieldType::kUInt16:
     case FieldType::kUInt32:
     case FieldType::kUInt64:
-      return ta::Value{static_cast<std::int64_t>(get_uint(in, offset, f.wire_size()))};
+      out = ta::Value{static_cast<std::int64_t>(get_uint(in, offset, f.wire_size()))};
+      return;
     default:
-      return ta::Value{sign_extend(get_uint(in, offset, f.wire_size()), f.wire_size())};
+      out = ta::Value{sign_extend(get_uint(in, offset, f.wire_size()), f.wire_size())};
+      return;
   }
+}
+
+ta::Value decode_field(std::span<const std::byte> in, std::size_t offset, const FieldSpec& f) {
+  ta::Value v;
+  decode_field_into(v, in, offset, f);
+  return v;
 }
 
 }  // namespace
@@ -136,6 +152,18 @@ ElementValue* MessageInstance::element(const std::string& element_name) {
   return nullptr;
 }
 
+const ElementValue* MessageInstance::element(Symbol element_sym) const {
+  for (const auto& e : elements_)
+    if (e.element_sym == element_sym) return &e;
+  return nullptr;
+}
+
+ElementValue* MessageInstance::element(Symbol element_sym) {
+  for (auto& e : elements_)
+    if (e.element_sym == element_sym) return &e;
+  return nullptr;
+}
+
 const ta::Value& MessageInstance::field(const std::string& element_name,
                                         const std::string& field_name,
                                         const MessageSpec& spec) const {
@@ -156,6 +184,7 @@ MessageInstance make_instance(const MessageSpec& spec) {
   for (const auto& es : spec.elements()) {
     ElementValue ev;
     ev.element = es.name;
+    ev.element_sym = intern_symbol(es.name);
     for (const auto& fs : es.fields) {
       if (fs.static_value) {
         ev.fields.push_back(*fs.static_value);
@@ -175,47 +204,78 @@ MessageInstance make_instance(const MessageSpec& spec) {
 }
 
 Result<std::vector<std::byte>> encode(const MessageSpec& spec, const MessageInstance& instance) {
-  if (instance.message() != spec.name())
-    return Result<std::vector<std::byte>>::failure("instance of '" + instance.message() +
-                                                   "' encoded against spec '" + spec.name() + "'");
   std::vector<std::byte> out;
+  if (auto st = encode_into(spec, instance, out); !st.ok()) return st.error();
+  return out;
+}
+
+Status encode_into(const MessageSpec& spec, const MessageInstance& instance,
+                   std::vector<std::byte>& out) {
+  if (instance.message() != spec.name())
+    return Status::failure("instance of '" + instance.message() + "' encoded against spec '" +
+                           spec.name() + "'");
+  out.clear();
   out.reserve(spec.wire_size());
   if (instance.elements().size() != spec.elements().size())
-    return Result<std::vector<std::byte>>::failure(
-        "instance of '" + spec.name() + "' has " + std::to_string(instance.elements().size()) +
-        " elements, spec has " + std::to_string(spec.elements().size()));
+    return Status::failure("instance of '" + spec.name() + "' has " +
+                           std::to_string(instance.elements().size()) + " elements, spec has " +
+                           std::to_string(spec.elements().size()));
   for (std::size_t ei = 0; ei < spec.elements().size(); ++ei) {
     const ElementSpec& es = spec.elements()[ei];
     const ElementValue& ev = instance.elements()[ei];
     if (ev.element != es.name)
-      return Result<std::vector<std::byte>>::failure("element order mismatch: expected '" +
-                                                     es.name + "', got '" + ev.element + "'");
+      return Status::failure("element order mismatch: expected '" + es.name + "', got '" +
+                             ev.element + "'");
     if (ev.fields.size() != es.fields.size())
-      return Result<std::vector<std::byte>>::failure("element '" + es.name + "' field count mismatch");
+      return Status::failure("element '" + es.name + "' field count mismatch");
     for (std::size_t fi = 0; fi < es.fields.size(); ++fi) {
-      if (auto st = encode_field(out, es.fields[fi], ev.fields[fi]); !st.ok()) return st.error();
+      if (auto st = encode_field(out, es.fields[fi], ev.fields[fi]); !st.ok()) return st;
     }
   }
-  return out;
+  return Status::success();
 }
 
 Result<MessageInstance> decode(const MessageSpec& spec, std::span<const std::byte> payload) {
-  if (payload.size() != spec.wire_size())
-    return Result<MessageInstance>::failure("payload size " + std::to_string(payload.size()) +
-                                            " does not match spec '" + spec.name() + "' (" +
-                                            std::to_string(spec.wire_size()) + " bytes)");
-  MessageInstance inst{spec.name()};
-  std::size_t offset = 0;
-  for (const auto& es : spec.elements()) {
-    ElementValue ev;
-    ev.element = es.name;
-    for (const auto& fs : es.fields) {
-      ev.fields.push_back(decode_field(payload, offset, fs));
-      offset += fs.wire_size();
-    }
-    inst.add_element(std::move(ev));
-  }
+  MessageInstance inst;
+  if (auto st = decode_into(spec, payload, inst); !st.ok()) return st.error();
   return inst;
+}
+
+Status decode_into(const MessageSpec& spec, std::span<const std::byte> payload,
+                   MessageInstance& scratch) {
+  if (payload.size() != spec.wire_size())
+    return Status::failure("payload size " + std::to_string(payload.size()) +
+                           " does not match spec '" + spec.name() + "' (" +
+                           std::to_string(spec.wire_size()) + " bytes)");
+  // (Re)build the element skeleton only when the scratch instance is not
+  // already shaped for this spec; in the steady state the structure
+  // matches and only values are overwritten.
+  const bool structured = scratch.message_sym().valid() &&
+                          scratch.message_sym() == spec.name_sym() &&
+                          scratch.elements().size() == spec.elements().size();
+  if (!structured) {
+    scratch.set_message(spec.name());
+    scratch.elements().clear();
+    for (const auto& es : spec.elements()) {
+      ElementValue ev;
+      ev.element = es.name;
+      ev.element_sym = intern_symbol(es.name);
+      ev.fields.resize(es.fields.size());
+      scratch.add_element(std::move(ev));
+    }
+  }
+  std::size_t offset = 0;
+  for (std::size_t ei = 0; ei < spec.elements().size(); ++ei) {
+    const ElementSpec& es = spec.elements()[ei];
+    ElementValue& ev = scratch.elements()[ei];
+    if (ev.fields.size() != es.fields.size()) ev.fields.resize(es.fields.size());
+    for (std::size_t fi = 0; fi < es.fields.size(); ++fi) {
+      decode_field_into(ev.fields[fi], payload, offset, es.fields[fi]);
+      offset += es.fields[fi].wire_size();
+    }
+  }
+  scratch.set_trace(0, 0);
+  return Status::success();
 }
 
 bool matches_key(const MessageSpec& spec, std::span<const std::byte> payload) {

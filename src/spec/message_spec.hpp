@@ -15,6 +15,7 @@
 
 #include "ta/value.hpp"
 #include "util/result.hpp"
+#include "util/symbol.hpp"
 
 namespace decos::spec {
 
@@ -52,30 +53,49 @@ struct FieldSpec {
   FieldType type = FieldType::kInt32;
   std::size_t string_length = 0;          // for kString: bytes on the wire
   std::optional<ta::Value> static_value;  // static fields are time-invariant
+  mutable Symbol name_sym{};              // interned lazily via sym()
 
   bool is_static() const { return static_value.has_value(); }
   std::size_t wire_size() const { return field_wire_size(type, string_length); }
+
+  /// Interned field name (interns on first call).
+  Symbol sym() const {
+    if (!name_sym.valid()) name_sym = intern_symbol(name);
+    return name_sym;
+  }
 };
 
 /// One element of a message.
 struct ElementSpec {
   std::string name;
+  mutable Symbol name_sym{};  // interned lazily via sym(); cold-path cache
   bool key = false;          // part of the message name
   bool convertible = false;  // subject to selective redirection
   std::vector<FieldSpec> fields;
 
   const FieldSpec* field(const std::string& field_name) const;
   std::size_t wire_size() const;
+
+  /// Interned element name (interns on first call).
+  Symbol sym() const {
+    if (!name_sym.valid()) name_sym = intern_symbol(name);
+    return name_sym;
+  }
 };
 
 /// Syntactic description of one message on a virtual network.
 class MessageSpec {
  public:
   MessageSpec() = default;
-  explicit MessageSpec(std::string name) : name_{std::move(name)} {}
+  explicit MessageSpec(std::string name)
+      : name_{std::move(name)}, name_sym_{intern_symbol(name_)} {}
 
   const std::string& name() const { return name_; }
-  void set_name(std::string name) { name_ = std::move(name); }
+  Symbol name_sym() const { return name_sym_; }
+  void set_name(std::string name) {
+    name_ = std::move(name);
+    name_sym_ = intern_symbol(name_);
+  }
 
   void add_element(ElementSpec element) { elements_.push_back(std::move(element)); }
   const std::vector<ElementSpec>& elements() const { return elements_; }
@@ -93,6 +113,7 @@ class MessageSpec {
 
  private:
   std::string name_;
+  Symbol name_sym_{};
   std::vector<ElementSpec> elements_;
 };
 

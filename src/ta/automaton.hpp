@@ -15,6 +15,7 @@
 
 #include "ta/expr.hpp"
 #include "util/result.hpp"
+#include "util/symbol.hpp"
 
 namespace decos::ta {
 
@@ -33,6 +34,13 @@ struct Edge {
   std::string message;        // for kSend / kReceive
   ExprPtr guard;              // nullptr == always enabled
   std::vector<Assignment> assignments;
+
+  // Interned forms, filled by AutomatonSpec::add_edge. The interpreter
+  // matches edges and tracks locations exclusively by these ids; the
+  // strings above remain the authoring/diagnostic surface.
+  Symbol source_sym{};
+  Symbol target_sym{};
+  Symbol message_sym{};
 
   std::string label() const;
 };
@@ -59,7 +67,12 @@ class AutomatonSpec {
     variables_.emplace_back(name, std::move(initial));
   }
 
-  void add_edge(Edge edge) { edges_.push_back(std::move(edge)); }
+  void add_edge(Edge edge) {
+    edge.source_sym = intern_symbol(edge.source);
+    edge.target_sym = intern_symbol(edge.target);
+    edge.message_sym = intern_symbol(edge.message);
+    edges_.push_back(std::move(edge));
+  }
 
   const std::vector<std::string>& locations() const { return locations_; }
   const std::string& initial() const { return initial_; }
@@ -69,6 +82,10 @@ class AutomatonSpec {
   const std::vector<Edge>& edges() const { return edges_; }
 
   bool has_location(const std::string& location) const;
+
+  /// Interned initial/error locations (invalid Symbol when unset).
+  Symbol initial_sym() const { return intern_symbol(initial_); }
+  Symbol error_sym() const { return intern_symbol(error_); }
 
   /// Structural validation: initial/error locations exist, every edge
   /// endpoint exists, send/receive edges name a message.

@@ -28,15 +28,16 @@ class Literal final : public Expr {
 
 class Identifier final : public Expr {
  public:
-  explicit Identifier(std::string name) : name_{std::move(name)} {}
+  explicit Identifier(std::string name) : name_{std::move(name)}, sym_{intern_symbol(name_)} {}
   Kind kind() const override { return Kind::kIdentifier; }
-  Value evaluate(Environment& env) const override { return env.get(name_); }
+  Value evaluate(Environment& env) const override { return env.get(sym_, name_); }
   std::string to_string() const override { return name_; }
   Result<StaticType> infer_type(const TypeEnv& env) const override { return env.type_of(name_); }
   void collect_identifiers(std::vector<std::string>& out) const override { out.push_back(name_); }
 
  private:
   std::string name_;
+  Symbol sym_;  // interned once at parse time: evaluation is id-keyed
 };
 
 class Unary final : public Expr {
@@ -382,6 +383,7 @@ class ExprParser {
       if (cur_.type != Token::Type::kIdent) return fail("expected assignment target");
       Assignment a;
       a.target = cur_.text;
+      a.target_sym = intern_symbol(a.target);
       if (auto st = advance(); !st.ok()) return st.error();
       if (!is_op(":=") && !is_op("=")) return fail("expected ':=' in assignment");
       if (auto st = advance(); !st.ok()) return st.error();

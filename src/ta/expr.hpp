@@ -25,12 +25,17 @@
 
 #include "ta/value.hpp"
 #include "util/result.hpp"
+#include "util/symbol.hpp"
 
 namespace decos::ta {
 
 /// Name-resolution and function-call interface an expression evaluates
 /// against. The timed-automaton interpreter implements this over its
 /// clock/state variables and delegates `horizon`/`requ` to the gateway.
+///
+/// Identifiers are interned at parse time; the Symbol overloads are the
+/// hot path (integer-keyed resolution) and default to the string
+/// versions so simple environments only implement those.
 class Environment {
  public:
   virtual ~Environment() = default;
@@ -40,6 +45,17 @@ class Environment {
   virtual void set(const std::string& name, const Value& value) = 0;
   /// Invoke function `name` (e.g. horizon, requ, min, max, abs).
   virtual Value call(const std::string& name, const std::vector<Value>& args) = 0;
+
+  /// Symbol-keyed fast paths used by evaluate(); `sym` is the interned
+  /// form of `name`.
+  virtual Value get(Symbol sym, const std::string& name) const {
+    (void)sym;
+    return get(name);
+  }
+  virtual void set(Symbol sym, const std::string& name, const Value& value) {
+    (void)sym;
+    set(name, value);
+  }
 };
 
 /// Static type lattice of the expression language. `kAny` is the top
@@ -93,8 +109,14 @@ using ExprPtr = std::shared_ptr<const Expr>;
 struct Assignment {
   std::string target;
   ExprPtr value;
+  /// Interned form of `target`; filled by the parser, lazily re-derived
+  /// for hand-built assignments.
+  mutable Symbol target_sym{};
 
-  void apply(Environment& env) const { env.set(target, value->evaluate(env)); }
+  void apply(Environment& env) const {
+    if (!target_sym.valid()) target_sym = intern_symbol(target);
+    env.set(target_sym, target, value->evaluate(env));
+  }
   std::string to_string() const;
 };
 

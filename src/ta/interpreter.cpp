@@ -6,6 +6,21 @@
 
 namespace decos::ta {
 
+namespace {
+
+// Interned once per process; guard/assignment identifiers resolve against
+// these before hitting the clock/variable maps.
+Symbol t_now_sym() {
+  static const Symbol s = intern_symbol("t_now");
+  return s;
+}
+Symbol tnow_sym() {
+  static const Symbol s = intern_symbol("tnow");
+  return s;
+}
+
+}  // namespace
+
 /// Environment adaptor: resolves identifiers against the interpreter's
 /// clocks and variables, then the hooks; provides min/max/abs builtins and
 /// delegates other calls (horizon, requ) to the gateway.
@@ -13,12 +28,12 @@ class Interpreter::Env final : public Environment {
  public:
   Env(Interpreter& interp, Instant now) : interp_{interp}, now_{now} {}
 
-  Value get(const std::string& name) const override {
-    if (name == "t_now" || name == "tnow") return Value{now_};
-    if (const auto it = interp_.clocks_.find(name); it != interp_.clocks_.end()) {
+  Value get(Symbol sym, const std::string& name) const override {
+    if (sym == t_now_sym() || sym == tnow_sym()) return Value{now_};
+    if (const auto it = interp_.clocks_.find(sym); it != interp_.clocks_.end()) {
       return Value{it->second.base + (now_ - it->second.set_at)};
     }
-    if (const auto it = interp_.variables_.find(name); it != interp_.variables_.end()) {
+    if (const auto it = interp_.variables_.find(sym); it != interp_.variables_.end()) {
       return it->second;
     }
     if (interp_.hooks_.resolve) return interp_.hooks_.resolve(name);
@@ -26,14 +41,21 @@ class Interpreter::Env final : public Environment {
                     interp_.spec_->name() + "'");
   }
 
-  void set(const std::string& name, const Value& value) override {
-    if (const auto it = interp_.clocks_.find(name); it != interp_.clocks_.end()) {
+  void set(Symbol sym, const std::string& name, const Value& value) override {
+    (void)name;
+    if (const auto it = interp_.clocks_.find(sym); it != interp_.clocks_.end()) {
       it->second.base = value.as_duration();
       it->second.set_at = now_;
       return;
     }
     // Assignments may introduce new state variables on first use.
-    interp_.variables_[name] = value;
+    interp_.variables_[sym] = value;
+  }
+
+  Value get(const std::string& name) const override { return get(intern_symbol(name), name); }
+
+  void set(const std::string& name, const Value& value) override {
+    set(intern_symbol(name), name, value);
   }
 
   Value call(const std::string& fn, const std::vector<Value>& args) override {
@@ -57,17 +79,17 @@ class Interpreter::Env final : public Environment {
 };
 
 Interpreter::Interpreter(const AutomatonSpec& spec, InterpreterHooks hooks)
-    : spec_{&spec}, hooks_{std::move(hooks)} {
+    : spec_{&spec}, hooks_{std::move(hooks)}, error_{spec.error_sym()} {
   spec.validate().check();
   restart(Instant::origin());
 }
 
 void Interpreter::restart(Instant now) {
-  location_ = spec_->initial();
+  location_ = spec_->initial_sym();
   clocks_.clear();
-  for (const auto& c : spec_->clocks()) clocks_[c] = ClockState{Duration::zero(), now};
+  for (const auto& c : spec_->clocks()) clocks_[intern_symbol(c)] = ClockState{Duration::zero(), now};
   variables_.clear();
-  for (const auto& [name, initial] : spec_->variables()) variables_[name] = initial;
+  for (const auto& [name, initial] : spec_->variables()) variables_[intern_symbol(name)] = initial;
 }
 
 bool Interpreter::guard_holds(const Edge& edge, Instant now) {
@@ -79,28 +101,27 @@ bool Interpreter::guard_holds(const Edge& edge, Instant now) {
 void Interpreter::take_edge(const Edge& edge, Instant now) {
   Env env{*this, now};
   for (const auto& a : edge.assignments) a.apply(env);
-  location_ = edge.target;
+  location_ = edge.target_sym;
   ++transitions_;
 }
 
-const Edge* Interpreter::unique_enabled(ActionKind action, const std::string& message,
-                                        Instant now) {
+const Edge* Interpreter::unique_enabled(ActionKind action, Symbol message, Instant now) {
   const Edge* found = nullptr;
   for (const auto& e : spec_->edges()) {
-    if (e.source != location_ || e.action != action) continue;
-    if (action != ActionKind::kInternal && e.message != message) continue;
+    if (e.source_sym != location_ || e.action != action) continue;
+    if (action != ActionKind::kInternal && e.message_sym != message) continue;
     if (!guard_holds(e, now)) continue;
     if (found != nullptr) {
       throw SpecError("automaton '" + spec_->name() + "' is nondeterministic at location '" +
-                      location_ + "': edges '" + found->label() + "' and '" + e.label() +
-                      "' both enabled");
+                      symbol_name(location_) + "': edges '" + found->label() + "' and '" +
+                      e.label() + "' both enabled");
     }
     found = &e;
   }
   return found;
 }
 
-FireResult Interpreter::on_receive(const std::string& message, Instant now) {
+FireResult Interpreter::on_receive(Symbol message, Instant now) {
   if (in_error()) return FireResult::kError;
   const Edge* edge = unique_enabled(ActionKind::kReceive, message, now);
   if (edge == nullptr) {
@@ -112,13 +133,13 @@ FireResult Interpreter::on_receive(const std::string& message, Instant now) {
     // is simply not its business.
     bool message_known = false;
     for (const auto& e : spec_->edges()) {
-      if (e.action == ActionKind::kReceive && e.message == message) {
+      if (e.action == ActionKind::kReceive && e.message_sym == message) {
         message_known = true;
         break;
       }
     }
-    if (message_known && !spec_->error().empty()) {
-      location_ = spec_->error();
+    if (message_known && error_.valid()) {
+      location_ = error_;
       ++transitions_;
       return FireResult::kError;
     }
@@ -128,7 +149,7 @@ FireResult Interpreter::on_receive(const std::string& message, Instant now) {
   return in_error() ? FireResult::kError : FireResult::kFired;
 }
 
-FireResult Interpreter::try_send(const std::string& message, Instant now) {
+FireResult Interpreter::try_send(Symbol message, Instant now) {
   if (in_error()) return FireResult::kError;
   const Edge* edge = unique_enabled(ActionKind::kSend, message, now);
   if (edge == nullptr) return FireResult::kNotEnabled;
@@ -147,7 +168,7 @@ int Interpreter::poll(Instant now) {
   constexpr int kMaxChain = 16;  // bound on internal-edge chains per poll
   while (taken < kMaxChain) {
     if (in_error()) break;
-    const Edge* edge = unique_enabled(ActionKind::kInternal, std::string{}, now);
+    const Edge* edge = unique_enabled(ActionKind::kInternal, Symbol{}, now);
     if (edge == nullptr) break;
     take_edge(*edge, now);
     ++taken;

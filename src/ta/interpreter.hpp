@@ -11,6 +11,11 @@
 //  * resolve/invoke  -- external identifiers (link parameters) and the
 //                       horizon()/requ() functions evaluated on the
 //                       gateway repository.
+//
+// All steady-state work is Symbol-keyed: port-interaction labels (m!/m?)
+// are matched by interned id, locations are tracked as Symbols, and
+// clock/variable resolution hashes a u32 instead of a string. The
+// string-taking entry points intern and forward (compat/diagnostics).
 #pragma once
 
 #include <functional>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "ta/automaton.hpp"
+#include "util/symbol.hpp"
 #include "util/time.hpp"
 
 namespace decos::ta {
@@ -32,10 +38,10 @@ enum class FireResult {
 
 /// External hooks wired in by the owning gateway link. All optional; a
 /// defaulted hook behaves permissively (can_send = true, unknown
-/// identifier = SpecError).
+/// identifier = SpecError). Message identities arrive pre-interned.
 struct InterpreterHooks {
-  std::function<bool(const std::string& message)> can_send;
-  std::function<void(const std::string& message)> request_missing;
+  std::function<bool(Symbol message)> can_send;
+  std::function<void(Symbol message)> request_missing;
   std::function<Value(const std::string& name)> resolve;  // external identifiers
   std::function<Value(const std::string& fn, const std::vector<Value>& args)> invoke;
 };
@@ -45,8 +51,9 @@ class Interpreter {
  public:
   Interpreter(const AutomatonSpec& spec, InterpreterHooks hooks = {});
 
-  const std::string& location() const { return location_; }
-  bool in_error() const { return !spec_->error().empty() && location_ == spec_->error(); }
+  const std::string& location() const { return symbol_name(location_); }
+  Symbol location_sym() const { return location_; }
+  bool in_error() const { return error_.valid() && location_ == error_; }
   const AutomatonSpec& spec() const { return *spec_; }
 
   /// Reset to the initial location, zero all clocks, restore variable
@@ -58,13 +65,19 @@ class Interpreter {
   /// receive edge for this message is enabled, the arrival violates the
   /// temporal specification: the automaton moves to the error state and
   /// kError is returned (the caller must then discard the message).
-  FireResult on_receive(const std::string& message, Instant now);
+  FireResult on_receive(Symbol message, Instant now);
+  FireResult on_receive(const std::string& message, Instant now) {
+    return on_receive(intern_symbol(message), now);
+  }
 
   /// Attempt to emit `message` at `now`: the unique send edge must have a
   /// true guard AND can_send(message) must hold. When the guard holds but
   /// the elements are missing, request_missing(message) is called and
   /// kNotEnabled returned.
-  FireResult try_send(const std::string& message, Instant now);
+  FireResult try_send(Symbol message, Instant now);
+  FireResult try_send(const std::string& message, Instant now) {
+    return try_send(intern_symbol(message), now);
+  }
 
   /// Fire enabled internal (no-port-interaction) edges, e.g. timeout
   /// transitions into the error state. Returns the number of edges taken
@@ -88,13 +101,14 @@ class Interpreter {
 
   bool guard_holds(const Edge& edge, Instant now);
   void take_edge(const Edge& edge, Instant now);
-  const Edge* unique_enabled(ActionKind action, const std::string& message, Instant now);
+  const Edge* unique_enabled(ActionKind action, Symbol message, Instant now);
 
   const AutomatonSpec* spec_;
   InterpreterHooks hooks_;
-  std::string location_;
-  std::unordered_map<std::string, ClockState> clocks_;
-  std::unordered_map<std::string, Value> variables_;
+  Symbol location_;
+  Symbol error_;  // cached spec error location (invalid = none)
+  std::unordered_map<Symbol, ClockState, SymbolHash> clocks_;
+  std::unordered_map<Symbol, Value, SymbolHash> variables_;
   std::uint64_t transitions_ = 0;
 };
 

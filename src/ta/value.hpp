@@ -56,6 +56,13 @@ class Value {
     if (!is_string()) throw SpecError("value is not a string: " + to_string());
     return std::get<std::string>(v_);
   }
+  /// In-place mutable string access for zero-allocation decode paths: if
+  /// the value already holds a string it is returned as-is (capacity
+  /// retained); otherwise the alternative switches to an empty string.
+  std::string& mutable_string() {
+    if (!is_string()) v_ = std::string{};
+    return std::get<std::string>(v_);
+  }
   Instant as_instant() const { return Instant::from_ns(as_int()); }
   Duration as_duration() const { return Duration::nanoseconds(as_int()); }
 

@@ -1,0 +1,39 @@
+#include "util/symbol.hpp"
+
+namespace decos {
+
+namespace {
+const std::string kEmpty;
+}
+
+Symbol SymbolTable::intern(std::string_view name) {
+  if (name.empty()) return Symbol{};
+  if (const auto it = index_.find(name); it != index_.end()) return Symbol{it->second};
+  names_.emplace_back(name);
+  const auto id = static_cast<std::uint32_t>(names_.size());  // ids start at 1
+  index_.emplace(names_.back(), id);
+  return Symbol{id};
+}
+
+std::optional<Symbol> SymbolTable::lookup(std::string_view name) const {
+  if (name.empty()) return Symbol{};
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return Symbol{it->second};
+}
+
+const std::string& SymbolTable::name(Symbol s) const {
+  if (!s.valid() || s.id() > names_.size()) return kEmpty;
+  return names_[s.id() - 1];
+}
+
+SymbolTable& SymbolTable::global() {
+  static SymbolTable table;
+  return table;
+}
+
+const std::string& symbol_name(Symbol s) { return SymbolTable::global().name(s); }
+
+bool operator==(Symbol s, std::string_view name) { return symbol_name(s) == name; }
+
+}  // namespace decos

@@ -1,0 +1,106 @@
+// Interned symbols: dense u32 ids for the design-time name universe.
+//
+// The paper fixes every name (messages, elements, fields, automata
+// labels) at design time; at runtime nothing is ever *discovered* by
+// name. A SymbolTable interns each distinct spelling once and hands out
+// a dense 32-bit Symbol; all hot-path addressing (repository slots,
+// transfer plans, automaton edge matching, span labels) then works on
+// integer compares, and strings are only touched again at the edges --
+// parsing a spec in, exporting a trace out.
+//
+// Ids are allocated sequentially per table, so a deterministic
+// construction order yields deterministic ids. Symbol 0 is reserved as
+// "invalid"/"no name".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace decos {
+
+/// An interned name. Trivially copyable, 4 bytes, compares in one
+/// instruction. Default-constructed symbols are invalid (id 0) and never
+/// equal any interned name.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(std::uint32_t id) : id_{id} {}
+
+  constexpr std::uint32_t id() const { return id_; }
+  constexpr bool valid() const { return id_ != 0; }
+  constexpr explicit operator bool() const { return valid(); }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  std::uint32_t id_ = 0;
+};
+
+struct SymbolHash {
+  std::size_t operator()(Symbol s) const {
+    // Fibonacci scrambling of the dense id; ids are small and sequential.
+    return static_cast<std::size_t>(s.id()) * 0x9E3779B97F4A7C15ULL;
+  }
+};
+
+/// Interns strings into Symbols. Append-only; resolved names have stable
+/// addresses for the table's lifetime.
+class SymbolTable {
+ public:
+  /// Intern `name` (idempotent). The empty string interns to the invalid
+  /// Symbol, mirroring "no name".
+  Symbol intern(std::string_view name);
+
+  /// Id of `name` if already interned; nullopt otherwise. Never inserts,
+  /// so probing with arbitrary runtime strings cannot grow the table.
+  std::optional<Symbol> lookup(std::string_view name) const;
+
+  /// Spelling of `s`; the invalid Symbol resolves to the empty string.
+  /// Throws SpecError-free: unknown ids also yield the empty string (a
+  /// Symbol from a different table is a programming error, not a
+  /// recoverable condition).
+  const std::string& name(Symbol s) const;
+
+  /// Number of interned names (excluding the reserved invalid id).
+  std::size_t size() const { return names_.size(); }
+
+  /// The process-wide table. All specs/gateways in one process share one
+  /// name universe; ids are deterministic given deterministic
+  /// construction order (the simulation is single-threaded).
+  static SymbolTable& global();
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+    std::size_t operator()(const std::string& s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>> index_;
+  std::deque<std::string> names_;  // id-1 -> spelling; deque: stable refs
+};
+
+/// Convenience: intern into the global table.
+inline Symbol intern_symbol(std::string_view name) { return SymbolTable::global().intern(name); }
+
+/// Convenience: global spelling of `s`.
+const std::string& symbol_name(Symbol s);
+
+/// Symbols compare against plain strings by resolved spelling (test and
+/// diagnostic convenience; not for hot paths).
+bool operator==(Symbol s, std::string_view name);
+inline bool operator==(std::string_view name, Symbol s) { return s == name; }
+inline bool operator!=(Symbol s, std::string_view name) { return !(s == name); }
+inline bool operator!=(std::string_view name, Symbol s) { return !(s == name); }
+
+}  // namespace decos

@@ -2,22 +2,53 @@
 
 namespace decos::vn {
 
-bool Port::deposit(spec::MessageInstance instance, Instant now) {
-  if (collector_ != nullptr && collector_->enabled() && instance.trace_id() == 0) {
-    // First traced port on the instance's path: it becomes a trace root.
-    const std::uint64_t trace = collector_->new_trace();
-    const std::uint64_t span =
-        collector_->emit(trace, 0, obs::Phase::kSend, track_, instance.message(), now, now);
-    instance.set_trace(trace, span);
-  }
+bool Port::deposit(const spec::MessageInstance& instance, Instant now) {
+  spec::MessageInstance* stored = nullptr;
   if (spec_.semantics == spec::InfoSemantics::kState) {
-    latest_ = std::move(instance);
+    if (latest_) {
+      *latest_ = instance;  // copy-assign: reuse the previous instance's storage
+    } else {
+      latest_ = instance;
+    }
+    stored = &*latest_;
   } else {
-    if (queue_.size() >= spec_.queue_capacity) {
+    if (count_ >= ring_.size()) {
       ++overflows_;
       return false;
     }
-    queue_.push_back(std::move(instance));
+    spec::MessageInstance& slot = ring_[(head_ + count_) % ring_.size()];
+    slot = instance;  // copy-assign: recycle the slot's storage
+    ++count_;
+    stored = &slot;
+  }
+  return finish_deposit(*stored, now);
+}
+
+bool Port::deposit(spec::MessageInstance&& instance, Instant now) {
+  spec::MessageInstance* stored = nullptr;
+  if (spec_.semantics == spec::InfoSemantics::kState) {
+    latest_ = std::move(instance);
+    stored = &*latest_;
+  } else {
+    if (count_ >= ring_.size()) {
+      ++overflows_;
+      return false;
+    }
+    spec::MessageInstance& slot = ring_[(head_ + count_) % ring_.size()];
+    slot = std::move(instance);
+    ++count_;
+    stored = &slot;
+  }
+  return finish_deposit(*stored, now);
+}
+
+bool Port::finish_deposit(spec::MessageInstance& stored, Instant now) {
+  if (collector_ != nullptr && collector_->enabled() && stored.trace_id() == 0) {
+    // First traced port on the instance's path: it becomes a trace root.
+    const std::uint64_t trace = collector_->new_trace();
+    const std::uint64_t span =
+        collector_->emit(trace, 0, obs::Phase::kSend, track_, stored.message_sym(), now, now);
+    stored.set_trace(trace, span);
   }
   last_update_ = now;
   ++deposits_;
@@ -31,11 +62,12 @@ std::optional<spec::MessageInstance> Port::read() {
     ++reads_;
     return latest_;  // non-consuming copy: state stays valid until overwritten
   }
-  if (queue_.empty()) return std::nullopt;
-  spec::MessageInstance instance = std::move(queue_.front());
-  queue_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  std::optional<spec::MessageInstance> out{std::move(ring_[head_])};
+  head_ = (head_ + 1) % ring_.size();
+  --count_;
   ++reads_;
-  return instance;
+  return out;
 }
 
 }  // namespace decos::vn

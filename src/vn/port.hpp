@@ -8,10 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "obs/span.hpp"
 #include "spec/message.hpp"
@@ -25,6 +26,8 @@ class Port {
  public:
   explicit Port(spec::PortSpec port_spec) : spec_{std::move(port_spec)} {
     spec_.validate().check();
+    if (spec_.semantics == spec::InfoSemantics::kEvent)
+      ring_.resize(spec_.queue_capacity > 0 ? spec_.queue_capacity : 1);
   }
 
   const spec::PortSpec& spec() const { return spec_; }
@@ -33,19 +36,41 @@ class Port {
   // -- producer side (output ports) / VN side (input ports) ---------------
   /// Deposit a message instance into the port. For state ports this
   /// overwrites in place; for event ports it enqueues (returns false and
-  /// counts an overflow when the queue is full).
-  bool deposit(spec::MessageInstance instance, Instant now);
+  /// counts an overflow when the queue is full). The const-ref overload
+  /// copy-assigns into the port's existing storage (state semantics:
+  /// the previous instance's field/string capacities are reused, so a
+  /// warmed port absorbs deposits without heap allocation -- the gateway
+  /// emits its compiled-plan scratch instance this way).
+  bool deposit(const spec::MessageInstance& instance, Instant now);
+  bool deposit(spec::MessageInstance&& instance, Instant now);
 
   // -- consumer side -------------------------------------------------------
   /// Read the port. State ports return a copy of the freshest instance
   /// without consuming it; event ports dequeue the oldest instance.
   std::optional<spec::MessageInstance> read();
 
+  /// Borrow the freshest state instance / oldest queued event instance
+  /// without copying or consuming (nullptr when empty).
+  const spec::MessageInstance* peek() const {
+    if (spec_.semantics == spec::InfoSemantics::kState) return latest_ ? &*latest_ : nullptr;
+    return count_ == 0 ? nullptr : &ring_[head_];
+  }
+
+  /// Consume the oldest queued event instance without copying it out;
+  /// the ring slot keeps its storage for the next deposit (the hot-path
+  /// complement of peek()). No-op on state ports.
+  void drop_front() {
+    if (spec_.semantics != spec::InfoSemantics::kEvent || count_ == 0) return;
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    ++reads_;
+  }
+
   /// Non-consuming check.
   bool has_data() const {
-    return spec_.semantics == spec::InfoSemantics::kState ? latest_.has_value() : !queue_.empty();
+    return spec_.semantics == spec::InfoSemantics::kState ? latest_.has_value() : count_ != 0;
   }
-  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_depth() const { return count_; }
 
   /// Instant of the most recent deposit (state ports: t_update).
   std::optional<Instant> last_update() const { return last_update_; }
@@ -58,9 +83,9 @@ class Port {
   /// a fresh trace id and a root send span on `track` (the producer's
   /// identity, e.g. "node1"). Wired automatically for output ports when a
   /// component attaches to a virtual network.
-  void bind_trace(obs::TraceCollector& collector, std::string track) {
+  void bind_trace(obs::TraceCollector& collector, std::string_view track) {
     collector_ = &collector;
-    track_ = std::move(track);
+    track_ = intern_symbol(track);
   }
 
   // -- counters -------------------------------------------------------------
@@ -70,12 +95,21 @@ class Port {
 
  private:
   spec::PortSpec spec_;
-  std::optional<spec::MessageInstance> latest_;     // state semantics
-  std::deque<spec::MessageInstance> queue_;         // event semantics
+  std::optional<spec::MessageInstance> latest_;  // state semantics
+  // Event semantics: fixed ring of queue_capacity slots. Slots keep their
+  // field/string storage across deposit/consume cycles, so a warmed port
+  // queues and drains without heap allocation.
+  std::vector<spec::MessageInstance> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::optional<Instant> last_update_;
   std::function<void(Port&)> notify_;
+  /// Trace-root stamping + bookkeeping shared by the deposit overloads;
+  /// `stored` is the instance already placed in the port storage.
+  bool finish_deposit(spec::MessageInstance& stored, Instant now);
+
   obs::TraceCollector* collector_ = nullptr;  // trace origin when set
-  std::string track_;
+  Symbol track_;
   std::uint64_t deposits_ = 0;
   std::uint64_t reads_ = 0;
   std::uint64_t overflows_ = 0;

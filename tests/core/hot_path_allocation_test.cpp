@@ -1,0 +1,133 @@
+// Zero-allocation guarantee of the compiled transfer plans (DESIGN.md
+// S23, acceptance criterion of the de-stringing refactor): once a
+// gateway shaped like the E6 experiment (TT state input, TT state
+// output, 1 ms dispatch) -- and its event-semantics sibling -- has
+// warmed up, the steady-state receive->dissect->store->construct->emit
+// loop performs zero heap allocations. Runs in its own test binary
+// because it replaces the global operator new.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+
+// Global allocation counter (same pattern as tests/obs/metrics_test.cpp):
+// every heap allocation in this binary bumps the counter; the tests only
+// look at the delta across the steady-state loop.
+namespace {
+std::size_t g_allocations = 0;
+}
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace decos::core {
+namespace {
+
+using decos::testing::state_message;
+using namespace decos::literals;
+
+std::unique_ptr<VirtualGateway> make_e6_gateway(spec::InfoSemantics semantics) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "image", 1));
+  spec::PortSpec in;
+  in.message = "msgA";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = semantics;
+  in.paradigm = semantics == spec::InfoSemantics::kState
+                    ? spec::ControlParadigm::kTimeTriggered
+                    : spec::ControlParadigm::kEventTriggered;
+  in.period = 10_ms;
+  in.min_interarrival = 1_us;
+  in.max_interarrival = Duration::seconds(3600);
+  in.queue_capacity = 16;
+  link_a.add_port(in);
+
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "image", 2));
+  spec::PortSpec out;
+  out.message = "msgB";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = semantics;
+  out.paradigm = semantics == spec::InfoSemantics::kState
+                     ? spec::ControlParadigm::kTimeTriggered
+                     : spec::ControlParadigm::kEventTriggered;
+  if (semantics == spec::InfoSemantics::kState) out.period = 10_ms;
+  out.queue_capacity = 16;
+  link_b.add_port(out);
+
+  GatewayConfig config;
+  config.default_d_acc = Duration::seconds(3600);
+  config.dispatch_period = 1_ms;
+  auto gw = std::make_unique<VirtualGateway>("e6", std::move(link_a), std::move(link_b), config);
+  gw->finalize();
+  // The human-readable trace recorder formats strings per event; the
+  // zero-allocation contract covers the pipeline itself, with tracing
+  // off (spans, when bound, record two interned u32s -- but this test
+  // runs unbound, like a production gateway without an exporter).
+  gw->trace().set_enabled(false);
+  return gw;
+}
+
+/// Run `iterations` of the full pipeline: port deposit (ring
+/// copy-assign) -> notify -> admission automaton -> dissect plan ->
+/// repository store -> dispatch -> construct plan -> emit.
+std::size_t pipeline_allocations(VirtualGateway& gw, spec::MessageInstance& inst,
+                                 Instant& now, int iterations) {
+  vn::Port* in_port = gw.link_a().port("msgA");
+  const std::size_t before = g_allocations;
+  for (int i = 0; i < iterations; ++i) {
+    now += 10_ms;
+    inst.elements()[1].fields[0] = ta::Value{static_cast<std::int64_t>(i)};
+    inst.elements()[1].fields[1] = ta::Value{now};
+    inst.set_send_time(now);
+    in_port->deposit(inst, now);
+    gw.dispatch(now);
+  }
+  return g_allocations - before;
+}
+
+TEST(HotPathAllocations, SteadyStateStatePipelineAllocatesNothing) {
+  auto gw = make_e6_gateway(spec::InfoSemantics::kState);
+  std::size_t emitted = 0;
+  gw->link_b().set_emitter("msgB",
+                           [&emitted](const spec::MessageInstance&) { ++emitted; });
+  const spec::MessageSpec& ms = *gw->link_a().spec().message("msgA");
+  spec::MessageInstance inst = spec::make_instance(ms);
+  Instant now = Instant::origin();
+
+  pipeline_allocations(*gw, inst, now, 256);  // warm every ring/scratch/buffer
+  const std::size_t warm_emitted = emitted;
+  const std::size_t delta = pipeline_allocations(*gw, inst, now, 512);
+  EXPECT_EQ(delta, 0u) << "steady-state dissect+construct allocated";
+  EXPECT_GT(emitted, warm_emitted) << "pipeline stopped forwarding";
+}
+
+TEST(HotPathAllocations, SteadyStateEventPipelineAllocatesNothing) {
+  auto gw = make_e6_gateway(spec::InfoSemantics::kEvent);
+  std::size_t emitted = 0;
+  gw->link_b().set_emitter("msgB",
+                           [&emitted](const spec::MessageInstance&) { ++emitted; });
+  const spec::MessageSpec& ms = *gw->link_a().spec().message("msgA");
+  spec::MessageInstance inst = spec::make_instance(ms);
+  Instant now = Instant::origin();
+
+  pipeline_allocations(*gw, inst, now, 256);
+  const std::size_t warm_emitted = emitted;
+  const std::size_t delta = pipeline_allocations(*gw, inst, now, 512);
+  EXPECT_EQ(delta, 0u) << "steady-state event dissect+construct allocated";
+  EXPECT_GT(emitted, warm_emitted) << "pipeline stopped forwarding";
+}
+
+}  // namespace
+}  // namespace decos::core

@@ -45,6 +45,18 @@ constexpr RuleCase kCases[] = {
     {kRulePorts, "dl006_ok.xml", "dl006_bad.xml"},
 };
 
+// DL007 reports warnings, not errors (a dead element degrades service
+// but does not break the deployment), so it gets its own fixture pair
+// outside the error-driven kCases table.
+TEST(LintFixtures, DeadConvertibleElementsAreFlagged) {
+  const Report ok = lint_fixture("dl007_ok.xml");
+  EXPECT_TRUE(ok.by_rule(kRuleDeadElement).empty()) << ok.format();
+  EXPECT_TRUE(ok.clean()) << ok.format();
+  const Report bad = lint_fixture("dl007_bad.xml");
+  EXPECT_FALSE(bad.by_rule(kRuleDeadElement).empty())
+      << "dl007_bad.xml should report the dead element under DL007; got:\n" << bad.format();
+}
+
 TEST(LintFixtures, AcceptingFixturesAreClean) {
   for (const RuleCase& c : kCases) {
     const Report report = lint_fixture(c.ok);

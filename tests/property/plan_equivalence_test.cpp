@@ -1,0 +1,283 @@
+// Equivalence of the compiled transfer plans with the string-resolved
+// forwarding semantics they replaced (DESIGN.md S23): for randomized
+// link specs (element/field counts, state/event semantics, output
+// paradigm, renaming tables), every message the compiled path constructs
+// is byte-identical to what a name-keyed reference implementation of the
+// dissect->repository->construct pipeline produces from the same input
+// history, and the emitted span tree matches a golden fixture checked in
+// under tests/property/golden/ (regenerate with DECOS_UPDATE_GOLDEN=1).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/virtual_gateway.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "spec/message.hpp"
+#include "util/rng.hpp"
+
+namespace decos::core {
+namespace {
+
+using namespace decos::literals;
+
+// -- randomized deployment ---------------------------------------------------
+
+struct GenConfig {
+  int elements = 1;                   // convertible elements per message
+  std::vector<int> fields;            // non-static fields per element
+  bool event = false;                 // event vs state semantics end to end
+  bool tt_output = false;             // TT (periodic) vs ET output port
+  bool renamed = false;               // output element names differ (rename table)
+  Duration output_period = 5_ms;      // TT output only
+};
+
+GenConfig random_config(Rng& rng) {
+  GenConfig config;
+  config.elements = 1 + static_cast<int>(rng.uniform_int(0, 2));
+  for (int e = 0; e < config.elements; ++e)
+    config.fields.push_back(1 + static_cast<int>(rng.uniform_int(0, 2)));
+  config.event = rng.bernoulli(0.5);
+  config.tt_output = rng.bernoulli(0.5);
+  config.renamed = rng.bernoulli(0.5);
+  config.output_period = Duration::milliseconds(static_cast<std::int64_t>(rng.uniform_int(2, 7)));
+  return config;
+}
+
+/// Element name as spelled on the wire of one side. The repository
+/// (canonical) name is always the input-side spelling.
+std::string element_name(const GenConfig& config, int index, bool output_side) {
+  return (output_side && config.renamed ? "out" : "el") + std::to_string(index);
+}
+
+spec::MessageSpec build_message(const GenConfig& config, const std::string& name,
+                                bool output_side, int key_id) {
+  spec::MessageSpec ms{name};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{key_id}});
+  ms.add_element(std::move(key));
+  for (int e = 0; e < config.elements; ++e) {
+    spec::ElementSpec es;
+    es.name = element_name(config, e, output_side);
+    es.convertible = true;
+    for (int f = 0; f < config.fields[static_cast<std::size_t>(e)]; ++f)
+      es.fields.push_back(
+          spec::FieldSpec{"f" + std::to_string(f), spec::FieldType::kInt32, 0, std::nullopt});
+    ms.add_element(std::move(es));
+  }
+  return ms;
+}
+
+std::unique_ptr<VirtualGateway> build_gateway(const GenConfig& config) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(build_message(config, "msgIn", /*output_side=*/false, 1));
+  spec::PortSpec in;
+  in.message = "msgIn";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = config.event ? spec::InfoSemantics::kEvent : spec::InfoSemantics::kState;
+  in.paradigm = spec::ControlParadigm::kEventTriggered;
+  in.min_interarrival = 1_us;
+  in.max_interarrival = Duration::seconds(3600);
+  in.queue_capacity = 64;
+  link_a.add_port(in);
+
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(build_message(config, "msgOut", /*output_side=*/true, 2));
+  spec::PortSpec out;
+  out.message = "msgOut";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = config.event ? spec::InfoSemantics::kEvent : spec::InfoSemantics::kState;
+  out.paradigm =
+      config.tt_output ? spec::ControlParadigm::kTimeTriggered : spec::ControlParadigm::kEventTriggered;
+  if (config.tt_output) out.period = config.output_period;
+  out.queue_capacity = 64;
+  link_b.add_port(out);
+
+  GatewayConfig gw_config;
+  gw_config.default_d_acc = 50_ms;
+  gw_config.default_queue_capacity = 16;
+  auto gw = std::make_unique<VirtualGateway>("equiv", std::move(link_a), std::move(link_b),
+                                             gw_config);
+  if (config.renamed)
+    for (int e = 0; e < config.elements; ++e)
+      gw->link_b().add_rename(element_name(config, e, true), element_name(config, e, false));
+  gw->finalize();
+  return gw;
+}
+
+// -- string-path reference model ---------------------------------------------
+//
+// A deliberately naive re-implementation of the pre-S23 pipeline: every
+// lookup goes through std::string keys, every instance is a fresh
+// name->value map. Mirrors dissection (store all convertible elements),
+// the repository (state overwrite / bounded event queue with
+// drop-newest overflow) and construction (per-field name lookup).
+struct ReferenceModel {
+  std::map<std::string, std::map<std::string, ta::Value>> state;
+  std::map<std::string, std::deque<std::map<std::string, ta::Value>>> events;
+  bool event_semantics = false;
+  std::size_t queue_capacity = 16;
+
+  void store(const spec::MessageSpec& ms, const spec::MessageInstance& inst) {
+    for (std::size_t e = 0; e < ms.elements().size(); ++e) {
+      const spec::ElementSpec& es = ms.elements()[e];
+      if (!es.convertible) continue;
+      std::map<std::string, ta::Value> fields;
+      for (std::size_t f = 0; f < es.fields.size(); ++f)
+        fields[es.fields[f].name] = inst.elements()[e].fields[f];
+      if (event_semantics) {
+        if (events[es.name].size() < queue_capacity) events[es.name].push_back(std::move(fields));
+      } else {
+        state[es.name] = std::move(fields);
+      }
+    }
+  }
+
+  /// Construct msgOut the string way: fresh instance, every field
+  /// resolved by element/field name through the rename table.
+  spec::MessageInstance construct(const GenConfig& config, const spec::MessageSpec& out_ms) {
+    spec::MessageInstance expected = spec::make_instance(out_ms);
+    for (std::size_t e = 0; e < out_ms.elements().size(); ++e) {
+      const spec::ElementSpec& es = out_ms.elements()[e];
+      if (!es.convertible) continue;
+      // Rename resolution, the string way: link name -> repository name.
+      std::string repo = es.name;
+      if (config.renamed)
+        for (int k = 0; k < config.elements; ++k)
+          if (es.name == element_name(config, k, true)) repo = element_name(config, k, false);
+      std::map<std::string, ta::Value> fields;
+      if (event_semantics) {
+        auto& queue = events[repo];
+        if (!queue.empty()) {
+          fields = std::move(queue.front());
+          queue.pop_front();
+        }
+      } else {
+        fields = state[repo];
+      }
+      for (std::size_t f = 0; f < es.fields.size(); ++f) {
+        const auto it = fields.find(es.fields[f].name);
+        if (it != fields.end()) expected.elements()[e].fields[f] = it->second;
+      }
+    }
+    return expected;
+  }
+};
+
+// -- golden serialization ----------------------------------------------------
+
+std::uint64_t fnv1a(std::uint64_t hash, std::span<const std::byte> bytes) {
+  for (const std::byte b : bytes) {
+    hash ^= static_cast<std::uint64_t>(b);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string golden_path(std::uint64_t seed) {
+  return std::string{DECOS_PROPERTY_GOLDEN_DIR} + "/plan_equiv_seed" + std::to_string(seed) +
+         ".txt";
+}
+
+// -- the property ------------------------------------------------------------
+
+class PlanEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanEquivalence, CompiledPlansMatchStringPathAndGoldenSpans) {
+  const std::uint64_t seed = GetParam();
+  Rng rng{seed};
+  const GenConfig config = random_config(rng);
+  auto gw = build_gateway(config);
+
+  obs::MetricsRegistry metrics;
+  obs::TraceCollector spans;
+  spans.set_enabled(true);
+  gw->bind_observability(metrics, spans);
+
+  ReferenceModel reference;
+  reference.event_semantics = config.event;
+  reference.queue_capacity = 16;
+
+  const spec::MessageSpec& in_ms = *gw->link_a().spec().message("msgIn");
+  const spec::MessageSpec& out_ms = *gw->link_b().spec().message("msgOut");
+
+  std::uint64_t payload_hash = 14695981039346656037ull;
+  std::size_t emitted = 0;
+  gw->link_b().set_emitter("msgOut", [&](const spec::MessageInstance& actual) {
+    const spec::MessageInstance expected = reference.construct(config, out_ms);
+    const auto actual_bytes = spec::encode(out_ms, actual);
+    const auto expected_bytes = spec::encode(out_ms, expected);
+    ASSERT_TRUE(actual_bytes.ok());
+    ASSERT_TRUE(expected_bytes.ok());
+    EXPECT_EQ(actual_bytes.value(), expected_bytes.value())
+        << "emission " << emitted << " diverges from the string path (seed " << seed << ")";
+    payload_hash = fnv1a(payload_hash, actual_bytes.value());
+    ++emitted;
+  });
+
+  // Randomized traffic: ~30% of milliseconds carry an input; every
+  // millisecond dispatches. The reference stores on exactly the inputs
+  // the gateway admits (interarrival bounds are generous, so: all).
+  Instant t = Instant::origin();
+  for (int step = 0; step < 2000; ++step) {
+    t += 1_ms;
+    if (rng.bernoulli(0.3)) {
+      spec::MessageInstance inst = spec::make_instance(in_ms);
+      for (std::size_t e = 0; e < in_ms.elements().size(); ++e) {
+        const spec::ElementSpec& es = in_ms.elements()[e];
+        if (!es.convertible) continue;
+        for (std::size_t f = 0; f < es.fields.size(); ++f)
+          inst.elements()[e].fields[f] =
+              ta::Value{rng.uniform_int(0, 1000000)};
+      }
+      inst.set_send_time(t);
+      inst.set_trace(spans.new_trace(), 0);
+      reference.store(in_ms, inst);
+      gw->on_input(0, inst, t);
+    }
+    gw->dispatch(t);
+  }
+  ASSERT_GT(emitted, 0u) << "seed " << seed << " never constructed a message";
+
+  // Canonical span-tree dump + payload hash, pinned by a golden fixture.
+  std::ostringstream canon;
+  canon << "seed " << seed << "\n"
+        << "emitted " << emitted << "\n"
+        << "payload_hash " << payload_hash << "\n"
+        << "spans " << spans.spans().size() << "\n";
+  for (const obs::Span& s : spans.spans()) {
+    canon << "span trace=" << s.trace_id << " id=" << s.span_id << " parent=" << s.parent_id
+          << " phase=" << obs::phase_name(s.phase) << " track=" << symbol_name(s.track)
+          << " name=" << symbol_name(s.name) << " start=" << (s.start - Instant::origin()).ns()
+          << " end=" << (s.end - Instant::origin()).ns() << "\n";
+  }
+
+  const std::string path = golden_path(seed);
+  if (std::getenv("DECOS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{path};
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << canon.str();
+    GTEST_SKIP() << "golden fixture regenerated: " << path;
+  }
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << path
+                         << " (regenerate with DECOS_UPDATE_GOLDEN=1)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(canon.str(), golden.str())
+      << "span tree / payload hash diverged from the checked-in fixture (seed " << seed << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanEquivalence, ::testing::Values(11, 42, 77, 123, 1009));
+
+}  // namespace
+}  // namespace decos::core

@@ -85,7 +85,7 @@ TEST(InterpreterTest, PeriodicSendPacing) {
   const AutomatonSpec spec = make_periodic_send("s", "m", 10_ms);
   int allowed = 0;
   InterpreterHooks hooks;
-  hooks.can_send = [&](const std::string&) { return true; };
+  hooks.can_send = [&](decos::Symbol) { return true; };
   Interpreter interp{spec, std::move(hooks)};
   interp.restart(at(0));
   // First send immediately, then only after each full period.
@@ -103,8 +103,8 @@ TEST(InterpreterTest, SendGateRequestsMissingElements) {
   bool available = false;
   std::vector<std::string> requested;
   InterpreterHooks hooks;
-  hooks.can_send = [&](const std::string&) { return available; };
-  hooks.request_missing = [&](const std::string& msg) { requested.push_back(msg); };
+  hooks.can_send = [&](decos::Symbol) { return available; };
+  hooks.request_missing = [&](decos::Symbol msg) { requested.push_back(decos::symbol_name(msg)); };
   Interpreter interp{spec, std::move(hooks)};
 
   EXPECT_EQ(interp.try_send("m", at(0)), FireResult::kNotEnabled);

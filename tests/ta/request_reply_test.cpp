@@ -54,7 +54,7 @@ AutomatonSpec request_reply(Duration treply) {
 struct ReqRepFixture : ::testing::Test {
   ReqRepFixture() {
     InterpreterHooks hooks;
-    hooks.can_send = [this](const std::string&) { return reply_available; };
+    hooks.can_send = [this](decos::Symbol) { return reply_available; };
     interp = std::make_unique<Interpreter>(spec, std::move(hooks));
   }
 

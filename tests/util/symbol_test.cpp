@@ -1,0 +1,89 @@
+// SymbolTable / Symbol unit tests: interning is idempotent and dense,
+// lookup never inserts, spellings resolve back exactly, and the reserved
+// invalid Symbol behaves like "no name" everywhere.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+#include "util/symbol.hpp"
+
+namespace decos {
+namespace {
+
+TEST(Symbol, DefaultIsInvalidAndNeverEqualToInterned) {
+  const Symbol none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_FALSE(static_cast<bool>(none));
+  SymbolTable table;
+  EXPECT_NE(none, table.intern("anything"));
+}
+
+TEST(SymbolTable, InternIsIdempotent) {
+  SymbolTable table;
+  const Symbol a = table.intern("wheelspeed");
+  const Symbol b = table.intern("wheelspeed");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(SymbolTable, IdsAreDenseAndDeterministic) {
+  SymbolTable table;
+  const Symbol first = table.intern("a");
+  const Symbol second = table.intern("b");
+  const Symbol third = table.intern("c");
+  EXPECT_EQ(second.id(), first.id() + 1);
+  EXPECT_EQ(third.id(), second.id() + 1);
+
+  SymbolTable replay;
+  EXPECT_EQ(replay.intern("a"), first);
+  EXPECT_EQ(replay.intern("b"), second);
+  EXPECT_EQ(replay.intern("c"), third);
+}
+
+TEST(SymbolTable, EmptyStringIsTheInvalidSymbol) {
+  SymbolTable table;
+  EXPECT_FALSE(table.intern("").valid());
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.name(Symbol{}), "");
+}
+
+TEST(SymbolTable, LookupNeverInserts) {
+  SymbolTable table;
+  table.intern("known");
+  const std::size_t size = table.size();
+  EXPECT_FALSE(table.lookup("unknown").has_value());
+  EXPECT_EQ(table.size(), size);
+  ASSERT_TRUE(table.lookup("known").has_value());
+  EXPECT_EQ(*table.lookup("known"), table.intern("known"));
+}
+
+TEST(SymbolTable, NameRoundTrips) {
+  SymbolTable table;
+  const Symbol s = table.intern("msgslidingroof");
+  EXPECT_EQ(table.name(s), "msgslidingroof");
+  // Unknown ids resolve to the empty spelling instead of throwing.
+  EXPECT_EQ(table.name(Symbol{9999}), "");
+}
+
+TEST(SymbolTable, GlobalTableBacksTheConvenienceHelpers) {
+  const Symbol s = intern_symbol("global-roundtrip-probe");
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(symbol_name(s), "global-roundtrip-probe");
+  EXPECT_EQ(intern_symbol("global-roundtrip-probe"), s);
+  // String comparison helpers resolve spellings, not pointers.
+  EXPECT_TRUE(s == "global-roundtrip-probe");
+  EXPECT_TRUE(s != "something-else");
+}
+
+TEST(SymbolHash, DistinctIdsRarelyCollide) {
+  SymbolTable table;
+  std::unordered_set<std::size_t> hashes;
+  SymbolHash hash;
+  for (int i = 0; i < 1000; ++i)
+    hashes.insert(hash(table.intern("name" + std::to_string(i))));
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace decos
