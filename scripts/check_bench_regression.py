@@ -1,48 +1,85 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_e11_micro run against the committed baseline.
+"""Compare a fresh benchmark run against the committed baseline.
 
-Usage: check_bench_regression.py BASELINE.json CURRENT.json [--max-ratio 1.5]
+Usage: check_bench_regression.py BASELINE.json CURRENT.json
+           [--suite e11|e20|e19] [--max-ratio R]
 
-Both files are BENCH_E11.json documents as written by bench_e11_micro
-(`benchmarks`: list of {name, cpu_ns, ...}). The check guards the
-compiled-plan hot path (DESIGN.md S23): for every benchmark name listed
-in WATCHED that appears in both files, the current cpu_ns must not
-exceed baseline * max-ratio. Benchmarks absent from either file are
-skipped (machine pools differ), but at least one watched row must match
-or the check fails -- an empty intersection means the baseline is stale.
+Suites mirror the harness-emitted JSON of each benchmark binary:
+
+  e11  bench_e11_micro      `benchmarks` rows guard the compiled-plan hot
+                            path (DESIGN.md S23); `speedups` must keep the
+                            interned-vs-string wins.
+  e20  bench_e20_kernel     `benchmarks` rows guard the timer-wheel kernel
+                            (schedule/fire, cancel, periodic, churn);
+                            `speedups` must keep the wheel-vs-reference
+                            wins.
+  e19  bench_e19_scalability `wall_ms_per_sim_s` per DAS-pair count must
+                            not blow past baseline * max-ratio, and
+                            `sim_events` must match the baseline EXACTLY:
+                            the simulated workload is deterministic, so a
+                            changed event count means the kernel changed
+                            dispatch behaviour, not just speed.
+
+For every watched row present in both files, current cpu must not exceed
+baseline * max-ratio. Rows absent from either file are skipped (machine
+pools differ), but at least one watched row must match or the check
+fails -- an empty intersection means the baseline is stale.
 
 The absolute times of the two runs come from different machines, so the
-ratio test is deliberately loose (default 1.5x): it catches "someone
-reintroduced string lookups into the dissect/construct path", not minor
-scheduling jitter.
+ratio test is deliberately loose (1.5x for cpu-time suites, 2.0x for the
+wall-clock e19 suite): it catches "someone reintroduced per-fire
+allocation into the kernel", not minor scheduling jitter.
 """
 
 import argparse
 import json
 import sys
 
-# The compiled-plan hot-path rows. String-path rows are intentionally
-# not watched: they exist as a comparison anchor, not as a contract.
-WATCHED = [
-    "BM_DissectCompiled/4",
-    "BM_DissectCompiled/16",
-    "BM_ConstructCompiled/4",
-    "BM_ConstructCompiled/16",
-    "BM_RepositoryStoreFetchStateInterned",
-    "BM_RepositoryStoreFetchEventInterned",
-    "BM_GatewayReceiveAndForward/4",
-    "BM_GatewayReceiveAndForward/16",
-]
-
-# Interned-vs-string ratios that must hold in the *current* run
-# (ISSUE acceptance: >= 2x on the repository store/fetch round trip).
-MIN_SPEEDUPS = {
-    "repo_state": 2.0,
-    "repo_event": 2.0,
+SUITES = {
+    # The compiled-plan hot-path rows. String-path rows are intentionally
+    # not watched: they exist as a comparison anchor, not as a contract.
+    "e11": {
+        "watched": [
+            "BM_DissectCompiled/4",
+            "BM_DissectCompiled/16",
+            "BM_ConstructCompiled/4",
+            "BM_ConstructCompiled/16",
+            "BM_RepositoryStoreFetchStateInterned",
+            "BM_RepositoryStoreFetchEventInterned",
+            "BM_GatewayReceiveAndForward/4",
+            "BM_GatewayReceiveAndForward/16",
+        ],
+        # Interned-vs-string ratios that must hold in the *current* run
+        # (>= 2x on the repository store/fetch round trip).
+        "min_speedups": {"repo_state": 2.0, "repo_event": 2.0},
+        "max_ratio": 1.5,
+    },
+    # The kernel rows. Reference-kernel rows are the comparison anchor,
+    # not a contract. Floors sit far below the measured wins (2.1-5.5x on
+    # the dev box) so only a real regression -- the wheel degrading to
+    # heap+map behaviour -- trips them on noisy CI machines.
+    "e20": {
+        "watched": [
+            "BM_OneShotWheel",
+            "BM_CancelWheel",
+            "BM_PeriodicWheel",
+            "BM_MixedChurnWheel",
+        ],
+        "min_speedups": {
+            "kernel_oneshot": 1.2,
+            "kernel_cancel": 1.5,
+            "kernel_periodic": 1.2,
+            "kernel_churn": 1.5,
+        },
+        "max_ratio": 1.5,
+    },
+    # Whole-simulation wall clock; handled by check_e19, not benchmark
+    # rows. max_ratio is extra loose: this is end-to-end wall time.
+    "e19": {"max_ratio": 2.0},
 }
 
 
-def load_cpu_ns(path):
+def load(path):
     with open(path) as f:
         doc = json.load(f)
     rows = {}
@@ -54,38 +91,30 @@ def load_cpu_ns(path):
     return doc, rows
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("current")
-    parser.add_argument("--max-ratio", type=float, default=1.5)
-    args = parser.parse_args()
-
-    _, base = load_cpu_ns(args.baseline)
-    current_doc, cur = load_cpu_ns(args.current)
-
-    failures = []
+def check_rows(suite, base, cur, max_ratio, failures):
     compared = 0
-    for name in WATCHED:
+    for name in suite["watched"]:
         if name not in base or name not in cur:
             continue
         compared += 1
         ratio = cur[name] / base[name]
-        status = "ok" if ratio <= args.max_ratio else "REGRESSED"
+        status = "ok" if ratio <= max_ratio else "REGRESSED"
         print(f"{name:45s} base {base[name]:12.1f} ns  cur {cur[name]:12.1f} ns  "
               f"ratio {ratio:5.2f}x  {status}")
-        if ratio > args.max_ratio:
-            failures.append(f"{name}: {ratio:.2f}x > {args.max_ratio:.2f}x")
-
+        if ratio > max_ratio:
+            failures.append(f"{name}: {ratio:.2f}x > {max_ratio:.2f}x")
     if compared == 0:
         print("error: no watched benchmark appears in both files -- stale baseline?",
               file=sys.stderr)
-        return 1
+        failures.append("empty watched intersection")
+    return compared
 
+
+def check_speedups(suite, current_doc, failures):
     speedups = current_doc.get("speedups", {})
     if not isinstance(speedups, dict):
         speedups = {}
-    for key, minimum in MIN_SPEEDUPS.items():
+    for key, minimum in suite["min_speedups"].items():
         value = speedups.get(key)
         if value is None:
             failures.append(f"speedups.{key}: missing from current run")
@@ -95,12 +124,75 @@ def main():
         if value < minimum:
             failures.append(f"speedups.{key}: {value:.2f}x < {minimum:.1f}x")
 
+
+def check_e19(base_doc, current_doc, max_ratio, failures):
+    base_wall = base_doc.get("wall_ms_per_sim_s", {})
+    cur_wall = current_doc.get("wall_ms_per_sim_s", {})
+    compared = 0
+    for pairs in sorted(base_wall, key=int):
+        if pairs not in cur_wall:
+            continue
+        compared += 1
+        ratio = cur_wall[pairs] / base_wall[pairs]
+        status = "ok" if ratio <= max_ratio else "REGRESSED"
+        print(f"wall_ms_per_sim_s[{pairs:>2s} pairs]  base {base_wall[pairs]:8.2f}  "
+              f"cur {cur_wall[pairs]:8.2f}  ratio {ratio:5.2f}x  {status}")
+        if ratio > max_ratio:
+            failures.append(f"wall_ms_per_sim_s[{pairs}]: {ratio:.2f}x > {max_ratio:.2f}x")
+    if compared == 0:
+        print("error: no DAS-pair cell appears in both files -- stale baseline?",
+              file=sys.stderr)
+        failures.append("empty e19 cell intersection")
+
+    # Determinism guard: identical config => identical dispatch count,
+    # bit-for-bit, on any machine. No tolerance.
+    base_events = base_doc.get("sim_events", {})
+    cur_events = current_doc.get("sim_events", {})
+    for pairs in sorted(base_events, key=int):
+        if pairs not in cur_events:
+            continue
+        match = base_events[pairs] == cur_events[pairs]
+        status = "ok" if match else "DIVERGED"
+        print(f"sim_events[{pairs:>2s} pairs]         base {base_events[pairs]:8d}  "
+              f"cur {cur_events[pairs]:8d}  {status}")
+        if not match:
+            failures.append(
+                f"sim_events[{pairs}]: {cur_events[pairs]} != baseline "
+                f"{base_events[pairs]} (kernel determinism broken)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--suite", choices=sorted(SUITES), default="e11")
+    parser.add_argument("--max-ratio", type=float, default=None,
+                        help="override the suite's default looseness")
+    args = parser.parse_args()
+
+    suite = SUITES[args.suite]
+    max_ratio = args.max_ratio if args.max_ratio is not None else suite["max_ratio"]
+
+    base_doc, base = load(args.baseline)
+    current_doc, cur = load(args.current)
+
+    failures = []
+    compared = 0
+    if args.suite == "e19":
+        check_e19(base_doc, current_doc, max_ratio, failures)
+    else:
+        compared = check_rows(suite, base, cur, max_ratio, failures)
+        check_speedups(suite, current_doc, failures)
+
     if failures:
         print("\nperf-smoke FAILED:", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print(f"\nperf-smoke ok ({compared} rows compared)")
+    if args.suite == "e19":
+        print("\nperf-smoke ok (e19 wall + determinism)")
+    else:
+        print(f"\nperf-smoke ok ({compared} rows compared)")
     return 0
 
 

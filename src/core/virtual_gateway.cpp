@@ -819,10 +819,11 @@ void VirtualGateway::start(sim::Simulator& simulator) {
 }
 
 void VirtualGateway::start_tick(sim::Simulator& simulator) {
-  simulator.schedule_after(config_.dispatch_period, [this, &simulator] {
-    dispatch(simulator.now());
-    start_tick(simulator);
-  });
+  // Fixed-period kernel task: one pooled event node re-filed in place
+  // every dispatch_period for the lifetime of the gateway.
+  tick_task_ = simulator.schedule_periodic(simulator.now() + config_.dispatch_period,
+                                           config_.dispatch_period,
+                                           [this, &simulator] { dispatch(simulator.now()); });
 }
 
 VirtualGateway::LinkHealth VirtualGateway::link_health(int side) const {

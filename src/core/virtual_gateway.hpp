@@ -190,6 +190,7 @@ class VirtualGateway {
 
   std::string name_;
   GatewayConfig config_;
+  sim::PeriodicTask tick_task_;  // standalone dispatch tick (start())
   GatewayLink link_a_;
   GatewayLink link_b_;
   Repository repository_;

@@ -33,15 +33,28 @@ void FaultPlan::omission(tt::Controller& controller, Instant at, double rate,
 void FaultPlan::babble(tt::Controller& controller, Instant at, std::size_t slot_index,
                        tt::VnId vn, std::size_t count, Duration gap,
                        std::size_t payload_bytes) {
-  for (std::size_t i = 0; i < count; ++i) {
-    simulator_.schedule_at(at + gap * static_cast<std::int64_t>(i),
-                           [this, &controller, slot_index, vn, payload_bytes] {
-                             std::vector<std::byte> junk(payload_bytes, std::byte{0xAB});
-                             controller.babble(slot_index, vn, std::move(junk));
-                             note(simulator_.now(),
-                                  "node" + std::to_string(controller.id()), "babble");
-                           });
+  if (count == 0) return;
+  if (gap <= Duration::zero()) {
+    // Degenerate burst: all attempts at the same instant, FIFO.
+    for (std::size_t i = 0; i < count; ++i) {
+      simulator_.schedule_at(at, [this, &controller, slot_index, vn, payload_bytes] {
+        std::vector<std::byte> junk(payload_bytes, std::byte{0xAB});
+        controller.babble(slot_index, vn, std::move(junk));
+        note(simulator_.now(), "node" + std::to_string(controller.id()), "babble");
+      });
+    }
+    return;
   }
+  const std::size_t burst = bursts_.size();
+  bursts_.emplace_back();
+  bursts_[burst] = simulator_.schedule_periodic(
+      at, gap,
+      [this, &controller, slot_index, vn, payload_bytes, burst, remaining = count]() mutable {
+        std::vector<std::byte> junk(payload_bytes, std::byte{0xAB});
+        controller.babble(slot_index, vn, std::move(junk));
+        note(simulator_.now(), "node" + std::to_string(controller.id()), "babble");
+        if (--remaining == 0) bursts_[burst].cancel();
+      });
 }
 
 }  // namespace decos::fault

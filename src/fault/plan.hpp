@@ -43,6 +43,10 @@ class FaultPlan {
   sim::Simulator& simulator_;
   sim::TraceRecorder* trace_;
   std::uint64_t injected_ = 0;
+  // Periodic injection bursts (babble); each burst is one kernel task
+  // that counts itself down and cancels. Owned here so destroying the
+  // plan stops pending bursts.
+  std::vector<sim::PeriodicTask> bursts_;
 };
 
 }  // namespace decos::fault

@@ -1,5 +1,7 @@
 #include "platform/cluster.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace decos::platform {
@@ -14,6 +16,15 @@ Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
       config_.round_length, config_.nodes, config_.allocations);
   if (!schedule.ok()) throw SpecError(schedule.error());
   bus_ = std::make_unique<tt::TtBus>(simulator_, std::move(schedule.value()), config_.bus);
+
+  // Derive the kernel's timer-wheel tick from the TDMA granularity: a
+  // round split into 256 ticks keeps every slot/round/partition event of
+  // the next ~16 rounds (4096-bucket horizon) inside the wheel while the
+  // wheel stays sparse. Resolution only affects speed, never dispatch
+  // order; clamp to [1us, 1ms] so degenerate round lengths stay sane.
+  const Duration tick = std::clamp(config_.round_length / 256, Duration::microseconds(1),
+                                   Duration::milliseconds(1));
+  simulator_.set_tick_resolution(tick);
 
   const Duration period =
       config_.component_period.is_zero() ? config_.round_length : config_.component_period;

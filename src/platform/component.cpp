@@ -53,15 +53,24 @@ void Component::start() {
 }
 
 void Component::schedule_partition(Partition& partition, std::uint64_t cycle) {
+  partition.cycle_ = cycle;
   const Instant local_start = Instant::origin() +
                               period_ * static_cast<std::int64_t>(cycle) + partition.offset();
   Instant when = controller_.clock().true_time_for(local_start);
   if (when < simulator_.now()) when = simulator_.now();
-  simulator_.schedule_at(when, [this, &partition, cycle] { activate(partition, cycle); });
+  // Self-timed kernel task: one pooled event node per partition for the
+  // whole run, re-timed in place each cycle.
+  partition.task_ = simulator_.schedule_periodic(when, [this, &partition] { activate(partition); });
 }
 
-void Component::activate(Partition& partition, std::uint64_t cycle) {
-  schedule_partition(partition, cycle + 1);
+void Component::activate(Partition& partition) {
+  const std::uint64_t cycle = partition.cycle_;
+  partition.cycle_ = cycle + 1;
+  const Instant local_start = Instant::origin() +
+                              period_ * static_cast<std::int64_t>(cycle + 1) + partition.offset();
+  Instant when = controller_.clock().true_time_for(local_start);
+  if (when < simulator_.now()) when = simulator_.now();
+  partition.task_.reschedule_at(when);
   if (controller_.crashed()) return;
   ++activations_;
 

@@ -53,12 +53,18 @@ class Partition {
   void count_overrun() { ++overruns_; }
 
  private:
+  friend class Component;
+
   std::string name_;
   std::string das_;
   Duration offset_;
   Duration budget_;
   std::vector<std::unique_ptr<Job>> jobs_;
   std::uint64_t overruns_ = 0;
+  // Self-timed activation event, re-timed each cycle against the node's
+  // drifting clock (owned by the hosting Component).
+  sim::PeriodicTask task_;
+  std::uint64_t cycle_ = 0;  // cycle of the next pending activation
 };
 
 /// A node computer: controller + partitions under a cyclic schedule.
@@ -91,7 +97,7 @@ class Component {
 
  private:
   void schedule_partition(Partition& partition, std::uint64_t cycle);
-  void activate(Partition& partition, std::uint64_t cycle);
+  void activate(Partition& partition);
 
   sim::Simulator& simulator_;
   tt::Controller& controller_;

@@ -1,0 +1,81 @@
+// Small-buffer event callable for the simulation kernel.
+//
+// Every scheduled event carries a callable. The old kernel stored it in a
+// std::function inside an unordered_map, which heap-allocates for any
+// capture beyond two pointers and re-hashes on every schedule / dispatch /
+// cancel. InlineAction instead constructs the callable directly inside the
+// (pooled, address-stable) event node: captures up to kInlineBytes live
+// inline, larger ones fall back to a heap block that the node retains and
+// reuses across firings. In the steady periodic state nothing is
+// allocated at all.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace decos::sim {
+
+/// Type-erased move-in callable with inline storage. Not copyable, not
+/// movable: it lives inside a pool node whose address never changes.
+class InlineAction {
+ public:
+  /// Sized so a tt::Frame capture (the largest hot-path closure: ~96
+  /// bytes for the bus delivery event) still fits inline.
+  static constexpr std::size_t kInlineBytes = 128;
+
+  InlineAction() = default;
+  InlineAction(const InlineAction&) = delete;
+  InlineAction& operator=(const InlineAction&) = delete;
+  ~InlineAction() {
+    reset();
+    ::operator delete(heap_);
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned event callables are not supported");
+    reset();
+    void* where;
+    if constexpr (sizeof(Fn) <= kInlineBytes) {
+      where = inline_;
+    } else {
+      if (heap_capacity_ < sizeof(Fn)) {
+        ::operator delete(heap_);
+        heap_ = ::operator new(sizeof(Fn));
+        heap_capacity_ = sizeof(Fn);
+      }
+      where = heap_;
+    }
+    ::new (where) Fn(std::forward<F>(f));
+    storage_ = where;
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    destroy_ = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+  }
+
+  void operator()() { invoke_(storage_); }
+
+  bool has_value() const { return invoke_ != nullptr; }
+
+  /// Destroy the held callable (releasing its captures) but keep any heap
+  /// block for the next emplace of this node.
+  void reset() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+    storage_ = nullptr;
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char inline_[kInlineBytes];
+  void* heap_ = nullptr;
+  std::size_t heap_capacity_ = 0;
+  void* storage_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace decos::sim

@@ -1,0 +1,345 @@
+// Typed event storage for the simulation kernel: pooled intrusive event
+// nodes ordered by a single-level timer wheel (calendar queue) with a
+// binary-heap overflow for far-future one-shots.
+//
+// Design constraints, in order:
+//   1. Bit-preserved determinism: events dispatch in strict (when, seq)
+//      order -- seq is assigned at insertion, so same-instant events fire
+//      FIFO exactly like the old priority_queue kernel.
+//   2. Zero steady-state cost: a periodic firing re-files the same node
+//      into a new bucket -- no allocation, no hashing, no tombstones.
+//   3. O(1) cancel: ids are generation-tagged {slot, generation} pairs;
+//      cancelling unlinks the node eagerly (buckets are doubly linked,
+//      the overflow heap tracks per-node indices), so no stale entries
+//      accumulate anywhere.
+//
+// The wheel covers kWheelSize ticks of `resolution` each. Ticks are
+// absolute (when.ns / resolution), so a bucket never mixes laps: every
+// node in bucket (tick & kMask) belongs to the one tick in the current
+// horizon window that maps there. A bucket can still hold multiple
+// distinct instants (sub-resolution spacing); the pop path scans the
+// bucket for the (when, seq) minimum, which keeps ordering exact for any
+// resolution. The resolution is therefore purely a performance knob --
+// platform::Cluster derives it from the TDMA round granularity.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "util/time.hpp"
+
+namespace decos::sim {
+
+/// Handle to a scheduled event; can be used to cancel it. Value 0 is
+/// never a live event (generations start at 1).
+using EventId = std::uint64_t;
+
+enum class EventKind : std::uint8_t {
+  kOneShot,   // fire once, release
+  kPeriodic,  // kernel re-files at when + period before each firing
+  kDriven,    // callback re-times itself via PeriodicTask::reschedule_at
+};
+
+enum class NodeState : std::uint8_t {
+  kFree,      // on the free list
+  kBucket,    // linked into a wheel bucket
+  kOverflow,  // parked in the far-future heap
+  kLimbo,     // popped for dispatch, not yet re-filed or released
+};
+
+struct EventNode {
+  Instant when;
+  std::uint64_t seq = 0;  // FIFO tie-breaker among same-instant events
+  EventNode* prev = nullptr;
+  EventNode* next = nullptr;
+  Duration period;               // kPeriodic only
+  std::uint32_t generation = 1;  // bumped on release; stale ids miss
+  std::uint32_t index = 0;       // pool slot (stable for the node's life)
+  std::uint32_t heap_index = 0;  // position while in the overflow heap
+  EventKind kind = EventKind::kOneShot;
+  NodeState state = NodeState::kFree;
+  bool cancelled = false;  // deferred release (set while the node fires)
+  InlineAction action;
+
+  bool before(const EventNode& o) const {
+    if (when != o.when) return when < o.when;
+    return seq < o.seq;
+  }
+};
+
+/// Pool + wheel + overflow heap. Knows nothing about dispatch semantics;
+/// the Simulator layers kinds, cancellation rules and metrics on top.
+class EventQueue {
+ public:
+  static constexpr std::size_t kWheelSize = 4096;  // buckets (power of two)
+
+  EventQueue() { buckets_.fill(nullptr); }
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Events currently filed (wheel + overflow; excludes limbo).
+  std::size_t live() const { return live_; }
+
+  Duration resolution() const { return Duration::nanoseconds(resolution_ns_); }
+
+  /// Reconfigure the wheel tick. Only legal while no event is filed;
+  /// `now` re-anchors the cursor. Coarser ticks widen the horizon
+  /// (kWheelSize * resolution) before one-shots spill into the heap.
+  void set_resolution(Duration resolution, Instant now) {
+    assert(live_ == 0 && "cannot re-tick a non-empty wheel");
+    if (resolution.ns() < 1) resolution = Duration::nanoseconds(1);
+    resolution_ns_ = static_cast<std::uint64_t>(resolution.ns());
+    cursor_tick_ = tick_of(now);
+  }
+
+  /// A node ready for emplacing an action; address-stable until released.
+  EventNode* acquire() {
+    if (free_ == nullptr) grow();
+    EventNode* n = free_;
+    free_ = n->next;
+    n->next = nullptr;
+    n->cancelled = false;
+    return n;
+  }
+
+  /// Destroy the action, invalidate outstanding ids, return to the pool.
+  void release(EventNode* n) {
+    assert(n->state != NodeState::kFree);
+    n->action.reset();
+    ++n->generation;
+    n->state = NodeState::kFree;
+    n->cancelled = false;
+    n->next = free_;
+    free_ = n;
+  }
+
+  /// File `n` to fire at `when` (which must be >= the last popped /
+  /// advanced-to instant). Assigns the FIFO sequence number.
+  void insert(EventNode* n, Instant when) {
+    n->when = when;
+    n->seq = next_seq_++;
+    const std::uint64_t tick = tick_of(when);
+    assert(tick >= cursor_tick_ && "insert behind the wheel cursor");
+    if (tick - cursor_tick_ < kWheelSize) {
+      file_into_wheel(n, tick);
+    } else {
+      heap_push(n);
+      n->state = NodeState::kOverflow;
+    }
+    ++live_;
+  }
+
+  /// Unfile a node (cancel, or re-time). No-op for limbo nodes.
+  void remove(EventNode* n) {
+    switch (n->state) {
+      case NodeState::kBucket:
+        unlink(n);
+        --live_;
+        break;
+      case NodeState::kOverflow:
+        heap_erase(n);
+        --live_;
+        break;
+      case NodeState::kLimbo:
+        return;
+      case NodeState::kFree:
+        assert(false && "remove of a free node");
+        return;
+    }
+    n->state = NodeState::kLimbo;
+  }
+
+  /// Pop the earliest event with when <= limit, or nullptr. The popped
+  /// node is left in limbo: the caller re-files or releases it.
+  EventNode* pop_next(Instant limit) {
+    for (;;) {
+      drain_overflow();
+      if (wheel_live_ == 0) {
+        if (overflow_.empty()) return nullptr;
+        EventNode* top = overflow_.front();
+        if (top->when > limit) return nullptr;
+        // Empty wheel: jump the cursor straight to the next event's tick
+        // instead of sweeping intermediate buckets.
+        cursor_tick_ = tick_of(top->when);
+        continue;  // drain refills the wheel at the new cursor
+      }
+      const std::size_t b = first_occupied_bucket();
+      EventNode* best = buckets_[b];
+      for (EventNode* n = best->next; n != nullptr; n = n->next) {
+        if (n->before(*best)) best = n;
+      }
+      if (best->when > limit) return nullptr;
+      cursor_tick_ = tick_of(best->when);
+      unlink(best);
+      --live_;
+      best->state = NodeState::kLimbo;
+      return best;
+    }
+  }
+
+  /// Move the cursor to `t` (after run_until drained everything due).
+  void advance_to(Instant t) {
+    const std::uint64_t tick = tick_of(t);
+    if (tick > cursor_tick_) cursor_tick_ = tick;
+  }
+
+  /// Generation-tagged id for a live node.
+  static EventId id_of(const EventNode* n) {
+    return (static_cast<EventId>(n->generation) << 32) | n->index;
+  }
+
+  /// Node behind `id`, or nullptr if it already fired / was cancelled.
+  EventNode* resolve(EventId id) const {
+    const std::uint32_t index = static_cast<std::uint32_t>(id & 0xffffffffu);
+    if (index >= slots_.size()) return nullptr;
+    EventNode* n = slots_[index];
+    if (n->state == NodeState::kFree) return nullptr;
+    if (n->generation != static_cast<std::uint32_t>(id >> 32)) return nullptr;
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kMask = kWheelSize - 1;
+  static constexpr std::size_t kWords = kWheelSize / 64;
+  static constexpr std::size_t kChunk = 128;  // nodes per pool growth
+
+  std::uint64_t tick_of(Instant t) const {
+    assert(t.ns() >= 0 && "simulated instants are non-negative");
+    return static_cast<std::uint64_t>(t.ns()) / resolution_ns_;
+  }
+
+  void grow() {
+    auto chunk = std::make_unique<std::array<EventNode, kChunk>>();
+    for (EventNode& n : *chunk) {
+      n.index = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(&n);
+      n.next = free_;
+      free_ = &n;
+    }
+    chunks_.push_back(std::move(chunk));
+  }
+
+  void file_into_wheel(EventNode* n, std::uint64_t tick) {
+    const std::size_t b = tick & kMask;
+    n->prev = nullptr;
+    n->next = buckets_[b];
+    if (n->next != nullptr) n->next->prev = n;
+    buckets_[b] = n;
+    occupancy_[b >> 6] |= 1ull << (b & 63);
+    n->state = NodeState::kBucket;
+    ++wheel_live_;
+  }
+
+  void unlink(EventNode* n) {
+    const std::size_t b = tick_of(n->when) & kMask;
+    if (n->prev != nullptr) {
+      n->prev->next = n->next;
+    } else {
+      buckets_[b] = n->next;
+      if (n->next == nullptr) occupancy_[b >> 6] &= ~(1ull << (b & 63));
+    }
+    if (n->next != nullptr) n->next->prev = n->prev;
+    n->prev = nullptr;
+    n->next = nullptr;
+    --wheel_live_;
+  }
+
+  /// First occupied bucket in circular order from the cursor; by the
+  /// wheel invariant (all filed ticks within [cursor, cursor+size)) this
+  /// is the bucket of the earliest tick. Precondition: wheel_live_ > 0.
+  std::size_t first_occupied_bucket() const {
+    const std::size_t start = cursor_tick_ & kMask;
+    const std::size_t word = start >> 6;
+    std::uint64_t bits = occupancy_[word] & (~0ull << (start & 63));
+    if (bits != 0) return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+    for (std::size_t i = 1; i < kWords; ++i) {
+      const std::size_t w = (word + i) & (kWords - 1);
+      if (occupancy_[w] != 0)
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(occupancy_[w]));
+    }
+    bits = occupancy_[word] & ~(~0ull << (start & 63));
+    assert(bits != 0);
+    return (word << 6) + static_cast<std::size_t>(std::countr_zero(bits));
+  }
+
+  void drain_overflow() {
+    while (!overflow_.empty()) {
+      EventNode* top = overflow_.front();
+      if (tick_of(top->when) - cursor_tick_ >= kWheelSize) break;
+      heap_pop();
+      file_into_wheel(top, tick_of(top->when));
+    }
+  }
+
+  // -- indexed binary min-heap over (when, seq) for far-future events ------
+  void heap_push(EventNode* n) {
+    n->heap_index = static_cast<std::uint32_t>(overflow_.size());
+    overflow_.push_back(n);
+    heap_sift_up(n->heap_index);
+  }
+
+  void heap_pop() { heap_erase(overflow_.front()); }
+
+  void heap_erase(EventNode* n) {
+    const std::uint32_t i = n->heap_index;
+    EventNode* last = overflow_.back();
+    overflow_.pop_back();
+    if (last != n) {
+      overflow_[i] = last;
+      last->heap_index = i;
+      heap_sift_down(heap_sift_up(i));
+    }
+  }
+
+  std::uint32_t heap_sift_up(std::uint32_t i) {
+    EventNode* n = overflow_[i];
+    while (i > 0) {
+      const std::uint32_t parent = (i - 1) / 2;
+      if (!n->before(*overflow_[parent])) break;
+      overflow_[i] = overflow_[parent];
+      overflow_[i]->heap_index = i;
+      i = parent;
+    }
+    overflow_[i] = n;
+    n->heap_index = i;
+    return i;
+  }
+
+  void heap_sift_down(std::uint32_t i) {
+    EventNode* n = overflow_[i];
+    const auto size = static_cast<std::uint32_t>(overflow_.size());
+    for (;;) {
+      std::uint32_t child = 2 * i + 1;
+      if (child >= size) break;
+      if (child + 1 < size && overflow_[child + 1]->before(*overflow_[child])) ++child;
+      if (!overflow_[child]->before(*n)) break;
+      overflow_[i] = overflow_[child];
+      overflow_[i]->heap_index = i;
+      i = child;
+    }
+    overflow_[i] = n;
+    n->heap_index = i;
+  }
+
+  std::uint64_t resolution_ns_ = 1000;  // 1 us default; Cluster re-derives
+  std::uint64_t cursor_tick_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+  std::size_t wheel_live_ = 0;
+
+  std::array<EventNode*, kWheelSize> buckets_;
+  std::array<std::uint64_t, kWords> occupancy_{};
+  std::vector<EventNode*> overflow_;
+
+  EventNode* free_ = nullptr;
+  std::vector<EventNode*> slots_;  // index -> node, for id resolution
+  std::vector<std::unique_ptr<std::array<EventNode, kChunk>>> chunks_;
+};
+
+}  // namespace decos::sim

@@ -1,7 +1,5 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-
 namespace decos::sim {
 
 Simulator::Simulator()
@@ -9,58 +7,114 @@ Simulator::Simulator()
       queue_depth_{&metrics_.gauge("sim.queue_depth")},
       handler_ns_{&metrics_.histogram("sim.handler_ns", obs::Determinism::kHostTime)} {}
 
-EventId Simulator::schedule_at(Instant when, Action action) {
-  assert(when >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  queue_.push(Entry{when, next_seq_++, id});
-  actions_.emplace(id, std::move(action));
-  ++live_;
-  queue_depth_->set(static_cast<std::int64_t>(live_));
-  return id;
+void Simulator::note_past_clamp() {
+  ++past_clamps_;
+  // Registered lazily so the counter only appears in snapshots of runs
+  // that actually clamped (healthy runs keep their dead-instrument audit
+  // clean).
+  if (past_clamped_ == nullptr) past_clamped_ = &metrics_.counter("sim.schedule_past_clamped");
+  past_clamped_->add();
+}
+
+void Simulator::file(EventNode* n, Instant when) {
+  if (when < now_) {
+    when = now_;
+    note_past_clamp();
+  }
+  queue_.insert(n, when);
+  update_depth();
 }
 
 bool Simulator::cancel(EventId id) {
-  const auto it = actions_.find(id);
-  if (it == actions_.end()) return false;
-  actions_.erase(it);
-  --live_;
+  EventNode* n = queue_.resolve(id);
+  if (n == nullptr || n->cancelled) return false;
+  if (n == firing_) {
+    // A one-shot cancelling itself mid-flight already fired: report
+    // false, like the old kernel whose dispatch erased the map entry
+    // before invoking.
+    if (n->kind == EventKind::kOneShot) return false;
+    // Unfile the pre-filed next occurrence (periodic) if any; defer the
+    // node release until its running callback returns -- releasing now
+    // would destroy the callable that is executing.
+    queue_.remove(n);
+    n->cancelled = true;
+    update_depth();
+    return true;
+  }
+  queue_.remove(n);
+  queue_.release(n);
+  update_depth();
   return true;
 }
 
-void Simulator::dispatch(const Entry& entry) {
-  const auto it = actions_.find(entry.id);
-  if (it == actions_.end()) return;  // cancelled
-  Action action = std::move(it->second);
-  actions_.erase(it);
-  --live_;
-  now_ = entry.when;
+void Simulator::fire(EventNode* n) {
+  now_ = n->when;
   ++dispatched_;
   events_dispatched_->add();
-  {
-    obs::ScopedTimer timer{*handler_ns_};
-    action();
+  if (n->kind == EventKind::kPeriodic) {
+    // File the next occurrence before the callback: same seq-assignment
+    // point as the re-arm-first idiom clients used on the old kernel,
+    // and it lets the callback cancel/re-time "the next fire" naturally.
+    queue_.insert(n, n->when + n->period);
   }
+  firing_ = n;
+  try {
+    if ((dispatched_ & kHandlerSampleMask) == 0) {
+      obs::ScopedTimer timer{*handler_ns_};
+      n->action();
+    } else {
+      n->action();
+    }
+  } catch (...) {
+    firing_ = nullptr;
+    finish(n);
+    throw;
+  }
+  firing_ = nullptr;
+  finish(n);
+}
+
+void Simulator::finish(EventNode* n) {
+  if (n->cancelled) {
+    queue_.remove(n);  // no-op if the cancel already unfiled it
+    queue_.release(n);
+  } else if (n->state == NodeState::kLimbo) {
+    // One-shot done, or a self-timed task that chose not to reschedule.
+    queue_.release(n);
+  }
+  update_depth();
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    queue_.pop();
-    if (actions_.find(entry.id) == actions_.end()) continue;  // tombstone
-    dispatch(entry);
-    return true;
-  }
-  return false;
+  EventNode* n = queue_.pop_next(Instant::max());
+  if (n == nullptr) return false;
+  fire(n);
+  return true;
 }
 
 void Simulator::run_until(Instant deadline) {
-  while (!queue_.empty()) {
-    const Entry entry = queue_.top();
-    if (entry.when > deadline) break;
-    queue_.pop();
-    dispatch(entry);
-  }
+  while (EventNode* n = queue_.pop_next(deadline)) fire(n);
   if (now_ < deadline) now_ = deadline;
+  queue_.advance_to(deadline);
+}
+
+bool Simulator::task_active(EventId id) const {
+  const EventNode* n = queue_.resolve(id);
+  return n != nullptr && !n->cancelled;
+}
+
+void Simulator::task_reschedule(EventId id, Instant when) {
+  EventNode* n = queue_.resolve(id);
+  assert(n != nullptr && "reschedule_at on a completed task");
+  if (n == nullptr || n->cancelled) return;
+  queue_.remove(n);  // no-op while in limbo (self-timed re-arm mid-fire)
+  file(n, when);
+}
+
+Instant Simulator::task_next_fire(EventId id) const {
+  const EventNode* n = queue_.resolve(id);
+  assert(n != nullptr && "next_fire on a completed task");
+  return n == nullptr ? Instant::origin() : n->when;
 }
 
 }  // namespace decos::sim

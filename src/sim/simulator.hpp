@@ -5,24 +5,79 @@
 // the modelled cluster; per-node clocks with drift are layered on top in
 // clock.hpp. Events scheduled for the same instant fire in insertion
 // order, which makes every run bit-reproducible for a fixed seed.
+//
+// Storage is the typed event kernel of event_queue.hpp: pooled intrusive
+// nodes in a timer wheel, with the callable constructed in place inside
+// the node (action.hpp). Periodic work uses a PeriodicTask handle that
+// the kernel re-files in place -- the steady state of a TDMA cluster
+// (slots, rounds, partition activations, gateway ticks) therefore runs
+// with zero allocation and zero hashing per firing.
 #pragma once
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <string>
-#include <unordered_map>
 #include <utility>
-#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "sim/event_queue.hpp"
 #include "util/time.hpp"
 
 namespace decos::sim {
 
-/// Handle to a scheduled event; can be used to cancel it.
-using EventId = std::uint64_t;
+class Simulator;
+
+/// Move-only owner of a recurring event. Obtained from
+/// Simulator::schedule_periodic; destroying (or cancelling) the handle
+/// stops the recurrence. Two flavours share this handle:
+///
+///  - fixed period: the kernel re-files the event at when + period
+///    *before* invoking the callback (so the callback observes the next
+///    occurrence already pending, exactly like the re-arm-first idiom the
+///    TDMA clients used on the old kernel);
+///  - self-timed: the callback calls reschedule_at() with whatever
+///    instant its (drifting, re-synchronised) local clock dictates. If it
+///    returns without rescheduling, the task completes and the node is
+///    released.
+class PeriodicTask {
+ public:
+  PeriodicTask() = default;
+  PeriodicTask(PeriodicTask&& o) noexcept : sim_{o.sim_}, id_{o.id_} {
+    o.sim_ = nullptr;
+    o.id_ = 0;
+  }
+  PeriodicTask& operator=(PeriodicTask&& o) noexcept;
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  ~PeriodicTask();
+
+  /// True while the task still has a pending (or currently firing)
+  /// occurrence.
+  bool active() const;
+
+  /// Stop the recurrence. Safe from inside the task's own callback (the
+  /// node is reclaimed after the callback returns). Returns false if the
+  /// task already completed or was never started.
+  bool cancel();
+
+  /// Re-time the next occurrence (self-timed tasks call this from their
+  /// callback; it also re-times a pending occurrence from outside).
+  /// Instants in the past clamp to now.
+  void reschedule_at(Instant when);
+
+  /// Instant of the next pending occurrence (the current one while the
+  /// callback runs). Only valid while active().
+  Instant next_fire() const;
+
+ private:
+  friend class Simulator;
+  PeriodicTask(Simulator* sim, EventId id) : sim_{sim}, id_{id} {}
+
+  Simulator* sim_ = nullptr;
+  EventId id_ = 0;
+};
 
 /// Single-threaded event-driven simulator with a monotone global clock.
 ///
@@ -32,6 +87,8 @@ using EventId = std::uint64_t;
 /// instruments / emit spans through the simulator they run on.
 class Simulator {
  public:
+  /// Compatibility alias; schedule_at accepts any callable, a
+  /// std::function is just one (inline-stored) possibility.
   using Action = std::function<void()>;
 
   Simulator();
@@ -48,16 +105,52 @@ class Simulator {
   obs::TraceCollector& spans() { return spans_; }
   const obs::TraceCollector& spans() const { return spans_; }
 
-  /// Schedule `action` at absolute time `when`. Precondition: when >= now().
-  EventId schedule_at(Instant when, Action action);
+  /// Schedule `action` once at absolute time `when`. Instants in the
+  /// past clamp to now() and count in sim.schedule_past_clamped.
+  template <typename F>
+  EventId schedule_at(Instant when, F&& action) {
+    EventNode* n = queue_.acquire();
+    n->action.emplace(std::forward<F>(action));
+    n->kind = EventKind::kOneShot;
+    file(n, when);
+    return EventQueue::id_of(n);
+  }
 
-  /// Schedule `action` after `delay` from now. Precondition: delay >= 0.
-  EventId schedule_after(Duration delay, Action action) {
-    return schedule_at(now_ + delay, std::move(action));
+  /// Schedule `action` once after `delay` from now.
+  template <typename F>
+  EventId schedule_after(Duration delay, F&& action) {
+    return schedule_at(now_ + delay, std::forward<F>(action));
+  }
+
+  /// Fixed-period recurring event: first occurrence at `first`, then
+  /// every `period` (> 0) until the returned handle is cancelled. The
+  /// next occurrence is filed *before* the callback runs.
+  template <typename F>
+  PeriodicTask schedule_periodic(Instant first, Duration period, F&& action) {
+    assert(period > Duration::zero() && "periodic tasks need a positive period");
+    EventNode* n = queue_.acquire();
+    n->action.emplace(std::forward<F>(action));
+    n->kind = EventKind::kPeriodic;
+    n->period = period;
+    file(n, first);
+    return PeriodicTask{this, EventQueue::id_of(n)};
+  }
+
+  /// Self-timed recurring event: fires at `first`; each callback either
+  /// calls PeriodicTask::reschedule_at for the next occurrence or lets
+  /// the task complete. This is the handle for TDMA clients whose next
+  /// fire depends on a drifting local clock.
+  template <typename F>
+  PeriodicTask schedule_periodic(Instant first, F&& action) {
+    EventNode* n = queue_.acquire();
+    n->action.emplace(std::forward<F>(action));
+    n->kind = EventKind::kDriven;
+    file(n, first);
+    return PeriodicTask{this, EventQueue::id_of(n)};
   }
 
   /// Cancel a pending event. Returns false if it already fired or never
-  /// existed. Cancellation is O(1) (lazy: the tombstone is skipped at pop).
+  /// existed. O(1): the node is unlinked eagerly, no tombstones remain.
   bool cancel(EventId id);
 
   /// Run all events up to and including `deadline`; afterwards now() ==
@@ -70,36 +163,90 @@ class Simulator {
   /// Number of events dispatched so far (for perf accounting).
   std::uint64_t dispatched() const { return dispatched_; }
   /// Number of events currently pending.
-  std::size_t pending() const { return live_; }
+  std::size_t pending() const { return queue_.live(); }
+
+  /// Times a schedule target in the past was clamped to now (also
+  /// surfaced as the sim.schedule_past_clamped counter once non-zero).
+  std::uint64_t past_clamps() const { return past_clamps_; }
+
+  /// Tick granularity of the timer wheel -- a pure performance knob
+  /// (dispatch order is exact at any resolution). platform::Cluster
+  /// derives it from the TDMA round layout. Only callable while no
+  /// events are pending.
+  void set_tick_resolution(Duration resolution) {
+    assert(pending() == 0 && "re-ticking requires an empty queue");
+    queue_.set_resolution(resolution, now_);
+  }
+  Duration tick_resolution() const { return queue_.resolution(); }
 
  private:
-  struct Entry {
-    Instant when;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-instant events
-    EventId id;
-    // Ordering for a min-heap via std::greater.
-    bool operator>(const Entry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
-    }
-  };
+  friend class PeriodicTask;
 
-  void dispatch(const Entry& entry);
+  /// Host-time handler histogram is sampled 1-in-16: two steady_clock
+  /// reads per event would dominate the dispatch cost the kernel is
+  /// built to avoid.
+  static constexpr std::uint64_t kHandlerSampleMask = 15;
+
+  void file(EventNode* n, Instant when);
+  void fire(EventNode* n);
+  void finish(EventNode* n);
+  void note_past_clamp();
+  void update_depth() {
+    queue_depth_->set(static_cast<std::int64_t>(queue_.live()));
+  }
+
+  bool task_active(EventId id) const;
+  bool task_cancel(EventId id) { return cancel(id); }
+  void task_reschedule(EventId id, Instant when);
+  Instant task_next_fire(EventId id) const;
 
   Instant now_;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t dispatched_ = 0;
-  std::size_t live_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
-  // id -> action; erased on cancel so the popped tombstone is skipped.
-  std::unordered_map<EventId, Action> actions_;
+  std::uint64_t past_clamps_ = 0;
+  EventQueue queue_;
+  EventNode* firing_ = nullptr;  // node whose callback is on the stack
 
   obs::MetricsRegistry metrics_;
   obs::TraceCollector spans_;
-  obs::Counter* events_dispatched_;  // sim.events_dispatched
-  obs::Gauge* queue_depth_;          // sim.queue_depth (high-water)
-  obs::Histogram* handler_ns_;       // sim.handler_ns (host time)
+  obs::Counter* events_dispatched_;         // sim.events_dispatched
+  obs::Gauge* queue_depth_;                 // sim.queue_depth (live depth)
+  obs::Histogram* handler_ns_;              // sim.handler_ns (host time, sampled)
+  obs::Counter* past_clamped_ = nullptr;    // sim.schedule_past_clamped (lazy)
 };
+
+inline PeriodicTask& PeriodicTask::operator=(PeriodicTask&& o) noexcept {
+  if (this != &o) {
+    cancel();
+    sim_ = o.sim_;
+    id_ = o.id_;
+    o.sim_ = nullptr;
+    o.id_ = 0;
+  }
+  return *this;
+}
+
+inline PeriodicTask::~PeriodicTask() { cancel(); }
+
+inline bool PeriodicTask::active() const {
+  return sim_ != nullptr && sim_->task_active(id_);
+}
+
+inline bool PeriodicTask::cancel() {
+  if (sim_ == nullptr) return false;
+  const bool cancelled = sim_->task_cancel(id_);
+  sim_ = nullptr;
+  id_ = 0;
+  return cancelled;
+}
+
+inline void PeriodicTask::reschedule_at(Instant when) {
+  assert(sim_ != nullptr && "reschedule_at on an empty task");
+  sim_->task_reschedule(id_, when);
+}
+
+inline Instant PeriodicTask::next_fire() const {
+  assert(sim_ != nullptr && "next_fire on an empty task");
+  return sim_->task_next_fire(id_);
+}
 
 }  // namespace decos::sim

@@ -13,7 +13,7 @@ Controller::Controller(sim::Simulator& simulator, TtBus& bus, NodeId id, sim::Dr
 void Controller::start() { start_from_round(0); }
 
 void Controller::start_from_round(std::uint64_t round) {
-  for (const auto& [slot_index, state] : slots_) schedule_slot(slot_index, round);
+  for (auto& [slot_index, state] : slots_) schedule_slot(slot_index, state, round);
   schedule_round_end(round);
 }
 
@@ -87,30 +87,52 @@ void Controller::set_send_omission_rate(double rate, std::uint64_t seed) {
   omission_rng_state_ = seed * 2654435769ULL + 1;
 }
 
-void Controller::schedule_slot(std::size_t slot_index, std::uint64_t round) {
+void Controller::schedule_slot(std::size_t slot_index, SlotState& state, std::uint64_t round) {
+  state.round = round;
   const Instant local_start = bus_.schedule().slot_start(round, slot_index);
   Instant when = true_time_for_local(local_start);
   if (when < simulator_.now()) when = simulator_.now();
-  simulator_.schedule_at(when, [this, slot_index, round] { transmit_slot(slot_index, round); });
+  // Self-timed: each firing re-times the same kernel node against the
+  // drifting (and sync-corrected) local clock. Assigning the task here
+  // cancels a previous incarnation (re-integration restarts cleanly).
+  state.task = simulator_.schedule_periodic(
+      when, [this, slot_index, &state] { transmit_slot(slot_index, state); });
 }
 
 void Controller::schedule_round_end(std::uint64_t round) {
+  next_round_ = round;
   const Instant local_end =
       Instant::origin() + bus_.schedule().round_length() * static_cast<std::int64_t>(round + 1);
   Instant when = true_time_for_local(local_end);
   if (when < simulator_.now()) when = simulator_.now();
-  simulator_.schedule_at(when, [this, round] {
-    if (!crashed_) {
-      for (const auto& listener : round_listeners_) listener(round);
-    }
-    schedule_round_end(round + 1);
-  });
+  round_task_ = simulator_.schedule_periodic(when, [this] { round_end(); });
 }
 
-void Controller::transmit_slot(std::size_t slot_index, std::uint64_t round) {
+void Controller::round_end() {
+  const std::uint64_t round = next_round_;
+  if (!crashed_) {
+    for (const auto& listener : round_listeners_) listener(round);
+  }
+  // Re-arm *after* the listeners: the clock-sync round hook corrects the
+  // local clock, and the next boundary must be computed on the corrected
+  // clock (same ordering as the old self-chaining event).
+  next_round_ = round + 1;
+  const Instant local_end =
+      Instant::origin() + bus_.schedule().round_length() * static_cast<std::int64_t>(round + 2);
+  Instant when = true_time_for_local(local_end);
+  if (when < simulator_.now()) when = simulator_.now();
+  round_task_.reschedule_at(when);
+}
+
+void Controller::transmit_slot(std::size_t slot_index, SlotState& state) {
+  const std::uint64_t round = state.round;
   // Re-arm for the next round first so a blocked frame does not silence
   // the node forever.
-  schedule_slot(slot_index, round + 1);
+  state.round = round + 1;
+  const Instant local_start = bus_.schedule().slot_start(round + 1, slot_index);
+  Instant when = true_time_for_local(local_start);
+  if (when < simulator_.now()) when = simulator_.now();
+  state.task.reschedule_at(when);
 
   if (crashed_) return;
   if (send_omission_rate_ > 0.0) {
@@ -122,7 +144,6 @@ void Controller::transmit_slot(std::size_t slot_index, std::uint64_t round) {
     if (u < send_omission_rate_) return;
   }
 
-  SlotState& state = slots_.at(slot_index);
   Frame frame;
   frame.sender = id_;
   frame.vn = bus_.schedule().slot(slot_index).vn;

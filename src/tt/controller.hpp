@@ -119,12 +119,18 @@ class Controller {
     std::optional<std::vector<std::byte>> state_buffer;
     std::deque<std::vector<std::byte>> queue;
     SlotSource source;
+    // Self-timed transmit event: the same pooled kernel node fires every
+    // round, re-timed against the drifting local clock -- no allocation,
+    // no slot lookup on the TDMA hot path.
+    sim::PeriodicTask task;
+    std::uint64_t round = 0;  // round of the next pending transmission
   };
 
   void start_from_round(std::uint64_t round);
-  void schedule_slot(std::size_t slot_index, std::uint64_t round);
+  void schedule_slot(std::size_t slot_index, SlotState& state, std::uint64_t round);
   void schedule_round_end(std::uint64_t round);
-  void transmit_slot(std::size_t slot_index, std::uint64_t round);
+  void transmit_slot(std::size_t slot_index, SlotState& state);
+  void round_end();
   /// Simulator event time at which this node's clock shows `local`.
   Instant true_time_for_local(Instant local) const { return clock_.true_time_for(local); }
 
@@ -135,6 +141,8 @@ class Controller {
   std::unordered_map<std::size_t, SlotState> slots_;
   std::vector<FrameListener> frame_listeners_;
   std::vector<RoundListener> round_listeners_;
+  sim::PeriodicTask round_task_;  // self-timed round-boundary event
+  std::uint64_t next_round_ = 0;  // round the pending boundary completes
   bool crashed_ = false;
   bool integrating_ = false;
   sim::EventId integration_timeout_ = 0;

@@ -9,9 +9,11 @@
 
 #include <cstdlib>
 #include <new>
+#include <vector>
 
 #include "../helpers.hpp"
 #include "core/virtual_gateway.hpp"
+#include "sim/simulator.hpp"
 
 // Global allocation counter (same pattern as tests/obs/metrics_test.cpp):
 // every heap allocation in this binary bumps the counter; the tests only
@@ -111,6 +113,68 @@ TEST(HotPathAllocations, SteadyStateStatePipelineAllocatesNothing) {
   const std::size_t delta = pipeline_allocations(*gw, inst, now, 512);
   EXPECT_EQ(delta, 0u) << "steady-state dissect+construct allocated";
   EXPECT_GT(emitted, warm_emitted) << "pipeline stopped forwarding";
+}
+
+// -- kernel (sim/event_queue.hpp): the acceptance criterion of the typed
+// periodic-event refactor is zero heap allocations and zero hash probes
+// per steady-state firing. Hashing is gone by construction (no map
+// remains in the kernel); allocation is asserted here. --
+
+TEST(HotPathAllocations, SteadyPeriodicFiringAllocatesNothing) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  std::vector<sim::PeriodicTask> tasks;
+  // 64 tasks with TDMA-client-sized captures (this + index + counter
+  // reference): inline in the node, far under InlineAction's 128 bytes.
+  tasks.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back(sim.schedule_periodic(sim.now() + Duration::microseconds(1 + 13 * i), 1_ms,
+                                          [&fired, i] { fired += static_cast<unsigned>(i) + 1; }));
+  }
+  sim.run_until(sim.now() + 10_ms);  // warm the pool and the wheel
+  ASSERT_GT(fired, 0u);
+
+  const std::size_t before = g_allocations;
+  sim.run_until(sim.now() + 100_ms);  // ~6400 firings
+  EXPECT_EQ(g_allocations - before, 0u) << "steady periodic firing allocated";
+  EXPECT_EQ(sim.pending(), tasks.size());
+}
+
+TEST(HotPathAllocations, WarmedOneShotChurnAllocatesNothing) {
+  // One-shot schedule -> fire -> release recycles pool nodes; once the
+  // pool has grown to the high-water mark, churn is allocation-free.
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 256; ++i)
+    sim.schedule_after(Duration::microseconds(3 * (i + 1)), [&fired] { ++fired; });
+  sim.run_until(sim.now() + 1_ms);  // drain: every node is now pooled
+
+  const std::size_t before = g_allocations;
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 256; ++i)
+      sim.schedule_after(Duration::microseconds(3 * (i + 1)), [&fired] { ++fired; });
+    sim.run_until(sim.now() + 1_ms);
+  }
+  EXPECT_EQ(g_allocations - before, 0u) << "warmed one-shot churn allocated";
+  EXPECT_EQ(fired, 256u * 101u);
+}
+
+TEST(HotPathAllocations, ScheduleCancelChurnAllocatesNothing) {
+  // The integration-timeout shape: schedule, then cancel before it
+  // fires. O(1) unlink, node straight back to the free list.
+  sim::Simulator sim;
+  bool fired = false;
+  const sim::EventId warm = sim.schedule_after(1_ms, [&fired] { fired = true; });
+  sim.cancel(warm);
+
+  const std::size_t before = g_allocations;
+  for (int i = 0; i < 10000; ++i) {
+    const sim::EventId id = sim.schedule_after(1_ms, [&fired] { fired = true; });
+    ASSERT_TRUE(sim.cancel(id));
+  }
+  EXPECT_EQ(g_allocations - before, 0u) << "schedule/cancel churn allocated";
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
 }
 
 TEST(HotPathAllocations, SteadyStateEventPipelineAllocatesNothing) {

@@ -1,0 +1,220 @@
+// Kernel determinism golden: a miniature E19-shaped cluster (two DAS
+// pairs, drifting clocks, clock sync, membership, one hidden gateway per
+// pair, fault injection) is run for half a simulated second and its
+// observable behaviour -- the causal span tree plus every deterministic
+// metric -- is pinned byte-for-byte against a fixture generated before
+// the typed periodic-event kernel replaced the heap+map kernel. Any
+// reordering of same-instant events, any change to dispatch times, or
+// any drift in what the clients schedule shows up here as a diff.
+//
+// Regenerate (only when the *intended* behaviour changes) with
+//   DECOS_UPDATE_GOLDEN=1 ./sim_tests --gtest_filter='KernelGolden*'
+//
+// The sim.queue_depth gauge is excluded: PR 4 fixed it to track live
+// depth (it used to freeze at the last schedule_at), so its value is
+// intentionally different across the kernel swap. Host-time instruments
+// are excluded by deterministic_fingerprint() itself.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/gateway_job.hpp"
+#include "core/wiring.hpp"
+#include "fault/plan.hpp"
+#include "obs/span.hpp"
+#include "platform/cluster.hpp"
+#include "util/symbol.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+namespace decos {
+namespace {
+
+using namespace decos::literals;
+
+spec::MessageSpec state_message(const std::string& message_name, const std::string& element_name,
+                                int id) {
+  spec::MessageSpec ms{message_name};
+  spec::ElementSpec key;
+  key.name = "name";
+  key.key = true;
+  key.fields.push_back(spec::FieldSpec{"id", spec::FieldType::kInt16, 0, ta::Value{id}});
+  ms.add_element(std::move(key));
+  spec::ElementSpec payload;
+  payload.name = element_name;
+  payload.convertible = true;
+  payload.fields.push_back(spec::FieldSpec{"value", spec::FieldType::kInt32, 0, std::nullopt});
+  payload.fields.push_back(spec::FieldSpec{"t", spec::FieldType::kTimestamp, 0, std::nullopt});
+  ms.add_element(std::move(payload));
+  return ms;
+}
+
+spec::PortSpec input_port(const std::string& message, Duration period) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.paradigm = spec::ControlParadigm::kTimeTriggered;
+  ps.period = period;
+  ps.min_interarrival = 1_us;
+  ps.max_interarrival = Duration::seconds(3600);
+  ps.queue_capacity = 16;
+  return ps;
+}
+
+spec::PortSpec output_port(const std::string& message) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.period = Duration::zero();
+  ps.queue_capacity = 16;
+  return ps;
+}
+
+spec::PortSpec tt_output_port(const std::string& message, Duration period) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.paradigm = spec::ControlParadigm::kTimeTriggered;
+  ps.period = period;
+  ps.queue_capacity = 16;
+  return ps;
+}
+
+spec::MessageInstance state_instance(const spec::MessageSpec& ms, std::int64_t value, Instant t) {
+  spec::MessageInstance inst = spec::make_instance(ms);
+  inst.elements()[1].fields[0] = ta::Value{value};
+  inst.elements()[1].fields[1] = ta::Value{t};
+  inst.set_send_time(t);
+  return inst;
+}
+
+TEST(KernelGolden, MiniClusterSpanTreeAndMetricsAreBytePinned) {
+  constexpr std::size_t kNodes = 4;
+  constexpr std::size_t kPairs = 2;
+  platform::ClusterConfig config;
+  config.nodes = kNodes;
+  config.round_length = 10_ms;
+  config.drift_ppm = {40.0, -40.0, 25.0, -25.0};
+  for (std::size_t k = 0; k < kPairs; ++k) {
+    const auto producer = static_cast<tt::NodeId>(k % kNodes);
+    const auto host = static_cast<tt::NodeId>((k + 1) % kNodes);
+    config.allocations.push_back(
+        {static_cast<tt::VnId>(1 + 2 * k), "dasA" + std::to_string(k), 32, {producer}});
+    config.allocations.push_back(
+        {static_cast<tt::VnId>(2 + 2 * k), "dasB" + std::to_string(k), 32, {host}});
+  }
+  platform::Cluster cluster{config};
+  cluster.spans().set_enabled(true);
+
+  std::vector<std::unique_ptr<vn::TtVirtualNetwork>> tt_vns;
+  std::vector<std::unique_ptr<vn::EtVirtualNetwork>> et_vns;
+  std::vector<std::unique_ptr<core::VirtualGateway>> gateways;
+  std::vector<platform::Partition*> partitions(kNodes, nullptr);
+
+  for (std::size_t k = 0; k < kPairs; ++k) {
+    const auto producer = static_cast<tt::NodeId>(k % kNodes);
+    const auto host = static_cast<tt::NodeId>((k + 1) % kNodes);
+    const auto vn_a_id = static_cast<tt::VnId>(1 + 2 * k);
+    const auto vn_b_id = static_cast<tt::VnId>(2 + 2 * k);
+
+    tt_vns.push_back(std::make_unique<vn::TtVirtualNetwork>("tt" + std::to_string(k), vn_a_id));
+    auto& vn_a = *tt_vns.back();
+    vn_a.register_message(state_message("msgA" + std::to_string(k), "img", 1));
+    et_vns.push_back(std::make_unique<vn::EtVirtualNetwork>("et" + std::to_string(k), vn_b_id));
+    auto& vn_b = *et_vns.back();
+
+    spec::LinkSpec link_a{"dasA" + std::to_string(k)};
+    link_a.add_message(state_message("msgA" + std::to_string(k), "img", 1));
+    link_a.add_port(input_port("msgA" + std::to_string(k), config.round_length));
+    spec::LinkSpec link_b{"dasB" + std::to_string(k)};
+    link_b.add_message(state_message("msgB" + std::to_string(k), "img", 2));
+    link_b.add_port(output_port("msgB" + std::to_string(k)));
+    gateways.push_back(std::make_unique<core::VirtualGateway>(
+        "gw" + std::to_string(k), std::move(link_a), std::move(link_b)));
+    auto& gw = *gateways.back();
+    gw.finalize();
+    core::wire_tt_link(gw, 0, vn_a, cluster.controller(host), {});
+    core::wire_et_link(gw, 1, vn_b, cluster.controller(host), cluster.vn_slots(vn_b_id, host));
+    if (partitions[host] == nullptr) {
+      partitions[host] = &cluster.component(host).add_partition("gw", "architecture", 0_ms, 2_ms);
+    }
+    partitions[host]->add_job(std::make_unique<core::GatewayJob>(gw));
+
+    platform::Partition& pp = cluster.component(producer).add_partition(
+        "p" + std::to_string(k), "dasA" + std::to_string(k),
+        3_ms + Duration::microseconds(static_cast<std::int64_t>(k) * 300), 200_us);
+    platform::FunctionJob& job = pp.add_function_job(
+        "prod" + std::to_string(k), [&vn_a, k](platform::FunctionJob& self, Instant now) {
+          self.ports()[0]->deposit(
+              state_instance(*vn_a.message_spec("msgA" + std::to_string(k)),
+                             static_cast<std::int64_t>(self.activations()), now),
+              now);
+        });
+    job.set_execution_time(10_us);
+    vn_a.attach_sender(
+        cluster.controller(producer),
+        job.add_port(tt_output_port("msgA" + std::to_string(k), config.round_length)),
+        cluster.vn_slots(vn_a_id, producer));
+  }
+
+  // Faults exercise one-shot events (crash/recover far in the future at
+  // schedule time) and periodic cancellation paths alongside the steady
+  // periodic machinery.
+  fault::FaultPlan faults{cluster.simulator()};
+  faults.crash(cluster.controller(3), Instant::origin() + 123_ms, 80_ms);
+  faults.omission(cluster.controller(2), Instant::origin() + 50_ms, 0.2, 7);
+  faults.babble(cluster.controller(2), Instant::origin() + 200_ms, 0, 1, 5, 3_ms);
+
+  cluster.start();
+  cluster.run_for(500_ms);
+
+  std::uint64_t forwarded = 0;
+  for (const auto& gw : gateways) forwarded += gw->stats().messages_constructed;
+  ASSERT_GT(forwarded, 0u) << "mini cluster never forwarded a message";
+
+  // -- canonical serialization ----------------------------------------------
+  std::ostringstream canon;
+  canon << "events " << cluster.simulator().dispatched() << "\n"
+        << "forwarded " << forwarded << "\n"
+        << "spans " << cluster.spans().spans().size() << "\n";
+  for (const obs::Span& s : cluster.spans().spans()) {
+    canon << "span trace=" << s.trace_id << " id=" << s.span_id << " parent=" << s.parent_id
+          << " phase=" << obs::phase_name(s.phase) << " track=" << symbol_name(s.track)
+          << " name=" << symbol_name(s.name) << " start=" << (s.start - Instant::origin()).ns()
+          << " end=" << (s.end - Instant::origin()).ns() << "\n";
+  }
+  const obs::MetricsSnapshot snapshot = cluster.metrics().snapshot();
+  std::istringstream fingerprint{snapshot.deterministic_fingerprint()};
+  for (std::string line; std::getline(fingerprint, line);) {
+    // Live-depth gauge semantics changed deliberately in PR 4 (see header).
+    if (line.rfind("sim.queue_depth=", 0) == 0) continue;
+    canon << line << "\n";
+  }
+
+  const std::string path = std::string{DECOS_SIM_GOLDEN_DIR} + "/kernel_mini_cluster.txt";
+  if (std::getenv("DECOS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{path};
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << canon.str();
+    GTEST_SKIP() << "golden fixture regenerated: " << path;
+  }
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good()) << "missing golden fixture " << path
+                         << " (regenerate with DECOS_UPDATE_GOLDEN=1)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(canon.str(), golden.str())
+      << "span tree / metrics diverged from the pre-refactor kernel fixture";
+}
+
+}  // namespace
+}  // namespace decos

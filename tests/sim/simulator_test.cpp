@@ -105,5 +105,156 @@ TEST(SimulatorTest, DispatchedCounterCounts) {
   EXPECT_EQ(sim.dispatched(), 7u);
 }
 
+TEST(SimulatorTest, SchedulingInThePastClampsAndCounts) {
+  Simulator sim;
+  sim.schedule_after(10_ms, [] {});
+  sim.run_until(Instant::origin() + 10_ms);
+  Instant seen;
+  sim.schedule_at(Instant::origin() + 2_ms, [&] { seen = sim.now(); });  // 8 ms ago
+  EXPECT_EQ(sim.past_clamps(), 1u);
+  sim.run_until(Instant::origin() + 20_ms);
+  EXPECT_EQ(seen, Instant::origin() + 10_ms);  // fired "now", not silently dropped
+}
+
+TEST(PeriodicTaskTest, FiresAtExactMultiplesAndCountsAsOnePending) {
+  Simulator sim;
+  std::vector<Instant> fires;
+  PeriodicTask task =
+      sim.schedule_periodic(Instant::origin() + 2_ms, 5_ms, [&] { fires.push_back(sim.now()); });
+  EXPECT_TRUE(task.active());
+  EXPECT_EQ(sim.pending(), 1u);  // one live occurrence at any time
+  sim.run_until(Instant::origin() + 20_ms);
+  EXPECT_EQ(fires, (std::vector<Instant>{Instant::origin() + 2_ms, Instant::origin() + 7_ms,
+                                         Instant::origin() + 12_ms, Instant::origin() + 17_ms}));
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_EQ(task.next_fire(), Instant::origin() + 22_ms);
+}
+
+TEST(PeriodicTaskTest, NextOccurrenceIsPendingDuringCallback) {
+  // The kernel files the next occurrence BEFORE invoking the callback --
+  // the same order the old clients re-armed in, so same-instant FIFO
+  // sequence numbers are preserved across the migration.
+  Simulator sim;
+  Instant next_seen;
+  PeriodicTask task = sim.schedule_periodic(Instant::origin() + 1_ms, 4_ms,
+                                            [&] { next_seen = task.next_fire(); });
+  sim.run_until(Instant::origin() + 1_ms);
+  EXPECT_EQ(next_seen, Instant::origin() + 5_ms);
+}
+
+TEST(PeriodicTaskTest, CancelFromOutsideStopsFiring) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task = sim.schedule_periodic(Instant::origin() + 1_ms, 1_ms, [&] { ++fired; });
+  sim.run_until(Instant::origin() + 3_ms);
+  EXPECT_EQ(fired, 3);
+  task.cancel();
+  EXPECT_FALSE(task.active());
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTaskTest, CancelFromInsideCallbackStopsFiring) {
+  // The pre-filed next occurrence must be unfiled, and the node the
+  // callback is executing from must outlive the callback (release is
+  // deferred until after it returns).
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task;
+  task = sim.schedule_periodic(Instant::origin() + 1_ms, 1_ms, [&] {
+    if (++fired == 2) task.cancel();
+  });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(task.active());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(PeriodicTaskTest, DrivenTaskFollowsRescheduleAt) {
+  // Self-timed flavour: no fixed period; the callback picks the next
+  // instant (tt::Controller's round-end and slot re-arm use this).
+  Simulator sim;
+  std::vector<Instant> fires;
+  Duration gap = 1_ms;
+  PeriodicTask task;
+  task = sim.schedule_periodic(Instant::origin() + 1_ms, [&] {
+    fires.push_back(sim.now());
+    gap = gap * 2;
+    task.reschedule_at(sim.now() + gap);
+  });
+  sim.run_until(Instant::origin() + 16_ms);
+  EXPECT_EQ(fires, (std::vector<Instant>{Instant::origin() + 1_ms, Instant::origin() + 3_ms,
+                                         Instant::origin() + 7_ms, Instant::origin() + 15_ms}));
+  EXPECT_TRUE(task.active());
+}
+
+TEST(PeriodicTaskTest, DrivenTaskWithoutRescheduleCompletes) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task = sim.schedule_periodic(Instant::origin() + 1_ms, [&] { ++fired; });
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(task.active());  // node released after the silent callback
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(PeriodicTaskTest, MoveTransfersOwnershipAndAssignCancelsPrevious) {
+  Simulator sim;
+  int a = 0;
+  int b = 0;
+  PeriodicTask task = sim.schedule_periodic(Instant::origin() + 1_ms, 1_ms, [&] { ++a; });
+  PeriodicTask moved = std::move(task);
+  EXPECT_FALSE(task.active());  // NOLINT(bugprone-use-after-move): moved-from is inert
+  EXPECT_TRUE(moved.active());
+  sim.run_until(Instant::origin() + 2_ms);
+  EXPECT_EQ(a, 2);
+  // Assigning a new task over a live handle cancels the old schedule --
+  // tt::Controller relies on this when a node re-integrates.
+  moved = sim.schedule_periodic(sim.now() + 1_ms, 1_ms, [&] { ++b; });
+  sim.run_until(Instant::origin() + 4_ms);
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(PeriodicTaskTest, DestructorCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTask task = sim.schedule_periodic(Instant::origin() + 1_ms, 1_ms, [&] { ++fired; });
+    sim.run_until(Instant::origin() + 2_ms);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.run_until(Instant::origin() + 10_ms);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTaskTest, OneShotCancellingItselfMidFireReturnsFalse) {
+  // Parity with the old kernel, which erased the map entry before
+  // invoking: by the time the handler runs, its own id is gone.
+  Simulator sim;
+  bool cancel_result = true;
+  EventId id = 0;
+  id = sim.schedule_at(Instant::origin() + 1_ms, [&] { cancel_result = sim.cancel(id); });
+  sim.run_until(Instant::origin() + 2_ms);
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(PeriodicTaskTest, TickResolutionDoesNotChangeDispatchOrder) {
+  for (const Duration resolution : {Duration::nanoseconds(1), Duration::microseconds(100),
+                                    Duration::milliseconds(1)}) {
+    Simulator sim;
+    sim.set_tick_resolution(resolution);
+    std::vector<int> order;
+    // Three instants 250 us apart: same bucket at 1 ms resolution,
+    // distinct buckets at 100 us, distinct ticks at 1 ns.
+    sim.schedule_at(Instant::origin() + Duration::microseconds(750), [&] { order.push_back(3); });
+    sim.schedule_at(Instant::origin() + Duration::microseconds(250), [&] { order.push_back(1); });
+    sim.schedule_at(Instant::origin() + Duration::microseconds(500), [&] { order.push_back(2); });
+    sim.run_until(Instant::origin() + 1_s);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3})) << "resolution " << resolution.ns() << "ns";
+  }
+}
+
 }  // namespace
 }  // namespace decos::sim
