@@ -179,13 +179,19 @@ int main(int argc, char** argv) {
 
   row("%-6s %10s %14s %12s %14s %12s", "K", "true", "gateway", "gw error", "naive relay",
       "naive error");
+  const Workload workload = make_workload(99);  // shared, read-only across cells
+  ParallelSweep sweep{harness};
   for (const std::size_t capacity : {2u, 4u, 8u, 16u, 64u}) {
-    const Workload workload = make_workload(99);
-    const int gw = run_gateway(workload, capacity);
-    const int naive = run_naive(workload, capacity);
-    row("%-6zu %10d %14d %12d %14d %12d", capacity, workload.true_final, gw,
-        gw - workload.true_final, naive, naive - workload.true_final);
+    char label[24];
+    std::snprintf(label, sizeof label, "K=%zu", capacity);
+    sweep.add(label, [&workload, capacity](Cell& cell) {
+      const int gw = run_gateway(workload, capacity);
+      const int naive = run_naive(workload, capacity);
+      cell.row("%-6zu %10d %14d %12d %14d %12d", capacity, workload.true_final, gw,
+               gw - workload.true_final, naive, naive - workload.true_final);
+    });
   }
+  sweep.run();
   row("");
   row("expected shape: the gateway's exported state matches the true roof");
   row("position for every relay capacity (the event->state conversion happens");

@@ -410,9 +410,13 @@ class HarnessReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   Harness harness{argc, argv, "e11"};
   // Google benchmark must not see the harness flags; it rejects unknown
-  // arguments. Its own flags are not used by this target.
-  int bench_argc = 1;
-  benchmark::Initialize(&bench_argc, argv);
+  // arguments. The harness's --filter maps onto --benchmark_filter (this
+  // binary's microbenchmarks run serially; google-benchmark owns timing).
+  std::string filter_flag = "--benchmark_filter=" + harness.filter();
+  std::vector<char*> bench_argv{argv[0]};
+  if (!harness.filter().empty()) bench_argv.push_back(filter_flag.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
   HarnessReporter reporter{harness};
   benchmark::RunSpecifiedBenchmarks(&reporter);
   // Interned-vs-string ratios (>1 = compiled path faster). The acceptance

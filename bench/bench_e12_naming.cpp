@@ -105,21 +105,25 @@ int main(int argc, char** argv) {
 
   row("%-16s %14s %14s %14s %14s", "config", "to DAS B", "contaminated", "to DAS A",
       "contaminated");
+  ParallelSweep sweep{harness};
   for (const bool rename : {true, false}) {
-    const Outcome o = run(rename);
-    row("%-16s %14llu %11llu (%2.0f%%) %11llu %11llu (%2.0f%%)",
-        rename ? "gateway rename" : "naive bridge",
-        static_cast<unsigned long long>(o.delivered_to_b),
-        static_cast<unsigned long long>(o.contaminated_b),
-        o.delivered_to_b ? 100.0 * static_cast<double>(o.contaminated_b) /
-                               static_cast<double>(o.delivered_to_b)
-                         : 0.0,
-        static_cast<unsigned long long>(o.delivered_to_a),
-        static_cast<unsigned long long>(o.contaminated_a),
-        o.delivered_to_a ? 100.0 * static_cast<double>(o.contaminated_a) /
-                               static_cast<double>(o.delivered_to_a)
-                         : 0.0);
+    sweep.add(rename ? "gateway rename" : "naive bridge", [rename](Cell& cell) {
+      const Outcome o = run(rename);
+      cell.row("%-16s %14llu %11llu (%2.0f%%) %11llu %11llu (%2.0f%%)",
+               rename ? "gateway rename" : "naive bridge",
+               static_cast<unsigned long long>(o.delivered_to_b),
+               static_cast<unsigned long long>(o.contaminated_b),
+               o.delivered_to_b ? 100.0 * static_cast<double>(o.contaminated_b) /
+                                      static_cast<double>(o.delivered_to_b)
+                                : 0.0,
+               static_cast<unsigned long long>(o.delivered_to_a),
+               static_cast<unsigned long long>(o.contaminated_a),
+               o.delivered_to_a ? 100.0 * static_cast<double>(o.contaminated_a) /
+                                      static_cast<double>(o.delivered_to_a)
+                                : 0.0);
+    });
   }
+  sweep.run();
   row("");
   row("expected shape: with renaming, zero contaminated deliveries on either");
   row("side; the naive bridge delivers the *other* entity's value roughly half");

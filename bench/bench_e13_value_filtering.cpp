@@ -25,6 +25,60 @@ constexpr int kSamples = 20000;
 constexpr std::int64_t kTrueValue = 5000;  // nominal sensor reading
 constexpr std::int64_t kWindow = 1000;     // plausibility half-window
 
+void run(Cell& cell, double rate, bool filter_on) {
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "reading", 1));
+  link_a.add_port(input_port("msgA", spec::InfoSemantics::kState,
+                             spec::ControlParadigm::kTimeTriggered, 10_ms, 1_us,
+                             Duration::seconds(3600)));
+  if (filter_on) {
+    link_a.set_filter("msgA", ta::parse_expression("value >= 4000 && value <= 6000").value());
+  }
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "reading", 2));
+  link_b.add_port(output_port("msgB", spec::InfoSemantics::kState,
+                              spec::ControlParadigm::kEventTriggered, Duration::zero()));
+  core::VirtualGateway gateway{"e13", std::move(link_a), std::move(link_b)};
+  gateway.finalize();
+
+  // The bench drives the gateway directly (no event loop); the
+  // simulator only hosts the metrics registry and span collector.
+  sim::Simulator sim;
+  cell.configure(sim);
+  gateway.bind_observability(sim.metrics(), sim.spans());
+
+  std::uint64_t corrupted_sent = 0;
+  std::uint64_t corrupted_crossed = 0;
+  std::int64_t worst = 0;
+  gateway.link_b().set_emitter("msgB", [&](const spec::MessageInstance& inst) {
+    const std::int64_t v = inst.elements()[1].fields[0].as_int();
+    if (v != kTrueValue) {
+      ++corrupted_crossed;
+      worst = std::max<std::int64_t>(worst, std::llabs(v - kTrueValue));
+    }
+  });
+
+  Rng rng{77};
+  const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
+  Instant t = Instant::origin();
+  for (int i = 0; i < kSamples; ++i) {
+    t += 10_ms;
+    std::int64_t v = kTrueValue;
+    if (rng.bernoulli(rate)) {
+      ++corrupted_sent;
+      v = kTrueValue ^ rng.uniform_int(1, 1 << 20);  // bit-flip corruption
+    }
+    gateway.on_input(0, state_instance(ms, v, t), t);
+  }
+
+  cell.capture(cell.label(), sim, {{"gw:e13", &gateway.trace()}});
+
+  cell.row("%-8s %-9.2f %10llu %10llu %10llu %14lld", filter_on ? "on" : "off(abl)", rate,
+           static_cast<unsigned long long>(corrupted_sent),
+           static_cast<unsigned long long>(gateway.stats().blocked_value),
+           static_cast<unsigned long long>(corrupted_crossed), static_cast<long long>(worst));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -35,65 +89,15 @@ int main(int argc, char** argv) {
 
   row("%-8s %-9s %10s %10s %10s %14s", "filter", "faultrate", "corrupted", "blocked",
       "crossed", "worst error");
+  ParallelSweep sweep{harness};
   for (const double rate : {0.0, 0.01, 0.05, 0.2}) {
     for (const bool filter_on : {true, false}) {
-      spec::LinkSpec link_a{"dasA"};
-      link_a.add_message(state_message("msgA", "reading", 1));
-      link_a.add_port(input_port("msgA", spec::InfoSemantics::kState,
-                                 spec::ControlParadigm::kTimeTriggered, 10_ms, 1_us,
-                                 Duration::seconds(3600)));
-      if (filter_on) {
-        link_a.set_filter("msgA", ta::parse_expression("value >= 4000 && value <= 6000").value());
-      }
-      spec::LinkSpec link_b{"dasB"};
-      link_b.add_message(state_message("msgB", "reading", 2));
-      link_b.add_port(output_port("msgB", spec::InfoSemantics::kState,
-                                  spec::ControlParadigm::kEventTriggered, Duration::zero()));
-      core::VirtualGateway gateway{"e13", std::move(link_a), std::move(link_b)};
-      gateway.finalize();
-
-      // The bench drives the gateway directly (no event loop); the
-      // simulator only hosts the metrics registry and span collector.
-      sim::Simulator sim;
-      if (Harness* active = Harness::active()) active->configure(sim);
-      gateway.bind_observability(sim.metrics(), sim.spans());
-
-      std::uint64_t corrupted_sent = 0;
-      std::uint64_t corrupted_crossed = 0;
-      std::int64_t worst = 0;
-      gateway.link_b().set_emitter("msgB", [&](const spec::MessageInstance& inst) {
-        const std::int64_t v = inst.elements()[1].fields[0].as_int();
-        if (v != kTrueValue) {
-          ++corrupted_crossed;
-          worst = std::max<std::int64_t>(worst, std::llabs(v - kTrueValue));
-        }
-      });
-
-      Rng rng{77};
-      const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
-      Instant t = Instant::origin();
-      for (int i = 0; i < kSamples; ++i) {
-        t += 10_ms;
-        std::int64_t v = kTrueValue;
-        if (rng.bernoulli(rate)) {
-          ++corrupted_sent;
-          v = kTrueValue ^ rng.uniform_int(1, 1 << 20);  // bit-flip corruption
-        }
-        gateway.on_input(0, state_instance(ms, v, t), t);
-      }
-
-      if (Harness* active = Harness::active()) {
-        char label[64];
-        std::snprintf(label, sizeof label, "rate=%.2f filter=%d", rate, filter_on ? 1 : 0);
-        active->capture(label, sim, {{"gw:e13", &gateway.trace()}});
-      }
-
-      row("%-8s %-9.2f %10llu %10llu %10llu %14lld", filter_on ? "on" : "off(abl)", rate,
-          static_cast<unsigned long long>(corrupted_sent),
-          static_cast<unsigned long long>(gateway.stats().blocked_value),
-          static_cast<unsigned long long>(corrupted_crossed), static_cast<long long>(worst));
+      char label[64];
+      std::snprintf(label, sizeof label, "rate=%.2f filter=%d", rate, filter_on ? 1 : 0);
+      sweep.add(label, [rate, filter_on](Cell& cell) { run(cell, rate, filter_on); });
     }
   }
+  sweep.run();
   row("");
   row("expected shape: with the filter on, nearly all corruptions are blocked");
   row("and the worst error that crosses is bounded by the plausibility window");

@@ -73,14 +73,20 @@ int main(int argc, char** argv) {
 
   row("%-11s %-9s %14s %14s %14s", "faultrate", "dropout", "single err", "fused err",
       "fused unavail");
+  ParallelSweep sweep{harness};
   for (const double fault_rate : {0.001, 0.01, 0.05, 0.1}) {
     for (const double dropout : {0.0, 0.05}) {
-      const Outcome o = run(fault_rate, dropout, 11);
-      row("%-11.3f %-9.2f %13.4f%% %13.4f%% %13.4f%%", fault_rate, dropout,
-          100.0 * o.single_error_rate, 100.0 * o.fused_error_rate,
-          100.0 * o.fused_unavailable_rate);
+      char label[48];
+      std::snprintf(label, sizeof label, "fault=%.3f dropout=%.2f", fault_rate, dropout);
+      sweep.add(label, [fault_rate, dropout](Cell& cell) {
+        const Outcome o = run(fault_rate, dropout, 11);
+        cell.row("%-11.3f %-9.2f %13.4f%% %13.4f%% %13.4f%%", fault_rate, dropout,
+                 100.0 * o.single_error_rate, 100.0 * o.fused_error_rate,
+                 100.0 * o.fused_unavailable_rate);
+      });
     }
   }
+  sweep.run();
   row("");
   row("expected shape: a single sensor's error rate equals the fault rate; the");
   row("median over three independent sources needs >= 2 simultaneous faults, so");

@@ -130,13 +130,19 @@ int main(int argc, char** argv) {
         "gateway as a single point of failure for cross-DAS imports");
 
   row("%-10s %-12s %14s %14s", "replicas", "crash", "availability", "worst gap[ms]");
+  ParallelSweep sweep{harness};
   for (const int replicas : {1, 2}) {
     for (const bool crash : {false, true}) {
-      const Outcome o = run(replicas, crash);
-      row("%-10d %-12s %13.2f%% %14.1f", replicas, crash ? "t=1s" : "none",
-          100.0 * o.availability, o.outage_ms);
+      char label[40];
+      std::snprintf(label, sizeof label, "replicas=%d crash=%d", replicas, crash ? 1 : 0);
+      sweep.add(label, [replicas, crash](Cell& cell) {
+        const Outcome o = run(replicas, crash);
+        cell.row("%-10d %-12s %13.2f%% %14.1f", replicas, crash ? "t=1s" : "none",
+                 100.0 * o.availability, o.outage_ms);
+      });
     }
   }
+  sweep.run();
   row("");
   row("expected shape: without a crash both configurations import every cycle.");
   row("With the crash, the single-gateway system loses the import for the rest");

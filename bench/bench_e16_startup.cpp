@@ -117,20 +117,32 @@ int main(int argc, char** argv) {
 
   row("%-7s %-13s %16s %14s %10s %16s", "nodes", "stagger[ms]", "integrated[ms]",
       "sending[ms]", "blocked", "precision[us]");
+  ParallelSweep sweep{harness};
   for (const std::size_t nodes : {2u, 4u, 8u}) {
     for (const auto stagger_ms : {20, 50}) {
-      const Outcome o = run(nodes, Duration::milliseconds(stagger_ms), 5);
-      row("%-7zu %-13d %16.1f %14.1f %10llu %16.2f", nodes, stagger_ms, o.all_integrated_ms,
-          o.all_sending_ms, static_cast<unsigned long long>(o.guardian_blocks),
-          o.final_precision_us);
+      char label[40];
+      std::snprintf(label, sizeof label, "nodes=%zu stagger=%dms", nodes, stagger_ms);
+      sweep.add(label, [nodes, stagger_ms](Cell& cell) {
+        const Outcome o = run(nodes, Duration::milliseconds(stagger_ms), 5);
+        cell.row("%-7zu %-13d %16.1f %14.1f %10llu %16.2f", nodes, stagger_ms,
+                 o.all_integrated_ms, o.all_sending_ms,
+                 static_cast<unsigned long long>(o.guardian_blocks), o.final_precision_us);
+      });
     }
   }
+  sweep.run();
   row("");
   row("late-joiner reintegration (3 running nodes, node 4 powers on at t=1s):");
   for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
-    row("  seed %llu: operational %.1f ms after power-on",
-        static_cast<unsigned long long>(seed), reintegration_ms(seed));
+    char label[32];
+    std::snprintf(label, sizeof label, "reintegration seed=%llu",
+                  static_cast<unsigned long long>(seed));
+    sweep.add(label, [seed](Cell& cell) {
+      cell.row("  seed %llu: operational %.1f ms after power-on",
+               static_cast<unsigned long long>(seed), reintegration_ms(seed));
+    });
   }
+  sweep.run();
   row("");
   row("expected shape: every listener adopts the first master frame, so full");
   row("integration lands one listen-timeout (+1 slot) after power-on regardless");

@@ -137,12 +137,18 @@ int main(int argc, char** argv) {
 
   row("%-14s %11s %11s %12s %12s %13s", "dispatch[ms]", "pull avg", "pull max",
       "detect avg", "detect max", "dispatch/s");
+  ParallelSweep sweep{harness};
   for (const auto period_us : {130, 510, 970, 1990, 4930, 9710}) {
-    const Outcome o = run(Duration::microseconds(period_us), 3);
-    row("%-14.2f %9.3fms %9.3fms %10.3fms %10.3fms %13llu", period_us / 1000.0, o.pull_mean_ms,
-        o.pull_max_ms, o.timeout_mean_ms, o.timeout_max_ms,
-        static_cast<unsigned long long>(o.dispatches_per_s));
+    char label[32];
+    std::snprintf(label, sizeof label, "dispatch=%dus", period_us);
+    sweep.add(label, [period_us](Cell& cell) {
+      const Outcome o = run(Duration::microseconds(period_us), 3);
+      cell.row("%-14.2f %9.3fms %9.3fms %10.3fms %10.3fms %13llu", period_us / 1000.0,
+               o.pull_mean_ms, o.pull_max_ms, o.timeout_mean_ms, o.timeout_max_ms,
+               static_cast<unsigned long long>(o.dispatches_per_s));
+    });
   }
+  sweep.run();
   row("");
   row("expected shape: both latencies average half a dispatch period (max one");
   row("period), while the activation rate scales as 1/period. Push-mode inputs");

@@ -147,11 +147,17 @@ int main(int argc, char** argv) {
 
   row("%-12s %9s %9s %9s %9s %9s %12s", "utilization", "p50[ms]", "p95[ms]", "p99[ms]",
       "max[ms]", "loss[%]", "TT ref[ms]");
+  ParallelSweep sweep{harness};
   for (const double utilization : {0.2, 0.5, 0.8, 0.95, 1.1}) {
-    const Outcome o = run(utilization, 21);
-    row("%-12.2f %9.2f %9.2f %9.2f %9.2f %9.3f %12.2f", utilization, o.p50_ms, o.p95_ms,
-        o.p99_ms, o.max_ms, o.loss_pct, o.tt_latency_ms);
+    char label[32];
+    std::snprintf(label, sizeof label, "util=%.2f", utilization);
+    sweep.add(label, [utilization](Cell& cell) {
+      const Outcome o = run(utilization, 21);
+      cell.row("%-12.2f %9.2f %9.2f %9.2f %9.2f %9.3f %12.2f", utilization, o.p50_ms, o.p95_ms,
+               o.p99_ms, o.max_ms, o.loss_pct, o.tt_latency_ms);
+    });
   }
+  sweep.run();
   row("");
   row("expected shape: median ET latency stays a few ms at light load; the p99");
   row("and max grow sharply as utilization approaches 1 and queues saturate");

@@ -9,6 +9,7 @@
 // for laptop-scale studies with this reproduction).
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <vector>
 
@@ -32,11 +33,25 @@ struct Outcome {
   std::uint64_t forwarded_total = 0;
   double forwarded_per_gateway = 0.0;
   double schedule_rate = 0.0;  // messages per gateway the TDMA schedule allows
-  double wall_ms_per_sim_s = 0.0;
+  double wall_ms_per_sim_s = 0.0;  // thread-CPU ms per simulated second (see below)
   std::uint64_t sim_events = 0;
 };
 
-Outcome run(std::size_t das_pairs, bool capture = true) {
+/// Per-cell simulation cost on this thread's CPU clock. Cells of a
+/// parallel sweep time-share cores, so wall time would measure the
+/// scheduler, not the simulator; CLOCK_THREAD_CPUTIME_ID charges each
+/// cell exactly the cycles its own simulation burned, making the
+/// committed per-cell numbers comparable at any --jobs. (The JSON key
+/// stays `wall_ms_per_sim_s` for check_bench_regression compatibility;
+/// sweep-level speedup is still measured on the real wall clock.)
+double thread_cpu_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) / 1e6;
+}
+
+/// `cell` null = untimed repeat / serial-reference run (no dump capture).
+Outcome run(Cell* cell, std::size_t das_pairs) {
   platform::ClusterConfig config;
   config.nodes = kNodes;
   // Each DAS pair k gets a TT VN (producer node k%8) and an ET VN
@@ -110,22 +125,19 @@ Outcome run(std::size_t das_pairs, bool capture = true) {
                        cluster.vn_slots(vn_a_id, producer));
   }
 
-  if (Harness* harness = Harness::active(); harness != nullptr && capture)
-    harness->configure(cluster.simulator());
-  const auto wall_start = std::chrono::steady_clock::now();
+  if (cell != nullptr) cell->configure(cluster.simulator());
+  const double cpu_start = thread_cpu_ms();
   cluster.start();
   cluster.run_for(kRun);
-  const auto wall_end = std::chrono::steady_clock::now();
-  if (Harness* harness = Harness::active(); harness != nullptr && capture)
-    harness->capture("pairs=" + std::to_string(das_pairs), cluster.simulator());
+  const double cpu_end = thread_cpu_ms();
+  if (cell != nullptr)
+    cell->capture("pairs=" + std::to_string(das_pairs), cluster.simulator());
 
   Outcome outcome;
   for (const auto& gw : gateways) outcome.forwarded_total += gw->stats().messages_constructed;
   outcome.forwarded_per_gateway =
       static_cast<double>(outcome.forwarded_total) / static_cast<double>(das_pairs);
-  outcome.wall_ms_per_sim_s =
-      std::chrono::duration<double, std::milli>(wall_end - wall_start).count() /
-      kRun.as_seconds();
+  outcome.wall_ms_per_sim_s = (cpu_end - cpu_start) / kRun.as_seconds();
   outcome.sim_events = cluster.simulator().dispatched();
   outcome.schedule_rate = static_cast<double>(kRun / config.round_length);
   return outcome;
@@ -136,13 +148,21 @@ Outcome run(std::size_t das_pairs, bool capture = true) {
 int main(int argc, char** argv) {
   Harness harness{argc, argv, "e19"};
   // --quick: CI smoke shape (fewer cells, fewer repeats); --repeats N:
-  // wall time is min-of-N to suppress scheduler noise (the simulated
-  // outcome columns are bit-identical across repeats).
+  // per-cell cost is min-of-N to suppress scheduler noise (the simulated
+  // outcome columns are bit-identical across repeats); --no-wall: omit
+  // every timing-derived number so the complete output is byte-
+  // deterministic (the parallel-sweep determinism test); --compare-serial:
+  // additionally re-run the whole sweep inline on one thread and record
+  // both wall clocks in BENCH_e19.json (the S25 before/after numbers).
   bool quick = false;
+  bool no_wall = false;
+  bool compare_serial = false;
   int repeats = 3;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") quick = true;
+    if (arg == "--no-wall") no_wall = true;
+    if (arg == "--compare-serial") compare_serial = true;
     if (arg == "--repeats" && i + 1 < argc) repeats = std::atoi(argv[++i]);
   }
   if (repeats < 1) repeats = 1;
@@ -152,26 +172,79 @@ int main(int argc, char** argv) {
         "full rate; cost grows linearly with the number of integrated subsystems");
 
   row("%-10s %12s %14s %12s %14s %16s", "DAS pairs", "forwarded", "fwd/gateway",
-      "sched rate", "sim events", "wall ms/sim s");
+      "sched rate", "sim events", "cpu ms/sim s");
   const std::vector<std::size_t> cells =
       quick ? std::vector<std::size_t>{1, 4} : std::vector<std::size_t>{1, 2, 4, 8, 16};
+
+  // Every (pairs, repeat) combination is an independent task, so the
+  // sweep load-balances across workers even with few distinct cells.
+  // Repeat 0 owns the row and the trace capture; the extra repeats only
+  // contribute CPU-time samples for the min.
+  std::vector<Outcome> outcomes(cells.size());
+  std::vector<std::vector<double>> cpu_ms(cells.size());
+  std::vector<bool> ran(cells.size(), false);
+  ParallelSweep sweep{harness};
+  const auto sweep_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cpu_ms[i].assign(static_cast<std::size_t>(repeats), 0.0);
+    for (int r = 0; r < repeats; ++r) {
+      std::string label = "pairs=" + std::to_string(cells[i]);
+      if (r > 0) label += " rep=" + std::to_string(r);
+      const bool added =
+          sweep.add(label, [&outcomes, &cpu_ms, i, r, pairs = cells[i]](Cell& cell) {
+            const Outcome o = run(r == 0 ? &cell : nullptr, pairs);
+            cpu_ms[i][static_cast<std::size_t>(r)] = o.wall_ms_per_sim_s;
+            if (r == 0) outcomes[i] = o;
+          });
+      if (r == 0) ran[i] = added;
+    }
+  }
+  sweep.run();
+  const double sweep_wall_ms = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - sweep_start)
+                                   .count();
+
   obs::json::Object wall_json;
   obs::json::Object events_json;
-  for (const std::size_t pairs : cells) {
-    Outcome o = run(pairs);
-    for (int r = 1; r < repeats; ++r) {
-      const Outcome again = run(pairs, /*capture=*/false);
-      o.wall_ms_per_sim_s = std::min(o.wall_ms_per_sim_s, again.wall_ms_per_sim_s);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!ran[i]) continue;
+    const Outcome& o = outcomes[i];
+    const double best_cpu = *std::min_element(cpu_ms[i].begin(), cpu_ms[i].end());
+    if (no_wall) {
+      row("%-10zu %12llu %14.0f %12.0f %14llu %16s", cells[i],
+          static_cast<unsigned long long>(o.forwarded_total), o.forwarded_per_gateway,
+          o.schedule_rate, static_cast<unsigned long long>(o.sim_events), "-");
+    } else {
+      row("%-10zu %12llu %14.0f %12.0f %14llu %16.1f", cells[i],
+          static_cast<unsigned long long>(o.forwarded_total), o.forwarded_per_gateway,
+          o.schedule_rate, static_cast<unsigned long long>(o.sim_events), best_cpu);
+      wall_json.emplace_back(std::to_string(cells[i]), best_cpu);
     }
-    row("%-10zu %12llu %14.0f %12.0f %14llu %16.1f", pairs,
-        static_cast<unsigned long long>(o.forwarded_total), o.forwarded_per_gateway,
-        o.schedule_rate, static_cast<unsigned long long>(o.sim_events), o.wall_ms_per_sim_s);
-    wall_json.emplace_back(std::to_string(pairs), o.wall_ms_per_sim_s);
-    events_json.emplace_back(std::to_string(pairs),
+    events_json.emplace_back(std::to_string(cells[i]),
                              static_cast<std::int64_t>(o.sim_events));
   }
-  harness.set_json("wall_ms_per_sim_s", obs::json::Value{std::move(wall_json)});
+  if (!no_wall) {
+    harness.set_json("wall_ms_per_sim_s", obs::json::Value{std::move(wall_json)});
+    harness.set_json("jobs", static_cast<std::int64_t>(harness.jobs()));
+    harness.set_json("sweep_wall_ms", sweep_wall_ms);
+  }
   harness.set_json("sim_events", obs::json::Value{std::move(events_json)});
+
+  if (compare_serial && !no_wall) {
+    // Serial reference: the identical work list, inline on this thread.
+    const auto serial_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!ran[i]) continue;
+      for (int r = 0; r < repeats; ++r) run(nullptr, cells[i]);
+    }
+    const double serial_wall_ms = std::chrono::duration<double, std::milli>(
+                                      std::chrono::steady_clock::now() - serial_start)
+                                      .count();
+    harness.set_json("sweep_wall_ms_serial", serial_wall_ms);
+    row("");
+    row("sweep wall clock: %.0f ms at --jobs %zu vs %.0f ms serial (%.2fx)", sweep_wall_ms,
+        harness.jobs(), serial_wall_ms, serial_wall_ms / sweep_wall_ms);
+  }
   row("");
   row("expected shape: every gateway forwards at exactly its schedule rate");
   row("(fwd/gateway == sched rate; the round stretches as more slots are packed");

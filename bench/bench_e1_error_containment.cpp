@@ -33,7 +33,7 @@ struct Outcome {
   double min_output_gap_ms = 0.0;
 };
 
-Outcome run(double early_rate, bool filtering, std::uint64_t seed) {
+Outcome run(Cell& cell, double early_rate, bool filtering, std::uint64_t seed) {
   spec::LinkSpec link_a{"dasA"};
   link_a.add_message(state_message("msgA", "payload", 1));
   link_a.add_port(input_port("msgA", spec::InfoSemantics::kEvent,
@@ -70,7 +70,7 @@ Outcome run(double early_rate, bool filtering, std::uint64_t seed) {
 
   Rng rng{seed};
   sim::Simulator sim;
-  if (Harness* harness = Harness::active()) harness->configure(sim);
+  cell.configure(sim);
   gateway.bind_observability(sim.metrics(), sim.spans());
   Instant t = Instant::origin();
   const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
@@ -92,11 +92,7 @@ Outcome run(double early_rate, bool filtering, std::uint64_t seed) {
   outcome.admitted = gateway.stats().messages_admitted;
   outcome.blocked = gateway.stats().blocked_temporal;
   outcome.min_output_gap_ms = min_gap == Duration::max() ? 0.0 : min_gap.as_ms();
-  if (Harness* harness = Harness::active()) {
-    char label[64];
-    std::snprintf(label, sizeof label, "early=%.2f filtering=%d", early_rate, filtering ? 1 : 0);
-    harness->capture(label, sim, {{"gw:e1", &gateway.trace()}});
-  }
+  cell.capture(cell.label(), sim, {{"gw:e1", &gateway.trace()}});
   return outcome;
 }
 
@@ -109,17 +105,23 @@ int main(int argc, char** argv) {
 
   row("%-10s %-9s %8s %8s %8s %8s %10s %12s", "filtering", "faultrate", "sent", "faults",
       "admitted", "blocked", "crossed", "minGap[ms]");
+  ParallelSweep sweep{harness};
   for (const double rate : {0.0, 0.02, 0.05, 0.1, 0.2, 0.5}) {
     for (const bool filtering : {true, false}) {
-      const Outcome o = run(rate, filtering, 42);
-      row("%-10s %-9.2f %8llu %8llu %8llu %8llu %10llu %12.3f", filtering ? "on" : "off(abl)",
-          rate, static_cast<unsigned long long>(o.sent),
-          static_cast<unsigned long long>(o.ground_truth_faults),
-          static_cast<unsigned long long>(o.admitted),
-          static_cast<unsigned long long>(o.blocked),
-          static_cast<unsigned long long>(o.crossed_faulty), o.min_output_gap_ms);
+      char label[64];
+      std::snprintf(label, sizeof label, "early=%.2f filtering=%d", rate, filtering ? 1 : 0);
+      sweep.add(label, [rate, filtering](Cell& cell) {
+        const Outcome o = run(cell, rate, filtering, 42);
+        cell.row("%-10s %-9.2f %8llu %8llu %8llu %8llu %10llu %12.3f",
+                 filtering ? "on" : "off(abl)", rate, static_cast<unsigned long long>(o.sent),
+                 static_cast<unsigned long long>(o.ground_truth_faults),
+                 static_cast<unsigned long long>(o.admitted),
+                 static_cast<unsigned long long>(o.blocked),
+                 static_cast<unsigned long long>(o.crossed_faulty), o.min_output_gap_ms);
+      });
     }
   }
+  sweep.run();
   row("");
   row("expected shape: with filtering ON, 'crossed' stays near zero and the");
   row("minimum DAS-B interarrival stays >= tmin (4ms); with filtering OFF every");
@@ -128,7 +130,7 @@ int main(int argc, char** argv) {
   // Naming containment (same paper claim, name domain): instances whose
   // message name is not in the link specification never cross -- the
   // gateway forwards specified messages only.
-  {
+  sweep.add("naming containment", [](Cell& cell) {
     spec::LinkSpec link_a{"dasA"};
     link_a.add_message(state_message("msgA", "payload", 1));
     link_a.add_port(input_port("msgA", spec::InfoSemantics::kEvent,
@@ -141,7 +143,7 @@ int main(int argc, char** argv) {
     core::VirtualGateway gateway{"e1", std::move(link_a), std::move(link_b)};
     gateway.finalize();
     sim::Simulator sim;
-    if (Harness* active = Harness::active()) active->configure(sim);
+    cell.configure(sim);
     gateway.bind_observability(sim.metrics(), sim.spans());
 
     const spec::MessageSpec rogue = state_message("msgRogue", "payload", 3);
@@ -150,12 +152,12 @@ int main(int argc, char** argv) {
       t += 10_ms;
       gateway.on_input(0, state_instance(rogue, i, t), t);
     }
-    row("");
-    row("naming containment: %llu unspecified-message instances in, %llu blocked",
-        static_cast<unsigned long long>(gateway.stats().messages_in),
-        static_cast<unsigned long long>(gateway.stats().blocked_unknown));
-    if (Harness* active = Harness::active())
-      active->capture("naming containment", sim, {{"gw:e1", &gateway.trace()}});
-  }
+    cell.line("");
+    cell.row("naming containment: %llu unspecified-message instances in, %llu blocked",
+             static_cast<unsigned long long>(gateway.stats().messages_in),
+             static_cast<unsigned long long>(gateway.stats().blocked_unknown));
+    cell.capture(cell.label(), sim, {{"gw:e1", &gateway.trace()}});
+  });
+  sweep.run();
   return 0;
 }

@@ -86,18 +86,27 @@ int main(int argc, char** argv) {
         "exporting only required elements saves DAS-B bandwidth and shrinks the "
         "message set a DAS-B engineer must understand");
 
-  const Outcome baseline = run(kMessageTypes);  // dumb full-forwarding bridge
+  ParallelSweep sweep{harness};
+  Outcome baseline;  // dumb full-forwarding bridge; reference for share%
+  const bool have_baseline =
+      sweep.add("baseline", [&baseline](Cell&) { baseline = run(kMessageTypes); });
+  sweep.run();  // barrier: every sweep cell below reads the baseline
   row("%-14s %12s %14s %14s %10s", "config", "fwd msgs", "fwd bytes", "bandwidth", "visible");
   for (int exported = 0; exported <= kMessageTypes; exported += 2) {
-    const Outcome o = run(exported);
-    const double share = baseline.forwarded_bytes
-                             ? 100.0 * static_cast<double>(o.forwarded_bytes) /
-                                   static_cast<double>(baseline.forwarded_bytes)
-                             : 0.0;
-    row("f=%-12.1f %12llu %14llu %13.1f%% %7d/10", exported / 10.0,
-        static_cast<unsigned long long>(o.forwarded_messages),
-        static_cast<unsigned long long>(o.forwarded_bytes), share, o.visible_types);
+    char label[32];
+    std::snprintf(label, sizeof label, "f=%.1f", exported / 10.0);
+    sweep.add(label, [&baseline, have_baseline, exported](Cell& cell) {
+      const Outcome o = run(exported);
+      const double share = have_baseline && baseline.forwarded_bytes
+                               ? 100.0 * static_cast<double>(o.forwarded_bytes) /
+                                     static_cast<double>(baseline.forwarded_bytes)
+                               : 0.0;
+      cell.row("f=%-12.1f %12llu %14llu %13.1f%% %7d/10", exported / 10.0,
+               static_cast<unsigned long long>(o.forwarded_messages),
+               static_cast<unsigned long long>(o.forwarded_bytes), share, o.visible_types);
+    });
   }
+  sweep.run();
   row("");
   row("expected shape: DAS-B bandwidth and visible message count scale linearly");
   row("with the exported fraction f; a full bridge (f=1.0) imports all 10 types.");

@@ -128,8 +128,13 @@ int main(int argc, char** argv) {
         "sharing nodes/network and importing sensor data through a gateway cuts "
         "hardware without losing the sensor stream");
 
-  const Inventory fed = run_federated();
-  const Inventory integ = run_integrated();
+  ParallelSweep sweep{harness};
+  Inventory fed;
+  Inventory integ;
+  const bool ran_fed = sweep.add("federated", [&fed](Cell&) { fed = run_federated(); });
+  const bool ran_integ = sweep.add("integrated", [&integ](Cell&) { integ = run_integrated(); });
+  sweep.run();
+  if (!ran_fed || !ran_integ) return 0;  // --filter dropped half the comparison
 
   row("%-26s %12s %12s", "resource", "federated", "integrated");
   row("%-26s %12d %12d", "node computers", fed.nodes, integ.nodes);

@@ -29,7 +29,7 @@ struct Outcome {
   double mean_horizon_ms = 0.0;
 };
 
-Outcome run(Duration update_period, Duration d_acc, bool check_at_construction) {
+Outcome run(Cell& cell, Duration update_period, Duration d_acc, bool check_at_construction) {
   spec::LinkSpec link_a{"dasA"};
   link_a.add_message(state_message("msgA", "image", 1));
   link_a.add_port(input_port("msgA", spec::InfoSemantics::kState,
@@ -51,7 +51,7 @@ Outcome run(Duration update_period, Duration d_acc, bool check_at_construction) 
   gateway.link_b().set_emitter("msgB", [&](const spec::MessageInstance&) { ++outcome.forwarded; });
 
   sim::Simulator sim;
-  if (Harness* harness = Harness::active()) harness->configure(sim);
+  cell.configure(sim);
   gateway.bind_observability(sim.metrics(), sim.spans());
   Instant last_update = Instant::origin() - 1_s;
   const spec::MessageSpec& ms = *gateway.link_a().spec().message("msgA");
@@ -75,14 +75,7 @@ Outcome run(Duration update_period, Duration d_acc, bool check_at_construction) 
   }
   sim.run_until(Instant::origin() + kRun);
   outcome.mean_horizon_ms = horizon_stats.mean();
-  if (Harness* harness = Harness::active()) {
-    char label[64];
-    std::snprintf(label, sizeof label, "U=%lldms dacc=%lldms check=%s",
-                  static_cast<long long>(update_period.as_ms()),
-                  static_cast<long long>(d_acc.as_ms()),
-                  check_at_construction ? "construction" : "store");
-    harness->capture(label, sim, {{"gw:e4", &gateway.trace()}});
-  }
+  cell.capture(cell.label(), sim, {{"gw:e4", &gateway.trace()}});
   return outcome;
 }
 
@@ -96,20 +89,27 @@ int main(int argc, char** argv) {
 
   row("%-9s %-9s %-14s %9s %9s %8s %9s %12s", "U[ms]", "dacc[ms]", "check", "attempts",
       "forwarded", "fwd%", "stale", "horizon[ms]");
+  ParallelSweep sweep{harness};
   for (const auto update_ms : {2, 10, 20, 50}) {
     for (const auto dacc_ms : {5, 15, 40, 100}) {
       for (const bool at_construction : {true, false}) {
-        const Outcome o = run(Duration::milliseconds(update_ms),
-                              Duration::milliseconds(dacc_ms), at_construction);
-        row("%-9d %-9d %-14s %9llu %9llu %7.1f%% %9llu %12.2f", update_ms, dacc_ms,
-            at_construction ? "construction" : "store(abl)",
-            static_cast<unsigned long long>(o.attempts),
-            static_cast<unsigned long long>(o.forwarded),
-            100.0 * static_cast<double>(o.forwarded) / static_cast<double>(o.attempts),
-            static_cast<unsigned long long>(o.stale_forwarded), o.mean_horizon_ms);
+        char label[64];
+        std::snprintf(label, sizeof label, "U=%dms dacc=%dms check=%s", update_ms, dacc_ms,
+                      at_construction ? "construction" : "store");
+        sweep.add(label, [update_ms, dacc_ms, at_construction](Cell& cell) {
+          const Outcome o = run(cell, Duration::milliseconds(update_ms),
+                                Duration::milliseconds(dacc_ms), at_construction);
+          cell.row("%-9d %-9d %-14s %9llu %9llu %7.1f%% %9llu %12.2f", update_ms, dacc_ms,
+                   at_construction ? "construction" : "store(abl)",
+                   static_cast<unsigned long long>(o.attempts),
+                   static_cast<unsigned long long>(o.forwarded),
+                   100.0 * static_cast<double>(o.forwarded) / static_cast<double>(o.attempts),
+                   static_cast<unsigned long long>(o.stale_forwarded), o.mean_horizon_ms);
+        });
       }
     }
   }
+  sweep.run();
   row("");
   row("expected shape: with the construction-time check, stale==0 always and the");
   row("forwarded fraction collapses once d_acc < U (the image expires between");

@@ -83,13 +83,19 @@ int main(int argc, char** argv) {
         "predictable, small loss probability");
 
   row("%-6s %-4s %12s %14s", "rho", "K", "measured", "M/M/1/K ref");
+  ParallelSweep sweep{harness};
   for (const double rho : {0.5, 0.8, 0.9, 0.95}) {
     for (const std::size_t capacity : {1u, 2u, 4u, 8u, 16u, 32u}) {
-      const double measured = run(rho, capacity, 7);
-      row("%-6.2f %-4zu %11.4f%% %13.4f%%", rho, capacity, 100.0 * measured,
-          100.0 * mm1k_loss(rho, capacity));
+      char label[32];
+      std::snprintf(label, sizeof label, "rho=%.2f K=%zu", rho, capacity);
+      sweep.add(label, [rho, capacity](Cell& cell) {
+        const double measured = run(rho, capacity, 7);
+        cell.row("%-6.2f %-4zu %11.4f%% %13.4f%%", rho, capacity, 100.0 * measured,
+                 100.0 * mm1k_loss(rho, capacity));
+      });
     }
   }
+  sweep.run();
   row("");
   row("expected shape: loss falls geometrically with K and rises with rho; the");
   row("measured (deterministic-server) loss sits at or below the M/M/1/K");

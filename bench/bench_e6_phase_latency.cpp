@@ -33,7 +33,7 @@ struct Outcome {
 
 /// One cell: TT VN A slot at `phase_a` in the round, TT VN B slot at
 /// `phase_b`. The gateway's output port has period P2.
-Outcome run(Duration p1, Duration p2, double phase_fraction) {
+Outcome run(Cell& cell, Duration p1, Duration p2, double phase_fraction, Duration run_for) {
   platform::ClusterConfig config;
   config.nodes = 3;
   config.round_length = 10_ms;
@@ -42,7 +42,7 @@ Outcome run(Duration p1, Duration p2, double phase_fraction) {
       {2, "dasB", 32, {2}},
   };
   platform::Cluster cluster{config};
-  if (Harness* harness = Harness::active()) harness->configure(cluster.simulator());
+  cell.configure(cluster.simulator());
 
   vn::TtVirtualNetwork vn_a{"vn-a", 1};
   vn_a.register_message(state_message("msgA", "image", 1));
@@ -107,7 +107,7 @@ Outcome run(Duration p1, Duration p2, double phase_fraction) {
   });
 
   cluster.start();
-  cluster.run_for(5_s);
+  cluster.run_for(run_for);
 
   Outcome outcome;
   outcome.samples = latencies.count();
@@ -117,14 +117,8 @@ Outcome run(Duration p1, Duration p2, double phase_fraction) {
     outcome.max_ms = latencies.max() / 1e6;
     outcome.jitter_ms = latencies.spread() / 1e6;
   }
-  if (Harness* harness = Harness::active()) {
-    char label[64];
-    std::snprintf(label, sizeof label, "p1=%lldms p2=%lldms phase=%.2f",
-                  static_cast<long long>(p1.ns() / 1'000'000),
-                  static_cast<long long>(p2.ns() / 1'000'000), phase_fraction);
-    harness->capture(label, cluster.simulator(),
-                     {{"bus", &cluster.bus().trace()}, {"gw:e6", &gateway.trace()}});
-  }
+  cell.capture(cell.label(), cluster.simulator(),
+               {{"bus", &cluster.bus().trace()}, {"gw:e6", &gateway.trace()}});
   return outcome;
 }
 
@@ -132,29 +126,55 @@ Outcome run(Duration p1, Duration p2, double phase_fraction) {
 
 int main(int argc, char** argv) {
   Harness harness{argc, argv, "e6"};
+  bool quick = false;  // --quick: fewer phases, 1s cells (determinism test)
+  for (int i = 1; i < argc; ++i)
+    if (std::string{argv[i]} == "--quick") quick = true;
+  const Duration run_for = quick ? 1_s : 5_s;
+
   title("E6  TT<->TT gateway latency under period/phase mismatch",
         "matched schedules give constant low latency; mismatched periods or "
         "phases force the gateway to buffer, adding up to one consumer period");
 
   row("%-8s %-8s %-7s %8s %8s %8s %8s %8s", "P1[ms]", "P2[ms]", "phase", "n", "min", "avg",
       "max", "jitter");
-  obs::json::Array cells;
+  struct CellResult {
+    int p1_ms, p2_ms;
+    double phase;
+    Outcome o;
+  };
+  ParallelSweep sweep{harness};
+  const std::vector<double> phases =
+      quick ? std::vector<double>{0.0, 0.5} : std::vector<double>{0.0, 0.25, 0.5, 0.75};
+  std::vector<CellResult> results;
+  results.reserve(3 * phases.size());  // no reallocation: cells hold raw slot pointers
   for (const auto [p1_ms, p2_ms] : {std::pair{10, 10}, {10, 20}, {20, 10}}) {
-    for (const double phase : {0.0, 0.25, 0.5, 0.75}) {
-      const Outcome o = run(Duration::milliseconds(p1_ms), Duration::milliseconds(p2_ms), phase);
-      row("%-8d %-8d %-7.2f %8zu %8.2f %8.2f %8.2f %8.2f", p1_ms, p2_ms, phase, o.samples,
-          o.min_ms, o.avg_ms, o.max_ms, o.jitter_ms);
-      obs::json::Object cell;
-      cell.emplace_back("p1_ms", p1_ms);
-      cell.emplace_back("p2_ms", p2_ms);
-      cell.emplace_back("phase", phase);
-      cell.emplace_back("n", o.samples);
-      cell.emplace_back("min_ms", o.min_ms);
-      cell.emplace_back("avg_ms", o.avg_ms);
-      cell.emplace_back("max_ms", o.max_ms);
-      cell.emplace_back("jitter_ms", o.jitter_ms);
-      cells.push_back(obs::json::Value{std::move(cell)});
+    for (const double phase : phases) {
+      char label[64];
+      std::snprintf(label, sizeof label, "p1=%dms p2=%dms phase=%.2f", p1_ms, p2_ms, phase);
+      if (!harness.matches(label)) continue;
+      results.push_back(CellResult{p1_ms, p2_ms, phase, Outcome{}});
+      Outcome* out = &results.back().o;  // stable: all slots reserved before run()
+      sweep.add(label, [out, p1_ms = p1_ms, p2_ms = p2_ms, phase, run_for](Cell& cell) {
+        *out = run(cell, Duration::milliseconds(p1_ms), Duration::milliseconds(p2_ms), phase,
+                   run_for);
+        cell.row("%-8d %-8d %-7.2f %8zu %8.2f %8.2f %8.2f %8.2f", p1_ms, p2_ms, phase,
+                 out->samples, out->min_ms, out->avg_ms, out->max_ms, out->jitter_ms);
+      });
     }
+  }
+  sweep.run();
+  obs::json::Array cells;
+  for (const CellResult& r : results) {
+    obs::json::Object cell;
+    cell.emplace_back("p1_ms", r.p1_ms);
+    cell.emplace_back("p2_ms", r.p2_ms);
+    cell.emplace_back("phase", r.phase);
+    cell.emplace_back("n", r.o.samples);
+    cell.emplace_back("min_ms", r.o.min_ms);
+    cell.emplace_back("avg_ms", r.o.avg_ms);
+    cell.emplace_back("max_ms", r.o.max_ms);
+    cell.emplace_back("jitter_ms", r.o.jitter_ms);
+    cells.push_back(obs::json::Value{std::move(cell)});
   }
   harness.set_json("cells", obs::json::Value{std::move(cells)});
   row("");

@@ -35,7 +35,7 @@ struct Outcome {
 
 /// load: VN A messages offered per round (0..4 = its slot budget; above
 /// that the pending queue saturates). babble: inject a babbling idiot.
-Outcome run(int load_per_round, bool babble, bool guardian) {
+Outcome run(Cell& cell, int load_per_round, bool babble, bool guardian) {
   platform::ClusterConfig config;
   config.nodes = 3;
   config.round_length = 10_ms;
@@ -45,7 +45,7 @@ Outcome run(int load_per_round, bool babble, bool guardian) {
   };
   config.bus.guardian_enabled = guardian;
   platform::Cluster cluster{config};
-  if (Harness* harness = Harness::active()) harness->configure(cluster.simulator());
+  cell.configure(cluster.simulator());
 
   vn::EtVirtualNetwork vn_a{"vn-a", 1, 256};
   vn_a.register_message(state_message("msgA", "chatter", 1));
@@ -108,12 +108,7 @@ Outcome run(int load_per_round, bool babble, bool guardian) {
   outcome.jitter_us = interarrivals.spread() / 1e3;
   outcome.guardian_blocks = cluster.bus().frames_blocked();
   outcome.collisions = cluster.bus().collisions();
-  if (Harness* harness = Harness::active()) {
-    char label[64];
-    std::snprintf(label, sizeof label, "load=%d babble=%d guardian=%d", load_per_round,
-                  babble ? 1 : 0, guardian ? 1 : 0);
-    harness->capture(label, cluster.simulator(), {{"bus", &cluster.bus().trace()}});
-  }
+  cell.capture(cell.label(), cluster.simulator(), {{"bus", &cluster.bus().trace()}});
   return outcome;
 }
 
@@ -127,19 +122,27 @@ int main(int argc, char** argv) {
 
   row("%-9s %-14s %-8s %10s %10s %12s %9s %10s", "guardian", "VN-A load", "babble",
       "expected", "delivered", "jitter[us]", "blocked", "collisions");
+  ParallelSweep sweep{harness};
   for (const bool guardian : {true, false}) {
     for (const int load : {0, 2, 4, 16}) {
       for (const bool babble : {false, true}) {
         if (!babble && !guardian) continue;  // uninteresting ablation cells
-        const Outcome o = run(load, babble, guardian);
-        row("%-9s %-14d %-8s %10llu %10llu %12.2f %9llu %10llu", guardian ? "on" : "off(abl)",
-            load, babble ? "yes" : "no", static_cast<unsigned long long>(o.expected),
-            static_cast<unsigned long long>(o.delivered), o.jitter_us,
-            static_cast<unsigned long long>(o.guardian_blocks),
-            static_cast<unsigned long long>(o.collisions));
+        char label[64];
+        std::snprintf(label, sizeof label, "load=%d babble=%d guardian=%d", load,
+                      babble ? 1 : 0, guardian ? 1 : 0);
+        sweep.add(label, [load, babble, guardian](Cell& cell) {
+          const Outcome o = run(cell, load, babble, guardian);
+          cell.row("%-9s %-14d %-8s %10llu %10llu %12.2f %9llu %10llu",
+                   guardian ? "on" : "off(abl)", load, babble ? "yes" : "no",
+                   static_cast<unsigned long long>(o.expected),
+                   static_cast<unsigned long long>(o.delivered), o.jitter_us,
+                   static_cast<unsigned long long>(o.guardian_blocks),
+                   static_cast<unsigned long long>(o.collisions));
+        });
       }
     }
   }
+  sweep.run();
   row("");
   row("expected shape: with the guardian on, VN B delivers every instance with");
   row("microsecond jitter regardless of VN A's load or babbling (the babble is");

@@ -77,16 +77,23 @@ int main(int argc, char** argv) {
 
   row("%-10s %-8s %-10s %12s %12s %12s", "drift[ppm]", "resync", "byzantine", "mean[us]",
       "max[us]", "theory[us]");
+  ParallelSweep sweep{harness};
   for (const double drift : {10.0, 50.0, 100.0, 500.0, 1000.0}) {
     for (const std::uint64_t resync : {1ull, 5ull, 10ull}) {
       for (const bool byzantine : {false, true}) {
-        const Outcome o = run(drift, resync, byzantine);
-        row("%-10.0f %-8llu %-10s %12.2f %12.2f %12.2f", drift,
-            static_cast<unsigned long long>(resync), byzantine ? "yes" : "no",
-            o.mean_precision_us, o.max_precision_us, o.theory_us);
+        char label[64];
+        std::snprintf(label, sizeof label, "drift=%.0f resync=%llu byz=%d", drift,
+                      static_cast<unsigned long long>(resync), byzantine ? 1 : 0);
+        sweep.add(label, [drift, resync, byzantine](Cell& cell) {
+          const Outcome o = run(drift, resync, byzantine);
+          cell.row("%-10.0f %-8llu %-10s %12.2f %12.2f %12.2f", drift,
+                   static_cast<unsigned long long>(resync), byzantine ? "yes" : "no",
+                   o.mean_precision_us, o.max_precision_us, o.theory_us);
+        });
       }
     }
   }
+  sweep.run();
   row("");
   row("expected shape: precision grows linearly with drift rate and with the");
   row("resynchronization interval, tracking the 2*rho*R_int theory line; the");

@@ -22,8 +22,8 @@ struct Outcome {
   int trials = 0;
 };
 
-Outcome run(std::size_t cluster_size, std::uint64_t silence_threshold, double omission_rate,
-            int trials, std::uint64_t seed) {
+Outcome run(Cell& cell, std::size_t cluster_size, std::uint64_t silence_threshold,
+            double omission_rate, int trials, std::uint64_t seed) {
   Outcome outcome;
   Rng rng{seed};
   for (int trial = 0; trial < trials; ++trial) {
@@ -32,7 +32,7 @@ Outcome run(std::size_t cluster_size, std::uint64_t silence_threshold, double om
     config.round_length = 10_ms;
     config.membership_silence_threshold = silence_threshold;
     platform::Cluster cluster{config};
-    if (Harness* harness = Harness::active()) harness->configure(cluster.simulator());
+    cell.configure(cluster.simulator());
 
     const auto victim = static_cast<tt::NodeId>(
         rng.uniform_int(0, static_cast<std::int64_t>(cluster_size) - 1));
@@ -84,13 +84,11 @@ Outcome run(std::size_t cluster_size, std::uint64_t silence_threshold, double om
     }
     ++outcome.trials;
     if (consistent) ++outcome.consistent_trials;
-    if (Harness* harness = Harness::active()) {
-      char label[96];
-      std::snprintf(label, sizeof label, "nodes=%zu threshold=%llu omission=%.2f trial=%d",
-                    cluster_size, static_cast<unsigned long long>(silence_threshold),
-                    omission_rate, trial);
-      harness->capture(label, cluster.simulator(), {{"bus", &cluster.bus().trace()}});
-    }
+    char label[96];
+    std::snprintf(label, sizeof label, "nodes=%zu threshold=%llu omission=%.2f trial=%d",
+                  cluster_size, static_cast<unsigned long long>(silence_threshold),
+                  omission_rate, trial);
+    cell.capture(label, cluster.simulator(), {{"bus", &cluster.bus().trace()}});
   }
   return outcome;
 }
@@ -105,16 +103,24 @@ int main(int argc, char** argv) {
 
   row("%-7s %-10s %-10s %8s %10s %10s %12s", "nodes", "threshold", "omission", "trials",
       "lat.avg", "lat.max", "consistent");
+  ParallelSweep sweep{harness};
   for (const std::size_t nodes : {4u, 8u}) {
     for (const std::uint64_t threshold : {1ull, 3ull}) {
       for (const double omission : {0.0, 0.05}) {
-        Outcome o = run(nodes, threshold, omission, 20, 1234);
-        row("%-7zu %-10llu %-10.2f %8d %10.2f %10.2f %9d/%d", nodes,
-            static_cast<unsigned long long>(threshold), omission, o.trials,
-            o.latency_rounds.mean(), o.latency_rounds.max(), o.consistent_trials, o.trials);
+        char label[64];
+        std::snprintf(label, sizeof label, "nodes=%zu threshold=%llu omission=%.2f", nodes,
+                      static_cast<unsigned long long>(threshold), omission);
+        sweep.add(label, [nodes, threshold, omission](Cell& cell) {
+          Outcome o = run(cell, nodes, threshold, omission, 20, 1234);
+          cell.row("%-7zu %-10llu %-10.2f %8d %10.2f %10.2f %9d/%d", nodes,
+                   static_cast<unsigned long long>(threshold), omission, o.trials,
+                   o.latency_rounds.mean(), o.latency_rounds.max(), o.consistent_trials,
+                   o.trials);
+        });
       }
     }
   }
+  sweep.run();
   row("");
   row("expected shape: detection latency ~= the silence threshold (in rounds),");
   row("independent of cluster size; consistency holds in every trial on the");

@@ -2,12 +2,24 @@
 // section 3): canonical message specs, gateway rig construction, and
 // table printing. Each bench binary regenerates one experiment and
 // prints the rows recorded in EXPERIMENTS.md.
+//
+// Parallel sweep engine (S25): experiment cells are independent
+// simulations, so a bench declares its cells on a ParallelSweep and the
+// sweep executes them on a util::TaskPool (`--jobs N`). Each cell writes
+// rows, trace dumps, and span batches into its own Cell buffers; the
+// sweep then *commits* the buffers in submission order, so every output
+// artifact -- the printed table, BENCH_<id>.json, --trace-out /
+// --metrics-out JSONL, and the in-process span accumulator -- is
+// byte-identical for --jobs 1 and --jobs N.
 #pragma once
 
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -20,8 +32,11 @@
 #include "sim/simulator.hpp"
 #include "spec/link_spec.hpp"
 #include "spec/message.hpp"
+#include "util/task_pool.hpp"
 
 namespace decos::bench {
+
+class Cell;
 
 /// Per-binary bench harness: parses the shared observability flags,
 /// mirrors every printed row into BENCH_<id>.json (machine-readable
@@ -30,6 +45,12 @@ namespace decos::bench {
 ///   --json-out FILE     result JSON path (default BENCH_<id>.json in cwd)
 ///   --trace-out FILE    JSONL dump of spans/records/metrics per cell
 ///   --metrics-out FILE  JSONL dump of the metrics snapshots alone
+///   --jobs N            worker threads for the cell sweep (default:
+///                       hardware concurrency, capped at 8)
+///   --filter SUBSTR     only run cells whose label contains SUBSTR
+///
+/// A dump flag with a missing or empty value is a usage error (exit 2),
+/// not a silent write to "".
 ///
 /// Span collection defaults to off for bench runs (collectors grow
 /// per-message); configure() enables it on a cell's simulator only when
@@ -38,15 +59,29 @@ namespace decos::bench {
 class Harness {
  public:
   Harness(int argc, char** argv, std::string id) : id_{std::move(id)} {
+    program_ = argc > 0 ? argv[0] : "bench";
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      const auto value = [&]() -> std::string { return ++i < argc ? argv[i] : std::string{}; };
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc || argv[i + 1][0] == '\0')
+          usage_error(arg + " requires a value");
+        return argv[++i];
+      };
       if (arg == "--trace-out") {
         trace_out_ = value();
       } else if (arg == "--metrics-out") {
         metrics_out_ = value();
       } else if (arg == "--json-out") {
         json_out_ = value();
+      } else if (arg == "--filter") {
+        filter_ = value();
+      } else if (arg == "--jobs") {
+        const std::string v = value();
+        char* end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1)
+          usage_error("--jobs expects a positive integer, got '" + v + "'");
+        jobs_ = static_cast<std::size_t>(n);
       }
     }
     if (json_out_.empty()) json_out_ = "BENCH_" + id_ + ".json";
@@ -68,7 +103,28 @@ class Harness {
     return instance;
   }
 
+  [[noreturn]] void usage_error(const std::string& message) const {
+    std::fprintf(stderr,
+                 "error: %s\n"
+                 "usage: %s [--json-out FILE] [--trace-out FILE] [--metrics-out FILE]\n"
+                 "       [--jobs N] [--filter SUBSTR] (plus experiment-specific flags;\n"
+                 "       see EXPERIMENTS.md)\n",
+                 message.c_str(), program_.c_str());
+    std::exit(2);
+  }
+
   bool tracing() const { return !trace_out_.empty(); }
+  bool metrics_dump() const { return !metrics_out_.empty(); }
+
+  /// Worker threads for the cell sweep.
+  std::size_t jobs() const { return jobs_; }
+
+  /// Cell-label filter; cells whose label does not contain it are
+  /// skipped entirely (not run, not printed).
+  const std::string& filter() const { return filter_; }
+  bool matches(const std::string& label) const {
+    return filter_.empty() || label.find(filter_) != std::string::npos;
+  }
 
   /// Apply the dump flags to a freshly built cell simulator.
   void configure(sim::Simulator& simulator) { simulator.spans().set_enabled(tracing()); }
@@ -77,6 +133,7 @@ class Harness {
   /// the trace dump, metrics into the metrics dump, and the cell's spans
   /// into the in-process accumulator (ids offset per cell exactly like
   /// obs::Dump::all_spans, so both readers see identical data).
+  /// Serial-path variant; parallel cells go through Cell::capture.
   void capture(const std::string& label, sim::Simulator& simulator,
                std::vector<std::pair<std::string, const obs::TraceRecorder*>> recorders = {}) {
     if (tracing()) {
@@ -86,19 +143,9 @@ class Harness {
       for (const auto& [name, recorder] : recorders)
         if (recorder != nullptr) writer.add_records(name, *recorder);
       writer.add_metrics(simulator.metrics().snapshot());
-
-      std::uint64_t max_id = 0;
-      for (const obs::Span& s : simulator.spans().spans()) {
-        obs::Span copy = s;
-        if (copy.trace_id != 0) copy.trace_id += span_offset_;
-        if (copy.span_id != 0) copy.span_id += span_offset_;
-        if (copy.parent_id != 0) copy.parent_id += span_offset_;
-        max_id = std::max({max_id, s.trace_id, s.span_id});
-        captured_spans_.push_back(std::move(copy));
-      }
-      span_offset_ += max_id;
+      merge_span_batch(simulator.spans().spans());
     }
-    if (!metrics_out_.empty()) {
+    if (metrics_dump()) {
       obs::DumpWriter writer{metrics_stream_};
       writer.begin_cell(label);
       writer.add_metrics(simulator.metrics().snapshot());
@@ -116,6 +163,12 @@ class Harness {
   /// Record one printed line (called by row()/title()).
   void note_line(std::string line) { lines_.push_back(std::move(line)); }
 
+  /// Fold one finished cell's buffers into the harness, in order:
+  /// print + note its rows, append its dump streams, merge its span
+  /// batches with the same id-offset scheme as capture(). Called by
+  /// ParallelSweep::run() on the main thread only.
+  void commit(Cell& cell);
+
   /// Write BENCH_<id>.json and any requested dumps. Idempotent; also
   /// runs from the destructor.
   void finish() {
@@ -132,14 +185,33 @@ class Harness {
     std::ofstream out{json_out_};
     out << obs::json::Value{std::move(o)}.dump() << "\n";
     if (tracing()) std::ofstream{trace_out_} << trace_stream_.str();
-    if (!metrics_out_.empty()) std::ofstream{metrics_out_} << metrics_stream_.str();
+    if (metrics_dump()) std::ofstream{metrics_out_} << metrics_stream_.str();
   }
 
  private:
+  /// Append one cell's spans to the accumulator, offsetting ids so they
+  /// stay unique across cells (identical scheme to obs::Dump::all_spans).
+  template <typename SpanRange>
+  void merge_span_batch(const SpanRange& spans) {
+    std::uint64_t max_id = 0;
+    for (const obs::Span& s : spans) {
+      obs::Span copy = s;
+      if (copy.trace_id != 0) copy.trace_id += span_offset_;
+      if (copy.span_id != 0) copy.span_id += span_offset_;
+      if (copy.parent_id != 0) copy.parent_id += span_offset_;
+      max_id = std::max({max_id, s.trace_id, s.span_id});
+      captured_spans_.push_back(std::move(copy));
+    }
+    span_offset_ += max_id;
+  }
+
   std::string id_;
+  std::string program_;
   std::string trace_out_;
   std::string metrics_out_;
   std::string json_out_;
+  std::string filter_;
+  std::size_t jobs_ = util::TaskPool::default_workers();
   std::vector<std::string> lines_;
   std::vector<std::pair<std::string, obs::json::Value>> extra_;
   std::ostringstream trace_stream_;
@@ -147,6 +219,126 @@ class Harness {
   std::vector<obs::Span> captured_spans_;
   std::uint64_t span_offset_ = 0;
   bool finished_ = false;
+};
+
+/// Per-cell output sink for parallel sweeps. A cell function receives a
+/// Cell& and writes rows / trace captures into it instead of the global
+/// helpers; everything is buffered thread-locally (no shared mutable
+/// state) and committed by the sweep in submission order.
+class Cell {
+ public:
+  Cell(Harness& harness, std::string label) : harness_{&harness}, label_{std::move(label)} {}
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  const std::string& label() const { return label_; }
+
+  /// Buffered printf-style table row (parallel-safe counterpart of
+  /// bench::row()).
+  void row(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    char buf[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, args);
+    va_end(args);
+    lines_.emplace_back(buf);
+  }
+
+  /// Buffered raw line.
+  void line(std::string text) { lines_.push_back(std::move(text)); }
+
+  /// Apply the dump flags to a freshly built cell simulator.
+  void configure(sim::Simulator& simulator) { harness_->configure(simulator); }
+
+  /// Buffered counterpart of Harness::capture(): identical bytes into
+  /// this cell's private streams, spans kept raw (the commit applies the
+  /// id offsets, which must accumulate in submission order).
+  void capture(const std::string& label, sim::Simulator& simulator,
+               std::vector<std::pair<std::string, const obs::TraceRecorder*>> recorders = {}) {
+    if (harness_->tracing()) {
+      obs::DumpWriter writer{trace_stream_};
+      writer.begin_cell(label);
+      writer.add_spans(simulator.spans());
+      for (const auto& [name, recorder] : recorders)
+        if (recorder != nullptr) writer.add_records(name, *recorder);
+      writer.add_metrics(simulator.metrics().snapshot());
+      const auto& spans = simulator.spans().spans();
+      span_batches_.emplace_back(spans.begin(), spans.end());
+    }
+    if (harness_->metrics_dump()) {
+      obs::DumpWriter writer{metrics_stream_};
+      writer.begin_cell(label);
+      writer.add_metrics(simulator.metrics().snapshot());
+    }
+  }
+
+ private:
+  friend class Harness;
+
+  Harness* harness_;
+  std::string label_;
+  std::vector<std::string> lines_;
+  std::ostringstream trace_stream_;
+  std::ostringstream metrics_stream_;
+  std::vector<std::vector<obs::Span>> span_batches_;
+};
+
+inline void Harness::commit(Cell& cell) {
+  for (const std::string& line : cell.lines_) {
+    std::printf("%s\n", line.c_str());
+    note_line(line);
+  }
+  trace_stream_ << cell.trace_stream_.str();
+  metrics_stream_ << cell.metrics_stream_.str();
+  for (const std::vector<obs::Span>& batch : cell.span_batches_) merge_span_batch(batch);
+}
+
+/// Deterministic parallel cell runner. Declare cells with add(); run()
+/// executes them on `--jobs` workers and commits their buffered output
+/// in submission order, so results are byte-identical at any job count.
+/// Cells filtered out by `--filter` are never added (add() returns
+/// false, letting benches skip summary rows that depend on them). A cell
+/// that throws fails the whole sweep: run() rethrows the first exception
+/// after the pool drains, matching serial failure behavior.
+class ParallelSweep {
+ public:
+  explicit ParallelSweep(Harness& harness) : harness_{harness} {}
+
+  /// Queue one cell. Returns false (and drops the cell) when the label
+  /// does not match --filter.
+  bool add(std::string label, std::function<void(Cell&)> fn) {
+    if (!harness_.matches(label)) return false;
+    entries_.push_back(Entry{std::make_unique<Cell>(harness_, std::move(label)), std::move(fn)});
+    return true;
+  }
+
+  /// Cells currently queued (post-filter).
+  std::size_t size() const { return entries_.size(); }
+
+  /// Execute all queued cells, commit in submission order, clear the
+  /// queue. Reusable: benches with several row groups call run() once
+  /// per group (each run() is a barrier, keeping group order).
+  void run() {
+    util::TaskPool pool{harness_.jobs()};
+    for (Entry& e : entries_) {
+      Cell* cell = e.cell.get();
+      std::function<void(Cell&)>* fn = &e.fn;
+      pool.submit([cell, fn] { (*fn)(*cell); });
+    }
+    pool.wait();
+    for (Entry& e : entries_) harness_.commit(*e.cell);
+    entries_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Cell> cell;
+    std::function<void(Cell&)> fn;
+  };
+
+  Harness& harness_;
+  std::vector<Entry> entries_;
 };
 
 inline void emit_line(const std::string& line) {

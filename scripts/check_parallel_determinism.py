@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Assert a bench binary's artifacts are byte-identical for --jobs 1 and --jobs N.
+
+Usage: check_parallel_determinism.py BENCH_BINARY [--jobs N] [EXTRA_ARGS...]
+
+Runs BENCH_BINARY twice into a temp directory -- once with `--jobs 1`,
+once with `--jobs N` (default 8) -- passing any EXTRA_ARGS through to
+both runs, and compares:
+
+  stdout            byte-for-byte (tables, commentary, notes)
+  BENCH_<id>.json   byte-for-byte (the harness JSON artifact)
+  trace JSONL       byte-for-byte after dropping lines carrying
+                    `"deterministic":false` -- wall-time histograms
+                    (e.g. *_ns construct/dissect timings) differ even
+                    between two serial runs, and the dump format tags
+                    them for exactly this purpose. Everything else --
+                    span ids, parents, event timestamps, deterministic
+                    metrics -- must match exactly, which pins the
+                    ordered-commit span-id renumbering in bench::Harness.
+
+This is the contract the parallel sweep engine (DESIGN.md S25) makes:
+parallelism is an execution detail, never observable in the artifacts.
+Benches that need cross-run byte-identity of timing-derived *content*
+must hide it behind a flag (e19's --no-wall) and the ctest entry passes
+that flag via EXTRA_ARGS.
+
+Exit 0 when identical, 1 with a unified diff head otherwise.
+"""
+
+import argparse
+import difflib
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+DETERMINISTIC_FALSE = '"deterministic":false'
+
+
+def run(binary, jobs, extra, outdir):
+    tag = f"j{jobs}"
+    json_out = outdir / f"{tag}.json"
+    trace_out = outdir / f"{tag}.jsonl"
+    cmd = [binary, "--jobs", str(jobs), "--json-out", str(json_out),
+           "--trace-out", str(trace_out), *extra]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"error: {' '.join(cmd)} exited {proc.returncode}", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        sys.exit(1)
+    return proc.stdout, json_out.read_bytes(), trace_out.read_text()
+
+
+def filter_trace(text):
+    return [line for line in text.splitlines() if DETERMINISTIC_FALSE not in line]
+
+
+def diff_head(name, a, b, limit=20):
+    print(f"FAIL: {name} differs between --jobs 1 and --jobs N", file=sys.stderr)
+    lines = difflib.unified_diff(a, b, fromfile=f"{name} (jobs=1)",
+                                 tofile=f"{name} (jobs=N)", lineterm="")
+    for i, line in enumerate(lines):
+        if i >= limit:
+            print("  ...", file=sys.stderr)
+            break
+        print(f"  {line}", file=sys.stderr)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("binary")
+    parser.add_argument("--jobs", type=int, default=8,
+                        help="worker count for the parallel run (default 8)")
+    # Anything the parser does not recognise (past an optional "--") is
+    # forwarded to both bench runs, e.g. --quick --no-wall.
+    args, extra = parser.parse_known_args()
+    args.extra = [a for a in extra if a != "--"]
+
+    with tempfile.TemporaryDirectory(prefix="decos-determinism-") as tmp:
+        outdir = pathlib.Path(tmp)
+        out1, json1, trace1 = run(args.binary, 1, args.extra, outdir)
+        outN, jsonN, traceN = run(args.binary, args.jobs, args.extra, outdir)
+
+    failures = 0
+    if out1 != outN:
+        diff_head("stdout", out1.splitlines(), outN.splitlines())
+        failures += 1
+    if json1 != jsonN:
+        diff_head("json-out", json1.decode().splitlines(), jsonN.decode().splitlines())
+        failures += 1
+    t1, tN = filter_trace(trace1), filter_trace(traceN)
+    if t1 != tN:
+        diff_head("trace-out (deterministic lines)", t1, tN)
+        failures += 1
+
+    if failures:
+        return 1
+    spans = sum(1 for line in t1 if '"type":"span"' in line)
+    print(f"determinism ok: stdout, json, and {len(t1)} trace lines "
+          f"({spans} spans) byte-identical at --jobs 1 vs --jobs {args.jobs}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

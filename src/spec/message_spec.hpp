@@ -53,22 +53,27 @@ struct FieldSpec {
   FieldType type = FieldType::kInt32;
   std::size_t string_length = 0;          // for kString: bytes on the wire
   std::optional<ta::Value> static_value;  // static fields are time-invariant
-  mutable Symbol name_sym{};              // interned lazily via sym()
+  SymbolCache name_sym{};                 // interned lazily via sym(); publish-once
 
   bool is_static() const { return static_value.has_value(); }
   std::size_t wire_size() const { return field_wire_size(type, string_length); }
 
-  /// Interned field name (interns on first call).
+  /// Interned field name (interns on first call; thread-safe, racing
+  /// callers publish the same id).
   Symbol sym() const {
-    if (!name_sym.valid()) name_sym = intern_symbol(name);
-    return name_sym;
+    Symbol s = name_sym.get();
+    if (!s.valid()) {
+      s = intern_symbol(name);
+      name_sym.set(s);
+    }
+    return s;
   }
 };
 
 /// One element of a message.
 struct ElementSpec {
   std::string name;
-  mutable Symbol name_sym{};  // interned lazily via sym(); cold-path cache
+  SymbolCache name_sym{};    // interned lazily via sym(); publish-once cache
   bool key = false;          // part of the message name
   bool convertible = false;  // subject to selective redirection
   std::vector<FieldSpec> fields;
@@ -76,10 +81,15 @@ struct ElementSpec {
   const FieldSpec* field(const std::string& field_name) const;
   std::size_t wire_size() const;
 
-  /// Interned element name (interns on first call).
+  /// Interned element name (interns on first call; thread-safe, racing
+  /// callers publish the same id).
   Symbol sym() const {
-    if (!name_sym.valid()) name_sym = intern_symbol(name);
-    return name_sym;
+    Symbol s = name_sym.get();
+    if (!s.valid()) {
+      s = intern_symbol(name);
+      name_sym.set(s);
+    }
+    return s;
   }
 };
 

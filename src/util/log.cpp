@@ -17,7 +17,10 @@ struct TimeProvider {
 };
 
 TimeProvider& time_provider() {
-  static TimeProvider provider;
+  // thread_local: concurrently simulated cells (one Cluster per worker
+  // thread, S25 parallel sweeps) each stamp their own thread's log lines
+  // with their own simulated time, and registration never races.
+  thread_local TimeProvider provider;
   return provider;
 }
 

@@ -1,30 +1,98 @@
 #include "util/symbol.hpp"
 
+#include <new>
+
 namespace decos {
 
 namespace {
 const std::string kEmpty;
+
+std::size_t hash_name(std::string_view name) { return std::hash<std::string_view>{}(name); }
+}  // namespace
+
+SymbolTable::SymbolTable() : index_{new Index{1024}} {}
+
+SymbolTable::~SymbolTable() {
+  const std::uint32_t count = count_.load(std::memory_order_acquire);
+  for (std::size_t c = 0; c * kChunkSize < count; ++c)
+    delete[] chunks_[c].load(std::memory_order_relaxed);
+  delete index_.load(std::memory_order_relaxed);
+}
+
+std::uint32_t SymbolTable::probe(const Index& index, std::string_view name,
+                                 std::size_t hash) const {
+  const std::size_t mask = index.capacity - 1;
+  for (std::size_t i = hash & mask;; i = (i + 1) & mask) {
+    const std::uint32_t id = index.slots[i].load(std::memory_order_acquire);
+    if (id == 0) return 0;  // empty slot: absent at this snapshot
+    if (*slot(id) == name) return id;
+  }
 }
 
 Symbol SymbolTable::intern(std::string_view name) {
   if (name.empty()) return Symbol{};
-  if (const auto it = index_.find(name); it != index_.end()) return Symbol{it->second};
-  names_.emplace_back(name);
-  const auto id = static_cast<std::uint32_t>(names_.size());  // ids start at 1
-  index_.emplace(names_.back(), id);
+  const std::size_t hash = hash_name(name);
+  // Fast path: already interned -- no lock, acquire loads only.
+  if (const std::uint32_t id = probe(*index_.load(std::memory_order_acquire), name, hash))
+    return Symbol{id};
+
+  std::lock_guard<std::mutex> lock{mutex_};
+  // Re-probe the (possibly replaced) table: another writer may have won.
+  Index* index = index_.load(std::memory_order_relaxed);
+  if (const std::uint32_t id = probe(*index, name, hash)) return Symbol{id};
+
+  // Append the spelling. The chunk entry is fully constructed before the
+  // new count is release-published, so any reader that can see the id
+  // also sees the string.
+  const std::uint32_t count = count_.load(std::memory_order_relaxed);
+  const std::size_t chunk_at = count >> kChunkShift;
+  if (chunk_at >= kMaxChunks) throw std::bad_alloc{};  // 4M design-time names: not a real program
+  std::string* chunk = chunks_[chunk_at].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new std::string[kChunkSize];
+    chunks_[chunk_at].store(chunk, std::memory_order_release);
+  }
+  chunk[count & (kChunkSize - 1)] = std::string{name};
+  const std::uint32_t id = count + 1;  // ids start at 1
+  count_.store(id, std::memory_order_release);
+
+  // Grow the index before it saturates (load factor ~0.7). The old table
+  // is retired, not freed: lock-free readers may still hold it.
+  if (static_cast<std::size_t>(id) * 10 >= index->capacity * 7) {
+    auto grown = std::make_unique<Index>(index->capacity * 2);
+    const std::size_t mask = grown->capacity - 1;
+    for (std::size_t i = 0; i < index->capacity; ++i) {
+      const std::uint32_t moved = index->slots[i].load(std::memory_order_relaxed);
+      if (moved == 0) continue;
+      std::size_t at = hash_name(*slot(moved)) & mask;
+      while (grown->slots[at].load(std::memory_order_relaxed) != 0) at = (at + 1) & mask;
+      grown->slots[at].store(moved, std::memory_order_relaxed);
+    }
+    retired_.emplace_back(index);
+    index = grown.release();
+    index_.store(index, std::memory_order_release);
+  }
+
+  // Claim the first free slot. Only id stores race with readers; the
+  // release pairs with the reader's acquire in probe().
+  const std::size_t mask = index->capacity - 1;
+  std::size_t at = hash & mask;
+  while (index->slots[at].load(std::memory_order_relaxed) != 0) at = (at + 1) & mask;
+  index->slots[at].store(id, std::memory_order_release);
   return Symbol{id};
 }
 
 std::optional<Symbol> SymbolTable::lookup(std::string_view name) const {
   if (name.empty()) return Symbol{};
-  const auto it = index_.find(name);
-  if (it == index_.end()) return std::nullopt;
-  return Symbol{it->second};
+  const std::uint32_t id =
+      probe(*index_.load(std::memory_order_acquire), name, hash_name(name));
+  if (id == 0) return std::nullopt;
+  return Symbol{id};
 }
 
 const std::string& SymbolTable::name(Symbol s) const {
-  if (!s.valid() || s.id() > names_.size()) return kEmpty;
-  return names_[s.id() - 1];
+  if (!s.valid() || s.id() > count_.load(std::memory_order_acquire)) return kEmpty;
+  return *slot(s.id());
 }
 
 SymbolTable& SymbolTable::global() {

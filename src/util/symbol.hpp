@@ -11,16 +11,40 @@
 // Ids are allocated sequentially per table, so a deterministic
 // construction order yields deterministic ids. Symbol 0 is reserved as
 // "invalid"/"no name".
+//
+// Memory model (S25, parallel sweep engine): one process-wide table is
+// shared by every concurrently running experiment cell, so the table is
+// append-only with lock-free reads.
+//  - Spellings live in fixed-size chunks that are never reallocated, so
+//    a published `const std::string&` stays valid (and immutable) for
+//    the table's lifetime.
+//  - A writer appends under `mutex_`, fully constructs the spelling,
+//    release-publishes `count_`, and only then release-stores the id
+//    into its open-addressing index slot. Readers acquire-load slots /
+//    `count_`, which makes the string contents visible before the id
+//    can be observed.
+//  - Index slots transition 0 -> id exactly once. When the index fills
+//    up, the writer builds a larger copy and release-publishes the new
+//    table pointer; superseded tables are retired (kept alive) so
+//    readers holding the old pointer stay safe.
+// Net effect: `intern` of an already-interned name, `lookup`, and
+// `name` never take the mutex; only the first intern of a new spelling
+// does. Two lookups racing one intern may disagree on whether the name
+// exists yet -- interleaving-dependent by nature -- but every resolved
+// Symbol/name pair is stable and consistent.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <vector>
 
 namespace decos {
 
@@ -51,12 +75,43 @@ struct SymbolHash {
   }
 };
 
+/// Publish-once cache slot for a lazily interned Symbol (the `sym()`
+/// caches on spec structs). Copyable so the owning spec structs stay
+/// aggregates/value types; a copy snapshots the cached value. Racing
+/// writers are harmless: both intern the same spelling, get the same
+/// dense id, and store the same 4 bytes.
+class SymbolCache {
+ public:
+  SymbolCache() = default;
+  SymbolCache(const SymbolCache& other)
+      : id_{other.id_.load(std::memory_order_relaxed)} {}
+  SymbolCache& operator=(const SymbolCache& other) {
+    id_.store(other.id_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Cached symbol; invalid when nothing was published yet. Relaxed is
+  /// enough: the id itself is the entire payload, and resolving it goes
+  /// through the table's own acquire fences.
+  Symbol get() const { return Symbol{id_.load(std::memory_order_relaxed)}; }
+  void set(Symbol s) const { id_.store(s.id(), std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<std::uint32_t> id_{0};
+};
+
 /// Interns strings into Symbols. Append-only; resolved names have stable
-/// addresses for the table's lifetime.
+/// addresses for the table's lifetime. Safe for concurrent use by many
+/// threads (see the memory-model note above).
 class SymbolTable {
  public:
+  SymbolTable();
+  ~SymbolTable();
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
   /// Intern `name` (idempotent). The empty string interns to the invalid
-  /// Symbol, mirroring "no name".
+  /// Symbol, mirroring "no name". Lock-free unless `name` is new.
   Symbol intern(std::string_view name);
 
   /// Id of `name` if already interned; nullopt otherwise. Never inserts,
@@ -70,24 +125,46 @@ class SymbolTable {
   const std::string& name(Symbol s) const;
 
   /// Number of interned names (excluding the reserved invalid id).
-  std::size_t size() const { return names_.size(); }
+  std::size_t size() const { return count_.load(std::memory_order_acquire); }
 
   /// The process-wide table. All specs/gateways in one process share one
   /// name universe; ids are deterministic given deterministic
-  /// construction order (the simulation is single-threaded).
+  /// construction order. Concurrent experiment cells may interleave
+  /// their interns (ids then differ run-to-run), which is safe because
+  /// nothing exports raw ids -- spellings are resolved at the edges.
   static SymbolTable& global();
 
  private:
-  struct StringHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
-    std::size_t operator()(const std::string& s) const {
-      return std::hash<std::string_view>{}(s);
+  // Spelling storage: chunked, append-only, never moved.
+  static constexpr std::size_t kChunkShift = 10;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;  // strings per chunk
+  static constexpr std::size_t kMaxChunks = 4096;  // 4M names; the design-time universe is small
+
+  // Open-addressing index: slot holds the id (0 = empty); the key is the
+  // spelling reached through the id. Grows by retiring the whole table.
+  struct Index {
+    explicit Index(std::size_t cap) : capacity{cap}, slots{new std::atomic<std::uint32_t>[cap]} {
+      for (std::size_t i = 0; i < cap; ++i) slots[i].store(0, std::memory_order_relaxed);
     }
+    const std::size_t capacity;  // power of two
+    std::unique_ptr<std::atomic<std::uint32_t>[]> slots;
   };
 
-  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>> index_;
-  std::deque<std::string> names_;  // id-1 -> spelling; deque: stable refs
+  const std::string* slot(std::uint32_t id) const {
+    // id is 1-based; the caller guarantees id <= a published count_.
+    const std::size_t at = static_cast<std::size_t>(id) - 1;
+    const std::string* chunk = chunks_[at >> kChunkShift].load(std::memory_order_relaxed);
+    return chunk + (at & (kChunkSize - 1));
+  }
+
+  /// Probe `index` for `name`; 0 when absent at this snapshot.
+  std::uint32_t probe(const Index& index, std::string_view name, std::size_t hash) const;
+
+  std::atomic<std::uint32_t> count_{0};
+  std::array<std::atomic<std::string*>, kMaxChunks> chunks_{};
+  std::atomic<Index*> index_;
+  std::mutex mutex_;                              // serializes writers only
+  std::vector<std::unique_ptr<Index>> retired_;   // superseded tables, kept alive (guarded by mutex_)
 };
 
 /// Convenience: intern into the global table.

@@ -1,0 +1,94 @@
+#include "util/task_pool.hpp"
+
+#include <algorithm>
+#include <array>
+#include <utility>
+
+namespace decos::util {
+
+TaskPool::TaskPool(std::size_t workers) {
+  if (workers <= 1) return;  // inline mode
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void TaskPool::record_exception(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock{mutex_};
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    // Inline mode: run now, in submission order. Exceptions still surface
+    // from wait() so callers handle serial and parallel runs identically.
+    try {
+      task();
+    } catch (...) {
+      record_exception(std::current_exception());
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void TaskPool::wait() {
+  std::unique_lock<std::mutex> lock{mutex_};
+  drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskPool::worker_loop() {
+  std::array<std::function<void()>, kChunk> batch;
+  for (;;) {
+    std::size_t taken = 0;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      taken = std::min(kChunk, queue_.size());
+      for (std::size_t i = 0; i < taken; ++i) {
+        batch[i] = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      in_flight_ += taken;
+    }
+    for (std::size_t i = 0; i < taken; ++i) {
+      try {
+        batch[i]();
+      } catch (...) {
+        record_exception(std::current_exception());
+      }
+      batch[i] = nullptr;
+    }
+    {
+      std::lock_guard<std::mutex> lock{mutex_};
+      in_flight_ -= taken;
+      if (queue_.empty() && in_flight_ == 0) drained_.notify_all();
+    }
+  }
+}
+
+std::size_t TaskPool::default_workers(std::size_t cap) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, cap);
+}
+
+}  // namespace decos::util

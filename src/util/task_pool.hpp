@@ -1,0 +1,70 @@
+// Fixed worker-thread pool with a chunked work queue, built for the
+// parallel sweep engine (S25): experiment cells are coarse, fully
+// isolated simulations, so the pool optimizes for simplicity and
+// deterministic error propagation, not for fine-grained task overhead.
+//
+//  - Workers are started once and joined in the destructor.
+//  - submit() enqueues; workers drain the queue in FIFO chunks (one lock
+//    round-trip can hand a worker several small tasks).
+//  - Exceptions thrown by a task are captured; wait() rethrows the first
+//    one after the queue has drained, so a failing cell fails the sweep
+//    the same way it would have failed a serial run.
+//  - A pool constructed with 0 or 1 workers runs every task inline in
+//    submit(), in submission order: `--jobs 1` is genuinely serial, not
+//    "parallel with one thread".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace decos::util {
+
+class TaskPool {
+ public:
+  /// Start `workers` threads (0/1 = inline mode, no threads).
+  explicit TaskPool(std::size_t workers);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueue one task. Inline mode runs it before returning (exceptions
+  /// are still deferred to wait(), matching the threaded contract).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished, then rethrow the
+  /// first captured task exception, if any. The pool stays usable for
+  /// further submit() rounds afterwards.
+  void wait();
+
+  std::size_t workers() const { return threads_.size(); }
+
+  /// Hardware concurrency clamped to [1, cap]; the default worker count
+  /// for `--jobs` when the user does not choose.
+  static std::size_t default_workers(std::size_t cap = 8);
+
+ private:
+  // Max tasks a worker claims per lock acquisition. Cells are coarse, so
+  // this only matters when many tiny tasks are queued.
+  static constexpr std::size_t kChunk = 4;
+
+  void worker_loop();
+  void record_exception(std::exception_ptr error);
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable drained_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace decos::util
