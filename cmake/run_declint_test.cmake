@@ -1,13 +1,23 @@
 # ctest driver for declint CLI cases.
-# Inputs: -DDECLINT=<path> -DSPEC=<path> -DEXPECT_EXIT=<n> [-DEXPECT_MATCH=<regex>]
+# Inputs: -DDECLINT=<path> -DSPEC=<path or ;-list> -DEXPECT_EXIT=<n>
+#         [-DEXPECT_MATCH=<regex>] [-DEXTRA_ARGS=<;-list of flags>]
+#         [-DGOLDEN=<path>]   compare stdout byte-exact against this file
+#         [-DWORKDIR=<path>]  run with this working directory (golden
+#                             outputs embed the spec paths as given, so
+#                             golden cases pass relative paths)
 if(NOT EXISTS "${DECLINT}")
   message(FATAL_ERROR
     "declint binary '${DECLINT}' has not been built yet: rebuild required.\n"
     "Run: cmake --build <build-dir> -j (or scripts/verify.sh)")
 endif()
 
+if(NOT DEFINED WORKDIR OR "${WORKDIR}" STREQUAL "")
+  set(WORKDIR ".")
+endif()
+
 execute_process(
-  COMMAND "${DECLINT}" "${SPEC}"
+  COMMAND "${DECLINT}" ${EXTRA_ARGS} ${SPEC}
+  WORKING_DIRECTORY "${WORKDIR}"
   OUTPUT_VARIABLE _out
   ERROR_VARIABLE _err
   RESULT_VARIABLE _rc)
@@ -23,5 +33,14 @@ if(DEFINED EXPECT_MATCH AND NOT "${EXPECT_MATCH}" STREQUAL "")
   if(NOT _all MATCHES "${EXPECT_MATCH}")
     message(FATAL_ERROR
       "declint ${SPEC}: output does not match '${EXPECT_MATCH}'\noutput:\n${_all}")
+  endif()
+endif()
+
+if(DEFINED GOLDEN AND NOT "${GOLDEN}" STREQUAL "")
+  file(READ "${GOLDEN}" _golden)
+  if(NOT _out STREQUAL _golden)
+    message(FATAL_ERROR
+      "declint ${SPEC}: stdout differs from golden ${GOLDEN}\n"
+      "--- got ---\n${_out}\n--- want ---\n${_golden}")
   endif()
 endif()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Analysis perf smoke: declint's whole-cluster passes must stay fast.
+
+Generates an E19-shaped cluster of a few hundred gateways (512 link
+specifications) and runs the full analysis -- parse, local rules,
+flow-graph construction, DL008/DL009/DL010 -- under a wall-time budget.
+The passes are linear in the number of flows, so a regression to
+quadratic coupling between gateways shows up as an order-of-magnitude
+blowout here long before it hurts a real deployment.
+
+  python3 scripts/check_declint_perf.py build/tools/declint/declint
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+import gen_cluster_specs
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("declint", type=pathlib.Path, help="path to the declint binary")
+    parser.add_argument("--pairs", type=int, default=256, help="cluster size (gateways)")
+    parser.add_argument("--budget-s", type=float, default=1.0,
+                        help="wall-time budget for the analysis run")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="declint-perf.") as tmp:
+        # Pin the port period: the analysis cost is what is measured here,
+        # and the E19 round length at hundreds of pairs (10ms * pairs/4)
+        # would exceed the default 50ms d_acc -- a real DL008 finding,
+        # but not the one this smoke is about.
+        specs = gen_cluster_specs.generate(args.pairs, pathlib.Path(tmp), period_ms=10)
+        start = time.monotonic()
+        proc = subprocess.run(
+            [str(args.declint), "--format", "json", *map(str, specs)],
+            capture_output=True, text=True)
+        elapsed = time.monotonic() - start
+
+    if proc.returncode != 0:
+        print(f"FAIL: declint exited {proc.returncode} on the generated cluster",
+              file=sys.stderr)
+        print(proc.stdout + proc.stderr, file=sys.stderr)
+        return 1
+
+    report = json.loads(proc.stdout)
+    flows = report["cluster"]["flows"]
+    if len(flows) != args.pairs:
+        print(f"FAIL: expected {args.pairs} flows, analysis found {len(flows)}",
+              file=sys.stderr)
+        return 1
+    if report["summary"]["errors"] != 0:
+        print("FAIL: generated cluster should lint clean", file=sys.stderr)
+        return 1
+
+    print(f"declint perf smoke: {args.pairs} gateways, {len(flows)} flows, "
+          f"{elapsed:.3f}s (budget {args.budget_s:.1f}s)")
+    if elapsed > args.budget_s:
+        print(f"FAIL: analysis took {elapsed:.3f}s > budget {args.budget_s:.1f}s",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -136,8 +136,9 @@ Result<GatewayDoc> parse_gateway_doc(std::string_view xml_text) {
     return R::failure("a <gatewayspec> needs exactly 2 <linkspec> children, found " +
                       std::to_string(link_elements.size()));
   for (std::size_t side = 0; side < 2; ++side) {
-    // Re-serialize the child so the linkspec parser sees a standalone doc.
-    auto link = spec::parse_link_spec_xml(xml::write(*link_elements[side]));
+    // Parse the child element in place so source positions of the
+    // enclosing document survive into the spec (for lint diagnostics).
+    auto link = spec::parse_link_spec_element(*link_elements[side]);
     if (!link.ok())
       return Error{"link " + std::to_string(side) + ": " + link.error().message};
     doc.links[side] = std::move(link.value());
@@ -155,6 +156,7 @@ Result<GatewayDoc> parse_gateway_doc(std::string_view xml_text) {
     rename.side = side == "0" ? 0 : 1;
     rename.from = re->attribute("from");
     rename.to = re->attribute("to");
+    rename.loc = SourceLoc{re->line(), re->column()};
     if (rename.from.empty() || rename.to.empty())
       return R::failure("<rename> needs from= and to=");
     doc.renames.push_back(std::move(rename));
@@ -163,6 +165,7 @@ Result<GatewayDoc> parse_gateway_doc(std::string_view xml_text) {
   for (const xml::Element* ee : root.children_named("element")) {
     GatewayElementOverride element;
     element.name = ee->attribute("name");
+    element.loc = SourceLoc{ee->line(), ee->column()};
     if (element.name.empty()) return R::failure("<element> needs a name");
     const std::string semantics_text = ee->attribute_or("semantics", "state");
     if (semantics_text == "state") element.semantics = spec::InfoSemantics::kState;

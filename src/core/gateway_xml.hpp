@@ -39,6 +39,7 @@
 
 #include "core/virtual_gateway.hpp"
 #include "util/result.hpp"
+#include "util/source_loc.hpp"
 
 namespace decos::core {
 
@@ -47,6 +48,7 @@ struct GatewayRename {
   int side = 0;
   std::string from;  // link-namespace element name
   std::string to;    // repository name
+  SourceLoc loc{};
 };
 
 /// One <element name=.. semantics=.. dacc=.. queue=../> override.
@@ -55,6 +57,7 @@ struct GatewayElementOverride {
   spec::InfoSemantics semantics = spec::InfoSemantics::kState;
   Duration d_acc = Duration::zero();
   std::size_t queue_capacity = 0;
+  SourceLoc loc{};
 };
 
 /// Parsed but not yet constructed <gatewayspec> document.

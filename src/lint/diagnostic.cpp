@@ -16,7 +16,12 @@ const char* severity_name(Severity severity) {
 
 std::string Diagnostic::to_string() const {
   std::string s = std::string{severity_name(severity)} + " " + rule;
-  if (!location.empty()) s += " at " + location;
+  if (!location.empty()) {
+    s += " at " + location;
+    if (loc.valid()) s += " (line " + std::to_string(loc.line) + ")";
+  } else if (loc.valid()) {
+    s += " at line " + std::to_string(loc.line);
+  }
   s += ": " + message;
   if (!hint.empty()) s += "  [hint: " + hint + "]";
   return s;
@@ -28,6 +33,12 @@ void Report::add(std::string rule, Severity severity, std::string location, std:
                  std::string hint) {
   diagnostics_.push_back(Diagnostic{std::move(rule), severity, std::move(location),
                                     std::move(message), std::move(hint)});
+}
+
+void Report::add(std::string rule, Severity severity, SourceLoc loc, std::string location,
+                 std::string message, std::string hint) {
+  diagnostics_.push_back(Diagnostic{std::move(rule), severity, std::move(location),
+                                    std::move(message), std::move(hint), loc});
 }
 
 void Report::merge(Report other) {

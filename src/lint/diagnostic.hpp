@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/source_loc.hpp"
+
 namespace decos::lint {
 
 enum class Severity { kError, kWarning, kNote };
@@ -24,8 +26,10 @@ struct Diagnostic {
   std::string location;  // e.g. "link[0] 'chassis': transfer rule 'movementstate'"
   std::string message;
   std::string hint;      // optional fix hint
+  SourceLoc loc{};       // XML position of the offending element (0 = unknown)
 
-  /// "error DL001 at link[0] 'chassis': ...  [hint: ...]"
+  /// "error DL001 at link[0] 'chassis': ...  [hint: ...]"; with a valid
+  /// source position the location gains a ":<line>:<col>" suffix.
   std::string to_string() const;
 };
 
@@ -35,6 +39,8 @@ class Report {
   void add(Diagnostic diagnostic);
   void add(std::string rule, Severity severity, std::string location, std::string message,
            std::string hint = {});
+  void add(std::string rule, Severity severity, SourceLoc loc, std::string location,
+           std::string message, std::string hint = {});
   void merge(Report other);
 
   const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }

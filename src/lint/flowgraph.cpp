@@ -1,0 +1,132 @@
+#include "lint/flowgraph.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace decos::lint {
+namespace {
+
+/// Repository names of the convertible elements an input message feeds
+/// into gateway `model`: its own convertible elements plus the closure
+/// of transfer-rule targets derivable from them.
+std::set<std::string> produced_elements(const GatewayModel& model, int side,
+                                        const spec::MessageSpec& message) {
+  std::set<std::string> produced;
+  for (const auto* e : message.convertible_elements())
+    produced.insert(model.repo_name(side, e->name));
+  // Transfer rules fire on arriving source instances; chained rules
+  // (target of one feeding another) close under iteration.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int rule_side = 0; rule_side < 2; ++rule_side) {
+      const spec::LinkSpec* link = model.links[rule_side];
+      if (link == nullptr) continue;
+      for (const auto& rule : link->transfer_rules()) {
+        if (produced.count(model.repo_name(rule_side, rule.source)) == 0) continue;
+        if (produced.insert(model.repo_name(rule_side, rule.target)).second) changed = true;
+      }
+    }
+  }
+  return produced;
+}
+
+/// VnId compatibility: connected only when neither side pins a VN or
+/// both pin the same one.
+bool vn_compatible(const std::optional<tt::VnId>& a, const std::optional<tt::VnId>& b) {
+  return !a.has_value() || !b.has_value() || *a == *b;
+}
+
+void collect_hops(const ClusterModel& cluster, std::vector<FlowHop>& hops) {
+  for (const GatewayModel* model : cluster.gateways) {
+    if (model == nullptr || model->links[0] == nullptr || model->links[1] == nullptr) continue;
+    for (int side = 0; side < 2; ++side) {
+      const spec::LinkSpec& in_link = *model->links[side];
+      const spec::LinkSpec& out_link = *model->links[1 - side];
+      for (const auto& in_port : in_link.ports()) {
+        if (in_port.direction != spec::DataDirection::kInput) continue;
+        const spec::MessageSpec* in_message = in_link.message(in_port.message);
+        if (in_message == nullptr) continue;
+        const std::set<std::string> produced = produced_elements(*model, side, *in_message);
+        if (produced.empty()) continue;
+        for (const auto& out_port : out_link.ports()) {
+          if (out_port.direction != spec::DataDirection::kOutput) continue;
+          const spec::MessageSpec* out_message = out_link.message(out_port.message);
+          if (out_message == nullptr) continue;
+          FlowHop hop;
+          for (const auto* e : out_message->convertible_elements()) {
+            const std::string repo = model->repo_name(1 - side, e->name);
+            if (produced.count(repo) != 0) hop.elements.push_back(repo);
+          }
+          if (hop.elements.empty()) continue;
+          hop.gateway = model;
+          hop.ingress_side = side;
+          hop.in_port = &in_port;
+          hop.in_message = in_message;
+          hop.out_port = &out_port;
+          hop.out_message = out_message;
+          hops.push_back(std::move(hop));
+        }
+      }
+    }
+  }
+}
+
+bool connects(const FlowHop& from, const FlowHop& to) {
+  if (from.out_message->name() != to.in_message->name()) return false;
+  if (&from == &to) return false;
+  return vn_compatible(from.gateway->link_vn[static_cast<std::size_t>(from.egress_side())],
+                       to.gateway->link_vn[static_cast<std::size_t>(to.ingress_side)]);
+}
+
+constexpr std::size_t kMaxFlows = 4096;
+
+/// Depth-first extension of `chain`; every maximal chain becomes a flow.
+/// Hops already on the chain are not revisited (cycle guard).
+void extend(const std::vector<FlowHop>& hops, std::vector<const FlowHop*>& chain,
+            std::vector<Flow>& flows) {
+  if (flows.size() >= kMaxFlows) return;
+  const FlowHop& last = *chain.back();
+  bool extended = false;
+  for (const FlowHop& next : hops) {
+    if (!connects(last, next)) continue;
+    if (std::find(chain.begin(), chain.end(), &next) != chain.end()) continue;
+    chain.push_back(&next);
+    extend(hops, chain, flows);
+    chain.pop_back();
+    extended = true;
+  }
+  if (!extended) {
+    Flow flow;
+    for (const FlowHop* hop : chain) flow.hops.push_back(*hop);
+    flows.push_back(std::move(flow));
+  }
+}
+
+}  // namespace
+
+std::string Flow::key() const {
+  if (hops.empty()) return {};
+  std::string key = hops.front().in_message->name();
+  const std::string& out = hops.back().out_message->name();
+  if (out != key) key += "->" + out;
+  return key;
+}
+
+FlowGraph build_flow_graph(const ClusterModel& cluster) {
+  FlowGraph graph;
+  collect_hops(cluster, graph.hops);
+
+  for (const FlowHop& root : graph.hops) {
+    // Roots: input messages no gateway of the cluster emits -- flows
+    // start at the environment (a DAS job), not mid-chain.
+    const bool is_root = std::none_of(graph.hops.begin(), graph.hops.end(),
+                                      [&](const FlowHop& other) { return connects(other, root); });
+    if (!is_root) continue;
+    std::vector<const FlowHop*> chain{&root};
+    extend(graph.hops, chain, graph.flows);
+  }
+  return graph;
+}
+
+}  // namespace decos::lint

@@ -1,0 +1,76 @@
+// Whole-cluster dataflow graph (declint rules DL008-DL010).
+//
+// DL001-DL007 judge each gateway (or each link) in isolation. The flow
+// graph joins the deployment models of *all* gateways of a cluster into
+// end-to-end flows:
+//
+//   producer port -> VN slot -> gateway dissect -> repository element
+//     -> construct -> consumer port -> [next gateway's input port ...]
+//
+// Two gateways chain when one's output message is the other's input
+// message (same message name; when both sides pin a VnId, the ids must
+// match -- a name collision on different virtual networks is not a
+// connection). A flow is a maximal hop chain starting at a message no
+// gateway of the cluster emits. The timing pass composes a worst-case
+// latency bound hop by hop over this graph (DL008), the occupancy pass
+// propagates burst bounds along it (DL010), and the symbolic pass
+// narrows value intervals through the filters on it (DL009).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace decos::lint {
+
+/// A deployment of one or more gateways analyzed jointly. The models
+/// stay owned by the caller.
+struct ClusterModel {
+  std::vector<const GatewayModel*> gateways;
+};
+
+/// One traversal of one gateway: input message in, output message out.
+struct FlowHop {
+  const GatewayModel* gateway = nullptr;
+  int ingress_side = 0;  // side of the input port; egress is 1 - ingress
+  const spec::PortSpec* in_port = nullptr;
+  const spec::MessageSpec* in_message = nullptr;
+  const spec::PortSpec* out_port = nullptr;
+  const spec::MessageSpec* out_message = nullptr;
+  /// Repository names of the convertible elements this hop carries from
+  /// the input message into the output message (directly or via a
+  /// transfer rule).
+  std::vector<std::string> elements;
+
+  int egress_side() const { return 1 - ingress_side; }
+};
+
+/// A maximal chain of hops. The key matches the observability layer's
+/// flow naming (obs::phase_breakdown): root send message, plus
+/// "->" + final delivery message when the name changes en route -- so
+/// static bounds and traced latencies join on the same string.
+struct Flow {
+  std::vector<FlowHop> hops;
+
+  std::string key() const;
+};
+
+struct FlowGraph {
+  std::vector<Flow> flows;
+  /// All hops, including ones absorbed into longer flows.
+  std::vector<FlowHop> hops;
+};
+
+/// Construct the inter-gateway dataflow graph of a cluster.
+FlowGraph build_flow_graph(const ClusterModel& cluster);
+
+struct FlowBound;  // lint/timing.hpp
+
+/// Whole-cluster analysis: build the flow graph, then run DL008 (static
+/// latency bounds), DL009 (symbolic feasibility) and DL010 (queue
+/// occupancy). Per-flow bounds are appended to `bounds` when non-null
+/// (include lint/timing.hpp for the complete type).
+Report lint_cluster(const ClusterModel& cluster, std::vector<FlowBound>* bounds = nullptr);
+
+}  // namespace decos::lint

@@ -8,6 +8,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "lint/flowgraph.hpp"
+#include "lint/symbolic.hpp"
+#include "lint/timing.hpp"
+
 namespace decos::lint {
 namespace {
 
@@ -830,7 +834,7 @@ ElementMeta GatewayModel::element_meta(const std::string& repo,
 // Entry points
 // ---------------------------------------------------------------------------
 
-Report lint_gateway(const GatewayModel& model) {
+Report lint_gateway_local(const GatewayModel& model) {
   Report report;
   if (model.links[0] == nullptr || model.links[1] == nullptr) {
     report.add("DL000", Severity::kError, "gateway '" + model.name + "'",
@@ -849,6 +853,24 @@ Report lint_gateway(const GatewayModel& model) {
   check_ports(model, /*standalone=*/false, report);
   check_bandwidth(model, report);
   check_dead_elements(model, report);
+  return report;
+}
+
+Report lint_gateway(const GatewayModel& model) {
+  Report report = lint_gateway_local(model);
+  if (model.links[0] == nullptr || model.links[1] == nullptr) return report;
+  ClusterModel cluster;
+  cluster.gateways.push_back(&model);
+  report.merge(lint_cluster(cluster));
+  return report;
+}
+
+Report lint_cluster(const ClusterModel& cluster, std::vector<FlowBound>* bounds) {
+  Report report;
+  const FlowGraph graph = build_flow_graph(cluster);
+  check_flow_latency(graph, report, bounds);
+  check_symbolic(cluster, graph, report);
+  check_flow_occupancy(graph, report);
   return report;
 }
 

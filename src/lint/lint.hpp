@@ -32,6 +32,16 @@
 //          no compiled transfer plan ever binds (no output message is
 //          constructed from them, no transfer rule consumes them) --
 //          dissection silently discards every instance
+//
+// Whole-cluster rules (lint/flowgraph.hpp joins all gateways of a
+// deployment into end-to-end flows; lint_cluster runs these):
+//   DL008  static end-to-end latency bounds per flow vs the consumers'
+//          temporal accuracy d_acc (lint/timing.hpp)
+//   DL009  symbolic filter/rule feasibility over value intervals: dead
+//          filters, tautological filters, rules that can never fire,
+//          filters shadowed by upstream filters (lint/symbolic.hpp)
+//   DL010  worst-case queue occupancy under cross-hop burst compounding
+//          (lint/timing.hpp)
 #pragma once
 
 #include <array>
@@ -54,6 +64,9 @@ inline constexpr char kRuleAutomaton[] = "DL004";
 inline constexpr char kRuleHorizon[] = "DL005";
 inline constexpr char kRulePorts[] = "DL006";
 inline constexpr char kRuleDeadElement[] = "DL007";
+inline constexpr char kRuleLatency[] = "DL008";
+inline constexpr char kRuleSymbolic[] = "DL009";
+inline constexpr char kRuleOccupancy[] = "DL010";
 
 /// Repository meta data of one convertible element as deployed
 /// (mirrors core::ElementDecl without depending on core/).
@@ -89,8 +102,16 @@ struct GatewayModel {
   ElementMeta element_meta(const std::string& repo, spec::InfoSemantics produced) const;
 };
 
-/// Full deployment analysis of a gateway. Runs every rule class.
+/// Full deployment analysis of a gateway: every local rule class
+/// (DL001-DL007) plus the whole-cluster rules (DL008-DL010) over the
+/// one-gateway cluster -- so strict finalize also catches an infeasible
+/// latency bound.
 Report lint_gateway(const GatewayModel& model);
+
+/// Local rules only (DL001-DL007). declint uses this when analyzing
+/// several gateways jointly, so cluster findings are not duplicated per
+/// file.
+Report lint_gateway_local(const GatewayModel& model);
 
 /// Standalone analysis of a single link specification (the subset of
 /// rules decidable without the opposite link: local DL001/DL002/DL004).

@@ -1,0 +1,169 @@
+#include "lint/render.hpp"
+
+#include <cstdio>
+
+namespace decos::lint {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_diagnostic_json(std::string& out, const Diagnostic& d, const std::string& indent) {
+  out += indent + "{\"rule\": ";
+  append_escaped(out, d.rule);
+  out += ", \"severity\": \"";
+  out += severity_name(d.severity);
+  out += "\", \"location\": ";
+  append_escaped(out, d.location);
+  out += ", \"message\": ";
+  append_escaped(out, d.message);
+  if (!d.hint.empty()) {
+    out += ", \"hint\": ";
+    append_escaped(out, d.hint);
+  }
+  if (d.loc.valid()) {
+    out += ", \"line\": " + std::to_string(d.loc.line) +
+           ", \"column\": " + std::to_string(d.loc.column);
+  }
+  out += "}";
+}
+
+void count(const Report& report, std::size_t& errors, std::size_t& warnings, std::size_t& notes) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    switch (d.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kNote: ++notes; break;
+    }
+  }
+}
+
+const char* sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "none";
+}
+
+void append_sarif_result(std::string& out, const Diagnostic& d, const std::string& uri,
+                         bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "      {\"ruleId\": ";
+  append_escaped(out, d.rule);
+  out += ", \"level\": \"";
+  out += sarif_level(d.severity);
+  out += "\", \"message\": {\"text\": ";
+  std::string text = d.location.empty() ? d.message : d.location + ": " + d.message;
+  if (!d.hint.empty()) text += " [hint: " + d.hint + "]";
+  append_escaped(out, text);
+  out += "}";
+  if (!uri.empty()) {
+    out += ", \"locations\": [{\"physicalLocation\": {\"artifactLocation\": {\"uri\": ";
+    append_escaped(out, uri);
+    out += "}";
+    if (d.loc.valid()) {
+      out += ", \"region\": {\"startLine\": " + std::to_string(d.loc.line) +
+             ", \"startColumn\": " + std::to_string(d.loc.column > 0 ? d.loc.column : 1) + "}";
+    }
+    out += "}}]";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string render_json(const RenderInput& input) {
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  std::string out = "{\n  \"tool\": \"declint\",\n  \"version\": 1,\n  \"files\": [\n";
+  for (std::size_t i = 0; i < input.files.size(); ++i) {
+    const FileReport& file = input.files[i];
+    count(file.report, errors, warnings, notes);
+    out += "    {\"path\": ";
+    append_escaped(out, file.path);
+    out += ", \"diagnostics\": [";
+    const auto& diags = file.report.diagnostics();
+    for (std::size_t j = 0; j < diags.size(); ++j) {
+      out += j == 0 ? "\n" : ",\n";
+      append_diagnostic_json(out, diags[j], "      ");
+    }
+    out += diags.empty() ? "]}" : "\n    ]}";
+    out += i + 1 < input.files.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"cluster\": {\"diagnostics\": [";
+  count(input.cluster, errors, warnings, notes);
+  const auto& cluster = input.cluster.diagnostics();
+  for (std::size_t j = 0; j < cluster.size(); ++j) {
+    out += j == 0 ? "\n" : ",\n";
+    append_diagnostic_json(out, cluster[j], "    ");
+  }
+  out += cluster.empty() ? "], \"flows\": [" : "\n  ], \"flows\": [";
+  for (std::size_t j = 0; j < input.flows.size(); ++j) {
+    const FlowBound& flow = input.flows[j];
+    out += j == 0 ? "\n" : ",\n";
+    out += "    {\"key\": ";
+    append_escaped(out, flow.key);
+    out += ", \"bound_ns\": " + std::to_string(flow.bound.ns());
+    out += ", \"d_acc_ns\": " +
+           (flow.d_acc == Duration::max() ? std::string{"-1"} : std::to_string(flow.d_acc.ns()));
+    out += ", \"hops\": " + std::to_string(flow.hops) + "}";
+  }
+  out += input.flows.empty() ? "]},\n" : "\n  ]},\n";
+  out += "  \"summary\": {\"errors\": " + std::to_string(errors) +
+         ", \"warnings\": " + std::to_string(warnings) + ", \"notes\": " + std::to_string(notes) +
+         "}\n}\n";
+  return out;
+}
+
+std::string render_sarif(const RenderInput& input) {
+  std::string out =
+      "{\n"
+      "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\"name\": \"declint\", \"rules\": [\n";
+  static const char* kRules[] = {kRuleTransfer,  kRuleTypes, kRuleSchedule,   kRuleAutomaton,
+                                 kRuleHorizon,   kRulePorts, kRuleDeadElement, kRuleLatency,
+                                 kRuleSymbolic,  kRuleOccupancy};
+  for (std::size_t i = 0; i < sizeof kRules / sizeof kRules[0]; ++i) {
+    out += std::string{"      {\"id\": \""} + kRules[i] + "\"}";
+    out += i + 1 < sizeof kRules / sizeof kRules[0] ? ",\n" : "\n";
+  }
+  out += "    ]}},\n    \"results\": [\n";
+  bool first = true;
+  for (const FileReport& file : input.files) {
+    for (const Diagnostic& d : file.report.diagnostics())
+      append_sarif_result(out, d, file.path, first);
+  }
+  // Cluster findings span files; attribute them to the first input so
+  // code-scanning UIs still anchor them somewhere stable.
+  const std::string cluster_uri = input.files.empty() ? std::string{} : input.files.front().path;
+  for (const Diagnostic& d : input.cluster.diagnostics())
+    append_sarif_result(out, d, cluster_uri, first);
+  out += first ? "    ]\n" : "\n    ]\n";
+  out += "  }]\n}\n";
+  return out;
+}
+
+}  // namespace decos::lint

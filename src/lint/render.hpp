@@ -1,0 +1,39 @@
+// Machine-readable renderings of declint reports.
+//
+// Two formats, both byte-deterministic (stable field order, no maps, no
+// timestamps, LF line endings):
+//
+//   * JSON  -- declint's own schema. Carries every diagnostic with its
+//     source position plus the per-flow static latency bounds (DL008),
+//     so `decotrace --check-bounds <declint.json>` can replay a traced
+//     run against the static bounds.
+//   * SARIF -- minimal SARIF 2.1.0 for CI code-scanning upload; one run,
+//     one result per diagnostic, physical locations when the XML
+//     position is known.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/timing.hpp"
+
+namespace decos::lint {
+
+/// Per-input-file findings.
+struct FileReport {
+  std::string path;
+  Report report;
+};
+
+/// Everything one declint invocation produced.
+struct RenderInput {
+  std::vector<FileReport> files;
+  Report cluster;                // whole-cluster findings (DL008-DL010)
+  std::vector<FlowBound> flows;  // static bounds, one per cluster flow
+};
+
+std::string render_json(const RenderInput& input);
+std::string render_sarif(const RenderInput& input);
+
+}  // namespace decos::lint

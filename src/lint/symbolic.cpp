@@ -1,0 +1,207 @@
+#include "lint/symbolic.hpp"
+
+#include <set>
+#include <string>
+
+#include "ta/expr.hpp"
+#include "ta/interval.hpp"
+
+namespace decos::lint {
+namespace {
+
+using ta::Interval;
+using ta::MapIntervalEnv;
+
+/// Declared value range of one field: its static value if fixed,
+/// otherwise the range of the wire type.
+Interval field_interval(const spec::FieldSpec& field) {
+  if (field.static_value.has_value()) {
+    const ta::Value& v = *field.static_value;
+    if (v.is_bool()) return Interval::of_bool(v.as_bool());
+    if (v.is_numeric()) return Interval::constant(v.as_real());
+    return Interval::top();  // strings have no order
+  }
+  switch (field.type) {
+    case spec::FieldType::kBoolean:
+      return Interval::any_bool();
+    case spec::FieldType::kInt8:
+      return Interval{-128.0, 127.0};
+    case spec::FieldType::kInt16:
+      return Interval{-32768.0, 32767.0};
+    case spec::FieldType::kInt32:
+      return Interval{-2147483648.0, 2147483647.0};
+    case spec::FieldType::kUInt8:
+      return Interval{0.0, 255.0};
+    case spec::FieldType::kUInt16:
+      return Interval{0.0, 65535.0};
+    case spec::FieldType::kUInt32:
+      return Interval{0.0, 4294967295.0};
+    case spec::FieldType::kUInt64:
+    case spec::FieldType::kTimestamp:
+      return Interval{0.0, std::numeric_limits<double>::infinity()};
+    case spec::FieldType::kInt64:
+    case spec::FieldType::kFloat32:
+    case spec::FieldType::kFloat64:
+    case spec::FieldType::kString:
+      return Interval::top();
+  }
+  return Interval::top();
+}
+
+/// Environment a filter on `message` sees: every field of every element
+/// at its declared range (same-named fields across elements joined),
+/// link parameters as constants.
+MapIntervalEnv message_env(const spec::LinkSpec& link, const spec::MessageSpec& message) {
+  MapIntervalEnv env;
+  for (const auto& element : message.elements()) {
+    for (const auto& field : element.fields) {
+      const Interval declared = field_interval(field);
+      env.bind(field.name, env.has(field.name) ? ta::join(env.get(field.name), declared) : declared);
+    }
+  }
+  for (const auto& [name, value] : link.parameters()) {
+    if (value.is_bool())
+      env.bind(name, Interval::of_bool(value.as_bool()));
+    else if (value.is_numeric())
+      env.bind(name, Interval::constant(value.as_real()));
+  }
+  return env;
+}
+
+/// A predicate is unsatisfiable over `env` when it evaluates to
+/// identically false, or when assuming it true (refine_by_predicate)
+/// empties some variable's interval -- which catches contradictory
+/// conjunctions like `v > 100 && v < 50` that plain evaluation only
+/// sees as unknown.
+bool unsatisfiable(const ta::Expr& predicate, const MapIntervalEnv& env) {
+  const Interval direct = predicate.evaluate_interval(env);
+  if (direct.always_false()) return true;
+  if (direct.always_true()) return false;
+  MapIntervalEnv refined = env;
+  ta::refine_by_predicate(predicate, refined);
+  for (const auto& [name, value] : refined.vars())
+    if (value.is_bottom()) return true;
+  return false;
+}
+
+std::string side_loc(const GatewayModel& model, int side) {
+  const spec::LinkSpec* link = model.links[static_cast<std::size_t>(side)];
+  return "gateway '" + model.name + "' link[" + std::to_string(side) + "] '" +
+         (link != nullptr ? link->das() : std::string{"?"}) + "'";
+}
+
+/// Local feasibility of every filter of one link.
+void check_link_filters(const GatewayModel& model, int side, Report& report) {
+  const spec::LinkSpec& link = *model.links[static_cast<std::size_t>(side)];
+  for (const auto& message : link.messages()) {
+    const ta::ExprPtr* filter = link.filter_for(message.name());
+    if (filter == nullptr || *filter == nullptr) continue;
+    const MapIntervalEnv env = message_env(link, message);
+    const Interval result = (*filter)->evaluate_interval(env);
+    const std::string loc = side_loc(model, side) + " filter on '" + message.name() + "'";
+    if (unsatisfiable(**filter, env)) {
+      report.add(kRuleSymbolic, Severity::kError, link.filter_loc(message.name()), loc,
+                 "filter rejects every well-typed instance of '" + message.name() +
+                     "' (predicate is identically false over the declared field ranges)",
+                 "no instance can pass this link; the message and everything derived from it "
+                 "is dead");
+      // Transfer rules fed by the dead message can never fire.
+      for (const auto& rule : link.transfer_rules()) {
+        const spec::ElementSpec* source = message.element(rule.source);
+        if (source == nullptr || !source->convertible) continue;
+        report.add(kRuleSymbolic, Severity::kError, rule.loc,
+                   side_loc(model, side) + " transfer rule '" + rule.target + "'",
+                   "transfer rule '" + rule.target + "' <- '" + rule.source +
+                       "' can never fire: every carrier of '" + rule.source +
+                       "' is rejected by the filter on '" + message.name() + "'",
+                   "remove the rule or widen the filter");
+      }
+    } else if (result.always_true()) {
+      report.add(kRuleSymbolic, Severity::kNote, link.filter_loc(message.name()), loc,
+                 "filter admits every well-typed instance of '" + message.name() +
+                     "' (predicate is a tautology over the declared field ranges)",
+                 "selective redirection never redirects; drop the filter or tighten it");
+    }
+  }
+}
+
+/// One filter station along a flow: the declared env of `message` on
+/// `link`, met with the value knowledge carried from upstream.
+struct Station {
+  const spec::LinkSpec* link = nullptr;
+  const spec::MessageSpec* message = nullptr;
+  const GatewayModel* gateway = nullptr;
+  int side = 0;
+};
+
+void visit_station(const Station& st, const Flow& flow, MapIntervalEnv& carried, bool& have_carried,
+                   std::set<std::string>& reported, Report& report) {
+  MapIntervalEnv local = message_env(*st.link, *st.message);
+  if (have_carried) {
+    // Meet upstream knowledge into this link's declared ranges; fields
+    // unknown upstream keep their declared interval.
+    for (auto& [name, declared] : local.vars()) {
+      if (carried.has(name)) declared = ta::meet(declared, carried.get(name));
+    }
+  }
+  const ta::ExprPtr* filter = st.link->filter_for(st.message->name());
+  if (filter != nullptr && *filter != nullptr) {
+    const bool dead_locally = unsatisfiable(**filter, message_env(*st.link, *st.message));
+    if (unsatisfiable(**filter, local) && !dead_locally) {
+      const std::string loc = side_loc(*st.gateway, st.side) + " filter on '" +
+                              st.message->name() + "'";
+      if (reported.insert(loc).second) {
+        report.add(kRuleSymbolic, Severity::kError, st.link->filter_loc(st.message->name()), loc,
+                   "filter is shadowed on flow '" + flow.key() +
+                       "': upstream filters already exclude its acceptance region, so it can "
+                       "never admit an instance",
+                   "satisfiable in isolation but dead in this deployment; align the bounds "
+                   "with the upstream filter");
+      }
+    } else {
+      ta::refine_by_predicate(**filter, local);
+    }
+  }
+  carried = std::move(local);
+  have_carried = true;
+}
+
+/// Cross-hop shadowing along every flow of the cluster.
+void check_shadowing(const FlowGraph& graph, Report& report) {
+  std::set<std::string> reported;
+  for (const Flow& flow : graph.flows) {
+    MapIntervalEnv carried;
+    bool have_carried = false;
+    for (const FlowHop& hop : flow.hops) {
+      visit_station(Station{hop.gateway->links[static_cast<std::size_t>(hop.ingress_side)],
+                            hop.in_message, hop.gateway, hop.ingress_side},
+                    flow, carried, have_carried, reported, report);
+      // Fields a transfer rule re-derives lose the carried refinement:
+      // the update may map admitted inputs anywhere in the target range.
+      for (int side = 0; side < 2; ++side) {
+        const spec::LinkSpec* link = hop.gateway->links[static_cast<std::size_t>(side)];
+        if (link == nullptr) continue;
+        for (const auto& rule : link->transfer_rules())
+          for (const auto& field : rule.fields) carried.bind(field.name, Interval::top());
+      }
+      visit_station(Station{hop.gateway->links[static_cast<std::size_t>(hop.egress_side())],
+                            hop.out_message, hop.gateway, hop.egress_side()},
+                    flow, carried, have_carried, reported, report);
+    }
+  }
+}
+
+}  // namespace
+
+void check_symbolic(const ClusterModel& cluster, const FlowGraph& graph, Report& report) {
+  for (const GatewayModel* model : cluster.gateways) {
+    if (model == nullptr) continue;
+    for (int side = 0; side < 2; ++side) {
+      if (model->links[static_cast<std::size_t>(side)] == nullptr) continue;
+      check_link_filters(*model, side, report);
+    }
+  }
+  check_shadowing(graph, report);
+}
+
+}  // namespace decos::lint

@@ -1,0 +1,33 @@
+// Symbolic evaluation of filter and transfer predicates (DL009).
+//
+// Every field of a message spec induces a value interval: its static
+// value if fixed, the full range of its integer width, {0,1} for
+// booleans, top for floats and strings. Link parameters are constants.
+// Evaluating a filter predicate over these intervals (ta::Interval
+// abstract interpretation) decides, before any instance exists:
+//
+//   * always false  -- the filter rejects every well-typed instance;
+//     the message (and every transfer rule fed by its convertible
+//     elements) is dead. Error.
+//   * always true   -- the filter is a tautology over the declared field
+//     ranges; selective redirection never redirects. Note.
+//   * shadowed      -- along a cluster flow, the value constraints of
+//     upstream filters narrow the intervals (refine_by_predicate); a
+//     downstream filter that is always false *under those narrowed
+//     intervals* can never admit an instance even though it is
+//     satisfiable in isolation. Error.
+//
+// This generalises DL007 (dead convertible elements) from reachability
+// of the transfer plan to reachability in the value domain.
+#pragma once
+
+#include "lint/diagnostic.hpp"
+#include "lint/flowgraph.hpp"
+
+namespace decos::lint {
+
+/// DL009 over one cluster: per-gateway filter feasibility plus
+/// cross-hop shadowing along the flow graph.
+void check_symbolic(const ClusterModel& cluster, const FlowGraph& graph, Report& report);
+
+}  // namespace decos::lint

@@ -1,0 +1,158 @@
+#include "lint/timing.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace decos::lint {
+namespace {
+
+std::int64_t ceil_div(Duration a, Duration b) {
+  return (a.ns() + b.ns() - 1) / b.ns();
+}
+
+std::string hop_loc(const FlowHop& hop) {
+  return "gateway '" + hop.gateway->name + "' " + hop.in_message->name() + " -> " +
+         hop.out_message->name();
+}
+
+std::string path_hint(const Flow& flow) {
+  std::string hint = "path:";
+  for (const FlowHop& hop : flow.hops) hint += " " + hop.gateway->name;
+  return hint;
+}
+
+/// Worst-case time for an instance that becomes ready on `side`'s
+/// virtual network to fully cross it. Slot-exact when the TDMA schedule
+/// and the VN binding are known; otherwise one TT ingress period
+/// (`tt_fallback`), or zero.
+Duration vn_wait(const GatewayModel& model, int side, const spec::PortSpec* tt_fallback) {
+  const auto& vn = model.link_vn[static_cast<std::size_t>(side)];
+  if (model.schedule != nullptr && vn.has_value()) {
+    std::vector<std::size_t> indices = model.schedule->slots_of_vn(*vn);
+    if (!indices.empty()) {
+      std::vector<const tt::SlotSpec*> slots;
+      for (std::size_t i : indices) slots.push_back(&model.schedule->slot(i));
+      std::sort(slots.begin(), slots.end(), [](const tt::SlotSpec* a, const tt::SlotSpec* b) {
+        return a->offset < b->offset;
+      });
+      const Duration round = model.schedule->round_length();
+      Duration worst = Duration::zero();
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        // Miss slot i by epsilon, wait for the next one (wrapping at the
+        // round boundary), then occupy it fully.
+        const tt::SlotSpec& next = *slots[(i + 1) % slots.size()];
+        Duration gap = next.offset - slots[i]->offset;
+        if (i + 1 == slots.size()) gap += round;
+        worst = std::max(worst, gap + next.duration);
+      }
+      return worst;
+    }
+  }
+  if (tt_fallback != nullptr && tt_fallback->is_time_triggered()) return tt_fallback->period;
+  return Duration::zero();
+}
+
+/// Worst-case latency contribution of one gateway traversal: cross the
+/// ingress VN, wait out one dispatch period, and -- for time-triggered
+/// egress -- wait for the output port's next dispatch point.
+Duration hop_bound(const FlowHop& hop) {
+  Duration bound = vn_wait(*hop.gateway, hop.ingress_side, hop.in_port);
+  bound += hop.gateway->dispatch_period;
+  if (hop.out_port->is_time_triggered()) bound += hop.out_port->period;
+  return bound;
+}
+
+/// Tightest d_acc over the state elements the terminal hop delivers.
+Duration terminal_horizon(const FlowHop& last, std::string* element) {
+  Duration horizon = Duration::max();
+  for (const std::string& repo : last.elements) {
+    const ElementMeta meta = last.gateway->element_meta(repo, last.in_port->semantics);
+    if (meta.semantics != spec::InfoSemantics::kState) continue;
+    if (meta.d_acc < horizon) {
+      horizon = meta.d_acc;
+      if (element != nullptr) *element = repo;
+    }
+  }
+  return horizon;
+}
+
+}  // namespace
+
+void check_flow_latency(const FlowGraph& graph, Report& report, std::vector<FlowBound>* bounds) {
+  for (const Flow& flow : graph.flows) {
+    if (flow.hops.empty()) continue;
+    Duration bound = Duration::zero();
+    for (const FlowHop& hop : flow.hops) bound += hop_bound(hop);
+    const FlowHop& last = flow.hops.back();
+    bound += vn_wait(*last.gateway, last.egress_side(), nullptr);
+
+    std::string tightest_element;
+    const Duration horizon = terminal_horizon(last, &tightest_element);
+
+    if (bounds != nullptr)
+      bounds->push_back(FlowBound{flow.key(), bound, horizon, flow.hops.size()});
+
+    if (horizon < Duration::max() && bound > horizon) {
+      report.add(kRuleLatency, Severity::kError, last.out_port->loc,
+                 "flow '" + flow.key() + "'",
+                 "static worst-case end-to-end latency " + bound.to_string() +
+                     " exceeds temporal accuracy " + horizon.to_string() + " of element '" +
+                     tightest_element + "'",
+                 path_hint(flow) + "; relax d_acc, shorten the dispatch period, or allocate "
+                                   "denser VN slots");
+    }
+  }
+}
+
+void check_flow_occupancy(const FlowGraph& graph, Report& report) {
+  // A port can sit on many flows; keep the worst demand per port so each
+  // overflow is reported once, against its most hostile flow.
+  struct PortDemand {
+    std::int64_t need = 0;
+    std::size_t capacity = 0;
+    SourceLoc loc{};
+    std::string flow_key;
+    std::string hint;
+  };
+  std::map<std::string, PortDemand> demands;
+
+  for (const Flow& flow : graph.flows) {
+    std::int64_t burst = 1;  // instances arriving back-to-back at the hop
+    for (const FlowHop& hop : flow.hops) {
+      if (hop.in_port->semantics != spec::InfoSemantics::kEvent) {
+        burst = 1;  // state ingress: update-in-place, bursts do not carry
+        continue;
+      }
+      const Duration tmin = hop.in_port->min_interarrival;
+      if (tmin <= Duration::zero()) break;  // unbounded arrivals; DL006's concern
+      const Duration drain = hop.gateway->dispatch_period;
+      const std::int64_t per_dispatch = ceil_div(drain, tmin);
+      const std::int64_t need = burst - 1 + per_dispatch;
+
+      PortDemand& d = demands[hop_loc(hop)];
+      if (need > d.need) {
+        d.need = need;
+        d.capacity = hop.in_port->queue_capacity;
+        d.loc = hop.in_port->loc;
+        d.flow_key = flow.key();
+        d.hint = path_hint(flow);
+      }
+      // Everything drained in one dispatch window can leave back-to-back.
+      burst += per_dispatch;
+    }
+  }
+
+  for (const auto& [loc_str, d] : demands) {
+    if (d.need <= static_cast<std::int64_t>(d.capacity)) continue;
+    report.add(kRuleOccupancy, Severity::kError, d.loc, loc_str,
+               "worst-case queue occupancy " + std::to_string(d.need) + " on flow '" +
+                   d.flow_key + "' exceeds capacity " + std::to_string(d.capacity) +
+                   " (upstream dispatch bursts compound the local arrival rate)",
+               d.hint + "; enlarge the queue or shorten the upstream dispatch period");
+  }
+}
+
+}  // namespace decos::lint

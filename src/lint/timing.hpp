@@ -1,0 +1,60 @@
+// Static end-to-end timing of cluster flows (DL008) and worst-case
+// queue-occupancy propagation (DL010).
+//
+// DL008 composes a worst-case latency bound per flow, hop by hop:
+//
+//   hop(h)  = vn_wait(ingress VN) + dispatch_period
+//             + (TT output port ? output period : 0)
+//   flow    = sum over hops + vn_wait(final egress VN)
+//
+// where vn_wait is the worst-case time from an instance becoming ready
+// on a virtual network until it has fully crossed it. With the TDMA
+// schedule and the VN's slot allocation known it is the largest gap
+// between consecutive slot starts plus the following slot's duration
+// (miss a slot by epsilon, wait for the next, transmit in it); without a
+// schedule it falls back to the ingress TT port's period (one full
+// sampling period), or zero for event-triggered ingress. The bound is
+// compared against the smallest temporal accuracy d_acc of the state
+// elements the flow delivers: if even the static worst case exceeds the
+// horizon, every consumer is fed phase-lagged data by construction.
+//
+// DL010 propagates event bursts along the flow. A gateway that drains an
+// event queue every dispatch period D re-emits up to ceil(D/tmin)
+// instances back-to-back, so downstream of a hop the burst grows:
+//
+//   need(B, D, tmin) = B - 1 + ceil(D / tmin)      (queue demand)
+//   B_out            = B_in + ceil(D / tmin)       (burst after the hop)
+//
+// With B = 1 the demand reduces to the local E5 sizing rule DL006
+// checks; DL010 catches the cross-hop case where an upstream gateway's
+// slower dispatch turns a compliant arrival process into a burst that
+// overflows a downstream queue sized only for the local rate.
+#pragma once
+
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lint/flowgraph.hpp"
+#include "util/time.hpp"
+
+namespace decos::lint {
+
+/// Static latency bound of one flow, exported (via declint --format
+/// json) for decotrace --check-bounds to replay against traced runs.
+struct FlowBound {
+  std::string key;                   // matches obs::phase_breakdown naming
+  Duration bound = Duration::zero(); // static worst-case end-to-end latency
+  Duration d_acc = Duration::max();  // tightest consumer horizon (max() = none)
+  std::size_t hops = 0;
+};
+
+/// DL008: compute per-flow bounds, diagnose bounds exceeding d_acc.
+/// Bounds for all flows are appended to `bounds` when non-null.
+void check_flow_latency(const FlowGraph& graph, Report& report,
+                        std::vector<FlowBound>* bounds = nullptr);
+
+/// DL010: propagate event-burst bounds along each flow, diagnose
+/// downstream queues that overflow under worst-case burst alignment.
+void check_flow_occupancy(const FlowGraph& graph, Report& report);
+
+}  // namespace decos::lint

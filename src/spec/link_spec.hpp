@@ -21,6 +21,7 @@
 #include "spec/transfer.hpp"
 #include "ta/automaton.hpp"
 #include "util/result.hpp"
+#include "util/source_loc.hpp"
 
 namespace decos::spec {
 
@@ -63,6 +64,16 @@ class LinkSpec {
   }
   const std::unordered_map<std::string, ta::ExprPtr>& filters() const { return filters_; }
 
+  /// Source position of the <filter> element for `message_name` (invalid
+  /// if the filter was installed programmatically).
+  void set_filter_loc(const std::string& message_name, SourceLoc loc) {
+    filter_locs_[message_name] = loc;
+  }
+  SourceLoc filter_loc(const std::string& message_name) const {
+    const auto it = filter_locs_.find(message_name);
+    return it == filter_locs_.end() ? SourceLoc{} : it->second;
+  }
+
   // -- ports ----------------------------------------------------------------
   void add_port(PortSpec port) { ports_.push_back(std::move(port)); }
   const std::vector<PortSpec>& ports() const { return ports_; }
@@ -81,6 +92,8 @@ class LinkSpec {
   /// Cross-validation of all four parts.
   Status validate() const;
 
+  SourceLoc loc{};  // position of the <linkspec> tag in its document
+
  private:
   std::string das_;
   std::vector<MessageSpec> messages_;
@@ -89,6 +102,7 @@ class LinkSpec {
   std::vector<PortSpec> ports_;
   std::unordered_map<std::string, ta::Value> parameters_;
   std::unordered_map<std::string, ta::ExprPtr> filters_;
+  std::unordered_map<std::string, SourceLoc> filter_locs_;
 };
 
 }  // namespace decos::spec

@@ -96,9 +96,11 @@ Result<FieldSpec> parse_field(const xml::Element& fe, const std::string& context
 
 Result<MessageSpec> parse_message(const xml::Element& me) {
   MessageSpec ms{me.attribute("name")};
+  ms.loc = SourceLoc{me.line(), me.column()};
   for (const xml::Element* ee : me.children_named("element")) {
     ElementSpec es;
     es.name = ee->attribute("name");
+    es.loc = SourceLoc{ee->line(), ee->column()};
     es.key = ee->attribute_or("key", "no") == "yes";
     es.convertible = ee->attribute_or("conv", "no") == "yes";
     for (const xml::Element* fe : ee->children_named("field")) {
@@ -165,6 +167,7 @@ Result<TransferRule> parse_transfer_rule(const xml::Element& ee) {
   TransferRule rule;
   rule.target = ee.attribute("name");
   rule.source = ee.attribute("source");
+  rule.loc = SourceLoc{ee.line(), ee.column()};
   for (const xml::Element* fe : ee.children_named("field")) {
     TransferFieldRule fr;
     fr.name = fe->attribute("name");
@@ -198,6 +201,7 @@ Result<TransferRule> parse_transfer_rule(const xml::Element& ee) {
 Result<PortSpec> parse_port(const xml::Element& pe) {
   PortSpec ps;
   ps.message = pe.attribute("message");
+  ps.loc = SourceLoc{pe.line(), pe.column()};
   const std::string dir = pe.attribute_or("direction", "input");
   if (dir == "input" || dir == "in") ps.direction = DataDirection::kInput;
   else if (dir == "output" || dir == "out") ps.direction = DataDirection::kOutput;
@@ -241,12 +245,16 @@ Result<PortSpec> parse_port(const xml::Element& pe) {
 Result<LinkSpec> parse_link_spec_xml(std::string_view xml_text) {
   auto doc = xml::parse(xml_text);
   if (!doc.ok()) return doc.error();
-  const xml::Element& root = *doc.value().root;
+  return parse_link_spec_element(*doc.value().root);
+}
+
+Result<LinkSpec> parse_link_spec_element(const xml::Element& root) {
   if (root.name() != "linkspec")
     return Result<LinkSpec>::failure("expected <linkspec> root, got <" + root.name() + ">");
 
   LinkSpec spec;
   spec.set_das(root.child_text("das"));
+  spec.loc = SourceLoc{root.line(), root.column()};
 
   for (const xml::Element* pe : root.children_named("param")) {
     auto v = parse_literal(pe->attribute("value"));
@@ -281,6 +289,7 @@ Result<LinkSpec> parse_link_spec_xml(std::string_view xml_text) {
       return Result<LinkSpec>::failure("bad filter for message '" + fe->attribute("message") +
                                        "': " + predicate.error().message);
     spec.set_filter(fe->attribute("message"), predicate.value());
+    spec.set_filter_loc(fe->attribute("message"), SourceLoc{fe->line(), fe->column()});
   }
 
   if (auto st = spec.validate(); !st.ok()) return st.error();

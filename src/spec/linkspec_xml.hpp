@@ -21,10 +21,20 @@
 #include "spec/link_spec.hpp"
 #include "util/result.hpp"
 
+namespace decos::xml {
+class Element;
+}
+
 namespace decos::spec {
 
 /// Parse a <linkspec> document.
 Result<LinkSpec> parse_link_spec_xml(std::string_view xml_text);
+
+/// Parse an already-parsed <linkspec> element (e.g. a child of a
+/// <gatewayspec> document). Source positions of the original document
+/// survive into the spec objects (SourceLoc), which is why embedding
+/// documents must call this instead of re-serializing the subtree.
+Result<LinkSpec> parse_link_spec_element(const xml::Element& root);
 
 /// Load a link spec from a file on disk.
 Result<LinkSpec> load_link_spec_file(const std::string& path);

@@ -15,6 +15,7 @@
 
 #include "ta/value.hpp"
 #include "util/result.hpp"
+#include "util/source_loc.hpp"
 #include "util/symbol.hpp"
 
 namespace decos::spec {
@@ -77,6 +78,7 @@ struct ElementSpec {
   bool key = false;          // part of the message name
   bool convertible = false;  // subject to selective redirection
   std::vector<FieldSpec> fields;
+  SourceLoc loc{};           // position of the <element> tag in its document
 
   const FieldSpec* field(const std::string& field_name) const;
   std::size_t wire_size() const;
@@ -116,6 +118,8 @@ class MessageSpec {
 
   /// Total fixed wire size in bytes.
   std::size_t wire_size() const;
+
+  SourceLoc loc{};  // position of the <message> tag in its document
 
   /// Structural validation: non-empty, unique element/field names, key
   /// fields static, string fields sized.

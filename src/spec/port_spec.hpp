@@ -11,6 +11,7 @@
 #include <string>
 
 #include "util/result.hpp"
+#include "util/source_loc.hpp"
 #include "util/time.hpp"
 
 namespace decos::spec {
@@ -50,6 +51,8 @@ struct PortSpec {
   // Event-port queue capacity, derived at design time from the
   // interarrival/service-time model (Section IV, E5 validates the rule).
   std::size_t queue_capacity = 8;
+
+  SourceLoc loc{};  // position of the <port> element in its document
 
   bool is_time_triggered() const { return paradigm == ControlParadigm::kTimeTriggered; }
 

@@ -14,6 +14,7 @@
 
 #include "ta/expr.hpp"
 #include "util/result.hpp"
+#include "util/source_loc.hpp"
 
 namespace decos::spec {
 
@@ -31,6 +32,7 @@ struct TransferRule {
   std::string target;   // derived convertible element name
   std::string source;   // source convertible element name
   std::vector<TransferFieldRule> fields;
+  SourceLoc loc{};      // position of the rule's <element> tag
 
   Status validate() const {
     if (target.empty()) return Status::failure("transfer rule without target element");

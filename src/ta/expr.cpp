@@ -21,6 +21,12 @@ class Literal final : public Expr {
   std::string to_string() const override { return value_.to_string(); }
   Result<StaticType> infer_type(const TypeEnv&) const override { return static_type_of(value_); }
   void collect_identifiers(std::vector<std::string>&) const override {}
+  Interval evaluate_interval(const IntervalEnv&) const override {
+    if (value_.is_int()) return Interval::constant(static_cast<double>(value_.as_int()));
+    if (value_.is_real()) return Interval::constant(value_.as_real());
+    if (value_.is_bool()) return Interval::of_bool(value_.as_bool());
+    return Interval::top();  // strings have no numeric abstraction
+  }
 
  private:
   Value value_;
@@ -34,6 +40,8 @@ class Identifier final : public Expr {
   std::string to_string() const override { return name_; }
   Result<StaticType> infer_type(const TypeEnv& env) const override { return env.type_of(name_); }
   void collect_identifiers(std::vector<std::string>& out) const override { out.push_back(name_); }
+  Interval evaluate_interval(const IntervalEnv& env) const override { return env.get(name_); }
+  const std::string& name() const { return name_; }
 
  private:
   std::string name_;
@@ -64,6 +72,10 @@ class Unary final : public Expr {
   }
   void collect_identifiers(std::vector<std::string>& out) const override {
     operand_->collect_identifiers(out);
+  }
+  Interval evaluate_interval(const IntervalEnv& env) const override {
+    const Interval v = operand_->evaluate_interval(env);
+    return op_ == '!' ? logic_not(v) : negate(v);
   }
 
  private:
@@ -200,6 +212,31 @@ class Binary final : public Expr {
     rhs_->collect_identifiers(out);
   }
 
+  Interval evaluate_interval(const IntervalEnv& env) const override {
+    const Interval a = lhs_->evaluate_interval(env);
+    const Interval b = rhs_->evaluate_interval(env);
+    switch (op_) {
+      case BinOp::kAdd: return add(a, b);
+      case BinOp::kSub: return sub(a, b);
+      case BinOp::kMul: return mul(a, b);
+      case BinOp::kDiv: return div(a, b);
+      case BinOp::kMod: return mod(a, b);
+      case BinOp::kLt: return cmp_lt(a, b);
+      case BinOp::kLe: return cmp_le(a, b);
+      case BinOp::kGt: return cmp_lt(b, a);
+      case BinOp::kGe: return cmp_le(b, a);
+      case BinOp::kEq: return cmp_eq(a, b);
+      case BinOp::kNe: return logic_not(cmp_eq(a, b));
+      case BinOp::kAnd: return logic_and(a, b);
+      case BinOp::kOr: return logic_or(a, b);
+    }
+    return Interval::top();
+  }
+
+  BinOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+
  private:
   BinOp op_;
   ExprPtr lhs_;
@@ -236,6 +273,12 @@ class Call final : public Expr {
   }
   void collect_identifiers(std::vector<std::string>& out) const override {
     for (const auto& a : args_) a->collect_identifiers(out);
+  }
+  Interval evaluate_interval(const IntervalEnv& env) const override {
+    std::vector<Interval> values;
+    values.reserve(args_.size());
+    for (const auto& a : args_) values.push_back(a->evaluate_interval(env));
+    return env.call(fn_, values);
   }
 
  private:
@@ -558,7 +601,65 @@ class ExprParser {
   bool comma_as_and_ = true;
 };
 
+// ---------------------------------------------------------------------------
+// Comparison narrowing (refine_by_predicate)
+// ---------------------------------------------------------------------------
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void narrow(MapIntervalEnv& env, const std::string& name, const Interval& by) {
+  env.bind(name, meet(env.get(name), by));
+}
+
+/// Narrow `ident op bound` assuming it holds. Strict bounds narrow like
+/// their non-strict counterparts (sound: only the endpoint stays).
+void refine_cmp(MapIntervalEnv& env, const std::string& name, BinOp op, const Interval& bound) {
+  if (bound.is_bottom()) return;
+  switch (op) {
+    case BinOp::kLt:
+    case BinOp::kLe: narrow(env, name, Interval{-kInf, bound.hi}); break;
+    case BinOp::kGt:
+    case BinOp::kGe: narrow(env, name, Interval{bound.lo, kInf}); break;
+    case BinOp::kEq: narrow(env, name, bound); break;
+    default: break;
+  }
+}
+
+BinOp mirror_cmp(BinOp op) {
+  switch (op) {
+    case BinOp::kLt: return BinOp::kGt;
+    case BinOp::kLe: return BinOp::kGe;
+    case BinOp::kGt: return BinOp::kLt;
+    case BinOp::kGe: return BinOp::kLe;
+    default: return op;
+  }
+}
+
+void refine_true(const Expr& e, MapIntervalEnv& env) {
+  const auto* bin = dynamic_cast<const Binary*>(&e);
+  if (bin == nullptr) return;
+  if (bin->op() == BinOp::kAnd) {
+    refine_true(*bin->lhs(), env);
+    refine_true(*bin->rhs(), env);
+    return;
+  }
+  // `x op rhs` / `lhs op x`: evaluate the non-identifier side under the
+  // current bindings and narrow the identifier.
+  const auto* lid = dynamic_cast<const Identifier*>(bin->lhs().get());
+  const auto* rid = dynamic_cast<const Identifier*>(bin->rhs().get());
+  if (lid != nullptr)
+    refine_cmp(env, lid->name(), bin->op(), bin->rhs()->evaluate_interval(env));
+  if (rid != nullptr)
+    refine_cmp(env, rid->name(), mirror_cmp(bin->op()), bin->lhs()->evaluate_interval(env));
+}
+
 }  // namespace
+
+Interval Expr::evaluate_interval(const IntervalEnv&) const { return Interval::top(); }
+
+void refine_by_predicate(const Expr& predicate, MapIntervalEnv& env) {
+  refine_true(predicate, env);
+}
 
 std::string Value::to_string() const {
   if (is_int()) return std::to_string(std::get<std::int64_t>(v_));

@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "ta/interval.hpp"
 #include "ta/value.hpp"
 #include "util/result.hpp"
 #include "util/symbol.hpp"
@@ -101,6 +102,11 @@ class Expr {
   /// Collect all identifiers referenced (used for validation: which
   /// clocks/parameters a guard depends on).
   virtual void collect_identifiers(std::vector<std::string>& out) const = 0;
+
+  /// Abstract evaluation over value intervals (declint rule DL009): the
+  /// concrete evaluate() result always lies inside the returned interval.
+  /// Sound default for nodes without a tighter abstraction: top.
+  virtual Interval evaluate_interval(const IntervalEnv& env) const;
 };
 
 using ExprPtr = std::shared_ptr<const Expr>;
@@ -126,5 +132,11 @@ Result<ExprPtr> parse_expression(std::string_view text);
 /// Parse a ';'-separated list of assignments, e.g. "x:=0; n:=n+1".
 /// An empty string yields an empty list.
 Result<std::vector<Assignment>> parse_assignments(std::string_view text);
+
+/// Assume `predicate` holds and narrow the identifier bindings in `env`
+/// accordingly (comparison narrowing over top-level conjunctions, e.g.
+/// `v >= 0 && v <= 100` pins v to [0, 100]). Only ever shrinks
+/// intervals; shapes it cannot exploit are skipped, which stays sound.
+void refine_by_predicate(const Expr& predicate, MapIntervalEnv& env);
 
 }  // namespace decos::ta

@@ -1,0 +1,149 @@
+#include "ta/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace decos::ta {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// IEEE multiplication yields NaN for 0 * inf; in the interval domain
+/// that product is exactly 0 (the zero endpoint annihilates).
+double mul_bound(double a, double b) {
+  if (a == 0.0 || b == 0.0) return 0.0;
+  return a * b;
+}
+
+}  // namespace
+
+std::string Interval::to_string() const {
+  if (is_bottom()) return "[]";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "[%g, %g]", lo, hi);
+  return buf;
+}
+
+Interval join(const Interval& a, const Interval& b) {
+  if (a.is_bottom()) return b;
+  if (b.is_bottom()) return a;
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval meet(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  const Interval m{std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+  return m.lo > m.hi ? Interval::bottom() : m;
+}
+
+Interval add(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  return Interval{a.lo + b.lo, a.hi + b.hi};
+}
+
+Interval sub(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  return Interval{a.lo - b.hi, a.hi - b.lo};
+}
+
+Interval mul(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  const double p1 = mul_bound(a.lo, b.lo);
+  const double p2 = mul_bound(a.lo, b.hi);
+  const double p3 = mul_bound(a.hi, b.lo);
+  const double p4 = mul_bound(a.hi, b.hi);
+  return Interval{std::min({p1, p2, p3, p4}), std::max({p1, p2, p3, p4})};
+}
+
+Interval div(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  // A divisor range touching zero makes the quotient unbounded (the
+  // concrete evaluator throws on integer division by zero; the abstract
+  // result must cover every non-throwing run).
+  if (b.contains(0.0)) return Interval::top();
+  const double p1 = a.lo / b.lo;
+  const double p2 = a.lo / b.hi;
+  const double p3 = a.hi / b.lo;
+  const double p4 = a.hi / b.hi;
+  return Interval{std::min({p1, p2, p3, p4}), std::max({p1, p2, p3, p4})};
+}
+
+Interval mod(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  // |a mod b| < |b| and the sign follows the dividend.
+  const double mag = std::max(std::abs(b.lo), std::abs(b.hi));
+  if (!std::isfinite(mag)) return Interval::top();
+  Interval out{-mag, mag};
+  if (a.lo >= 0.0) out.lo = 0.0;
+  if (a.hi <= 0.0) out.hi = 0.0;
+  return out;
+}
+
+Interval negate(const Interval& a) {
+  if (a.is_bottom()) return Interval::bottom();
+  return Interval{-a.hi, -a.lo};
+}
+
+Interval cmp_lt(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.hi < b.lo) return Interval::of_bool(true);
+  if (a.lo >= b.hi) return Interval::of_bool(false);
+  return Interval::any_bool();
+}
+
+Interval cmp_le(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.hi <= b.lo) return Interval::of_bool(true);
+  if (a.lo > b.hi) return Interval::of_bool(false);
+  return Interval::any_bool();
+}
+
+Interval cmp_eq(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.is_constant() && b.is_constant()) return Interval::of_bool(a.lo == b.lo);
+  if (meet(a, b).is_bottom()) return Interval::of_bool(false);
+  return Interval::any_bool();
+}
+
+Interval logic_and(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.always_false() || b.always_false()) return Interval::of_bool(false);
+  if (a.always_true() && b.always_true()) return Interval::of_bool(true);
+  return Interval::any_bool();
+}
+
+Interval logic_or(const Interval& a, const Interval& b) {
+  if (a.is_bottom() || b.is_bottom()) return Interval::bottom();
+  if (a.always_true() || b.always_true()) return Interval::of_bool(true);
+  if (a.always_false() && b.always_false()) return Interval::of_bool(false);
+  return Interval::any_bool();
+}
+
+Interval logic_not(const Interval& a) {
+  if (a.is_bottom()) return Interval::bottom();
+  if (a.always_true()) return Interval::of_bool(false);
+  if (a.always_false()) return Interval::of_bool(true);
+  return Interval::any_bool();
+}
+
+Interval IntervalEnv::call(const std::string& fn, const std::vector<Interval>& args) const {
+  if (fn == "abs" && args.size() == 1) {
+    const Interval& a = args[0];
+    if (a.is_bottom()) return Interval::bottom();
+    if (a.lo >= 0.0) return a;
+    if (a.hi <= 0.0) return negate(a);
+    return Interval{0.0, std::max(-a.lo, a.hi)};
+  }
+  if (fn == "min" && args.size() == 2) {
+    if (args[0].is_bottom() || args[1].is_bottom()) return Interval::bottom();
+    return Interval{std::min(args[0].lo, args[1].lo), std::min(args[0].hi, args[1].hi)};
+  }
+  if (fn == "max" && args.size() == 2) {
+    if (args[0].is_bottom() || args[1].is_bottom()) return Interval::bottom();
+    return Interval{std::max(args[0].lo, args[1].lo), std::max(args[0].hi, args[1].hi)};
+  }
+  return Interval::top();
+}
+
+}  // namespace decos::ta

@@ -1,0 +1,109 @@
+// Interval abstract domain for the expression language.
+//
+// declint's symbolic pass (rule DL009) evaluates filter predicates and
+// transfer-rule updates over *value intervals* instead of concrete
+// values: every field of a convertible element starts at the range its
+// declared wire type admits, filters narrow the ranges, and a predicate
+// whose abstract result is identically false can never admit an
+// instance -- the rule or element behind it is statically dead.
+//
+// The domain is the classic numeric interval lattice over doubles with
+// +/-infinity bounds; booleans embed as subsets of {0, 1} (false = [0,0],
+// true = [1,1], unknown = [0,1]) which gives three-valued logic for
+// free. Strings have no order and evaluate to top. All operations are
+// conservative: the concrete result of evaluate() is always contained
+// in the abstract result of evaluate_interval().
+#pragma once
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace decos::ta {
+
+struct Interval {
+  // lo > hi encodes bottom (the empty set -- unreachable code).
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+
+  static Interval top() { return Interval{}; }
+  static Interval bottom() { return Interval{1.0, -1.0}; }
+  static Interval constant(double v) { return Interval{v, v}; }
+  static Interval of_bool(bool b) { return b ? Interval{1.0, 1.0} : Interval{0.0, 0.0}; }
+  static Interval any_bool() { return Interval{0.0, 1.0}; }
+
+  bool is_bottom() const { return lo > hi; }
+  bool is_top() const {
+    return lo == -std::numeric_limits<double>::infinity() &&
+           hi == std::numeric_limits<double>::infinity();
+  }
+  bool is_constant() const { return lo == hi; }
+  bool contains(double v) const { return lo <= v && v <= hi; }
+
+  /// Three-valued truth of this interval read as a boolean ({0} = false,
+  /// anything excluding 0 = true, mixed = unknown).
+  bool always_true() const { return !is_bottom() && !contains(0.0); }
+  bool always_false() const { return !is_bottom() && lo == 0.0 && hi == 0.0; }
+
+  bool operator==(const Interval& o) const { return lo == o.lo && hi == o.hi; }
+
+  std::string to_string() const;
+};
+
+// Lattice operations.
+Interval join(const Interval& a, const Interval& b);   // union hull
+Interval meet(const Interval& a, const Interval& b);   // intersection
+
+// Conservative arithmetic. Division by an interval containing zero and
+// any operation on bottom degrade to top/bottom respectively.
+Interval add(const Interval& a, const Interval& b);
+Interval sub(const Interval& a, const Interval& b);
+Interval mul(const Interval& a, const Interval& b);
+Interval div(const Interval& a, const Interval& b);
+Interval mod(const Interval& a, const Interval& b);
+Interval negate(const Interval& a);
+
+// Comparisons yield boolean intervals ([1,1] when every pair of points
+// satisfies the relation, [0,0] when none does, [0,1] otherwise).
+Interval cmp_lt(const Interval& a, const Interval& b);
+Interval cmp_le(const Interval& a, const Interval& b);
+Interval cmp_eq(const Interval& a, const Interval& b);
+
+// Three-valued logic over boolean intervals.
+Interval logic_and(const Interval& a, const Interval& b);
+Interval logic_or(const Interval& a, const Interval& b);
+Interval logic_not(const Interval& a);
+
+/// Name resolution for abstract evaluation: unknown identifiers and
+/// functions are top (sound default). The base class implements
+/// abs/min/max conservatively; everything else is top.
+class IntervalEnv {
+ public:
+  virtual ~IntervalEnv() = default;
+  virtual Interval get(const std::string& name) const = 0;
+  virtual Interval call(const std::string& fn, const std::vector<Interval>& args) const;
+};
+
+/// Map-backed environment used by the lint passes.
+class MapIntervalEnv final : public IntervalEnv {
+ public:
+  MapIntervalEnv() = default;
+  explicit MapIntervalEnv(std::map<std::string, Interval> vars) : vars_{std::move(vars)} {}
+
+  void bind(const std::string& name, Interval v) { vars_[name] = v; }
+  bool has(const std::string& name) const { return vars_.count(name) != 0; }
+
+  Interval get(const std::string& name) const override {
+    const auto it = vars_.find(name);
+    return it == vars_.end() ? Interval::top() : it->second;
+  }
+
+  std::map<std::string, Interval>& vars() { return vars_; }
+  const std::map<std::string, Interval>& vars() const { return vars_; }
+
+ private:
+  std::map<std::string, Interval> vars_;
+};
+
+}  // namespace decos::ta

@@ -1,0 +1,20 @@
+// Source position of a spec construct in its XML document.
+//
+// Parsers stamp the start-tag position onto the spec objects they build;
+// the lint layer copies it into diagnostics so a finding points at the
+// offending <gatewayspec>/<linkspec> element rather than just a rule id.
+// Objects built programmatically (benches, tests) keep the default
+// invalid location and diagnostics fall back to the symbolic location
+// string.
+#pragma once
+
+namespace decos {
+
+struct SourceLoc {
+  int line = 0;    // 1-based; 0 = unknown
+  int column = 0;  // 1-based; 0 = unknown
+
+  bool valid() const { return line > 0; }
+};
+
+}  // namespace decos

@@ -163,6 +163,7 @@ class Parser {
 
   Status parse_element(Element& out) {
     if (at_end() || peek() != '<') return fail("expected '<'");
+    out.set_location(line_, col_);
     advance();
     auto name = parse_name();
     if (!name.ok()) return name.error();

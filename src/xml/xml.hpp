@@ -28,6 +28,15 @@ class Element {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Source position of this element's start tag ('<'), 1-based. Zero on
+  /// elements built programmatically rather than parsed from text.
+  int line() const { return line_; }
+  int column() const { return column_; }
+  void set_location(int line, int column) {
+    line_ = line;
+    column_ = column;
+  }
+
   /// Concatenated character data directly inside this element (entity
   /// references resolved, surrounding whitespace trimmed).
   const std::string& text() const { return text_; }
@@ -56,6 +65,8 @@ class Element {
 
  private:
   std::string name_;
+  int line_ = 0;
+  int column_ = 0;
   std::string text_;
   std::vector<std::pair<std::string, std::string>> attributes_;
   std::vector<std::unique_ptr<Element>> children_;

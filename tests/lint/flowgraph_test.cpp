@@ -1,0 +1,259 @@
+// Whole-cluster analysis (DL008-DL010): flow-graph construction across
+// gateway chains, exact composed latency bounds, slot-exact VN waits,
+// cross-hop burst compounding and filter shadowing. XML-driven CLI
+// coverage of the same rules lives in the declint_* ctest cases.
+#include "lint/flowgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "lint/timing.hpp"
+#include "ta/expr.hpp"
+
+namespace decos::lint {
+namespace {
+
+using decos::testing::state_message;
+using namespace decos::literals;
+
+spec::PortSpec tt_input(const std::string& message, Duration period) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.period = period;
+  ps.min_interarrival = Duration::nanoseconds(1);
+  ps.max_interarrival = Duration::seconds(3600);
+  return ps;
+}
+
+spec::PortSpec tt_output(const std::string& message, Duration period) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = spec::InfoSemantics::kState;
+  ps.period = period;
+  return ps;
+}
+
+spec::PortSpec et_input(const std::string& message, Duration tmin, std::size_t queue) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kInput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.min_interarrival = tmin;
+  ps.max_interarrival = Duration::seconds(1);
+  ps.queue_capacity = queue;
+  return ps;
+}
+
+spec::PortSpec et_output(const std::string& message, Duration tmin) {
+  spec::PortSpec ps;
+  ps.message = message;
+  ps.direction = spec::DataDirection::kOutput;
+  ps.semantics = spec::InfoSemantics::kEvent;
+  ps.paradigm = spec::ControlParadigm::kEventTriggered;
+  ps.min_interarrival = tmin;
+  return ps;
+}
+
+ta::ExprPtr expr(const std::string& text) {
+  auto parsed = ta::parse_expression(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return parsed.value();
+}
+
+bool has_error(const Report& report, const std::string& rule) {
+  for (const Diagnostic* d : report.by_rule(rule))
+    if (d->severity == Severity::kError) return true;
+  return false;
+}
+
+/// One link in a relay chain: `message` carrying convertible element "x".
+/// Elements share the repository name across gateways, so each gateway's
+/// produced/required sets intersect without renames.
+spec::LinkSpec chain_link(const std::string& message, int id, spec::PortSpec port) {
+  spec::LinkSpec ls{"das-" + message};
+  ls.add_message(state_message(message, "x", id));
+  ls.add_port(std::move(port));
+  return ls;
+}
+
+/// A relay gateway: TT input `in_msg`, TT output `out_msg`, both 10 ms,
+/// dispatch 1 ms. Owns its link specs; never move an instance (the model
+/// borrows pointers into the members).
+struct RelayGateway {
+  spec::LinkSpec in_link;
+  spec::LinkSpec out_link;
+  GatewayModel model;
+
+  RelayGateway(const std::string& name, const std::string& in_msg, int in_id,
+               const std::string& out_msg, int out_id)
+      : in_link(chain_link(in_msg, in_id, tt_input(in_msg, 10_ms))),
+        out_link(chain_link(out_msg, out_id, tt_output(out_msg, 10_ms))) {
+    model.name = name;
+    model.dispatch_period = 1_ms;
+    model.default_d_acc = 100_ms;
+    model.links = {&in_link, &out_link};
+  }
+  RelayGateway(const RelayGateway&) = delete;
+};
+
+TEST(FlowGraph, ChainsThreeGatewaysIntoOneFlow) {
+  RelayGateway g1{"sensor", "msgA", 1, "msgB", 2};
+  RelayGateway g2{"backbone", "msgB", 3, "msgC", 4};
+  RelayGateway g3{"actuator", "msgC", 5, "msgD", 6};
+  const ClusterModel cluster{{&g1.model, &g2.model, &g3.model}};
+
+  const FlowGraph graph = build_flow_graph(cluster);
+  ASSERT_EQ(graph.hops.size(), 3u);
+  ASSERT_EQ(graph.flows.size(), 1u);
+  const Flow& flow = graph.flows[0];
+  ASSERT_EQ(flow.hops.size(), 3u);
+  EXPECT_EQ(flow.key(), "msgA->msgD");
+  EXPECT_EQ(flow.hops[0].gateway, &g1.model);
+  EXPECT_EQ(flow.hops[1].gateway, &g2.model);
+  EXPECT_EQ(flow.hops[2].gateway, &g3.model);
+  ASSERT_EQ(flow.hops[0].elements.size(), 1u);
+  EXPECT_EQ(flow.hops[0].elements[0], "x");
+}
+
+TEST(FlowGraph, ComposedLatencyBoundIsExact) {
+  RelayGateway g1{"sensor", "msgA", 1, "msgB", 2};
+  RelayGateway g2{"backbone", "msgB", 3, "msgC", 4};
+  RelayGateway g3{"actuator", "msgC", 5, "msgD", 6};
+  const ClusterModel cluster{{&g1.model, &g2.model, &g3.model}};
+  const FlowGraph graph = build_flow_graph(cluster);
+
+  Report report;
+  std::vector<FlowBound> bounds;
+  check_flow_latency(graph, report, &bounds);
+  // Per hop: one TT ingress period (10 ms, schedule-free VN fallback)
+  // + dispatch (1 ms) + TT egress period (10 ms) = 21 ms; three hops.
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_EQ(bounds[0].key, "msgA->msgD");
+  EXPECT_EQ(bounds[0].bound, Duration::milliseconds(63));
+  EXPECT_EQ(bounds[0].d_acc, Duration::milliseconds(100));
+  EXPECT_EQ(bounds[0].hops, 3u);
+  EXPECT_FALSE(has_error(report, kRuleLatency)) << report.format();
+}
+
+TEST(FlowGraph, RejectsHorizonBelowComposedBound) {
+  RelayGateway g1{"sensor", "msgA", 1, "msgB", 2};
+  RelayGateway g2{"backbone", "msgB", 3, "msgC", 4};
+  RelayGateway g3{"actuator", "msgC", 5, "msgD", 6};
+  // 50 ms would pass any single hop (21 ms) but not the composed 63 ms.
+  g3.model.element_overrides["x"] = ElementMeta{spec::InfoSemantics::kState, 50_ms, 16};
+  const ClusterModel cluster{{&g1.model, &g2.model, &g3.model}};
+
+  Report report;
+  check_flow_latency(build_flow_graph(cluster), report);
+  EXPECT_TRUE(has_error(report, kRuleLatency)) << report.format();
+}
+
+TEST(FlowGraph, VnWaitIsSlotExactWithSchedule) {
+  RelayGateway g1{"sensor", "msgA", 1, "msgB", 2};
+  // Two slots of VN 1 at 0 ms and 5 ms in a 10 ms round: worst ready
+  // time misses the 5 ms slot by epsilon, waits the wrapped 5 ms gap to
+  // the 0 ms slot and occupies its 1 ms -- 6 ms instead of the 10 ms
+  // port-period fallback.
+  tt::TdmaSchedule schedule{10_ms};
+  schedule.add_slot({0_ms, 1_ms, 1, 1, 64});
+  schedule.add_slot({5_ms, 1_ms, 1, 1, 64});
+  g1.model.schedule = &schedule;
+  g1.model.link_vn = {tt::VnId{1}, std::nullopt};
+  const ClusterModel cluster{{&g1.model}};
+
+  Report report;
+  std::vector<FlowBound> bounds;
+  check_flow_latency(build_flow_graph(cluster), report, &bounds);
+  ASSERT_EQ(bounds.size(), 1u);
+  // 6 ms VN wait + 1 ms dispatch + 10 ms TT egress.
+  EXPECT_EQ(bounds[0].bound, Duration::milliseconds(17));
+}
+
+TEST(FlowGraph, BurstCompoundsAcrossHops) {
+  // Source gateway: ET in (tmin 1 ms, queue 16), dispatch 4 ms. Its
+  // drain window re-emits up to 4 instances back-to-back.
+  RelayGateway src{"burst-src", "m1", 1, "m_mid", 2};
+  src.in_link = chain_link("m1", 1, et_input("m1", 1_ms, 16));
+  src.out_link = chain_link("m_mid", 2, et_output("m_mid", 1_ms));
+  src.model.dispatch_period = 4_ms;
+  src.model.element_overrides["x"] = ElementMeta{spec::InfoSemantics::kEvent, 100_ms, 16};
+
+  // Sink gateway: ET in (tmin 1 ms, queue 10), dispatch 8 ms. Local E5
+  // sizing (8 slots) fits, but the upstream burst of 5 pushes the joint
+  // demand to 5 - 1 + 8 = 12 > 10.
+  RelayGateway sink{"burst-sink", "m_mid", 3, "m2", 4};
+  sink.in_link = chain_link("m_mid", 3, et_input("m_mid", 1_ms, 10));
+  sink.out_link = chain_link("m2", 4, tt_output("m2", 8_ms));
+  sink.model.dispatch_period = 8_ms;
+  sink.model.element_overrides["x"] = ElementMeta{spec::InfoSemantics::kEvent, 100_ms, 10};
+
+  const ClusterModel pair{{&src.model, &sink.model}};
+  Report joint;
+  check_flow_occupancy(build_flow_graph(pair), joint);
+  EXPECT_TRUE(has_error(joint, kRuleOccupancy)) << joint.format();
+
+  // Either half alone is fine: the defect only exists composed.
+  const ClusterModel alone{{&sink.model}};
+  Report local;
+  check_flow_occupancy(build_flow_graph(alone), local);
+  EXPECT_FALSE(has_error(local, kRuleOccupancy)) << local.format();
+}
+
+TEST(FlowGraph, StateIngressResetsBurst) {
+  // Same shape, but the downstream ingress is a TT state port: updates
+  // overwrite in place, so the upstream burst does not carry and no
+  // occupancy finding is produced.
+  RelayGateway src{"burst-src", "m1", 1, "m_mid", 2};
+  src.in_link = chain_link("m1", 1, et_input("m1", 1_ms, 16));
+  src.out_link = chain_link("m_mid", 2, et_output("m_mid", 1_ms));
+  src.model.dispatch_period = 4_ms;
+  src.model.element_overrides["x"] = ElementMeta{spec::InfoSemantics::kEvent, 100_ms, 16};
+
+  RelayGateway sink{"state-sink", "m_mid", 3, "m2", 4};
+  const ClusterModel pair{{&src.model, &sink.model}};
+
+  Report report;
+  check_flow_occupancy(build_flow_graph(pair), report);
+  EXPECT_FALSE(has_error(report, kRuleOccupancy)) << report.format();
+}
+
+TEST(FlowGraph, DetectsFilterShadowedByUpstream) {
+  RelayGateway src{"shadow-src", "msgA", 1, "msgB", 2};
+  src.in_link.set_filter("msgA", expr("value >= 0 && value <= 50"));
+  RelayGateway sink{"shadow-sink", "msgB", 3, "msgC", 4};
+  sink.in_link.set_filter("msgB", expr("value > 100"));
+
+  // The sink's filter is satisfiable in isolation...
+  const ClusterModel alone{{&sink.model}};
+  EXPECT_FALSE(has_error(lint_cluster(alone), kRuleSymbolic));
+
+  // ...but dead once the upstream filter caps value at 50.
+  const ClusterModel pair{{&src.model, &sink.model}};
+  const Report report = lint_cluster(pair);
+  EXPECT_TRUE(has_error(report, kRuleSymbolic)) << report.format();
+  bool mentions_shadow = false;
+  for (const Diagnostic* d : report.by_rule(kRuleSymbolic))
+    if (d->message.find("shadowed") != std::string::npos) mentions_shadow = true;
+  EXPECT_TRUE(mentions_shadow) << report.format();
+}
+
+TEST(FlowGraph, LintClusterExportsBounds) {
+  RelayGateway g1{"sensor", "msgA", 1, "msgB", 2};
+  RelayGateway g2{"actuator", "msgB", 3, "msgC", 4};
+  const ClusterModel cluster{{&g1.model, &g2.model}};
+
+  std::vector<FlowBound> bounds;
+  const Report report = lint_cluster(cluster, &bounds);
+  EXPECT_TRUE(report.clean()) << report.format();
+  ASSERT_EQ(bounds.size(), 1u);
+  EXPECT_EQ(bounds[0].key, "msgA->msgC");
+  EXPECT_EQ(bounds[0].bound, Duration::milliseconds(42));
+  EXPECT_EQ(bounds[0].hops, 2u);
+}
+
+}  // namespace
+}  // namespace decos::lint

@@ -341,9 +341,12 @@ TEST(LintDl005, WarnsWhenAccuracyBelowProducerPeriod) {
   GatewayModel model = make_model(a, b);
   model.element_overrides["wheelspeed"] =
       ElementMeta{spec::InfoSemantics::kState, 5_ms, 16};  // 1 ms < 5 ms < 10 ms
-  const Report report = lint_gateway(model);
+  // Locally DL005 only warns; the *composed* flow bound (DL008) rejects
+  // this deployment outright, which LintDl008 covers separately.
+  const Report report = lint_gateway_local(model);
   EXPECT_TRUE(report.clean()) << report.format();
   EXPECT_TRUE(report.has(kRuleHorizon)) << report.format();
+  EXPECT_TRUE(has_error(lint_gateway(model), kRuleLatency)) << report.format();
 }
 
 // -- DL006: port sanity ----------------------------------------------------

@@ -1,0 +1,96 @@
+// Interval abstract domain: lattice ops, conservative arithmetic,
+// three-valued comparisons, abstract expression evaluation and
+// comparison-driven refinement (the machinery behind declint's DL009).
+#include "ta/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ta/expr.hpp"
+
+namespace decos::ta {
+namespace {
+
+ExprPtr expr(const std::string& text) {
+  auto parsed = parse_expression(text);
+  EXPECT_TRUE(parsed.ok()) << text;
+  return std::move(parsed.value());
+}
+
+TEST(Interval, LatticeBasics) {
+  EXPECT_TRUE(Interval::top().is_top());
+  EXPECT_TRUE(Interval::bottom().is_bottom());
+  EXPECT_TRUE(Interval::constant(5).is_constant());
+  EXPECT_TRUE(Interval::constant(5).contains(5.0));
+  EXPECT_FALSE(Interval::constant(5).contains(6.0));
+
+  const Interval a{0, 10};
+  const Interval b{5, 20};
+  EXPECT_EQ(join(a, b), (Interval{0, 20}));
+  EXPECT_EQ(meet(a, b), (Interval{5, 10}));
+  EXPECT_TRUE(meet(Interval{0, 1}, Interval{2, 3}).is_bottom());
+}
+
+TEST(Interval, Arithmetic) {
+  EXPECT_EQ(add(Interval{1, 2}, Interval{10, 20}), (Interval{11, 22}));
+  EXPECT_EQ(sub(Interval{1, 2}, Interval{10, 20}), (Interval{-19, -8}));
+  EXPECT_EQ(mul(Interval{-2, 3}, Interval{4, 5}), (Interval{-10, 15}));
+  EXPECT_EQ(negate(Interval{1, 2}), (Interval{-2, -1}));
+  // Division by an interval containing zero degrades to top, never UB.
+  EXPECT_TRUE(div(Interval{1, 2}, Interval{-1, 1}).is_top());
+  EXPECT_EQ(div(Interval{10, 20}, Interval{2, 2}), (Interval{5, 10}));
+  // Bottom is absorbing.
+  EXPECT_TRUE(add(Interval::bottom(), Interval{1, 2}).is_bottom());
+}
+
+TEST(Interval, ThreeValuedComparisons) {
+  EXPECT_TRUE(cmp_lt(Interval{0, 1}, Interval{2, 3}).always_true());
+  EXPECT_TRUE(cmp_lt(Interval{5, 6}, Interval{0, 1}).always_false());
+  const Interval mixed = cmp_lt(Interval{0, 10}, Interval{5, 5});
+  EXPECT_FALSE(mixed.always_true());
+  EXPECT_FALSE(mixed.always_false());
+
+  EXPECT_TRUE(cmp_eq(Interval::constant(7), Interval::constant(7)).always_true());
+  EXPECT_TRUE(cmp_eq(Interval{0, 1}, Interval{2, 3}).always_false());
+
+  EXPECT_TRUE(logic_and(Interval::of_bool(true), Interval::of_bool(true)).always_true());
+  EXPECT_TRUE(logic_and(Interval::of_bool(false), Interval::any_bool()).always_false());
+  EXPECT_TRUE(logic_or(Interval::of_bool(true), Interval::any_bool()).always_true());
+  EXPECT_TRUE(logic_not(Interval::of_bool(true)).always_false());
+}
+
+TEST(Interval, AbstractEvaluation) {
+  MapIntervalEnv env;
+  env.bind("v", Interval{0, 50});
+  env.bind("limit", Interval::constant(100));
+
+  EXPECT_TRUE(expr("v <= limit")->evaluate_interval(env).always_true());
+  EXPECT_TRUE(expr("v > limit")->evaluate_interval(env).always_false());
+  const Interval sum = expr("v + 10")->evaluate_interval(env);
+  EXPECT_EQ(sum, (Interval{10, 60}));
+  // Unknown identifiers are top: sound, never wrong.
+  EXPECT_TRUE(expr("mystery")->evaluate_interval(env).is_top());
+  EXPECT_TRUE(expr("abs(v)")->evaluate_interval(env).contains(50.0));
+}
+
+TEST(Interval, RefineByPredicate) {
+  MapIntervalEnv env;
+  env.bind("v", Interval{-1000, 1000});
+  refine_by_predicate(*expr("v >= 0 && v <= 50"), env);
+  EXPECT_EQ(env.get("v"), (Interval{0, 50}));
+
+  // Contradictory conjunctions empty the interval (DL009's dead-filter
+  // detection relies on bottom here).
+  MapIntervalEnv dead;
+  dead.bind("v", Interval{-1000, 1000});
+  refine_by_predicate(*expr("v > 100 && v < 50"), dead);
+  EXPECT_TRUE(dead.get("v").is_bottom());
+
+  // Mirrored comparisons (constant on the left) narrow too.
+  MapIntervalEnv mirror;
+  mirror.bind("v", Interval{-1000, 1000});
+  refine_by_predicate(*expr("0 <= v"), mirror);
+  EXPECT_EQ(mirror.get("v"), (Interval{0, 1000}));
+}
+
+}  // namespace
+}  // namespace decos::ta

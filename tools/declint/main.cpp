@@ -2,44 +2,81 @@
 //
 // Lints <gatewayspec> documents (full deployment: both links, renames,
 // repository meta data, optional TDMA schedule) and standalone
-// <linkspec> documents (the locally decidable rule subset). Emits one
-// diagnostic per line:
+// <linkspec> documents (the locally decidable rule subset). When several
+// gatewayspecs are given they are analyzed *jointly* as one cluster:
+// the flow graph chains gateways on shared message names and the
+// whole-cluster rules (DL008 latency bounds, DL009 symbolic
+// feasibility, DL010 queue occupancy) run once over the deployment.
+//
+// Text output is one diagnostic per line:
 //
 //   file.xml: error DL005 at link[1] 'stability': ...  [hint: ...]
 //
-// Exit status: 0 = no errors (warnings allowed unless --werror),
-// 1 = at least one error, 2 = usage / IO / parse failure.
+// --format json emits the machine-readable report including the static
+// per-flow latency bounds (consumed by `decotrace --check-bounds`);
+// --format sarif emits SARIF 2.1.0 for CI code scanning. Both are
+// byte-deterministic.
+//
+// Exit status: 0 = clean, 1 = at least one error (or a warning under
+// --werror), 3 = no errors but findings at or above the --fail-on
+// threshold, 2 = usage / IO / parse failure.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/gateway_lint.hpp"
 #include "core/gateway_xml.hpp"
+#include "lint/flowgraph.hpp"
 #include "lint/lint.hpp"
+#include "lint/render.hpp"
+#include "lint/timing.hpp"
 #include "spec/linkspec_xml.hpp"
 #include "xml/xml.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: declint [--werror] [--quiet] <spec.xml>...\n"
+    "usage: declint [options] <spec.xml>...\n"
     "\n"
     "Statically analyzes DECOS deployment specifications:\n"
-    "  <gatewayspec>  full deployment analysis (rules DL000-DL006)\n"
+    "  <gatewayspec>  full deployment analysis (rules DL000-DL010);\n"
+    "                 several files form one cluster and are analyzed jointly\n"
     "  <linkspec>     standalone link analysis (locally decidable rules)\n"
     "\n"
-    "  --werror  treat warnings as errors\n"
-    "  --quiet   print errors only\n";
+    "  --werror               treat warnings as errors\n"
+    "  --quiet                print errors only (text format)\n"
+    "  --format text|json|sarif\n"
+    "                         output format (default text); json carries the\n"
+    "                         per-flow latency bounds for decotrace --check-bounds\n"
+    "  --fail-on note|warn|error\n"
+    "                         exit 3 when findings at or above this severity\n"
+    "                         exist and no hard error does (default error)\n";
 
 struct Options {
   bool werror = false;
   bool quiet = false;
+  std::string format = "text";
+  decos::lint::Severity fail_on = decos::lint::Severity::kError;
   std::vector<std::string> files;
 };
 
-int lint_file(const std::string& path, const Options& options) {
+/// One parsed input, keeping the document alive for the cluster pass
+/// (GatewayModel borrows the doc's link specs and schedule).
+struct ParsedFile {
+  std::string path;
+  std::unique_ptr<decos::core::GatewayDoc> gateway;
+  std::unique_ptr<decos::spec::LinkSpec> link;
+};
+
+/// Severity at or above `threshold` (errors are the most severe).
+bool at_least(decos::lint::Severity severity, decos::lint::Severity threshold) {
+  return static_cast<int>(severity) <= static_cast<int>(threshold);
+}
+
+int parse_file(const std::string& path, ParsedFile& out) {
   std::ifstream in{path};
   if (!in) {
     std::cerr << path << ": cannot open file\n";
@@ -54,8 +91,7 @@ int lint_file(const std::string& path, const Options& options) {
     std::cerr << path << ": XML parse error: " << parsed.error().message << "\n";
     return 2;
   }
-
-  decos::lint::Report report;
+  out.path = path;
   const std::string& root = parsed.value().root->name();
   if (root == "gatewayspec") {
     auto doc = decos::core::parse_gateway_doc(text);
@@ -63,27 +99,20 @@ int lint_file(const std::string& path, const Options& options) {
       std::cerr << path << ": " << doc.error().message << "\n";
       return 2;
     }
-    report = decos::core::lint_gateway_doc(doc.value());
+    out.gateway = std::make_unique<decos::core::GatewayDoc>(std::move(doc.value()));
   } else if (root == "linkspec") {
     auto link = decos::spec::parse_link_spec_xml(text);
     if (!link.ok()) {
       std::cerr << path << ": " << link.error().message << "\n";
       return 2;
     }
-    report = decos::lint::lint_link(link.value());
+    out.link = std::make_unique<decos::spec::LinkSpec>(std::move(link.value()));
   } else {
     std::cerr << path << ": unsupported root element <" << root
               << "> (expected <gatewayspec> or <linkspec>)\n";
     return 2;
   }
-
-  for (const auto& d : report.diagnostics()) {
-    if (options.quiet && d.severity != decos::lint::Severity::kError) continue;
-    std::cout << path << ": " << d.to_string() << "\n";
-  }
-  const bool failed =
-      report.error_count() > 0 || (options.werror && report.warning_count() > 0);
-  return failed ? 1 : 0;
+  return 0;
 }
 
 }  // namespace
@@ -100,6 +129,32 @@ int main(int argc, char** argv) {
       options.werror = true;
     } else if (arg == "--quiet" || arg == "-q") {
       options.quiet = true;
+    } else if (arg == "--format") {
+      if (i + 1 >= argc) {
+        std::cerr << "declint: --format needs an argument\n" << kUsage;
+        return 2;
+      }
+      options.format = argv[++i];
+      if (options.format != "text" && options.format != "json" && options.format != "sarif") {
+        std::cerr << "declint: unknown format '" << options.format << "'\n" << kUsage;
+        return 2;
+      }
+    } else if (arg == "--fail-on") {
+      if (i + 1 >= argc) {
+        std::cerr << "declint: --fail-on needs an argument\n" << kUsage;
+        return 2;
+      }
+      const std::string level = argv[++i];
+      if (level == "note") {
+        options.fail_on = decos::lint::Severity::kNote;
+      } else if (level == "warn" || level == "warning") {
+        options.fail_on = decos::lint::Severity::kWarning;
+      } else if (level == "error") {
+        options.fail_on = decos::lint::Severity::kError;
+      } else {
+        std::cerr << "declint: unknown --fail-on level '" << level << "'\n" << kUsage;
+        return 2;
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "declint: unknown option '" << arg << "'\n" << kUsage;
       return 2;
@@ -112,10 +167,63 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  int exit_code = 0;
-  for (const std::string& file : options.files) {
-    const int rc = lint_file(file, options);
-    if (rc > exit_code) exit_code = rc;
+  std::vector<ParsedFile> parsed;
+  parsed.reserve(options.files.size());
+  for (const std::string& path : options.files) {
+    ParsedFile file;
+    if (const int rc = parse_file(path, file); rc != 0) return rc;
+    parsed.push_back(std::move(file));
   }
-  return exit_code;
+
+  // Local rules per file; gateway models feed the joint cluster pass.
+  decos::lint::RenderInput result;
+  std::vector<decos::lint::GatewayModel> models;
+  models.reserve(parsed.size());
+  decos::lint::ClusterModel cluster;
+  for (const ParsedFile& file : parsed) {
+    decos::lint::FileReport fr;
+    fr.path = file.path;
+    if (file.gateway != nullptr) {
+      models.push_back(decos::core::make_lint_model(*file.gateway));
+      fr.report = decos::lint::lint_gateway_local(models.back());
+    } else {
+      fr.report = decos::lint::lint_link(*file.link);
+    }
+    result.files.push_back(std::move(fr));
+  }
+  for (const decos::lint::GatewayModel& model : models) cluster.gateways.push_back(&model);
+  if (!cluster.gateways.empty())
+    result.cluster = decos::lint::lint_cluster(cluster, &result.flows);
+
+  if (options.format == "json") {
+    std::cout << decos::lint::render_json(result);
+  } else if (options.format == "sarif") {
+    std::cout << decos::lint::render_sarif(result);
+  } else {
+    for (const decos::lint::FileReport& file : result.files) {
+      for (const auto& d : file.report.diagnostics()) {
+        if (options.quiet && d.severity != decos::lint::Severity::kError) continue;
+        std::cout << file.path << ": " << d.to_string() << "\n";
+      }
+    }
+    for (const auto& d : result.cluster.diagnostics()) {
+      if (options.quiet && d.severity != decos::lint::Severity::kError) continue;
+      std::cout << "cluster: " << d.to_string() << "\n";
+    }
+  }
+
+  std::size_t errors = 0, warnings = 0;
+  bool threshold_hit = false;
+  const auto scan = [&](const decos::lint::Report& report) {
+    errors += report.error_count();
+    warnings += report.warning_count();
+    for (const auto& d : report.diagnostics())
+      if (at_least(d.severity, options.fail_on)) threshold_hit = true;
+  };
+  for (const auto& file : result.files) scan(file.report);
+  scan(result.cluster);
+
+  if (errors > 0 || (options.werror && warnings > 0)) return 1;
+  if (threshold_hit) return 3;
+  return 0;
 }

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <vector>
@@ -42,15 +43,53 @@ constexpr const char* kUsage =
     "  --fail-dead        exit 1 if any registered instrument family was\n"
     "                     never updated across all inputs; per-gateway/VN\n"
     "                     instances collapse (gw.e6.forwarded -> gw.*.forwarded)\n"
-    "  --check            exit 1 on span parent/child integrity violations\n";
+    "  --check            exit 1 on span parent/child integrity violations\n"
+    "  --check-bounds F   read static per-flow latency bounds from F (the\n"
+    "                     output of `declint --format json`) and exit 1 if\n"
+    "                     any traced flow's observed max total latency\n"
+    "                     exceeds its bound, or no flow matched at all\n";
 
 struct Options {
   bool json = false;
   bool fail_dead = false;
   bool check = false;
+  std::string bounds_file;
   std::string perfetto_out;
   std::vector<std::string> files;
 };
+
+/// Static bound of one flow, loaded from declint's JSON report.
+struct StaticBound {
+  std::string key;
+  std::int64_t bound_ns = 0;
+};
+
+int load_bounds(const std::string& path, std::vector<StaticBound>& out) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << path << ": cannot open file\n";
+    return 2;
+  }
+  std::string text{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  auto doc = obs::json::parse(text);
+  if (!doc.ok()) {
+    std::cerr << path << ": " << doc.error().message << "\n";
+    return 2;
+  }
+  const obs::json::Value* cluster = doc.value().find("cluster");
+  const obs::json::Value* flows = cluster != nullptr ? cluster->find("flows") : nullptr;
+  if (flows == nullptr || !flows->is_array()) {
+    std::cerr << path << ": not a declint JSON report (missing cluster.flows)\n";
+    return 2;
+  }
+  for (const obs::json::Value& flow : flows->as_array()) {
+    StaticBound b;
+    b.key = flow.get_string("key");
+    b.bound_ns = flow.get_int("bound_ns");
+    if (!b.key.empty()) out.push_back(std::move(b));
+  }
+  return 0;
+}
 
 const char* kind_name(obs::InstrumentKind kind) {
   switch (kind) {
@@ -185,6 +224,12 @@ int main(int argc, char** argv) {
       options.fail_dead = true;
     } else if (arg == "--check") {
       options.check = true;
+    } else if (arg == "--check-bounds") {
+      if (++i >= argc) {
+        std::cerr << "--check-bounds requires a file argument\n" << kUsage;
+        return 2;
+      }
+      options.bounds_file = argv[i];
     } else if (arg == "--perfetto") {
       if (++i >= argc) {
         std::cerr << "--perfetto requires a file argument\n" << kUsage;
@@ -280,6 +325,52 @@ int main(int argc, char** argv) {
   if (options.check && !violations.empty()) {
     std::cerr << "decotrace: " << violations.size() << " span integrity violation(s)\n";
     return 1;
+  }
+  if (!options.bounds_file.empty()) {
+    std::vector<StaticBound> bounds;
+    if (const int rc = load_bounds(options.bounds_file, bounds); rc != 0) return rc;
+    std::size_t checked = 0, exceeded = 0;
+    for (const StaticBound& b : bounds) {
+      // Exact flow-key match first; otherwise fall back to the root send
+      // message (the part before "->"). A flow whose consumer is not an
+      // attached port is keyed by its delivery slot in the trace
+      // ("msgA0->slot 9"), but it is still the flow rooted at msgA0.
+      auto it = breakdown.find(b.key);
+      if (it == breakdown.end()) {
+        const std::string root = b.key.substr(0, b.key.find("->"));
+        auto match = breakdown.end();
+        std::size_t candidates = 0;
+        for (auto cand = breakdown.begin(); cand != breakdown.end(); ++cand) {
+          if (cand->first != root && cand->first.rfind(root + "->", 0) != 0) continue;
+          ++candidates;
+          match = cand;
+        }
+        if (candidates != 1) continue;  // ambiguous root: no safe join
+        it = match;
+      }
+      const auto total = it->second.phases.find("total");
+      if (total == it->second.phases.end() || total->second.empty()) continue;
+      ++checked;
+      const std::int64_t observed = total->second.max();
+      const bool over = observed > b.bound_ns;
+      if (over) ++exceeded;
+      std::fprintf(over ? stderr : stdout,
+                   "bounds: flow '%s' (traced as '%s') observed max %lld ns %s static bound "
+                   "%lld ns\n",
+                   b.key.c_str(), it->first.c_str(), static_cast<long long>(observed),
+                   over ? "EXCEEDS" : "<=", static_cast<long long>(b.bound_ns));
+    }
+    if (checked == 0) {
+      std::cerr << "decotrace: --check-bounds matched no traced flow against " << bounds.size()
+                << " static bound(s)\n";
+      return 1;
+    }
+    if (exceeded > 0) {
+      std::cerr << "decotrace: " << exceeded << " of " << checked
+                << " flow(s) exceed their static latency bound\n";
+      return 1;
+    }
+    std::printf("bounds: %zu flow(s) within their static bounds\n", checked);
   }
   if (options.fail_dead && !dead.empty()) {
     std::cerr << "decotrace: " << dead.size() << " instrument(s) never updated";
