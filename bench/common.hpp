@@ -29,6 +29,7 @@
 #include "core/virtual_gateway.hpp"
 #include "obs/export.hpp"
 #include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 #include "spec/link_spec.hpp"
 #include "spec/message.hpp"
@@ -45,6 +46,10 @@ class Cell;
 ///   --json-out FILE     result JSON path (default BENCH_<id>.json in cwd)
 ///   --trace-out FILE    JSONL dump of spans/records/metrics per cell
 ///   --metrics-out FILE  JSONL dump of the metrics snapshots alone
+///   --telemetry-out FILE      live windowed telemetry JSONL stream
+///   --telemetry-window DUR    tumbling window length (e.g. 100ms, 50000us,
+///                             plain integer = ns; default 100ms)
+///   --telemetry-bounds FILE   declint JSON flow bounds checked live
 ///   --jobs N            worker threads for the cell sweep (default:
 ///                       hardware concurrency, capped at 8)
 ///   --filter SUBSTR     only run cells whose label contains SUBSTR
@@ -71,6 +76,12 @@ class Harness {
         trace_out_ = value();
       } else if (arg == "--metrics-out") {
         metrics_out_ = value();
+      } else if (arg == "--telemetry-out") {
+        telemetry_out_ = value();
+      } else if (arg == "--telemetry-window") {
+        telemetry_window_ = parse_window(value());
+      } else if (arg == "--telemetry-bounds") {
+        telemetry_bounds_file_ = value();
       } else if (arg == "--json-out") {
         json_out_ = value();
       } else if (arg == "--filter") {
@@ -85,6 +96,15 @@ class Harness {
       }
     }
     if (json_out_.empty()) json_out_ = "BENCH_" + id_ + ".json";
+    if (!telemetry_bounds_file_.empty()) {
+      std::ifstream in{telemetry_bounds_file_};
+      if (!in) usage_error("--telemetry-bounds: cannot open " + telemetry_bounds_file_);
+      auto bounds = obs::load_flow_bounds(in);
+      if (!bounds.ok())
+        usage_error("--telemetry-bounds: " + telemetry_bounds_file_ + ": " +
+                    bounds.error().message);
+      telemetry_bounds_ = bounds.value();
+    }
     active() = this;
   }
 
@@ -107,14 +127,20 @@ class Harness {
     std::fprintf(stderr,
                  "error: %s\n"
                  "usage: %s [--json-out FILE] [--trace-out FILE] [--metrics-out FILE]\n"
-                 "       [--jobs N] [--filter SUBSTR] (plus experiment-specific flags;\n"
-                 "       see EXPERIMENTS.md)\n",
+                 "       [--telemetry-out FILE] [--telemetry-window DUR]\n"
+                 "       [--telemetry-bounds FILE] [--jobs N] [--filter SUBSTR]\n"
+                 "       (plus experiment-specific flags; see EXPERIMENTS.md)\n",
                  message.c_str(), program_.c_str());
     std::exit(2);
   }
 
   bool tracing() const { return !trace_out_.empty(); }
   bool metrics_dump() const { return !metrics_out_.empty(); }
+  bool telemetry() const { return !telemetry_out_.empty(); }
+  Duration telemetry_window() const { return telemetry_window_; }
+  const std::vector<std::pair<std::string, std::int64_t>>& telemetry_bounds() const {
+    return telemetry_bounds_;
+  }
 
   /// Worker threads for the cell sweep.
   std::size_t jobs() const { return jobs_; }
@@ -126,8 +152,28 @@ class Harness {
     return filter_.empty() || label.find(filter_) != std::string::npos;
   }
 
-  /// Apply the dump flags to a freshly built cell simulator.
-  void configure(sim::Simulator& simulator) { simulator.spans().set_enabled(tracing()); }
+  /// Apply the dump flags to a freshly built cell simulator. Telemetry
+  /// needs the span stream (the aggregator is the collector's sink);
+  /// telemetry-only runs bound span retention to a small ring since the
+  /// sink folds each span at emission and never reads the backlog.
+  void configure(sim::Simulator& simulator) {
+    simulator.spans().set_enabled(tracing() || telemetry());
+    if (telemetry() && !tracing()) simulator.spans().set_capacity(4096);
+  }
+
+  /// Enable the streaming aggregator on a serial-path simulator: the
+  /// stream goes straight into the harness-level telemetry buffer
+  /// (parallel cells use Cell::configure, which buffers per cell).
+  void configure_telemetry(const std::string& label, sim::Simulator& simulator) {
+    if (!telemetry()) return;
+    obs::TelemetryConfig config;
+    config.window = telemetry_window_;
+    obs::WindowAggregator& aggregator = simulator.enable_telemetry(config);
+    telemetry_sinks_.push_back(std::make_unique<obs::OstreamTelemetrySink>(telemetry_stream_));
+    aggregator.set_sink(telemetry_sinks_.back().get());
+    aggregator.begin_stream(label);
+    for (const auto& [key, bound] : telemetry_bounds_) aggregator.set_bound(key, bound);
+  }
 
   /// Capture a finished cell: spans + metrics (+ named recorders) into
   /// the trace dump, metrics into the metrics dump, and the cell's spans
@@ -136,6 +182,7 @@ class Harness {
   /// Serial-path variant; parallel cells go through Cell::capture.
   void capture(const std::string& label, sim::Simulator& simulator,
                std::vector<std::pair<std::string, const obs::TraceRecorder*>> recorders = {}) {
+    if (telemetry() && simulator.telemetry() != nullptr) simulator.telemetry()->flush();
     if (tracing()) {
       obs::DumpWriter writer{trace_stream_};
       writer.begin_cell(label);
@@ -186,6 +233,7 @@ class Harness {
     out << obs::json::Value{std::move(o)}.dump() << "\n";
     if (tracing()) std::ofstream{trace_out_} << trace_stream_.str();
     if (metrics_dump()) std::ofstream{metrics_out_} << metrics_stream_.str();
+    if (telemetry()) std::ofstream{telemetry_out_} << telemetry_stream_.str();
   }
 
  private:
@@ -205,10 +253,34 @@ class Harness {
     span_offset_ += max_id;
   }
 
+  /// Parse a window length: plain integer = ns, or with a ns/us/ms/s
+  /// suffix. Zero or negative is a usage error.
+  Duration parse_window(const std::string& text) const {
+    char* end = nullptr;
+    const long long n = std::strtoll(text.c_str(), &end, 10);
+    std::int64_t scale = 1;
+    const std::string suffix = end != nullptr ? std::string{end} : std::string{};
+    if (suffix == "us")
+      scale = 1'000;
+    else if (suffix == "ms")
+      scale = 1'000'000;
+    else if (suffix == "s")
+      scale = 1'000'000'000;
+    else if (!suffix.empty() && suffix != "ns")
+      usage_error("--telemetry-window: unknown suffix '" + suffix + "'");
+    if (end == text.c_str() || n <= 0)
+      usage_error("--telemetry-window expects a positive duration, got '" + text + "'");
+    return Duration::nanoseconds(n * scale);
+  }
+
   std::string id_;
   std::string program_;
   std::string trace_out_;
   std::string metrics_out_;
+  std::string telemetry_out_;
+  std::string telemetry_bounds_file_;
+  Duration telemetry_window_ = Duration::milliseconds(100);
+  std::vector<std::pair<std::string, std::int64_t>> telemetry_bounds_;
   std::string json_out_;
   std::string filter_;
   std::size_t jobs_ = util::TaskPool::default_workers();
@@ -216,6 +288,8 @@ class Harness {
   std::vector<std::pair<std::string, obs::json::Value>> extra_;
   std::ostringstream trace_stream_;
   std::ostringstream metrics_stream_;
+  std::ostringstream telemetry_stream_;
+  std::vector<std::unique_ptr<obs::OstreamTelemetrySink>> telemetry_sinks_;
   std::vector<obs::Span> captured_spans_;
   std::uint64_t span_offset_ = 0;
   bool finished_ = false;
@@ -248,14 +322,33 @@ class Cell {
   /// Buffered raw line.
   void line(std::string text) { lines_.push_back(std::move(text)); }
 
-  /// Apply the dump flags to a freshly built cell simulator.
-  void configure(sim::Simulator& simulator) { harness_->configure(simulator); }
+  /// Apply the dump flags to a freshly built cell simulator; with
+  /// --telemetry-out this also enables the streaming aggregator, headed
+  /// by this cell's label, writing into a cell-private buffer (each
+  /// simulator gets its own buffer so multi-simulator cells cannot
+  /// interleave lines). The commit appends buffers in submission order,
+  /// keeping the merged stream byte-identical at any --jobs.
+  void configure(sim::Simulator& simulator) {
+    harness_->configure(simulator);
+    if (harness_->telemetry()) {
+      obs::TelemetryConfig config;
+      config.window = harness_->telemetry_window();
+      obs::WindowAggregator& aggregator = simulator.enable_telemetry(config);
+      telemetry_.push_back(std::make_unique<CellTelemetry>());
+      aggregator.set_sink(&telemetry_.back()->sink);
+      aggregator.begin_stream(label_);
+      for (const auto& [key, bound] : harness_->telemetry_bounds())
+        aggregator.set_bound(key, bound);
+    }
+  }
 
   /// Buffered counterpart of Harness::capture(): identical bytes into
   /// this cell's private streams, spans kept raw (the commit applies the
   /// id offsets, which must accumulate in submission order).
   void capture(const std::string& label, sim::Simulator& simulator,
                std::vector<std::pair<std::string, const obs::TraceRecorder*>> recorders = {}) {
+    if (harness_->telemetry() && simulator.telemetry() != nullptr)
+      simulator.telemetry()->flush();
     if (harness_->tracing()) {
       obs::DumpWriter writer{trace_stream_};
       writer.begin_cell(label);
@@ -276,11 +369,19 @@ class Cell {
  private:
   friend class Harness;
 
+  /// One simulator's telemetry buffer + sink (address-stable; the
+  /// aggregator holds a raw pointer to the sink).
+  struct CellTelemetry {
+    std::ostringstream stream;
+    obs::OstreamTelemetrySink sink{stream};
+  };
+
   Harness* harness_;
   std::string label_;
   std::vector<std::string> lines_;
   std::ostringstream trace_stream_;
   std::ostringstream metrics_stream_;
+  std::vector<std::unique_ptr<CellTelemetry>> telemetry_;
   std::vector<std::vector<obs::Span>> span_batches_;
 };
 
@@ -291,6 +392,8 @@ inline void Harness::commit(Cell& cell) {
   }
   trace_stream_ << cell.trace_stream_.str();
   metrics_stream_ << cell.metrics_stream_.str();
+  for (const std::unique_ptr<Cell::CellTelemetry>& t : cell.telemetry_)
+    telemetry_stream_ << t->stream.str();
   for (const std::vector<obs::Span>& batch : cell.span_batches_) merge_span_batch(batch);
 }
 

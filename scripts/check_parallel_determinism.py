@@ -41,14 +41,17 @@ def run(binary, jobs, extra, outdir):
     tag = f"j{jobs}"
     json_out = outdir / f"{tag}.json"
     trace_out = outdir / f"{tag}.jsonl"
+    telemetry_out = outdir / f"{tag}.telemetry.jsonl"
     cmd = [binary, "--jobs", str(jobs), "--json-out", str(json_out),
-           "--trace-out", str(trace_out), *extra]
+           "--trace-out", str(trace_out), "--telemetry-out", str(telemetry_out),
+           *extra]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
         print(f"error: {' '.join(cmd)} exited {proc.returncode}", file=sys.stderr)
         sys.stderr.write(proc.stderr)
         sys.exit(1)
-    return proc.stdout, json_out.read_bytes(), trace_out.read_text()
+    return (proc.stdout, json_out.read_bytes(), trace_out.read_text(),
+            telemetry_out.read_text())
 
 
 def filter_trace(text):
@@ -79,8 +82,8 @@ def main():
 
     with tempfile.TemporaryDirectory(prefix="decos-determinism-") as tmp:
         outdir = pathlib.Path(tmp)
-        out1, json1, trace1 = run(args.binary, 1, args.extra, outdir)
-        outN, jsonN, traceN = run(args.binary, args.jobs, args.extra, outdir)
+        out1, json1, trace1, telemetry1 = run(args.binary, 1, args.extra, outdir)
+        outN, jsonN, traceN, telemetryN = run(args.binary, args.jobs, args.extra, outdir)
 
     failures = 0
     if out1 != outN:
@@ -93,12 +96,22 @@ def main():
     if t1 != tN:
         diff_head("trace-out (deterministic lines)", t1, tN)
         failures += 1
+    # The windowed telemetry stream makes the same promise as the trace
+    # dump: sim-time windows are byte-deterministic; host-time metric
+    # lines carry "deterministic":false and are filtered like any other
+    # wall-clock artifact.
+    w1, wN = filter_trace(telemetry1), filter_trace(telemetryN)
+    if w1 != wN:
+        diff_head("telemetry-out (deterministic lines)", w1, wN)
+        failures += 1
 
     if failures:
         return 1
     spans = sum(1 for line in t1 if '"type":"span"' in line)
-    print(f"determinism ok: stdout, json, and {len(t1)} trace lines "
-          f"({spans} spans) byte-identical at --jobs 1 vs --jobs {args.jobs}")
+    windows = sum(1 for line in w1 if '"type":"window"' in line)
+    print(f"determinism ok: stdout, json, {len(t1)} trace lines ({spans} spans), "
+          f"and {len(w1)} telemetry lines ({windows} windows) byte-identical "
+          f"at --jobs 1 vs --jobs {args.jobs}")
     return 0
 
 

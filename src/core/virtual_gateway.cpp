@@ -168,6 +168,58 @@ void VirtualGateway::bind_observability(obs::MetricsRegistry& metrics, obs::Trac
   suppressed_construction_ = &metrics.counter(prefix + "suppressed.construction");
 }
 
+void VirtualGateway::bind_observability(sim::Simulator& sim) {
+  bind_observability(sim.metrics(), sim.spans());
+  sim.on_telemetry([this](obs::WindowAggregator& aggregator) { register_flows(aggregator); });
+}
+
+void VirtualGateway::register_flows(obs::WindowAggregator& aggregator) const {
+  const GatewayLink* sides[2][2] = {{&link_a_, &link_b_}, {&link_b_, &link_a_}};
+  for (const auto& [out_link, in_link] : sides) {
+    for (const auto& plan : out_link->construct_plans()) {
+      // Tightest temporal-accuracy interval over the message's required
+      // state elements: the end-to-end deadline of every flow feeding
+      // this construction.
+      Duration d_acc = Duration::max();
+      bool has_state = false;
+      for (const ElementId id : plan->required) {
+        const ElementDecl& decl = repository_.decl_of(id);
+        if (decl.semantics != spec::InfoSemantics::kState) continue;
+        has_state = true;
+        if (decl.d_acc < d_acc) d_acc = decl.d_acc;
+      }
+      if (!has_state) continue;  // pure event flows have no d_acc deadline
+      const std::string out_name = symbol_name(plan->message_sym);
+      // Every incoming message on the opposite link that feeds one of
+      // the required slots (directly or through a transfer rule) roots
+      // a flow into this construction.
+      for (const auto& [sym, dissect] : in_link->dissect_plans()) {
+        bool feeds = false;
+        for (const DissectItem& item : dissect.items) {
+          if (item.needed &&
+              std::find(plan->required.begin(), plan->required.end(), item.repo_id) !=
+                  plan->required.end()) {
+            feeds = true;
+            break;
+          }
+          for (const RulePlan* rule : item.rules) {
+            if (std::find(plan->required.begin(), plan->required.end(), rule->target_id) !=
+                plan->required.end()) {
+              feeds = true;
+              break;
+            }
+          }
+          if (feeds) break;
+        }
+        if (!feeds) continue;
+        const std::string& in_name = symbol_name(dissect.message_sym);
+        const std::string key = in_name == out_name ? in_name : in_name + "->" + out_name;
+        aggregator.set_deadline(key, d_acc);
+      }
+    }
+  }
+}
+
 void VirtualGateway::set_element_config(const std::string& repo_element,
                                         spec::InfoSemantics semantics, Duration d_acc,
                                         std::size_t queue_capacity) {
@@ -814,7 +866,7 @@ void VirtualGateway::dispatch(Instant now) {
 
 void VirtualGateway::start(sim::Simulator& simulator) {
   if (!finalized_) finalize();
-  bind_observability(simulator.metrics(), simulator.spans());
+  bind_observability(simulator);
   start_tick(simulator);
 }
 

@@ -111,6 +111,18 @@ class VirtualGateway {
   /// functional unbound (standalone unit tests).
   void bind_observability(obs::MetricsRegistry& metrics, obs::TraceCollector& spans);
 
+  /// Simulator form: binds the registry/collector as above and hooks
+  /// the gateway's flow deadlines into the simulator's telemetry
+  /// aggregator (immediately if telemetry is enabled, otherwise when
+  /// the harness enables it).
+  void bind_observability(sim::Simulator& sim);
+
+  /// Register every gateway-crossing flow ("msgIn->msgOut", keyed like
+  /// phase_breakdown) with the aggregator, carrying the tightest d_acc
+  /// of the constructed message's required state elements as the flow's
+  /// live deadline. Requires finalize(); plans are empty before it.
+  void register_flows(obs::WindowAggregator& aggregator) const;
+
   /// Override repository meta data for one element (by repository name).
   /// Must be called before finalize().
   void set_element_config(const std::string& repo_element, spec::InfoSemantics semantics,

@@ -6,7 +6,7 @@ void wire_tt_link(VirtualGateway& gateway, int side, vn::TtVirtualNetwork& netwo
                   tt::Controller& controller,
                   const std::map<std::string, std::vector<std::size_t>>& sender_slots) {
   if (!gateway.finalized()) gateway.finalize();
-  gateway.bind_observability(controller.simulator().metrics(), controller.simulator().spans());
+  gateway.bind_observability(controller.simulator());
   GatewayLink& link = gateway.link(side);
   for (const spec::PortSpec& port_spec : link.spec().ports()) {
     // The VN needs the message registered in its namespace.
@@ -28,7 +28,7 @@ void wire_tt_link(VirtualGateway& gateway, int side, vn::TtVirtualNetwork& netwo
 void wire_et_link(VirtualGateway& gateway, int side, vn::EtVirtualNetwork& network,
                   tt::Controller& controller, const std::vector<std::size_t>& node_slots) {
   if (!gateway.finalized()) gateway.finalize();
-  gateway.bind_observability(controller.simulator().metrics(), controller.simulator().spans());
+  gateway.bind_observability(controller.simulator());
   GatewayLink& link = gateway.link(side);
   if (!node_slots.empty()) network.attach_node(controller, node_slots);
   for (const spec::PortSpec& port_spec : link.spec().ports()) {

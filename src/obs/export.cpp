@@ -5,6 +5,7 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <set>
 
 #include "obs/json.hpp"
 
@@ -95,6 +96,7 @@ void DumpWriter::add_metrics(const MetricsSnapshot& snapshot) {
     o.emplace_back("kind", instrument_kind_name(m.kind));
     o.emplace_back("deterministic", m.deterministic);
     o.emplace_back("updates", m.updates);
+    if (m.sample_period != 1) o.emplace_back("sample_period", m.sample_period);
     switch (m.kind) {
       case InstrumentKind::kCounter:
         o.emplace_back("value", m.value);
@@ -177,6 +179,7 @@ Result<Dump> load_jsonl(std::istream& in) {
       const json::Value* det = v.find("deterministic");
       m.deterministic = det == nullptr || !det->is_bool() || det->as_bool();
       m.updates = static_cast<std::uint64_t>(v.get_int("updates"));
+      m.sample_period = static_cast<std::uint32_t>(v.get_int("sample_period", 1));
       m.value = v.get_int("value");
       m.high_water = v.get_int("high_water");
       m.count = static_cast<std::uint64_t>(v.get_int("count"));
@@ -221,9 +224,31 @@ std::vector<std::pair<std::string, TraceRecord>> Dump::all_records() const {
 }
 
 MetricsSnapshot Dump::merged_metrics() const {
+  // The same cell legitimately appears in several inputs: a run
+  // captured with both --trace-out and --metrics-out dumps identical
+  // snapshots into each file, and passing both to decotrace used to
+  // double every counter. Dedup on the full key -- cell label +
+  // instrument name + complete snapshot content -- so replicas fold
+  // once while genuinely distinct cells still sum.
+  std::set<std::string> seen;
+  const auto full_key = [](const std::string& label, const MetricValue& m) {
+    std::string key = label;
+    key += '\x1f';
+    key += m.name;
+    for (const std::int64_t field :
+         {static_cast<std::int64_t>(m.kind), std::int64_t{m.deterministic},
+          static_cast<std::int64_t>(m.updates), static_cast<std::int64_t>(m.sample_period),
+          m.value, m.high_water, static_cast<std::int64_t>(m.count), m.sum, m.min, m.max, m.p50,
+          m.p90, m.p99}) {
+      key += '\x1f';
+      key += std::to_string(field);
+    }
+    return key;
+  };
   std::map<std::string, MetricValue> merged;
   for (const DumpCell& cell : cells) {
     for (const MetricValue& m : cell.metrics.entries) {
+      if (!seen.insert(full_key(cell.label, m)).second) continue;
       auto [it, inserted] = merged.emplace(m.name, m);
       if (inserted) continue;
       MetricValue& acc = it->second;

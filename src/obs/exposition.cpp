@@ -1,0 +1,114 @@
+#include "obs/exposition.hpp"
+
+#include <ostream>
+
+namespace decos::obs {
+
+namespace {
+
+void write_label_value(std::ostream& out, std::string_view v) {
+  out << '"';
+  for (const char c : v) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void write_flow_sample(std::ostream& out, std::string_view family, std::string_view flow,
+                       std::int64_t value) {
+  out << family << "{flow=";
+  write_label_value(out, flow);
+  out << "} " << value << "\n";
+}
+
+}  // namespace
+
+std::string exposition_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void write_exposition(std::ostream& out, const MetricsSnapshot& metrics,
+                      const std::vector<FlowHealth>& flows) {
+  for (const MetricValue& v : metrics.entries) {
+    const std::string name = "decos_" + exposition_name(v.name);
+    switch (v.kind) {
+      case InstrumentKind::kCounter:
+        out << "# TYPE " << name << "_total counter\n";
+        out << name << "_total " << v.value << "\n";
+        break;
+      case InstrumentKind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << v.value << "\n";
+        out << "# TYPE " << name << "_high_water gauge\n";
+        out << name << "_high_water " << v.high_water << "\n";
+        break;
+      case InstrumentKind::kHistogram:
+        out << "# TYPE " << name << " summary\n";
+        out << name << "{quantile=\"0.5\"} " << v.p50 << "\n";
+        out << name << "{quantile=\"0.99\"} " << v.p99 << "\n";
+        out << name << "_count " << v.count << "\n";
+        out << name << "_sum " << v.sum << "\n";
+        if (v.sample_period != 1) {
+          // Sampled instrument: 1 in sample_period events is observed.
+          // Rates derived from _count must scale; _estimated_count is
+          // the pre-scaled figure.
+          out << "# TYPE " << name << "_sample_period gauge\n";
+          out << name << "_sample_period " << v.sample_period << "\n";
+          out << "# TYPE " << name << "_estimated_count gauge\n";
+          out << name << "_estimated_count "
+              << v.count * static_cast<std::uint64_t>(v.sample_period) << "\n";
+        }
+        break;
+    }
+  }
+
+  if (flows.empty()) return;
+  out << "# TYPE decos_flow_traces_total counter\n";
+  for (const FlowHealth& f : flows)
+    write_flow_sample(out, "decos_flow_traces_total", f.flow,
+                      static_cast<std::int64_t>(f.traces));
+  out << "# TYPE decos_flow_deadline_ns gauge\n";
+  for (const FlowHealth& f : flows)
+    if (f.deadline_ns >= 0) write_flow_sample(out, "decos_flow_deadline_ns", f.flow, f.deadline_ns);
+  out << "# TYPE decos_flow_deadline_miss_total counter\n";
+  for (const FlowHealth& f : flows)
+    if (f.deadline_ns >= 0)
+      write_flow_sample(out, "decos_flow_deadline_miss_total", f.flow,
+                        static_cast<std::int64_t>(f.deadline_miss));
+  out << "# TYPE decos_flow_bound_ns gauge\n";
+  for (const FlowHealth& f : flows)
+    if (f.bound_ns >= 0) write_flow_sample(out, "decos_flow_bound_ns", f.flow, f.bound_ns);
+  out << "# TYPE decos_flow_bound_miss_total counter\n";
+  for (const FlowHealth& f : flows)
+    if (f.bound_ns >= 0)
+      write_flow_sample(out, "decos_flow_bound_miss_total", f.flow,
+                        static_cast<std::int64_t>(f.bound_miss));
+  out << "# TYPE decos_flow_latency_ns summary\n";
+  for (const FlowHealth& f : flows) {
+    for (const auto& [phase, agg] : f.phases) {
+      const auto sample = [&](std::string_view quantile, std::int64_t value) {
+        out << "decos_flow_latency_ns{flow=";
+        write_label_value(out, f.flow);
+        out << ",phase=\"" << phase << "\",quantile=\"" << quantile << "\"} " << value << "\n";
+      };
+      sample("0.5", agg.percentile(0.50));
+      sample("0.99", agg.percentile(0.99));
+      out << "decos_flow_latency_ns_count{flow=";
+      write_label_value(out, f.flow);
+      out << ",phase=\"" << phase << "\"} " << agg.n << "\n";
+      out << "decos_flow_latency_ns_sum{flow=";
+      write_label_value(out, f.flow);
+      out << ",phase=\"" << phase << "\"} " << agg.sum_ns << "\n";
+    }
+  }
+}
+
+}  // namespace decos::obs

@@ -1,0 +1,34 @@
+// Prometheus-style text exposition: a point-in-time snapshot of the
+// metrics registry and per-flow SLO health, rendered in the text
+// exposition format (one "name{labels} value" sample per line, # TYPE
+// comments). The output is deterministic -- snapshot entries are
+// already name-sorted and flows are key-sorted -- so golden tests can
+// compare it byte for byte.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace decos::obs {
+
+/// Sanitize an instrument or label name into the exposition charset:
+/// [a-zA-Z0-9_], everything else becomes '_'. A "decos_" prefix is
+/// added by the writer, so a leading digit cannot occur.
+std::string exposition_name(std::string_view name);
+
+/// Write the exposition snapshot. Counter values come out as
+/// `decos_<name>_total`, gauges as `decos_<name>` plus
+/// `decos_<name>_high_water`, histograms as summaries with quantile
+/// labels plus `_count`/`_sum` (and `_sample_period` /
+/// `_estimated_count` when the instrument is sampled). Flow health is
+/// rendered as `decos_flow_*` families labelled by flow (and phase for
+/// the latency summary).
+void write_exposition(std::ostream& out, const MetricsSnapshot& metrics,
+                      const std::vector<FlowHealth>& flows);
+
+}  // namespace decos::obs

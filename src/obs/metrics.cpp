@@ -6,21 +6,26 @@
 
 namespace decos::obs {
 
-std::int64_t Histogram::percentile(double p) const {
-  if (count_ == 0) return 0;
-  if (p <= 0.0) return min();
-  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(count_) + 0.5);
+std::int64_t Histogram::percentile_of(const std::uint64_t* bins, std::uint64_t count,
+                                      std::int64_t lo, std::int64_t hi, double p) {
+  if (count == 0) return 0;
+  if (p <= 0.0) return lo;
+  const auto rank = static_cast<std::uint64_t>(p * static_cast<double>(count) + 0.5);
   std::uint64_t cumulative = 0;
   for (int bin = 0; bin < kBins; ++bin) {
-    cumulative += bins_[bin];
-    if (cumulative >= rank && bins_[bin] != 0) {
+    cumulative += bins[bin];
+    if (cumulative >= rank && bins[bin] != 0) {
       // Upper bound of bin i is 2^i - 1; clamp to the observed extremes.
       const std::int64_t upper =
-          bin >= 63 ? max_ : static_cast<std::int64_t>((std::uint64_t{1} << bin) - 1);
-      return std::clamp(upper, min_, max_);
+          bin >= 63 ? hi : static_cast<std::int64_t>((std::uint64_t{1} << bin) - 1);
+      return std::clamp(upper, lo, hi);
     }
   }
-  return max_;
+  return hi;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  return percentile_of(bins_, count_, min(), max_, p);
 }
 
 MetricsRegistry::Entry& MetricsRegistry::registered(std::string_view name, InstrumentKind kind,
@@ -55,11 +60,13 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   return *entry.gauge;
 }
 
-Histogram& MetricsRegistry::histogram(std::string_view name, Determinism determinism) {
+Histogram& MetricsRegistry::histogram(std::string_view name, Determinism determinism,
+                                      std::uint32_t sample_period) {
   Entry& entry = registered(name, InstrumentKind::kHistogram, determinism);
   if (entry.histogram == nullptr) {
     histograms_.emplace_back();
     entry.histogram = &histograms_.back();
+    entry.sample_period = sample_period == 0 ? 1 : sample_period;
   }
   return *entry.histogram;
 }
@@ -72,6 +79,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     v.name = entry.name;
     v.kind = entry.kind;
     v.deterministic = entry.determinism == Determinism::kDeterministic;
+    v.sample_period = entry.sample_period;
     switch (entry.kind) {
       case InstrumentKind::kCounter:
         v.value = static_cast<std::int64_t>(entry.counter->value());

@@ -41,23 +41,32 @@ class Counter {
   std::uint64_t value_ = 0;
 };
 
-/// Last-value gauge with a high-water mark (e.g. queue depths).
+/// Last-value gauge with a high-water mark (e.g. queue depths). Besides
+/// the run-wide high water it tracks a resettable per-window high water
+/// for the streaming telemetry aggregator (one extra compare per set).
 class Gauge {
  public:
   void set(std::int64_t v) {
     if constexpr (kMetricsEnabled) {
       value_ = v;
       if (v > high_water_) high_water_ = v;
+      if (v > window_high_) window_high_ = v;
       ++updates_;
     }
   }
   std::int64_t value() const { return value_; }
   std::int64_t high_water() const { return high_water_; }
+  /// High water since the last begin_window() (>= value()).
+  std::int64_t window_high_water() const { return window_high_; }
+  /// Start a new telemetry window: the window high water restarts from
+  /// the current value.
+  void begin_window() { window_high_ = value_; }
   std::uint64_t updates() const { return updates_; }
 
  private:
   std::int64_t value_ = 0;
   std::int64_t high_water_ = 0;
+  std::int64_t window_high_ = 0;
   std::uint64_t updates_ = 0;
 };
 
@@ -91,6 +100,16 @@ class Histogram {
   /// to the exact observed maximum. 0 when empty.
   std::int64_t percentile(double p) const;
 
+  /// Raw bin counts (kBins entries). The telemetry aggregator keeps a
+  /// previous-bins copy per histogram and computes per-window percentiles
+  /// from the deltas.
+  const std::uint64_t* bins() const { return bins_; }
+
+  /// Percentile over an arbitrary bin array (e.g. a per-window delta):
+  /// same arithmetic as percentile(), clamped into [lo, hi].
+  static std::int64_t percentile_of(const std::uint64_t* bins, std::uint64_t count,
+                                    std::int64_t lo, std::int64_t hi, double p);
+
  private:
   static int bit_width(std::uint64_t v) {
     int w = 0;
@@ -118,6 +137,10 @@ struct MetricValue {
   std::string name;
   InstrumentKind kind = InstrumentKind::kCounter;
   bool deterministic = true;
+  /// Sampling factor of a sampled instrument (histograms only): one in
+  /// `sample_period` events is observed, so rates derived from `count`
+  /// must be scaled by it (1 = unsampled).
+  std::uint32_t sample_period = 1;
   std::uint64_t updates = 0;    // update count; 0 = dead instrument
   std::int64_t value = 0;       // counter value / gauge value
   std::int64_t high_water = 0;  // gauge only
@@ -150,16 +173,41 @@ class MetricsRegistry {
  public:
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name, Determinism determinism = Determinism::kDeterministic);
+  /// `sample_period` declares a sampled instrument: one in N events is
+  /// observed (surfaced in snapshots/exports so readers scale rates).
+  Histogram& histogram(std::string_view name, Determinism determinism = Determinism::kDeterministic,
+                       std::uint32_t sample_period = 1);
 
   MetricsSnapshot snapshot() const;
   std::size_t instrument_count() const { return index_.size(); }
+
+  /// Allocation-free read-only view of one registered instrument, in
+  /// registration order (the telemetry aggregator folds windows without
+  /// building a snapshot). Exactly one instrument pointer is non-null.
+  struct InstrumentRef {
+    const std::string& name;
+    InstrumentKind kind;
+    Determinism determinism;
+    std::uint32_t sample_period;
+    const Counter* counter;
+    Gauge* gauge;  // mutable: the aggregator resets per-window high water
+    const Histogram* histogram;
+  };
+
+  /// Visit instruments in registration order without allocating.
+  template <typename F>
+  void for_each(F&& fn) {
+    for (Entry& e : entries_)
+      fn(InstrumentRef{e.name, e.kind, e.determinism, e.sample_period, e.counter, e.gauge,
+                       e.histogram});
+  }
 
  private:
   struct Entry {
     std::string name;
     InstrumentKind kind;
     Determinism determinism;
+    std::uint32_t sample_period = 1;
     Counter* counter = nullptr;
     Gauge* gauge = nullptr;
     Histogram* histogram = nullptr;

@@ -30,6 +30,7 @@ std::uint64_t TraceCollector::emit(std::uint64_t trace_id, std::uint64_t parent_
   if (!enabled_) return 0;
   const std::uint64_t span_id = next_span_++;
   spans_.push_back(Span{trace_id, span_id, parent_id, phase, track, name, start, end, value});
+  if (sink_ != nullptr) sink_->on_span(spans_.back());
   if (capacity_ != 0 && spans_.size() > capacity_) {
     spans_.pop_front();
     ++dropped_;

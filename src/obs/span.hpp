@@ -63,6 +63,17 @@ struct Span {
   Duration duration() const { return end - start; }
 };
 
+/// Streaming observer of span emissions. A sink sees every span at
+/// emission time, in span-id order, independent of the collector's
+/// retention policy -- a bounded ring may drop old spans, the sink
+/// already folded them. The windowed telemetry aggregator is the one
+/// production sink.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const Span& span) = 0;
+};
+
 /// Owns all spans of one simulated system (one collector per simulator).
 /// Trace and span ids are allocated from monotone counters, so identical
 /// seeded runs produce identical id sequences.
@@ -101,8 +112,15 @@ class TraceCollector {
   std::vector<const Span*> trace(std::uint64_t trace_id) const;
   const Span* by_span_id(std::uint64_t span_id) const;
 
+  /// Install a streaming observer (nullptr detaches). The sink is called
+  /// from emit() after the span is assigned its id, before any ring
+  /// eviction, so it observes the complete emission sequence.
+  void set_sink(SpanSink* sink) { sink_ = sink; }
+  SpanSink* sink() const { return sink_; }
+
  private:
   bool enabled_ = true;
+  SpanSink* sink_ = nullptr;
   std::size_t capacity_ = 0;
   std::uint64_t next_trace_ = 1;
   std::uint64_t next_span_ = 1;

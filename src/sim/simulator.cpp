@@ -5,7 +5,26 @@ namespace decos::sim {
 Simulator::Simulator()
     : events_dispatched_{&metrics_.counter("sim.events_dispatched")},
       queue_depth_{&metrics_.gauge("sim.queue_depth")},
-      handler_ns_{&metrics_.histogram("sim.handler_ns", obs::Determinism::kHostTime)} {}
+      handler_ns_{&metrics_.histogram("sim.handler_ns", obs::Determinism::kHostTime,
+                                      kHandlerSampleMask + 1)} {}
+
+obs::WindowAggregator& Simulator::enable_telemetry(obs::TelemetryConfig config) {
+  if (telemetry_ == nullptr) {
+    telemetry_ = std::make_unique<obs::WindowAggregator>(&metrics_, &spans_, config);
+    spans_.set_sink(telemetry_.get());
+    for (auto& hook : telemetry_hooks_) hook(*telemetry_);
+    telemetry_hooks_.clear();
+  }
+  return *telemetry_;
+}
+
+void Simulator::on_telemetry(std::function<void(obs::WindowAggregator&)> hook) {
+  if (telemetry_ != nullptr) {
+    hook(*telemetry_);
+    return;
+  }
+  telemetry_hooks_.push_back(std::move(hook));
+}
 
 void Simulator::note_past_clamp() {
   ++past_clamps_;

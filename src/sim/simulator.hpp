@@ -18,10 +18,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "util/time.hpp"
 
@@ -104,6 +107,23 @@ class Simulator {
   /// System-wide causal span collector (per-message trace ids).
   obs::TraceCollector& spans() { return spans_; }
   const obs::TraceCollector& spans() const { return spans_; }
+
+  /// Create the streaming telemetry aggregator and install it as the
+  /// span collector's sink. Idempotent (later calls return the existing
+  /// aggregator; the first config wins). Queued on_telemetry hooks run
+  /// on first creation.
+  obs::WindowAggregator& enable_telemetry(obs::TelemetryConfig config = {});
+
+  /// The aggregator, or nullptr while telemetry is not enabled.
+  obs::WindowAggregator* telemetry() { return telemetry_.get(); }
+  const obs::WindowAggregator* telemetry() const { return telemetry_.get(); }
+
+  /// Register a hook that configures the aggregator (deadlines, bounds,
+  /// flow registration). Runs immediately if telemetry is already
+  /// enabled, otherwise when enable_telemetry is first called -- so
+  /// modules can bind observability without caring whether the harness
+  /// enables telemetry before or after wiring.
+  void on_telemetry(std::function<void(obs::WindowAggregator&)> hook);
 
   /// Schedule `action` once at absolute time `when`. Instants in the
   /// past clamp to now() and count in sim.schedule_past_clamped.
@@ -208,6 +228,8 @@ class Simulator {
 
   obs::MetricsRegistry metrics_;
   obs::TraceCollector spans_;
+  std::unique_ptr<obs::WindowAggregator> telemetry_;
+  std::vector<std::function<void(obs::WindowAggregator&)>> telemetry_hooks_;
   obs::Counter* events_dispatched_;         // sim.events_dispatched
   obs::Gauge* queue_depth_;                 // sim.queue_depth (live depth)
   obs::Histogram* handler_ns_;              // sim.handler_ns (host time, sampled)

@@ -27,6 +27,7 @@ void VirtualNetwork::register_input(tt::NodeId node, const std::string& message_
 }
 
 void VirtualNetwork::ensure_metrics(sim::Simulator& simulator) {
+  metrics_host_ = &simulator;
   if (delivered_metric_ != nullptr) return;
   obs::MetricsRegistry& metrics = simulator.metrics();
   delivered_metric_ = &metrics.counter("vn." + name_ + ".messages_delivered");
@@ -50,7 +51,14 @@ void VirtualNetwork::deposit_to_inputs(tt::Controller& controller,
     delivered.set_trace(instance.trace_id(), span);
   }
   for (Port* port : it->second) {
-    port->deposit(delivered, now);
+    if (!port->deposit(delivered, now)) {
+      // Consumer-side drop (full event queue): surfaced lazily so the
+      // instrument only exists in runs that actually overflowed.
+      if (deliver_overflow_metric_ == nullptr)
+        deliver_overflow_metric_ =
+            &metrics_host_->metrics().counter("vn." + name_ + ".deliver_overflow");
+      deliver_overflow_metric_->add();
+    }
     ++messages_delivered_;
     delivered_metric_->add();
     bytes_delivered_ += wire_bytes;

@@ -81,6 +81,11 @@ class VirtualNetwork {
   obs::Counter* delivered_metric_ = nullptr;  // vn.<name>.messages_delivered
   obs::Counter* bytes_metric_ = nullptr;      // vn.<name>.bytes_delivered
   obs::Gauge* queue_depth_metric_ = nullptr;  // vn.<name>.queue_depth (high-water)
+  // vn.<name>.deliver_overflow: consumer-port event queues that dropped
+  // the delivered instance. Registered lazily on the first drop so
+  // healthy runs keep their dead-instrument audit clean.
+  obs::Counter* deliver_overflow_metric_ = nullptr;
+  sim::Simulator* metrics_host_ = nullptr;
 };
 
 }  // namespace decos::vn

@@ -13,6 +13,7 @@
 
 #include "../helpers.hpp"
 #include "core/virtual_gateway.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/simulator.hpp"
 
 // Global allocation counter (same pattern as tests/obs/metrics_test.cpp):
@@ -175,6 +176,112 @@ TEST(HotPathAllocations, ScheduleCancelChurnAllocatesNothing) {
   EXPECT_EQ(g_allocations - before, 0u) << "schedule/cancel churn allocated";
   EXPECT_FALSE(fired);
   EXPECT_EQ(sim.pending(), 0u);
+}
+
+// -- streaming telemetry (obs/telemetry): the acceptance criterion of
+// the live-windowed-telemetry work is that the steady-state aggregation
+// path (span folding + window close + serialization) allocates nothing
+// once flows, the open-trace table, and the line buffers are warm. --
+
+namespace {
+
+/// Counts lines without touching the heap (no stream, no copies).
+class CountingTelemetrySink : public obs::TelemetrySink {
+ public:
+  void write_line(std::string_view line) override {
+    ++lines_;
+    bytes_ += line.size();
+  }
+  std::uint64_t lines() const { return lines_; }
+  std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t lines_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace
+
+TEST(HotPathAllocations, SteadyTelemetryAggregationAllocatesNothing) {
+  obs::MetricsRegistry registry;
+  obs::Counter& frames = registry.counter("tt.frames_sent");
+  obs::Gauge& depth = registry.gauge("vn.depth");
+  obs::Histogram& lat = registry.histogram("gw.latency_ns");
+
+  CountingTelemetrySink sink;
+  obs::TelemetryConfig config;
+  config.window = 1_ms;  // tiny window: closes happen inside the loop
+  config.max_open_traces = 64;
+  obs::WindowAggregator aggregator{&registry, nullptr, config};
+  aggregator.set_sink(&sink);
+  aggregator.begin_stream("hot-path");
+  aggregator.set_deadline("msgA->msgB", 5_ms);
+
+  // Spans are fed straight into the sink interface (what the collector
+  // does per emit), with pre-interned symbols: the contract under test
+  // is the aggregation path itself, not the collector's retention ring.
+  const Symbol track_node = intern_symbol("n");
+  const Symbol track_bus = intern_symbol("bus");
+  const Symbol track_gw = intern_symbol("gw");
+  const Symbol track_vn = intern_symbol("vn");
+  const Symbol msg_a = intern_symbol("msgA");
+  const Symbol msg_b = intern_symbol("msgB");
+  const Symbol slot_s = intern_symbol("s");
+  const Symbol element = intern_symbol("el");
+
+  std::uint64_t next_id = 1;
+  const auto span = [&](std::uint64_t trace, std::uint64_t parent, obs::Phase phase, Symbol track,
+                        Symbol name, Instant start, Instant end) {
+    obs::Span s;
+    s.trace_id = trace;
+    s.span_id = next_id++;
+    s.parent_id = parent;
+    s.phase = phase;
+    s.track = track;
+    s.name = name;
+    s.start = start;
+    s.end = end;
+    aggregator.on_span(s);
+    return s.span_id;
+  };
+
+  std::uint64_t next_trace = 1;
+  const auto emit_round = [&](int i) {
+    const Instant t0 = Instant::from_ns(std::int64_t{i} * 700'000);
+    const std::uint64_t trace = next_trace++;
+    const std::uint64_t root = span(trace, 0, obs::Phase::kSend, track_node, msg_a, t0, t0);
+    const std::uint64_t bus = span(trace, root, obs::Phase::kBus, track_bus, slot_s, t0,
+                                   t0 + 100_us);
+    const std::uint64_t dis = span(trace, bus, obs::Phase::kDissect, track_gw, msg_a, t0 + 100_us,
+                                   t0 + 110_us);
+    const std::uint64_t repo = span(trace, dis, obs::Phase::kRepoWait, track_gw, element,
+                                    t0 + 110_us, t0 + 200_us + 10_us * (i % 7));
+    const std::uint64_t con = span(trace, repo, obs::Phase::kConstruct, track_gw, msg_b,
+                                   t0 + 300_us, t0 + 310_us);
+    span(trace, con, obs::Phase::kDeliver, track_vn, msg_b, t0 + 310_us, t0 + 400_us);
+    if (obs::kMetricsEnabled) {
+      frames.add();
+      depth.set(i % 5);
+      lat.observe(1000 + (i % 3) * 500);
+    }
+  };
+
+  // Warm up: flows registered, table touched, line buffers and the
+  // metric-delta array at their high-water sizes (several window closes
+  // happen within 256 rounds at 0.7 ms per round / 1 ms windows).
+  for (int i = 0; i < 256; ++i) emit_round(i);
+  ASSERT_GT(sink.lines(), 2u) << "warmup closed no windows";
+
+  const std::size_t before = g_allocations;
+  for (int i = 256; i < 1024; ++i) emit_round(i);
+  EXPECT_EQ(g_allocations - before, 0u) << "steady-state telemetry aggregation allocated";
+  EXPECT_GT(sink.bytes(), 0u);
+
+  aggregator.flush();
+  const std::vector<obs::WindowAggregator::FlowTotals> totals = aggregator.totals();
+  ASSERT_EQ(totals.size(), 1u);
+  EXPECT_EQ(totals[0].traces, 1024u);
+  EXPECT_EQ(totals[0].deadline_miss, 0u);
 }
 
 TEST(HotPathAllocations, SteadyStateEventPipelineAllocatesNothing) {

@@ -145,6 +145,68 @@ TEST(DumpMerging, MetricsUnionAcrossCells) {
   EXPECT_TRUE(merged.dead_instruments().empty());
 }
 
+TEST(DumpMerging, ReplicatedCellsFoldOnce) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  // A run captured with both --trace-out and --metrics-out writes the
+  // identical cell snapshot into each file; feeding both files to
+  // decotrace used to double every counter. Cells that differ only in
+  // id but carry identical content dedup on the full key; genuinely
+  // distinct cells (different label or different values) still sum.
+  MetricsRegistry run1;
+  run1.counter("events").add(10);
+  run1.histogram("lat_ns").observe(1500);
+  MetricsRegistry run2;
+  run2.counter("events").add(32);
+
+  std::ostringstream out;
+  DumpWriter writer{out};
+  writer.begin_cell("run1");
+  writer.add_metrics(run1.snapshot());
+  writer.begin_cell("run2");
+  writer.add_metrics(run2.snapshot());
+  // The replica: run1's snapshot again, as a --metrics-out file would
+  // repeat it.
+  writer.begin_cell("run1");
+  writer.add_metrics(run1.snapshot());
+
+  std::istringstream in{out.str()};
+  Result<Dump> loaded = load_jsonl(in);
+  ASSERT_TRUE(loaded.ok());
+  const MetricsSnapshot merged = loaded.value().merged_metrics();
+  const MetricValue* events = merged.find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->value, 42);  // 10 + 32, replica folded once
+  const MetricValue* lat = merged.find("lat_ns");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, 1u);
+}
+
+TEST(DumpRoundtrip, SamplePeriodSurvives) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "metrics compiled out";
+  MetricsRegistry registry;
+  registry.histogram("sim.handler_ns", Determinism::kHostTime, 16).observe(700);
+  registry.histogram("gw.latency_ns").observe(1500);  // unsampled
+
+  std::ostringstream out;
+  DumpWriter writer{out};
+  writer.begin_cell("cell");
+  writer.add_metrics(registry.snapshot());
+  // Sampled instruments carry the factor; unsampled ones omit it.
+  EXPECT_NE(out.str().find("\"sample_period\":16"), std::string::npos);
+  EXPECT_EQ(out.str().find("\"sample_period\":1,"), std::string::npos);
+
+  std::istringstream in{out.str()};
+  Result<Dump> loaded = load_jsonl(in);
+  ASSERT_TRUE(loaded.ok());
+  const MetricsSnapshot merged = loaded.value().merged_metrics();
+  const MetricValue* sampled = merged.find("sim.handler_ns");
+  ASSERT_NE(sampled, nullptr);
+  EXPECT_EQ(sampled->sample_period, 16u);
+  const MetricValue* unsampled = merged.find("gw.latency_ns");
+  ASSERT_NE(unsampled, nullptr);
+  EXPECT_EQ(unsampled->sample_period, 1u);
+}
+
 TEST(ChromeTrace, MatchesGoldenOutput) {
   TraceCollector collector;
   const std::uint64_t trace = collector.new_trace();

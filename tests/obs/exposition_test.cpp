@@ -1,0 +1,114 @@
+// Prometheus-style text exposition (obs/exposition): golden output over
+// a hand-built snapshot + flow health, pinning the family names, label
+// escaping, and the sampled-instrument scaling lines.
+#include "obs/exposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace decos::obs {
+namespace {
+
+TEST(Exposition, NameSanitization) {
+  EXPECT_EQ(exposition_name("vn.comfort.queue_depth"), "vn_comfort_queue_depth");
+  EXPECT_EQ(exposition_name("gw.e6/x-y"), "gw_e6_x_y");
+  EXPECT_EQ(exposition_name("already_ok_123"), "already_ok_123");
+}
+
+TEST(Exposition, GoldenOutput) {
+  MetricsSnapshot snapshot;
+  {
+    MetricValue counter;
+    counter.name = "tt.frames_sent";
+    counter.kind = InstrumentKind::kCounter;
+    counter.value = 42;
+    snapshot.entries.push_back(counter);
+  }
+  {
+    MetricValue gauge;
+    gauge.name = "vn.a.queue_depth";
+    gauge.kind = InstrumentKind::kGauge;
+    gauge.value = 2;
+    gauge.high_water = 9;
+    snapshot.entries.push_back(gauge);
+  }
+  {
+    MetricValue histogram;
+    histogram.name = "sim.handler_ns";
+    histogram.kind = InstrumentKind::kHistogram;
+    histogram.sample_period = 16;
+    histogram.count = 468;
+    histogram.sum = 255164;
+    histogram.p50 = 255;
+    histogram.p99 = 8191;
+    snapshot.entries.push_back(histogram);
+  }
+
+  FlowHealth flow;
+  flow.flow = "msgA->msgB";
+  flow.traces = 3000;
+  flow.deadline_ns = 40'000'000;
+  flow.deadline_miss = 0;
+  flow.bound_ns = 21'000'000;
+  flow.bound_miss = 1;
+  FlowHealth::PhaseAgg& total = flow.phases["total"];
+  total.n = 3000;
+  total.sum_ns = 46'506'000'000;
+  total.min_ns = 13'000'000;
+  total.max_ns = 20'502'000;
+  total.values[13'000'000] = 750;
+  total.values[15'502'000] = 750;
+  total.values[18'000'000] = 750;
+  total.values[20'502'000] = 750;
+
+  std::ostringstream out;
+  write_exposition(out, snapshot, {flow});
+  EXPECT_EQ(out.str(),
+            "# TYPE decos_tt_frames_sent_total counter\n"
+            "decos_tt_frames_sent_total 42\n"
+            "# TYPE decos_vn_a_queue_depth gauge\n"
+            "decos_vn_a_queue_depth 2\n"
+            "# TYPE decos_vn_a_queue_depth_high_water gauge\n"
+            "decos_vn_a_queue_depth_high_water 9\n"
+            "# TYPE decos_sim_handler_ns summary\n"
+            "decos_sim_handler_ns{quantile=\"0.5\"} 255\n"
+            "decos_sim_handler_ns{quantile=\"0.99\"} 8191\n"
+            "decos_sim_handler_ns_count 468\n"
+            "decos_sim_handler_ns_sum 255164\n"
+            "# TYPE decos_sim_handler_ns_sample_period gauge\n"
+            "decos_sim_handler_ns_sample_period 16\n"
+            "# TYPE decos_sim_handler_ns_estimated_count gauge\n"
+            "decos_sim_handler_ns_estimated_count 7488\n"
+            "# TYPE decos_flow_traces_total counter\n"
+            "decos_flow_traces_total{flow=\"msgA->msgB\"} 3000\n"
+            "# TYPE decos_flow_deadline_ns gauge\n"
+            "decos_flow_deadline_ns{flow=\"msgA->msgB\"} 40000000\n"
+            "# TYPE decos_flow_deadline_miss_total counter\n"
+            "decos_flow_deadline_miss_total{flow=\"msgA->msgB\"} 0\n"
+            "# TYPE decos_flow_bound_ns gauge\n"
+            "decos_flow_bound_ns{flow=\"msgA->msgB\"} 21000000\n"
+            "# TYPE decos_flow_bound_miss_total counter\n"
+            "decos_flow_bound_miss_total{flow=\"msgA->msgB\"} 1\n"
+            "# TYPE decos_flow_latency_ns summary\n"
+            "decos_flow_latency_ns{flow=\"msgA->msgB\",phase=\"total\",quantile=\"0.5\"} "
+            "15502000\n"
+            "decos_flow_latency_ns{flow=\"msgA->msgB\",phase=\"total\",quantile=\"0.99\"} "
+            "20502000\n"
+            "decos_flow_latency_ns_count{flow=\"msgA->msgB\",phase=\"total\"} 3000\n"
+            "decos_flow_latency_ns_sum{flow=\"msgA->msgB\",phase=\"total\"} 46506000000\n");
+}
+
+TEST(Exposition, EscapesLabelValues) {
+  MetricsSnapshot snapshot;
+  FlowHealth flow;
+  flow.flow = "msg\"A\\B";
+  flow.traces = 1;
+  std::ostringstream out;
+  write_exposition(out, snapshot, {flow});
+  EXPECT_NE(out.str().find("decos_flow_traces_total{flow=\"msg\\\"A\\\\B\"} 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace decos::obs

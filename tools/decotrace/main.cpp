@@ -124,6 +124,11 @@ obs::json::Value metrics_to_json(const obs::MetricsSnapshot& snapshot) {
         o.emplace_back("p50", m.p50);
         o.emplace_back("p90", m.p90);
         o.emplace_back("p99", m.p99);
+        if (m.sample_period != 1) {
+          o.emplace_back("sample_period", std::int64_t{m.sample_period});
+          o.emplace_back("estimated_count",
+                         static_cast<std::int64_t>(m.count * std::uint64_t{m.sample_period}));
+        }
         break;
     }
     out.push_back(obs::json::Value{std::move(o)});
@@ -202,12 +207,18 @@ void print_metrics(const obs::MetricsSnapshot& snapshot) {
         std::printf("%-44s gauge      %lld (high %lld)\n", m.name.c_str(),
                     static_cast<long long>(m.value), static_cast<long long>(m.high_water));
         break;
-      case obs::InstrumentKind::kHistogram:
+      case obs::InstrumentKind::kHistogram: {
+        std::string notes;
+        if (m.sample_period != 1)
+          notes = " (1-in-" + std::to_string(m.sample_period) +
+                  " sampled, ~" + std::to_string(m.count * std::uint64_t{m.sample_period}) +
+                  " events)";
+        if (!m.deterministic) notes += " (host time)";
         std::printf("%-44s histogram  n=%llu p50=%lld p99=%lld max=%lld%s\n", m.name.c_str(),
                     static_cast<unsigned long long>(m.count), static_cast<long long>(m.p50),
-                    static_cast<long long>(m.p99), static_cast<long long>(m.max),
-                    m.deterministic ? "" : " (host time)");
+                    static_cast<long long>(m.p99), static_cast<long long>(m.max), notes.c_str());
         break;
+      }
     }
   }
 }
