@@ -1,0 +1,331 @@
+// E21 -- Mega-cluster scaling on the partitioned event kernel (S28).
+//
+// E19 packs DAS pairs onto a fixed 8-node cluster; E21 scales the other
+// axis: whole *islands* of 8 nodes, each carrying its own DAS pairs (TT
+// VN + ET VN + hidden gateway per pair), are packed into one cell until
+// the cluster holds hundreds of nodes and hundreds of VNs and gateways.
+// Islands never exchange application messages, so the deployment-derived
+// partitioning (platform::derive_partitions) maps every island onto its
+// own event wheel and the simulation runs the conservative parallel
+// loop: island wheels execute between TDMA-lookahead barriers on
+// `--sim-jobs` workers while slot transmissions, bus fan-out and fault
+// injections stay on the single-threaded global wheel.
+//
+// The claim under test is the S28 contract: stdout, BENCH_E21.json, the
+// trace/metrics dumps and the telemetry stream are byte-identical at any
+// --sim-jobs (checked by scripts/check_parallel_determinism.py --vary
+// sim-jobs), while wall clock per simulated second drops with workers on
+// multi-core hosts.
+//
+// Modes:
+//   default           sweep the scale ladder x sim-jobs {1,2,4,8}; print
+//                     wall ms per simulated second and speedup vs 1, and
+//                     cross-check fingerprints across worker counts
+//   --sim-jobs N      single-point mode: run the ladder at exactly N
+//                     workers and print *no* worker-count-dependent
+//                     output at all -- two runs at different N must be
+//                     byte-identical (the determinism harness mode)
+//   --nodes N         replace the ladder with the single scale N
+//   --quick           CI smoke shape: one small scale, short run
+//   --no-wall         omit timing-derived output in sweep mode too
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/gateway_job.hpp"
+#include "core/wiring.hpp"
+#include "fault/plan.hpp"
+#include "platform/cluster.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
+
+using namespace decos;
+using namespace decos::bench;
+using namespace decos::literals;
+
+namespace {
+
+constexpr std::size_t kIslandNodes = 8;
+constexpr std::size_t kPairsPerIsland = 8;
+
+struct Outcome {
+  std::size_t islands = 0;
+  std::size_t vns = 0;
+  std::size_t gateways = 0;
+  std::uint64_t forwarded_total = 0;
+  std::uint64_t vn_messages = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_blocked = 0;
+  std::uint64_t sim_events = 0;
+  std::uint64_t fingerprint = 0;
+  double wall_ms_per_sim_s = 0.0;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// One mega-cluster cell: `nodes` must be a multiple of the island size.
+/// `cell` null = no dump capture.
+Outcome run(Cell* cell, std::size_t nodes, std::size_t sim_jobs, Duration sim_time) {
+  const std::size_t islands = nodes / kIslandNodes;
+  const std::size_t pairs = islands * kPairsPerIsland;
+
+  platform::ClusterConfig config;
+  config.nodes = nodes;
+  config.round_length = 10_ms;
+  std::vector<std::vector<std::size_t>> couplings;
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const std::size_t island = p / kPairsPerIsland;
+    const std::size_t k = p % kPairsPerIsland;
+    const std::size_t base = island * kIslandNodes;
+    const auto producer = static_cast<tt::NodeId>(base + k % kIslandNodes);
+    const auto host = static_cast<tt::NodeId>(base + (k + 1) % kIslandNodes);
+    config.allocations.push_back(
+        {static_cast<tt::VnId>(1 + 2 * p), "dasA" + std::to_string(p), 32, {producer}});
+    config.allocations.push_back(
+        {static_cast<tt::VnId>(2 + 2 * p), "dasB" + std::to_string(p), 32, {host}});
+    // The host consumes the TT VN and hosts the gateway: it shares
+    // per-VN and per-gateway state with the producer, so they must land
+    // on one wheel. All couplings stay inside the island.
+    couplings.push_back({producer, host});
+  }
+  platform::derive_partitions(config, couplings);
+  config.sim_jobs = sim_jobs;
+  platform::Cluster cluster{config};
+
+  std::vector<std::unique_ptr<vn::TtVirtualNetwork>> tt_vns;
+  std::vector<std::unique_ptr<vn::EtVirtualNetwork>> et_vns;
+  std::vector<std::unique_ptr<core::VirtualGateway>> gateways;
+  std::vector<platform::Partition*> gw_partitions(nodes, nullptr);
+
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const std::size_t island = p / kPairsPerIsland;
+    const std::size_t k = p % kPairsPerIsland;
+    const std::size_t base = island * kIslandNodes;
+    const auto producer = static_cast<tt::NodeId>(base + k % kIslandNodes);
+    const auto host = static_cast<tt::NodeId>(base + (k + 1) % kIslandNodes);
+    const auto vn_a_id = static_cast<tt::VnId>(1 + 2 * p);
+    const auto vn_b_id = static_cast<tt::VnId>(2 + 2 * p);
+    const std::string tag = std::to_string(p);
+
+    tt_vns.push_back(std::make_unique<vn::TtVirtualNetwork>("tt" + tag, vn_a_id));
+    auto& vn_a = *tt_vns.back();
+    vn_a.register_message(state_message("msgA" + tag, "img", 1));
+    et_vns.push_back(std::make_unique<vn::EtVirtualNetwork>("et" + tag, vn_b_id));
+    auto& vn_b = *et_vns.back();
+    // Partitioned kernel: a parallel phase must never be the first to
+    // register an instrument, so every VN pre-registers its full set.
+    vn_a.preregister_metrics(cluster.simulator());
+    vn_b.preregister_metrics(cluster.simulator());
+
+    spec::LinkSpec link_a{"dasA" + tag};
+    link_a.add_message(state_message("msgA" + tag, "img", 1));
+    link_a.add_port(input_port("msgA" + tag, spec::InfoSemantics::kState,
+                               spec::ControlParadigm::kTimeTriggered, config.round_length, 1_us,
+                               Duration::seconds(3600)));
+    spec::LinkSpec link_b{"dasB" + tag};
+    link_b.add_message(state_message("msgB" + tag, "img", 2));
+    link_b.add_port(output_port("msgB" + tag, spec::InfoSemantics::kState,
+                                spec::ControlParadigm::kEventTriggered, Duration::zero()));
+    gateways.push_back(std::make_unique<core::VirtualGateway>("gw" + tag, std::move(link_a),
+                                                              std::move(link_b)));
+    auto& gw = *gateways.back();
+    gw.finalize();
+    gw.bind_observability(cluster.simulator());
+    core::wire_tt_link(gw, 0, vn_a, cluster.controller(host), {});
+    core::wire_et_link(gw, 1, vn_b, cluster.controller(host), cluster.vn_slots(vn_b_id, host));
+    if (gw_partitions[host] == nullptr) {
+      gw_partitions[host] = &cluster.component(host).add_partition("gw", "architecture", 0_ms, 2_ms);
+    }
+    gw_partitions[host]->add_job(std::make_unique<core::GatewayJob>(gw));
+
+    platform::Partition& pp = cluster.component(producer).add_partition(
+        "p" + tag, "dasA" + tag, 3_ms + Duration::microseconds(static_cast<std::int64_t>(k) * 300),
+        200_us);
+    platform::FunctionJob& job = pp.add_function_job(
+        "prod" + tag, [&vn_a, tag](platform::FunctionJob& self, Instant now) {
+          self.ports()[0]->deposit(
+              state_instance(*vn_a.message_spec("msgA" + tag),
+                             static_cast<std::int64_t>(self.activations()), now),
+              now);
+        });
+    job.set_execution_time(10_us);
+    vn_a.attach_sender(cluster.controller(producer),
+                       job.add_port(output_port("msgA" + tag, spec::InfoSemantics::kState,
+                                                spec::ControlParadigm::kTimeTriggered,
+                                                config.round_length)),
+                       cluster.vn_slots(vn_a_id, producer));
+  }
+
+  // Fault-plan traffic crosses the partition boundary through the global
+  // wheel: a transient crash (membership churn seen by every island) and
+  // a babbling burst the guardian must contain.
+  fault::FaultPlan faults{cluster.simulator()};
+  faults.crash(cluster.controller(2), Instant::origin() + sim_time / 3, sim_time / 6);
+  faults.babble(cluster.controller((kIslandNodes + 3) % nodes), Instant::origin() + sim_time / 2,
+                /*slot_index=*/0, /*vn=*/tt::kCoreVn, /*count=*/16, /*gap=*/500_us);
+
+  if (cell != nullptr) cell->configure(cluster.simulator());
+  const auto wall_start = std::chrono::steady_clock::now();
+  cluster.start();
+  cluster.run_for(sim_time);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+          .count();
+  if (cell != nullptr) cell->capture("nodes=" + std::to_string(nodes), cluster.simulator());
+
+  Outcome o;
+  o.islands = islands;
+  o.vns = 2 * pairs;
+  o.gateways = pairs;
+  for (const auto& gw : gateways) o.forwarded_total += gw->stats().messages_constructed;
+  for (const auto& vn : tt_vns) o.vn_messages += vn->messages_delivered();
+  for (const auto& vn : et_vns) o.vn_messages += vn->messages_delivered();
+  o.frames_delivered = cluster.bus().frames_delivered();
+  o.frames_blocked = cluster.bus().frames_blocked();
+  o.sim_events = cluster.simulator().dispatched();
+  o.wall_ms_per_sim_s = wall_ms / sim_time.as_seconds();
+  std::uint64_t h = 14695981039346656037ull;
+  h = fnv1a(h, o.sim_events);
+  h = fnv1a(h, o.forwarded_total);
+  h = fnv1a(h, o.vn_messages);
+  h = fnv1a(h, o.frames_delivered);
+  h = fnv1a(h, o.frames_blocked);
+  h = fnv1a(h, static_cast<std::uint64_t>(cluster.precision().ns()));
+  o.fingerprint = h;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Harness harness{argc, argv, "e21"};
+  bool quick = false;
+  bool no_wall = false;
+  bool single_point = false;  // --sim-jobs given: worker-count-free output
+  std::size_t nodes_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg == "--no-wall") no_wall = true;
+    if (arg == "--sim-jobs") single_point = true;
+    if (arg == "--nodes" && i + 1 < argc) {
+      const long n = std::atol(argv[++i]);
+      if (n < static_cast<long>(kIslandNodes) || n % static_cast<long>(kIslandNodes) != 0)
+        harness.usage_error("--nodes expects a positive multiple of " +
+                            std::to_string(kIslandNodes));
+      nodes_override = static_cast<std::size_t>(n);
+    }
+  }
+  const Duration sim_time = quick ? Duration::milliseconds(300) : 1_s;
+  std::vector<std::size_t> ladder =
+      quick ? std::vector<std::size_t>{32} : std::vector<std::size_t>{128, 256};
+  if (nodes_override != 0) ladder = {nodes_override};
+
+  title("E21  mega-cluster scaling on the partitioned event kernel",
+        "hundreds of nodes / VNs / gateways in one simulation; island-partitioned "
+        "event wheels run on --sim-jobs workers, byte-identical to serial");
+
+  obs::json::Object events_json;
+  obs::json::Object fingerprints_json;
+  obs::json::Object wall_json;
+  obs::json::Object speedup_json;
+  bool deterministic = true;
+
+  if (single_point) {
+    // Determinism-harness mode: exactly the requested worker count, and
+    // nothing in the output depends on it.
+    row("%-8s %8s %6s %10s %12s %14s %14s %12s  %-16s", "nodes", "islands", "VNs", "gateways",
+        "forwarded", "vn msgs", "frames", "sim events", "fingerprint");
+    for (const std::size_t n : ladder) {
+      Cell cell{harness, "nodes=" + std::to_string(n)};
+      const Outcome o = run(&cell, n, harness.sim_jobs(), sim_time);
+      harness.commit(cell);
+      row("%-8zu %8zu %6zu %10zu %12llu %14llu %14llu %12llu  %016llx", n, o.islands,
+          o.vns, o.gateways, static_cast<unsigned long long>(o.forwarded_total),
+          static_cast<unsigned long long>(o.vn_messages),
+          static_cast<unsigned long long>(o.frames_delivered),
+          static_cast<unsigned long long>(o.sim_events),
+          static_cast<unsigned long long>(o.fingerprint));
+      events_json.emplace_back(std::to_string(n), static_cast<std::int64_t>(o.sim_events));
+      char fp[32];
+      std::snprintf(fp, sizeof fp, "%016llx", static_cast<unsigned long long>(o.fingerprint));
+      fingerprints_json.emplace_back(std::to_string(n), std::string{fp});
+    }
+  } else {
+    const std::vector<std::size_t> sim_jobs_ladder{1, 2, 4, 8};
+    row("%-8s %10s %12s %12s %12s  %-16s %14s %9s", "nodes", "sim-jobs", "forwarded", "frames",
+        "sim events", "fingerprint", "wall ms/sim s", "speedup");
+    for (const std::size_t n : ladder) {
+      double wall_sj1 = 0.0;
+      Outcome first;
+      obs::json::Object scale_wall;
+      obs::json::Object scale_speedup;
+      for (const std::size_t sj : sim_jobs_ladder) {
+        // Only the sj=1 run captures dumps: artifacts must not repeat
+        // per worker count (they are identical by construction; the
+        // determinism harness checks that claim separately).
+        Cell cell{harness, "nodes=" + std::to_string(n)};
+        const Outcome o = run(sj == sim_jobs_ladder.front() ? &cell : nullptr, n, sj, sim_time);
+        harness.commit(cell);
+        if (sj == sim_jobs_ladder.front()) {
+          first = o;
+          wall_sj1 = o.wall_ms_per_sim_s;
+        } else if (o.fingerprint != first.fingerprint || o.sim_events != first.sim_events) {
+          deterministic = false;
+        }
+        const double speedup = o.wall_ms_per_sim_s > 0.0 ? wall_sj1 / o.wall_ms_per_sim_s : 0.0;
+        if (no_wall) {
+          row("%-8zu %10zu %12llu %12llu %12llu  %016llx %14s %9s", n, sj,
+              static_cast<unsigned long long>(o.forwarded_total),
+              static_cast<unsigned long long>(o.frames_delivered),
+              static_cast<unsigned long long>(o.sim_events),
+              static_cast<unsigned long long>(o.fingerprint), "-", "-");
+        } else {
+          row("%-8zu %10zu %12llu %12llu %12llu  %016llx %14.1f %8.2fx", n, sj,
+              static_cast<unsigned long long>(o.forwarded_total),
+              static_cast<unsigned long long>(o.frames_delivered),
+              static_cast<unsigned long long>(o.sim_events),
+              static_cast<unsigned long long>(o.fingerprint), o.wall_ms_per_sim_s, speedup);
+          scale_wall.emplace_back(std::to_string(sj), o.wall_ms_per_sim_s);
+          scale_speedup.emplace_back(std::to_string(sj), speedup);
+        }
+      }
+      events_json.emplace_back(std::to_string(n), static_cast<std::int64_t>(first.sim_events));
+      char fp[32];
+      std::snprintf(fp, sizeof fp, "%016llx", static_cast<unsigned long long>(first.fingerprint));
+      fingerprints_json.emplace_back(std::to_string(n), std::string{fp});
+      if (!no_wall) {
+        wall_json.emplace_back(std::to_string(n), obs::json::Value{std::move(scale_wall)});
+        speedup_json.emplace_back(std::to_string(n), obs::json::Value{std::move(scale_speedup)});
+      }
+    }
+    row("");
+    row("determinism across --sim-jobs 1/2/4/8: %s", deterministic ? "OK" : "MISMATCH");
+  }
+
+  harness.set_json("sim_events", obs::json::Value{std::move(events_json)});
+  harness.set_json("fingerprints", obs::json::Value{std::move(fingerprints_json)});
+  if (!single_point && !no_wall) {
+    harness.set_json("wall_ms_per_sim_s", obs::json::Value{std::move(wall_json)});
+    harness.set_json("speedup", obs::json::Value{std::move(speedup_json)});
+  }
+
+  if (!single_point) {
+    row("");
+    row("expected shape: per-scale counters and fingerprints are identical at");
+    row("every --sim-jobs (the S28 byte-identity contract); wall ms per simulated");
+    row("second falls as workers are added on multi-core hosts (on a single-core");
+    row("host the barrier overhead makes sim-jobs > 1 slightly slower, never wrong).");
+  }
+  return deterministic ? 0 : 1;
+}

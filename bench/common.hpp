@@ -50,8 +50,15 @@ class Cell;
 ///   --telemetry-window DUR    tumbling window length (e.g. 100ms, 50000us,
 ///                             plain integer = ns; default 100ms)
 ///   --telemetry-bounds FILE   declint JSON flow bounds checked live
-///   --jobs N            worker threads for the cell sweep (default:
+///   --jobs N            worker threads for the cell sweep: whole
+///                       experiment cells run concurrently (default:
 ///                       hardware concurrency, capped at 8)
+///   --sim-jobs N        worker threads *inside* one simulation: the S28
+///                       partitioned kernel runs partition event wheels
+///                       on N workers between TDMA-lookahead barriers,
+///                       byte-identical to --sim-jobs 1 (default 1;
+///                       only benches that partition their cluster --
+///                       e.g. E21 -- are affected)
 ///   --filter SUBSTR     only run cells whose label contains SUBSTR
 ///
 /// A dump flag with a missing or empty value is a usage error (exit 2),
@@ -91,8 +98,16 @@ class Harness {
         char* end = nullptr;
         const long n = std::strtol(v.c_str(), &end, 10);
         if (end == nullptr || *end != '\0' || n < 1)
-          usage_error("--jobs expects a positive integer, got '" + v + "'");
+          usage_error("--jobs expects a positive integer (cell-sweep workers), got '" + v + "'");
         jobs_ = static_cast<std::size_t>(n);
+      } else if (arg == "--sim-jobs") {
+        const std::string v = value();
+        char* end = nullptr;
+        const long n = std::strtol(v.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1)
+          usage_error("--sim-jobs expects a positive integer (in-simulation partition workers), "
+                      "got '" + v + "'");
+        sim_jobs_ = static_cast<std::size_t>(n);
       }
     }
     if (json_out_.empty()) json_out_ = "BENCH_" + id_ + ".json";
@@ -128,7 +143,9 @@ class Harness {
                  "error: %s\n"
                  "usage: %s [--json-out FILE] [--trace-out FILE] [--metrics-out FILE]\n"
                  "       [--telemetry-out FILE] [--telemetry-window DUR]\n"
-                 "       [--telemetry-bounds FILE] [--jobs N] [--filter SUBSTR]\n"
+                 "       [--telemetry-bounds FILE] [--jobs N] [--sim-jobs N] [--filter SUBSTR]\n"
+                 "  --jobs N      cell-sweep workers (cells in parallel, S25)\n"
+                 "  --sim-jobs N  partition workers inside one simulation (S28)\n"
                  "       (plus experiment-specific flags; see EXPERIMENTS.md)\n",
                  message.c_str(), program_.c_str());
     std::exit(2);
@@ -142,8 +159,12 @@ class Harness {
     return telemetry_bounds_;
   }
 
-  /// Worker threads for the cell sweep.
+  /// Worker threads for the cell sweep (whole cells in parallel).
   std::size_t jobs() const { return jobs_; }
+
+  /// Worker threads inside one simulation (S28 partitioned kernel);
+  /// distinct from --jobs, which parallelizes across cells. 1 = inline.
+  std::size_t sim_jobs() const { return sim_jobs_; }
 
   /// Cell-label filter; cells whose label does not contain it are
   /// skipped entirely (not run, not printed).
@@ -284,6 +305,7 @@ class Harness {
   std::string json_out_;
   std::string filter_;
   std::size_t jobs_ = util::TaskPool::default_workers();
+  std::size_t sim_jobs_ = 1;
   std::vector<std::string> lines_;
   std::vector<std::pair<std::string, obs::json::Value>> extra_;
   std::ostringstream trace_stream_;

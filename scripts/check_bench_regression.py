@@ -2,7 +2,7 @@
 """Compare a fresh benchmark run against the committed baseline.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json
-           [--suite e11|e20|e19] [--max-ratio R]
+           [--suite e11|e20|e19|e21] [--max-ratio R]
 
 Suites mirror the harness-emitted JSON of each benchmark binary:
 
@@ -13,6 +13,14 @@ Suites mirror the harness-emitted JSON of each benchmark binary:
                             (schedule/fire, cancel, periodic, churn);
                             `speedups` must keep the wheel-vs-reference
                             wins.
+  e21  bench_e21_megacluster `sim_events` and `fingerprints` per node
+                            scale must match the baseline EXACTLY (the
+                            partitioned kernel's S28 byte-identity
+                            contract: a changed count or fingerprint
+                            means dispatch behaviour changed, at any
+                            --sim-jobs); `wall_ms_per_sim_s` per
+                            (scale, sim-jobs) cell is ratio-checked
+                            loosely, like every cross-machine timing.
   e19  bench_e19_scalability `wall_ms_per_sim_s` per DAS-pair count must
                             not blow past baseline * max-ratio. Since the
                             parallel sweep engine (S25) the metric is
@@ -82,6 +90,9 @@ SUITES = {
     # Whole-simulation per-cell thread-CPU time; handled by check_e19,
     # not benchmark rows. max_ratio is extra loose: end-to-end timing.
     "e19": {"max_ratio": 2.0},
+    # Mega-cluster suite; handled by check_e21. Counters/fingerprints are
+    # exact (determinism, no tolerance), wall clock is extra loose.
+    "e21": {"max_ratio": 2.0},
 }
 
 
@@ -167,6 +178,62 @@ def check_e19(base_doc, current_doc, max_ratio, failures):
                 f"{base_events[pairs]} (kernel determinism broken)")
 
 
+def check_e21(base_doc, current_doc, max_ratio, failures):
+    # Exact guards first: the simulated workload is deterministic at any
+    # --sim-jobs, so the dispatch count and the outcome fingerprint of a
+    # scale must be bit-identical to the baseline on any machine.
+    base_events = base_doc.get("sim_events", {})
+    cur_events = current_doc.get("sim_events", {})
+    compared = 0
+    for nodes in sorted(base_events, key=int):
+        if nodes not in cur_events:
+            continue
+        compared += 1
+        match = base_events[nodes] == cur_events[nodes]
+        status = "ok" if match else "DIVERGED"
+        print(f"sim_events[{nodes:>4s} nodes]      base {base_events[nodes]:10d}  "
+              f"cur {cur_events[nodes]:10d}  {status}")
+        if not match:
+            failures.append(
+                f"sim_events[{nodes}]: {cur_events[nodes]} != baseline "
+                f"{base_events[nodes]} (partitioned-kernel determinism broken)")
+    if compared == 0:
+        print("error: no node scale appears in both files -- stale baseline?",
+              file=sys.stderr)
+        failures.append("empty e21 scale intersection")
+
+    base_fp = base_doc.get("fingerprints", {})
+    cur_fp = current_doc.get("fingerprints", {})
+    for nodes in sorted(base_fp, key=int):
+        if nodes not in cur_fp:
+            continue
+        match = base_fp[nodes] == cur_fp[nodes]
+        status = "ok" if match else "DIVERGED"
+        print(f"fingerprint[{nodes:>4s} nodes]     base {base_fp[nodes]}  "
+              f"cur {cur_fp[nodes]}  {status}")
+        if not match:
+            failures.append(
+                f"fingerprints[{nodes}]: {cur_fp[nodes]} != baseline {base_fp[nodes]}")
+
+    # Loose wall-clock guard per (scale, sim-jobs) cell; absent when
+    # either run used --no-wall.
+    base_wall = base_doc.get("wall_ms_per_sim_s", {})
+    cur_wall = current_doc.get("wall_ms_per_sim_s", {})
+    for nodes in sorted(base_wall, key=int):
+        if nodes not in cur_wall:
+            continue
+        for sj in sorted(base_wall[nodes], key=int):
+            if sj not in cur_wall[nodes] or base_wall[nodes][sj] <= 0:
+                continue
+            ratio = cur_wall[nodes][sj] / base_wall[nodes][sj]
+            status = "ok" if ratio <= max_ratio else "REGRESSED"
+            print(f"wall[{nodes:>4s} nodes, sj={sj}]    base {base_wall[nodes][sj]:8.1f}  "
+                  f"cur {cur_wall[nodes][sj]:8.1f}  ratio {ratio:5.2f}x  {status}")
+            if ratio > max_ratio:
+                failures.append(
+                    f"wall_ms_per_sim_s[{nodes}][{sj}]: {ratio:.2f}x > {max_ratio:.2f}x")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -186,6 +253,8 @@ def main():
     compared = 0
     if args.suite == "e19":
         check_e19(base_doc, current_doc, max_ratio, failures)
+    elif args.suite == "e21":
+        check_e21(base_doc, current_doc, max_ratio, failures)
     else:
         compared = check_rows(suite, base, cur, max_ratio, failures)
         check_speedups(suite, current_doc, failures)
@@ -197,6 +266,8 @@ def main():
         return 1
     if args.suite == "e19":
         print("\nperf-smoke ok (e19 wall + determinism)")
+    elif args.suite == "e21":
+        print("\nperf-smoke ok (e21 determinism + wall)")
     else:
         print(f"\nperf-smoke ok ({compared} rows compared)")
     return 0

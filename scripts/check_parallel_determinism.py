@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Assert a bench binary's artifacts are byte-identical for --jobs 1 and --jobs N.
+"""Assert a bench binary's artifacts are byte-identical for 1 and N workers.
 
-Usage: check_parallel_determinism.py BENCH_BINARY [--jobs N] [EXTRA_ARGS...]
+Usage: check_parallel_determinism.py BENCH_BINARY [--jobs N]
+           [--vary {jobs,sim-jobs}] [EXTRA_ARGS...]
 
 Runs BENCH_BINARY twice into a temp directory -- once with `--jobs 1`,
 once with `--jobs N` (default 8) -- passing any EXTRA_ARGS through to
@@ -24,6 +25,13 @@ Benches that need cross-run byte-identity of timing-derived *content*
 must hide it behind a flag (e19's --no-wall) and the ctest entry passes
 that flag via EXTRA_ARGS.
 
+`--vary sim-jobs` checks the same contract one level down (DESIGN.md
+S28): instead of the cell-sweep worker count it varies `--sim-jobs`, the
+worker count of the partitioned event kernel *inside* one simulation.
+Benches running partitioned clusters (e.g. E21) print no
+worker-count-dependent output when --sim-jobs is given, so the two runs
+must be byte-identical end to end.
+
 Exit 0 when identical, 1 with a unified diff head otherwise.
 """
 
@@ -37,12 +45,12 @@ import tempfile
 DETERMINISTIC_FALSE = '"deterministic":false'
 
 
-def run(binary, jobs, extra, outdir):
+def run(binary, flag, jobs, extra, outdir):
     tag = f"j{jobs}"
     json_out = outdir / f"{tag}.json"
     trace_out = outdir / f"{tag}.jsonl"
     telemetry_out = outdir / f"{tag}.telemetry.jsonl"
-    cmd = [binary, "--jobs", str(jobs), "--json-out", str(json_out),
+    cmd = [binary, flag, str(jobs), "--json-out", str(json_out),
            "--trace-out", str(trace_out), "--telemetry-out", str(telemetry_out),
            *extra]
     proc = subprocess.run(cmd, capture_output=True, text=True)
@@ -58,10 +66,10 @@ def filter_trace(text):
     return [line for line in text.splitlines() if DETERMINISTIC_FALSE not in line]
 
 
-def diff_head(name, a, b, limit=20):
-    print(f"FAIL: {name} differs between --jobs 1 and --jobs N", file=sys.stderr)
-    lines = difflib.unified_diff(a, b, fromfile=f"{name} (jobs=1)",
-                                 tofile=f"{name} (jobs=N)", lineterm="")
+def diff_head(name, flag, a, b, limit=20):
+    print(f"FAIL: {name} differs between {flag} 1 and {flag} N", file=sys.stderr)
+    lines = difflib.unified_diff(a, b, fromfile=f"{name} ({flag}=1)",
+                                 tofile=f"{name} ({flag}=N)", lineterm="")
     for i, line in enumerate(lines):
         if i >= limit:
             print("  ...", file=sys.stderr)
@@ -75,26 +83,31 @@ def main():
     parser.add_argument("binary")
     parser.add_argument("--jobs", type=int, default=8,
                         help="worker count for the parallel run (default 8)")
+    parser.add_argument("--vary", choices=["jobs", "sim-jobs"], default="jobs",
+                        help="which worker flag to vary: the cell-sweep "
+                             "workers (--jobs, S25) or the in-simulation "
+                             "partition workers (--sim-jobs, S28)")
     # Anything the parser does not recognise (past an optional "--") is
     # forwarded to both bench runs, e.g. --quick --no-wall.
     args, extra = parser.parse_known_args()
     args.extra = [a for a in extra if a != "--"]
+    flag = "--" + args.vary
 
     with tempfile.TemporaryDirectory(prefix="decos-determinism-") as tmp:
         outdir = pathlib.Path(tmp)
-        out1, json1, trace1, telemetry1 = run(args.binary, 1, args.extra, outdir)
-        outN, jsonN, traceN, telemetryN = run(args.binary, args.jobs, args.extra, outdir)
+        out1, json1, trace1, telemetry1 = run(args.binary, flag, 1, args.extra, outdir)
+        outN, jsonN, traceN, telemetryN = run(args.binary, flag, args.jobs, args.extra, outdir)
 
     failures = 0
     if out1 != outN:
-        diff_head("stdout", out1.splitlines(), outN.splitlines())
+        diff_head("stdout", flag, out1.splitlines(), outN.splitlines())
         failures += 1
     if json1 != jsonN:
-        diff_head("json-out", json1.decode().splitlines(), jsonN.decode().splitlines())
+        diff_head("json-out", flag, json1.decode().splitlines(), jsonN.decode().splitlines())
         failures += 1
     t1, tN = filter_trace(trace1), filter_trace(traceN)
     if t1 != tN:
-        diff_head("trace-out (deterministic lines)", t1, tN)
+        diff_head("trace-out (deterministic lines)", flag, t1, tN)
         failures += 1
     # The windowed telemetry stream makes the same promise as the trace
     # dump: sim-time windows are byte-deterministic; host-time metric
@@ -102,7 +115,7 @@ def main():
     # wall-clock artifact.
     w1, wN = filter_trace(telemetry1), filter_trace(telemetryN)
     if w1 != wN:
-        diff_head("telemetry-out (deterministic lines)", w1, wN)
+        diff_head("telemetry-out (deterministic lines)", flag, w1, wN)
         failures += 1
 
     if failures:
@@ -111,7 +124,7 @@ def main():
     windows = sum(1 for line in w1 if '"type":"window"' in line)
     print(f"determinism ok: stdout, json, {len(t1)} trace lines ({spans} spans), "
           f"and {len(w1)} telemetry lines ({windows} windows) byte-identical "
-          f"at --jobs 1 vs --jobs {args.jobs}")
+          f"at {flag} 1 vs {flag} {args.jobs}")
     return 0
 
 

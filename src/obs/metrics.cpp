@@ -25,7 +25,9 @@ std::int64_t Histogram::percentile_of(const std::uint64_t* bins, std::uint64_t c
 }
 
 std::int64_t Histogram::percentile(double p) const {
-  return percentile_of(bins_, count_, min(), max_, p);
+  std::uint64_t bins[kBins];
+  snapshot_bins(bins);
+  return percentile_of(bins, count(), min(), max(), p);
 }
 
 MetricsRegistry::Entry& MetricsRegistry::registered(std::string_view name, InstrumentKind kind,
@@ -43,6 +45,7 @@ MetricsRegistry::Entry& MetricsRegistry::registered(std::string_view name, Instr
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock{register_mutex_};
   Entry& entry = registered(name, InstrumentKind::kCounter, Determinism::kDeterministic);
   if (entry.counter == nullptr) {
     counters_.emplace_back();
@@ -52,6 +55,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock{register_mutex_};
   Entry& entry = registered(name, InstrumentKind::kGauge, Determinism::kDeterministic);
   if (entry.gauge == nullptr) {
     gauges_.emplace_back();
@@ -62,6 +66,7 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 
 Histogram& MetricsRegistry::histogram(std::string_view name, Determinism determinism,
                                       std::uint32_t sample_period) {
+  std::lock_guard<std::mutex> lock{register_mutex_};
   Entry& entry = registered(name, InstrumentKind::kHistogram, determinism);
   if (entry.histogram == nullptr) {
     histograms_.emplace_back();

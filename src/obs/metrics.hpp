@@ -11,17 +11,44 @@
 // only on the simulated run (identical across identical seeded runs,
 // enforced by a test); kHostTime values measure wall-clock cost of the
 // simulation itself and legitimately differ run to run.
+//
+// Updates are relaxed atomics: the partitioned kernel (S28) fires events
+// on TaskPool workers between barriers, and instruments shared across
+// partitions (services counters, the dispatch counter) take commutative
+// updates from several threads inside one parallel phase. Every shared
+// update commutes (add / observe / monotone max), so totals are
+// independent of thread interleaving; reads used for deterministic
+// artifacts happen only between phases, after the barrier's
+// happens-before edge.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 namespace decos::obs {
+
+/// Monotone max over an atomic slot (relaxed CAS loop); the building
+/// block for gauge high waters and histogram extremes under concurrent
+/// commutative updates.
+inline void atomic_raise(std::atomic<std::int64_t>& slot, std::int64_t v) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void atomic_lower(std::atomic<std::int64_t>& slot, std::int64_t v) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
 
 #ifdef DECOS_OBS_OFF
 inline constexpr bool kMetricsEnabled = false;
@@ -33,12 +60,19 @@ inline constexpr bool kMetricsEnabled = true;
 class Counter {
  public:
   void add(std::uint64_t n = 1) {
-    if constexpr (kMetricsEnabled) value_ += n;
+    if constexpr (kMetricsEnabled) value_.fetch_add(n, std::memory_order_relaxed);
   }
-  std::uint64_t value() const { return value_; }
+  /// Single-writer publish of a precomputed total: a plain store, no
+  /// RMW. For hot paths that keep their own tally and are never updated
+  /// concurrently (the event kernel publishes per-wheel dispatch counts
+  /// between parallel phases; see simulator.cpp).
+  void publish(std::uint64_t total) {
+    if constexpr (kMetricsEnabled) value_.store(total, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Last-value gauge with a high-water mark (e.g. queue depths). Besides
@@ -48,26 +82,40 @@ class Gauge {
  public:
   void set(std::int64_t v) {
     if constexpr (kMetricsEnabled) {
-      value_ = v;
-      if (v > high_water_) high_water_ = v;
-      if (v > window_high_) window_high_ = v;
-      ++updates_;
+      value_.store(v, std::memory_order_relaxed);
+      atomic_raise(high_water_, v);
+      atomic_raise(window_high_, v);
+      updates_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  std::int64_t value() const { return value_; }
-  std::int64_t high_water() const { return high_water_; }
+  /// Single-writer set(): same observable state, but plain loads and
+  /// stores only -- no RMW on the hot path. Callers guarantee no
+  /// concurrent updates (the kernel's queue-depth gauge only moves
+  /// between parallel phases).
+  void publish(std::int64_t v) {
+    if constexpr (kMetricsEnabled) {
+      value_.store(v, std::memory_order_relaxed);
+      if (v > high_water_.load(std::memory_order_relaxed))
+        high_water_.store(v, std::memory_order_relaxed);
+      if (v > window_high_.load(std::memory_order_relaxed))
+        window_high_.store(v, std::memory_order_relaxed);
+      updates_.store(updates_.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+    }
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t high_water() const { return high_water_.load(std::memory_order_relaxed); }
   /// High water since the last begin_window() (>= value()).
-  std::int64_t window_high_water() const { return window_high_; }
+  std::int64_t window_high_water() const { return window_high_.load(std::memory_order_relaxed); }
   /// Start a new telemetry window: the window high water restarts from
   /// the current value.
-  void begin_window() { window_high_ = value_; }
-  std::uint64_t updates() const { return updates_; }
+  void begin_window() { window_high_.store(value(), std::memory_order_relaxed); }
+  std::uint64_t updates() const { return updates_.load(std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
-  std::int64_t high_water_ = 0;
-  std::int64_t window_high_ = 0;
-  std::uint64_t updates_ = 0;
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> high_water_{0};
+  std::atomic<std::int64_t> window_high_{0};
+  std::atomic<std::uint64_t> updates_{0};
 };
 
 /// Fixed-bin histogram over non-negative integer samples (latencies in
@@ -82,28 +130,34 @@ class Histogram {
   void observe(std::int64_t sample) {
     if constexpr (kMetricsEnabled) {
       const std::uint64_t v = sample < 0 ? 0 : static_cast<std::uint64_t>(sample);
-      ++bins_[bit_width(v)];
-      ++count_;
-      sum_ += static_cast<std::int64_t>(v);
-      if (count_ == 1 || static_cast<std::int64_t>(v) < min_) min_ = static_cast<std::int64_t>(v);
-      if (static_cast<std::int64_t>(v) > max_) max_ = static_cast<std::int64_t>(v);
+      bins_[bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+      sum_.fetch_add(static_cast<std::int64_t>(v), std::memory_order_relaxed);
+      atomic_lower(min_, static_cast<std::int64_t>(v));
+      atomic_raise(max_, static_cast<std::int64_t>(v));
     }
   }
 
-  std::uint64_t count() const { return count_; }
-  std::int64_t sum() const { return sum_; }
-  std::int64_t min() const { return count_ == 0 ? 0 : min_; }
-  std::int64_t max() const { return max_; }
-  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::int64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    return count() == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(count());
+  }
 
   /// Upper bound of the bin holding the p-quantile (p in [0,1]), clamped
   /// to the exact observed maximum. 0 when empty.
   std::int64_t percentile(double p) const;
 
-  /// Raw bin counts (kBins entries). The telemetry aggregator keeps a
-  /// previous-bins copy per histogram and computes per-window percentiles
-  /// from the deltas.
-  const std::uint64_t* bins() const { return bins_; }
+  /// Copy the raw bin counts (kBins entries) into `out`. The telemetry
+  /// aggregator keeps a previous-bins copy per histogram and computes
+  /// per-window percentiles from the deltas.
+  void snapshot_bins(std::uint64_t out[kBins]) const {
+    for (int i = 0; i < kBins; ++i) out[i] = bins_[i].load(std::memory_order_relaxed);
+  }
 
   /// Percentile over an arbitrary bin array (e.g. a per-window delta):
   /// same arithmetic as percentile(), clamped into [lo, hi].
@@ -120,11 +174,11 @@ class Histogram {
     return w;
   }
 
-  std::uint64_t bins_[kBins] = {};
-  std::uint64_t count_ = 0;
-  std::int64_t sum_ = 0;
-  std::int64_t min_ = 0;
-  std::int64_t max_ = 0;
+  std::atomic<std::uint64_t> bins_[kBins] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{0};
 };
 
 /// Runs-vary-legitimately marker for host-clock instruments.
@@ -169,6 +223,16 @@ struct MetricsSnapshot {
 /// Owns instrument storage (stable addresses; modules cache references).
 /// Requesting an existing name of the same kind returns the same
 /// instrument; a kind clash throws.
+///
+/// Registration is mutex-guarded so lazily-registered instruments (first
+/// overflow, first clamp) stay memory-safe when the partitioned kernel
+/// fires events on several workers. Snapshots and for_each stay
+/// unguarded: they run between phases (barrier-ordered), never
+/// concurrently with a parallel phase. Note the determinism caveat:
+/// registration *order* feeds the telemetry fold, so partitioned setups
+/// must pre-register any instrument a parallel phase could create lazily
+/// (see Simulator::configure_partitions and VirtualNetwork::
+/// preregister_metrics).
 class MetricsRegistry {
  public:
   Counter& counter(std::string_view name);
@@ -215,6 +279,7 @@ class MetricsRegistry {
 
   Entry& registered(std::string_view name, InstrumentKind kind, Determinism determinism);
 
+  mutable std::mutex register_mutex_;
   std::deque<Counter> counters_;
   std::deque<Gauge> gauges_;
   std::deque<Histogram> histograms_;

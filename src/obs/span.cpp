@@ -1,6 +1,22 @@
 #include "obs/span.hpp"
 
+#include <cassert>
+#include <utility>
+
 namespace decos::obs {
+
+namespace {
+
+/// Thread-local routing installed by begin_partition: one partition
+/// stream per worker thread, compared against the owning collector so
+/// nested simulators cannot cross-route.
+struct ActiveStreamTls {
+  const TraceCollector* collector = nullptr;
+  std::size_t stream = 0;  // 1-based partition index
+};
+thread_local ActiveStreamTls t_active_stream;
+
+}  // namespace
 
 const char* phase_name(Phase phase) {
   switch (phase) {
@@ -24,18 +40,92 @@ void TraceCollector::set_capacity(std::size_t capacity) {
   }
 }
 
-std::uint64_t TraceCollector::emit(std::uint64_t trace_id, std::uint64_t parent_id, Phase phase,
-                                   Symbol track, Symbol name, Instant start, Instant end,
-                                   std::int64_t value) {
-  if (!enabled_) return 0;
-  const std::uint64_t span_id = next_span_++;
-  spans_.push_back(Span{trace_id, span_id, parent_id, phase, track, name, start, end, value});
+TraceCollector::PartitionStream* TraceCollector::active_stream() {
+  if (streams_.empty()) return nullptr;
+  if (t_active_stream.collector != this) return nullptr;
+  return &streams_[t_active_stream.stream - 1];
+}
+
+std::uint64_t TraceCollector::new_trace() {
+  const auto stride = static_cast<std::uint64_t>(streams_.size()) + 1;
+  if (PartitionStream* s = active_stream()) {
+    const auto stream_index = static_cast<std::uint64_t>(s - streams_.data()) + 1;
+    return 1 + stream_index + (s->next_trace++) * stride;
+  }
+  return 1 + (next_trace_++) * stride;
+}
+
+void TraceCollector::configure_partitions(std::size_t count) {
+  assert(streams_.empty() && "partition streams already configured");
+  streams_.resize(count);
+}
+
+void TraceCollector::begin_partition(std::size_t index) {
+  assert(index >= 1 && index <= streams_.size());
+  t_active_stream = ActiveStreamTls{this, index};
+}
+
+void TraceCollector::end_partition() { t_active_stream = ActiveStreamTls{}; }
+
+std::uint64_t TraceCollector::publish(Span span) {
+  span.span_id = next_span_++;
+  spans_.push_back(span);
   if (sink_ != nullptr) sink_->on_span(spans_.back());
   if (capacity_ != 0 && spans_.size() > capacity_) {
     spans_.pop_front();
     ++dropped_;
   }
-  return span_id;
+  return span.span_id;
+}
+
+std::uint64_t TraceCollector::emit(std::uint64_t trace_id, std::uint64_t parent_id, Phase phase,
+                                   Symbol track, Symbol name, Instant start, Instant end,
+                                   std::int64_t value) {
+  if (!enabled_) return 0;
+  if (PartitionStream* s = active_stream()) {
+    const auto stream_index = static_cast<std::uint64_t>(s - streams_.data()) + 1;
+    const std::uint64_t id =
+        kProvisionalBit | (stream_index << kStreamShift) | s->next_local++;
+    s->pending.push_back(Span{trace_id, id, parent_id, phase, track, name, start, end, value});
+    return id;
+  }
+  // Direct path (classic kernel, setup code, or the global phase of a
+  // partitioned run): parents handed across a barrier may still be
+  // provisional -- translate here, ids published by commits are final.
+  return publish(Span{trace_id, 0, resolve_span_id(parent_id), phase, track, name, start, end,
+                      value});
+}
+
+std::uint64_t TraceCollector::resolve_span_id(std::uint64_t id) const {
+  if ((id & kProvisionalBit) == 0) return id;
+  const auto stream = static_cast<std::size_t>((id >> kStreamShift) & 0x7fffu);
+  const std::uint64_t local = id & ((std::uint64_t{1} << kStreamShift) - 1);
+  assert(stream >= 1 && stream <= streams_.size() && "foreign provisional span id");
+  const PartitionStream& s = streams_[stream - 1];
+  assert(local < s.final_ids.size() && "provisional span referenced before its commit");
+  if (stream < 1 || stream > streams_.size() || local >= s.final_ids.size()) return 0;
+  return s.final_ids[local];
+}
+
+void TraceCollector::commit_partitions() {
+  for (PartitionStream& s : streams_) s.merge_pos = 0;
+  for (;;) {
+    // K-way merge: earliest end wins, partition index breaks ties, each
+    // stream drains in emission order (ends are monotone per stream, so
+    // the merged stream is globally end-monotone and every parent
+    // commits before its children).
+    PartitionStream* best = nullptr;
+    for (PartitionStream& s : streams_) {
+      if (s.merge_pos >= s.pending.size()) continue;
+      if (best == nullptr || s.pending[s.merge_pos].end < best->pending[best->merge_pos].end)
+        best = &s;
+    }
+    if (best == nullptr) break;
+    Span span = best->pending[best->merge_pos++];
+    span.parent_id = resolve_span_id(span.parent_id);
+    best->final_ids.push_back(publish(std::move(span)));
+  }
+  for (PartitionStream& s : streams_) s.pending.clear();
 }
 
 std::vector<const Span*> TraceCollector::trace(std::uint64_t trace_id) const {

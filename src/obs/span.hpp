@@ -14,9 +14,20 @@
 //           -> construct (outgoing message built)
 //             -> bus -> deliver (consumer port deposit)
 //
-// Spans are recorded complete (start and end known at emission; the
-// simulation is single-threaded). A bounded ring-buffer mode keeps long
-// runs at a fixed memory footprint.
+// Spans are recorded complete (start and end known at emission). A
+// bounded ring-buffer mode keeps long runs at a fixed memory footprint.
+//
+// Partitioned emission (S28): when the simulator runs its event load on
+// several partition wheels between barriers, each worker thread emits
+// into a private per-partition buffer (begin_partition routes the
+// calling thread). Buffered spans carry *provisional* ids; at every
+// barrier commit_partitions() merges the buffers in the canonical order
+// (end instant, then partition index, then per-partition emission
+// order), assigns final dense span ids from the shared counter, and
+// feeds the sink -- so the published span stream is byte-identical at
+// any worker count. Trace ids are strided by partition (stream s of P
+// allocates 1+s, 1+s+(P+1), ...) so a trace id handed out inside a
+// parallel phase is already final and never needs translation.
 #pragma once
 
 #include <cstdint>
@@ -89,7 +100,26 @@ class TraceCollector {
   std::uint64_t total_emitted() const { return next_span_ - 1; }
 
   /// Allocate a fresh trace id (0 is never returned; 0 marks "untraced").
-  std::uint64_t new_trace() { return next_trace_++; }
+  /// Inside a partition batch the id comes from the partition's strided
+  /// sequence; ids are unique and deterministic at any worker count.
+  std::uint64_t new_trace();
+
+  // -- Partitioned emission (S28) ------------------------------------
+  /// Allocate `count` partition streams (idempotent only before use).
+  void configure_partitions(std::size_t count);
+  std::size_t partition_count() const { return streams_.size(); }
+  /// Route the calling thread's emissions into partition `index`'s
+  /// buffer (1-based; engine-only, one thread per stream at a time).
+  void begin_partition(std::size_t index);
+  void end_partition();
+  /// Merge every buffered partition span in canonical order -- (end,
+  /// partition index, per-partition emission order) -- assign final span
+  /// ids, translate provisional parents, and publish through the normal
+  /// sink/ring path. Runs single-threaded at a barrier.
+  void commit_partitions();
+  /// Final id behind a possibly-provisional span id. Provisional ids
+  /// resolve only after the batch that emitted them has committed.
+  std::uint64_t resolve_span_id(std::uint64_t id) const;
 
   /// Record a complete span; returns its span id (0 when disabled).
   /// The Symbol form is the hot path (no string handling at all); the
@@ -119,13 +149,29 @@ class TraceCollector {
   SpanSink* sink() const { return sink_; }
 
  private:
+  /// Provisional span ids: bit 63 | stream index (1-based) | local seq.
+  static constexpr std::uint64_t kProvisionalBit = 1ull << 63;
+  static constexpr unsigned kStreamShift = 48;
+
+  struct PartitionStream {
+    std::uint64_t next_trace = 0;          // traces allocated by this stream
+    std::uint64_t next_local = 0;          // provisional seq (never reset)
+    std::vector<Span> pending;             // buffered since the last commit
+    std::vector<std::uint64_t> final_ids;  // local seq -> committed span id
+    std::size_t merge_pos = 0;             // commit-time merge cursor
+  };
+
+  PartitionStream* active_stream();
+  std::uint64_t publish(Span span);  // assign final id, sink, ring-evict
+
   bool enabled_ = true;
   SpanSink* sink_ = nullptr;
   std::size_t capacity_ = 0;
-  std::uint64_t next_trace_ = 1;
+  std::uint64_t next_trace_ = 0;  // traces allocated by the global stream
   std::uint64_t next_span_ = 1;
   std::uint64_t dropped_ = 0;
   std::deque<Span> spans_;
+  std::vector<PartitionStream> streams_;
 };
 
 }  // namespace decos::obs

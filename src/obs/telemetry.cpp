@@ -504,7 +504,8 @@ void WindowAggregator::fold_metrics() {
         const std::uint64_t c = ref.histogram->count();
         if (c != prev.hist_count) {
           std::uint64_t delta[Histogram::kBins];
-          const std::uint64_t* bins = ref.histogram->bins();
+          std::uint64_t bins[Histogram::kBins];
+          ref.histogram->snapshot_bins(bins);
           for (int b = 0; b < Histogram::kBins; ++b) delta[b] = bins[b] - prev.bins[b];
           const std::uint64_t dn = c - prev.hist_count;
           if (!first) out += ',';

@@ -6,6 +6,57 @@
 
 namespace decos::platform {
 
+namespace {
+
+std::size_t uf_find(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void uf_union(std::vector<std::size_t>& parent, std::size_t a, std::size_t b) {
+  // Root = smaller node index, so partition numbering follows node order.
+  const std::size_t ra = uf_find(parent, a);
+  const std::size_t rb = uf_find(parent, b);
+  if (ra < rb) parent[rb] = ra;
+  else parent[ra] = rb;
+}
+
+}  // namespace
+
+void derive_partitions(ClusterConfig& config,
+                       const std::vector<std::vector<std::size_t>>& couplings) {
+  config.partitions = 0;
+  config.node_partition.clear();
+  if (config.nodes == 0) return;
+  std::vector<std::size_t> parent(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) parent[i] = i;
+  for (const auto& allocation : config.allocations) {
+    for (std::size_t i = 1; i < allocation.sender_slots.size(); ++i)
+      uf_union(parent, allocation.sender_slots[0], allocation.sender_slots[i]);
+  }
+  for (const auto& group : couplings) {
+    for (std::size_t i = 1; i < group.size(); ++i) uf_union(parent, group[0], group[i]);
+  }
+  // Number the islands 1..P in order of their lowest node index.
+  std::vector<std::uint32_t> id_of_root(config.nodes, 0);
+  std::uint32_t next_id = 0;
+  config.node_partition.resize(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    const std::size_t root = uf_find(parent, i);
+    if (id_of_root[root] == 0) id_of_root[root] = ++next_id;
+    config.node_partition[i] = id_of_root[root];
+  }
+  if (next_id < 2) {
+    // One island: nothing to run in parallel, stay on the classic kernel.
+    config.node_partition.clear();
+    return;
+  }
+  config.partitions = next_id;
+}
+
 Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
   // Stamp log lines with this cluster's simulated time while it lives.
   log::set_time_provider(this, [](const void* owner) {
@@ -26,10 +77,23 @@ Cluster::Cluster(ClusterConfig config) : config_{std::move(config)} {
                                    Duration::milliseconds(1));
   simulator_.set_tick_resolution(tick);
 
+  if (config_.partitions > 0) {
+    if (config_.node_partition.size() != config_.nodes)
+      throw SpecError("node_partition must list one home wheel per node");
+    for (const std::uint32_t p : config_.node_partition)
+      if (p < 1 || p > config_.partitions)
+        throw SpecError("node_partition entries must be in [1, partitions]");
+    simulator_.configure_partitions(config_.partitions, config_.sim_jobs);
+  }
+
   const Duration period =
       config_.component_period.is_zero() ? config_.round_length : config_.component_period;
 
   for (std::size_t i = 0; i < config_.nodes; ++i) {
+    // Node-local construction runs under the node's home wheel: the
+    // controller (and the bus, at attach) capture their partition
+    // affinity from the ambient kernel here.
+    sim::KernelScope scope{simulator_, partition_of(i)};
     const double drift = i < config_.drift_ppm.size() ? config_.drift_ppm[i] : 0.0;
     controllers_.push_back(std::make_unique<tt::Controller>(
         simulator_, *bus_, static_cast<tt::NodeId>(i), sim::DriftingClock{drift}));
@@ -62,8 +126,14 @@ std::vector<std::size_t> Cluster::vn_slots(tt::VnId vn, tt::NodeId node) const {
 void Cluster::start() {
   if (started_) throw SpecError("cluster started twice");
   started_ = true;
-  for (auto& c : controllers_) c->start();
-  for (auto& c : components_) c->start();
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    sim::KernelScope scope{simulator_, partition_of(i)};
+    controllers_[i]->start();
+  }
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    sim::KernelScope scope{simulator_, partition_of(i)};
+    components_[i]->start();
+  }
 }
 
 Duration Cluster::precision() const {

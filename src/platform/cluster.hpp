@@ -32,7 +32,29 @@ struct ClusterConfig {
   std::uint64_t membership_silence_threshold = 1;
   /// Cyclic partition-schedule period; zero = use the round length.
   Duration component_period = Duration::zero();
+
+  // -- S28: partitioned event kernel ----------------------------------------
+  /// Number of partition event wheels (0 = classic serial kernel). When
+  /// nonzero the simulator runs the conservative parallel loop: node-local
+  /// work executes on per-partition wheels between TDMA-lookahead
+  /// barriers, byte-identical to `sim_jobs = 1`.
+  std::size_t partitions = 0;
+  /// Home wheel per node, 1-based, one entry per node. Every pair of
+  /// nodes that shares state (same VN, bridged by a gateway) must share a
+  /// wheel -- use derive_partitions() to compute this from the deployment.
+  std::vector<std::uint32_t> node_partition;
+  /// TaskPool workers driving the partition batches (`--sim-jobs`).
+  std::size_t sim_jobs = 1;
 };
+
+/// Derive the finest valid kernel partitioning from the deployment:
+/// union-find over the nodes, merging every allocation's sender set plus
+/// each extra `coupling` group (list receiver nodes and gateway hosts
+/// there -- anything sharing per-VN or per-gateway state). Fills
+/// `partitions`/`node_partition`; a deployment that collapses to fewer
+/// than two islands leaves the config classic (partitions = 0).
+void derive_partitions(ClusterConfig& config,
+                       const std::vector<std::vector<std::size_t>>& couplings = {});
 
 /// A fully assembled cluster. Owns every part; stable addresses.
 class Cluster {
@@ -60,6 +82,11 @@ class Cluster {
     return node < memberships_.size() ? memberships_[node].get() : nullptr;
   }
   vn::EncapsulationService& encapsulation() { return encapsulation_; }
+
+  /// Home wheel of `node` (0 when the kernel is classic).
+  std::uint32_t partition_of(std::size_t node) const {
+    return config_.partitions == 0 ? 0 : config_.node_partition[node];
+  }
 
   /// Slots of `vn` owned by `node` (for attaching VN senders).
   std::vector<std::size_t> vn_slots(tt::VnId vn, tt::NodeId node) const;

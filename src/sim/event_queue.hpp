@@ -36,7 +36,11 @@
 namespace decos::sim {
 
 /// Handle to a scheduled event; can be used to cancel it. Value 0 is
-/// never a live event (generations start at 1).
+/// never a live event (generations start at 1). Layout:
+/// [generation:32][kernel:8][pool index:24] -- the kernel byte names the
+/// event wheel that owns the node (0 = the global wheel, 1..N = the
+/// partition wheels of a partitioned simulator), so handles stay valid
+/// and routable across the kernel split.
 using EventId = std::uint64_t;
 
 enum class EventKind : std::uint8_t {
@@ -61,6 +65,7 @@ struct EventNode {
   std::uint32_t generation = 1;  // bumped on release; stale ids miss
   std::uint32_t index = 0;       // pool slot (stable for the node's life)
   std::uint32_t heap_index = 0;  // position while in the overflow heap
+  std::uint8_t kernel = 0;       // owning wheel (0 = global)
   EventKind kind = EventKind::kOneShot;
   NodeState state = NodeState::kFree;
   bool cancelled = false;  // deferred release (set while the node fires)
@@ -98,6 +103,14 @@ class EventQueue {
     cursor_tick_ = tick_of(now);
   }
 
+  /// Kernel byte stamped into the ids of this queue's nodes (0 = global
+  /// wheel; a partitioned simulator numbers its wheels 1..N).
+  void set_kernel(std::uint32_t kernel) {
+    assert(kernel < 256 && "kernel byte overflow");
+    kernel_id_ = static_cast<std::uint8_t>(kernel);
+  }
+  std::uint32_t kernel() const { return kernel_id_; }
+
   /// A node ready for emplacing an action; address-stable until released.
   EventNode* acquire() {
     if (free_ == nullptr) grow();
@@ -105,6 +118,7 @@ class EventQueue {
     free_ = n->next;
     n->next = nullptr;
     n->cancelled = false;
+    n->kernel = kernel_id_;
     return n;
   }
 
@@ -189,14 +203,39 @@ class EventQueue {
     if (tick > cursor_tick_) cursor_tick_ = tick;
   }
 
+  /// Earliest filed instant without popping, or Instant::max() when
+  /// empty. The conservative lookahead horizon of the partitioned
+  /// coordinator is the global wheel's earliest instant.
+  Instant earliest_time() {
+    if (live_ == 0) return Instant::max();
+    drain_overflow();
+    if (wheel_live_ == 0) return overflow_.front()->when;
+    // Wheel entries all precede overflow entries (the heap holds ticks
+    // beyond the wheel horizon), so the wheel minimum is the minimum.
+    const std::size_t b = first_occupied_bucket();
+    EventNode* best = buckets_[b];
+    for (EventNode* n = best->next; n != nullptr; n = n->next) {
+      if (n->before(*best)) best = n;
+    }
+    return best->when;
+  }
+
   /// Generation-tagged id for a live node.
   static EventId id_of(const EventNode* n) {
-    return (static_cast<EventId>(n->generation) << 32) | n->index;
+    assert(n->index < (1u << 24) && "event pool exceeds the 24-bit id space");
+    return (static_cast<EventId>(n->generation) << 32) |
+           (static_cast<EventId>(n->kernel) << 24) | n->index;
+  }
+
+  /// Owning-wheel byte of an id (0 = global wheel).
+  static std::uint32_t kernel_of(EventId id) {
+    return static_cast<std::uint32_t>((id >> 24) & 0xffu);
   }
 
   /// Node behind `id`, or nullptr if it already fired / was cancelled.
   EventNode* resolve(EventId id) const {
-    const std::uint32_t index = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const std::uint32_t index = static_cast<std::uint32_t>(id & 0xffffffu);
+    if (kernel_of(id) != kernel_id_) return nullptr;
     if (index >= slots_.size()) return nullptr;
     EventNode* n = slots_[index];
     if (n->state == NodeState::kFree) return nullptr;
@@ -328,6 +367,7 @@ class EventQueue {
   }
 
   std::uint64_t resolution_ns_ = 1000;  // 1 us default; Cluster re-derives
+  std::uint8_t kernel_id_ = 0;
   std::uint64_t cursor_tick_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;

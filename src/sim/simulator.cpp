@@ -1,5 +1,7 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace decos::sim {
 
 Simulator::Simulator()
@@ -26,28 +28,55 @@ void Simulator::on_telemetry(std::function<void(obs::WindowAggregator&)> hook) {
   telemetry_hooks_.push_back(std::move(hook));
 }
 
-void Simulator::note_past_clamp() {
-  ++past_clamps_;
-  // Registered lazily so the counter only appears in snapshots of runs
-  // that actually clamped (healthy runs keep their dead-instrument audit
-  // clean).
-  if (past_clamped_ == nullptr) past_clamped_ = &metrics_.counter("sim.schedule_past_clamped");
-  past_clamped_->add();
+void Simulator::configure_partitions(std::size_t count, std::size_t sim_jobs) {
+  assert(partitions_.empty() && "kernel already partitioned");
+  assert(pending() == 0 && "partition the kernel before scheduling events");
+  if (count == 0) return;
+  sim_jobs_ = std::max<std::size_t>(1, sim_jobs);
+  for (std::size_t i = 1; i <= count; ++i) {
+    partitions_.emplace_back();
+    Kernel& k = partitions_.back();
+    k.index = static_cast<std::uint32_t>(i);
+    k.now = global_.now;
+    k.queue.set_kernel(k.index);
+    k.queue.set_resolution(global_.queue.resolution(), k.now);
+  }
+  partitioned_ = true;
+  spans_.configure_partitions(count);
+  // Eager registration: a parallel phase must never be the first to
+  // register an instrument (registration order feeds the telemetry fold
+  // order, which must not depend on thread interleaving).
+  past_clamped_ = &metrics_.counter("sim.schedule_past_clamped");
+  pool_ = std::make_unique<util::TaskPool>(sim_jobs_);  // <=1 workers: inline
 }
 
-void Simulator::file(EventNode* n, Instant when) {
-  if (when < now_) {
-    when = now_;
-    note_past_clamp();
+void Simulator::note_past_clamp(Kernel& k) {
+  ++k.past_clamps;
+  if (in_partition_batch()) return;  // published at the barrier commit
+  // Registered lazily so the counter only appears in snapshots of runs
+  // that actually clamped (healthy runs keep their dead-instrument audit
+  // clean). Partitioned kernels pre-register it at configure time.
+  if (past_clamped_ == nullptr) past_clamped_ = &metrics_.counter("sim.schedule_past_clamped");
+  past_clamped_->add();
+  k.published_clamps = k.past_clamps;
+}
+
+void Simulator::file(Kernel& k, EventNode* n, Instant when) {
+  if (when < k.now) {
+    when = k.now;
+    note_past_clamp(k);
   }
-  queue_.insert(n, when);
+  k.queue.insert(n, when);
   update_depth();
 }
 
 bool Simulator::cancel(EventId id) {
-  EventNode* n = queue_.resolve(id);
+  Kernel& k = kernel_at(EventQueue::kernel_of(id));
+  assert((!in_partition_batch() || detail::t_active_kernel.index == k.index) &&
+         "partition batches may only cancel events of their own wheel");
+  EventNode* n = k.queue.resolve(id);
   if (n == nullptr || n->cancelled) return false;
-  if (n == firing_) {
+  if (n == k.firing) {
     // A one-shot cancelling itself mid-flight already fired: report
     // false, like the old kernel whose dispatch erased the map entry
     // before invoking.
@@ -55,83 +84,185 @@ bool Simulator::cancel(EventId id) {
     // Unfile the pre-filed next occurrence (periodic) if any; defer the
     // node release until its running callback returns -- releasing now
     // would destroy the callable that is executing.
-    queue_.remove(n);
+    k.queue.remove(n);
     n->cancelled = true;
     update_depth();
     return true;
   }
-  queue_.remove(n);
-  queue_.release(n);
+  k.queue.remove(n);
+  k.queue.release(n);
   update_depth();
   return true;
 }
 
-void Simulator::fire(EventNode* n) {
-  now_ = n->when;
-  ++dispatched_;
-  events_dispatched_->add();
+void Simulator::fire(Kernel& k, EventNode* n) {
+  k.now = n->when;
+  ++k.dispatched;
+  // The counter is published from the per-wheel tallies with a plain
+  // store (no RMW per event). Partition batches skip it entirely; the
+  // barrier commit folds their counts in before telemetry reads them.
+  if (!partitioned_) {
+    events_dispatched_->publish(k.dispatched);
+  } else if (!in_partition_batch()) {
+    events_dispatched_->publish(partition_dispatched_ + global_.dispatched);
+  }
   if (n->kind == EventKind::kPeriodic) {
     // File the next occurrence before the callback: same seq-assignment
     // point as the re-arm-first idiom clients used on the old kernel,
     // and it lets the callback cancel/re-time "the next fire" naturally.
-    queue_.insert(n, n->when + n->period);
+    k.queue.insert(n, n->when + n->period);
   }
-  firing_ = n;
+  k.firing = n;
   try {
-    if ((dispatched_ & kHandlerSampleMask) == 0) {
+    if ((k.dispatched & kHandlerSampleMask) == 0) {
       obs::ScopedTimer timer{*handler_ns_};
       n->action();
     } else {
       n->action();
     }
   } catch (...) {
-    firing_ = nullptr;
-    finish(n);
+    k.firing = nullptr;
+    finish(k, n);
     throw;
   }
-  firing_ = nullptr;
-  finish(n);
+  k.firing = nullptr;
+  finish(k, n);
 }
 
-void Simulator::finish(EventNode* n) {
+void Simulator::finish(Kernel& k, EventNode* n) {
   if (n->cancelled) {
-    queue_.remove(n);  // no-op if the cancel already unfiled it
-    queue_.release(n);
+    k.queue.remove(n);  // no-op if the cancel already unfiled it
+    k.queue.release(n);
   } else if (n->state == NodeState::kLimbo) {
     // One-shot done, or a self-timed task that chose not to reschedule.
-    queue_.release(n);
+    k.queue.release(n);
   }
   update_depth();
 }
 
 bool Simulator::step() {
-  EventNode* n = queue_.pop_next(Instant::max());
+  assert(!partitioned() && "step() is a classic-kernel operation");
+  EventNode* n = global_.queue.pop_next(Instant::max());
   if (n == nullptr) return false;
-  fire(n);
+  fire(global_, n);
   return true;
 }
 
 void Simulator::run_until(Instant deadline) {
-  while (EventNode* n = queue_.pop_next(deadline)) fire(n);
-  if (now_ < deadline) now_ = deadline;
-  queue_.advance_to(deadline);
+  if (partitioned()) {
+    run_partitioned(deadline);
+    return;
+  }
+  while (EventNode* n = global_.queue.pop_next(deadline)) fire(global_, n);
+  if (global_.now < deadline) global_.now = deadline;
+  global_.queue.advance_to(deadline);
+}
+
+void Simulator::run_partition_batch(Kernel& k, Instant limit) {
+  // RAII so a throwing handler still detaches the thread context (the
+  // TaskPool carries the exception across the barrier).
+  struct BatchScope {
+    Simulator* sim;
+    ~BatchScope() {
+      sim->spans_.end_partition();
+      detail::t_active_kernel = detail::ActiveKernel{};
+    }
+  } scope{this};
+  detail::t_active_kernel = detail::ActiveKernel{this, &k, k.index};
+  spans_.begin_partition(k.index);
+  while (EventNode* n = k.queue.pop_next(limit)) fire(k, n);
+}
+
+void Simulator::commit_phase() {
+  // Fixed order at every barrier -- this is what makes the parallel run
+  // byte-identical to the inline run:
+  //  0. the dispatch counter catches up with the per-wheel tallies of
+  //     the finished parallel phase *before* the span/telemetry fold, so
+  //     windows observe the same totals they would with live updates;
+  partition_dispatched_ = 0;
+  for (const Kernel& k : partitions_) partition_dispatched_ += k.dispatched;
+  events_dispatched_->publish(partition_dispatched_ + global_.dispatched);
+  //  1. partition span buffers merge canonically into the shared stream
+  //     (telemetry windows fold here, single-threaded);
+  spans_.commit_partitions();
+  //  2. upward mailboxes drain in wheel order (global first, then
+  //     partition index), posting order within a wheel; the posts run in
+  //     global context and may schedule or re-post. A re-post lands in
+  //     the *global* mailbox (that is the posting context), so the outer
+  //     loop keeps draining until the commit is quiescent -- follow-up
+  //     posts run at this barrier, not one lookahead window later;
+  const auto drain = [](Kernel& k) {
+    while (!k.mailbox.empty()) {
+      std::vector<std::function<void()>> posts = std::move(k.mailbox);
+      k.mailbox.clear();
+      for (auto& fn : posts) fn();
+    }
+  };
+  for (;;) {
+    drain(global_);
+    for (Kernel& k : partitions_) drain(k);
+    if (global_.mailbox.empty()) break;
+  }
+  //  3. deferred per-wheel metrics publish in partition order.
+  for (Kernel& k : partitions_) {
+    if (const std::uint64_t delta = k.past_clamps - k.published_clamps; delta != 0) {
+      past_clamped_->add(delta);
+      k.published_clamps = k.past_clamps;
+    }
+  }
+  queue_depth_->set(static_cast<std::int64_t>(pending()));
+}
+
+void Simulator::run_partitioned(Instant deadline) {
+  // Barrier commits and the global phase run in global context whatever
+  // ambient kernel setup code left behind.
+  KernelScope coordinate{*this, 0};
+  for (;;) {
+    const Instant horizon = global_.queue.earliest_time();
+    const bool final_window = horizon > deadline;
+    // Partitions may run strictly *before* the next global instant
+    // (conservative lookahead); the final window is deadline-inclusive.
+    const Instant limit = final_window ? deadline : horizon - Duration::nanoseconds(1);
+    due_.clear();
+    for (Kernel& k : partitions_) {
+      if (k.queue.earliest_time() <= limit) due_.push_back(&k);
+    }
+    if (!due_.empty()) {
+      pool_->run_wave(due_.size(),
+                      [this, limit](std::size_t i) { run_partition_batch(*due_[i], limit); });
+    }
+    commit_phase();
+    if (final_window) break;
+    // Global phase: single-threaded; everything due at the horizon,
+    // including events it schedules at the horizon itself.
+    while (EventNode* n = global_.queue.pop_next(horizon)) fire(global_, n);
+  }
+  if (global_.now < deadline) global_.now = deadline;
+  global_.queue.advance_to(deadline);
+  for (Kernel& k : partitions_) {
+    if (k.now < deadline) k.now = deadline;
+    k.queue.advance_to(deadline);
+  }
 }
 
 bool Simulator::task_active(EventId id) const {
-  const EventNode* n = queue_.resolve(id);
+  const EventNode* n = kernel_at(EventQueue::kernel_of(id)).queue.resolve(id);
   return n != nullptr && !n->cancelled;
 }
 
 void Simulator::task_reschedule(EventId id, Instant when) {
-  EventNode* n = queue_.resolve(id);
+  Kernel& k = kernel_at(EventQueue::kernel_of(id));
+  assert((!in_partition_batch() || detail::t_active_kernel.index == k.index) &&
+         "partition batches may only re-time events of their own wheel");
+  EventNode* n = k.queue.resolve(id);
   assert(n != nullptr && "reschedule_at on a completed task");
   if (n == nullptr || n->cancelled) return;
-  queue_.remove(n);  // no-op while in limbo (self-timed re-arm mid-fire)
-  file(n, when);
+  k.queue.remove(n);  // no-op while in limbo (self-timed re-arm mid-fire)
+  file(k, n, when);
 }
 
 Instant Simulator::task_next_fire(EventId id) const {
-  const EventNode* n = queue_.resolve(id);
+  const EventNode* n = kernel_at(EventQueue::kernel_of(id)).queue.resolve(id);
   assert(n != nullptr && "next_fire on a completed task");
   return n == nullptr ? Instant::origin() : n->when;
 }

@@ -12,11 +12,38 @@
 // the kernel re-files in place -- the steady state of a TDMA cluster
 // (slots, rounds, partition activations, gateway ticks) therefore runs
 // with zero allocation and zero hashing per firing.
+//
+// Partitioned mode (S28): configure_partitions() splits the substrate
+// into one *global* wheel plus N *partition* wheels (one per disjoint
+// node group of the deployment) and turns run_until into a conservative
+// parallel loop. The TDMA structure provides the lookahead: all
+// cross-partition interaction flows through events on the global wheel
+// (slot transmissions, bus deliveries, fault bursts), so every partition
+// may safely run its private events up to -- but not including -- the
+// next global instant t_g. One loop iteration is
+//
+//   1. parallel phase  -- each partition wheel drains events with
+//      when < t_g on a TaskPool worker (inline at --sim-jobs 1);
+//   2. barrier commit  -- single-threaded, in fixed order: partition
+//      span buffers merge canonically (obs/span.hpp), partition->global
+//      mailboxes drain in partition order, deferred per-wheel metrics
+//      (past clamps, aggregate queue depth) publish;
+//   3. global phase    -- all global events at t_g fire on the calling
+//      thread; they may inject events into partition wheels directly
+//      (schedule_on), which is the downward mailbox.
+//
+// The schedule is deterministic at any worker count by construction
+// (each wheel is sequential, commits are ordered, the global phase is
+// single-threaded), so every artifact -- span stream, metrics
+// fingerprint, telemetry JSONL -- is byte-identical from --sim-jobs 1
+// to N. Ordering rule at equal instants: global events at t fire before
+// partition events at t (the partition horizon is exclusive).
 #pragma once
 
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -26,11 +53,25 @@
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
 #include "sim/event_queue.hpp"
+#include "util/task_pool.hpp"
 #include "util/time.hpp"
 
 namespace decos::sim {
 
 class Simulator;
+
+namespace detail {
+/// Thread-local execution context: which kernel (wheel) of which
+/// simulator the calling thread is currently firing events for. Set by
+/// the partition-phase driver around each batch; empty on the
+/// coordinating thread, where the *ambient* kernel applies instead.
+struct ActiveKernel {
+  const void* simulator = nullptr;
+  void* kernel = nullptr;
+  std::uint32_t index = 0;
+};
+inline thread_local ActiveKernel t_active_kernel{};
+}  // namespace detail
 
 /// Move-only owner of a recurring event. Obtained from
 /// Simulator::schedule_periodic; destroying (or cancelling) the handle
@@ -44,6 +85,9 @@ class Simulator;
 ///    instant its (drifting, re-synchronised) local clock dictates. If it
 ///    returns without rescheduling, the task completes and the node is
 ///    released.
+///
+/// The id carries the owning wheel in its kernel byte, so handles created
+/// under any partition stay valid and route to the right wheel.
 class PeriodicTask {
  public:
   PeriodicTask() = default;
@@ -82,7 +126,9 @@ class PeriodicTask {
   EventId id_ = 0;
 };
 
-/// Single-threaded event-driven simulator with a monotone global clock.
+/// Event-driven simulator with a monotone global clock -- single-threaded
+/// by default, a coordinator over partitioned kernels after
+/// configure_partitions() (see the file comment).
 ///
 /// The simulator is the one object every part of a simulated system can
 /// reach, so it also hosts the system-wide observability state: the
@@ -96,8 +142,11 @@ class Simulator {
 
   Simulator();
 
-  /// Current global (true) time.
-  Instant now() const { return now_; }
+  /// Current time of the calling context's wheel. On the classic
+  /// (unpartitioned) kernel and between phases this is the global
+  /// simulation time; inside a partition batch it is that partition's
+  /// local time (always within the current lookahead window).
+  Instant now() const { return ctx().now; }
 
   /// System-wide metrics registry (instruments registered by tt, vn,
   /// core, services and the simulator itself).
@@ -125,21 +174,69 @@ class Simulator {
   /// enables telemetry before or after wiring.
   void on_telemetry(std::function<void(obs::WindowAggregator&)> hook);
 
+  // -- Partitioned kernel (S28) --------------------------------------
+
+  /// Split the substrate into `count` partition wheels next to the
+  /// global wheel and run partition batches on `sim_jobs` TaskPool
+  /// workers (1 = inline on the calling thread -- same loop, same
+  /// artifacts). Call once, before any event is scheduled; partition
+  /// affinity of subsequent scheduling follows the ambient kernel (see
+  /// KernelScope). Pre-registers sim.schedule_past_clamped so lazy
+  /// registration order cannot depend on phase interleaving.
+  void configure_partitions(std::size_t count, std::size_t sim_jobs = 1);
+  bool partitioned() const { return partitioned_; }
+  std::size_t partition_count() const { return partitions_.size(); }
+  std::size_t sim_jobs() const { return sim_jobs_; }
+
+  /// Kernel new events are filed into when the calling thread is not a
+  /// partition worker: 0 = global wheel, 1..count = partition wheels.
+  /// Setup code pins controllers/components to their node's partition by
+  /// wrapping construction in a KernelScope.
+  void set_ambient_kernel(std::uint32_t kernel) {
+    assert(kernel <= partitions_.size() && "ambient kernel out of range");
+    ambient_ = kernel;
+  }
+  std::uint32_t ambient_kernel() const { return ambient_; }
+
+  /// Wheel the calling context schedules onto (partition workers ignore
+  /// the ambient kernel).
+  std::uint32_t current_kernel() const {
+    // Classic kernels skip the TLS probe: the thread context is only
+    // ever set by partition batches, which require partitioned().
+    if (!partitioned_) return 0;
+    if (detail::t_active_kernel.simulator == this) return detail::t_active_kernel.index;
+    return ambient_;
+  }
+
   /// Schedule `action` once at absolute time `when`. Instants in the
   /// past clamp to now() and count in sim.schedule_past_clamped.
   template <typename F>
   EventId schedule_at(Instant when, F&& action) {
-    EventNode* n = queue_.acquire();
+    return schedule_on(current_kernel(), when, std::forward<F>(action));
+  }
+
+  /// Schedule onto an explicit wheel: the *downward mailbox* of the
+  /// partitioned loop (the global phase injects frame deliveries into
+  /// receiver partitions this way). Partition batches may only schedule
+  /// onto their own wheel -- cross-partition writes would race; upward
+  /// communication goes through post_to_global().
+  template <typename F>
+  EventId schedule_on(std::uint32_t kernel, Instant when, F&& action) {
+    Kernel& k = kernel_at(kernel);
+    assert((detail::t_active_kernel.simulator != this ||
+            detail::t_active_kernel.index == kernel) &&
+           "partition batches may only schedule onto their own wheel");
+    EventNode* n = k.queue.acquire();
     n->action.emplace(std::forward<F>(action));
     n->kind = EventKind::kOneShot;
-    file(n, when);
+    file(k, n, when);
     return EventQueue::id_of(n);
   }
 
   /// Schedule `action` once after `delay` from now.
   template <typename F>
   EventId schedule_after(Duration delay, F&& action) {
-    return schedule_at(now_ + delay, std::forward<F>(action));
+    return schedule_at(now() + delay, std::forward<F>(action));
   }
 
   /// Fixed-period recurring event: first occurrence at `first`, then
@@ -148,11 +245,12 @@ class Simulator {
   template <typename F>
   PeriodicTask schedule_periodic(Instant first, Duration period, F&& action) {
     assert(period > Duration::zero() && "periodic tasks need a positive period");
-    EventNode* n = queue_.acquire();
+    Kernel& k = kernel_at(current_kernel());
+    EventNode* n = k.queue.acquire();
     n->action.emplace(std::forward<F>(action));
     n->kind = EventKind::kPeriodic;
     n->period = period;
-    file(n, first);
+    file(k, n, first);
     return PeriodicTask{this, EventQueue::id_of(n)};
   }
 
@@ -162,11 +260,22 @@ class Simulator {
   /// fire depends on a drifting local clock.
   template <typename F>
   PeriodicTask schedule_periodic(Instant first, F&& action) {
-    EventNode* n = queue_.acquire();
+    Kernel& k = kernel_at(current_kernel());
+    EventNode* n = k.queue.acquire();
     n->action.emplace(std::forward<F>(action));
     n->kind = EventKind::kDriven;
-    file(n, first);
+    file(k, n, first);
     return PeriodicTask{this, EventQueue::id_of(n)};
+  }
+
+  /// Upward mailbox: a partition batch posts `fn` to run on the global
+  /// wheel's context at the next barrier commit. Posts drain in the
+  /// fixed merge order (partition index, then posting order within the
+  /// partition), so cross-partition effects are deterministic at any
+  /// worker count. Callable between phases too (runs at the next
+  /// commit).
+  void post_to_global(std::function<void()> fn) {
+    kernel_at(current_kernel()).mailbox.push_back(std::move(fn));
   }
 
   /// Cancel a pending event. Returns false if it already fired or never
@@ -177,27 +286,42 @@ class Simulator {
   /// deadline even if the queue drained early.
   void run_until(Instant deadline);
 
-  /// Run a single event; returns false if the queue is empty.
+  /// Run a single event; returns false if the queue is empty. Classic
+  /// kernel only (the partitioned loop has no single-event notion).
   bool step();
 
-  /// Number of events dispatched so far (for perf accounting).
-  std::uint64_t dispatched() const { return dispatched_; }
-  /// Number of events currently pending.
-  std::size_t pending() const { return queue_.live(); }
+  /// Number of events dispatched so far, across every wheel (for perf
+  /// accounting).
+  std::uint64_t dispatched() const {
+    std::uint64_t total = global_.dispatched;
+    for (const Kernel& k : partitions_) total += k.dispatched;
+    return total;
+  }
+  /// Number of events currently pending, across every wheel.
+  std::size_t pending() const {
+    std::size_t total = global_.queue.live();
+    for (const Kernel& k : partitions_) total += k.queue.live();
+    return total;
+  }
 
   /// Times a schedule target in the past was clamped to now (also
   /// surfaced as the sim.schedule_past_clamped counter once non-zero).
-  std::uint64_t past_clamps() const { return past_clamps_; }
+  std::uint64_t past_clamps() const {
+    std::uint64_t total = global_.past_clamps;
+    for (const Kernel& k : partitions_) total += k.past_clamps;
+    return total;
+  }
 
   /// Tick granularity of the timer wheel -- a pure performance knob
   /// (dispatch order is exact at any resolution). platform::Cluster
   /// derives it from the TDMA round layout. Only callable while no
-  /// events are pending.
+  /// events are pending; applies to every wheel.
   void set_tick_resolution(Duration resolution) {
     assert(pending() == 0 && "re-ticking requires an empty queue");
-    queue_.set_resolution(resolution, now_);
+    global_.queue.set_resolution(resolution, global_.now);
+    for (Kernel& k : partitions_) k.queue.set_resolution(resolution, k.now);
   }
-  Duration tick_resolution() const { return queue_.resolution(); }
+  Duration tick_resolution() const { return global_.queue.resolution(); }
 
  private:
   friend class PeriodicTask;
@@ -207,24 +331,73 @@ class Simulator {
   /// built to avoid.
   static constexpr std::uint64_t kHandlerSampleMask = 15;
 
-  void file(EventNode* n, Instant when);
-  void fire(EventNode* n);
-  void finish(EventNode* n);
-  void note_past_clamp();
-  void update_depth() {
-    queue_depth_->set(static_cast<std::int64_t>(queue_.live()));
+  /// One event wheel plus its per-wheel dispatch state. The global
+  /// wheel doubles as the whole classic (unpartitioned) kernel.
+  struct Kernel {
+    EventQueue queue;
+    Instant now;
+    std::uint64_t dispatched = 0;
+    std::uint64_t past_clamps = 0;
+    std::uint64_t published_clamps = 0;  // folded into the counter so far
+    EventNode* firing = nullptr;         // node whose callback is on the stack
+    std::uint32_t index = 0;             // 0 = global
+    std::vector<std::function<void()>> mailbox;  // partition -> global posts
+  };
+
+  Kernel& kernel_at(std::uint32_t kernel) {
+    assert(kernel <= partitions_.size() && "kernel index out of range");
+    return kernel == 0 ? global_ : partitions_[kernel - 1];
   }
+  const Kernel& kernel_at(std::uint32_t kernel) const {
+    assert(kernel <= partitions_.size() && "kernel index out of range");
+    return kernel == 0 ? global_ : partitions_[kernel - 1];
+  }
+  Kernel& ctx() {
+    if (!partitioned_) return global_;
+    if (detail::t_active_kernel.simulator == this)
+      return *static_cast<Kernel*>(detail::t_active_kernel.kernel);
+    return kernel_at(ambient_);
+  }
+  const Kernel& ctx() const { return const_cast<Simulator*>(this)->ctx(); }
+  bool in_partition_batch() const {
+    return partitioned_ && detail::t_active_kernel.simulator == this;
+  }
+
+  void file(Kernel& k, EventNode* n, Instant when);
+  void fire(Kernel& k, EventNode* n);
+  void finish(Kernel& k, EventNode* n);
+  void note_past_clamp(Kernel& k);
+  void update_depth() {
+    // Classic fast path: one wheel, no TLS probe, no partition walk.
+    // Single-writer publish everywhere: the gauge only moves outside
+    // parallel phases, so it never needs the RMW form of set().
+    if (!partitioned_) {
+      queue_depth_->publish(static_cast<std::int64_t>(global_.queue.live()));
+      return;
+    }
+    // Inside a parallel phase the gauge is left alone; the barrier
+    // commit publishes the across-wheels sum (deterministic order).
+    if (in_partition_batch()) return;
+    queue_depth_->publish(static_cast<std::int64_t>(pending()));
+  }
+
+  void run_partitioned(Instant deadline);
+  void run_partition_batch(Kernel& k, Instant limit);
+  void commit_phase();
 
   bool task_active(EventId id) const;
   bool task_cancel(EventId id) { return cancel(id); }
   void task_reschedule(EventId id, Instant when);
   Instant task_next_fire(EventId id) const;
 
-  Instant now_;
-  std::uint64_t dispatched_ = 0;
-  std::uint64_t past_clamps_ = 0;
-  EventQueue queue_;
-  EventNode* firing_ = nullptr;  // node whose callback is on the stack
+  Kernel global_;
+  std::deque<Kernel> partitions_;  // deque: stable addresses in TLS slots
+  bool partitioned_ = false;       // cached !partitions_.empty() for hot paths
+  std::uint64_t partition_dispatched_ = 0;  // sum over partitions at last barrier
+  std::uint32_t ambient_ = 0;
+  std::size_t sim_jobs_ = 1;
+  std::unique_ptr<util::TaskPool> pool_;
+  std::vector<Kernel*> due_;  // scratch: partitions with work this phase
 
   obs::MetricsRegistry metrics_;
   obs::TraceCollector spans_;
@@ -234,6 +407,23 @@ class Simulator {
   obs::Gauge* queue_depth_;                 // sim.queue_depth (live depth)
   obs::Histogram* handler_ns_;              // sim.handler_ns (host time, sampled)
   obs::Counter* past_clamped_ = nullptr;    // sim.schedule_past_clamped (lazy)
+};
+
+/// RAII ambient-kernel switch for setup code: everything scheduled in
+/// scope files onto `kernel`'s wheel. Nest freely; single-threaded.
+class KernelScope {
+ public:
+  KernelScope(Simulator& sim, std::uint32_t kernel)
+      : sim_{&sim}, previous_{sim.ambient_kernel()} {
+    sim.set_ambient_kernel(kernel);
+  }
+  ~KernelScope() { sim_->set_ambient_kernel(previous_); }
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  Simulator* sim_;
+  std::uint32_t previous_;
 };
 
 inline PeriodicTask& PeriodicTask::operator=(PeriodicTask&& o) noexcept {

@@ -1,6 +1,7 @@
 #include "tt/bus.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "tt/controller.hpp"
 
@@ -94,10 +95,52 @@ bool TtBus::transmit(Frame frame) {
           "slot " + std::to_string(frame.slot_index), frame.sent_at, delivered_at,
           static_cast<std::int64_t>(frame.payload.size()));
     }
-    for (Controller* controller : controllers_) controller->deliver(delivered);
+    fan_out(delivered, delivered_at);
   });
   in_flight_.push_back(InFlight{now, tx_end, delivery, false});
   return true;
+}
+
+void TtBus::ensure_groups() {
+  if (!groups_.empty()) return;
+  for (std::size_t i = 0; i < controllers_.size(); ++i) {
+    auto it = std::find_if(groups_.begin(), groups_.end(),
+                           [&](const DeliveryGroup& g) { return g.kernel == kernels_[i]; });
+    if (it == groups_.end()) {
+      groups_.push_back(DeliveryGroup{kernels_[i], {}});
+      it = std::prev(groups_.end());
+    }
+    it->members.push_back(controllers_[i]);
+  }
+  std::sort(groups_.begin(), groups_.end(),
+            [](const DeliveryGroup& a, const DeliveryGroup& b) { return a.kernel < b.kernel; });
+}
+
+void TtBus::fan_out(const Frame& delivered, Instant delivered_at) {
+  if (!simulator_.partitioned()) {
+    for (Controller* controller : controllers_) controller->deliver(delivered);
+    return;
+  }
+  // Partitioned kernel (S28): the delivery event runs in the global
+  // phase; receptions are node-local work, so each partition's receivers
+  // get the frame on their own wheel. Injections target the delivery
+  // instant itself -- the partition batch of the *next* lookahead window
+  // runs them, preserving the global-before-partition order at equal
+  // instants that the inline (sim-jobs 1) run uses too.
+  ensure_groups();
+  auto shared = std::make_shared<const Frame>(delivered);
+  for (const DeliveryGroup& group : groups_) {
+    if (group.kernel == 0) {
+      for (Controller* controller : group.members) controller->deliver(*shared);
+      continue;
+    }
+    // `group` outlives the event: attaches (which rebuild groups_) only
+    // happen while the cluster is wired up, before the first transmission.
+    const DeliveryGroup* members = &group;
+    simulator_.schedule_on(group.kernel, delivered_at, [members, shared] {
+      for (Controller* controller : members->members) controller->deliver(*shared);
+    });
+  }
 }
 
 }  // namespace decos::tt

@@ -46,7 +46,14 @@ class TtBus {
   const BusConfig& config() const { return config_; }
   void set_guardian_enabled(bool enabled) { config_.guardian_enabled = enabled; }
 
-  void attach(Controller& controller) { controllers_.push_back(&controller); }
+  /// Register a receiver. The ambient kernel at attach time (the node's
+  /// home partition, S28) picks the wheel that runs this controller's
+  /// frame deliveries when the kernel is partitioned.
+  void attach(Controller& controller) {
+    controllers_.push_back(&controller);
+    kernels_.push_back(simulator_.current_kernel());
+    groups_.clear();  // delivery groups rebuilt lazily on next use
+  }
 
   /// Attempt a transmission. Returns true if the guardian admitted it.
   /// Called by controllers at their (locally timed) slot starts -- and by
@@ -68,10 +75,22 @@ class TtBus {
  private:
   bool guardian_admits(const Frame& frame, Instant now) const;
 
+  /// Receivers grouped by home kernel for the partitioned delivery
+  /// fan-out, kernel-ascending so the per-frame injections land in wheel
+  /// order (deterministic mailbox merge at the barrier).
+  struct DeliveryGroup {
+    std::uint32_t kernel = 0;
+    std::vector<Controller*> members;
+  };
+  void ensure_groups();
+  void fan_out(const Frame& delivered, Instant delivered_at);
+
   sim::Simulator& simulator_;
   TdmaSchedule schedule_;
   BusConfig config_;
   std::vector<Controller*> controllers_;
+  std::vector<std::uint32_t> kernels_;  // parallel to controllers_
+  std::vector<DeliveryGroup> groups_;
   sim::TraceRecorder trace_;
 
   obs::Counter* frames_sent_metric_;      // tt.frames_sent

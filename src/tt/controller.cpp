@@ -3,7 +3,11 @@
 namespace decos::tt {
 
 Controller::Controller(sim::Simulator& simulator, TtBus& bus, NodeId id, sim::DriftingClock clock)
-    : simulator_{simulator}, bus_{bus}, id_{id}, clock_{clock} {
+    : simulator_{simulator},
+      bus_{bus},
+      id_{id},
+      clock_{clock},
+      home_kernel_{simulator.current_kernel()} {
   bus_.attach(*this);
   for (const std::size_t slot_index : bus_.schedule().slots_of(id_)) {
     slots_.emplace(slot_index, SlotState{});
@@ -18,6 +22,9 @@ void Controller::start_from_round(std::uint64_t round) {
 }
 
 void Controller::start_integration(Duration listen_timeout) {
+  if (simulator_.partitioned())
+    throw SpecError("cold-start integration is not supported on a partitioned kernel; "
+                    "start() nodes synchronized or run the cell classic (partitions = 0)");
   integrating_ = true;
   // Silence watchdog runs on the (still unsynchronized) local clock.
   const Instant local_deadline = clock_.read(simulator_.now()) + listen_timeout;
@@ -95,6 +102,11 @@ void Controller::schedule_slot(std::size_t slot_index, SlotState& state, std::ui
   // Self-timed: each firing re-times the same kernel node against the
   // drifting (and sync-corrected) local clock. Assigning the task here
   // cancels a previous incarnation (re-integration restarts cleanly).
+  //
+  // Slot transmissions live on the *global* wheel: transmit_slot needs a
+  // synchronous guardian verdict and fans the frame out across
+  // partitions, so it must run in the single-threaded global phase.
+  sim::KernelScope scope{simulator_, 0};
   state.task = simulator_.schedule_periodic(
       when, [this, slot_index, &state] { transmit_slot(slot_index, state); });
 }
@@ -105,6 +117,9 @@ void Controller::schedule_round_end(std::uint64_t round) {
       Instant::origin() + bus_.schedule().round_length() * static_cast<std::int64_t>(round + 1);
   Instant when = true_time_for_local(local_end);
   if (when < simulator_.now()) when = simulator_.now();
+  // Round boundaries are node-local work (clock-sync correction, overlay
+  // dispatch): they run on the node's home partition wheel.
+  sim::KernelScope scope{simulator_, home_kernel_};
   round_task_ = simulator_.schedule_periodic(when, [this] { round_end(); });
 }
 

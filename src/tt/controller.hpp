@@ -48,6 +48,8 @@ class Controller {
   const sim::DriftingClock& clock() const { return clock_; }
   sim::Simulator& simulator() { return simulator_; }
   const TdmaSchedule& schedule() const { return bus_.schedule(); }
+  /// Partition wheel running this node's local work (S28); 0 = global.
+  std::uint32_t home_kernel() const { return home_kernel_; }
 
   /// Begin slot processing immediately, assuming the local clock is
   /// already synchronized to the cluster (round 0 starts at local time
@@ -138,6 +140,10 @@ class Controller {
   TtBus& bus_;
   NodeId id_;
   sim::DriftingClock clock_;
+  // Partition wheel owning this node's local work (round boundaries,
+  // deliveries); captured from the ambient kernel at construction. Slot
+  // transmissions always go to the global wheel regardless.
+  std::uint32_t home_kernel_ = 0;
   std::unordered_map<std::size_t, SlotState> slots_;
   std::vector<FrameListener> frame_listeners_;
   std::vector<RoundListener> round_listeners_;

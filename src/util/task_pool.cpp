@@ -55,6 +55,11 @@ void TaskPool::wait() {
   }
 }
 
+void TaskPool::run_wave(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) submit([&fn, i] { fn(i); });
+  wait();
+}
+
 void TaskPool::worker_loop() {
   std::array<std::function<void()>, kChunk> batch;
   for (;;) {

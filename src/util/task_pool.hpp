@@ -41,7 +41,20 @@ class TaskPool {
   /// Block until every submitted task has finished, then rethrow the
   /// first captured task exception, if any. The pool stays usable for
   /// further submit() rounds afterwards.
+  ///
+  /// Error scoping across repeated waves is pinned (and stress-tested):
+  /// wait() reports the first exception recorded *since the previous
+  /// wait()*, clears it, and never lets it leak into a later wave -- a
+  /// wave that follows a throwing wave on the same pool starts clean.
   void wait();
+
+  /// Phase-barrier primitive: run `count` tasks fn(0..count-1) as one
+  /// wave and block until the whole wave finished (equivalent to `count`
+  /// submits followed by wait(), with the same error scoping). Callable
+  /// repeatedly on the same pool -- the partitioned simulation kernel
+  /// (S28) runs one wave per conservative lookahead window. In inline
+  /// mode the wave runs fn(0), fn(1), ... on the calling thread.
+  void run_wave(std::size_t count, const std::function<void(std::size_t)>& fn);
 
   std::size_t workers() const { return threads_.size(); }
 

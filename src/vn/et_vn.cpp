@@ -4,6 +4,12 @@
 
 namespace decos::vn {
 
+void EtVirtualNetwork::preregister_metrics(sim::Simulator& simulator) {
+  VirtualNetwork::preregister_metrics(simulator);
+  if (pending_depth_ == nullptr)
+    pending_depth_ = &simulator.metrics().gauge("vn." + name() + ".pending_depth");
+}
+
 int EtVirtualNetwork::priority_of(const std::string& message_name) const {
   const auto it = priorities_.find(message_name);
   return it == priorities_.end() ? 1000 : it->second;

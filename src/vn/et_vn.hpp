@@ -46,6 +46,10 @@ class EtVirtualNetwork final : public VirtualNetwork {
   std::uint64_t overloads() const { return overloads_; }
   std::size_t pending(tt::NodeId node) const;
 
+  /// Adds the lazy per-node pending-depth gauge to the base set (S28
+  /// pre-registration rule; see VirtualNetwork::preregister_metrics).
+  void preregister_metrics(sim::Simulator& simulator) override;
+
  private:
   struct Pending {
     int priority;

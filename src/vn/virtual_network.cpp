@@ -26,6 +26,12 @@ void VirtualNetwork::register_input(tt::NodeId node, const std::string& message_
   inputs_[{node, message_name}].push_back(&port);
 }
 
+void VirtualNetwork::preregister_metrics(sim::Simulator& simulator) {
+  ensure_metrics(simulator);
+  if (deliver_overflow_metric_ == nullptr)
+    deliver_overflow_metric_ = &simulator.metrics().counter("vn." + name_ + ".deliver_overflow");
+}
+
 void VirtualNetwork::ensure_metrics(sim::Simulator& simulator) {
   metrics_host_ = &simulator;
   if (delivered_metric_ != nullptr) return;

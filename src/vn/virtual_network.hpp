@@ -55,6 +55,13 @@ class VirtualNetwork {
   std::uint64_t messages_delivered() const { return messages_delivered_; }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
+  /// Eagerly register every instrument this VN can ever touch, including
+  /// the normally lazy overflow counter. Required before running on a
+  /// partitioned kernel (S28): a parallel phase must never be the first
+  /// to register an instrument, because registration order feeds the
+  /// telemetry fold order and must not depend on thread interleaving.
+  virtual void preregister_metrics(sim::Simulator& simulator);
+
  protected:
   /// Deposit `instance` into every input port registered for its message
   /// on the node served by `controller`.
