@@ -13,7 +13,9 @@
 #include "common.hpp"
 #include "core/repository.hpp"
 #include "spec/linkspec_xml.hpp"
+#include "spec/message.hpp"
 #include "ta/interpreter.hpp"
+#include "vn/port.hpp"
 
 using namespace decos;
 using namespace decos::bench;
@@ -64,6 +66,67 @@ void BM_DecodeMessage(benchmark::State& state) {
                           static_cast<std::int64_t>(ms.wire_size()));
 }
 BENCHMARK(BM_DecodeMessage)->Arg(1)->Arg(4)->Arg(16);
+
+// -- Compiled wire layout vs field-walk codec (DESIGN.md S29) ---------------
+//
+// Same buffer/instance reused across iterations (the warmed-scratch
+// shape the VN hot path runs): the compiled pair goes through the
+// per-spec WireLayout offset table, the fieldwalk pair through the
+// reference codec the layout is property-tested against.
+
+void BM_EncodeCompiled(benchmark::State& state) {
+  const spec::MessageSpec ms = wide_message(static_cast<int>(state.range(0)), 4);
+  const spec::MessageInstance inst = spec::make_instance(ms);
+  std::vector<std::byte> buffer;
+  benchmark::DoNotOptimize(spec::encode_into(ms, inst, buffer));  // compile + warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::encode_into(ms, inst, buffer));
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ms.wire_size()));
+}
+BENCHMARK(BM_EncodeCompiled)->Arg(4)->Arg(16);
+
+void BM_EncodeFieldwalk(benchmark::State& state) {
+  const spec::MessageSpec ms = wide_message(static_cast<int>(state.range(0)), 4);
+  const spec::MessageInstance inst = spec::make_instance(ms);
+  std::vector<std::byte> buffer;
+  benchmark::DoNotOptimize(spec::encode_fieldwalk_into(ms, inst, buffer));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::encode_fieldwalk_into(ms, inst, buffer));
+    benchmark::DoNotOptimize(buffer.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ms.wire_size()));
+}
+BENCHMARK(BM_EncodeFieldwalk)->Arg(4)->Arg(16);
+
+void BM_DecodeCompiled(benchmark::State& state) {
+  const spec::MessageSpec ms = wide_message(static_cast<int>(state.range(0)), 4);
+  const auto bytes = spec::encode(ms, spec::make_instance(ms)).value();
+  spec::MessageInstance scratch = spec::make_instance(ms);
+  benchmark::DoNotOptimize(spec::decode_into(ms, bytes, scratch));  // compile + warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::decode_into(ms, bytes, scratch));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ms.wire_size()));
+}
+BENCHMARK(BM_DecodeCompiled)->Arg(4)->Arg(16);
+
+void BM_DecodeFieldwalk(benchmark::State& state) {
+  const spec::MessageSpec ms = wide_message(static_cast<int>(state.range(0)), 4);
+  const auto bytes = spec::encode(ms, spec::make_instance(ms)).value();
+  spec::MessageInstance scratch = spec::make_instance(ms);
+  benchmark::DoNotOptimize(spec::decode_fieldwalk_into(ms, bytes, scratch));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::decode_fieldwalk_into(ms, bytes, scratch));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ms.wire_size()));
+}
+BENCHMARK(BM_DecodeFieldwalk)->Arg(4)->Arg(16);
 
 void BM_IdentifyByKey(benchmark::State& state) {
   spec::LinkSpec link{"das"};
@@ -166,6 +229,68 @@ std::unique_ptr<core::VirtualGateway> make_dissect_gateway(int elements) {
   gateway->finalize();
   return gateway;
 }
+
+/// Batched vs per-instance dispatch drain (DESIGN.md S29): one pending
+/// instance per dispatch round on a pull (time-triggered) input port,
+/// drained either through the precompiled input bindings or through the
+/// reference per-instance on_input() loop. Byte-identical artifacts by
+/// construction; the bench measures the bookkeeping the batch drain
+/// amortizes (symbol re-hashing, version re-walks, interpreter lookups).
+/// A gateway whose input is a pull-mode event port: arrivals queue up in
+/// the port ring and dispatch() drains the backlog. This is the shape
+/// the S29 batched drain amortizes -- plan/interpreter resolution and
+/// the pull-request scan happen once per port per dispatch instead of
+/// per pending instance.
+std::unique_ptr<core::VirtualGateway> make_drain_gateway(bool batched) {
+  spec::LinkSpec link_a{"dasA"};
+  spec::MessageSpec in = wide_message(2, 4);
+  in.set_name("msgIn");
+  link_a.add_message(std::move(in));
+  spec::PortSpec pull = input_port("msgIn", spec::InfoSemantics::kEvent,
+                                   spec::ControlParadigm::kEventTriggered, Duration::zero(),
+                                   Duration::zero(), Duration::max(), /*queue=*/32);
+  pull.interaction = spec::Interaction::kPull;
+  link_a.add_port(pull);
+  spec::LinkSpec link_b{"dasB"};
+  spec::MessageSpec out = wide_message(2, 4);
+  out.set_name("msgOut");
+  link_b.add_message(std::move(out));
+  link_b.add_port(output_port("msgOut", spec::InfoSemantics::kState,
+                              spec::ControlParadigm::kTimeTriggered, Duration::seconds(3600)));
+  core::GatewayConfig config;
+  config.default_d_acc = Duration::seconds(3600);
+  config.batched_dispatch = batched;
+  auto gateway = std::make_unique<core::VirtualGateway>("micro", std::move(link_a),
+                                                        std::move(link_b), config);
+  gateway->finalize();
+  return gateway;
+}
+
+/// One iteration = deposit `backlog` pending event instances, then one
+/// dispatch() that drains them all.
+void drain_rounds(benchmark::State& state, bool batched) {
+  const int backlog = static_cast<int>(state.range(0));
+  auto gateway = make_drain_gateway(batched);
+  vn::Port* in_port = gateway->link_a().port("msgIn");
+  const spec::MessageSpec& ms = *gateway->link_a().spec().message("msgIn");
+  spec::MessageInstance inst = spec::make_instance(ms);
+  Instant now = Instant::origin();
+  for (int i = 0; i < backlog; ++i) in_port->deposit(inst, now);
+  gateway->dispatch(now);  // warm rings, plans and scratch
+  for (auto _ : state) {
+    now += 10_ms;
+    inst.set_send_time(now);
+    for (int i = 0; i < backlog; ++i) in_port->deposit(inst, now);
+    gateway->dispatch(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * backlog);
+}
+
+void BM_GatewayDrainBatched(benchmark::State& state) { drain_rounds(state, true); }
+BENCHMARK(BM_GatewayDrainBatched)->Arg(4)->Arg(16);
+
+void BM_GatewayDrainPerInstance(benchmark::State& state) { drain_rounds(state, false); }
+BENCHMARK(BM_GatewayDrainPerInstance)->Arg(4)->Arg(16);
 
 void BM_DissectCompiled(benchmark::State& state) {
   auto gateway = make_dissect_gateway(static_cast<int>(state.range(0)));
@@ -430,6 +555,11 @@ int main(int argc, char** argv) {
                         reporter.speedup("BM_DissectCompiled/16", "BM_DissectStringPath/16"));
   speedups.emplace_back("construct",
                         reporter.speedup("BM_ConstructCompiled/16", "BM_ConstructStringPath/16"));
+  // Compiled-wire-layout and batched-dispatch ratios (S29).
+  speedups.emplace_back("encode", reporter.speedup("BM_EncodeCompiled/16", "BM_EncodeFieldwalk/16"));
+  speedups.emplace_back("decode", reporter.speedup("BM_DecodeCompiled/16", "BM_DecodeFieldwalk/16"));
+  speedups.emplace_back("dispatch_batch", reporter.speedup("BM_GatewayDrainBatched/16",
+                                                           "BM_GatewayDrainPerInstance/16"));
   harness.set_json("speedups", obs::json::Value{std::move(speedups)});
   harness.set_json("benchmarks", obs::json::Value{reporter.take_results()});
   benchmark::Shutdown();

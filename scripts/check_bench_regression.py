@@ -62,10 +62,21 @@ SUITES = {
             "BM_RepositoryStoreFetchEventInterned",
             "BM_GatewayReceiveAndForward/4",
             "BM_GatewayReceiveAndForward/16",
+            "BM_EncodeCompiled/4",
+            "BM_EncodeCompiled/16",
+            "BM_DecodeCompiled/4",
+            "BM_DecodeCompiled/16",
+            "BM_GatewayDrainBatched/4",
+            "BM_GatewayDrainBatched/16",
         ],
         # Interned-vs-string ratios that must hold in the *current* run
-        # (>= 2x on the repository store/fetch round trip).
-        "min_speedups": {"repo_state": 2.0, "repo_event": 2.0},
+        # (>= 2x on the repository store/fetch round trip). The S29 rows
+        # (compiled wire layout vs field-walk codec, batched vs
+        # per-instance drain) get conservative floors far below the dev
+        # box's measured wins, so only a genuine fallback-to-reference
+        # regression trips them on noisy CI machines.
+        "min_speedups": {"repo_state": 2.0, "repo_event": 2.0,
+                         "encode": 1.2, "decode": 1.2, "dispatch_batch": 1.05},
         "max_ratio": 1.5,
     },
     # The kernel rows. Reference-kernel rows are the comparison anchor,

@@ -88,6 +88,24 @@ class GatewayLink {
     return construct_plans_;
   }
 
+  /// One input port bound to its compiled dissect resources (S29). The
+  /// batched dispatch drain and the push-notify closures process an
+  /// instance through these pointers instead of re-hashing the message
+  /// Symbol into the plan and interpreter maps on every arrival.
+  struct InputBinding {
+    vn::Port* port = nullptr;
+    const spec::PortSpec* port_spec = nullptr;
+    DissectPlan* plan = nullptr;              // dissect plan of the port's message
+    ta::Interpreter* recv_interpreter = nullptr;  // nullptr: no receive automaton
+    Symbol message_sym;
+    bool is_pull = false;
+    bool is_state = false;
+    /// Repository slots whose request variable makes a pull drain
+    /// "wanted" under pull_only_on_request (resolved from the plan).
+    std::vector<ElementId> pull_request_ids;
+  };
+  const std::vector<InputBinding>& input_bindings() const { return input_bindings_; }
+
  private:
   friend class VirtualGateway;
 
@@ -113,6 +131,10 @@ class GatewayLink {
   std::unordered_map<Symbol, DissectPlan, SymbolHash> dissect_plans_;
   std::vector<std::unique_ptr<ConstructPlan>> construct_plans_;
   std::unordered_map<Symbol, ConstructPlan*, SymbolHash> construct_by_message_;
+  // Input-port bindings in ports_ order (VirtualGateway::bind_inputs()).
+  // Fully built before any notify closure captures into it, and never
+  // resized afterwards, so element addresses are stable.
+  std::vector<InputBinding> input_bindings_;
 };
 
 }  // namespace decos::core

@@ -197,6 +197,12 @@ class Repository {
 
   // -- counters ---------------------------------------------------------
   std::uint64_t stores() const { return stores_; }
+  /// Global freshness epoch (S29): per-element versions only advance
+  /// together with this counter, so a plan whose cached version sum was
+  /// computed at the current epoch can reuse it without touching the
+  /// per-element entries. (Alias of stores(); spelled separately where
+  /// the caller depends on the epoch property, not the statistic.)
+  std::uint64_t store_epoch() const { return stores_; }
   std::uint64_t overflows() const { return overflows_; }
   std::uint64_t stale_fetches_refused() const { return stale_refused_; }
   std::size_t element_count() const { return entries_.size(); }

@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "core/repository.hpp"
@@ -115,6 +116,18 @@ struct ConstructPlan {
   /// Freshness gate for event-triggered outputs of state-only messages:
   /// repository version sum at the last emission (0 = never emitted).
   std::uint64_t last_emitted_version_sum = 0;
+  /// Version-sum cache (S29): the sum over `required` computed at
+  /// repository store-epoch `cached_version_epoch`. Versions only move
+  /// with the epoch, so an equal epoch proves the cached sum is current
+  /// -- repeated output evaluations between stores skip the per-element
+  /// walk. Pure caching; the emitted artifacts are unchanged.
+  std::uint64_t cached_version_sum = 0;
+  std::uint64_t cached_version_epoch = std::numeric_limits<std::uint64_t>::max();
+  /// Resolved emission override (S29): points at this message's slot in
+  /// the link's emitter table, pre-created at compile time so the hot
+  /// path tests one function object instead of hashing into the map.
+  /// An empty function means "no override": deposit into `port`.
+  const std::function<void(const spec::MessageInstance&)>* emitter = nullptr;
   /// Persistent output scratch (static fields prefilled by
   /// make_instance); dynamic fields are overwritten per emission and the
   /// instance is deposited by copy.

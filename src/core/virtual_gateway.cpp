@@ -281,23 +281,8 @@ void VirtualGateway::finalize() {
         }
       }
 
-      if (port_spec.direction == spec::DataDirection::kInput &&
-          port_spec.interaction == spec::Interaction::kPush) {
-        const int side = link->side();
-        port->set_notify([this, side](vn::Port& p) {
-          // Deposit just happened; its instant is the port's last update.
-          const Instant now = p.last_update().value_or(Instant::origin());
-          if (p.spec().semantics == spec::InfoSemantics::kState) {
-            // Borrow the freshest image; the gateway copies what it keeps.
-            if (const spec::MessageInstance* m = p.peek()) on_input(side, *m, now);
-          } else if (const spec::MessageInstance* m = p.peek()) {
-            // Consume before processing (as the old read() did); the
-            // dropped slot's contents stay intact until the ring wraps.
-            p.drop_front();
-            on_input(side, *m, now);
-          }
-        });
-      }
+      // Push-notify closures are installed by bind_inputs() once the
+      // compiled plans (and thus the input bindings) exist.
     }
 
     // 2. Transfer-rule targets.
@@ -385,8 +370,10 @@ void VirtualGateway::finalize() {
     }
   }
 
-  // 4. Resolve every remaining name into the compiled transfer plans.
+  // 4. Resolve every remaining name into the compiled transfer plans,
+  //    then bind the input ports to them.
   compile_plans();
+  bind_inputs();
 }
 
 void VirtualGateway::compile_plans() {
@@ -496,6 +483,65 @@ void VirtualGateway::compile_plans() {
       ConstructPlan* raw = plan.get();
       l.construct_plans_.push_back(std::move(plan));
       l.construct_by_message_[raw->message_sym] = raw;
+      // Pre-create this message's emitter slot so emission tests one
+      // function object instead of hashing into the map. set_emitter()
+      // assigns into the same node, so the pointer observes later
+      // overrides; unordered_map values are address-stable.
+      raw->emitter = &l.emitters_[raw->message_sym];
+    }
+  }
+}
+
+void VirtualGateway::bind_inputs() {
+  for (GatewayLink* link : {&link_a_, &link_b_}) {
+    GatewayLink& l = *link;
+    l.input_bindings_.clear();
+    for (const auto& port_ptr : l.ports_) {
+      GatewayLink::InputBinding binding;
+      binding.port = port_ptr.get();
+      binding.port_spec = &port_ptr->spec();
+      binding.message_sym = intern_symbol(binding.port_spec->message);
+      binding.is_pull = binding.port_spec->direction == spec::DataDirection::kInput &&
+                        binding.port_spec->interaction == spec::Interaction::kPull;
+      binding.is_state = binding.port_spec->semantics == spec::InfoSemantics::kState;
+      if (const auto it = l.dissect_plans_.find(binding.message_sym);
+          it != l.dissect_plans_.end()) {
+        binding.plan = &it->second;
+        binding.recv_interpreter = l.recv_interpreter(binding.message_sym);
+        for (const DissectItem& item : binding.plan->items)
+          if (item.repo_id != kInvalidElementId)
+            binding.pull_request_ids.push_back(item.repo_id);
+      }
+      l.input_bindings_.push_back(std::move(binding));
+    }
+    // Install the push-notify closures only after the binding vector is
+    // complete: the closures capture element addresses.
+    for (GatewayLink::InputBinding& binding : l.input_bindings_) {
+      if (binding.port_spec->direction != spec::DataDirection::kInput ||
+          binding.port_spec->interaction != spec::Interaction::kPush)
+        continue;
+      const int side = l.side();
+      binding.port->set_notify([this, side, &l, &binding](vn::Port& p) {
+        // Deposit just happened; its instant is the port's last update.
+        const Instant now = p.last_update().value_or(Instant::origin());
+        if (p.spec().semantics == spec::InfoSemantics::kState) {
+          // Borrow the freshest image; the gateway copies what it keeps.
+          if (const spec::MessageInstance* m = p.peek()) {
+            if (config_.batched_dispatch)
+              drain_input(l, binding, *m, now);
+            else
+              on_input(side, *m, now);
+          }
+        } else if (const spec::MessageInstance* m = p.peek()) {
+          // Consume before processing (as the old read() did); the
+          // dropped slot's contents stay intact until the ring wraps.
+          p.drop_front();
+          if (config_.batched_dispatch)
+            drain_input(l, binding, *m, now);
+          else
+            on_input(side, *m, now);
+        }
+      });
     }
   }
 }
@@ -515,24 +561,32 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
     return;
   }
   DissectPlan& plan = plan_it->second;
+  if (!process_input(link, plan, link.recv_interpreter(plan.message_sym), instance, now)) return;
 
-  if (config_.temporal_filtering) {
-    ta::Interpreter* interpreter = link.recv_interpreter(plan.message_sym);
-    if (interpreter != nullptr) {
-      maybe_restart(link, now);
-      // Run due time-triggered edges (e.g. tmax timeouts) before the
-      // arrival so the automaton judges it from the correct location.
-      if (!interpreter->in_error() && interpreter->poll(now) > 0 && interpreter->in_error())
-        note_error(link, interpreter->spec().name(), now);
-      const ta::FireResult result = interpreter->on_receive(plan.message_sym, now);
-      if (result != ta::FireResult::kFired) {
-        ++stats_.blocked_temporal;
-        if (suppressed_temporal_ != nullptr) suppressed_temporal_->add();
-        if (interpreter->in_error()) note_error(link, interpreter->spec().name(), now);
-        DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, instance.message(),
-                    "temporal violation (side " + std::to_string(side) + ")");
-        return;
-      }
+  // Event-driven forwarding: freshly stored elements may enable
+  // event-triggered outputs on either side immediately.
+  try_outputs(link_a_, now, /*tt_outputs=*/false, /*et_outputs=*/true);
+  try_outputs(link_b_, now, /*tt_outputs=*/false, /*et_outputs=*/true);
+}
+
+bool VirtualGateway::process_input(GatewayLink& link, DissectPlan& plan,
+                                   ta::Interpreter* recv_interpreter,
+                                   const spec::MessageInstance& instance, Instant now) {
+  if (config_.temporal_filtering && recv_interpreter != nullptr) {
+    ta::Interpreter* interpreter = recv_interpreter;
+    maybe_restart(link, now);
+    // Run due time-triggered edges (e.g. tmax timeouts) before the
+    // arrival so the automaton judges it from the correct location.
+    if (!interpreter->in_error() && interpreter->poll(now) > 0 && interpreter->in_error())
+      note_error(link, interpreter->spec().name(), now);
+    const ta::FireResult result = interpreter->on_receive(plan.message_sym, now);
+    if (result != ta::FireResult::kFired) {
+      ++stats_.blocked_temporal;
+      if (suppressed_temporal_ != nullptr) suppressed_temporal_->add();
+      if (interpreter->in_error()) note_error(link, interpreter->spec().name(), now);
+      DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, instance.message(),
+                  "temporal violation (side " + std::to_string(link.side()) + ")");
+      return false;
     }
   }
 
@@ -544,16 +598,27 @@ void VirtualGateway::on_input(int side, const spec::MessageInstance& instance, I
       ++stats_.blocked_value;
       if (suppressed_value_ != nullptr) suppressed_value_->add();
       DECOS_TRACE(trace_, now, sim::TraceKind::kGatewayBlocked, instance.message(),
-                  "value filter (side " + std::to_string(side) + ")");
-      return;
+                  "value filter (side " + std::to_string(link.side()) + ")");
+      return false;
     }
   }
 
   ++stats_.messages_admitted;
   dissect_and_store(link, plan, instance, now);
+  return true;
+}
 
-  // Event-driven forwarding: freshly stored elements may enable
-  // event-triggered outputs on either side immediately.
+void VirtualGateway::drain_input(GatewayLink& link, const GatewayLink::InputBinding& binding,
+                                 const spec::MessageInstance& instance, Instant now) {
+  if (binding.plan == nullptr || instance.message_sym() != binding.plan->message_sym) {
+    // The deposited instance is not the port's bound message (deposits
+    // are not type-checked): resolve it the reference way.
+    on_input(link.side(), instance, now);
+    return;
+  }
+  now_ = now;
+  ++stats_.messages_in;
+  if (!process_input(link, *binding.plan, binding.recv_interpreter, instance, now)) return;
   try_outputs(link_a_, now, /*tt_outputs=*/false, /*et_outputs=*/true);
   try_outputs(link_b_, now, /*tt_outputs=*/false, /*et_outputs=*/true);
 }
@@ -697,10 +762,19 @@ void VirtualGateway::try_outputs(GatewayLink& link, Instant now, bool tt_outputs
 
     // Event-triggered outputs of state-only messages emit once per fresh
     // repository update; without this gate an always-enabled m! edge
-    // would re-send the same image on every dispatch.
+    // would re-send the same image on every dispatch. The sum is cached
+    // on the repository store epoch: versions cannot move between equal
+    // epochs, so re-evaluations between stores skip the element walk.
     std::uint64_t version_sum = 0;
     if (!plan.time_triggered && !plan.consumes_events) {
-      for (const ElementId id : plan.required) version_sum += repository_.version(id);
+      if (const std::uint64_t epoch = repository_.store_epoch();
+          plan.cached_version_epoch == epoch) {
+        version_sum = plan.cached_version_sum;
+      } else {
+        for (const ElementId id : plan.required) version_sum += repository_.version(id);
+        plan.cached_version_sum = version_sum;
+        plan.cached_version_epoch = epoch;
+      }
       if (version_sum == plan.last_emitted_version_sum) continue;
       if (version_sum == 0) continue;  // nothing produced yet
     }
@@ -784,9 +858,10 @@ bool VirtualGateway::construct_and_emit(GatewayLink& link, ConstructPlan& plan, 
     instance.set_trace(trace_id, construct_span);
   }
 
-  const auto it = link.emitters_.find(plan.message_sym);
-  if (it != link.emitters_.end()) {
-    it->second(instance);
+  // plan.emitter points at this message's pre-created slot in the
+  // link's emitter table; an empty function object means "no override".
+  if (plan.emitter != nullptr && *plan.emitter) {
+    (*plan.emitter)(instance);
   } else if (plan.port != nullptr) {
     plan.port->deposit(instance, now);  // copy-assign into the port's storage
   }
@@ -821,34 +896,67 @@ void VirtualGateway::dispatch(Instant now) {
   for (GatewayLink* link : {&link_a_, &link_b_}) {
     maybe_restart(*link, now);
 
-    // Drain pull-mode input ports.
-    for (const auto& port_ptr : link->ports_) {
-      vn::Port& port = *port_ptr;
-      const spec::PortSpec& port_spec = port.spec();
-      if (port_spec.direction != spec::DataDirection::kInput ||
-          port_spec.interaction != spec::Interaction::kPull)
-        continue;
-      if (config_.pull_only_on_request) {
-        bool wanted = false;
-        if (const auto sym = SymbolTable::global().lookup(port_spec.message)) {
-          const auto pit = link->dissect_plans_.find(*sym);
-          if (pit != link->dissect_plans_.end())
-            for (const DissectItem& item : pit->second.items)
-              if (item.repo_id != kInvalidElementId && repository_.requested(item.repo_id))
-                wanted = true;
+    // Drain pull-mode input ports. Batched: each port's pending backlog
+    // runs through its precompiled binding -- one plan/interpreter
+    // resolution and one pull-request scan per port per dispatch, not
+    // per instance. The per-instance admission sequence (and with it
+    // every artifact) is preserved; only the lookups are amortized.
+    if (config_.batched_dispatch) {
+      for (const GatewayLink::InputBinding& binding : link->input_bindings_) {
+        if (!binding.is_pull) continue;
+        if (config_.pull_only_on_request) {
+          bool wanted = false;
+          for (const ElementId id : binding.pull_request_ids)
+            if (repository_.requested(id)) {
+              wanted = true;
+              break;
+            }
+          if (!wanted) continue;
         }
-        if (!wanted) continue;
+        vn::Port& port = *binding.port;
+        while (port.has_data()) {
+          if (binding.is_state) {
+            // State: borrow the one current image, no consumption.
+            if (const spec::MessageInstance* m = port.peek()) drain_input(*link, binding, *m, now);
+            break;
+          }
+          const spec::MessageInstance* m = port.peek();
+          if (m == nullptr) break;
+          port.drop_front();  // consume first; the slot stays intact until the ring wraps
+          drain_input(*link, binding, *m, now);
+        }
       }
-      while (port.has_data()) {
-        if (port_spec.semantics == spec::InfoSemantics::kState) {
-          // State: borrow the one current image, no consumption.
-          if (const spec::MessageInstance* m = port.peek()) on_input(link->side(), *m, now);
-          break;
+    } else {
+      // Reference per-instance path (batched_dispatch_lockstep_test pins
+      // the batched drain against it).
+      for (const auto& port_ptr : link->ports_) {
+        vn::Port& port = *port_ptr;
+        const spec::PortSpec& port_spec = port.spec();
+        if (port_spec.direction != spec::DataDirection::kInput ||
+            port_spec.interaction != spec::Interaction::kPull)
+          continue;
+        if (config_.pull_only_on_request) {
+          bool wanted = false;
+          if (const auto sym = SymbolTable::global().lookup(port_spec.message)) {
+            const auto pit = link->dissect_plans_.find(*sym);
+            if (pit != link->dissect_plans_.end())
+              for (const DissectItem& item : pit->second.items)
+                if (item.repo_id != kInvalidElementId && repository_.requested(item.repo_id))
+                  wanted = true;
+          }
+          if (!wanted) continue;
         }
-        const spec::MessageInstance* m = port.peek();
-        if (m == nullptr) break;
-        port.drop_front();  // consume first; the slot stays intact until the ring wraps
-        on_input(link->side(), *m, now);
+        while (port.has_data()) {
+          if (port_spec.semantics == spec::InfoSemantics::kState) {
+            // State: borrow the one current image, no consumption.
+            if (const spec::MessageInstance* m = port.peek()) on_input(link->side(), *m, now);
+            break;
+          }
+          const spec::MessageInstance* m = port.peek();
+          if (m == nullptr) break;
+          port.drop_front();  // consume first; the slot stays intact until the ring wraps
+          on_input(link->side(), *m, now);
+        }
       }
     }
 

@@ -64,6 +64,15 @@ struct GatewayConfig {
   /// (declint, src/lint/) over the configured gateway and throws
   /// SpecError with the full report when any rule reports an error.
   bool strict_lint = false;
+  /// S29: dispatch() and the push-notify closures process arrivals
+  /// through the precompiled input bindings (plan and interpreter bound
+  /// per port, pull-request slots resolved, version sums cached on the
+  /// repository store epoch). When false, every arrival walks the
+  /// reference per-instance path through on_input()'s map lookups. The
+  /// two paths produce byte-identical artifacts by construction
+  /// (batched_dispatch_lockstep_test pins this); the knob exists for
+  /// that test and for A/B measurement, not as a semantic ablation.
+  bool batched_dispatch = true;
 };
 
 /// Forwarding statistics (inputs to E1/E2/E4/E10/E12).
@@ -187,6 +196,23 @@ class VirtualGateway {
   /// fields, rule targets) into compiled dissect/rule/construct plans.
   /// A name that does not resolve is a SpecError here, not at runtime.
   void compile_plans();
+
+  /// finalize() stage 3: build the per-port input bindings and install
+  /// the push-notify closures (which route through the bindings when
+  /// config_.batched_dispatch and fall back to on_input otherwise).
+  void bind_inputs();
+
+  /// Shared admission body of on_input(): temporal automaton, value
+  /// filter, dissect-and-store. Returns true iff the instance was
+  /// admitted (callers then run the event-triggered output pass).
+  bool process_input(GatewayLink& link, DissectPlan& plan, ta::Interpreter* recv_interpreter,
+                     const spec::MessageInstance& instance, Instant now);
+
+  /// Batched-path arrival: process `instance` through its precompiled
+  /// binding; falls back to on_input() when the deposited instance is
+  /// not the port's bound message (deposits are not type-checked).
+  void drain_input(GatewayLink& link, const GatewayLink::InputBinding& binding,
+                   const spec::MessageInstance& instance, Instant now);
 
   void dissect_and_store(GatewayLink& link, DissectPlan& plan,
                          const spec::MessageInstance& instance, Instant now);

@@ -20,30 +20,39 @@ ClockSync::ClockSync(tt::Controller& controller, ClockSyncConfig config, sim::Tr
 
 void ClockSync::on_frame(const tt::Frame& frame, Instant, Duration deviation) {
   if (frame.sender == controller_.id()) return;  // own frames carry no information
-  deviations_[frame.sender] = deviation;         // keep the freshest reading
+  if (frame.sender >= deviation_of_.size()) {    // first frame of a new sender
+    deviation_of_.resize(frame.sender + 1, Duration::zero());
+    has_deviation_.resize(frame.sender + 1, false);
+  }
+  if (!has_deviation_[frame.sender]) {
+    has_deviation_[frame.sender] = true;
+    ++deviation_count_;
+  }
+  deviation_of_[frame.sender] = deviation;  // keep the freshest reading
 }
 
 void ClockSync::on_round(std::uint64_t round) {
   if ((round + 1) % config_.resync_rounds != 0) return;
-  if (deviations_.empty()) return;
+  if (deviation_count_ == 0) return;
 
-  std::vector<Duration> readings;
-  readings.reserve(deviations_.size() + 1);
-  for (const auto& [node, deviation] : deviations_) readings.push_back(deviation);
+  readings_.clear();
+  for (std::size_t node = 0; node < deviation_of_.size(); ++node)
+    if (has_deviation_[node]) readings_.push_back(deviation_of_[node]);
   // The node's own clock participates in the fault-tolerant average with
   // deviation zero (Welch-Lynch), so a 3-node cluster with k=1 still has
   // the 2k+1 readings it needs.
-  readings.push_back(Duration::zero());
-  deviations_.clear();
+  readings_.push_back(Duration::zero());
+  has_deviation_.assign(has_deviation_.size(), false);
+  deviation_count_ = 0;
 
-  std::sort(readings.begin(), readings.end());
+  std::sort(readings_.begin(), readings_.end());
   const std::size_t k = config_.discard_extremes;
-  if (readings.size() <= 2 * k) return;  // not enough readings to tolerate k faults
+  if (readings_.size() <= 2 * k) return;  // not enough readings to tolerate k faults
 
   std::int64_t sum = 0;
   std::size_t n = 0;
-  for (std::size_t i = k; i < readings.size() - k; ++i) {
-    sum += readings[i].ns();
+  for (std::size_t i = k; i < readings_.size() - k; ++i) {
+    sum += readings_[i].ns();
     ++n;
   }
   const Duration average = Duration::nanoseconds(sum / static_cast<std::int64_t>(n));

@@ -12,8 +12,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <vector>
 
 #include "sim/trace.hpp"
 #include "tt/controller.hpp"
@@ -47,8 +47,15 @@ class ClockSync {
   sim::TraceRecorder* trace_;
   obs::Counter* corrections_metric_;  // services.clock_sync.corrections
   obs::Histogram* correction_ns_;     // services.clock_sync.correction_ns (|correction|)
-  // Most recent deviation observed per remote node since the last resync.
-  std::map<tt::NodeId, Duration> deviations_;
+  // Most recent deviation observed per remote node since the last resync,
+  // in flat per-node slots reused across resync periods (S29: the
+  // steady-state frame/round path must not touch the heap; the vectors
+  // only grow when a new highest sender id first appears).
+  std::vector<Duration> deviation_of_;
+  std::vector<bool> has_deviation_;
+  std::size_t deviation_count_ = 0;
+  // Per-resync scratch for the fault-tolerant average (capacity reused).
+  std::vector<Duration> readings_;
   std::uint64_t corrections_ = 0;
   Duration last_correction_ = Duration::zero();
 };

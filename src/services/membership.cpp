@@ -8,6 +8,7 @@ Membership::Membership(tt::Controller& controller, MembershipConfig config,
       config_{config},
       trace_{trace},
       changes_metric_{&controller.simulator().metrics().counter("services.membership.changes")},
+      seen_this_round_(config.cluster_size, false),
       silent_rounds_(config.cluster_size, 0),
       alive_(config.cluster_size, true) {
   controller_.add_frame_listener(
@@ -23,16 +24,16 @@ std::size_t Membership::member_count() const {
 }
 
 void Membership::on_frame(const tt::Frame& frame) {
-  if (frame.sender < config_.cluster_size) seen_this_round_.insert(frame.sender);
+  if (frame.sender < config_.cluster_size) seen_this_round_[frame.sender] = true;
 }
 
 void Membership::on_round(std::uint64_t round) {
   // A node counts as alive this round if any of its frames arrived; its
   // own transmissions count for itself (a node that can still send is a
   // member by definition).
-  seen_this_round_.insert(controller_.id());
+  if (controller_.id() < config_.cluster_size) seen_this_round_[controller_.id()] = true;
   for (tt::NodeId node = 0; node < config_.cluster_size; ++node) {
-    const bool seen = seen_this_round_.count(node) != 0;
+    const bool seen = seen_this_round_[node];
     if (seen) {
       silent_rounds_[node] = 0;
       if (!alive_[node]) {
@@ -61,7 +62,7 @@ void Membership::on_round(std::uint64_t round) {
       }
     }
   }
-  seen_this_round_.clear();
+  seen_this_round_.assign(config_.cluster_size, false);
 }
 
 }  // namespace decos::services

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <set>
 #include <vector>
 
 #include "sim/trace.hpp"
@@ -48,7 +47,9 @@ class Membership {
   MembershipConfig config_;
   sim::TraceRecorder* trace_;
   obs::Counter* changes_metric_;  // services.membership.changes
-  std::set<tt::NodeId> seen_this_round_;
+  // Per-round seen flags, reused across rounds (S29: round boundaries in
+  // the steady state must not touch the heap).
+  std::vector<bool> seen_this_round_;
   std::vector<std::uint64_t> silent_rounds_;
   std::vector<bool> alive_;
   std::vector<ChangeListener> listeners_;

@@ -1,0 +1,167 @@
+// Field-level codec primitives shared by the reference field-walk codec
+// (message.cpp) and the compiled-layout codec (wire_layout.cpp).
+//
+// These are the single source of truth for how one field maps to wire
+// bytes and, just as importantly, for the exact Status messages of
+// value-domain faults: the compiled fast path bails into these helpers
+// on any violation so its errors are string-identical to the reference
+// path (the equivalence property test pins this).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "spec/message_spec.hpp"
+#include "ta/value.hpp"
+#include "util/result.hpp"
+
+namespace decos::spec::codec_detail {
+
+inline void put_uint(std::vector<std::byte>& out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out.push_back(static_cast<std::byte>((v >> (8 * (bytes - 1 - i))) & 0xFF));
+  }
+}
+
+inline std::uint64_t get_uint(std::span<const std::byte> in, std::size_t offset,
+                              std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v = (v << 8) | static_cast<std::uint64_t>(in[offset + i]);
+  }
+  return v;
+}
+
+inline std::int64_t sign_extend(std::uint64_t v, std::size_t bytes) {
+  if (bytes == 8) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign_bit = 1ULL << (8 * bytes - 1);
+  if (v & sign_bit) v |= ~((sign_bit << 1) - 1);
+  return static_cast<std::int64_t>(v);
+}
+
+/// Big-endian store of the low `bytes` bytes of `v` at `out`.
+inline void store_be(std::byte* out, std::uint64_t v, std::size_t bytes) {
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out[i] = static_cast<std::byte>((v >> (8 * (bytes - 1 - i))) & 0xFF);
+  }
+}
+
+/// Big-endian load of `bytes` bytes at `in`.
+inline std::uint64_t load_be(const std::byte* in, std::size_t bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v = (v << 8) | static_cast<std::uint64_t>(in[i]);
+  }
+  return v;
+}
+
+/// Range check for integer fields; out-of-range values are value-domain
+/// faults that must not silently wrap on the wire.
+inline Status check_range(const FieldSpec& f, std::int64_t v) {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  switch (f.type) {
+    case FieldType::kInt8: lo = -128; hi = 127; break;
+    case FieldType::kInt16: lo = -32768; hi = 32767; break;
+    case FieldType::kInt32: lo = std::numeric_limits<std::int32_t>::min(); hi = std::numeric_limits<std::int32_t>::max(); break;
+    case FieldType::kInt64: return Status::success();
+    case FieldType::kUInt8: lo = 0; hi = 255; break;
+    case FieldType::kUInt16: lo = 0; hi = 65535; break;
+    case FieldType::kUInt32: lo = 0; hi = 4294967295LL; break;
+    case FieldType::kUInt64: return v >= 0 ? Status::success()
+                                           : Status::failure("negative value for uint64 field '" + f.name + "'");
+    default: return Status::success();
+  }
+  if (v < lo || v > hi)
+    return Status::failure("value " + std::to_string(v) + " out of range for field '" + f.name +
+                           "' (" + field_type_name(f.type) + ")");
+  return Status::success();
+}
+
+inline Status encode_field(std::vector<std::byte>& out, const FieldSpec& f, const ta::Value& v) {
+  switch (f.type) {
+    case FieldType::kBoolean:
+      put_uint(out, v.as_bool() ? 1 : 0, 1);
+      return Status::success();
+    case FieldType::kFloat32: {
+      const auto bits = std::bit_cast<std::uint32_t>(static_cast<float>(v.as_real()));
+      put_uint(out, bits, 4);
+      return Status::success();
+    }
+    case FieldType::kFloat64: {
+      const auto bits = std::bit_cast<std::uint64_t>(v.as_real());
+      put_uint(out, bits, 8);
+      return Status::success();
+    }
+    case FieldType::kString: {
+      if (!v.is_string())
+        return Status::failure("field '" + f.name + "' expects a string value");
+      const std::string& s = v.as_string();
+      if (s.size() > f.string_length)
+        return Status::failure("string too long for field '" + f.name + "' (" +
+                               std::to_string(s.size()) + " > " + std::to_string(f.string_length) + ")");
+      for (std::size_t i = 0; i < f.string_length; ++i) {
+        out.push_back(i < s.size() ? static_cast<std::byte>(s[i]) : std::byte{0});
+      }
+      return Status::success();
+    }
+    default: {
+      const std::int64_t i = v.as_int();
+      if (auto st = check_range(f, i); !st.ok()) return st;
+      put_uint(out, static_cast<std::uint64_t>(i), f.wire_size());
+      return Status::success();
+    }
+  }
+}
+
+/// Overwrite `out` with the field at `offset`. String fields append into
+/// the value's existing string storage (capacity reuse); everything else
+/// is a scalar assignment. The allocation-free core of decode_into().
+inline void decode_field_into(ta::Value& out, std::span<const std::byte> in, std::size_t offset,
+                              const FieldSpec& f) {
+  switch (f.type) {
+    case FieldType::kBoolean:
+      out = ta::Value{get_uint(in, offset, 1) != 0};
+      return;
+    case FieldType::kFloat32:
+      out = ta::Value{static_cast<double>(
+          std::bit_cast<float>(static_cast<std::uint32_t>(get_uint(in, offset, 4))))};
+      return;
+    case FieldType::kFloat64:
+      out = ta::Value{std::bit_cast<double>(get_uint(in, offset, 8))};
+      return;
+    case FieldType::kString: {
+      std::string& s = out.mutable_string();
+      s.clear();
+      for (std::size_t i = 0; i < f.string_length; ++i) {
+        const char c = static_cast<char>(in[offset + i]);
+        if (c == '\0') break;
+        s.push_back(c);
+      }
+      return;
+    }
+    case FieldType::kUInt8:
+    case FieldType::kUInt16:
+    case FieldType::kUInt32:
+    case FieldType::kUInt64:
+      out = ta::Value{static_cast<std::int64_t>(get_uint(in, offset, f.wire_size()))};
+      return;
+    default:
+      out = ta::Value{sign_extend(get_uint(in, offset, f.wire_size()), f.wire_size())};
+      return;
+  }
+}
+
+inline ta::Value decode_field(std::span<const std::byte> in, std::size_t offset,
+                              const FieldSpec& f) {
+  ta::Value v;
+  decode_field_into(v, in, offset, f);
+  return v;
+}
+
+}  // namespace decos::spec::codec_detail

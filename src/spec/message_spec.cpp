@@ -2,7 +2,62 @@
 
 #include <unordered_set>
 
+#include "spec/wire_layout.hpp"
+
 namespace decos::spec {
+
+MessageSpec::MessageSpec(const MessageSpec& other)
+    : loc{other.loc}, name_{other.name_}, name_sym_{other.name_sym_}, elements_{other.elements_} {}
+
+MessageSpec& MessageSpec::operator=(const MessageSpec& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  name_sym_ = other.name_sym_;
+  elements_ = other.elements_;
+  loc = other.loc;
+  invalidate_layout();
+  return *this;
+}
+
+MessageSpec::MessageSpec(MessageSpec&& other) noexcept
+    : loc{other.loc},
+      name_{std::move(other.name_)},
+      name_sym_{other.name_sym_},
+      elements_{std::move(other.elements_)},
+      layout_cache_{other.layout_cache_.exchange(nullptr, std::memory_order_acq_rel)} {}
+
+MessageSpec& MessageSpec::operator=(MessageSpec&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  name_sym_ = other.name_sym_;
+  elements_ = std::move(other.elements_);
+  loc = other.loc;
+  delete layout_cache_.exchange(other.layout_cache_.exchange(nullptr, std::memory_order_acq_rel),
+                                std::memory_order_acq_rel);
+  return *this;
+}
+
+MessageSpec::~MessageSpec() { delete layout_cache_.load(std::memory_order_acquire); }
+
+const WireLayout& MessageSpec::layout() const {
+  const WireLayout* cached = layout_cache_.load(std::memory_order_acquire);
+  if (cached == nullptr) {
+    const WireLayout* fresh = new WireLayout{WireLayout::compile(*this)};
+    const WireLayout* expected = nullptr;
+    if (layout_cache_.compare_exchange_strong(expected, fresh, std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+      cached = fresh;
+    } else {
+      delete fresh;  // another thread published first
+      cached = expected;
+    }
+  }
+  return *cached;
+}
+
+void MessageSpec::invalidate_layout() {
+  delete layout_cache_.exchange(nullptr, std::memory_order_acq_rel);
+}
 
 std::size_t field_wire_size(FieldType type, std::size_t string_length) {
   switch (type) {

@@ -8,6 +8,7 @@
 // message's fields by which message instances are identified on the wire.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -95,6 +96,8 @@ struct ElementSpec {
   }
 };
 
+class WireLayout;
+
 /// Syntactic description of one message on a virtual network.
 class MessageSpec {
  public:
@@ -102,14 +105,27 @@ class MessageSpec {
   explicit MessageSpec(std::string name)
       : name_{std::move(name)}, name_sym_{intern_symbol(name_)} {}
 
+  // The compiled-layout cache is owned exclusively; copies recompile
+  // lazily, moves transfer the published layout (it holds no pointers
+  // into the spec, so it stays valid across relocation).
+  MessageSpec(const MessageSpec& other);
+  MessageSpec& operator=(const MessageSpec& other);
+  MessageSpec(MessageSpec&& other) noexcept;
+  MessageSpec& operator=(MessageSpec&& other) noexcept;
+  ~MessageSpec();
+
   const std::string& name() const { return name_; }
   Symbol name_sym() const { return name_sym_; }
   void set_name(std::string name) {
     name_ = std::move(name);
     name_sym_ = intern_symbol(name_);
+    invalidate_layout();
   }
 
-  void add_element(ElementSpec element) { elements_.push_back(std::move(element)); }
+  void add_element(ElementSpec element) {
+    elements_.push_back(std::move(element));
+    invalidate_layout();
+  }
   const std::vector<ElementSpec>& elements() const { return elements_; }
   const ElementSpec* element(const std::string& element_name) const;
 
@@ -125,10 +141,20 @@ class MessageSpec {
   /// fields static, string fields sized.
   Status validate() const;
 
+  /// The compiled wire layout of this spec (DESIGN.md S29). Compiled on
+  /// first use and published once (thread-safe against concurrent
+  /// readers; racing compilers keep one result). Mutating the spec via
+  /// add_element/set_name invalidates the cache -- mutation must not
+  /// race layout() calls, matching the finalize-then-run lifecycle.
+  const WireLayout& layout() const;
+
  private:
+  void invalidate_layout();
+
   std::string name_;
   Symbol name_sym_{};
   std::vector<ElementSpec> elements_;
+  mutable std::atomic<const WireLayout*> layout_cache_{nullptr};
 };
 
 }  // namespace decos::spec

@@ -1,0 +1,102 @@
+// Compiled wire layouts (DESIGN.md S29): the codec-side analogue of the
+// S23 compiled transfer plans.
+//
+// A WireLayout is compiled once per MessageSpec and flattens the spec's
+// element/field tree into a dense offset/type-tag op table plus a
+// pre-encoded template of all static fields. The hot encode path is then
+// one resize + one memcpy of the template followed by a branch-light
+// loop over dynamic-field ops at fixed offsets; the hot decode path is
+// the same loop in reverse. No per-field FieldType switch over a sparse
+// enum, no per-byte push_back, no string hashing.
+//
+// Equivalence contract (pinned by wire_layout_property_test): for every
+// spec and instance/payload, the compiled path produces byte-identical
+// buffers, value-identical instances and string-identical Status errors
+// to the reference field-walk codec in message.cpp. Where the fast path
+// cannot prove equivalence locally -- an instance whose static-field
+// values differ from the spec's, a spec whose statics do not encode --
+// it falls back to the reference path instead of approximating it. The
+// on-error *content* of an encode output buffer is unspecified in both
+// paths (only Status is contractual).
+//
+// A WireLayout holds no pointers into its MessageSpec (indices and
+// copied static values only), so specs may be moved (e.g. vector
+// growth) without invalidating a published layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ta/value.hpp"
+#include "util/result.hpp"
+
+namespace decos::spec {
+
+class MessageInstance;
+class MessageSpec;
+
+class WireLayout {
+ public:
+  /// Flatten `spec` into an op table. Never fails: a spec whose static
+  /// fields cannot be encoded (wrong type / out of range) simply
+  /// compiles to a layout that always takes the reference path.
+  static WireLayout compile(const MessageSpec& spec);
+
+  /// Compiled counterparts of spec::encode_into / decode_into /
+  /// matches_key. `spec` must be the spec this layout was compiled
+  /// from (it is consulted for structural checks and cold error paths).
+  Status encode_into(const MessageSpec& spec, const MessageInstance& instance,
+                     std::vector<std::byte>& out) const;
+  Status decode_into(const MessageSpec& spec, std::span<const std::byte> payload,
+                     MessageInstance& scratch) const;
+  bool matches_key(const MessageSpec& spec, std::span<const std::byte> payload) const;
+
+  std::size_t wire_size() const { return wire_size_; }
+
+ private:
+  /// Dense op tags: every FieldType collapsed to width + signedness
+  /// (kTimestamp is kI64 on the wire).
+  enum class OpKind : std::uint8_t {
+    kBool, kI8, kI16, kI32, kI64, kU8, kU16, kU32, kU64, kF32, kF64, kString,
+  };
+
+  struct FieldOp {
+    OpKind kind = OpKind::kI32;
+    bool is_static = false;
+    /// matches_key: this static key field may be compared by memcmp
+    /// against the template (sound only for in-range integer statics;
+    /// booleans, strings and floats have non-injective encodings).
+    bool key_memcmp = false;
+    bool key = false;              // field of a key element with a static value
+    std::uint32_t element = 0;     // element index in the spec
+    std::uint32_t field = 0;       // field index within the element
+    std::uint32_t offset = 0;      // wire offset
+    std::uint32_t length = 0;      // kString: bytes on the wire
+    std::int64_t lo = 0;           // integer range (inclusive)
+    std::int64_t hi = 0;
+    std::uint32_t static_idx = 0;  // into static_values_ when is_static
+  };
+
+  /// Op range [begin, end) of one element, in declaration order.
+  struct ElementRange {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  bool static_equals(const FieldOp& op, const ta::Value& v) const;
+
+  Status encode_dynamic(const MessageSpec& spec, const FieldOp& op, const ta::Value& v,
+                        std::byte* out) const;
+
+  std::size_t wire_size_ = 0;
+  bool statics_encodable_ = true;  // false: encode always field-walks
+  bool has_key_ = false;
+  std::vector<FieldOp> ops_;               // all fields, declaration order
+  std::vector<ElementRange> elements_;     // parallel to spec elements
+  std::vector<ta::Value> static_values_;   // copied spec static values
+  std::vector<std::byte> template_;        // statics pre-encoded, rest zero
+};
+
+}  // namespace decos::spec

@@ -39,6 +39,7 @@ bool TtBus::transmit(Frame frame) {
     DECOS_TRACE(trace_, now, sim::TraceKind::kFrameBlocked, "node" + std::to_string(frame.sender),
                 "slot " + std::to_string(frame.slot_index),
                 static_cast<std::int64_t>(frame.payload.size()));
+    recycle_payload(std::move(frame.payload));
     return false;
   }
 
@@ -68,6 +69,7 @@ bool TtBus::transmit(Frame frame) {
     DECOS_TRACE(trace_, now, sim::TraceKind::kFrameBlocked, "node" + std::to_string(frame.sender),
                 "collision in slot " + std::to_string(frame.slot_index));
     in_flight_.push_back(InFlight{now, tx_end, 0, true});
+    recycle_payload(std::move(frame.payload));
     return true;  // the guardian admitted it; the medium destroyed it
   }
 
@@ -78,24 +80,27 @@ bool TtBus::transmit(Frame frame) {
               static_cast<std::int64_t>(frame.payload.size()));
 
   const Instant delivery_time = tx_end + config_.propagation;
-  const sim::EventId delivery = simulator_.schedule_at(delivery_time, [this, frame] {
+  // The frame is move-captured: the delivery event owns the payload
+  // buffer, restamps the trace in place (no copies) and hands the buffer
+  // back to the pool once every receiver has seen it.
+  const sim::EventId delivery = simulator_.schedule_at(delivery_time, [this, frame = std::move(frame)]() mutable {
     ++frames_delivered_;
     const Instant delivered_at = simulator_.now();
     DECOS_TRACE(trace_, delivered_at, sim::TraceKind::kFrameDelivered,
                 "node" + std::to_string(frame.sender),
                 "slot " + std::to_string(frame.slot_index) + " vn " + std::to_string(frame.vn),
                 static_cast<std::int64_t>(frame.payload.size()));
-    Frame delivered = frame;
     if (frame.trace_id != 0) {
       // The bus hop is one span: transmission start to delivery at the
       // receivers. Downstream spans (overlay delivery, gateway dissect)
-      // parent under it, so restamp the delivered copy.
-      delivered.span_id = simulator_.spans().emit(
+      // parent under it, so restamp the frame before fan-out.
+      frame.span_id = simulator_.spans().emit(
           frame.trace_id, frame.span_id, obs::Phase::kBus, "bus",
           "slot " + std::to_string(frame.slot_index), frame.sent_at, delivered_at,
           static_cast<std::int64_t>(frame.payload.size()));
     }
-    fan_out(delivered, delivered_at);
+    fan_out(frame, delivered_at);
+    recycle_payload(std::move(frame.payload));
   });
   in_flight_.push_back(InFlight{now, tx_end, delivery, false});
   return true;

@@ -72,7 +72,29 @@ class TtBus {
     return config_.per_byte * static_cast<std::int64_t>(bytes + 8);
   }
 
+  // -- payload recycling --------------------------------------------------
+  /// Warmed payload buffers for the frame path (S29): overlay senders
+  /// acquire a buffer, encode into it, and the bus recycles it after the
+  /// frame leaves the medium (delivered, blocked or destroyed), so the
+  /// steady-state frame path performs no heap allocation. On a
+  /// partitioned kernel the pool is bypassed -- senders run on partition
+  /// wheels while recycling happens in the global delivery phase, and a
+  /// shared free list would race.
+  std::vector<std::byte> acquire_payload() {
+    if (simulator_.partitioned() || payload_pool_.empty()) return {};
+    std::vector<std::byte> buffer = std::move(payload_pool_.back());
+    payload_pool_.pop_back();
+    buffer.clear();
+    return buffer;
+  }
+  void recycle_payload(std::vector<std::byte>&& payload) {
+    if (simulator_.partitioned() || payload.capacity() == 0) return;
+    if (payload_pool_.size() >= kPayloadPoolCap) return;
+    payload_pool_.push_back(std::move(payload));
+  }
+
  private:
+  static constexpr std::size_t kPayloadPoolCap = 64;
   bool guardian_admits(const Frame& frame, Instant now) const;
 
   /// Receivers grouped by home kernel for the partitioned delivery
@@ -106,6 +128,8 @@ class TtBus {
     bool corrupted = false;
   };
   std::vector<InFlight> in_flight_;
+
+  std::vector<std::vector<std::byte>> payload_pool_;
 
   std::uint64_t frames_delivered_ = 0;
   std::uint64_t frames_blocked_ = 0;

@@ -171,7 +171,12 @@ void Controller::transmit_slot(std::size_t slot_index, SlotState& state) {
       frame.span_id = payload->span_id;
     }
   } else if (state.buffering == SlotBuffering::kState) {
-    if (state.state_buffer) frame.payload = *state.state_buffer;
+    if (state.state_buffer) {
+      // State buffers retransmit every round: copy into a pooled buffer
+      // instead of allocating a fresh vector per transmission.
+      frame.payload = bus_.acquire_payload();
+      frame.payload.assign(state.state_buffer->begin(), state.state_buffer->end());
+    }
   } else if (!state.queue.empty()) {
     frame.payload = std::move(state.queue.front());
     state.queue.pop_front();

@@ -47,6 +47,9 @@ class Controller {
   sim::DriftingClock& clock() { return clock_; }
   const sim::DriftingClock& clock() const { return clock_; }
   sim::Simulator& simulator() { return simulator_; }
+  /// The bus this node transmits on (overlay senders use its payload
+  /// pool to keep the frame path allocation-free).
+  TtBus& bus() { return bus_; }
   const TdmaSchedule& schedule() const { return bus_.schedule(); }
   /// Partition wheel running this node's local work (S28); 0 = global.
   std::uint32_t home_kernel() const { return home_kernel_; }

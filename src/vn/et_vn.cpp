@@ -1,6 +1,7 @@
 #include "vn/et_vn.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace decos::vn {
 
@@ -36,11 +37,15 @@ bool EtVirtualNetwork::send(tt::Controller& controller, const spec::MessageInsta
   if (it == queues_.end())
     throw SpecError("node " + std::to_string(controller.id()) + " is not attached to VN '" +
                     name() + "'");
-  auto bytes = spec::encode(*ms, instance);
-  if (!bytes.ok()) throw SpecError(bytes.error());
+  // Encode into a pooled buffer: the bus recycles it once the frame
+  // leaves the medium, so steady-state sends allocate nothing.
+  std::vector<std::byte> bytes = controller.bus().acquire_payload();
+  if (const Status st = spec::encode_into(*ms, instance, bytes); !st.ok())
+    throw SpecError(st.error());
 
   std::vector<Pending>& queue = it->second;
   if (queue.size() >= pending_capacity_) {
+    controller.bus().recycle_payload(std::move(bytes));
     ++overloads_;
     return false;
   }
@@ -55,7 +60,7 @@ bool EtVirtualNetwork::send(tt::Controller& controller, const spec::MessageInsta
                          "node" + std::to_string(controller.id()), instance.message(), now, now);
   }
   queue.push_back(
-      Pending{priority_of(instance.message()), seq_++, std::move(bytes.value()), trace_id, span_id});
+      Pending{priority_of(instance.message()), seq_++, std::move(bytes), trace_id, span_id});
   if (pending_depth_ == nullptr)
     pending_depth_ = &controller.simulator().metrics().gauge("vn." + name() + ".pending_depth");
   pending_depth_->set(static_cast<std::int64_t>(queue.size()));
@@ -92,16 +97,21 @@ std::optional<tt::Controller::SlotPayload> EtVirtualNetwork::pop_next(tt::NodeId
 
 void EtVirtualNetwork::ensure_listener(tt::Controller& controller) {
   if (!listening_nodes_.insert(controller.id()).second) return;
+  // Per-listener (= per-node) decode scratch, one warmed instance per
+  // message: payloads self-identify, so scratch is keyed by the interned
+  // message name. Listener-owned so partitioned runs never share scratch
+  // across node threads.
+  auto scratch = std::make_shared<std::map<Symbol, spec::MessageInstance>>();
   controller.add_frame_listener(
-      [this, &controller](const tt::Frame& frame, Instant, Duration) {
+      [this, &controller, scratch](const tt::Frame& frame, Instant, Duration) {
         if (frame.vn != id() || frame.payload.empty()) return;
         const spec::MessageSpec* ms = identify(frame.payload);
         if (ms == nullptr) return;  // unknown name: drop at the VN boundary
-        auto instance = spec::decode(*ms, frame.payload);
-        if (!instance.ok()) return;
-        instance.value().set_send_time(frame.sent_at);
-        instance.value().set_trace(frame.trace_id, frame.span_id);
-        deposit_to_inputs(controller, instance.value(), frame.payload.size());
+        spec::MessageInstance& instance = (*scratch)[ms->name_sym()];
+        if (!spec::decode_into(*ms, frame.payload, instance).ok()) return;
+        instance.set_send_time(frame.sent_at);
+        instance.set_trace(frame.trace_id, frame.span_id);
+        deposit_to_inputs(controller, instance, frame.payload.size());
       });
 }
 

@@ -56,6 +56,15 @@ class Port {
     return count_ == 0 ? nullptr : &ring_[head_];
   }
 
+  /// Borrow like peek(), but count the access as a consumer read -- the
+  /// non-copying replacement for read() on state ports (the TT slot
+  /// source encodes straight out of the port's storage).
+  const spec::MessageInstance* peek_read() {
+    const spec::MessageInstance* instance = peek();
+    if (instance != nullptr) ++reads_;
+    return instance;
+  }
+
   /// Consume the oldest queued event instance without copying it out;
   /// the ring slot keeps its storage for the next deposit (the hot-path
   /// complement of peek()). No-op on state ports.

@@ -1,5 +1,8 @@
 #include "vn/tt_vn.hpp"
 
+#include <map>
+#include <memory>
+
 namespace decos::vn {
 
 void TtVirtualNetwork::attach_sender(tt::Controller& controller, Port& port,
@@ -19,15 +22,28 @@ void TtVirtualNetwork::attach_sender(tt::Controller& controller, Port& port,
       throw SpecError("slot " + std::to_string(slot_index) + " too small for message '" +
                       ms->name() + "'");
     slot_to_message_[slot_index] = ms->name();
+    slot_to_spec_[slot_index] = ms;
     port.bind_trace(controller.simulator().spans(), "node" + std::to_string(controller.id()));
+    const bool state_port = port.spec().semantics == spec::InfoSemantics::kState;
     controller.set_slot_source(
-        slot_index, [&port, ms]() -> std::optional<tt::Controller::SlotPayload> {
-          auto instance = port.read();
-          if (!instance) return std::nullopt;  // nothing produced yet: life-sign only
-          auto bytes = spec::encode(*ms, *instance);
-          if (!bytes.ok()) return std::nullopt;  // value fault kept local to the VN
-          return tt::Controller::SlotPayload{std::move(bytes.value()), instance->trace_id(),
-                                             instance->span_id()};
+        slot_index,
+        [&port, ms, &controller, state_port]() -> std::optional<tt::Controller::SlotPayload> {
+          // Encode straight out of the port's storage into a pooled
+          // buffer: no instance copy, no per-frame allocation. State
+          // ports are borrowed (peek_read keeps the read counter
+          // honest); event ports are consumed after the borrow.
+          const spec::MessageInstance* instance = state_port ? port.peek_read() : port.peek();
+          if (instance == nullptr) return std::nullopt;  // nothing produced yet: life-sign only
+          std::vector<std::byte> bytes = controller.bus().acquire_payload();
+          const Status st = spec::encode_into(*ms, *instance, bytes);
+          const std::uint64_t trace_id = instance->trace_id();
+          const std::uint64_t span_id = instance->span_id();
+          if (!state_port) port.drop_front();
+          if (!st.ok()) {  // value fault kept local to the VN
+            controller.bus().recycle_payload(std::move(bytes));
+            return std::nullopt;
+          }
+          return tt::Controller::SlotPayload{std::move(bytes), trace_id, span_id};
         });
   }
 }
@@ -48,18 +64,22 @@ const std::string* TtVirtualNetwork::message_of_slot(std::size_t slot_index) con
 
 void TtVirtualNetwork::ensure_listener(tt::Controller& controller) {
   if (!listening_nodes_.insert(controller.id()).second) return;
+  // Per-listener (= per-node) decode scratch, one warmed instance per
+  // slot: decode_into overwrites values in place, so the steady-state
+  // receive path allocates nothing. Listener-owned (not a VN member) so
+  // partitioned runs never share scratch across node threads.
+  auto scratch = std::make_shared<std::map<std::size_t, spec::MessageInstance>>();
   controller.add_frame_listener(
-      [this, &controller](const tt::Frame& frame, Instant, Duration) {
+      [this, &controller, scratch](const tt::Frame& frame, Instant, Duration) {
         if (frame.vn != id() || frame.payload.empty()) return;
-        const std::string* message_name = message_of_slot(frame.slot_index);
-        if (message_name == nullptr) return;
-        const spec::MessageSpec* ms = message_spec(*message_name);
-        if (ms == nullptr) return;
-        auto instance = spec::decode(*ms, frame.payload);
-        if (!instance.ok()) return;  // malformed payload: drop at the VN boundary
-        instance.value().set_send_time(frame.sent_at);
-        instance.value().set_trace(frame.trace_id, frame.span_id);
-        deposit_to_inputs(controller, instance.value(), frame.payload.size());
+        const auto it = slot_to_spec_.find(frame.slot_index);
+        if (it == slot_to_spec_.end()) return;
+        spec::MessageInstance& instance = (*scratch)[frame.slot_index];
+        if (!spec::decode_into(*it->second, frame.payload, instance).ok())
+          return;  // malformed payload: drop at the VN boundary
+        instance.set_send_time(frame.sent_at);
+        instance.set_trace(frame.trace_id, frame.span_id);
+        deposit_to_inputs(controller, instance, frame.payload.size());
       });
 }
 

@@ -38,6 +38,11 @@ class TtVirtualNetwork final : public VirtualNetwork {
   void ensure_listener(tt::Controller& controller);
 
   std::map<std::size_t, std::string> slot_to_message_;
+  // Slot -> spec, resolved at attach time so the receive path decodes
+  // without a name lookup. Valid under the existing lifecycle rule that
+  // all messages are registered before senders attach (the sender-side
+  // slot source already captures the spec pointer).
+  std::map<std::size_t, const spec::MessageSpec*> slot_to_spec_;
   std::set<tt::NodeId> listening_nodes_;
 };
 

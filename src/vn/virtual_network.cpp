@@ -8,6 +8,9 @@ void VirtualNetwork::register_message(spec::MessageSpec message_spec) {
     throw SpecError("virtual network '" + name_ + "' already has a message '" +
                     message_spec.name() + "'");
   message_specs_.push_back(std::move(message_spec));
+  // Compile the wire layout eagerly: registration is setup-time, and the
+  // frame path must not pay (or allocate for) the first-use compile.
+  message_specs_.back().layout();
 }
 
 const spec::MessageSpec* VirtualNetwork::message_spec(const std::string& message_name) const {
@@ -23,7 +26,7 @@ const spec::MessageSpec* VirtualNetwork::identify(std::span<const std::byte> pay
 }
 
 void VirtualNetwork::register_input(tt::NodeId node, const std::string& message_name, Port& port) {
-  inputs_[{node, message_name}].push_back(&port);
+  inputs_[{node, intern_symbol(message_name)}].push_back(&port);
 }
 
 void VirtualNetwork::preregister_metrics(sim::Simulator& simulator) {
@@ -42,22 +45,21 @@ void VirtualNetwork::ensure_metrics(sim::Simulator& simulator) {
 }
 
 void VirtualNetwork::deposit_to_inputs(tt::Controller& controller,
-                                       const spec::MessageInstance& instance,
+                                       spec::MessageInstance& instance,
                                        std::size_t wire_bytes) {
-  const auto it = inputs_.find({controller.id(), instance.message()});
+  const auto it = inputs_.find({controller.id(), instance.message_sym()});
   if (it == inputs_.end()) return;
   ensure_metrics(controller.simulator());
   const Instant now = controller.simulator().now();
-  spec::MessageInstance delivered = instance;
   if (instance.trace_id() != 0) {
     obs::TraceCollector& spans = controller.simulator().spans();
     const std::uint64_t span =
-        spans.emit(instance.trace_id(), instance.span_id(), obs::Phase::kDeliver, "vn:" + name_,
-                   instance.message(), now, now, static_cast<std::int64_t>(wire_bytes));
-    delivered.set_trace(instance.trace_id(), span);
+        spans.emit(instance.trace_id(), instance.span_id(), obs::Phase::kDeliver, deliver_track_,
+                   instance.message_sym(), now, now, static_cast<std::int64_t>(wire_bytes));
+    instance.set_trace(instance.trace_id(), span);
   }
   for (Port* port : it->second) {
-    if (!port->deposit(delivered, now)) {
+    if (!port->deposit(instance, now)) {
       // Consumer-side drop (full event queue): surfaced lazily so the
       // instrument only exists in runs that actually overflowed.
       if (deliver_overflow_metric_ == nullptr)

@@ -27,7 +27,10 @@ namespace decos::vn {
 class VirtualNetwork {
  public:
   VirtualNetwork(std::string name, tt::VnId id, spec::ControlParadigm paradigm)
-      : name_{std::move(name)}, id_{id}, paradigm_{paradigm} {}
+      : name_{std::move(name)},
+        id_{id},
+        paradigm_{paradigm},
+        deliver_track_{intern_symbol("vn:" + name_)} {}
   virtual ~VirtualNetwork() = default;
 
   VirtualNetwork(const VirtualNetwork&) = delete;
@@ -64,8 +67,11 @@ class VirtualNetwork {
 
  protected:
   /// Deposit `instance` into every input port registered for its message
-  /// on the node served by `controller`.
-  void deposit_to_inputs(tt::Controller& controller, const spec::MessageInstance& instance,
+  /// on the node served by `controller`. Takes the instance by mutable
+  /// reference: a traced delivery restamps the span in place instead of
+  /// copying the instance (callers pass per-listener decode scratch they
+  /// own, so the frame path stays allocation-free).
+  void deposit_to_inputs(tt::Controller& controller, spec::MessageInstance& instance,
                          std::size_t wire_bytes);
 
   /// Input-port registry: (node, message) -> ports.
@@ -79,9 +85,14 @@ class VirtualNetwork {
   std::string name_;
   tt::VnId id_;
   spec::ControlParadigm paradigm_;
+  // Track label of delivery spans ("vn:<name>"), interned once so the
+  // per-frame emit takes the Symbol fast path.
+  Symbol deliver_track_;
   std::string das_;
   std::vector<spec::MessageSpec> message_specs_;
-  std::map<std::pair<tt::NodeId, std::string>, std::vector<Port*>> inputs_;
+  // Keyed by interned message Symbol: the per-frame lookup builds its key
+  // from the instance's cached Symbol instead of copying a string.
+  std::map<std::pair<tt::NodeId, Symbol>, std::vector<Port*>> inputs_;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t bytes_delivered_ = 0;
 

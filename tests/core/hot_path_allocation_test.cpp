@@ -13,8 +13,12 @@
 
 #include "../helpers.hpp"
 #include "core/virtual_gateway.hpp"
+#include "core/wiring.hpp"
 #include "obs/telemetry.hpp"
+#include "platform/cluster.hpp"
 #include "sim/simulator.hpp"
+#include "vn/et_vn.hpp"
+#include "vn/tt_vn.hpp"
 
 // Global allocation counter (same pattern as tests/obs/metrics_test.cpp):
 // every heap allocation in this binary bumps the counter; the tests only
@@ -282,6 +286,129 @@ TEST(HotPathAllocations, SteadyTelemetryAggregationAllocatesNothing) {
   ASSERT_EQ(totals.size(), 1u);
   EXPECT_EQ(totals[0].traces, 1024u);
   EXPECT_EQ(totals[0].deadline_miss, 0u);
+}
+
+// -- full frame path (S29): the pipeline tests above drive the gateway
+// ports directly; this one runs the complete wire journey in both
+// directions at once through a bidirectional gateway -- producer port ->
+// TT VN encode (compiled WireLayout into the pooled slot buffer) -> TDMA
+// bus -> TT VN decode (warmed listener scratch) -> gateway batched
+// dispatch -> ET VN encode -> ET slots -> ET VN decode -> consumer port,
+// and the ET->TT mirror of it. Once warm, whole rounds of simulated
+// traffic must not touch the heap. --
+
+TEST(HotPathAllocations, FullFramePathThroughBothVnsAllocatesNothing) {
+  platform::ClusterConfig config;
+  config.nodes = 3;
+  config.round_length = 10_ms;
+  config.allocations = {{1, "dasA", 32, {0, 2}}, {2, "dasB", 32, {1, 2}}};
+  platform::Cluster cluster{config};
+  // The human-readable bus trace formats a string per frame and the span
+  // collector records a causal span per traced hop; like the gateway
+  // trace below, both are off in a production-shaped hot path.
+  cluster.bus().trace().set_enabled(false);
+  cluster.simulator().spans().set_enabled(false);
+
+  vn::TtVirtualNetwork vn_a{"vn-a", 1};
+  vn::EtVirtualNetwork vn_b{"vn-b", 2};
+
+  const auto make_port = [](const std::string& msg, spec::DataDirection dir,
+                            spec::ControlParadigm par, Duration period) {
+    spec::PortSpec ps;
+    ps.message = msg;
+    ps.direction = dir;
+    ps.semantics = spec::InfoSemantics::kState;
+    ps.paradigm = par;
+    ps.period = period;
+    ps.min_interarrival = 1_us;
+    ps.max_interarrival = Duration::seconds(3600);
+    ps.queue_capacity = 16;
+    return ps;
+  };
+
+  // Link A: consumes msgX, produces msgYback. Link B: produces msgXfwd,
+  // consumes msgY (state semantics on both VNs; the ET side carries the
+  // state updates event-triggered).
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgX", "xdata", 1));
+  link_a.add_port(make_port("msgX", spec::DataDirection::kInput,
+                            spec::ControlParadigm::kTimeTriggered, 10_ms));
+  link_a.add_message(state_message("msgYback", "ydata", 2));
+  link_a.add_port(make_port("msgYback", spec::DataDirection::kOutput,
+                            spec::ControlParadigm::kTimeTriggered, 10_ms));
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgXfwd", "xdata", 3));
+  link_b.add_port(make_port("msgXfwd", spec::DataDirection::kOutput,
+                            spec::ControlParadigm::kEventTriggered, Duration::zero()));
+  link_b.add_message(state_message("msgY", "ydata", 4));
+  link_b.add_port(make_port("msgY", spec::DataDirection::kInput,
+                            spec::ControlParadigm::kEventTriggered, Duration::zero()));
+
+  GatewayConfig gw_config;
+  gw_config.default_d_acc = Duration::seconds(3600);
+  gw_config.dispatch_period = 1_ms;
+  VirtualGateway gateway{"hot", std::move(link_a), std::move(link_b), gw_config};
+  gateway.finalize();
+  gateway.trace().set_enabled(false);
+  wire_tt_link(gateway, 0, vn_a, cluster.controller(2),
+               {{"msgYback", cluster.vn_slots(1, 2)}});
+  wire_et_link(gateway, 1, vn_b, cluster.controller(2), cluster.vn_slots(2, 2));
+
+  // DAS A endpoints on node 0; DAS B endpoints on node 1.
+  vn::Port producer_a{make_port("msgX", spec::DataDirection::kOutput,
+                                spec::ControlParadigm::kTimeTriggered, 10_ms)};
+  vn_a.attach_sender(cluster.controller(0), producer_a, cluster.vn_slots(1, 0));
+  vn::Port consumer_a{make_port("msgYback", spec::DataDirection::kInput,
+                                spec::ControlParadigm::kTimeTriggered, 10_ms)};
+  vn_a.attach_receiver(cluster.controller(0), consumer_a);
+  vn::Port consumer_b{make_port("msgXfwd", spec::DataDirection::kInput,
+                                spec::ControlParadigm::kEventTriggered, Duration::zero())};
+  vn_b.attach_receiver(cluster.controller(1), consumer_b);
+  vn_b.attach_node(cluster.controller(1), cluster.vn_slots(2, 1));
+
+  cluster.component(2)
+      .add_partition("gw", "architecture", 0_ms, 1_ms)
+      .add_function_job("gwjob", [&gateway](platform::FunctionJob&, Instant now) {
+        gateway.dispatch(now);
+      });
+
+  // Producers mutate one persistent instance per direction; the ports
+  // and VN scratch hold the only other copies, all warmed below.
+  spec::MessageInstance inst_x = spec::make_instance(*gateway.link_a().spec().message("msgX"));
+  spec::MessageInstance inst_y = spec::make_instance(*gateway.link_b().spec().message("msgY"));
+  std::int64_t tick = 0;
+  cluster.component(0)
+      .add_partition("pa", "dasA", 2_ms, 200_us)
+      .add_function_job("prodA", [&](platform::FunctionJob&, Instant now) {
+        inst_x.elements()[1].fields[0] = ta::Value{tick};
+        inst_x.elements()[1].fields[1] = ta::Value{now};
+        inst_x.set_send_time(now);
+        producer_a.deposit(inst_x, now);
+      });
+  cluster.component(1)
+      .add_partition("pb", "dasB", 4_ms, 200_us)
+      .add_function_job("prodB", [&](platform::FunctionJob&, Instant now) {
+        inst_y.elements()[1].fields[0] = ta::Value{tick++};
+        inst_y.elements()[1].fields[1] = ta::Value{now};
+        inst_y.set_send_time(now);
+        vn_b.send(cluster.controller(1), inst_y);
+      });
+
+  cluster.start();
+  cluster.run_for(Duration::milliseconds(2560));  // warm pools, rings, scratch
+  ASSERT_TRUE(consumer_b.has_data()) << "TT->ET direction never delivered";
+  ASSERT_TRUE(consumer_a.has_data()) << "ET->TT direction never delivered";
+  const std::int64_t warm_x = consumer_b.peek_read()->element("xdata")->fields[0].as_int();
+  const std::int64_t warm_y = consumer_a.peek_read()->element("ydata")->fields[0].as_int();
+
+  const std::size_t before = g_allocations;
+  cluster.run_for(Duration::milliseconds(5120));
+  EXPECT_EQ(g_allocations - before, 0u) << "steady-state full frame path allocated";
+
+  EXPECT_GT(consumer_b.peek_read()->element("xdata")->fields[0].as_int(), warm_x)
+      << "TT->ET direction stopped forwarding";
+  EXPECT_GT(consumer_a.peek_read()->element("ydata")->fields[0].as_int(), warm_y)
+      << "ET->TT direction stopped forwarding";
 }
 
 TEST(HotPathAllocations, SteadyStateEventPipelineAllocatesNothing) {
