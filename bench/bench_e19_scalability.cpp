@@ -146,7 +146,8 @@ Outcome run(Cell* cell, std::size_t das_pairs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Harness harness{argc, argv, "e19"};
+  Harness harness{argc, argv, "e19",
+                  {{"--quick"}, {"--no-wall"}, {"--compare-serial"}, {"--repeats", true}}};
   // --quick: CI smoke shape (fewer cells, fewer repeats); --repeats N:
   // per-cell cost is min-of-N to suppress scheduler noise (the simulated
   // outcome columns are bit-identical across repeats); --no-wall: omit

@@ -208,7 +208,7 @@ Outcome run(Cell* cell, std::size_t nodes, std::size_t sim_jobs, Duration sim_ti
 }  // namespace
 
 int main(int argc, char** argv) {
-  Harness harness{argc, argv, "e21"};
+  Harness harness{argc, argv, "e21", {{"--quick"}, {"--no-wall"}, {"--nodes", true}}};
   bool quick = false;
   bool no_wall = false;
   bool single_point = false;  // --sim-jobs given: worker-count-free output

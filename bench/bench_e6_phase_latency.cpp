@@ -125,7 +125,7 @@ Outcome run(Cell& cell, Duration p1, Duration p2, double phase_fraction, Duratio
 }  // namespace
 
 int main(int argc, char** argv) {
-  Harness harness{argc, argv, "e6"};
+  Harness harness{argc, argv, "e6", {{"--quick"}}};
   bool quick = false;  // --quick: fewer phases, 1s cells (determinism test)
   for (int i = 1; i < argc; ++i)
     if (std::string{argv[i]} == "--quick") quick = true;

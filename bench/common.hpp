@@ -68,9 +68,19 @@ class Cell;
 /// per-message); configure() enables it on a cell's simulator only when
 /// --trace-out was requested. Construct one Harness at the top of
 /// main(); the destructor writes all files.
+/// An experiment-specific flag a bench handles itself. Declaring it
+/// tells the Harness parser to accept (and skip) it; anything else
+/// starting with '-' is a usage error, so a typo like --quikc fails
+/// loudly instead of silently running the full sweep.
+struct ExtraFlag {
+  std::string name;
+  bool takes_value = false;
+};
+
 class Harness {
  public:
-  Harness(int argc, char** argv, std::string id) : id_{std::move(id)} {
+  Harness(int argc, char** argv, std::string id, std::vector<ExtraFlag> extra_flags = {})
+      : id_{std::move(id)}, extra_flags_{std::move(extra_flags)} {
     program_ = argc > 0 ? argv[0] : "bench";
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -78,6 +88,11 @@ class Harness {
         if (i + 1 >= argc || argv[i + 1][0] == '\0')
           usage_error(arg + " requires a value");
         return argv[++i];
+      };
+      const auto extra = [&]() -> const ExtraFlag* {
+        for (const ExtraFlag& flag : extra_flags_)
+          if (flag.name == arg) return &flag;
+        return nullptr;
       };
       if (arg == "--trace-out") {
         trace_out_ = value();
@@ -108,6 +123,11 @@ class Harness {
           usage_error("--sim-jobs expects a positive integer (in-simulation partition workers), "
                       "got '" + v + "'");
         sim_jobs_ = static_cast<std::size_t>(n);
+      } else if (const ExtraFlag* flag = extra()) {
+        if (flag->takes_value && i + 1 >= argc) usage_error(arg + " requires a value");
+        if (flag->takes_value) ++i;  // the bench re-parses argv itself
+      } else if (!arg.empty() && arg[0] == '-') {
+        usage_error("unknown option '" + arg + "'");
       }
     }
     if (json_out_.empty()) json_out_ = "BENCH_" + id_ + ".json";
@@ -139,6 +159,12 @@ class Harness {
   }
 
   [[noreturn]] void usage_error(const std::string& message) const {
+    std::string extra_usage;
+    for (const ExtraFlag& flag : extra_flags_) {
+      extra_usage += extra_usage.empty() ? "experiment flags:" : "";
+      extra_usage += " " + flag.name + (flag.takes_value ? " VALUE" : "");
+    }
+    if (!extra_usage.empty()) extra_usage += "\n";
     std::fprintf(stderr,
                  "error: %s\n"
                  "usage: %s [--json-out FILE] [--trace-out FILE] [--metrics-out FILE]\n"
@@ -146,8 +172,9 @@ class Harness {
                  "       [--telemetry-bounds FILE] [--jobs N] [--sim-jobs N] [--filter SUBSTR]\n"
                  "  --jobs N      cell-sweep workers (cells in parallel, S25)\n"
                  "  --sim-jobs N  partition workers inside one simulation (S28)\n"
-                 "       (plus experiment-specific flags; see EXPERIMENTS.md)\n",
-                 message.c_str(), program_.c_str());
+                 "%s"
+                 "       (see EXPERIMENTS.md)\n",
+                 message.c_str(), program_.c_str(), extra_usage.c_str());
     std::exit(2);
   }
 
@@ -295,6 +322,7 @@ class Harness {
   }
 
   std::string id_;
+  std::vector<ExtraFlag> extra_flags_;
   std::string program_;
   std::string trace_out_;
   std::string metrics_out_;

@@ -2,7 +2,7 @@
 """Compare a fresh benchmark run against the committed baseline.
 
 Usage: check_bench_regression.py BASELINE.json CURRENT.json
-           [--suite e11|e20|e19|e21] [--max-ratio R]
+           [--suite e11|e20|e19|e21|e22] [--max-ratio R]
 
 Suites mirror the harness-emitted JSON of each benchmark binary:
 
@@ -33,6 +33,11 @@ Suites mirror the harness-emitted JSON of each benchmark binary:
                             simulated workload is deterministic, so a
                             changed event count means the kernel changed
                             dispatch behaviour, not just speed.
+  e22  bench_e22_livegw     `achieved_fps` per offered-load point must not
+                            fall below baseline / max-ratio, and `p99_us`
+                            at the lowest load must stay under a loose
+                            ceiling. Host-time numbers (the live runtime,
+                            DESIGN.md S30), so this is the loosest suite.
 
 For every watched row present in both files, current cpu must not exceed
 baseline * max-ratio. Rows absent from either file are skipped (machine
@@ -104,6 +109,12 @@ SUITES = {
     # Mega-cluster suite; handled by check_e21. Counters/fingerprints are
     # exact (determinism, no tolerance), wall clock is extra loose.
     "e21": {"max_ratio": 2.0},
+    # Live-runtime saturation sweep (bench_e22_livegw); handled by
+    # check_e22. Host-time throughput/latency across machines is the
+    # noisiest thing we gate, so the ratio is the loosest of all: it
+    # catches "the runtime loop regained a per-frame allocation or lost
+    # an order of magnitude", not scheduler jitter.
+    "e22": {"max_ratio": 3.0},
 }
 
 
@@ -245,6 +256,60 @@ def check_e21(base_doc, current_doc, max_ratio, failures):
                     f"wall_ms_per_sim_s[{nodes}][{sj}]: {ratio:.2f}x > {max_ratio:.2f}x")
 
 
+def check_e22(base_doc, current_doc, max_ratio, failures):
+    # Sanity first: the sweep must still cover the ladder and actually
+    # carry frames at every point (a runtime that deadlocks or drops
+    # everything would otherwise sail through a ratio-only check).
+    points = current_doc.get("points", [])
+    if len(points) < 3:
+        failures.append(f"e22: only {len(points)} offered-load points (need >= 3)")
+    for point in points:
+        if point.get("received", 0) <= 0:
+            failures.append(
+                f"e22: no frames carried at offered={point.get('offered_fps')}")
+
+    # Per-point achieved-throughput floor. Host-time numbers cross
+    # machines, so the floor is baseline / max_ratio -- it trips on a
+    # lost order of magnitude, not on a slower CI box.
+    base_achieved = base_doc.get("achieved_fps", {})
+    cur_achieved = current_doc.get("achieved_fps", {})
+    compared = 0
+    for offered in sorted(base_achieved, key=float):
+        if offered not in cur_achieved or base_achieved[offered] <= 0:
+            continue
+        compared += 1
+        floor = base_achieved[offered] / max_ratio
+        ok = cur_achieved[offered] >= floor
+        status = "ok" if ok else "REGRESSED"
+        print(f"achieved_fps[{offered:>8s}/s]  base {base_achieved[offered]:10.0f}  "
+              f"cur {cur_achieved[offered]:10.0f}  floor {floor:10.0f}  {status}")
+        if not ok:
+            failures.append(
+                f"achieved_fps[{offered}]: {cur_achieved[offered]:.0f} < "
+                f"floor {floor:.0f} (baseline / {max_ratio:.1f})")
+    if compared == 0:
+        print("error: no offered-load point appears in both files -- stale baseline?",
+              file=sys.stderr)
+        failures.append("empty e22 point intersection")
+
+    # p99 latency ceiling at the lowest offered load only: below the
+    # knee latency is load-independent, so this is the one point where a
+    # cross-machine ratio is meaningful.
+    base_p99 = base_doc.get("p99_us", {})
+    cur_p99 = current_doc.get("p99_us", {})
+    shared = [k for k in base_p99 if k in cur_p99 and base_p99[k] > 0]
+    if shared:
+        lowest = min(shared, key=float)
+        ceiling = base_p99[lowest] * max_ratio * 3.0  # tail latency: extra slack
+        ok = cur_p99[lowest] <= ceiling
+        status = "ok" if ok else "REGRESSED"
+        print(f"p99_us[{lowest:>8s}/s]        base {base_p99[lowest]:10.1f}  "
+              f"cur {cur_p99[lowest]:10.1f}  ceiling {ceiling:8.1f}  {status}")
+        if not ok:
+            failures.append(
+                f"p99_us[{lowest}]: {cur_p99[lowest]:.1f}us > ceiling {ceiling:.1f}us")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
@@ -266,6 +331,8 @@ def main():
         check_e19(base_doc, current_doc, max_ratio, failures)
     elif args.suite == "e21":
         check_e21(base_doc, current_doc, max_ratio, failures)
+    elif args.suite == "e22":
+        check_e22(base_doc, current_doc, max_ratio, failures)
     else:
         compared = check_rows(suite, base, cur, max_ratio, failures)
         check_speedups(suite, current_doc, failures)
@@ -279,6 +346,8 @@ def main():
         print("\nperf-smoke ok (e19 wall + determinism)")
     elif args.suite == "e21":
         print("\nperf-smoke ok (e21 determinism + wall)")
+    elif args.suite == "e22":
+        print("\nperf-smoke ok (e22 live-runtime throughput + latency)")
     else:
         print(f"\nperf-smoke ok ({compared} rows compared)")
     return 0

@@ -42,6 +42,15 @@
 //          filters shadowed by upstream filters (lint/symbolic.hpp)
 //   DL010  worst-case queue occupancy under cross-hop burst compounding
 //          (lint/timing.hpp)
+//
+// Runtime-deployment rule (active when the model carries the transport
+// ring capacity of the live runtime, `decogw --ring-capacity`):
+//   DL011  event-port queue sizing vs transport ring capacity: the
+//          repository queue an event element provisions (validated by
+//          DL006/DL010) exceeds the number of frames of its message the
+//          runtime's ingress ring can buffer -- under a burst the ring
+//          drops frames at the transport before admission ever sees
+//          them, so the provisioned queue depth is unreachable
 #pragma once
 
 #include <array>
@@ -67,6 +76,7 @@ inline constexpr char kRuleDeadElement[] = "DL007";
 inline constexpr char kRuleLatency[] = "DL008";
 inline constexpr char kRuleSymbolic[] = "DL009";
 inline constexpr char kRuleOccupancy[] = "DL010";
+inline constexpr char kRuleRingCapacity[] = "DL011";
 
 /// Repository meta data of one convertible element as deployed
 /// (mirrors core::ElementDecl without depending on core/).
@@ -94,6 +104,11 @@ struct GatewayModel {
   /// the core network and the VnId each link's virtual network rides on.
   const tt::TdmaSchedule* schedule = nullptr;
   std::array<std::optional<tt::VnId>, 2> link_vn;
+
+  /// Optional live-runtime transport context for DL011: the byte
+  /// capacity of the per-endpoint ingress ring (src/rt/ring.hpp). Zero
+  /// means "not deployed on the live runtime"; the rule stays silent.
+  std::size_t transport_ring_bytes = 0;
 
   /// Repository (canonical) name of `element` as seen from `side`.
   const std::string& repo_name(int side, const std::string& element) const;

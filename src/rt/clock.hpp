@@ -1,0 +1,53 @@
+// Host-time clocks for the live gateway runtime (S30).
+//
+// The simulated stack advances decos::Instant through the event wheel;
+// the live runtime advances it by sampling the host's monotonic clock.
+// Both feed the same Instant-typed gateway entry points, so the compiled
+// transfer path never knows which timeline is driving it. The clock is
+// injected (not read ad hoc) so tests replace it with a ManualClock and
+// replay a byte stream at exact instants -- the lever behind the
+// runtime-vs-simulator equivalence property test.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace decos::rt {
+
+/// Source of the runtime's notion of "now".
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Instant now() = 0;
+};
+
+/// CLOCK_MONOTONIC mapped onto Instant, zeroed at construction so early
+/// instants stay small and window arithmetic never overflows.
+class MonotonicClock final : public Clock {
+ public:
+  MonotonicClock() : epoch_{std::chrono::steady_clock::now()} {}
+
+  Instant now() override {
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    return Instant::from_ns(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Test clock: time moves only when the test says so.
+class ManualClock final : public Clock {
+ public:
+  Instant now() override { return now_; }
+  void set(Instant t) { now_ = t; }
+  void advance(Duration d) { now_ = now_ + d; }
+
+ private:
+  Instant now_;
+};
+
+}  // namespace decos::rt

@@ -430,6 +430,49 @@ TEST(LintDl006, WarnsOnUnboundedEventInput) {
   EXPECT_TRUE(report.has(kRulePorts)) << report.format();
 }
 
+// -- DL011: event-queue sizing vs live-runtime ring capacity ---------------
+
+/// rt/ring.hpp framing, restated: 4-byte length prefix, 8-byte aligned.
+std::size_t framed(std::size_t payload) { return (4 + payload + 7) & ~std::size_t{7}; }
+
+TEST(LintDl011, NotesWhenRingBuffersFewerFramesThanQueueDemands) {
+  const auto a = event_producer();
+  const auto b = tt_event_consumer(10_ms);
+  GatewayModel model = event_chain_model(a, b, 16);
+  const std::size_t frame = framed(a.message("msgwheel")->wire_size());
+  model.transport_ring_bytes = frame * 8;  // 8 frames buffered, 16 provisioned
+  const Report report = lint_gateway(model);
+  EXPECT_TRUE(report.has(kRuleRingCapacity)) << report.format();
+  EXPECT_FALSE(has_error(report, kRuleRingCapacity)) << report.format();
+}
+
+TEST(LintDl011, AdequateRingStaysClean) {
+  const auto a = event_producer();
+  const auto b = tt_event_consumer(10_ms);
+  GatewayModel model = event_chain_model(a, b, 16);
+  model.transport_ring_bytes = framed(a.message("msgwheel")->wire_size()) * 64;
+  const Report report = lint_gateway(model);
+  EXPECT_FALSE(report.has(kRuleRingCapacity)) << report.format();
+}
+
+TEST(LintDl011, NotesFrameLargerThanRingQuarter) {
+  const auto a = event_producer();
+  const auto b = tt_event_consumer(10_ms);
+  GatewayModel model = event_chain_model(a, b, 16);
+  // The ring rejects frames above capacity/4; a ring of two frames
+  // cannot carry msgwheel at all.
+  model.transport_ring_bytes = framed(a.message("msgwheel")->wire_size()) * 2;
+  const Report report = lint_gateway(model);
+  EXPECT_TRUE(report.has(kRuleRingCapacity)) << report.format();
+}
+
+TEST(LintDl011, SilentWithoutRuntimeContext) {
+  const auto a = event_producer();
+  const auto b = tt_event_consumer(10_ms);
+  const Report report = lint_gateway(event_chain_model(a, b, 1024));  // no ring bytes
+  EXPECT_FALSE(report.has(kRuleRingCapacity)) << report.format();
+}
+
 // -- Standalone link lint --------------------------------------------------
 
 TEST(LintLink, CrossLinkSourceIsNoteNotError) {

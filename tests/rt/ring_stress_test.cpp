@@ -1,0 +1,119 @@
+// Two-thread SPSC stress: a producer and a consumer hammer one small
+// ring through constant wrap-around and full/empty boundary crossings.
+// Every frame carries a sequence number and a size-dependent fill, so
+// reordering, duplication, loss and torn payloads are all detected. The
+// TSan CI job runs this suite; the release/acquire pairs in
+// try_push/consume are the only synchronisation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "rt/ring.hpp"
+
+namespace decos::rt {
+namespace {
+
+constexpr std::uint64_t kFrames = 200'000;
+
+void fill_frame(std::vector<std::byte>& buf, std::uint64_t seq) {
+  const std::size_t size = sizeof(std::uint64_t) + (seq * 13) % 200;
+  buf.resize(size);
+  std::memcpy(buf.data(), &seq, sizeof(seq));
+  for (std::size_t i = sizeof(seq); i < size; ++i)
+    buf[i] = static_cast<std::byte>((seq + i) & 0xff);
+}
+
+bool check_frame(std::span<const std::byte> payload, std::uint64_t expected_seq) {
+  if (payload.size() < sizeof(std::uint64_t)) return false;
+  std::uint64_t seq;
+  std::memcpy(&seq, payload.data(), sizeof(seq));
+  if (seq != expected_seq) return false;
+  const std::size_t size = sizeof(std::uint64_t) + (seq * 13) % 200;
+  if (payload.size() != size) return false;
+  for (std::size_t i = sizeof(seq); i < size; ++i)
+    if (payload[i] != static_cast<std::byte>((seq + i) & 0xff)) return false;
+  return true;
+}
+
+TEST(RingStress, TwoThreadsThroughWrapAndFullEmptyBoundaries) {
+  // 4 KiB ring: ~20 frames fit, so the producer hits "full" and the
+  // consumer hits "empty" millions of times across 200k frames, and the
+  // cursor wraps thousands of times.
+  SpscRing ring{4096};
+
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<bool> mismatch{false};
+
+  std::thread consumer{[&] {
+    std::uint64_t expected = 0;
+    while (expected < kFrames && !mismatch.load(std::memory_order_relaxed)) {
+      const std::size_t n = ring.consume(64, [&](std::span<const std::byte> payload) {
+        if (!check_frame(payload, expected)) mismatch.store(true, std::memory_order_relaxed);
+        ++expected;
+      });
+      if (n == 0) std::this_thread::yield();
+    }
+    consumed.store(expected, std::memory_order_relaxed);
+  }};
+
+  std::vector<std::byte> buf;
+  for (std::uint64_t seq = 0; seq < kFrames; ++seq) {
+    fill_frame(buf, seq);
+    while (!ring.try_push(buf)) {
+      if (mismatch.load(std::memory_order_relaxed)) break;
+      std::this_thread::yield();  // full boundary: consumer will free space
+    }
+    if (mismatch.load(std::memory_order_relaxed)) break;
+  }
+  consumer.join();
+
+  EXPECT_FALSE(mismatch.load()) << "frame corrupted, reordered or duplicated";
+  EXPECT_EQ(consumed.load(), kFrames);
+  // Every rejected push was retried, so the drop counter reflects only
+  // transient fullness, never lost frames.
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingStress, AlternatingBurstsAndStalls) {
+  // Bursty producer vs lagging consumer: exercises runs of many frames
+  // claimed in one consume() against runs hitting max_frames limits.
+  SpscRing ring{8192};
+  std::atomic<bool> mismatch{false};
+  constexpr std::uint64_t kBurstFrames = 50'000;
+
+  std::thread consumer{[&] {
+    std::uint64_t expected = 0;
+    while (expected < kBurstFrames && !mismatch.load(std::memory_order_relaxed)) {
+      // Tiny claim limit: a published run is retired across several
+      // claims, repeatedly leaving the ring part-full.
+      const std::size_t n = ring.consume(3, [&](std::span<const std::byte> payload) {
+        if (!check_frame(payload, expected)) mismatch.store(true, std::memory_order_relaxed);
+        ++expected;
+      });
+      if (n == 0) std::this_thread::yield();
+    }
+  }};
+
+  std::vector<std::byte> buf;
+  std::uint64_t seq = 0;
+  while (seq < kBurstFrames && !mismatch.load(std::memory_order_relaxed)) {
+    // Push a burst as fast as the ring accepts it, then stall briefly.
+    for (int i = 0; i < 97 && seq < kBurstFrames; ++i) {
+      fill_frame(buf, seq);
+      while (!ring.try_push(buf)) {
+        if (mismatch.load(std::memory_order_relaxed)) break;
+        std::this_thread::yield();
+      }
+      ++seq;
+    }
+    std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_FALSE(mismatch.load());
+}
+
+}  // namespace
+}  // namespace decos::rt

@@ -1,0 +1,83 @@
+// Shared fixture for the live-runtime tests and the E22 bench: an
+// E6-shaped gateway (msgA in on link A, msgB out on link B, one
+// convertible "image" element) parameterised over semantics,
+// interaction mode and queue sizing, plus byte-frame encode helpers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "../helpers.hpp"
+#include "core/virtual_gateway.hpp"
+#include "spec/message.hpp"
+
+namespace decos::rt_testing {
+
+struct RtGatewayOptions {
+  spec::InfoSemantics semantics = spec::InfoSemantics::kEvent;
+  spec::Interaction interaction = spec::Interaction::kPush;
+  std::size_t queue_capacity = 16;
+  /// Admission tmin of the input automaton. Zero admits back-to-back
+  /// frames (load benches); positive values exercise live temporal
+  /// filtering.
+  Duration min_interarrival = Duration::zero();
+  Duration dispatch_period = Duration::milliseconds(1);
+};
+
+/// msgA (id 1) -> repository "image" -> msgB (id 2). Event semantics
+/// makes the output event-triggered (one egress frame per admitted
+/// ingress frame); state semantics makes both sides TT state images.
+inline std::unique_ptr<core::VirtualGateway> make_rt_gateway(const RtGatewayOptions& options) {
+  using decos::testing::state_message;
+
+  spec::LinkSpec link_a{"dasA"};
+  link_a.add_message(state_message("msgA", "image", 1));
+  spec::PortSpec in;
+  in.message = "msgA";
+  in.direction = spec::DataDirection::kInput;
+  in.semantics = options.semantics;
+  in.interaction = options.interaction;
+  in.paradigm = options.semantics == spec::InfoSemantics::kState
+                    ? spec::ControlParadigm::kTimeTriggered
+                    : spec::ControlParadigm::kEventTriggered;
+  in.period = Duration::milliseconds(10);
+  in.min_interarrival = options.min_interarrival;
+  in.max_interarrival = Duration::seconds(3600);
+  in.queue_capacity = options.queue_capacity;
+  link_a.add_port(in);
+
+  spec::LinkSpec link_b{"dasB"};
+  link_b.add_message(state_message("msgB", "image", 2));
+  spec::PortSpec out;
+  out.message = "msgB";
+  out.direction = spec::DataDirection::kOutput;
+  out.semantics = options.semantics;
+  out.paradigm = options.semantics == spec::InfoSemantics::kState
+                     ? spec::ControlParadigm::kTimeTriggered
+                     : spec::ControlParadigm::kEventTriggered;
+  if (options.semantics == spec::InfoSemantics::kState)
+    out.period = Duration::milliseconds(10);
+  out.queue_capacity = options.queue_capacity;
+  link_b.add_port(out);
+
+  core::GatewayConfig config;
+  config.default_d_acc = Duration::seconds(3600);
+  config.dispatch_period = options.dispatch_period;
+  config.default_queue_capacity = options.queue_capacity;
+  auto gw = std::make_unique<core::VirtualGateway>("rtgw", std::move(link_a), std::move(link_b),
+                                                   config);
+  gw->set_element_config("image", options.semantics, Duration::seconds(3600),
+                         options.queue_capacity);
+  gw->finalize();
+  gw->trace().set_enabled(false);
+  return gw;
+}
+
+/// Encode one msgA/msgB wire frame carrying `value` at `t`.
+inline std::vector<std::byte> encode_frame(const spec::MessageSpec& spec, std::int32_t value,
+                                           Instant t) {
+  const spec::MessageInstance instance = decos::testing::make_state_instance(spec, value, t);
+  return spec::encode(spec, instance).value();
+}
+
+}  // namespace decos::rt_testing

@@ -20,6 +20,7 @@
 // Exit status: 0 = clean, 1 = at least one error (or a warning under
 // --werror), 3 = no errors but findings at or above the --fail-on
 // threshold, 2 = usage / IO / parse failure.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -53,13 +54,18 @@ constexpr const char* kUsage =
     "                         per-flow latency bounds for decotrace --check-bounds\n"
     "  --fail-on note|warn|error\n"
     "                         exit 3 when findings at or above this severity\n"
-    "                         exist and no hard error does (default error)\n";
+    "                         exist and no hard error does (default error)\n"
+    "  --ring-capacity <bytes>\n"
+    "                         byte capacity of the live runtime's ingress rings\n"
+    "                         (decogw deployment); enables rule DL011 comparing\n"
+    "                         event-queue sizing against transport buffering\n";
 
 struct Options {
   bool werror = false;
   bool quiet = false;
   std::string format = "text";
   decos::lint::Severity fail_on = decos::lint::Severity::kError;
+  std::size_t ring_capacity = 0;  // 0 = no live-runtime context, DL011 off
   std::vector<std::string> files;
 };
 
@@ -155,6 +161,18 @@ int main(int argc, char** argv) {
         std::cerr << "declint: unknown --fail-on level '" << level << "'\n" << kUsage;
         return 2;
       }
+    } else if (arg == "--ring-capacity") {
+      if (i + 1 >= argc) {
+        std::cerr << "declint: --ring-capacity needs an argument\n" << kUsage;
+        return 2;
+      }
+      char* end = nullptr;
+      const unsigned long long bytes = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || bytes == 0) {
+        std::cerr << "declint: --ring-capacity needs a positive byte count\n" << kUsage;
+        return 2;
+      }
+      options.ring_capacity = static_cast<std::size_t>(bytes);
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "declint: unknown option '" << arg << "'\n" << kUsage;
       return 2;
@@ -185,6 +203,7 @@ int main(int argc, char** argv) {
     fr.path = file.path;
     if (file.gateway != nullptr) {
       models.push_back(decos::core::make_lint_model(*file.gateway));
+      models.back().transport_ring_bytes = options.ring_capacity;
       fr.report = decos::lint::lint_gateway_local(models.back());
     } else {
       fr.report = decos::lint::lint_link(*file.link);
